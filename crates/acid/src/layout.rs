@@ -1,0 +1,117 @@
+//! Directory naming for the base/delta layout.
+
+use hive_common::WriteId;
+use hive_dfs::DfsPath;
+
+/// The role of one store directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirKind {
+    /// `base_N` — all valid records up to WriteId N.
+    Base,
+    /// `delta_X_Y` — inserted records with WriteIds in `[X, Y]`.
+    Delta,
+    /// `delete_delta_X_Y` — tombstones written by WriteIds in `[X, Y]`.
+    DeleteDelta,
+}
+
+/// One parsed store directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcidDir {
+    pub kind: DirKind,
+    /// Lowest WriteId covered (equals `max_wid` for `base`).
+    pub min_wid: WriteId,
+    /// Highest WriteId covered.
+    pub max_wid: WriteId,
+    /// Full path of the directory.
+    pub path: DfsPath,
+}
+
+impl AcidDir {
+    /// Parse a directory name (`base_100`, `delta_3_7`,
+    /// `delete_delta_5_5`); `None` for foreign names.
+    pub fn parse(path: &DfsPath) -> Option<AcidDir> {
+        let name = path.name();
+        if let Some(rest) = name.strip_prefix("base_") {
+            let n: u64 = rest.parse().ok()?;
+            return Some(AcidDir {
+                kind: DirKind::Base,
+                min_wid: WriteId(n),
+                max_wid: WriteId(n),
+                path: path.clone(),
+            });
+        }
+        let (kind, rest) = if let Some(rest) = name.strip_prefix("delete_delta_") {
+            (DirKind::DeleteDelta, rest)
+        } else if let Some(rest) = name.strip_prefix("delta_") {
+            (DirKind::Delta, rest)
+        } else {
+            return None;
+        };
+        let (lo, hi) = rest.split_once('_')?;
+        let lo: u64 = lo.parse().ok()?;
+        let hi: u64 = hi.parse().ok()?;
+        if lo > hi {
+            return None;
+        }
+        Some(AcidDir {
+            kind,
+            min_wid: WriteId(lo),
+            max_wid: WriteId(hi),
+            path: path.clone(),
+        })
+    }
+
+    /// Render the directory name for a store.
+    pub fn dir_name(kind: DirKind, min: WriteId, max: WriteId) -> String {
+        match kind {
+            DirKind::Base => format!("base_{}", max.raw()),
+            DirKind::Delta => format!("delta_{}_{}", min.raw(), max.raw()),
+            DirKind::DeleteDelta => format!("delete_delta_{}_{}", min.raw(), max.raw()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_base() {
+        let d = AcidDir::parse(&DfsPath::new("/t/base_100")).unwrap();
+        assert_eq!(d.kind, DirKind::Base);
+        assert_eq!(d.max_wid, WriteId(100));
+    }
+
+    #[test]
+    fn parse_deltas() {
+        let d = AcidDir::parse(&DfsPath::new("/t/delta_101_105")).unwrap();
+        assert_eq!(d.kind, DirKind::Delta);
+        assert_eq!((d.min_wid, d.max_wid), (WriteId(101), WriteId(105)));
+        let dd = AcidDir::parse(&DfsPath::new("/t/delete_delta_103_103")).unwrap();
+        assert_eq!(dd.kind, DirKind::DeleteDelta);
+        assert_eq!((dd.min_wid, dd.max_wid), (WriteId(103), WriteId(103)));
+    }
+
+    #[test]
+    fn reject_foreign_names() {
+        assert!(AcidDir::parse(&DfsPath::new("/t/.tmp_compact")).is_none());
+        assert!(AcidDir::parse(&DfsPath::new("/t/base_x")).is_none());
+        assert!(AcidDir::parse(&DfsPath::new("/t/delta_5")).is_none());
+        assert!(AcidDir::parse(&DfsPath::new("/t/delta_7_3")).is_none());
+        assert!(AcidDir::parse(&DfsPath::new("/t/data.corc")).is_none());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        for (kind, lo, hi) in [
+            (DirKind::Base, WriteId(9), WriteId(9)),
+            (DirKind::Delta, WriteId(2), WriteId(5)),
+            (DirKind::DeleteDelta, WriteId(4), WriteId(4)),
+        ] {
+            let name = AcidDir::dir_name(kind, lo, hi);
+            let parsed = AcidDir::parse(&DfsPath::new(format!("/t/{name}"))).unwrap();
+            assert_eq!(parsed.kind, kind);
+            assert_eq!(parsed.max_wid, hi);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Writing insert deltas, delete deltas, and bases.
+
+use crate::layout::{AcidDir, DirKind};
+use hive_common::{
+    BucketId, ColumnVector, DataType, Field, RecordId, Result, RowId, Schema, VectorBatch,
+    WriteId,
+};
+use hive_corc::{CorcWriter, WriterOptions};
+use hive_dfs::{DfsPath, DistFs};
+
+/// The synthetic identity columns prepended to every stored record:
+/// `(__writeid, __bucket, __rowid)` — the paper's record identity triple.
+/// Delete-delta files add `__cur_writeid`, the WriteId of the deleting
+/// transaction.
+pub const ACID_COLS: usize = 3;
+
+/// Schema of the identity columns.
+pub fn acid_id_fields() -> Vec<Field> {
+    vec![
+        Field::not_null("__writeid", DataType::BigInt),
+        Field::not_null("__bucket", DataType::BigInt),
+        Field::not_null("__rowid", DataType::BigInt),
+    ]
+}
+
+/// Full on-disk schema for insert/base files of a table with `data`
+/// columns.
+pub fn acid_file_schema(data: &Schema) -> Schema {
+    let mut fields = acid_id_fields();
+    fields.extend(data.fields().iter().cloned());
+    Schema::new(fields)
+}
+
+/// On-disk schema for delete-delta files.
+pub fn delete_file_schema() -> Schema {
+    let mut fields = acid_id_fields();
+    fields.push(Field::not_null("__cur_writeid", DataType::BigInt));
+    Schema::new(fields)
+}
+
+/// Writer for one table/partition directory.
+#[derive(Debug, Clone)]
+pub struct AcidWriter {
+    fs: DistFs,
+    /// The table or partition directory that stores live under.
+    dir: DfsPath,
+    data_schema: Schema,
+    opts: WriterOptions,
+}
+
+impl AcidWriter {
+    /// Create a writer for a store directory.
+    pub fn new(fs: &DistFs, dir: &DfsPath, data_schema: Schema) -> Self {
+        AcidWriter {
+            fs: fs.clone(),
+            dir: dir.clone(),
+            data_schema,
+            opts: WriterOptions::default(),
+        }
+    }
+
+    /// Override writer options (row-group size, bloom columns — the
+    /// bloom column indexes refer to *data* columns and are shifted past
+    /// the identity columns automatically).
+    pub fn with_options(mut self, mut opts: WriterOptions) -> Self {
+        opts.bloom_columns = opts.bloom_columns.iter().map(|c| c + ACID_COLS).collect();
+        self.opts = opts;
+        self
+    }
+
+    /// Write an insert delta `delta_w_w` containing `batch`, assigning
+    /// RowIds `0..n`. A transaction writing the same table repeatedly
+    /// (UPDATE + MERGE arms, multi-insert) produces one `bucket_N` file
+    /// per write; the bucket id keeps record identities distinct.
+    pub fn write_insert_delta(&self, wid: WriteId, batch: &VectorBatch) -> Result<DfsPath> {
+        let dir = self
+            .dir
+            .child(AcidDir::dir_name(DirKind::Delta, wid, wid));
+        let bucket = BucketId(self.fs.list_files_recursive(&dir).len() as u64);
+        self.write_store(DirKind::Delta, wid, wid, batch, bucket)
+    }
+
+    /// Write a store directory (`delta`/`base`) whose records keep the
+    /// WriteIds already present in `with_ids` — used by compaction.
+    /// `with_ids` must use the full acid file schema.
+    pub fn write_store_with_ids(
+        &self,
+        kind: DirKind,
+        min: WriteId,
+        max: WriteId,
+        with_ids: &VectorBatch,
+        under: Option<&DfsPath>,
+    ) -> Result<DfsPath> {
+        let dir_name = AcidDir::dir_name(kind, min, max);
+        let dir = under.unwrap_or(&self.dir).child(dir_name);
+        let mut w = CorcWriter::new(acid_file_schema(&self.data_schema), self.opts.clone())?;
+        w.write_batch(with_ids)?;
+        let bytes = w.finish()?;
+        self.fs.create(&dir.child("bucket_0"), bytes)?;
+        Ok(dir)
+    }
+
+    fn write_store(
+        &self,
+        kind: DirKind,
+        min: WriteId,
+        max: WriteId,
+        batch: &VectorBatch,
+        bucket: BucketId,
+    ) -> Result<DfsPath> {
+        let n = batch.num_rows();
+        let wid_col = ColumnVector::BigInt(vec![max.raw() as i64; n], None);
+        let bucket_col = ColumnVector::BigInt(vec![bucket.raw() as i64; n], None);
+        let rowid_col = ColumnVector::BigInt((0..n as i64).collect(), None);
+        let mut cols = vec![wid_col, bucket_col, rowid_col];
+        cols.extend(batch.columns().iter().cloned());
+        let file_batch = VectorBatch::new(acid_file_schema(batch.schema()), cols)?;
+        let dir_name = AcidDir::dir_name(kind, min, max);
+        let dir = self.dir.child(dir_name);
+        let mut w = CorcWriter::new(file_batch.schema().clone(), self.opts.clone())?;
+        w.write_batch(&file_batch)?;
+        let bytes = w.finish()?;
+        self.fs
+            .create(&dir.child(format!("bucket_{}", bucket.raw())), bytes)?;
+        Ok(dir)
+    }
+
+    /// Write a delete delta `delete_delta_w_w` tombstoning `records`.
+    pub fn write_delete_delta(&self, wid: WriteId, records: &[RecordId]) -> Result<DfsPath> {
+        let schema = delete_file_schema();
+        let n = records.len();
+        let cols = vec![
+            ColumnVector::BigInt(
+                records.iter().map(|r| r.write_id.raw() as i64).collect(),
+                None,
+            ),
+            ColumnVector::BigInt(
+                records.iter().map(|r| r.bucket.raw() as i64).collect(),
+                None,
+            ),
+            ColumnVector::BigInt(records.iter().map(|r| r.row.raw() as i64).collect(), None),
+            ColumnVector::BigInt(vec![wid.raw() as i64; n], None),
+        ];
+        let batch = VectorBatch::new(schema.clone(), cols)?;
+        let dir = self
+            .dir
+            .child(AcidDir::dir_name(DirKind::DeleteDelta, wid, wid));
+        let mut w = CorcWriter::new(schema, self.opts.clone())?;
+        w.write_batch(&batch)?;
+        let bytes = w.finish()?;
+        self.fs.create(&dir.child("bucket_0"), bytes)?;
+        Ok(dir)
+    }
+
+    /// The store directory this writer targets.
+    pub fn dir(&self) -> &DfsPath {
+        &self.dir
+    }
+
+    /// The table's data schema (without identity columns).
+    pub fn data_schema(&self) -> &Schema {
+        &self.data_schema
+    }
+}
+
+/// Extract the [`RecordId`] of row `i` in a batch that carries the
+/// identity columns at the front.
+pub fn record_id_at(batch: &VectorBatch, i: usize) -> RecordId {
+    let wid = match batch.column(0).get(i) {
+        hive_common::Value::BigInt(v) => v as u64,
+        v => panic!("bad __writeid value {v:?}"),
+    };
+    let bucket = match batch.column(1).get(i) {
+        hive_common::Value::BigInt(v) => v as u64,
+        v => panic!("bad __bucket value {v:?}"),
+    };
+    let row = match batch.column(2).get(i) {
+        hive_common::Value::BigInt(v) => v as u64,
+        v => panic!("bad __rowid value {v:?}"),
+    };
+    RecordId::new(WriteId(wid), BucketId(bucket), RowId(row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{Row, Value};
+    use hive_corc::CorcFile;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::String),
+        ])
+    }
+
+    fn batch(rows: &[(i32, &str)]) -> VectorBatch {
+        let rows: Vec<Row> = rows
+            .iter()
+            .map(|(a, b)| Row::new(vec![Value::Int(*a), Value::String((*b).into())]))
+            .collect();
+        VectorBatch::from_rows(&schema(), &rows).unwrap()
+    }
+
+    #[test]
+    fn insert_delta_layout() {
+        let fs = DistFs::new();
+        let w = AcidWriter::new(&fs, &DfsPath::new("/wh/t"), schema());
+        let dir = w
+            .write_insert_delta(WriteId(7), &batch(&[(1, "x"), (2, "y")]))
+            .unwrap();
+        assert_eq!(dir.as_str(), "/wh/t/delta_7_7");
+        let f = CorcFile::open(&fs, &dir.child("bucket_0")).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(
+            f.schema().names(),
+            vec!["__writeid", "__bucket", "__rowid", "a", "b"]
+        );
+        let all = f.read_all().unwrap();
+        assert_eq!(record_id_at(&all, 0), RecordId::new(WriteId(7), BucketId(0), RowId(0)));
+        assert_eq!(record_id_at(&all, 1), RecordId::new(WriteId(7), BucketId(0), RowId(1)));
+        assert_eq!(all.row(1).get(4), &Value::String("y".into()));
+    }
+
+    #[test]
+    fn delete_delta_layout() {
+        let fs = DistFs::new();
+        let w = AcidWriter::new(&fs, &DfsPath::new("/wh/t"), schema());
+        let victims = vec![
+            RecordId::new(WriteId(7), BucketId(0), RowId(1)),
+            RecordId::new(WriteId(3), BucketId(0), RowId(0)),
+        ];
+        let dir = w.write_delete_delta(WriteId(9), &victims).unwrap();
+        assert_eq!(dir.as_str(), "/wh/t/delete_delta_9_9");
+        let f = CorcFile::open(&fs, &dir.child("bucket_0")).unwrap();
+        let all = f.read_all().unwrap();
+        assert_eq!(all.num_rows(), 2);
+        assert_eq!(record_id_at(&all, 0), victims[0]);
+        assert_eq!(all.row(0).get(3), &Value::BigInt(9));
+    }
+}

@@ -1,0 +1,343 @@
+//! End-to-end ACID tests: snapshot isolation, deletes/updates via
+//! tombstones, and compaction — driven through the real TxnManager.
+
+use hive_acid::{resolve_snapshot, AcidScan, AcidWriter, Compactor, DeleteSet};
+use hive_common::{
+    BucketId, DataType, Field, RecordId, Row, RowId, Schema, Value, VectorBatch, WriteId,
+};
+use hive_corc::SearchArgument;
+use hive_dfs::{DfsPath, DistFs};
+use hive_metastore::{Metastore, TableBuilder};
+
+const TABLE: &str = "default.t";
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::String),
+    ])
+}
+
+fn batch(rows: &[(i32, &str)]) -> VectorBatch {
+    let rows: Vec<Row> = rows
+        .iter()
+        .map(|(k, v)| Row::new(vec![Value::Int(*k), Value::String((*v).into())]))
+        .collect();
+    VectorBatch::from_rows(&schema(), &rows).unwrap()
+}
+
+struct Fixture {
+    fs: DistFs,
+    ms: Metastore,
+    dir: DfsPath,
+    writer: AcidWriter,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let fs = DistFs::new();
+        let ms = Metastore::new();
+        ms.create_table(TableBuilder::new("default", "t", schema()).build())
+            .unwrap();
+        let dir = DfsPath::new("/warehouse/default/t");
+        let writer = AcidWriter::new(&fs, &dir, schema());
+        Fixture {
+            fs,
+            ms,
+            dir,
+            writer,
+        }
+    }
+
+    /// Insert rows in a committed transaction; returns its WriteId.
+    fn insert(&self, rows: &[(i32, &str)]) -> WriteId {
+        let txn = self.ms.open_txn();
+        let wid = self.ms.allocate_write_id(txn, TABLE).unwrap();
+        self.writer.write_insert_delta(wid, &batch(rows)).unwrap();
+        self.ms.commit_txn(txn).unwrap();
+        wid
+    }
+
+    /// Delete the given record ids in a committed transaction.
+    fn delete(&self, victims: &[RecordId]) -> WriteId {
+        let txn = self.ms.open_txn();
+        let wid = self.ms.allocate_write_id(txn, TABLE).unwrap();
+        self.ms.add_write_set(txn, TABLE, None).unwrap();
+        self.writer.write_delete_delta(wid, victims).unwrap();
+        self.ms.commit_txn(txn).unwrap();
+        wid
+    }
+
+    fn scan(&self) -> Vec<(i32, String)> {
+        let snap = self.ms.valid_txn_list();
+        let wlist = self.ms.valid_write_ids(TABLE, &snap, None);
+        let scan = AcidScan::new(&self.fs, &self.dir, schema(), wlist).unwrap();
+        let b = scan.read(&[0, 1], &SearchArgument::new(), false).unwrap();
+        let mut out: Vec<(i32, String)> = b
+            .to_rows()
+            .into_iter()
+            .map(|r| {
+                let k = match r.get(0) {
+                    Value::Int(v) => *v,
+                    _ => panic!(),
+                };
+                (k, r.get(1).to_string())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[test]
+fn inserts_become_visible_after_commit() {
+    let fx = Fixture::new();
+    fx.insert(&[(1, "a"), (2, "b")]);
+    assert_eq!(fx.scan(), vec![(1, "a".into()), (2, "b".into())]);
+}
+
+#[test]
+fn uncommitted_inserts_invisible() {
+    let fx = Fixture::new();
+    fx.insert(&[(1, "a")]);
+    // Open transaction writes but does not commit.
+    let txn = fx.ms.open_txn();
+    let wid = fx.ms.allocate_write_id(txn, TABLE).unwrap();
+    fx.writer
+        .write_insert_delta(wid, &batch(&[(99, "ghost")]))
+        .unwrap();
+    assert_eq!(fx.scan(), vec![(1, "a".into())]);
+    // But the writer itself sees its own rows.
+    let snap = fx.ms.valid_txn_list();
+    let wlist = fx.ms.valid_write_ids(TABLE, &snap, Some(txn));
+    let scan = AcidScan::new(&fx.fs, &fx.dir, schema(), wlist).unwrap();
+    assert_eq!(
+        scan.read(&[0], &SearchArgument::new(), false)
+            .unwrap()
+            .num_rows(),
+        2
+    );
+    fx.ms.commit_txn(txn).unwrap();
+    assert_eq!(fx.scan().len(), 2);
+}
+
+#[test]
+fn aborted_inserts_stay_invisible() {
+    let fx = Fixture::new();
+    fx.insert(&[(1, "a")]);
+    let txn = fx.ms.open_txn();
+    let wid = fx.ms.allocate_write_id(txn, TABLE).unwrap();
+    fx.writer
+        .write_insert_delta(wid, &batch(&[(66, "aborted")]))
+        .unwrap();
+    fx.ms.abort_txn(txn).unwrap();
+    assert_eq!(fx.scan(), vec![(1, "a".into())]);
+}
+
+#[test]
+fn delete_removes_rows() {
+    let fx = Fixture::new();
+    let wid = fx.insert(&[(1, "a"), (2, "b"), (3, "c")]);
+    // Delete row with rowid 1 (k=2).
+    fx.delete(&[RecordId::new(wid, BucketId(0), RowId(1))]);
+    assert_eq!(fx.scan(), vec![(1, "a".into()), (3, "c".into())]);
+}
+
+#[test]
+fn update_is_delete_plus_insert() {
+    let fx = Fixture::new();
+    let wid = fx.insert(&[(1, "old")]);
+    // UPDATE: one txn writes a delete delta for the old identity and an
+    // insert delta with the new value.
+    let txn = fx.ms.open_txn();
+    let w = fx.ms.allocate_write_id(txn, TABLE).unwrap();
+    fx.ms.add_write_set(txn, TABLE, None).unwrap();
+    fx.writer
+        .write_delete_delta(w, &[RecordId::new(wid, BucketId(0), RowId(0))])
+        .unwrap();
+    fx.writer
+        .write_insert_delta(w, &batch(&[(1, "new")]))
+        .unwrap();
+    fx.ms.commit_txn(txn).unwrap();
+    assert_eq!(fx.scan(), vec![(1, "new".into())]);
+}
+
+#[test]
+fn concurrent_updates_first_commit_wins() {
+    let fx = Fixture::new();
+    let wid = fx.insert(&[(1, "orig")]);
+    let victim = RecordId::new(wid, BucketId(0), RowId(0));
+
+    let t1 = fx.ms.open_txn();
+    let t2 = fx.ms.open_txn();
+    let w1 = fx.ms.allocate_write_id(t1, TABLE).unwrap();
+    fx.ms.add_write_set(t1, TABLE, None).unwrap();
+    let w2 = fx.ms.allocate_write_id(t2, TABLE).unwrap();
+    fx.ms.add_write_set(t2, TABLE, None).unwrap();
+
+    fx.writer.write_delete_delta(w1, &[victim]).unwrap();
+    fx.writer
+        .write_insert_delta(w1, &batch(&[(1, "from-t1")]))
+        .unwrap();
+    fx.writer.write_delete_delta(w2, &[victim]).unwrap();
+    fx.writer
+        .write_insert_delta(w2, &batch(&[(1, "from-t2")]))
+        .unwrap();
+
+    fx.ms.commit_txn(t1).unwrap();
+    assert!(fx.ms.commit_txn(t2).is_err(), "second committer loses");
+    // Loser's data never becomes visible.
+    assert_eq!(fx.scan(), vec![(1, "from-t1".into())]);
+}
+
+#[test]
+fn snapshot_taken_before_delete_still_sees_row() {
+    let fx = Fixture::new();
+    let wid = fx.insert(&[(1, "a")]);
+    // Take the snapshot now.
+    let snap = fx.ms.valid_txn_list();
+    let wlist = fx.ms.valid_write_ids(TABLE, &snap, None);
+    // Delete afterwards.
+    fx.delete(&[RecordId::new(wid, BucketId(0), RowId(0))]);
+    // Old snapshot still sees the row.
+    let scan = AcidScan::new(&fx.fs, &fx.dir, schema(), wlist).unwrap();
+    assert_eq!(
+        scan.read(&[0], &SearchArgument::new(), false)
+            .unwrap()
+            .num_rows(),
+        1
+    );
+    // Fresh snapshot does not.
+    assert!(fx.scan().is_empty());
+}
+
+#[test]
+fn minor_compaction_merges_deltas() {
+    let fx = Fixture::new();
+    for i in 0..5 {
+        fx.insert(&[(i, "x")]);
+    }
+    let snap = fx.ms.valid_txn_list();
+    let wlist = fx.ms.valid_write_ids(TABLE, &snap, None);
+    let before = resolve_snapshot(&fx.fs, &fx.dir, &wlist);
+    assert_eq!(before.insert_deltas.len(), 5);
+
+    let compactor = Compactor::new(&fx.fs, &fx.dir, schema());
+    let outcome = compactor.minor(&wlist).unwrap().unwrap();
+    assert_eq!(outcome.produced.len(), 1);
+    assert_eq!(outcome.produced[0].name(), "delta_1_5");
+    // Data identical before cleaning...
+    assert_eq!(fx.scan().len(), 5);
+    compactor.clean(&outcome).unwrap();
+    // ...and after.
+    assert_eq!(fx.scan().len(), 5);
+    let after = resolve_snapshot(
+        &fx.fs,
+        &fx.dir,
+        &fx.ms.valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None),
+    );
+    assert_eq!(after.insert_deltas.len(), 1);
+}
+
+#[test]
+fn major_compaction_builds_base_and_drops_history() {
+    let fx = Fixture::new();
+    let w1 = fx.insert(&[(1, "a"), (2, "b")]);
+    fx.insert(&[(3, "c")]);
+    fx.delete(&[RecordId::new(w1, BucketId(0), RowId(0))]); // delete k=1
+    // An aborted write leaves garbage that major compaction must drop.
+    let txn = fx.ms.open_txn();
+    let wa = fx.ms.allocate_write_id(txn, TABLE).unwrap();
+    fx.writer
+        .write_insert_delta(wa, &batch(&[(666, "junk")]))
+        .unwrap();
+    fx.ms.abort_txn(txn).unwrap();
+
+    let wlist = fx
+        .ms
+        .valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
+    let compactor = Compactor::new(&fx.fs, &fx.dir, schema());
+    let outcome = compactor.major(&wlist).unwrap().unwrap();
+    assert_eq!(outcome.new_base_wid, Some(WriteId(4)));
+    compactor.clean(&outcome).unwrap();
+    fx.ms.truncate_aborted_history(TABLE, WriteId(4));
+
+    assert_eq!(fx.scan(), vec![(2, "b".into()), (3, "c".into())]);
+    // Only the base remains.
+    let after = resolve_snapshot(
+        &fx.fs,
+        &fx.dir,
+        &fx.ms.valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None),
+    );
+    assert!(after.base.is_some());
+    assert!(after.insert_deltas.is_empty());
+    assert!(after.delete_deltas.is_empty());
+    // The delete set under the new layout is empty (tombstones consumed).
+    let ds = DeleteSet::load(
+        &fx.fs,
+        &after,
+        &fx.ms.valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None),
+    )
+    .unwrap();
+    assert!(ds.is_empty());
+}
+
+#[test]
+fn compaction_respects_open_transactions() {
+    let fx = Fixture::new();
+    fx.insert(&[(1, "a")]);
+    // An open transaction holds WriteId 2.
+    let txn = fx.ms.open_txn();
+    let w_open = fx.ms.allocate_write_id(txn, TABLE).unwrap();
+    fx.writer
+        .write_insert_delta(w_open, &batch(&[(2, "pending")]))
+        .unwrap();
+    fx.insert(&[(3, "c")]); // WriteId 3
+    let wlist = fx
+        .ms
+        .valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
+    let compactor = Compactor::new(&fx.fs, &fx.dir, schema());
+    let outcome = compactor.major(&wlist).unwrap().unwrap();
+    // Ceiling is below the open txn: base_1, not base_3.
+    assert_eq!(outcome.new_base_wid, Some(WriteId(1)));
+    compactor.clean(&outcome).unwrap();
+    // Pending data survives; committing it makes it visible.
+    fx.ms.commit_txn(txn).unwrap();
+    assert_eq!(
+        fx.scan(),
+        vec![(1, "a".into()), (2, "pending".into()), (3, "c".into())]
+    );
+}
+
+#[test]
+fn sarg_pushdown_through_acid_scan() {
+    let fx = Fixture::new();
+    for chunk in 0..4 {
+        let rows: Vec<(i32, String)> = (0..1000)
+            .map(|i| (chunk * 1000 + i, format!("v{i}")))
+            .collect();
+        let refs: Vec<(i32, &str)> = rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        fx.insert(&refs);
+    }
+    let wlist = fx
+        .ms
+        .valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
+    let scan = AcidScan::new(&fx.fs, &fx.dir, schema(), wlist).unwrap();
+    let sarg = SearchArgument::with(vec![hive_corc::ColumnPredicate::Between(
+        0,
+        Value::Int(1500),
+        Value::Int(1600),
+    )]);
+    let before = fx.fs.stats().snapshot();
+    let got = scan.read(&[0], &sarg, false).unwrap();
+    let selective_bytes = fx.fs.stats().snapshot().since(&before).bytes_read;
+    // Row groups are per-delta (1000 rows each); only delta_2 matches.
+    assert_eq!(got.num_rows(), 1000);
+    let before = fx.fs.stats().snapshot();
+    scan.read(&[0], &SearchArgument::new(), false).unwrap();
+    let full_bytes = fx.fs.stats().snapshot().since(&before).bytes_read;
+    assert!(
+        selective_bytes < full_bytes,
+        "sarg should cut I/O: {selective_bytes} vs {full_bytes}"
+    );
+}

@@ -1,0 +1,200 @@
+//! Property tests: the ACID stack's visible row set always equals a
+//! trivial in-memory model, no matter how inserts, aborts, deletes,
+//! minor/major compactions, and cleaning interleave (§3.2).
+
+use hive_acid::{AcidScan, AcidWriter, Compactor};
+use hive_common::{
+    BucketId, DataType, Field, RecordId, Row, RowId, Schema, Value, VectorBatch,
+};
+use hive_corc::SearchArgument;
+use hive_dfs::{DfsPath, DistFs};
+use hive_metastore::{Metastore, TableBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const TABLE: &str = "default.t";
+
+fn schema() -> Schema {
+    Schema::new(vec![Field::new("k", DataType::Int)])
+}
+
+/// One step of the generated history.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert `n` fresh keys and commit.
+    Insert(u8),
+    /// Insert `n` keys, then abort the transaction.
+    InsertAborted(u8),
+    /// Delete the i-th currently-visible row (modulo count) and commit.
+    Delete(u8),
+    /// Minor compaction + clean.
+    Minor,
+    /// Major compaction + clean.
+    Major,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u8..6).prop_map(Op::Insert),
+        1 => (1u8..6).prop_map(Op::InsertAborted),
+        3 => any::<u8>().prop_map(Op::Delete),
+        1 => Just(Op::Minor),
+        1 => Just(Op::Major),
+    ]
+}
+
+struct Harness {
+    fs: DistFs,
+    ms: Metastore,
+    dir: DfsPath,
+    writer: AcidWriter,
+    /// Model: visible rows as key → RecordId.
+    model: BTreeMap<i32, RecordId>,
+    next_key: i32,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let fs = DistFs::new();
+        let ms = Metastore::new();
+        ms.create_table(TableBuilder::new("default", "t", schema()).build())
+            .unwrap();
+        let dir = DfsPath::new("/warehouse/default/t");
+        let writer = AcidWriter::new(&fs, &dir, schema());
+        Harness {
+            fs,
+            ms,
+            dir,
+            writer,
+            model: BTreeMap::new(),
+            next_key: 0,
+        }
+    }
+
+    fn batch(&mut self, n: u8) -> (VectorBatch, Vec<i32>) {
+        let keys: Vec<i32> = (0..n as i32).map(|i| self.next_key + i).collect();
+        self.next_key += n as i32;
+        let rows: Vec<Row> = keys.iter().map(|&k| Row::new(vec![Value::Int(k)])).collect();
+        (VectorBatch::from_rows(&schema(), &rows).unwrap(), keys)
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Insert(n) => {
+                let (batch, keys) = self.batch(*n);
+                let txn = self.ms.open_txn();
+                let wid = self.ms.allocate_write_id(txn, TABLE).unwrap();
+                self.writer.write_insert_delta(wid, &batch).unwrap();
+                self.ms.commit_txn(txn).unwrap();
+                for (i, k) in keys.into_iter().enumerate() {
+                    self.model
+                        .insert(k, RecordId::new(wid, BucketId(0), RowId(i as u64)));
+                }
+            }
+            Op::InsertAborted(n) => {
+                let (batch, _) = self.batch(*n);
+                let txn = self.ms.open_txn();
+                let wid = self.ms.allocate_write_id(txn, TABLE).unwrap();
+                self.writer.write_insert_delta(wid, &batch).unwrap();
+                self.ms.abort_txn(txn).unwrap();
+                // Model unchanged: aborted rows must never be visible.
+            }
+            Op::Delete(i) => {
+                if self.model.is_empty() {
+                    return;
+                }
+                let idx = *i as usize % self.model.len();
+                let (&key, &rid) = self.model.iter().nth(idx).unwrap();
+                let txn = self.ms.open_txn();
+                let wid = self.ms.allocate_write_id(txn, TABLE).unwrap();
+                self.ms.add_write_set(txn, TABLE, None).unwrap();
+                self.writer.write_delete_delta(wid, &[rid]).unwrap();
+                self.ms.commit_txn(txn).unwrap();
+                self.model.remove(&key);
+            }
+            Op::Minor => {
+                let snap = self.ms.valid_txn_list();
+                let wlist = self.ms.valid_write_ids(TABLE, &snap, None);
+                let compactor = Compactor::new(&self.fs, &self.dir, schema());
+                if let Some(outcome) = compactor.minor(&wlist).unwrap() {
+                    compactor.clean(&outcome).unwrap();
+                }
+            }
+            Op::Major => {
+                let snap = self.ms.valid_txn_list();
+                let wlist = self.ms.valid_write_ids(TABLE, &snap, None);
+                let compactor = Compactor::new(&self.fs, &self.dir, schema());
+                if let Some(outcome) = compactor.major(&wlist).unwrap() {
+                    compactor.clean(&outcome).unwrap();
+                    if let Some(hwm) = outcome.new_base_wid {
+                        self.ms.truncate_aborted_history(TABLE, hwm);
+                    }
+                }
+            }
+        }
+    }
+
+    fn visible_keys(&self) -> Vec<i32> {
+        let snap = self.ms.valid_txn_list();
+        let wlist = self.ms.valid_write_ids(TABLE, &snap, None);
+        let scan = AcidScan::new(&self.fs, &self.dir, schema(), wlist).unwrap();
+        let b = scan.read(&[0], &SearchArgument::new(), false).unwrap();
+        let mut out: Vec<i32> = b
+            .to_rows()
+            .into_iter()
+            .map(|r| match r.get(0) {
+                Value::Int(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The visible row set matches the model after every step.
+    #[test]
+    fn acid_history_matches_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let mut h = Harness::new();
+        for (step, op) in ops.iter().enumerate() {
+            h.apply(op);
+            let got = h.visible_keys();
+            let want: Vec<i32> = h.model.keys().copied().collect();
+            prop_assert_eq!(&got, &want, "divergence after step {} ({:?})", step, op);
+        }
+    }
+
+    /// Compactions never change what a reader sees, and the delta count
+    /// after a major compaction + clean is zero.
+    #[test]
+    fn major_compaction_is_invisible_and_collapses_layout(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+    ) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op);
+        }
+        let before = h.visible_keys();
+        h.apply(&Op::Major);
+        let after = h.visible_keys();
+        prop_assert_eq!(before, after);
+        // Post-clean layout: at most a single base directory remains.
+        let entries: Vec<String> = h
+            .fs
+            .list(&h.dir)
+            .into_iter()
+            .map(|e| e.path.to_string())
+            .collect();
+        let deltas = entries
+            .iter()
+            .filter(|e| {
+                let leaf = e.rsplit('/').next().unwrap_or("");
+                leaf.starts_with("delta_") || leaf.starts_with("delete_delta_")
+            })
+            .count();
+        prop_assert_eq!(deltas, 0, "layout after major+clean: {:?}", entries);
+    }
+}

@@ -1,0 +1,41 @@
+//! **§7.1 inline claim** — "q88 is 2.7x faster when [the shared work
+//! optimizer] is enabled": the multi-channel q88 pattern computes the
+//! same store_sales ⋈ household_demographics subexpression repeatedly;
+//! with shared work (§4.5) it is computed once and reused.
+
+use hive_bench::{avg_sim_ms, banner, ms};
+use hive_benchdata::tpcds;
+use hive_common::HiveConf;
+use hive_core::HiveServer;
+
+fn main() {
+    banner("Ablation: shared work optimizer on q88 (paper: 2.7x)");
+    let server = HiveServer::new(HiveConf::v3_1());
+    tpcds::load(&server, tpcds::TpcdsScale::bench(), 2019).expect("load");
+    let session = server.session();
+    let q88 = tpcds::queries()
+        .into_iter()
+        .find(|q| q.id == "q88")
+        .expect("q88 present")
+        .sql;
+
+    let mut results = Vec::new();
+    for (label, enabled) in [("shared work OFF", false), ("shared work ON", true)] {
+        server.set_conf(|c| {
+            *c = HiveConf::v3_1().with(|c| {
+                c.results_cache = false;
+                c.shared_work = enabled;
+            })
+        });
+        let t = avg_sim_ms(&session, &q88, 1, 3);
+        results.push((label, t));
+    }
+    println!("\n{:<18} {:>12}", "configuration", "q88 time");
+    for (label, t) in &results {
+        println!("{label:<18} {:>12}", ms(*t));
+    }
+    println!(
+        "\nshared-work speedup on q88: {:.1}x (paper: 2.7x)",
+        results[0].1 / results[1].1
+    );
+}

@@ -1,0 +1,88 @@
+//! **Figure 7** — "Comparison of query response times among different
+//! Hive versions": the TPC-DS-derived query set on Hive 3.1 (Tez + LLAP
+//! + full optimizer) versus the Hive 1.2 emulation (MapReduce runtime,
+//! row interpreter, reduced optimizer, reduced SQL surface).
+//!
+//! Paper shape to reproduce: only a subset of queries runs on 1.2 at
+//! all; for those, 3.1 is faster by a large average factor (paper: 4.6×
+//! average, up to 45×), and 3.1's *full-set* aggregate time undercuts
+//! 1.2's subset aggregate (paper: by 15%).
+
+use hive_bench::{avg_sim_ms, banner, ms};
+use hive_benchdata::tpcds;
+use hive_common::HiveConf;
+use hive_core::HiveServer;
+
+fn main() {
+    banner("Figure 7: Hive 1.2 vs Hive 3.1 — TPC-DS-derived query set");
+    let scale = tpcds::TpcdsScale::bench();
+    let server = HiveServer::new(HiveConf::v3_1());
+    let rows = tpcds::load(&server, scale, 2019).expect("load");
+    println!("loaded {rows} rows (store_sales: {})", scale.fact_rows());
+
+    // The paper measures execution, not the results cache.
+    let base_31 = HiveConf::v3_1().with(|c| c.results_cache = false);
+    let base_12 = HiveConf::v1_2().with(|c| c.results_cache = false);
+    let session = server.session();
+
+    let queries = tpcds::queries();
+    let mut t31: Vec<(String, f64)> = Vec::new();
+    let mut t12: Vec<(String, Option<f64>)> = Vec::new();
+
+    server.set_conf(|c| *c = base_31.clone());
+    for q in &queries {
+        let t = avg_sim_ms(&session, &q.sql, 1, 3);
+        t31.push((q.id.to_string(), t));
+    }
+    server.set_conf(|c| *c = base_12.clone());
+    for q in &queries {
+        let t = match session.execute(&q.sql) {
+            Ok(_) => Some(avg_sim_ms(&session, &q.sql, 0, 2)),
+            Err(e) => {
+                assert!(!q.v1_2_ok, "{} unexpectedly failed on 1.2: {e}", q.id);
+                None
+            }
+        };
+        t12.push((q.id.to_string(), t));
+    }
+    server.set_conf(|c| *c = base_31);
+
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>9}",
+        "query", "hive-1.2", "hive-3.1", "speedup"
+    );
+    let mut sum31_all = 0.0;
+    let mut sum31_subset = 0.0;
+    let mut sum12 = 0.0;
+    let mut speedups: Vec<f64> = Vec::new();
+    for ((id, t3), (_, t1)) in t31.iter().zip(&t12) {
+        sum31_all += t3;
+        match t1 {
+            Some(t1) => {
+                sum12 += t1;
+                sum31_subset += t3;
+                let s = t1 / t3;
+                speedups.push(s);
+                println!("{id:<6} {:>12} {:>12} {:>8.1}x", ms(*t1), ms(*t3), s);
+            }
+            None => {
+                println!("{id:<6} {:>12} {:>12} {:>9}", "FAILED", ms(*t3), "-");
+            }
+        }
+    }
+    let ran = speedups.len();
+    let geo: f64 =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / ran.max(1) as f64).exp();
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    println!("\nqueries runnable on 1.2: {ran}/{} (paper: 50/99)", queries.len());
+    println!(
+        "speedup on the shared subset: geo-mean {geo:.1}x, max {max:.1}x (paper: avg 4.6x, max 45.5x)"
+    );
+    println!(
+        "aggregate: 1.2 subset {} vs 3.1 FULL set {} — 3.1 full set is {:.0}% of 1.2's subset time (paper: 15% lower, i.e. 85%)",
+        ms(sum12),
+        ms(sum31_all),
+        100.0 * sum31_all / sum12
+    );
+    let _ = sum31_subset;
+}

@@ -1,0 +1,45 @@
+//! **Figure 8** — "Comparison of query response times between native
+//! Hive and federation to Druid": the 13 SSB queries over the
+//! denormalized materialization, stored natively vs in the Druid
+//! substrate with Calcite-style pushdown (§6.2, §7.3).
+//!
+//! Paper shape: Hive/Druid ≈ 1.6× faster than the native
+//! materialization, because "Hive pushes most of the query computation
+//! to Druid".
+
+use hive_bench::{avg_sim_ms, banner, ms};
+use hive_benchdata::ssb;
+use hive_common::HiveConf;
+use hive_core::HiveServer;
+
+fn main() {
+    banner("Figure 8: SSB — native materialization vs Druid federation");
+    let scale = ssb::SsbScale::bench();
+    let server = HiveServer::new(HiveConf::v3_1().with(|c| c.results_cache = false));
+    let n = ssb::load_native(&server, scale, 2019).expect("native load");
+    ssb::load_druid(&server, scale, 2019).expect("druid load");
+    println!("loaded {n} flattened lineorder rows into both stores");
+
+    let session = server.session();
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>9}",
+        "query", "hive", "hive/druid", "speedup"
+    );
+    let native = ssb::queries("ssb_flat");
+    let druid = ssb::queries("ssb_flat_druid");
+    let mut sum_native = 0.0;
+    let mut sum_druid = 0.0;
+    for ((id, nq), (_, dq)) in native.iter().zip(&druid) {
+        let tn = avg_sim_ms(&session, nq, 1, 3);
+        let td = avg_sim_ms(&session, dq, 1, 3);
+        sum_native += tn;
+        sum_druid += td;
+        println!("{id:<6} {:>12} {:>12} {:>8.1}x", ms(tn), ms(td), tn / td);
+    }
+    println!(
+        "\naggregate: native {} vs druid {} — federation speedup {:.1}x (paper: 1.6x)",
+        ms(sum_native),
+        ms(sum_druid),
+        sum_native / sum_druid
+    );
+}

@@ -1,0 +1,231 @@
+//! Criterion micro-benchmarks over the individual subsystems: the corc
+//! file format, the LRFU cache, the hash join and aggregation kernels,
+//! the SQL parser, and the optimizer pipeline. These measure *real*
+//! wall-clock time (unlike the figure harnesses, which report the
+//! simulated cluster model).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hive_common::{DataType, Field, HiveConf, Row, Schema, Value, VectorBatch};
+use hive_corc::{writer::write_batch_to_bytes, ColumnPredicate, SearchArgument, WriterOptions};
+use hive_exec::{aggregate::execute_aggregate, join::execute_join};
+use hive_llap::cache::{ChunkKey, LlapCache};
+use hive_metastore::{Metastore, TableBuilder, TableStats};
+use hive_optimizer::plan::JoinType;
+use hive_optimizer::{
+    AggExpr, AggFunc, Analyzer, MetastoreCatalog, Optimizer, OptimizerContext, ScalarExpr,
+};
+
+fn sales_batch(n: usize) -> VectorBatch {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::BigInt),
+        Field::new("cat", DataType::String),
+        Field::new("price", DataType::Decimal(7, 2)),
+    ]);
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::BigInt(i as i64),
+                Value::String(format!("cat{}", i % 16)),
+                Value::Decimal((i % 10_000) as i128, 2),
+            ])
+        })
+        .collect();
+    VectorBatch::from_rows(&schema, &rows).unwrap()
+}
+
+fn bench_corc(c: &mut Criterion) {
+    let batch = sales_batch(50_000);
+    c.bench_function("corc/write_50k_rows", |b| {
+        b.iter(|| write_batch_to_bytes(&batch, WriterOptions::default()).unwrap())
+    });
+    let fs = hive_dfs::DistFs::new();
+    let path = hive_dfs::DfsPath::new("/bench/f0");
+    fs.create(
+        &path,
+        write_batch_to_bytes(&batch, WriterOptions::default()).unwrap(),
+    )
+    .unwrap();
+    let file = hive_corc::CorcFile::open(&fs, &path).unwrap();
+    c.bench_function("corc/read_all_50k_rows", |b| {
+        b.iter(|| file.read_all().unwrap())
+    });
+    c.bench_function("corc/sarg_rowgroup_selection", |b| {
+        let sarg = SearchArgument::with(vec![ColumnPredicate::Between(
+            0,
+            Value::BigInt(20_000),
+            Value::BigInt(21_000),
+        )]);
+        b.iter(|| file.selected_row_groups(&sarg))
+    });
+}
+
+fn bench_llap_cache(c: &mut Criterion) {
+    let cache = LlapCache::new(64 << 20, 0.5);
+    let col = hive_common::ColumnVector::BigInt((0..10_000).collect(), None);
+    for i in 0..64u64 {
+        let col = col.clone();
+        cache
+            .get_or_load(
+                ChunkKey {
+                    file: hive_common::FileId(i),
+                    column: 0,
+                    row_group: 0,
+                },
+                move || Ok(col),
+            )
+            .unwrap();
+    }
+    c.bench_function("llap/cache_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            cache
+                .get_or_load(
+                    ChunkKey {
+                        file: hive_common::FileId(i),
+                        column: 0,
+                        row_group: 0,
+                    },
+                    || unreachable!("must hit"),
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_exec_kernels(c: &mut Criterion) {
+    let left = sales_batch(50_000);
+    let right = sales_batch(2_000);
+    let out_schema = left.schema().join(right.schema());
+    c.bench_function("exec/hash_join_50k_x_2k", |b| {
+        b.iter(|| {
+            execute_join(
+                &left,
+                &right,
+                JoinType::Inner,
+                &[(ScalarExpr::Column(0), ScalarExpr::Column(0))],
+                &None,
+                &out_schema,
+                usize::MAX,
+            )
+            .unwrap()
+        })
+    });
+    let agg_schema = {
+        let plan = hive_optimizer::plan::LogicalPlan::Aggregate {
+            input: std::sync::Arc::new(hive_optimizer::plan::LogicalPlan::Values {
+                schema: left.schema().clone(),
+                rows: vec![],
+            }),
+            group_exprs: vec![ScalarExpr::Column(1)],
+            grouping_sets: None,
+            aggs: vec![AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(ScalarExpr::Column(2)),
+                distinct: false,
+            }],
+        };
+        plan.schema()
+    };
+    c.bench_function("exec/hash_aggregate_50k", |b| {
+        b.iter(|| {
+            execute_aggregate(
+                &left,
+                &[ScalarExpr::Column(1)],
+                &None,
+                &[AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(ScalarExpr::Column(2)),
+                    distinct: false,
+                }],
+                &agg_schema,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let sql = "SELECT i_category, SUM(ss_sales_price) AS s
+               FROM store_sales, item, date_dim
+               WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+                 AND d_year = 2000 AND i_category IN ('Sports', 'Books')
+               GROUP BY i_category HAVING SUM(ss_sales_price) > 100
+               ORDER BY s DESC LIMIT 10";
+    c.bench_function("sql/parse_star_join", |b| {
+        b.iter(|| hive_sql::parse_sql(sql).unwrap())
+    });
+
+    // Analyzer + optimizer over a realistic catalog.
+    let ms = Metastore::new();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "store_sales",
+            Schema::new(vec![
+                Field::new("ss_item_sk", DataType::Int),
+                Field::new("ss_sold_date_sk", DataType::Int),
+                Field::new("ss_sales_price", DataType::Decimal(7, 2)),
+            ]),
+        )
+        .build(),
+    )
+    .unwrap();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "item",
+            Schema::new(vec![
+                Field::new("i_item_sk", DataType::Int),
+                Field::new("i_category", DataType::String),
+            ]),
+        )
+        .build(),
+    )
+    .unwrap();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "date_dim",
+            Schema::new(vec![
+                Field::new("d_date_sk", DataType::Int),
+                Field::new("d_year", DataType::Int),
+            ]),
+        )
+        .build(),
+    )
+    .unwrap();
+    let mut stats = TableStats::new(3);
+    stats.row_count = 1_000_000;
+    ms.set_table_stats("default.store_sales", stats);
+    let conf = HiveConf::v3_1();
+    let ast = match hive_sql::parse_sql(sql).unwrap() {
+        hive_sql::Statement::Query(q) => q,
+        _ => unreachable!(),
+    };
+    c.bench_function("optimizer/analyze_and_optimize_star_join", |b| {
+        b.iter_batched(
+            || ast.clone(),
+            |q| {
+                let cat = MetastoreCatalog::new(ms.clone(), "default");
+                let plan = Analyzer::new(&cat).analyze_query(&q).unwrap();
+                let ctx = OptimizerContext {
+                    metastore: &ms,
+                    conf: &conf,
+                    usable_views: vec![],
+                };
+                Optimizer::optimize(plan, &ctx).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_corc,
+    bench_llap_cache,
+    bench_exec_kernels,
+    bench_frontend
+);
+criterion_main!(benches);

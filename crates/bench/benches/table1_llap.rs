@@ -1,0 +1,42 @@
+//! **Table 1** — "Response time improvement using LLAP": the full
+//! TPC-DS-derived set on Hive 3.1 with LLAP enabled vs container-only
+//! execution.
+//!
+//! Paper shape: container 41576 s vs LLAP 15540 s aggregate — LLAP
+//! ~2.7× faster on warm caches.
+
+use hive_bench::{avg_sim_ms, banner, ms};
+use hive_benchdata::tpcds;
+use hive_common::HiveConf;
+use hive_core::HiveServer;
+
+fn main() {
+    banner("Table 1: container-only vs LLAP — aggregate TPC-DS response time");
+    let scale = tpcds::TpcdsScale::bench();
+    let server = HiveServer::new(HiveConf::v3_1());
+    tpcds::load(&server, scale, 2019).expect("load");
+    let session = server.session();
+    let queries = tpcds::queries();
+
+    let mut totals = Vec::new();
+    for (label, llap) in [("Container (without LLAP)", false), ("LLAP", true)] {
+        server.set_conf(|c| {
+            *c = HiveConf::v3_1().with(|c| {
+                c.results_cache = false;
+                c.llap_enabled = llap;
+            })
+        });
+        let mut total = 0.0;
+        for q in &queries {
+            total += avg_sim_ms(&session, &q.sql, 1, 3);
+        }
+        totals.push((label, total));
+    }
+
+    println!("\n{:<28} {:>16}", "Execution mode", "Total response");
+    for (label, total) in &totals {
+        println!("{label:<28} {:>16}", ms(*total));
+    }
+    let ratio = totals[0].1 / totals[1].1;
+    println!("\nLLAP speedup: {ratio:.1}x (paper: 41576s / 15540s = 2.7x)");
+}

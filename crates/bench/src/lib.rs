@@ -1,0 +1,44 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Each `[[bench]]` target regenerates one table or figure from the
+//! paper's evaluation (§7). Queries execute for real; the reported
+//! response times are the deterministic cluster-model projections from
+//! `hive_exec::simtime` (see DESIGN.md). Absolute numbers are not
+//! comparable to the paper's 10-node/10 TB testbed; the *shape* (who
+//! wins, by roughly what factor) is the reproduction target, recorded
+//! in EXPERIMENTS.md.
+
+use hive_core::Session;
+
+/// Run a query `warmups` times then average the simulated response time
+/// over `runs` measured executions (the paper reports "the average over
+/// three runs with warm cache").
+pub fn avg_sim_ms(session: &Session, sql: &str, warmups: usize, runs: usize) -> f64 {
+    for _ in 0..warmups {
+        session.execute(sql).expect("warmup failed");
+    }
+    let mut total = 0.0;
+    for _ in 0..runs {
+        total += session.execute(sql).expect("query failed").sim_ms;
+    }
+    total / runs as f64
+}
+
+/// Render one table row.
+pub fn row(cols: &[String]) -> String {
+    cols.join(" | ")
+}
+
+/// Format milliseconds compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}s", v / 1000.0)
+    } else {
+        format!("{v:.0}ms")
+    }
+}
+
+/// Print a header banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

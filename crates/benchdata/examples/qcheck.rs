@@ -1,0 +1,14 @@
+use hive_benchdata::tpcds;
+use hive_common::HiveConf;
+use hive_core::HiveServer;
+fn main() {
+    let server = HiveServer::new(HiveConf::v3_1());
+    tpcds::load(&server, tpcds::TpcdsScale::tiny(), 1).unwrap();
+    let session = server.session();
+    for q in tpcds::queries() {
+        match session.execute(&q.sql) {
+            Ok(r) => println!("{}: OK {} rows", q.id, r.num_rows()),
+            Err(e) => println!("{}: ERR {e}", q.id),
+        }
+    }
+}

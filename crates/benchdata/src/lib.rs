@@ -1,0 +1,24 @@
+//! # hive-benchdata
+//!
+//! Deterministic, seeded workload generators and query sets for the
+//! paper's evaluation (§7):
+//!
+//! * [`tpcds`] — a TPC-DS-derived star schema (store_sales /
+//!   store_returns facts plus seven dimensions) and a curated set of
+//!   26 TPC-DS-derived queries keeping the paper's numbering, spanning
+//!   the plan shapes Figure 7 exercises — including queries that Hive
+//!   1.2's SQL surface rejects (INTERSECT/EXCEPT, scalar subqueries,
+//!   interval notation, ORDER BY unselected columns).
+//! * [`ssb`] — the Star-Schema Benchmark in the *denormalized* form the
+//!   paper's Figure 8 experiment uses (a flattened materialization of
+//!   the lineorder star, stored either natively or in Druid), plus its
+//!   13 queries adapted to the flat schema.
+//!
+//! Substitutions versus the original benchmarks are documented in
+//! DESIGN.md and EXPERIMENTS.md.
+
+pub mod ssb;
+pub mod tpcds;
+
+pub use ssb::SsbScale;
+pub use tpcds::TpcdsScale;

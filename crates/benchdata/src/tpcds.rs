@@ -1,0 +1,574 @@
+//! The TPC-DS-derived star schema, generator, and query set.
+
+use hive_common::{dates, Result, Row, Value};
+use hive_core::{HiveServer, Session};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for the generator. All generation is seeded and
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcdsScale {
+    /// Distinct sale days (fact partitions).
+    pub days: usize,
+    /// Rows in `item`.
+    pub items: usize,
+    /// Rows in `customer`.
+    pub customers: usize,
+    /// Rows in `store`.
+    pub stores: usize,
+    /// store_sales rows per day.
+    pub sales_per_day: usize,
+    /// Fraction of sales that are returned (store_returns size).
+    pub return_rate: f64,
+}
+
+impl TpcdsScale {
+    /// Small scale for tests (~3k fact rows).
+    pub fn tiny() -> TpcdsScale {
+        TpcdsScale {
+            days: 12,
+            items: 100,
+            customers: 200,
+            stores: 4,
+            sales_per_day: 250,
+            return_rate: 0.1,
+        }
+    }
+
+    /// Bench scale (~60k fact rows) — big enough for the cost model and
+    /// cache effects to matter, small enough for quick iteration.
+    pub fn bench() -> TpcdsScale {
+        TpcdsScale {
+            days: 60,
+            items: 1000,
+            customers: 2000,
+            stores: 10,
+            sales_per_day: 1000,
+            return_rate: 0.1,
+        }
+    }
+
+    /// Total store_sales rows.
+    pub fn fact_rows(&self) -> usize {
+        self.days * self.sales_per_day
+    }
+}
+
+const CATEGORIES: [&str; 10] = [
+    "Sports", "Books", "Music", "Home", "Electronics", "Jewelry", "Men", "Women", "Shoes",
+    "Children",
+];
+const STATES: [&str; 12] = [
+    "TN", "CA", "TX", "NY", "OH", "GA", "IL", "WA", "FL", "MI", "NC", "VA",
+];
+const DAY_NAMES: [&str; 7] = [
+    "Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+];
+const BUY_POTENTIAL: [&str; 4] = [">10000", "5001-10000", "1001-5000", "0-500"];
+
+/// First sale date: 2000-01-01.
+pub fn base_date_sk() -> i32 {
+    dates::civil_to_days(2000, 1, 1)
+}
+
+/// Create all TPC-DS tables (DDL mirrors the paper's §3.1 example:
+/// facts partitioned by day, constraints declared on dimensions).
+pub fn create_tables(session: &Session) -> Result<()> {
+    session.execute_script(
+        "CREATE TABLE date_dim (
+            d_date_sk INT NOT NULL, d_date DATE, d_year INT, d_moy INT, d_dom INT,
+            d_qoy INT, d_day_name STRING, d_month_seq INT,
+            PRIMARY KEY (d_date_sk));
+         CREATE TABLE item (
+            i_item_sk INT NOT NULL, i_item_id STRING, i_category STRING, i_brand STRING,
+            i_class STRING, i_current_price DECIMAL(7,2), i_manufact_id INT,
+            PRIMARY KEY (i_item_sk));
+         CREATE TABLE customer (
+            c_customer_sk INT NOT NULL, c_customer_id STRING, c_first_name STRING,
+            c_last_name STRING, c_birth_year INT, c_current_addr_sk INT,
+            PRIMARY KEY (c_customer_sk));
+         CREATE TABLE customer_address (
+            ca_address_sk INT NOT NULL, ca_state STRING, ca_city STRING, ca_country STRING,
+            PRIMARY KEY (ca_address_sk));
+         CREATE TABLE store (
+            s_store_sk INT NOT NULL, s_store_name STRING, s_state STRING,
+            s_number_employees INT,
+            PRIMARY KEY (s_store_sk));
+         CREATE TABLE household_demographics (
+            hd_demo_sk INT NOT NULL, hd_dep_count INT, hd_buy_potential STRING,
+            PRIMARY KEY (hd_demo_sk));
+         CREATE TABLE promotion (
+            p_promo_sk INT NOT NULL, p_channel_email STRING, p_channel_event STRING,
+            PRIMARY KEY (p_promo_sk));
+         CREATE TABLE store_sales (
+            ss_item_sk INT, ss_customer_sk INT, ss_store_sk INT, ss_hdemo_sk INT,
+            ss_addr_sk INT, ss_promo_sk INT, ss_ticket_number INT, ss_quantity INT,
+            ss_wholesale_cost DECIMAL(7,2), ss_list_price DECIMAL(7,2),
+            ss_sales_price DECIMAL(7,2), ss_ext_sales_price DECIMAL(7,2),
+            ss_net_profit DECIMAL(7,2)
+         ) PARTITIONED BY (ss_sold_date_sk INT);
+         CREATE TABLE store_returns (
+            sr_item_sk INT, sr_customer_sk INT, sr_ticket_number INT,
+            sr_return_quantity INT, sr_return_amt DECIMAL(7,2)
+         ) PARTITIONED BY (sr_returned_date_sk INT);",
+    )?;
+    Ok(())
+}
+
+/// Generate and load the whole schema; returns total rows loaded.
+pub fn load(server: &HiveServer, scale: TpcdsScale, seed: u64) -> Result<u64> {
+    let session = server.session();
+    create_tables(&session)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0u64;
+
+    // date_dim.
+    let base = base_date_sk();
+    let rows: Vec<Row> = (0..scale.days as i32)
+        .map(|d| {
+            let sk = base + d;
+            let (y, m, dom) = dates::days_to_civil(sk);
+            Row::new(vec![
+                Value::Int(sk),
+                Value::Date(sk),
+                Value::Int(y),
+                Value::Int(m as i32),
+                Value::Int(dom as i32),
+                Value::Int((m as i32 - 1) / 3 + 1),
+                Value::String(
+                    DAY_NAMES[dates::extract_from_days(dates::DateField::DayOfWeek, sk)
+                        as usize
+                        - 1]
+                    .to_string(),
+                ),
+                Value::Int((y - 1990) * 12 + m as i32),
+            ])
+        })
+        .collect();
+    total += session.bulk_insert("date_dim", rows)?.affected_rows;
+
+    // item.
+    let rows: Vec<Row> = (0..scale.items as i32)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::String(format!("ITEM{i:08}")),
+                // Categories assign in contiguous key blocks (item_sk
+                // ranges), as surrogate keys loaded per-category would;
+                // this is what lets min/max semijoin ranges skip
+                // clustered fact row groups (§4.6).
+                Value::String(
+                    CATEGORIES[(i as usize * CATEGORIES.len() / scale.items)
+                        .min(CATEGORIES.len() - 1)]
+                    .to_string(),
+                ),
+                Value::String(format!("brand#{}", i % 50)),
+                Value::String(format!("class{}", i % 20)),
+                Value::Decimal((rng.gen_range(100..9999)) as i128, 2),
+                Value::Int(i % 100),
+            ])
+        })
+        .collect();
+    total += session.bulk_insert("item", rows)?.affected_rows;
+
+    // customer + addresses.
+    let rows: Vec<Row> = (0..scale.customers as i32)
+        .map(|c| {
+            Row::new(vec![
+                Value::Int(c),
+                Value::String(format!("CUST{c:08}")),
+                Value::String(format!("First{}", c % 97)),
+                Value::String(format!("Last{}", c % 211)),
+                Value::Int(1930 + (c % 70)),
+                Value::Int(c % (scale.customers as i32 / 2).max(1)),
+            ])
+        })
+        .collect();
+    total += session.bulk_insert("customer", rows)?.affected_rows;
+    let n_addr = (scale.customers / 2).max(1) as i32;
+    let rows: Vec<Row> = (0..n_addr)
+        .map(|a| {
+            Row::new(vec![
+                Value::Int(a),
+                Value::String(STATES[a as usize % STATES.len()].to_string()),
+                Value::String(format!("City{}", a % 40)),
+                Value::String("United States".to_string()),
+            ])
+        })
+        .collect();
+    total += session.bulk_insert("customer_address", rows)?.affected_rows;
+
+    // store / household_demographics / promotion.
+    let rows: Vec<Row> = (0..scale.stores as i32)
+        .map(|s| {
+            Row::new(vec![
+                Value::Int(s),
+                Value::String(format!("Store {s}")),
+                Value::String(STATES[s as usize % STATES.len()].to_string()),
+                Value::Int(200 + (s * 17) % 100),
+            ])
+        })
+        .collect();
+    total += session.bulk_insert("store", rows)?.affected_rows;
+    let rows: Vec<Row> = (0..20)
+        .map(|h| {
+            Row::new(vec![
+                Value::Int(h),
+                Value::Int(h % 6),
+                Value::String(BUY_POTENTIAL[h as usize % BUY_POTENTIAL.len()].to_string()),
+            ])
+        })
+        .collect();
+    total += session
+        .bulk_insert("household_demographics", rows)?
+        .affected_rows;
+    let rows: Vec<Row> = (0..30)
+        .map(|p| {
+            Row::new(vec![
+                Value::Int(p),
+                Value::String(if p % 2 == 0 { "N" } else { "Y" }.to_string()),
+                Value::String(if p % 3 == 0 { "N" } else { "Y" }.to_string()),
+            ])
+        })
+        .collect();
+    total += session.bulk_insert("promotion", rows)?.affected_rows;
+
+    // store_sales, day by day (one transaction per partition batch),
+    // with store_returns sampled from sales.
+    let mut ticket = 0i32;
+    for d in 0..scale.days as i32 {
+        let date_sk = base + d;
+        let mut sales: Vec<Row> = Vec::with_capacity(scale.sales_per_day);
+        let mut returns: Vec<Row> = Vec::new();
+        for _ in 0..scale.sales_per_day {
+            ticket += 1;
+            let item = rng.gen_range(0..scale.items as i32);
+            let customer = rng.gen_range(0..scale.customers as i32);
+            let store = rng.gen_range(0..scale.stores as i32);
+            let quantity = rng.gen_range(1..=20);
+            let wholesale = rng.gen_range(100..5000) as i128;
+            let list = wholesale + rng.gen_range(10..2000) as i128;
+            let sales_price = wholesale + rng.gen_range(0..2000) as i128;
+            let ext = sales_price * quantity as i128;
+            let profit = (sales_price - wholesale) * quantity as i128;
+            sales.push(Row::new(vec![
+                Value::Int(item),
+                Value::Int(customer),
+                Value::Int(store),
+                Value::Int(rng.gen_range(0..20)),
+                Value::Int(customer % n_addr),
+                Value::Int(rng.gen_range(0..30)),
+                Value::Int(ticket),
+                Value::Int(quantity),
+                Value::Decimal(wholesale, 2),
+                Value::Decimal(list, 2),
+                Value::Decimal(sales_price, 2),
+                Value::Decimal(ext, 2),
+                Value::Decimal(profit, 2),
+                Value::Int(date_sk),
+            ]));
+            if rng.gen_bool(scale.return_rate) {
+                let ret_qty = rng.gen_range(1..=quantity);
+                returns.push(Row::new(vec![
+                    Value::Int(item),
+                    Value::Int(customer),
+                    Value::Int(ticket),
+                    Value::Int(ret_qty),
+                    Value::Decimal(sales_price * ret_qty as i128, 2),
+                    Value::Int((date_sk + rng.gen_range(1..30)).min(base + scale.days as i32 - 1)),
+                ]));
+            }
+        }
+        total += session.bulk_insert("store_sales", sales)?.affected_rows;
+        if !returns.is_empty() {
+            total += session.bulk_insert("store_returns", returns)?.affected_rows;
+        }
+    }
+    // Fresh statistics for the optimizer.
+    for t in [
+        "date_dim",
+        "item",
+        "customer",
+        "customer_address",
+        "store",
+        "household_demographics",
+        "promotion",
+        "store_sales",
+        "store_returns",
+    ] {
+        session.execute(&format!("ANALYZE TABLE {t} COMPUTE STATISTICS"))?;
+    }
+    Ok(total)
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct TpcdsQuery {
+    /// Paper-style identifier (`q3`, `q88`, …).
+    pub id: &'static str,
+    /// Whether Hive 1.2's SQL surface can run it (Figure 7: only 50 of
+    /// 99 could).
+    pub v1_2_ok: bool,
+    /// The SQL text (against the derived schema).
+    pub sql: String,
+}
+
+/// The curated query set. Shapes follow the same-numbered TPC-DS
+/// queries, adapted to the derived schema; see EXPERIMENTS.md for the
+/// per-query mapping.
+pub fn queries() -> Vec<TpcdsQuery> {
+    let q = |id: &'static str, v1_2_ok: bool, sql: &str| TpcdsQuery {
+        id,
+        v1_2_ok,
+        sql: sql.to_string(),
+    };
+    let y0 = 2000;
+    vec![
+        q("q3", true, &format!(
+            "SELECT d_year, i_brand, SUM(ss_ext_sales_price) AS sum_agg
+             FROM store_sales, date_dim, item
+             WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+               AND i_manufact_id = 28 AND d_moy = 1
+             GROUP BY d_year, i_brand
+             ORDER BY d_year, sum_agg DESC LIMIT 100")),
+        q("q7", true,
+            "SELECT i_category, AVG(ss_quantity) AS agg1, AVG(ss_list_price) AS agg2,
+                    AVG(ss_sales_price) AS agg3
+             FROM store_sales, item, household_demographics, promotion
+             WHERE ss_item_sk = i_item_sk AND ss_hdemo_sk = hd_demo_sk
+               AND ss_promo_sk = p_promo_sk AND hd_dep_count = 3
+               AND p_channel_email = 'N'
+             GROUP BY i_category ORDER BY i_category LIMIT 100"),
+        q("q8", false,
+            "SELECT s_state, COUNT(*) AS cnt FROM store_sales, store
+             WHERE ss_store_sk = s_store_sk AND s_state IN (
+                 SELECT ca_state FROM customer_address WHERE ca_state LIKE 'T%'
+                 EXCEPT
+                 SELECT s_state FROM store WHERE s_number_employees > 280)
+             GROUP BY s_state ORDER BY s_state"),
+        q("q12", false, &format!(
+            "SELECT i_category, SUM(ss_ext_sales_price) AS itemrevenue
+             FROM store_sales, item, date_dim
+             WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+               AND d_date BETWEEN DATE '{y0}-01-05' AND DATE '{y0}-01-05' + INTERVAL 30 DAYS
+             GROUP BY i_category ORDER BY itemrevenue DESC")),
+        q("q14", false, &format!(
+            "SELECT i_item_sk FROM store_sales, item, date_dim
+             WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND d_moy = 1
+             INTERSECT
+             SELECT i_item_sk FROM store_returns, item
+             WHERE sr_item_sk = i_item_sk
+             ORDER BY i_item_sk LIMIT 100")),
+        q("q15", true,
+            "SELECT ca_state, SUM(ss_ext_sales_price) AS total
+             FROM store_sales, customer, customer_address
+             WHERE ss_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+             GROUP BY ca_state HAVING SUM(ss_ext_sales_price) > 100
+             ORDER BY total DESC LIMIT 100"),
+        q("q19", true,
+            "SELECT i_brand, SUM(ss_ext_sales_price) AS ext_price
+             FROM date_dim, store_sales, item
+             WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk
+               AND i_manufact_id = 7 AND d_moy = 2
+             GROUP BY i_brand ORDER BY ext_price DESC, i_brand LIMIT 100"),
+        q("q25", false,
+            "SELECT i_category, MAX(ss_net_profit) AS best
+             FROM store_sales, item
+             WHERE ss_item_sk = i_item_sk
+               AND ss_net_profit > (SELECT AVG(ss_net_profit) FROM store_sales)
+             GROUP BY i_category ORDER BY i_category"),
+        q("q27", true,
+            "SELECT i_category, s_state, AVG(ss_quantity) AS agg1,
+                    AVG(ss_list_price) AS agg2, COUNT(*) AS cnt
+             FROM store_sales, item, store
+             WHERE ss_item_sk = i_item_sk AND ss_store_sk = s_store_sk
+             GROUP BY ROLLUP(i_category, s_state)
+             ORDER BY i_category, s_state LIMIT 100"),
+        q("q34", true,
+            "SELECT c_last_name, ss_ticket_number, cnt FROM
+               (SELECT ss_ticket_number AS tnum, ss_customer_sk AS csk, COUNT(*) AS cnt
+                FROM store_sales, household_demographics
+                WHERE ss_hdemo_sk = hd_demo_sk AND hd_dep_count >= 2
+                GROUP BY ss_ticket_number, ss_customer_sk) dn,
+               customer, store_sales
+             WHERE csk = c_customer_sk AND ss_ticket_number = tnum AND cnt BETWEEN 2 AND 20
+             GROUP BY c_last_name, ss_ticket_number, cnt
+             ORDER BY c_last_name LIMIT 50"),
+        q("q38", false,
+            "SELECT COUNT(*) FROM (
+               SELECT c_customer_sk FROM store_sales, customer
+               WHERE ss_customer_sk = c_customer_sk AND ss_quantity > 5
+               INTERSECT
+               SELECT c_customer_sk FROM store_returns, customer
+               WHERE sr_customer_sk = c_customer_sk) hot"),
+        q("q42", true,
+            "SELECT d_year, i_category, SUM(ss_ext_sales_price) AS total
+             FROM date_dim, store_sales, item
+             WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk AND d_moy = 1
+             GROUP BY d_year, i_category
+             ORDER BY total DESC, d_year LIMIT 100"),
+        q("q43", true,
+            "SELECT s_store_name, d_day_name, SUM(ss_sales_price) AS sales
+             FROM date_dim, store_sales, store
+             WHERE d_date_sk = ss_sold_date_sk AND ss_store_sk = s_store_sk
+             GROUP BY s_store_name, d_day_name
+             ORDER BY s_store_name, d_day_name LIMIT 100"),
+        q("q44", false,
+            "SELECT i_brand, total FROM
+               (SELECT i_brand, i_category AS cat, SUM(ss_net_profit) AS total
+                FROM store_sales, item WHERE ss_item_sk = i_item_sk
+                GROUP BY i_brand, i_category) ranked
+             ORDER BY cat, total DESC LIMIT 10"),
+        q("q46", true,
+            "SELECT c_last_name, ca_city, SUM(ss_ext_sales_price) AS amt
+             FROM store_sales, customer, customer_address
+             WHERE ss_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+               AND ca_city IN ('City1', 'City2', 'City3')
+             GROUP BY c_last_name, ca_city ORDER BY amt DESC LIMIT 100"),
+        q("q52", true,
+            "SELECT d_year, i_brand, SUM(ss_ext_sales_price) AS ext_price
+             FROM date_dim, store_sales, item
+             WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk AND d_moy = 2
+             GROUP BY d_year, i_brand ORDER BY d_year, ext_price DESC LIMIT 100"),
+        q("q55", true,
+            "SELECT i_brand, SUM(ss_ext_sales_price) AS ext_price
+             FROM date_dim, store_sales, item
+             WHERE d_date_sk = ss_sold_date_sk AND ss_item_sk = i_item_sk
+               AND i_manufact_id = 36 AND d_moy = 1
+             GROUP BY i_brand ORDER BY ext_price DESC LIMIT 100"),
+        q("q58", true,
+            "SELECT a.i_category, a.rev AS jan_rev, b.rev AS feb_rev
+             FROM
+               (SELECT i_category, SUM(ss_ext_sales_price) AS rev
+                FROM store_sales, item, date_dim
+                WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND d_moy = 1
+                GROUP BY i_category) a,
+               (SELECT i_category, SUM(ss_ext_sales_price) AS rev
+                FROM store_sales, item, date_dim
+                WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND d_moy = 2
+                GROUP BY i_category) b
+             WHERE a.i_category = b.i_category AND a.rev BETWEEN b.rev * 0.5 AND b.rev * 2.0
+             ORDER BY a.i_category"),
+        q("q59", true,
+            "SELECT d_day_name, s_state, SUM(ss_sales_price) AS sales,
+                    RANK() OVER (PARTITION BY s_state ORDER BY SUM(ss_sales_price) DESC) AS rk
+             FROM store_sales, date_dim, store
+             WHERE ss_sold_date_sk = d_date_sk AND ss_store_sk = s_store_sk
+             GROUP BY d_day_name, s_state
+             ORDER BY s_state, rk LIMIT 100"),
+        q("q65", false,
+            "SELECT s_store_name, i_item_id FROM store, item, store_sales
+             WHERE ss_store_sk = s_store_sk AND ss_item_sk = i_item_sk
+               AND ss_sales_price <= (SELECT AVG(ss_sales_price) * 1.2 FROM store_sales)
+             GROUP BY s_store_name, i_item_id
+             ORDER BY s_store_name, i_item_id LIMIT 100"),
+        q("q68", true,
+            "SELECT c_last_name, c_first_name, ca_city, SUM(ss_ext_sales_price) AS extended
+             FROM store_sales, customer, customer_address
+             WHERE ss_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+               AND ss_quantity > 15
+             GROUP BY c_last_name, c_first_name, ca_city
+             ORDER BY extended DESC LIMIT 100"),
+        q("q73", true,
+            "SELECT hd_buy_potential, COUNT(DISTINCT ss_ticket_number) AS baskets
+             FROM store_sales, household_demographics
+             WHERE ss_hdemo_sk = hd_demo_sk
+             GROUP BY hd_buy_potential ORDER BY baskets DESC"),
+        q("q79", true,
+            "SELECT s_store_name, SUM(ss_net_profit) AS profit
+             FROM store_sales, store
+             WHERE ss_store_sk = s_store_sk AND ss_quantity BETWEEN 1 AND 10
+             GROUP BY s_store_name ORDER BY profit DESC LIMIT 100"),
+        q("q87", false,
+            "SELECT COUNT(*) FROM (
+               SELECT c_customer_sk FROM store_sales, customer
+               WHERE ss_customer_sk = c_customer_sk
+               EXCEPT
+               SELECT c_customer_sk FROM store_returns, customer
+               WHERE sr_customer_sk = c_customer_sk) loyal"),
+        q("q88", true,
+            "SELECT * FROM
+               (SELECT COUNT(*) AS h1 FROM store_sales, household_demographics
+                WHERE ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 0 AND ss_quantity BETWEEN 1 AND 5) s1,
+               (SELECT COUNT(*) AS h2 FROM store_sales, household_demographics
+                WHERE ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 0 AND ss_quantity BETWEEN 6 AND 10) s2,
+               (SELECT COUNT(*) AS h3 FROM store_sales, household_demographics
+                WHERE ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 0 AND ss_quantity BETWEEN 11 AND 15) s3,
+               (SELECT COUNT(*) AS h4 FROM store_sales, household_demographics
+                WHERE ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 0 AND ss_quantity BETWEEN 16 AND 20) s4"),
+        q("q92", false, &format!(
+            "SELECT SUM(ss_ext_sales_price) AS excess
+             FROM store_sales, item, date_dim
+             WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+               AND d_date BETWEEN DATE '{y0}-01-10' AND DATE '{y0}-01-10' + INTERVAL 60 DAYS
+               AND ss_ext_sales_price > (SELECT AVG(ss_ext_sales_price) * 1.3 FROM store_sales)")),
+        q("q96", true,
+            "SELECT COUNT(*) AS cnt
+             FROM store_sales, household_demographics, store
+             WHERE ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+               AND hd_dep_count = 4 AND s_store_name = 'Store 1'"),
+        q("q98", true,
+            "SELECT i_category, i_class, SUM(ss_ext_sales_price) AS itemrevenue,
+                    SUM(ss_ext_sales_price) * 100.0 /
+                      SUM(SUM(ss_ext_sales_price)) OVER (PARTITION BY i_category) AS revenueratio
+             FROM store_sales, item, date_dim
+             WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND d_moy = 1
+             GROUP BY i_category, i_class
+             ORDER BY i_category, i_class LIMIT 100"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::HiveConf;
+
+    #[test]
+    fn query_set_shape() {
+        let qs = queries();
+        assert_eq!(qs.len(), 28);
+        let gated = qs.iter().filter(|q| !q.v1_2_ok).count();
+        assert_eq!(gated, 9, "9 queries exercise post-1.2 SQL");
+        // Every query parses.
+        for q in &qs {
+            hive_sql_parse(&q.sql, q.id);
+        }
+    }
+
+    fn hive_sql_parse(sql: &str, id: &str) {
+        if let Err(e) = hive_core::HiveServer::new(HiveConf::v3_1())
+            .session()
+            .execute(&format!("EXPLAIN {sql}"))
+            .map(|_| ())
+        {
+            // EXPLAIN on missing tables fails at analysis; parse errors
+            // are the only unacceptable class here.
+            assert!(
+                !matches!(e, hive_common::HiveError::Parse(_)),
+                "{id} failed to parse: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_scale_loads_and_answers() {
+        let server = hive_core::HiveServer::new(HiveConf::v3_1());
+        let total = load(&server, TpcdsScale::tiny(), 42).unwrap();
+        assert!(total > 3000);
+        let session = server.session();
+        let r = session.execute("SELECT COUNT(*) FROM store_sales").unwrap();
+        assert_eq!(r.display_rows(), vec!["3000"]);
+        // Deterministic regeneration.
+        let server2 = hive_core::HiveServer::new(HiveConf::v3_1());
+        load(&server2, TpcdsScale::tiny(), 42).unwrap();
+        let a = session
+            .execute("SELECT SUM(ss_ext_sales_price) FROM store_sales")
+            .unwrap();
+        let b = server2
+            .session()
+            .execute("SELECT SUM(ss_ext_sales_price) FROM store_sales")
+            .unwrap();
+        assert_eq!(a.display_rows(), b.display_rows());
+    }
+}

@@ -1,0 +1,176 @@
+//! A compact bitmap used for null masks, Druid's inverted indexes, and
+//! row-group selection.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity bitmap backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A bitmap of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitmap of `len` one bits.
+    pub fn all_set(len: usize) -> Self {
+        let mut b = BitSet {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection with `other` (lengths must match).
+    pub fn and_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other` (lengths must match).
+    pub fn or_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// Iterate over indexes of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut b = BitSet::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+        b.unset(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.set(3);
+        a.set(50);
+        b.set(50);
+        b.set(99);
+        let mut i = a.clone();
+        i.and_with(&b);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![50]);
+        let mut u = a.clone();
+        u.or_with(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![3, 50, 99]);
+        a.negate();
+        assert!(!a.get(3));
+        assert!(a.get(4));
+        assert_eq!(a.count_ones(), 98);
+    }
+
+    #[test]
+    fn all_set_respects_tail() {
+        let b = BitSet::all_set(70);
+        assert_eq!(b.count_ones(), 70);
+        let mut n = b.clone();
+        n.negate();
+        assert_eq!(n.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = BitSet::new(200);
+        for i in [5usize, 63, 64, 65, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(
+            b.iter_ones().collect::<Vec<_>>(),
+            vec![5, 63, 64, 65, 128, 199]
+        );
+    }
+}

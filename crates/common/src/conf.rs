@@ -1,0 +1,179 @@
+//! Engine configuration.
+//!
+//! [`HiveConf`] gathers the feature switches that the paper's evaluation
+//! toggles: engine version emulation (Figure 7), LLAP on/off (Table 1),
+//! and individual optimizations (shared work, semijoin reduction, results
+//! cache, CBO, vectorization).
+
+use serde::{Deserialize, Serialize};
+
+/// Which release of the system to emulate.
+///
+/// `V1_2` reproduces Hive 1.2 (September 2015): MapReduce-style execution,
+/// row-at-a-time interpretation, no LLAP, no CBO join reordering, no
+/// shared-work or semijoin optimizations, and a reduced SQL surface.
+/// `V3_1` is the full system described by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineVersion {
+    /// Hive 1.2 emulation (the Figure 7 baseline).
+    V1_2,
+    /// Hive 3.1, the system this repository reproduces.
+    V3_1,
+}
+
+impl EngineVersion {
+    /// Human-readable version string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineVersion::V1_2 => "1.2",
+            EngineVersion::V3_1 => "3.1",
+        }
+    }
+}
+
+/// Execution runtime selection (Section 2: "exchangeable data processing
+/// runtime").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// MapReduce emulation: every shuffle boundary materializes to the DFS
+    /// and pays per-job startup cost.
+    MapReduce,
+    /// Tez emulation: a DAG of vertices with pipelined shuffle edges.
+    Tez,
+}
+
+/// Engine configuration. Construct with [`HiveConf::v3_1`] /
+/// [`HiveConf::v1_2`] and adjust fields, builder-style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HiveConf {
+    /// Emulated release.
+    pub version: EngineVersion,
+    /// Execution runtime.
+    pub runtime: RuntimeKind,
+    /// Use LLAP daemons (persistent executors + data cache) instead of
+    /// per-query containers (Section 5.1).
+    pub llap_enabled: bool,
+    /// Vectorized execution (row interpreter when false).
+    pub vectorized: bool,
+    /// Cost-based optimization: join reordering etc. (Section 4.1).
+    pub cbo_enabled: bool,
+    /// Shared-work optimizer (Section 4.5).
+    pub shared_work: bool,
+    /// Dynamic semijoin reduction (Section 4.6).
+    pub semijoin_reduction: bool,
+    /// Query results cache (Section 4.3).
+    pub results_cache: bool,
+    /// Materialized view based rewriting (Section 4.4).
+    pub mv_rewriting: bool,
+    /// Query reoptimization on retryable failures (Section 4.2).
+    pub reoptimization: bool,
+    /// Automatic compaction triggering (Section 3.2).
+    pub auto_compaction: bool,
+    /// Number of delta directories that triggers a minor compaction.
+    pub compaction_delta_threshold: usize,
+    /// Ratio of delta rows to base rows that triggers a major compaction.
+    pub compaction_ratio_threshold: f64,
+    /// Rows per vectorized batch.
+    pub batch_size: usize,
+    /// Target rows per task (controls scan parallelism).
+    pub rows_per_task: usize,
+    /// Number of worker nodes in the simulated cluster.
+    pub cluster_nodes: usize,
+    /// Executor slots per node.
+    pub slots_per_node: usize,
+    /// LLAP cache capacity in bytes (per cluster).
+    pub llap_cache_bytes: usize,
+    /// LRFU decay parameter λ in [0,1]: 0 ≈ LFU, 1 ≈ LRU.
+    pub lrfu_lambda: f64,
+    /// Results-cache capacity in entries.
+    pub results_cache_entries: usize,
+    /// Memory budget per hash join build side, in rows; exceeding it raises
+    /// a retryable error that triggers reoptimization.
+    pub hash_join_row_budget: usize,
+}
+
+impl HiveConf {
+    /// Full-featured Hive 3.1 configuration (the paper's system).
+    pub fn v3_1() -> Self {
+        HiveConf {
+            version: EngineVersion::V3_1,
+            runtime: RuntimeKind::Tez,
+            llap_enabled: true,
+            vectorized: true,
+            cbo_enabled: true,
+            shared_work: true,
+            semijoin_reduction: true,
+            results_cache: true,
+            mv_rewriting: true,
+            reoptimization: true,
+            auto_compaction: true,
+            compaction_delta_threshold: 10,
+            compaction_ratio_threshold: 0.1,
+            batch_size: 1024,
+            rows_per_task: 100_000,
+            cluster_nodes: 10,
+            slots_per_node: 8,
+            llap_cache_bytes: 256 << 20,
+            lrfu_lambda: 0.5,
+            results_cache_entries: 64,
+            hash_join_row_budget: 4_000_000,
+        }
+    }
+
+    /// Hive 1.2 emulation (the Figure 7 baseline).
+    pub fn v1_2() -> Self {
+        HiveConf {
+            version: EngineVersion::V1_2,
+            runtime: RuntimeKind::MapReduce,
+            llap_enabled: false,
+            vectorized: false,
+            cbo_enabled: false,
+            shared_work: false,
+            semijoin_reduction: false,
+            results_cache: false,
+            mv_rewriting: false,
+            reoptimization: false,
+            ..HiveConf::v3_1()
+        }
+    }
+
+    /// Builder-style field update.
+    pub fn with(mut self, f: impl FnOnce(&mut Self)) -> Self {
+        f(&mut self);
+        self
+    }
+
+    /// Total executor slots in the simulated cluster.
+    pub fn total_slots(&self) -> usize {
+        self.cluster_nodes * self.slots_per_node
+    }
+}
+
+impl Default for HiveConf {
+    fn default() -> Self {
+        HiveConf::v3_1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let new = HiveConf::v3_1();
+        let old = HiveConf::v1_2();
+        assert!(new.llap_enabled && !old.llap_enabled);
+        assert!(new.vectorized && !old.vectorized);
+        assert_eq!(old.runtime, RuntimeKind::MapReduce);
+        assert_eq!(new.runtime, RuntimeKind::Tez);
+        assert_eq!(new.total_slots(), 80);
+    }
+
+    #[test]
+    fn with_builder() {
+        let c = HiveConf::v3_1().with(|c| c.llap_enabled = false);
+        assert!(!c.llap_enabled);
+        assert!(c.cbo_enabled);
+    }
+}

@@ -1,0 +1,259 @@
+//! Proleptic-Gregorian date arithmetic for DATE/TIMESTAMP values.
+//!
+//! DATE is days since 1970-01-01; TIMESTAMP is microseconds since
+//! 1970-01-01T00:00:00 (no time zones — Hive's default behaviour for
+//! `TIMESTAMP` is zone-less wall-clock time).
+
+/// Microseconds in one day.
+pub const MICROS_PER_DAY: i64 = 86_400_000_000;
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Days in the given month (1-12) of the given year.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Convert (year, month 1-12, day 1-31) to days since the epoch.
+///
+/// Uses the Howard Hinnant `days_from_civil` algorithm, valid over the
+/// full i32 day range.
+pub fn civil_to_days(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = m as i64;
+    let d = d as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+/// Convert days since the epoch to (year, month, day).
+pub fn days_to_civil(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// Parse `YYYY-MM-DD` into epoch days. Returns `None` on malformed input.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let s = s.trim();
+    let mut it = s.splitn(3, '-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+        return None;
+    }
+    Some(civil_to_days(y, m, d))
+}
+
+/// Parse `YYYY-MM-DD[ HH:MM:SS[.ffffff]]` into epoch microseconds.
+pub fn parse_timestamp(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (date_part, time_part) = match s.split_once(' ').or_else(|| s.split_once('T')) {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let days = parse_date(date_part)? as i64;
+    let mut micros = days * MICROS_PER_DAY;
+    if let Some(t) = time_part {
+        let (hms, frac) = match t.split_once('.') {
+            Some((a, b)) => (a, Some(b)),
+            None => (t, None),
+        };
+        let mut it = hms.splitn(3, ':');
+        let h: i64 = it.next()?.parse().ok()?;
+        let mi: i64 = it.next()?.parse().ok()?;
+        let se: i64 = it.next().unwrap_or("0").parse().ok()?;
+        if h > 23 || mi > 59 || se > 59 {
+            return None;
+        }
+        micros += (h * 3600 + mi * 60 + se) * 1_000_000;
+        if let Some(fr) = frac {
+            let digits: String = fr.chars().take(6).collect();
+            let mut v: i64 = digits.parse().ok()?;
+            for _ in digits.len()..6 {
+                v *= 10;
+            }
+            micros += v;
+        }
+    }
+    Some(micros)
+}
+
+/// Format epoch days as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = days_to_civil(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Format epoch microseconds as `YYYY-MM-DD HH:MM:SS[.ffffff]`.
+pub fn format_timestamp(micros: i64) -> String {
+    let days = micros.div_euclid(MICROS_PER_DAY);
+    let rem = micros.rem_euclid(MICROS_PER_DAY);
+    let (y, m, d) = days_to_civil(days as i32);
+    let secs = rem / 1_000_000;
+    let frac = rem % 1_000_000;
+    let (h, mi, se) = (secs / 3600, (secs % 3600) / 60, secs % 60);
+    if frac == 0 {
+        format!("{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{se:02}")
+    } else {
+        format!("{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{se:02}.{frac:06}")
+    }
+}
+
+/// Calendar field extraction, shared by `EXTRACT(... FROM ...)` and the
+/// Druid substrate's time granularities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateField {
+    Year,
+    Quarter,
+    Month,
+    Day,
+    DayOfWeek,
+    Hour,
+    Minute,
+    Second,
+}
+
+/// Extract a calendar field from epoch days.
+pub fn extract_from_days(field: DateField, days: i32) -> i64 {
+    let (y, m, d) = days_to_civil(days);
+    match field {
+        DateField::Year => y as i64,
+        DateField::Quarter => ((m - 1) / 3 + 1) as i64,
+        DateField::Month => m as i64,
+        DateField::Day => d as i64,
+        // 1 = Sunday .. 7 = Saturday (Hive/SQL convention).
+        DateField::DayOfWeek => ((days as i64 + 4).rem_euclid(7)) + 1,
+        DateField::Hour | DateField::Minute | DateField::Second => 0,
+    }
+}
+
+/// Extract a calendar field from epoch microseconds.
+pub fn extract_from_micros(field: DateField, micros: i64) -> i64 {
+    let days = micros.div_euclid(MICROS_PER_DAY) as i32;
+    let rem = micros.rem_euclid(MICROS_PER_DAY) / 1_000_000;
+    match field {
+        DateField::Hour => rem / 3600,
+        DateField::Minute => (rem % 3600) / 60,
+        DateField::Second => rem % 60,
+        f => extract_from_days(f, days),
+    }
+}
+
+/// First day of the month containing `days`.
+pub fn truncate_to_month(days: i32) -> i32 {
+    let (y, m, _) = days_to_civil(days);
+    civil_to_days(y, m, 1)
+}
+
+/// First day of the year containing `days`.
+pub fn truncate_to_year(days: i32) -> i32 {
+    let (y, _, _) = days_to_civil(days);
+    civil_to_days(y, 1, 1)
+}
+
+/// Add `months` calendar months, clamping the day (Hive `add_months`).
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = days_to_civil(days);
+    let total = y as i64 * 12 + (m as i64 - 1) + months as i64;
+    let ny = (total.div_euclid(12)) as i32;
+    let nm = (total.rem_euclid(12)) as u32 + 1;
+    let nd = d.min(days_in_month(ny, nm));
+    civil_to_days(ny, nm, nd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(civil_to_days(1970, 1, 1), 0);
+        assert_eq!(days_to_civil(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_wide_range() {
+        for days in (-200_000..200_000).step_by(97) {
+            let (y, m, d) = days_to_civil(days);
+            assert_eq!(civil_to_days(y, m, d), days, "roundtrip failed at {days}");
+        }
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("2018-03-26"), Some(civil_to_days(2018, 3, 26)));
+        assert_eq!(format_date(parse_date("2018-03-26").unwrap()), "2018-03-26");
+        assert_eq!(parse_date("2018-02-30"), None);
+        assert_eq!(parse_date("2018-13-01"), None);
+        assert_eq!(parse_date("not a date"), None);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2016));
+        assert_eq!(parse_date("2016-02-29").is_some(), true);
+        assert_eq!(parse_date("2017-02-29"), None);
+    }
+
+    #[test]
+    fn timestamps() {
+        let ts = parse_timestamp("1970-01-02 00:00:01.5").unwrap();
+        assert_eq!(ts, MICROS_PER_DAY + 1_500_000);
+        assert_eq!(format_timestamp(ts), "1970-01-02 00:00:01.500000");
+        assert_eq!(
+            parse_timestamp("2018-06-30"),
+            Some(parse_date("2018-06-30").unwrap() as i64 * MICROS_PER_DAY)
+        );
+        assert_eq!(parse_timestamp("2018-06-30 25:00:00"), None);
+    }
+
+    #[test]
+    fn extract_fields() {
+        let d = parse_date("2018-06-30").unwrap();
+        assert_eq!(extract_from_days(DateField::Year, d), 2018);
+        assert_eq!(extract_from_days(DateField::Month, d), 6);
+        assert_eq!(extract_from_days(DateField::Day, d), 30);
+        assert_eq!(extract_from_days(DateField::Quarter, d), 2);
+        // 2018-06-30 was a Saturday -> 7 in 1=Sunday convention.
+        assert_eq!(extract_from_days(DateField::DayOfWeek, d), 7);
+        // 1970-01-01 was a Thursday -> 5.
+        assert_eq!(extract_from_days(DateField::DayOfWeek, 0), 5);
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        let jan31 = parse_date("2018-01-31").unwrap();
+        assert_eq!(format_date(add_months(jan31, 1)), "2018-02-28");
+        assert_eq!(format_date(add_months(jan31, -1)), "2017-12-31");
+        assert_eq!(format_date(truncate_to_month(jan31)), "2018-01-01");
+        assert_eq!(format_date(truncate_to_year(jan31)), "2018-01-01");
+    }
+}

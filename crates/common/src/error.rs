@@ -1,0 +1,134 @@
+//! Error types shared across the warehouse.
+
+use std::fmt;
+
+/// Convenience alias used across all hive-rs crates.
+pub type Result<T, E = HiveError> = std::result::Result<T, E>;
+
+/// The unified error type for the warehouse.
+///
+/// Variants are coarse-grained by subsystem; the payload carries a
+/// human-readable description. Several variants are load-bearing for
+/// control flow (e.g. [`HiveError::Retryable`] drives query
+/// re-optimization, [`HiveError::TxnAborted`] drives conflict handling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HiveError {
+    /// SQL text failed to lex/parse.
+    Parse(String),
+    /// Name resolution / type checking failed.
+    Analysis(String),
+    /// Plan construction or rewriting failed.
+    Plan(String),
+    /// Runtime execution failure.
+    Execution(String),
+    /// A failure that query re-execution (Section 4.2 of the paper) may fix,
+    /// e.g. a mis-planned hash join exceeding its memory budget.
+    Retryable(String),
+    /// Catalog object missing or invalid.
+    Catalog(String),
+    /// Transaction was aborted (conflict, timeout, or explicit).
+    TxnAborted(String),
+    /// Lock acquisition failed or timed out.
+    Lock(String),
+    /// Simulated file-system failure.
+    Io(String),
+    /// Corrupt or unsupported file content.
+    Format(String),
+    /// Feature not supported by the active engine version (used to model
+    /// Hive 1.2's missing SQL surface in Figure 7).
+    Unsupported(String),
+    /// Workload manager rejected or killed the query.
+    Workload(String),
+    /// Federation / external system failure.
+    External(String),
+}
+
+impl HiveError {
+    /// Short subsystem tag, used by EXPLAIN/diagnostic output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HiveError::Parse(_) => "PARSE",
+            HiveError::Analysis(_) => "ANALYSIS",
+            HiveError::Plan(_) => "PLAN",
+            HiveError::Execution(_) => "EXECUTION",
+            HiveError::Retryable(_) => "RETRYABLE",
+            HiveError::Catalog(_) => "CATALOG",
+            HiveError::TxnAborted(_) => "TXN_ABORTED",
+            HiveError::Lock(_) => "LOCK",
+            HiveError::Io(_) => "IO",
+            HiveError::Format(_) => "FORMAT",
+            HiveError::Unsupported(_) => "UNSUPPORTED",
+            HiveError::Workload(_) => "WORKLOAD",
+            HiveError::External(_) => "EXTERNAL",
+        }
+    }
+
+    /// Whether the driver should attempt re-optimization + re-execution.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, HiveError::Retryable(_))
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            HiveError::Parse(m)
+            | HiveError::Analysis(m)
+            | HiveError::Plan(m)
+            | HiveError::Execution(m)
+            | HiveError::Retryable(m)
+            | HiveError::Catalog(m)
+            | HiveError::TxnAborted(m)
+            | HiveError::Lock(m)
+            | HiveError::Io(m)
+            | HiveError::Format(m)
+            | HiveError::Unsupported(m)
+            | HiveError::Workload(m)
+            | HiveError::External(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for HiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for HiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = HiveError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "PARSE: unexpected token");
+    }
+
+    #[test]
+    fn retryable_flag() {
+        assert!(HiveError::Retryable("oom".into()).is_retryable());
+        assert!(!HiveError::Execution("boom".into()).is_retryable());
+    }
+
+    #[test]
+    fn kind_covers_all_variants() {
+        let variants = [
+            HiveError::Parse(String::new()),
+            HiveError::Analysis(String::new()),
+            HiveError::Plan(String::new()),
+            HiveError::Execution(String::new()),
+            HiveError::Retryable(String::new()),
+            HiveError::Catalog(String::new()),
+            HiveError::TxnAborted(String::new()),
+            HiveError::Lock(String::new()),
+            HiveError::Io(String::new()),
+            HiveError::Format(String::new()),
+            HiveError::Unsupported(String::new()),
+            HiveError::Workload(String::new()),
+            HiveError::External(String::new()),
+        ];
+        let kinds: std::collections::HashSet<_> = variants.iter().map(|v| v.kind()).collect();
+        assert_eq!(kinds.len(), variants.len(), "kinds must be distinct");
+    }
+}

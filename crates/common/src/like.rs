@@ -1,0 +1,90 @@
+//! SQL `LIKE` pattern matching (`%` = any run, `_` = any single char),
+//! with `\` as the escape character.
+
+/// Match `text` against the SQL LIKE `pattern`.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    like_rec(&t, &p)
+}
+
+fn like_rec(t: &[char], p: &[char]) -> bool {
+    // Iterative two-pointer algorithm with backtracking on the last '%'.
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() {
+            match p[pi] {
+                '%' => {
+                    star = Some((pi + 1, ti));
+                    pi += 1;
+                    continue;
+                }
+                '_' => {
+                    ti += 1;
+                    pi += 1;
+                    continue;
+                }
+                '\\' if pi + 1 < p.len() => {
+                    if t[ti] == p[pi + 1] {
+                        ti += 1;
+                        pi += 2;
+                        continue;
+                    }
+                }
+                c => {
+                    if t[ti] == c {
+                        ti += 1;
+                        pi += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Mismatch: backtrack to last '%' if any, consuming one more char.
+        match star {
+            Some((sp, st)) => {
+                pi = sp;
+                ti = st + 1;
+                star = Some((sp, st + 1));
+            }
+            None => return false,
+        }
+    }
+    // Remaining pattern must be all '%'.
+    p[pi..].iter().all(|&c| c == '%')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_wildcards() {
+        assert!(like_match("hello", "hello"));
+        assert!(!like_match("hello", "help"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn multiple_percent_backtracking() {
+        assert!(like_match("abcbcd", "a%bcd"));
+        assert!(like_match("aaa", "%a%a%"));
+        assert!(!like_match("ab", "%a%a%"));
+        assert!(like_match("Sports & Fitness", "Sports%"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(like_match("50%", "50\\%"));
+        assert!(!like_match("50x", "50\\%"));
+        assert!(like_match("a_b", "a\\_b"));
+        assert!(!like_match("axb", "a\\_b"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Row-oriented view of data, used at the engine edges (result fetch,
+//! INSERT VALUES, the v1.2 row-interpreter path) and in tests.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single row of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the zero-column row.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value at column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// The underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "\t")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_tab_separated() {
+        let r = Row::new(vec![Value::Int(1), Value::String("x".into()), Value::Null]);
+        assert_eq!(r.to_string(), "1\tx\tNULL");
+    }
+
+    #[test]
+    fn accessors() {
+        let r: Row = vec![Value::Int(1), Value::Int(2)].into();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(1), &Value::Int(2));
+        assert_eq!(r.into_values().len(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Relational schemas: named, typed, nullable columns.
+
+use crate::error::{HiveError, Result};
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (lower-cased at creation; Hive identifiers are
+    /// case-insensitive).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULLs are permitted (NOT NULL constraint when false).
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL field.
+    pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            nullable: false,
+            ..Field::new(name, data_type)
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        if !self.nullable {
+            write!(f, " NOT NULL")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of fields. Cheap to clone (fields are boxed in an Arc).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    /// All fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Case-insensitive lookup of a column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.fields.iter().position(|f| f.name == lname)
+    }
+
+    /// Like [`Schema::index_of`] but returns a catalog error.
+    pub fn index_of_required(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| HiveError::Analysis(format!("column not found: {name}")))
+    }
+
+    /// A new schema keeping only the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Concatenate two schemas (join output shape).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.as_ref().clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fl) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fl}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("A", DataType::Int),
+            Field::not_null("b", DataType::String),
+            Field::new("c", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.index_of("A"), Some(0));
+        assert_eq!(s.index_of("B"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.index_of_required("missing").is_err());
+    }
+
+    #[test]
+    fn projection_and_join() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["c", "a"]);
+        let j = s.join(&p);
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.field(3).name, "c");
+    }
+
+    #[test]
+    fn display() {
+        let s = sample();
+        assert_eq!(s.to_string(), "(a INT, b STRING NOT NULL, c DOUBLE)");
+    }
+}

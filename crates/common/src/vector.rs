@@ -1,0 +1,641 @@
+//! Columnar, vectorized data representation.
+//!
+//! A [`VectorBatch`] is the unit of data flow in the vectorized engine
+//! (the paper's Section 5: operators "run directly on the internal
+//! format"). Each column is a typed [`ColumnVector`] with an optional
+//! null bitmap. Filters produce index lists which are applied with
+//! [`VectorBatch::take`], keeping kernels column-at-a-time.
+
+use crate::bitset::BitSet;
+use crate::error::{HiveError, Result};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::types::DataType;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Default number of rows per vectorized batch.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// A typed column of values with an optional null bitmap
+/// (bit set = value is NULL).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnVector {
+    Boolean(Vec<bool>, Option<BitSet>),
+    Int(Vec<i32>, Option<BitSet>),
+    BigInt(Vec<i64>, Option<BitSet>),
+    Double(Vec<f64>, Option<BitSet>),
+    /// Unscaled values plus a shared scale.
+    Decimal(Vec<i128>, u8, Option<BitSet>),
+    Str(Vec<String>, Option<BitSet>),
+    Date(Vec<i32>, Option<BitSet>),
+    Timestamp(Vec<i64>, Option<BitSet>),
+}
+
+macro_rules! per_variant {
+    ($self:expr, $v:ident, $n:ident => $body:expr) => {
+        match $self {
+            ColumnVector::Boolean($v, $n) => $body,
+            ColumnVector::Int($v, $n) => $body,
+            ColumnVector::BigInt($v, $n) => $body,
+            ColumnVector::Double($v, $n) => $body,
+            ColumnVector::Decimal($v, _, $n) => $body,
+            ColumnVector::Str($v, $n) => $body,
+            ColumnVector::Date($v, $n) => $body,
+            ColumnVector::Timestamp($v, $n) => $body,
+        }
+    };
+}
+
+impl ColumnVector {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        per_variant!(self, v, _n => v.len())
+    }
+
+    /// True for zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnVector::Boolean(..) => DataType::Boolean,
+            ColumnVector::Int(..) => DataType::Int,
+            ColumnVector::BigInt(..) => DataType::BigInt,
+            ColumnVector::Double(..) => DataType::Double,
+            ColumnVector::Decimal(_, s, _) => DataType::Decimal(38, *s),
+            ColumnVector::Str(..) => DataType::String,
+            ColumnVector::Date(..) => DataType::Date,
+            ColumnVector::Timestamp(..) => DataType::Timestamp,
+        }
+    }
+
+    /// True if row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        per_variant!(self, _v, n => n.as_ref().map_or(false, |b| b.get(i)))
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        per_variant!(self, _v, n => n.as_ref().map_or(0, |b| b.count_ones()))
+    }
+
+    /// The value at row `i` as a scalar [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            ColumnVector::Boolean(v, _) => Value::Boolean(v[i]),
+            ColumnVector::Int(v, _) => Value::Int(v[i]),
+            ColumnVector::BigInt(v, _) => Value::BigInt(v[i]),
+            ColumnVector::Double(v, _) => Value::Double(v[i]),
+            ColumnVector::Decimal(v, s, _) => Value::Decimal(v[i], *s),
+            ColumnVector::Str(v, _) => Value::String(v[i].clone()),
+            ColumnVector::Date(v, _) => Value::Date(v[i]),
+            ColumnVector::Timestamp(v, _) => Value::Timestamp(v[i]),
+        }
+    }
+
+    /// Build an empty column of the given type. Decimal uses the type's
+    /// scale; non-atomic types are rejected.
+    pub fn new_empty(dt: &DataType) -> Result<ColumnVector> {
+        Ok(match dt {
+            DataType::Boolean => ColumnVector::Boolean(Vec::new(), None),
+            DataType::Int => ColumnVector::Int(Vec::new(), None),
+            DataType::BigInt => ColumnVector::BigInt(Vec::new(), None),
+            DataType::Double => ColumnVector::Double(Vec::new(), None),
+            DataType::Decimal(_, s) => ColumnVector::Decimal(Vec::new(), *s, None),
+            DataType::String => ColumnVector::Str(Vec::new(), None),
+            DataType::Date => ColumnVector::Date(Vec::new(), None),
+            DataType::Timestamp => ColumnVector::Timestamp(Vec::new(), None),
+            DataType::Null => ColumnVector::Str(Vec::new(), None),
+            t => {
+                return Err(HiveError::Execution(format!(
+                    "non-atomic type {t} cannot be vectorized"
+                )))
+            }
+        })
+    }
+
+    /// Build a column of type `dt` from scalar values, casting as needed.
+    pub fn from_values(values: &[Value], dt: &DataType) -> Result<ColumnVector> {
+        let mut b = ColumnBuilder::new(dt)?;
+        for v in values {
+            b.push(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Gather rows at `indices` into a new column.
+    pub fn take(&self, indices: &[u32]) -> ColumnVector {
+        fn gather<T: Clone>(
+            v: &[T],
+            n: &Option<BitSet>,
+            idx: &[u32],
+        ) -> (Vec<T>, Option<BitSet>) {
+            let out: Vec<T> = idx.iter().map(|&i| v[i as usize].clone()).collect();
+            let nulls = n.as_ref().map(|b| {
+                let mut nb = BitSet::new(idx.len());
+                for (o, &i) in idx.iter().enumerate() {
+                    if b.get(i as usize) {
+                        nb.set(o);
+                    }
+                }
+                nb
+            });
+            (out, nulls)
+        }
+        match self {
+            ColumnVector::Boolean(v, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::Boolean(v, n)
+            }
+            ColumnVector::Int(v, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::Int(v, n)
+            }
+            ColumnVector::BigInt(v, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::BigInt(v, n)
+            }
+            ColumnVector::Double(v, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::Double(v, n)
+            }
+            ColumnVector::Decimal(v, s, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::Decimal(v, *s, n)
+            }
+            ColumnVector::Str(v, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::Str(v, n)
+            }
+            ColumnVector::Date(v, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::Date(v, n)
+            }
+            ColumnVector::Timestamp(v, n) => {
+                let (v, n) = gather(v, n, indices);
+                ColumnVector::Timestamp(v, n)
+            }
+        }
+    }
+
+    /// Append all rows of `other` (must be the same variant).
+    pub fn append(&mut self, other: &ColumnVector) -> Result<()> {
+        fn merge_nulls(
+            a_len: usize,
+            a: &mut Option<BitSet>,
+            b_len: usize,
+            b: &Option<BitSet>,
+        ) {
+            if a.is_none() && b.is_none() {
+                return;
+            }
+            let total = a_len + b_len;
+            let mut nb = BitSet::new(total);
+            if let Some(ab) = a.as_ref() {
+                for i in ab.iter_ones() {
+                    nb.set(i);
+                }
+            }
+            if let Some(bb) = b.as_ref() {
+                for i in bb.iter_ones() {
+                    nb.set(a_len + i);
+                }
+            }
+            *a = Some(nb);
+        }
+        macro_rules! app {
+            ($av:expr, $an:expr, $bv:expr, $bn:expr) => {{
+                let alen = $av.len();
+                $av.extend_from_slice($bv);
+                merge_nulls(alen, $an, $bv.len(), $bn);
+                Ok(())
+            }};
+        }
+        match (self, other) {
+            (ColumnVector::Boolean(av, an), ColumnVector::Boolean(bv, bn)) => app!(av, an, bv, bn),
+            (ColumnVector::Int(av, an), ColumnVector::Int(bv, bn)) => app!(av, an, bv, bn),
+            (ColumnVector::BigInt(av, an), ColumnVector::BigInt(bv, bn)) => app!(av, an, bv, bn),
+            (ColumnVector::Double(av, an), ColumnVector::Double(bv, bn)) => app!(av, an, bv, bn),
+            (ColumnVector::Decimal(av, s1, an), ColumnVector::Decimal(bv, s2, bn))
+                if s1 == s2 =>
+            {
+                app!(av, an, bv, bn)
+            }
+            (ColumnVector::Str(av, an), ColumnVector::Str(bv, bn)) => app!(av, an, bv, bn),
+            (ColumnVector::Date(av, an), ColumnVector::Date(bv, bn)) => app!(av, an, bv, bn),
+            (ColumnVector::Timestamp(av, an), ColumnVector::Timestamp(bv, bn)) => {
+                app!(av, an, bv, bn)
+            }
+            (a, b) => Err(HiveError::Execution(format!(
+                "cannot append column of type {} to {}",
+                b.data_type(),
+                a.data_type()
+            ))),
+        }
+    }
+
+    /// Approximate heap size in bytes, used by cache/cost accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let base = match self {
+            ColumnVector::Boolean(v, _) => v.len(),
+            ColumnVector::Int(v, _) | ColumnVector::Date(v, _) => v.len() * 4,
+            ColumnVector::BigInt(v, _) | ColumnVector::Timestamp(v, _) => v.len() * 8,
+            ColumnVector::Double(v, _) => v.len() * 8,
+            ColumnVector::Decimal(v, _, _) => v.len() * 16,
+            ColumnVector::Str(v, _) => v.iter().map(|s| s.len() + 24).sum(),
+        };
+        base + self.len() / 8
+    }
+}
+
+/// Incremental builder for a [`ColumnVector`].
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    col: ColumnVector,
+    nulls: Vec<usize>,
+    len: usize,
+    dt: DataType,
+}
+
+impl ColumnBuilder {
+    /// Start building a column of type `dt`.
+    pub fn new(dt: &DataType) -> Result<Self> {
+        Ok(ColumnBuilder {
+            col: ColumnVector::new_empty(dt)?,
+            nulls: Vec::new(),
+            len: 0,
+            dt: dt.clone(),
+        })
+    }
+
+    /// Append a value, casting to the column type. NULL is always accepted.
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            self.nulls.push(self.len);
+            self.push_default();
+        } else {
+            let cast = if v.data_type() == self.dt {
+                v.clone()
+            } else {
+                v.cast_to(&self.dt)?
+            };
+            if cast.is_null() {
+                // Lenient cast produced NULL.
+                self.nulls.push(self.len);
+                self.push_default();
+            } else {
+                self.push_nonnull(&cast)?;
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn push_default(&mut self) {
+        match &mut self.col {
+            ColumnVector::Boolean(v, _) => v.push(false),
+            ColumnVector::Int(v, _) => v.push(0),
+            ColumnVector::BigInt(v, _) => v.push(0),
+            ColumnVector::Double(v, _) => v.push(0.0),
+            ColumnVector::Decimal(v, _, _) => v.push(0),
+            ColumnVector::Str(v, _) => v.push(String::new()),
+            ColumnVector::Date(v, _) => v.push(0),
+            ColumnVector::Timestamp(v, _) => v.push(0),
+        }
+    }
+
+    fn push_nonnull(&mut self, v: &Value) -> Result<()> {
+        match (&mut self.col, v) {
+            (ColumnVector::Boolean(c, _), Value::Boolean(x)) => c.push(*x),
+            (ColumnVector::Int(c, _), Value::Int(x)) => c.push(*x),
+            (ColumnVector::BigInt(c, _), Value::BigInt(x)) => c.push(*x),
+            (ColumnVector::Double(c, _), Value::Double(x)) => c.push(*x),
+            (ColumnVector::Decimal(c, _, _), Value::Decimal(x, _)) => c.push(*x),
+            (ColumnVector::Str(c, _), Value::String(x)) => c.push(x.clone()),
+            (ColumnVector::Date(c, _), Value::Date(x)) => c.push(*x),
+            (ColumnVector::Timestamp(c, _), Value::Timestamp(x)) => c.push(*x),
+            (c, v) => {
+                return Err(HiveError::Execution(format!(
+                    "type mismatch pushing {} into {} column",
+                    v.data_type(),
+                    c.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish and return the built column.
+    pub fn finish(self) -> ColumnVector {
+        let mut col = self.col;
+        if !self.nulls.is_empty() {
+            let mut b = BitSet::new(self.len);
+            for i in self.nulls {
+                b.set(i);
+            }
+            per_variant!(&mut col, _v, n => *n = Some(b));
+        }
+        col
+    }
+}
+
+/// A batch of rows in columnar form, with its schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorBatch {
+    schema: Schema,
+    columns: Vec<ColumnVector>,
+    num_rows: usize,
+}
+
+impl VectorBatch {
+    /// Build a batch with an explicit row count — required for
+    /// zero-column batches (`SELECT COUNT(*)` plans prune every column
+    /// but rows still flow).
+    pub fn new_with_rows(
+        schema: Schema,
+        columns: Vec<ColumnVector>,
+        num_rows: usize,
+    ) -> Result<Self> {
+        if columns.iter().any(|c| c.len() != num_rows) {
+            return Err(HiveError::Execution("ragged column lengths".into()));
+        }
+        if columns.len() != schema.len() {
+            return Err(HiveError::Execution(format!(
+                "schema has {} fields but {} columns given",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        Ok(VectorBatch {
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// Build a batch; all columns must share one length.
+    pub fn new(schema: Schema, columns: Vec<ColumnVector>) -> Result<Self> {
+        let num_rows = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != num_rows) {
+            return Err(HiveError::Execution("ragged column lengths".into()));
+        }
+        if columns.len() != schema.len() {
+            return Err(HiveError::Execution(format!(
+                "schema has {} fields but {} columns given",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        Ok(VectorBatch {
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: &Schema) -> Result<Self> {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnVector::new_empty(&f.data_type))
+            .collect::<Result<Vec<_>>>()?;
+        VectorBatch::new(schema.clone(), columns)
+    }
+
+    /// Convert row-oriented data into a batch, casting to the schema types.
+    pub fn from_rows(schema: &Schema, rows: &[Row]) -> Result<Self> {
+        let mut builders = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(&f.data_type))
+            .collect::<Result<Vec<_>>>()?;
+        for r in rows {
+            if r.len() != schema.len() {
+                return Err(HiveError::Execution(format!(
+                    "row arity {} does not match schema arity {}",
+                    r.len(),
+                    schema.len()
+                )));
+            }
+            for (b, v) in builders.iter_mut().zip(r.values()) {
+                b.push(v)?;
+            }
+        }
+        VectorBatch::new_with_rows(
+            schema.clone(),
+            builders.into_iter().map(|b| b.finish()).collect(),
+            rows.len(),
+        )
+    }
+
+    /// The batch schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True for zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &ColumnVector {
+        &self.columns[i]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[ColumnVector] {
+        &self.columns
+    }
+
+    /// Row `i` as a scalar row (allocates; edge use only).
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.get(i)).collect())
+    }
+
+    /// All rows (allocates; edge use only).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.num_rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Gather the rows at `indices` into a new batch.
+    pub fn take(&self, indices: &[u32]) -> VectorBatch {
+        VectorBatch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            num_rows: indices.len(),
+        }
+    }
+
+    /// Keep only the columns at `indices` (projection).
+    pub fn project(&self, indices: &[usize]) -> VectorBatch {
+        VectorBatch {
+            schema: self.schema.project(indices),
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+            num_rows: self.num_rows,
+        }
+    }
+
+    /// Append all rows of `other` (schemas' types must match).
+    pub fn append(&mut self, other: &VectorBatch) -> Result<()> {
+        if self.num_columns() != other.num_columns() {
+            return Err(HiveError::Execution("batch arity mismatch in append".into()));
+        }
+        for (a, b) in self.columns.iter_mut().zip(other.columns()) {
+            a.append(b)?;
+        }
+        self.num_rows += other.num_rows;
+        Ok(())
+    }
+
+    /// Concatenate a batch sequence under one schema.
+    pub fn concat(schema: &Schema, batches: &[VectorBatch]) -> Result<VectorBatch> {
+        let mut out = VectorBatch::empty(schema)?;
+        for b in batches {
+            out.append(b)?;
+        }
+        Ok(out)
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
+    }
+
+    /// Split into sub-batches of at most `chunk` rows (used by scan and
+    /// shuffle to keep pipeline batches bounded).
+    pub fn split(&self, chunk: usize) -> Vec<VectorBatch> {
+        if self.num_rows <= chunk {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::with_capacity(self.num_rows.div_ceil(chunk));
+        let mut start = 0u32;
+        while (start as usize) < self.num_rows {
+            let end = ((start as usize + chunk).min(self.num_rows)) as u32;
+            let idx: Vec<u32> = (start..end).collect();
+            out.push(self.take(&idx));
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn sample_batch() -> VectorBatch {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::String),
+            Field::new("price", DataType::Decimal(7, 2)),
+        ]);
+        let rows = vec![
+            Row::new(vec![
+                Value::Int(1),
+                Value::String("a".into()),
+                Value::Decimal(100, 2),
+            ]),
+            Row::new(vec![Value::Int(2), Value::Null, Value::Decimal(250, 2)]),
+            Row::new(vec![
+                Value::Int(3),
+                Value::String("c".into()),
+                Value::Null,
+            ]),
+        ];
+        VectorBatch::from_rows(&schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let b = sample_batch();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.row(1).get(1), &Value::Null);
+        assert_eq!(b.row(0).get(2), &Value::Decimal(100, 2));
+        let rows = b.to_rows();
+        let b2 = VectorBatch::from_rows(b.schema(), &rows).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let b = sample_batch();
+        let t = b.take(&[2, 1]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0).get(0), &Value::Int(3));
+        assert!(t.column(2).is_null(0));
+        assert!(t.column(1).is_null(1));
+    }
+
+    #[test]
+    fn append_merges_null_bitmaps() {
+        let mut a = sample_batch();
+        let b = sample_batch();
+        a.append(&b).unwrap();
+        assert_eq!(a.num_rows(), 6);
+        assert!(a.column(1).is_null(1));
+        assert!(a.column(1).is_null(4));
+        assert_eq!(a.column(1).null_count(), 2);
+    }
+
+    #[test]
+    fn builder_casts_values() {
+        let mut b = ColumnBuilder::new(&DataType::BigInt).unwrap();
+        b.push(&Value::Int(7)).unwrap();
+        b.push(&Value::Null).unwrap();
+        let c = b.finish();
+        assert_eq!(c.get(0), Value::BigInt(7));
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn ragged_batches_rejected() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let cols = vec![
+            ColumnVector::Int(vec![1, 2], None),
+            ColumnVector::Int(vec![1], None),
+        ];
+        assert!(VectorBatch::new(schema, cols).is_err());
+    }
+
+    #[test]
+    fn split_bounds_batch_size() {
+        let b = sample_batch();
+        let parts = b.split(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].num_rows(), 2);
+        assert_eq!(parts[1].num_rows(), 1);
+        let whole = VectorBatch::concat(b.schema(), &parts).unwrap();
+        assert_eq!(whole, b);
+    }
+
+    #[test]
+    fn projection() {
+        let b = sample_batch();
+        let p = b.project(&[2, 0]);
+        assert_eq!(p.schema().names(), vec!["price", "id"]);
+        assert_eq!(p.row(0).get(1), &Value::Int(1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Bloom filters over column values, used for sargable `=`/`IN`
+//! pushdown and for the dynamic index-semijoin reduction (paper §4.6).
+
+use crate::encoding::{ByteReader, ByteWriter};
+use hive_common::{Result, Value};
+use std::hash::{Hash, Hasher};
+
+/// A classic Bloom filter with double hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Size the filter for `expected` insertions at false-positive
+    /// probability `fpp`.
+    pub fn new(expected: usize, fpp: f64) -> Self {
+        let expected = expected.max(1) as f64;
+        let fpp = fpp.clamp(1e-6, 0.5);
+        let num_bits = (-(expected * fpp.ln()) / (2f64.ln().powi(2))).ceil() as u64;
+        let num_bits = num_bits.max(64);
+        let num_hashes = ((num_bits as f64 / expected) * 2f64.ln()).round().max(1.0) as u32;
+        BloomFilter {
+            bits: vec![0; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_hashes: num_hashes.min(16),
+        }
+    }
+
+    fn base_hashes(v: &Value) -> (u64, u64) {
+        // Two independent hash streams via seeded SipHash-like mixing of
+        // the default hasher output.
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        v.hash_value(&mut h1);
+        let a = h1.finish();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        0x9e37_79b9_7f4a_7c15u64.hash(&mut h2);
+        v.hash_value(&mut h2);
+        let b = h2.finish() | 1; // odd so strides cover the table
+        (a, b)
+    }
+
+    /// Insert a value (NULLs are ignored; NULL never matches `=`).
+    pub fn insert(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        let (a, b) = Self::base_hashes(v);
+        for i in 0..self.num_hashes {
+            let bit = a.wrapping_add(b.wrapping_mul(i as u64)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Possibly-contains test; `false` is definitive.
+    pub fn might_contain(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        let (a, b) = Self::base_hashes(v);
+        (0..self.num_hashes).all(|i| {
+            let bit = a.wrapping_add(b.wrapping_mul(i as u64)) % self.num_bits;
+            self.bits[(bit / 64) as usize] >> (bit % 64) & 1 == 1
+        })
+    }
+
+    /// Merge another filter built with identical parameters.
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert_eq!(self.num_bits, other.num_bits, "bloom size mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Serialize to a byte stream.
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.put_varint(self.num_bits);
+        w.put_varint(self.num_hashes as u64);
+        w.put_varint(self.bits.len() as u64);
+        for word in &self.bits {
+            w.put_u64(*word);
+        }
+    }
+
+    /// Deserialize from a byte stream.
+    pub fn read(r: &mut ByteReader) -> Result<Self> {
+        let num_bits = r.get_varint()?;
+        let num_hashes = r.get_varint()? as u32;
+        let words = r.get_varint()? as usize;
+        let mut bits = Vec::with_capacity(words);
+        for _ in 0..words {
+            bits.push(r.get_u64()?);
+        }
+        Ok(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = BloomFilter::new(1000, 0.01);
+        for i in 0..1000 {
+            b.insert(&Value::Int(i));
+        }
+        for i in 0..1000 {
+            assert!(b.might_contain(&Value::Int(i)));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut b = BloomFilter::new(1000, 0.01);
+        for i in 0..1000 {
+            b.insert(&Value::Int(i));
+        }
+        let fp = (10_000..30_000)
+            .filter(|&i| b.might_contain(&Value::Int(i)))
+            .count();
+        // 20k probes at ~1% target: allow generous margin.
+        assert!(fp < 800, "false positive count too high: {fp}");
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let mut b = BloomFilter::new(10, 0.01);
+        b.insert(&Value::Null);
+        assert!(!b.might_contain(&Value::Null));
+    }
+
+    #[test]
+    fn strings_and_cross_type_numerics() {
+        let mut b = BloomFilter::new(100, 0.01);
+        b.insert(&Value::String("sports".into()));
+        b.insert(&Value::Int(42));
+        assert!(b.might_contain(&Value::String("sports".into())));
+        // Value hashing normalizes numeric types, so BigInt 42 matches.
+        assert!(b.might_contain(&Value::BigInt(42)));
+        assert!(!b.might_contain(&Value::String("books".into())));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut b = BloomFilter::new(500, 0.05);
+        for i in 0..500 {
+            b.insert(&Value::BigInt(i * 7));
+        }
+        let mut w = ByteWriter::new();
+        b.write(&mut w);
+        let mut r = ByteReader::new(w.finish());
+        let b2 = BloomFilter::read(&mut r).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn union_combines() {
+        let mut a = BloomFilter::new(100, 0.01);
+        let mut b = BloomFilter::new(100, 0.01);
+        a.insert(&Value::Int(1));
+        b.insert(&Value::Int(2));
+        a.union(&b);
+        assert!(a.might_contain(&Value::Int(1)));
+        assert!(a.might_contain(&Value::Int(2)));
+    }
+}

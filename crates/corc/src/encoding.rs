@@ -1,0 +1,406 @@
+//! Primitive binary encodings: little-endian scalars, LEB128 varints,
+//! zigzag integers, run-length encoding, and value (de)serialization.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hive_common::{HiveError, Result, Value};
+
+/// Append-only binary writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: BytesMut,
+}
+
+impl ByteWriter {
+    /// A new empty writer.
+    pub fn new() -> Self {
+        ByteWriter {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and return the accumulated buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    pub fn put_i128(&mut self, v: i128) {
+        self.buf.put_i128_le(v);
+    }
+
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.buf.put_slice(s);
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                break;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    pub fn put_varint_signed(&mut self, v: i64) {
+        self.put_varint(zigzag_encode(v));
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(&mut self, s: &[u8]) {
+        self.put_varint(s.len() as u64);
+        self.put_slice(s);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Sequential binary reader over a `Bytes` buffer.
+#[derive(Debug)]
+pub struct ByteReader {
+    buf: Bytes,
+}
+
+impl ByteReader {
+    /// Wrap a buffer for reading.
+    pub fn new(buf: Bytes) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(HiveError::Format(format!(
+                "unexpected end of buffer: need {n}, have {}",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    pub fn get_i128(&mut self) -> Result<i128> {
+        self.need(16)?;
+        Ok(self.buf.get_i128_le())
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(HiveError::Format("varint too long".into()));
+            }
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    pub fn get_varint_signed(&mut self) -> Result<i64> {
+        Ok(zigzag_decode(self.get_varint()?))
+    }
+
+    /// Length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Bytes> {
+        let len = self.get_varint()? as usize;
+        self.need(len)?;
+        Ok(self.buf.split_to(len))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| HiveError::Format("invalid UTF-8 in string".into()))
+    }
+}
+
+/// Map signed to unsigned preserving small magnitudes.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Run-length encode a signed integer sequence.
+///
+/// Stream grammar: repeated `(control, payload)` where `control` is a
+/// varint `n`; if the low bit is 0 the run is `n >> 1` repeats of one
+/// zigzag varint; if 1 it is `n >> 1` literal zigzag varints.
+pub fn rle_encode_i64(values: &[i64], w: &mut ByteWriter) {
+    let mut i = 0;
+    while i < values.len() {
+        // Measure the run starting at i.
+        let mut run = 1;
+        while i + run < values.len() && values[i + run] == values[i] {
+            run += 1;
+        }
+        if run >= 3 {
+            w.put_varint((run as u64) << 1);
+            w.put_varint_signed(values[i]);
+            i += run;
+        } else {
+            // Collect a literal run until the next >=3 repeat.
+            let start = i;
+            i += run;
+            while i < values.len() {
+                let mut r = 1;
+                while i + r < values.len() && values[i + r] == values[i] {
+                    r += 1;
+                }
+                if r >= 3 {
+                    break;
+                }
+                i += r;
+            }
+            let lit = &values[start..i];
+            w.put_varint(((lit.len() as u64) << 1) | 1);
+            for &v in lit {
+                w.put_varint_signed(v);
+            }
+        }
+    }
+}
+
+/// Decode a [`rle_encode_i64`] stream of exactly `count` values.
+pub fn rle_decode_i64(r: &mut ByteReader, count: usize) -> Result<Vec<i64>> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let control = r.get_varint()?;
+        let n = (control >> 1) as usize;
+        if n == 0 || out.len() + n > count {
+            return Err(HiveError::Format("corrupt RLE stream".into()));
+        }
+        if control & 1 == 0 {
+            let v = r.get_varint_signed()?;
+            out.resize(out.len() + n, v);
+        } else {
+            for _ in 0..n {
+                out.push(r.get_varint_signed()?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Value tags for stats serialization.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_BIGINT: u8 = 3;
+const TAG_DOUBLE: u8 = 4;
+const TAG_DECIMAL: u8 = 5;
+const TAG_STRING: u8 = 6;
+const TAG_DATE: u8 = 7;
+const TAG_TIMESTAMP: u8 = 8;
+
+/// Serialize one scalar [`Value`] with a type tag.
+pub fn write_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(TAG_NULL),
+        Value::Boolean(b) => {
+            w.put_u8(TAG_BOOL);
+            w.put_u8(*b as u8);
+        }
+        Value::Int(x) => {
+            w.put_u8(TAG_INT);
+            w.put_varint_signed(*x as i64);
+        }
+        Value::BigInt(x) => {
+            w.put_u8(TAG_BIGINT);
+            w.put_varint_signed(*x);
+        }
+        Value::Double(x) => {
+            w.put_u8(TAG_DOUBLE);
+            w.put_f64(*x);
+        }
+        Value::Decimal(u, s) => {
+            w.put_u8(TAG_DECIMAL);
+            w.put_i128(*u);
+            w.put_u8(*s);
+        }
+        Value::String(s) => {
+            w.put_u8(TAG_STRING);
+            w.put_str(s);
+        }
+        Value::Date(d) => {
+            w.put_u8(TAG_DATE);
+            w.put_varint_signed(*d as i64);
+        }
+        Value::Timestamp(t) => {
+            w.put_u8(TAG_TIMESTAMP);
+            w.put_varint_signed(*t);
+        }
+    }
+}
+
+/// Deserialize one scalar [`Value`].
+pub fn read_value(r: &mut ByteReader) -> Result<Value> {
+    Ok(match r.get_u8()? {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Boolean(r.get_u8()? != 0),
+        TAG_INT => Value::Int(r.get_varint_signed()? as i32),
+        TAG_BIGINT => Value::BigInt(r.get_varint_signed()?),
+        TAG_DOUBLE => Value::Double(r.get_f64()?),
+        TAG_DECIMAL => {
+            let u = r.get_i128()?;
+            let s = r.get_u8()?;
+            Value::Decimal(u, s)
+        }
+        TAG_STRING => Value::String(r.get_str()?),
+        TAG_DATE => Value::Date(r.get_varint_signed()? as i32),
+        TAG_TIMESTAMP => Value::Timestamp(r.get_varint_signed()?),
+        t => return Err(HiveError::Format(format!("unknown value tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut w = ByteWriter::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            w.put_varint(v);
+        }
+        let mut r = ByteReader::new(w.finish());
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            assert_eq!(r.get_varint().unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn zigzag() {
+        for v in [0i64, -1, 1, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+
+    #[test]
+    fn rle_round_trip_runs_and_literals() {
+        let cases: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![5],
+            vec![7; 1000],
+            vec![1, 2, 3, 4, 5],
+            vec![1, 1, 1, 2, 3, 3, 3, 3, 9, -4, -4, -4, 0],
+            (0..500).map(|i| i % 7).collect(),
+        ];
+        for vals in cases {
+            let mut w = ByteWriter::new();
+            rle_encode_i64(&vals, &mut w);
+            let mut r = ByteReader::new(w.finish());
+            assert_eq!(rle_decode_i64(&mut r, vals.len()).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn rle_compresses_runs() {
+        let vals = vec![42i64; 10_000];
+        let mut w = ByteWriter::new();
+        rle_encode_i64(&vals, &mut w);
+        assert!(w.len() < 10, "run of 10k identical values should be tiny");
+    }
+
+    #[test]
+    fn rle_rejects_corrupt_count() {
+        let mut w = ByteWriter::new();
+        w.put_varint(1000 << 1); // run of 1000
+        w.put_varint_signed(1);
+        let mut r = ByteReader::new(w.finish());
+        assert!(rle_decode_i64(&mut r, 10).is_err());
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let vals = vec![
+            Value::Null,
+            Value::Boolean(true),
+            Value::Int(-5),
+            Value::BigInt(1 << 40),
+            Value::Double(3.5),
+            Value::Decimal(12345, 2),
+            Value::String("héllo".into()),
+            Value::Date(17000),
+            Value::Timestamp(1_500_000_000_000_000),
+        ];
+        let mut w = ByteWriter::new();
+        for v in &vals {
+            write_value(&mut w, v);
+        }
+        let mut r = ByteReader::new(w.finish());
+        for v in &vals {
+            assert_eq!(&read_value(&mut r).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # hive-corc
+//!
+//! A columnar file format modeled on Apache ORC (the paper's Section 2
+//! and [39]): data is laid out in **row groups** (default 10k rows) of
+//! per-column encoded streams, with per-row-group min/max statistics and
+//! optional Bloom filters in the file footer.
+//!
+//! The format supports the two pushdowns the paper's I/O elevator relies
+//! on (Section 5.1): **projection** (only requested column streams are
+//! read) and **sargable predicates** (row groups whose statistics or
+//! Bloom filters disprove the predicate are skipped without reading
+//! data). Both pushdowns operate through ranged DFS reads, so the I/O
+//! meter observes exactly the bytes a real columnar reader would fetch.
+//!
+//! The stripe level of real ORC is collapsed: row groups are the unit of
+//! both skipping and caching (LLAP chunks are `(file, column, row group)`).
+
+pub mod bloom;
+pub mod encoding;
+pub mod reader;
+pub mod sarg;
+pub mod stats;
+pub mod writer;
+
+pub use bloom::BloomFilter;
+pub use reader::CorcFile;
+pub use sarg::{ColumnPredicate, SearchArgument, TruthValue};
+pub use stats::ColumnStatistics;
+pub use writer::{CorcWriter, WriterOptions};
+
+/// Default rows per row group (ORC's index stride).
+pub const DEFAULT_ROW_GROUP_SIZE: usize = 10_000;
+
+/// Magic bytes identifying a corc file.
+pub const MAGIC: &[u8; 4] = b"CORC";

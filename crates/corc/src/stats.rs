@@ -1,0 +1,171 @@
+//! Per-column min/max/null statistics carried in file footers, used for
+//! row-group skipping and merged upward into Metastore table statistics.
+
+use crate::encoding::{read_value, write_value, ByteReader, ByteWriter};
+use hive_common::{ColumnVector, Result, Value};
+
+/// Statistics for one column over some row range.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStatistics {
+    /// Minimum non-null value, if any non-null value was seen.
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Total number of rows covered (including NULLs).
+    pub num_rows: u64,
+}
+
+impl ColumnStatistics {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one value into the statistics.
+    pub fn update(&mut self, v: &Value) {
+        self.num_rows += 1;
+        if v.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) => {
+                if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) {
+                    self.min = Some(v.clone());
+                }
+            }
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) => {
+                if v.sql_cmp(m) == Some(std::cmp::Ordering::Greater) {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Fold a whole column vector into the statistics.
+    pub fn update_column(&mut self, col: &ColumnVector) {
+        for i in 0..col.len() {
+            self.update(&col.get(i));
+        }
+    }
+
+    /// Merge statistics from another row range (additive, per §4.1).
+    pub fn merge(&mut self, other: &ColumnStatistics) {
+        self.num_rows += other.num_rows;
+        self.null_count += other.null_count;
+        if let Some(m) = &other.min {
+            self.update_minmax_only(m);
+        }
+        if let Some(m) = &other.max {
+            self.update_minmax_only(m);
+        }
+    }
+
+    fn update_minmax_only(&mut self, v: &Value) {
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => {
+                self.min = Some(v.clone())
+            }
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Greater) => {
+                self.max = Some(v.clone())
+            }
+            _ => {}
+        }
+    }
+
+    /// True when every covered row is NULL.
+    pub fn all_null(&self) -> bool {
+        self.num_rows > 0 && self.null_count == self.num_rows
+    }
+
+    /// Serialize.
+    pub fn write(&self, w: &mut ByteWriter) {
+        write_value(w, self.min.as_ref().unwrap_or(&Value::Null));
+        write_value(w, self.max.as_ref().unwrap_or(&Value::Null));
+        w.put_varint(self.null_count);
+        w.put_varint(self.num_rows);
+    }
+
+    /// Deserialize.
+    pub fn read(r: &mut ByteReader) -> Result<Self> {
+        let min = match read_value(r)? {
+            Value::Null => None,
+            v => Some(v),
+        };
+        let max = match read_value(r)? {
+            Value::Null => None,
+            v => Some(v),
+        };
+        Ok(ColumnStatistics {
+            min,
+            max,
+            null_count: r.get_varint()?,
+            num_rows: r.get_varint()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_tracks_min_max_nulls() {
+        let mut s = ColumnStatistics::new();
+        for v in [Value::Int(5), Value::Null, Value::Int(-3), Value::Int(9)] {
+            s.update(&v);
+        }
+        assert_eq!(s.min, Some(Value::Int(-3)));
+        assert_eq!(s.max, Some(Value::Int(9)));
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.num_rows, 4);
+        assert!(!s.all_null());
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = ColumnStatistics::new();
+        a.update(&Value::Int(1));
+        a.update(&Value::Int(5));
+        let mut b = ColumnStatistics::new();
+        b.update(&Value::Int(-2));
+        b.update(&Value::Null);
+        a.merge(&b);
+        assert_eq!(a.min, Some(Value::Int(-2)));
+        assert_eq!(a.max, Some(Value::Int(5)));
+        assert_eq!(a.num_rows, 4);
+        assert_eq!(a.null_count, 1);
+    }
+
+    #[test]
+    fn all_null_detection() {
+        let mut s = ColumnStatistics::new();
+        s.update(&Value::Null);
+        s.update(&Value::Null);
+        assert!(s.all_null());
+        assert_eq!(s.min, None);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut s = ColumnStatistics::new();
+        s.update(&Value::String("apple".into()));
+        s.update(&Value::String("pear".into()));
+        s.update(&Value::Null);
+        let mut w = ByteWriter::new();
+        s.write(&mut w);
+        let mut r = ByteReader::new(w.finish());
+        assert_eq!(ColumnStatistics::read(&mut r).unwrap(), s);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the corc format: arbitrary batches survive
+//! the write→read round trip exactly, and row-group selection never
+//! drops matching rows (sargs are pruning-only).
+
+use hive_common::{DataType, Field, Row, Schema, Value, VectorBatch};
+use hive_corc::{
+    reader::round_trip, ColumnPredicate, CorcFile, CorcWriter, SearchArgument, WriterOptions,
+};
+use hive_dfs::{DfsPath, DistFs};
+use proptest::prelude::*;
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (
+            any::<Option<i64>>(),
+            proptest::option::of("[a-zA-Z0-9]{0,12}"),
+            any::<Option<bool>>(),
+            proptest::option::of(-1_000_000i64..1_000_000),
+        ),
+        0..max,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(a, b, c, d)| {
+                Row::new(vec![
+                    a.map(Value::BigInt).unwrap_or(Value::Null),
+                    b.map(Value::String).unwrap_or(Value::Null),
+                    c.map(Value::Boolean).unwrap_or(Value::Null),
+                    d.map(|v| Value::Decimal(v as i128, 2)).unwrap_or(Value::Null),
+                ])
+            })
+            .collect()
+    })
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::BigInt),
+        Field::new("s", DataType::String),
+        Field::new("flag", DataType::Boolean),
+        Field::new("amount", DataType::Decimal(18, 2)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_read_round_trip_exact(rows in arb_rows(200), rg in 1usize..64) {
+        let batch = VectorBatch::from_rows(&schema(), &rows).unwrap();
+        let opts = WriterOptions {
+            row_group_size: rg,
+            bloom_columns: vec![0, 1],
+            bloom_fpp: 0.05,
+        };
+        let back = round_trip(&batch, opts).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn sarg_selection_never_loses_matches(
+        keys in proptest::collection::vec(-500i64..500, 1..300),
+        lo in -500i64..500,
+        span in 0i64..200,
+        rg in 1usize..50,
+    ) {
+        let rows: Vec<Row> = keys
+            .iter()
+            .map(|&k| Row::new(vec![
+                Value::BigInt(k),
+                Value::String(format!("s{k}")),
+                Value::Boolean(k % 2 == 0),
+                Value::Decimal(k as i128, 2),
+            ]))
+            .collect();
+        let batch = VectorBatch::from_rows(&schema(), &rows).unwrap();
+        let fs = DistFs::new();
+        let path = DfsPath::new("/p/f");
+        let mut w = CorcWriter::new(schema(), WriterOptions {
+            row_group_size: rg,
+            bloom_columns: vec![0],
+            bloom_fpp: 0.02,
+        }).unwrap();
+        w.write_batch(&batch).unwrap();
+        fs.create(&path, w.finish().unwrap()).unwrap();
+        let f = CorcFile::open(&fs, &path).unwrap();
+
+        let hi = lo + span;
+        let sarg = SearchArgument::with(vec![ColumnPredicate::Between(
+            0, Value::BigInt(lo), Value::BigInt(hi),
+        )]);
+        // Read only the selected row groups and count matches.
+        let mut selected_matches = 0usize;
+        for g in f.selected_row_groups(&sarg) {
+            let part = f.read_row_group(g, &[0]).unwrap();
+            for i in 0..part.num_rows() {
+                if let Value::BigInt(k) = part.column(0).get(i) {
+                    if k >= lo && k <= hi {
+                        selected_matches += 1;
+                    }
+                }
+            }
+        }
+        let expected = keys.iter().filter(|&&k| k >= lo && k <= hi).count();
+        prop_assert_eq!(selected_matches, expected, "sarg pruning dropped matching rows");
+    }
+}

@@ -1,0 +1,1617 @@
+//! The driver pipeline (paper Figure 2): statement dispatch, the SELECT
+//! path with results cache / MV rewriting / federation pushdown /
+//! re-optimization, and the DML/DDL implementations.
+
+use crate::mv;
+use crate::results_cache::CacheOutcome;
+use crate::session::{QueryResult, Session};
+use hive_acid::{resolve_snapshot, AcidScan, AcidWriter, Compactor};
+use hive_common::{
+    EngineVersion, HiveConf, HiveError, Result, Row, Schema, TxnId, Value, VectorBatch,
+};
+use hive_corc::SearchArgument;
+use hive_dfs::DfsPath;
+use hive_exec::{execute as exec_plan, ExecContext, NodeTrace, SnapshotProvider};
+use hive_llap::TriggerAction;
+use hive_metastore::{
+    CompactionKind, CompactionState, LockKey, LockMode, Metastore, Table, TableBuilder,
+    TableStats, TableType, ValidTxnList, ValidWriteIdList,
+};
+use hive_optimizer::eval::eval_scalar;
+use hive_optimizer::fingerprint::fingerprint;
+use hive_optimizer::plan::LogicalPlan;
+use hive_optimizer::{
+    Analyzer, MetastoreCatalog, Optimizer, OptimizerContext, ScalarExpr,
+};
+use hive_sql as ast;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Per-query snapshot provider: one ValidTxnList captured at query
+/// start, narrowed per table on demand and memoized (the paper's
+/// "each scan operation in the plan is bound to a WriteId list during
+/// compilation").
+pub(crate) struct QuerySnapshots<'a> {
+    ms: &'a Metastore,
+    txn_list: ValidTxnList,
+    reader: Option<TxnId>,
+    cache: Mutex<HashMap<String, ValidWriteIdList>>,
+}
+
+impl<'a> QuerySnapshots<'a> {
+    pub(crate) fn new(ms: &'a Metastore, reader: Option<TxnId>) -> Self {
+        QuerySnapshots {
+            ms,
+            txn_list: ms.valid_txn_list(),
+            reader,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl SnapshotProvider for QuerySnapshots<'_> {
+    fn write_ids(&self, table: &str) -> ValidWriteIdList {
+        let mut g = self.cache.lock();
+        g.entry(table.to_string())
+            .or_insert_with(|| self.ms.valid_write_ids(table, &self.txn_list, self.reader))
+            .clone()
+    }
+}
+
+impl Session {
+    pub(crate) fn execute_statement(&self, stmt: ast::Statement) -> Result<QueryResult> {
+        // Engine-version SQL surface gate (the Figure 7 "could not be
+        // executed in Hive 1.2" mechanism).
+        let conf = self.server.conf();
+        if conf.version == EngineVersion::V1_2 {
+            let missing: Vec<_> = ast::required_features(&stmt)
+                .into_iter()
+                .filter(|f| !f.available_in_v1_2())
+                .collect();
+            if !missing.is_empty() {
+                return Err(HiveError::Unsupported(format!(
+                    "Hive 1.2 does not support {missing:?}"
+                )));
+            }
+        }
+        match stmt {
+            ast::Statement::Query(q) => self.run_select(&q, &conf),
+            ast::Statement::Explain(inner) => self.run_explain(*inner, &conf),
+            ast::Statement::Use(db) => {
+                if self.server.metastore().list_tables(&db).is_err() {
+                    return Err(HiveError::Catalog(format!("database not found: {db}")));
+                }
+                *self.db.write() = db.clone();
+                Ok(QueryResult::message(format!("using {db}")))
+            }
+            ast::Statement::CreateDatabase {
+                name,
+                if_not_exists,
+            } => {
+                match self.server.metastore().create_database(&name) {
+                    Ok(()) => {}
+                    Err(_) if if_not_exists => {}
+                    Err(e) => return Err(e),
+                }
+                Ok(QueryResult::message(format!("created database {name}")))
+            }
+            ast::Statement::DropDatabase { name, if_exists } => {
+                match self.server.metastore().drop_database(&name) {
+                    Ok(()) => {}
+                    Err(_) if if_exists => {}
+                    Err(e) => return Err(e),
+                }
+                Ok(QueryResult::message(format!("dropped database {name}")))
+            }
+            ast::Statement::CreateTable(ct) => self.run_create_table(ct),
+            ast::Statement::DropTable { name, if_exists }
+            | ast::Statement::DropMaterializedView { name, if_exists } => {
+                self.run_drop_table(name, if_exists)
+            }
+            ast::Statement::CreateMaterializedView(cmv) => mv::create_view(self, cmv),
+            ast::Statement::AlterMaterializedViewRebuild { name } => mv::rebuild(self, &name),
+            ast::Statement::Insert(ins) => self.run_insert(ins),
+            ast::Statement::MultiInsert(mi) => self.run_multi_insert(mi),
+            ast::Statement::Update(upd) => self.run_update(upd),
+            ast::Statement::Delete(del) => self.run_delete(del),
+            ast::Statement::Merge(m) => self.run_merge(m),
+            ast::Statement::AnalyzeTable { name } => self.run_analyze(name),
+            ast::Statement::AlterTableCompact { name, major } => {
+                let (db, tname) = self.resolve(&name);
+                let qname = format!("{db}.{tname}");
+                self.server.metastore().submit_compaction(
+                    &qname,
+                    None,
+                    if major {
+                        CompactionKind::Major
+                    } else {
+                        CompactionKind::Minor
+                    },
+                );
+                let done = self.run_maintenance()?;
+                Ok(QueryResult::message(format!(
+                    "compaction requested for {qname}; {done} request(s) processed"
+                )))
+            }
+            ast::Statement::ShowTables => {
+                let tables = self.server.metastore().list_tables(&self.current_db())?;
+                let schema = Schema::new(vec![hive_common::Field::new(
+                    "tab_name",
+                    hive_common::DataType::String,
+                )]);
+                let rows: Vec<Row> = tables
+                    .into_iter()
+                    .map(|t| Row::new(vec![Value::String(t)]))
+                    .collect();
+                Ok(QueryResult {
+                    batch: VectorBatch::from_rows(&schema, &rows)?,
+                    ..QueryResult::empty()
+                })
+            }
+            ast::Statement::ShowPartitions { name } => {
+                let (db, tname) = self.resolve(&name);
+                let table = self.server.metastore().get_table(&db, &tname)?;
+                let schema = Schema::new(vec![hive_common::Field::new(
+                    "partition",
+                    hive_common::DataType::String,
+                )]);
+                let rows: Vec<Row> = table
+                    .partitions
+                    .keys()
+                    .map(|p| Row::new(vec![Value::String(p.clone())]))
+                    .collect();
+                Ok(QueryResult {
+                    batch: VectorBatch::from_rows(&schema, &rows)?,
+                    ..QueryResult::empty()
+                })
+            }
+            ast::Statement::Describe { name, extended } => {
+                let (db, tname) = self.resolve(&name);
+                let table = self.server.metastore().get_table(&db, &tname)?;
+                let schema = Schema::new(vec![
+                    hive_common::Field::new("col_name", hive_common::DataType::String),
+                    hive_common::Field::new("data_type", hive_common::DataType::String),
+                    hive_common::Field::new("comment", hive_common::DataType::String),
+                ]);
+                let mut rows: Vec<Row> = Vec::new();
+                for f in table.schema.fields() {
+                    rows.push(Row::new(vec![
+                        Value::String(f.name.clone()),
+                        Value::String(f.data_type.to_string()),
+                        Value::String(if f.nullable { "" } else { "NOT NULL" }.into()),
+                    ]));
+                }
+                for f in &table.partition_keys {
+                    rows.push(Row::new(vec![
+                        Value::String(f.name.clone()),
+                        Value::String(f.data_type.to_string()),
+                        Value::String("partition column".into()),
+                    ]));
+                }
+                if extended {
+                    rows.push(Row::new(vec![
+                        Value::String("#type".into()),
+                        Value::String(format!("{:?}", table.table_type)),
+                        Value::String(table.storage_handler.clone().unwrap_or_default()),
+                    ]));
+                    rows.push(Row::new(vec![
+                        Value::String("#location".into()),
+                        Value::String(table.location.clone()),
+                        Value::String(format!("{} partitions", table.partitions.len())),
+                    ]));
+                    let stats = self
+                        .server
+                        .metastore()
+                        .table_stats(&table.qualified_name());
+                    rows.push(Row::new(vec![
+                        Value::String("#rows".into()),
+                        Value::String(stats.row_count.to_string()),
+                        Value::String(String::new()),
+                    ]));
+                }
+                Ok(QueryResult {
+                    batch: VectorBatch::from_rows(&schema, &rows)?,
+                    ..QueryResult::empty()
+                })
+            }
+            ast::Statement::ShowCompactions => {
+                let schema = Schema::new(vec![
+                    hive_common::Field::new("table", hive_common::DataType::String),
+                    hive_common::Field::new("partition", hive_common::DataType::String),
+                    hive_common::Field::new("kind", hive_common::DataType::String),
+                    hive_common::Field::new("state", hive_common::DataType::String),
+                ]);
+                let rows: Vec<Row> = self
+                    .server
+                    .metastore()
+                    .show_compactions()
+                    .into_iter()
+                    .map(|r| {
+                        Row::new(vec![
+                            Value::String(r.table),
+                            r.partition.map(Value::String).unwrap_or(Value::Null),
+                            Value::String(format!("{:?}", r.kind)),
+                            Value::String(format!("{:?}", r.state)),
+                        ])
+                    })
+                    .collect();
+                Ok(QueryResult {
+                    batch: VectorBatch::from_rows(&schema, &rows)?,
+                    ..QueryResult::empty()
+                })
+            }
+            ast::Statement::ShowTransactions => {
+                let schema = Schema::new(vec![
+                    hive_common::Field::new("txn_id", hive_common::DataType::BigInt),
+                    hive_common::Field::new("state", hive_common::DataType::String),
+                    hive_common::Field::new("tables", hive_common::DataType::String),
+                ]);
+                let rows: Vec<Row> = self
+                    .server
+                    .metastore()
+                    .show_transactions()
+                    .into_iter()
+                    .map(|(id, state, tables)| {
+                        Row::new(vec![
+                            Value::BigInt(id.0 as i64),
+                            Value::String(format!("{state:?}")),
+                            Value::String(tables.join(",")),
+                        ])
+                    })
+                    .collect();
+                Ok(QueryResult {
+                    batch: VectorBatch::from_rows(&schema, &rows)?,
+                    ..QueryResult::empty()
+                })
+            }
+        }
+    }
+
+    fn resolve(&self, name: &ast::ObjectName) -> (String, String) {
+        (
+            name.db.clone().unwrap_or_else(|| self.current_db()),
+            name.name.clone(),
+        )
+    }
+
+    // ---- SELECT ------------------------------------------------------------
+
+    /// Analyze + optimize a query under the session catalog.
+    pub(crate) fn plan_query(
+        &self,
+        q: &ast::Query,
+        conf: &HiveConf,
+    ) -> Result<(LogicalPlan, bool)> {
+        let cat = MetastoreCatalog::new(self.server.metastore().clone(), self.current_db());
+        let analyzer = Analyzer::new(&cat);
+        let analyzed = analyzer.analyze_query(q)?;
+        let usable_views = if conf.mv_rewriting {
+            mv::usable_views(self)?
+        } else {
+            vec![]
+        };
+        let before_fp = fingerprint(&analyzed);
+        let ctx = OptimizerContext {
+            metastore: self.server.metastore(),
+            conf,
+            usable_views,
+        };
+        let mut plan = Optimizer::optimize(analyzed, &ctx)?;
+        let used_mv = plan
+            .referenced_tables()
+            .iter()
+            .any(|t| is_mv_table(self.server.metastore(), t))
+            && fingerprint(&plan) != before_fp;
+        // Federation pushdown when external tables participate.
+        let has_external = {
+            let mut found = false;
+            plan.visit(&mut |p| {
+                if let LogicalPlan::Scan { table, .. } = p {
+                    if table.handler.is_some() {
+                        found = true;
+                    }
+                }
+            });
+            found
+        };
+        if has_external {
+            plan = hive_federation::pushdown::push_to_external(&plan);
+        }
+        Ok((plan, used_mv))
+    }
+
+    fn run_select(&self, q: &ast::Query, conf: &HiveConf) -> Result<QueryResult> {
+        // Workload-manager admission (§5.2).
+        let admission = self
+            .server
+            .workload(|w| w.admit(&self.user, self.application.as_deref()))?;
+
+        let result = self.run_select_admitted(q, conf);
+
+        // Trigger evaluation on the recorded (simulated) runtime, then
+        // release the slot.
+        let pool = admission.pool.clone();
+        if let Ok(r) = &result {
+            if let Some(action) = self
+                .server
+                .workload(|w| w.check_triggers(&pool, r.sim_ms as u64))
+            {
+                match action {
+                    TriggerAction::Kill => {
+                        self.server.workload(|w| w.release(&pool));
+                        return Err(HiveError::Workload(format!(
+                            "query killed by trigger in pool {pool}"
+                        )));
+                    }
+                    TriggerAction::MoveToPool(target) => {
+                        // Accounting already transferred by the manager.
+                        self.server.workload(|w| w.release(&target));
+                        return result;
+                    }
+                }
+            }
+        }
+        self.server.workload(|w| w.release(&pool));
+        result
+    }
+
+    fn run_select_admitted(&self, q: &ast::Query, conf: &HiveConf) -> Result<QueryResult> {
+        let (plan, used_mv) = self.plan_query(q, conf)?;
+        // Results cache probe (§4.3): deterministic queries only.
+        let cacheable = conf.results_cache && plan_is_deterministic(&plan);
+        let key = fingerprint(&plan);
+        let mut claimed = false;
+        if cacheable {
+            match self.server.results_cache().probe(key, |t| {
+                self.server.metastore().table_write_hwm(t)
+            }) {
+                CacheOutcome::Hit(batch) | CacheOutcome::HitAfterWait(batch) => {
+                    return Ok(QueryResult {
+                        batch,
+                        sim_ms: 2.0, // single fetch task (§4.3)
+                        from_cache: true,
+                        used_mv,
+                        ..QueryResult::empty()
+                    });
+                }
+                CacheOutcome::MissClaimed => claimed = true,
+            }
+        }
+        let outcome = self.execute_plan_with_retry(&plan, conf);
+        match outcome {
+            Ok((batch, trace, reexecuted)) => {
+                if claimed {
+                    let snapshot = plan
+                        .referenced_tables()
+                        .iter()
+                        .map(|t| (t.clone(), self.server.metastore().table_write_hwm(t)))
+                        .collect();
+                    self.server
+                        .results_cache()
+                        .fill(key, batch.clone(), snapshot);
+                }
+                let sim_ms =
+                    hive_exec::simulate_ms(&trace, conf, &self.server.inner.sim_model);
+                Ok(QueryResult {
+                    batch,
+                    sim_ms,
+                    from_cache: false,
+                    used_mv,
+                    reexecuted,
+                    affected_rows: 0,
+                    bytes_disk: trace.total(|n| n.bytes_disk),
+                    bytes_cache: trace.total(|n| n.bytes_cache),
+                    message: None,
+                })
+            }
+            Err(e) => {
+                if claimed {
+                    self.server.results_cache().abandon(key);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute with §4.2 re-optimization: on a retryable failure, persist
+    /// runtime statistics and re-execute under the overlay configuration.
+    fn execute_plan_with_retry(
+        &self,
+        plan: &LogicalPlan,
+        conf: &HiveConf,
+    ) -> Result<(VectorBatch, NodeTrace, bool)> {
+        match self.execute_plan(plan, conf) {
+            Ok((b, t)) => Ok((b, t, false)),
+            Err(e) if e.is_retryable() && conf.reoptimization => {
+                // Persist what we know for future planning, then retry
+                // under the overlay configuration.
+                self.server.metastore().save_runtime_stats(
+                    &hive_optimizer::fingerprint::fingerprint_hex(plan),
+                    vec![("retryable_failure".to_string(), 1)],
+                );
+                let overlay = hive_exec::engine::overlay_conf(conf);
+                let (b, t) = self.execute_plan(plan, &overlay)?;
+                Ok((b, t, true))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    pub(crate) fn execute_plan(
+        &self,
+        plan: &LogicalPlan,
+        conf: &HiveConf,
+    ) -> Result<(VectorBatch, NodeTrace)> {
+        let snaps = QuerySnapshots::new(self.server.metastore(), None);
+        let scanner = self.server.federation_scanner();
+        let mut ctx = ExecContext::new(
+            self.server.fs(),
+            self.server.metastore(),
+            conf,
+            Some(self.server.llap()),
+            &snaps,
+            Some(&scanner),
+        );
+        ctx.prepare_shared_work(plan);
+        let (batch, trace) = exec_plan(plan, &ctx)?;
+        // Persist runtime operator statistics (§4.2/§9).
+        self.server.metastore().save_runtime_stats(
+            &hive_optimizer::fingerprint::fingerprint_hex(plan),
+            trace.operator_rows(),
+        );
+        Ok((batch, trace))
+    }
+
+    fn run_explain(&self, stmt: ast::Statement, conf: &HiveConf) -> Result<QueryResult> {
+        let text = match stmt {
+            ast::Statement::Query(q) => {
+                let (plan, used_mv) = self.plan_query(&q, conf)?;
+                let mut t = plan.explain();
+                if used_mv {
+                    t.push_str("(query rewritten over materialized view)\n");
+                }
+                t
+            }
+            other => format!("{other:#?}"),
+        };
+        let schema = Schema::new(vec![hive_common::Field::new(
+            "plan",
+            hive_common::DataType::String,
+        )]);
+        let rows: Vec<Row> = text
+            .lines()
+            .map(|l| Row::new(vec![Value::String(l.to_string())]))
+            .collect();
+        Ok(QueryResult {
+            batch: VectorBatch::from_rows(&schema, &rows)?,
+            message: Some(text),
+            ..QueryResult::empty()
+        })
+    }
+
+    // ---- DDL ---------------------------------------------------------------
+
+    fn run_create_table(&self, ct: ast::CreateTable) -> Result<QueryResult> {
+        let (db, name) = self.resolve(&ct.name);
+        if self.server.metastore().table_exists(&db, &name) {
+            if ct.if_not_exists {
+                return Ok(QueryResult::message(format!("{db}.{name} exists")));
+            }
+            return Err(HiveError::Catalog(format!("table exists: {db}.{name}")));
+        }
+        let data_fields: Vec<hive_common::Field> = if ct.columns.is_empty() {
+            // CTAS without a column list: derive the schema from the
+            // query. (Handler-backed tables with `()` infer via the
+            // metastore hook below instead.)
+            match &ct.as_query {
+                Some(q) => {
+                    let conf = self.server.conf();
+                    let (plan, _) = self.plan_query(q, &conf)?;
+                    plan.schema().fields().to_vec()
+                }
+                None => Vec::new(),
+            }
+        } else {
+            ct.columns
+                .iter()
+                .map(|c| {
+                    if c.not_null {
+                        hive_common::Field::not_null(c.name.clone(), c.data_type.clone())
+                    } else {
+                        hive_common::Field::new(c.name.clone(), c.data_type.clone())
+                    }
+                })
+                .collect()
+        };
+        let part_fields: Vec<hive_common::Field> = ct
+            .partitioned_by
+            .iter()
+            .map(|c| hive_common::Field::new(c.name.clone(), c.data_type.clone()))
+            .collect();
+        let mut builder = TableBuilder::new(&db, &name, Schema::new(data_fields))
+            .partitioned_by(part_fields);
+        for c in &ct.constraints {
+            builder = builder.constraint(convert_constraint(c));
+        }
+        for (k, v) in &ct.properties {
+            builder = builder.property(k, v);
+        }
+        if let Some(h) = &ct.stored_by {
+            builder = builder.stored_by(h);
+        } else if ct.external {
+            builder = builder.table_type(TableType::External);
+        }
+        let mut table = builder.build();
+        // Metastore hook for storage handlers (§6.1): may infer schema.
+        if let Some(h) = &ct.stored_by {
+            let handler = self.server.inner.registry.get(h)?;
+            handler.on_table_created(&mut table)?;
+        }
+        let qname = table.qualified_name();
+        self.server.metastore().create_table(table)?;
+        self.server
+            .fs()
+            .mkdirs(&DfsPath::new(format!("/warehouse/{db}/{name}")));
+        // CTAS.
+        if let Some(q) = ct.as_query {
+            let insert = ast::Insert {
+                table: ct.name.clone(),
+                columns: None,
+                source: ast::InsertSource::Query(q),
+                overwrite: false,
+            };
+            let r = self.run_insert(insert)?;
+            return Ok(QueryResult {
+                message: Some(format!("created {qname} as select")),
+                ..r
+            });
+        }
+        Ok(QueryResult::message(format!("created table {qname}")))
+    }
+
+    fn run_drop_table(&self, name: ast::ObjectName, if_exists: bool) -> Result<QueryResult> {
+        let (db, tname) = self.resolve(&name);
+        if !self.server.metastore().table_exists(&db, &tname) {
+            if if_exists {
+                return Ok(QueryResult::message("nothing to drop"));
+            }
+            return Err(HiveError::Catalog(format!("table not found: {db}.{tname}")));
+        }
+        let qname = format!("{db}.{tname}");
+        // DROP takes an exclusive lock (§3.2).
+        let txn = self.server.metastore().open_txn();
+        self.server
+            .metastore()
+            .acquire_lock(txn, LockKey::table(&qname), LockMode::Exclusive)?;
+        let table = self.server.metastore().drop_table(&db, &tname)?;
+        let _ = self.server.fs().delete_dir(&DfsPath::new(&table.location));
+        if let Some(h) = &table.storage_handler {
+            if let Ok(handler) = self.server.inner.registry.get(h) {
+                let _ = handler.on_table_dropped(&table);
+            }
+        }
+        self.server.metastore().commit_txn(txn)?;
+        Ok(QueryResult::message(format!("dropped {qname}")))
+    }
+
+    // ---- DML ---------------------------------------------------------------
+
+    pub(crate) fn run_insert(&self, ins: ast::Insert) -> Result<QueryResult> {
+        let (db, name) = self.resolve(&ins.table);
+        let table = self.server.metastore().get_table(&db, &name)?;
+        let conf = self.server.conf();
+
+        // Evaluate the source into rows over the full insert schema
+        // (data columns then partition columns).
+        let full = table.full_schema();
+        let rows: Vec<Row> = match &ins.source {
+            ast::InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    let mut vals = Vec::with_capacity(r.len());
+                    for e in r {
+                        vals.push(eval_const_ast(e)?);
+                    }
+                    out.push(Row::new(vals));
+                }
+                out
+            }
+            ast::InsertSource::Query(q) => {
+                let (plan, _) = self.plan_query(q, &conf)?;
+                let (batch, _) = self.execute_plan_with_retry(&plan, &conf).map(|(b, t, _)| (b, t))?;
+                batch.to_rows()
+            }
+        };
+        // Column mapping.
+        let targets: Vec<usize> = match &ins.columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| full.index_of_required(c))
+                .collect::<Result<Vec<_>>>()?,
+            None => (0..full.len()).collect(),
+        };
+        let mut full_rows: Vec<Row> = Vec::with_capacity(rows.len());
+        for r in rows {
+            if r.len() != targets.len() {
+                return Err(HiveError::Analysis(format!(
+                    "INSERT arity mismatch: {} values for {} columns",
+                    r.len(),
+                    targets.len()
+                )));
+            }
+            let mut vals = vec![Value::Null; full.len()];
+            for (v, &t) in r.into_values().into_iter().zip(&targets) {
+                vals[t] = v.cast_to(&full.field(t).data_type)?;
+            }
+            // NOT NULL enforcement.
+            for (i, f) in full.fields().iter().enumerate() {
+                if !f.nullable && vals[i].is_null() {
+                    return Err(HiveError::Execution(format!(
+                        "NULL for NOT NULL column {}",
+                        f.name
+                    )));
+                }
+            }
+            full_rows.push(Row::new(vals));
+        }
+        self.insert_full_rows(&db, &name, &table, full_rows)
+    }
+
+    /// Bulk-load pre-built rows into a table (the benchmark loaders'
+    /// fast path; equivalent to one big INSERT...VALUES transaction).
+    /// Rows use the full schema: data columns then partition columns.
+    pub fn bulk_insert(&self, table_name: &str, rows: Vec<Row>) -> Result<QueryResult> {
+        let (db, name) = match table_name.split_once('.') {
+            Some((d, n)) => (d.to_string(), n.to_string()),
+            None => (self.current_db(), table_name.to_string()),
+        };
+        let table = self.server.metastore().get_table(&db, &name)?;
+        let full = table.full_schema();
+        for r in &rows {
+            if r.len() != full.len() {
+                return Err(HiveError::Analysis(format!(
+                    "bulk_insert arity mismatch: {} values for {} columns",
+                    r.len(),
+                    full.len()
+                )));
+            }
+        }
+        self.insert_full_rows(&db, &name, &table, rows)
+    }
+
+    fn insert_full_rows(
+        &self,
+        db: &str,
+        name: &str,
+        table: &Table,
+        full_rows: Vec<Row>,
+    ) -> Result<QueryResult> {
+        self.insert_full_rows_txn(db, name, table, full_rows, None)
+    }
+
+    /// Insert rows, either inside `in_txn` (multi-insert: several tables
+    /// share one transaction, §3.2) or in a fresh auto-committed one.
+    fn insert_full_rows_txn(
+        &self,
+        db: &str,
+        name: &str,
+        table: &Table,
+        full_rows: Vec<Row>,
+        in_txn: Option<TxnId>,
+    ) -> Result<QueryResult> {
+        let conf = self.server.conf();
+        let affected = full_rows.len() as u64;
+
+        if table.storage_handler.is_some() {
+            // Federated write through the output format (§6.1).
+            let handler = self
+                .server
+                .inner
+                .registry
+                .get(table.storage_handler.as_deref().unwrap())?;
+            let batch = VectorBatch::from_rows(&table.schema, &full_rows)?;
+            handler.write(table, &batch)?;
+            return Ok(QueryResult {
+                affected_rows: affected,
+                message: Some(format!("wrote {affected} rows via storage handler")),
+                ..QueryResult::empty()
+            });
+        }
+
+        let qname = table.qualified_name();
+        let (txn, auto_commit) = match in_txn {
+            Some(t) => (t, false),
+            None => (self.server.metastore().open_txn(), true),
+        };
+        let wid = self.server.metastore().allocate_write_id(txn, &qname)?;
+        let data_cols = table.schema.len();
+
+        // Route rows to partitions (dynamic partitioning).
+        let mut by_partition: HashMap<Vec<String>, (Vec<Value>, Vec<Row>)> = HashMap::new();
+        for r in full_rows {
+            let vals = r.into_values();
+            let part_values: Vec<Value> = vals[data_cols..].to_vec();
+            let part_key: Vec<String> = part_values.iter().map(|v| v.to_string()).collect();
+            let data_row = Row::new(vals[..data_cols].to_vec());
+            by_partition
+                .entry(part_key)
+                .or_insert_with(|| (part_values, Vec::new()))
+                .1
+                .push(data_row);
+        }
+        let mut stats_delta = TableStats::new(data_cols);
+        for (_, (part_values, rows)) in by_partition {
+            let dir = if table.is_partitioned() {
+                let info = self
+                    .server
+                    .metastore()
+                    .add_partition(db, name, part_values.clone())?;
+                // Shared lock at partition granularity (§3.2).
+                self.server.metastore().acquire_lock(
+                    txn,
+                    LockKey::partition(&qname, table.partition_dir_name(&part_values)),
+                    LockMode::Shared,
+                )?;
+                DfsPath::new(&info.location)
+            } else {
+                self.server.metastore().acquire_lock(
+                    txn,
+                    LockKey::table(&qname),
+                    LockMode::Shared,
+                )?;
+                DfsPath::new(&table.location)
+            };
+            let batch = VectorBatch::from_rows(&table.schema, &rows)?;
+            let writer = AcidWriter::new(self.server.fs(), &dir, table.schema.clone());
+            writer.write_insert_delta(wid, &batch)?;
+            stats_delta.update_batch(&batch);
+        }
+        if auto_commit {
+            self.server.metastore().commit_txn(txn)?;
+        }
+        self.server.metastore().merge_table_stats(&qname, &stats_delta);
+        let maintenance = if auto_commit && conf.auto_compaction {
+            self.auto_compact_check(table)?
+        } else {
+            0
+        };
+        Ok(QueryResult {
+            affected_rows: affected,
+            message: Some(format!(
+                "inserted {affected} rows{}",
+                if maintenance > 0 {
+                    format!(" ({maintenance} compaction(s) ran)")
+                } else {
+                    String::new()
+                }
+            )),
+            ..QueryResult::empty()
+        })
+    }
+
+    /// `FROM src INSERT INTO t1 ... INSERT INTO t2 ...` — every leg
+    /// evaluates against the shared source and commits atomically in
+    /// ONE transaction (§3.2: multi-insert is the way to write several
+    /// tables transactionally).
+    fn run_multi_insert(&self, mi: ast::MultiInsert) -> Result<QueryResult> {
+        let conf = self.server.conf();
+        let txn = self.server.metastore().open_txn();
+        let mut total = 0u64;
+        let mut tables: Vec<Table> = Vec::new();
+        let result = (|| -> Result<()> {
+            for leg in &mi.inserts {
+                // Each leg is SELECT <projection> FROM <source> WHERE <filter>.
+                let q = ast::Query::simple(ast::QueryBody::Select(Box::new(ast::Select {
+                    distinct: false,
+                    projection: leg.projection.clone(),
+                    from: vec![mi.source.clone()],
+                    selection: leg.filter.clone(),
+                    group_by: vec![],
+                    grouping_sets: None,
+                    having: None,
+                })));
+                let (plan, _) = self.plan_query(&q, &conf)?;
+                let (batch, _) = self.execute_plan(&plan, &conf)?;
+                let (db, name) = self.resolve(&leg.table);
+                let table = self.server.metastore().get_table(&db, &name)?;
+                let full = table.full_schema();
+                let targets: Vec<usize> = match &leg.columns {
+                    Some(cols) => cols
+                        .iter()
+                        .map(|c| full.index_of_required(c))
+                        .collect::<Result<Vec<_>>>()?,
+                    None => (0..full.len()).collect(),
+                };
+                let mut full_rows = Vec::with_capacity(batch.num_rows());
+                for r in batch.to_rows() {
+                    if r.len() != targets.len() {
+                        return Err(HiveError::Analysis(format!(
+                            "multi-insert arity mismatch for {}: {} values for {} columns",
+                            table.qualified_name(),
+                            r.len(),
+                            targets.len()
+                        )));
+                    }
+                    let mut vals = vec![Value::Null; full.len()];
+                    for (v, &t) in r.into_values().into_iter().zip(&targets) {
+                        vals[t] = v.cast_to(&full.field(t).data_type)?;
+                    }
+                    full_rows.push(Row::new(vals));
+                }
+                let r = self.insert_full_rows_txn(&db, &name, &table, full_rows, Some(txn))?;
+                total += r.affected_rows;
+                tables.push(table);
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.server.metastore().commit_txn(txn)?;
+                if conf.auto_compaction {
+                    for t in &tables {
+                        self.auto_compact_check(t)?;
+                    }
+                }
+                Ok(QueryResult {
+                    affected_rows: total,
+                    message: Some(format!(
+                        "multi-insert wrote {total} rows across {} tables in one transaction",
+                        mi.inserts.len()
+                    )),
+                    ..QueryResult::empty()
+                })
+            }
+            Err(e) => {
+                let _ = self.server.metastore().abort_txn(txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn run_update(&self, upd: ast::Update) -> Result<QueryResult> {
+        let (db, name) = self.resolve(&upd.table);
+        let table = self.server.metastore().get_table(&db, &name)?;
+        require_acid(&table, "UPDATE")?;
+        let full = table.full_schema();
+        // Partition columns cannot be updated.
+        for (col, _) in &upd.assignments {
+            if table.partition_key_index(col).is_some() {
+                return Err(HiveError::Unsupported(format!(
+                    "cannot update partition column {col}"
+                )));
+            }
+        }
+        let filter = upd
+            .filter
+            .as_ref()
+            .map(|f| lower_table_expr(f, &full))
+            .transpose()?;
+        let assignments: Vec<(usize, ScalarExpr)> = upd
+            .assignments
+            .iter()
+            .map(|(c, e)| Ok((full.index_of_required(c)?, lower_table_expr(e, &full)?)))
+            .collect::<Result<Vec<_>>>()?;
+
+        self.mutate_rows(&table, filter.as_ref(), |old_row| {
+            // UPDATE = delete + insert with assignments applied.
+            let mut new_vals = old_row.values().to_vec();
+            for (col, e) in &assignments {
+                new_vals[*col] =
+                    eval_scalar(e, old_row.values())?.cast_to(&full.field(*col).data_type)?;
+            }
+            Ok(Some(Row::new(new_vals)))
+        })
+    }
+
+    fn run_delete(&self, del: ast::Delete) -> Result<QueryResult> {
+        let (db, name) = self.resolve(&del.table);
+        let table = self.server.metastore().get_table(&db, &name)?;
+        require_acid(&table, "DELETE")?;
+        let full = table.full_schema();
+        let filter = del
+            .filter
+            .as_ref()
+            .map(|f| lower_table_expr(f, &full))
+            .transpose()?;
+        self.mutate_rows(&table, filter.as_ref(), |_old| Ok(None))
+    }
+
+    /// Shared UPDATE/DELETE machinery: scan matching rows with their
+    /// identities, write delete deltas (+ replacement inserts), commit
+    /// with first-commit-wins conflict detection.
+    fn mutate_rows(
+        &self,
+        table: &Table,
+        filter: Option<&ScalarExpr>,
+        mut replace: impl FnMut(&Row) -> Result<Option<Row>>,
+    ) -> Result<QueryResult> {
+        let qname = table.qualified_name();
+        let conf = self.server.conf();
+        let txn = self.server.metastore().open_txn();
+        let snaps = QuerySnapshots::new(self.server.metastore(), Some(txn));
+        let wlist = snaps.write_ids(&qname);
+        let wid = self.server.metastore().allocate_write_id(txn, &qname)?;
+
+        let dirs: Vec<(DfsPath, Vec<Value>, Option<String>)> = if table.is_partitioned() {
+            table
+                .partitions
+                .iter()
+                .map(|(d, info)| {
+                    (
+                        DfsPath::new(&info.location),
+                        info.values.clone(),
+                        Some(d.clone()),
+                    )
+                })
+                .collect()
+        } else {
+            vec![(DfsPath::new(&table.location), vec![], None)]
+        };
+        let data_cols = table.schema.len();
+        let mut affected = 0u64;
+        let mut commit_err: Option<HiveError> = None;
+        for (dir, part_values, part_name) in dirs {
+            let scan = AcidScan::new(self.server.fs(), &dir, table.schema.clone(), wlist.clone())?;
+            let proj: Vec<usize> = (0..data_cols).collect();
+            let with_ids = scan.read(&proj, &SearchArgument::new(), true)?;
+            let mut victims = Vec::new();
+            let mut replacements: Vec<Row> = Vec::new();
+            for i in 0..with_ids.num_rows() {
+                let row = with_ids.row(i);
+                // Full row = data columns + partition constants.
+                let mut full_vals = row.values()[hive_acid::ACID_COLS..].to_vec();
+                full_vals.extend(part_values.iter().cloned());
+                let full_row = Row::new(full_vals);
+                let matched = match filter {
+                    Some(f) => {
+                        eval_scalar(f, full_row.values())? == Value::Boolean(true)
+                    }
+                    None => true,
+                };
+                if !matched {
+                    continue;
+                }
+                affected += 1;
+                victims.push(hive_acid::writer::record_id_at(&with_ids, i));
+                if let Some(new_row) = replace(&full_row)? {
+                    replacements.push(Row::new(new_row.values()[..data_cols].to_vec()));
+                }
+            }
+            if victims.is_empty() {
+                continue;
+            }
+            // Optimistic conflict tracking at partition granularity.
+            self.server
+                .metastore()
+                .add_write_set(txn, &qname, part_name.clone())?;
+            let writer = AcidWriter::new(self.server.fs(), &dir, table.schema.clone());
+            writer.write_delete_delta(wid, &victims)?;
+            if !replacements.is_empty() {
+                let batch = VectorBatch::from_rows(&table.schema, &replacements)?;
+                writer.write_insert_delta(wid, &batch)?;
+            }
+        }
+        match self.server.metastore().commit_txn(txn) {
+            Ok(()) => {}
+            Err(e) => commit_err = Some(e),
+        }
+        if let Some(e) = commit_err {
+            return Err(e);
+        }
+        let maintenance = if conf.auto_compaction {
+            self.auto_compact_check(table)?
+        } else {
+            0
+        };
+        let _ = maintenance;
+        Ok(QueryResult {
+            affected_rows: affected,
+            message: Some(format!("{affected} rows affected")),
+            ..QueryResult::empty()
+        })
+    }
+
+    fn run_merge(&self, m: ast::Merge) -> Result<QueryResult> {
+        let (db, name) = self.resolve(&m.target);
+        let table = self.server.metastore().get_table(&db, &name)?;
+        require_acid(&table, "MERGE")?;
+        let conf = self.server.conf();
+        let full = table.full_schema();
+        let target_alias = m
+            .target_alias
+            .clone()
+            .unwrap_or_else(|| table.name.clone());
+
+        // Evaluate the source as SELECT * FROM <source>.
+        let src_query = ast::Query::simple(ast::QueryBody::Select(Box::new(ast::Select {
+            distinct: false,
+            projection: vec![ast::SelectItem::Wildcard],
+            from: vec![m.source.clone()],
+            selection: None,
+            group_by: vec![],
+            grouping_sets: None,
+            having: None,
+        })));
+        let (src_plan, _) = self.plan_query(&src_query, &conf)?;
+        let src_schema = src_plan.schema();
+        let (src_batch, _) = self.execute_plan(&src_plan, &conf)?;
+        let source_alias = match &m.source {
+            ast::TableRef::Table { alias, name, .. } => {
+                alias.clone().unwrap_or_else(|| name.name.clone())
+            }
+            ast::TableRef::Subquery { alias, .. } => alias.clone(),
+            _ => "src".to_string(),
+        };
+
+        // Combined scope: target full schema then source schema.
+        let scope = MergeScope {
+            target_alias: &target_alias,
+            target: &full,
+            source_alias: &source_alias,
+            source: &src_schema,
+        };
+        let on = scope.lower(&m.on)?;
+        let upd_arm = m
+            .when_matched_update
+            .as_ref()
+            .map(|u| {
+                Ok::<_, HiveError>((
+                    u.condition.as_ref().map(|c| scope.lower(c)).transpose()?,
+                    u.assignments
+                        .iter()
+                        .map(|(c, e)| Ok((full.index_of_required(c)?, scope.lower(e)?)))
+                        .collect::<Result<Vec<_>>>()?,
+                ))
+            })
+            .transpose()?;
+        let del_arm = m
+            .when_matched_delete
+            .as_ref()
+            .map(|c| c.as_ref().map(|c| scope.lower(c)).transpose())
+            .transpose()?;
+        let ins_arm = m
+            .when_not_matched_insert
+            .as_ref()
+            .map(|ins| {
+                let cols: Vec<usize> = match &ins.columns {
+                    Some(cs) => cs
+                        .iter()
+                        .map(|c| full.index_of_required(c))
+                        .collect::<Result<Vec<_>>>()?,
+                    None => (0..full.len()).collect(),
+                };
+                let exprs = ins
+                    .values
+                    .iter()
+                    .map(|e| scope.lower_source_only(e))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok::<_, HiveError>((cols, exprs))
+            })
+            .transpose()?;
+
+        // Scan the target with identities, per partition.
+        let qname = table.qualified_name();
+        let txn = self.server.metastore().open_txn();
+        let snaps = QuerySnapshots::new(self.server.metastore(), Some(txn));
+        let wlist = snaps.write_ids(&qname);
+        let wid = self.server.metastore().allocate_write_id(txn, &qname)?;
+        let data_cols = table.schema.len();
+        let dirs: Vec<(DfsPath, Vec<Value>, Option<String>)> = if table.is_partitioned() {
+            table
+                .partitions
+                .iter()
+                .map(|(d, i)| (DfsPath::new(&i.location), i.values.clone(), Some(d.clone())))
+                .collect()
+        } else {
+            vec![(DfsPath::new(&table.location), vec![], None)]
+        };
+        let mut matched_sources = vec![false; src_batch.num_rows()];
+        let mut affected = 0u64;
+        for (dir, part_values, part_name) in dirs {
+            let scan = AcidScan::new(self.server.fs(), &dir, table.schema.clone(), wlist.clone())?;
+            let proj: Vec<usize> = (0..data_cols).collect();
+            let with_ids = scan.read(&proj, &SearchArgument::new(), true)?;
+            let mut victims = Vec::new();
+            let mut replacements: Vec<Row> = Vec::new();
+            for i in 0..with_ids.num_rows() {
+                let row = with_ids.row(i);
+                let mut target_vals = row.values()[hive_acid::ACID_COLS..].to_vec();
+                target_vals.extend(part_values.iter().cloned());
+                // Find matching source rows (nested loop; MERGE sources
+                // are small dimension deltas in our workloads).
+                let mut any = false;
+                for s in 0..src_batch.num_rows() {
+                    let mut combined = target_vals.clone();
+                    combined.extend(src_batch.row(s).into_values());
+                    if eval_scalar(&on, &combined)? != Value::Boolean(true) {
+                        continue;
+                    }
+                    matched_sources[s] = true;
+                    if any {
+                        continue; // first source match drives the action
+                    }
+                    any = true;
+                    // WHEN MATCHED arms (update first, then delete).
+                    if let Some((cond, assignments)) = &upd_arm {
+                        let applies = match cond {
+                            Some(c) => eval_scalar(c, &combined)? == Value::Boolean(true),
+                            None => true,
+                        };
+                        if applies {
+                            affected += 1;
+                            victims.push(hive_acid::writer::record_id_at(&with_ids, i));
+                            let mut new_vals = target_vals.clone();
+                            for (col, e) in assignments {
+                                new_vals[*col] = eval_scalar(e, &combined)?
+                                    .cast_to(&full.field(*col).data_type)?;
+                            }
+                            replacements.push(Row::new(new_vals[..data_cols].to_vec()));
+                            continue;
+                        }
+                    }
+                    if let Some(cond) = &del_arm {
+                        let applies = match cond {
+                            Some(c) => eval_scalar(c, &combined)? == Value::Boolean(true),
+                            None => true,
+                        };
+                        if applies {
+                            affected += 1;
+                            victims.push(hive_acid::writer::record_id_at(&with_ids, i));
+                        }
+                    }
+                }
+            }
+            if !victims.is_empty() {
+                self.server
+                    .metastore()
+                    .add_write_set(txn, &qname, part_name.clone())?;
+                let writer = AcidWriter::new(self.server.fs(), &dir, table.schema.clone());
+                writer.write_delete_delta(wid, &victims)?;
+                if !replacements.is_empty() {
+                    let batch = VectorBatch::from_rows(&table.schema, &replacements)?;
+                    writer.write_insert_delta(wid, &batch)?;
+                }
+            }
+        }
+        // WHEN NOT MATCHED THEN INSERT.
+        if let Some((cols, exprs)) = &ins_arm {
+            let mut new_rows: Vec<Row> = Vec::new();
+            for s in 0..src_batch.num_rows() {
+                if matched_sources[s] {
+                    continue;
+                }
+                let src_vals = src_batch.row(s).into_values();
+                let mut vals = vec![Value::Null; full.len()];
+                for (e, &c) in exprs.iter().zip(cols) {
+                    vals[c] = eval_scalar(e, &src_vals)?.cast_to(&full.field(c).data_type)?;
+                }
+                new_rows.push(Row::new(vals));
+                affected += 1;
+            }
+            if !new_rows.is_empty() {
+                // Route through the same partition logic as INSERT.
+                let mut by_partition: HashMap<Vec<String>, (Vec<Value>, Vec<Row>)> =
+                    HashMap::new();
+                for r in new_rows {
+                    let vals = r.into_values();
+                    let part_values: Vec<Value> = vals[data_cols..].to_vec();
+                    let key: Vec<String> = part_values.iter().map(|v| v.to_string()).collect();
+                    by_partition
+                        .entry(key)
+                        .or_insert_with(|| (part_values, Vec::new()))
+                        .1
+                        .push(Row::new(vals[..data_cols].to_vec()));
+                }
+                for (_, (part_values, rows)) in by_partition {
+                    let dir = if table.is_partitioned() {
+                        let info =
+                            self.server
+                                .metastore()
+                                .add_partition(&db, &name, part_values)?;
+                        DfsPath::new(&info.location)
+                    } else {
+                        DfsPath::new(&table.location)
+                    };
+                    let writer = AcidWriter::new(self.server.fs(), &dir, table.schema.clone());
+                    let batch = VectorBatch::from_rows(&table.schema, &rows)?;
+                    writer.write_insert_delta(wid, &batch)?;
+                }
+            }
+        }
+        self.server.metastore().commit_txn(txn)?;
+        if conf.auto_compaction {
+            self.auto_compact_check(&table)?;
+        }
+        Ok(QueryResult {
+            affected_rows: affected,
+            message: Some(format!("MERGE affected {affected} rows")),
+            ..QueryResult::empty()
+        })
+    }
+
+    fn run_analyze(&self, name: ast::ObjectName) -> Result<QueryResult> {
+        let (db, tname) = self.resolve(&name);
+        let table = self.server.metastore().get_table(&db, &tname)?;
+        let qname = table.qualified_name();
+        let snaps = QuerySnapshots::new(self.server.metastore(), None);
+        let wlist = snaps.write_ids(&qname);
+        let mut stats = TableStats::new(table.schema.len());
+        let dirs: Vec<DfsPath> = if table.is_partitioned() {
+            table
+                .partitions
+                .values()
+                .map(|i| DfsPath::new(&i.location))
+                .collect()
+        } else {
+            vec![DfsPath::new(&table.location)]
+        };
+        let proj: Vec<usize> = (0..table.schema.len()).collect();
+        for dir in dirs {
+            let scan = AcidScan::new(self.server.fs(), &dir, table.schema.clone(), wlist.clone())?;
+            let batch = scan.read(&proj, &SearchArgument::new(), false)?;
+            stats.update_batch(&batch);
+        }
+        let rows = stats.row_count;
+        self.server.metastore().set_table_stats(&qname, stats);
+        Ok(QueryResult::message(format!(
+            "computed statistics for {qname}: {rows} rows"
+        )))
+    }
+
+    // ---- compaction service -------------------------------------------------
+
+    /// Check thresholds (§3.2: "compaction is triggered automatically by
+    /// HS2 when certain thresholds are surpassed") and run any queued
+    /// work.
+    pub(crate) fn auto_compact_check(&self, table: &Table) -> Result<usize> {
+        let conf = self.server.conf();
+        let qname = table.qualified_name();
+        let snaps = QuerySnapshots::new(self.server.metastore(), None);
+        let wlist = snaps.write_ids(&qname);
+        let dirs: Vec<(Option<String>, DfsPath)> = if table.is_partitioned() {
+            table
+                .partitions
+                .iter()
+                .map(|(d, i)| (Some(d.clone()), DfsPath::new(&i.location)))
+                .collect()
+        } else {
+            vec![(None, DfsPath::new(&table.location))]
+        };
+        for (part, dir) in dirs {
+            let snap = resolve_snapshot(self.server.fs(), &dir, &wlist);
+            if snap.delta_count() >= conf.compaction_delta_threshold {
+                let kind = if snap.base.is_none()
+                    || snap.delta_count() >= 2 * conf.compaction_delta_threshold
+                {
+                    CompactionKind::Major
+                } else {
+                    CompactionKind::Minor
+                };
+                self.server.metastore().submit_compaction(&qname, part, kind);
+            }
+        }
+        self.run_maintenance()
+    }
+
+    /// Drain the compaction queue (the HS2 background workers' role).
+    pub(crate) fn run_maintenance(&self) -> Result<usize> {
+        let mut done = 0;
+        while let Some(req) = self.server.metastore().next_compaction() {
+            let Some((db, tname)) = req.table.split_once('.') else {
+                self.server
+                    .metastore()
+                    .set_compaction_state(req.id, CompactionState::Failed);
+                continue;
+            };
+            let Ok(table) = self.server.metastore().get_table(db, tname) else {
+                self.server
+                    .metastore()
+                    .set_compaction_state(req.id, CompactionState::Failed);
+                continue;
+            };
+            let dir = match &req.partition {
+                Some(p) => match table.partitions.get(p) {
+                    Some(i) => DfsPath::new(&i.location),
+                    None => {
+                        self.server
+                            .metastore()
+                            .set_compaction_state(req.id, CompactionState::Failed);
+                        continue;
+                    }
+                },
+                None => DfsPath::new(&table.location),
+            };
+            let snaps = QuerySnapshots::new(self.server.metastore(), None);
+            let wlist = snaps.write_ids(&req.table);
+            let compactor = Compactor::new(self.server.fs(), &dir, table.schema.clone());
+            let outcome = match req.kind {
+                CompactionKind::Minor => compactor.minor(&wlist),
+                CompactionKind::Major => compactor.major(&wlist),
+            };
+            match outcome {
+                Ok(Some(o)) => {
+                    self.server
+                        .metastore()
+                        .set_compaction_state(req.id, CompactionState::ReadyForCleaning);
+                    // The cleaner runs once in-flight readers drain; our
+                    // queries are synchronous, so immediately.
+                    compactor.clean(&o)?;
+                    if let Some(base) = o.new_base_wid {
+                        self.server
+                            .metastore()
+                            .truncate_aborted_history(&req.table, base);
+                    }
+                    self.server
+                        .metastore()
+                        .set_compaction_state(req.id, CompactionState::Succeeded);
+                    done += 1;
+                }
+                Ok(None) => {
+                    self.server
+                        .metastore()
+                        .set_compaction_state(req.id, CompactionState::Succeeded);
+                }
+                Err(_) => {
+                    self.server
+                        .metastore()
+                        .set_compaction_state(req.id, CompactionState::Failed);
+                }
+            }
+        }
+        Ok(done)
+    }
+}
+
+fn require_acid(table: &Table, op: &str) -> Result<()> {
+    if table.is_acid() {
+        Ok(())
+    } else {
+        Err(HiveError::Unsupported(format!(
+            "{op} requires a full-ACID managed table; {} is not",
+            table.qualified_name()
+        )))
+    }
+}
+
+fn is_mv_table(ms: &Metastore, qualified: &str) -> bool {
+    qualified
+        .split_once('.')
+        .and_then(|(db, t)| ms.get_table(db, t).ok())
+        .map(|t| t.table_type == TableType::MaterializedView)
+        .unwrap_or(false)
+}
+
+fn convert_constraint(c: &ast::TableConstraintDef) -> hive_metastore::Constraint {
+    match c {
+        ast::TableConstraintDef::PrimaryKey(cols) => {
+            hive_metastore::Constraint::PrimaryKey(cols.clone())
+        }
+        ast::TableConstraintDef::ForeignKey {
+            columns,
+            ref_table,
+            ref_columns,
+        } => hive_metastore::Constraint::ForeignKey {
+            columns: columns.clone(),
+            ref_table: ref_table.to_string(),
+            ref_columns: ref_columns.clone(),
+        },
+        ast::TableConstraintDef::Unique(cols) => {
+            hive_metastore::Constraint::Unique(cols.clone())
+        }
+    }
+}
+
+/// Is every expression in the plan deterministic (cacheable)?
+fn plan_is_deterministic(plan: &LogicalPlan) -> bool {
+    let mut det = true;
+    plan.visit(&mut |p| {
+        let mut check = |e: &ScalarExpr| {
+            if !e.is_deterministic() {
+                det = false;
+            }
+        };
+        match p {
+            LogicalPlan::Filter { predicate, .. } => check(predicate),
+            LogicalPlan::Project { exprs, .. } => exprs.iter().for_each(&mut check),
+            LogicalPlan::Scan { filters, .. } => filters.iter().for_each(&mut check),
+            LogicalPlan::Aggregate { group_exprs, aggs, .. } => {
+                group_exprs.iter().for_each(&mut check);
+                for a in aggs {
+                    if let Some(arg) = &a.arg {
+                        check(arg);
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+    det
+}
+
+/// Evaluate a constant AST expression (INSERT VALUES payloads).
+fn eval_const_ast(e: &ast::Expr) -> Result<Value> {
+    match e {
+        ast::Expr::Literal(v) => Ok(v.clone()),
+        ast::Expr::Negate(inner) => eval_const_ast(inner)?.neg(),
+        ast::Expr::Cast { expr, to } => eval_const_ast(expr)?.cast_to(to),
+        ast::Expr::BinaryOp { left, op, right } => hive_optimizer::eval::eval_binary(
+            *op,
+            &eval_const_ast(left)?,
+            &eval_const_ast(right)?,
+        ),
+        other => Err(HiveError::Unsupported(format!(
+            "INSERT VALUES requires constant expressions, got {other}"
+        ))),
+    }
+}
+
+/// Lower an AST expression against one table's full schema (UPDATE and
+/// DELETE predicates: single table, no subqueries).
+pub(crate) fn lower_table_expr(e: &ast::Expr, schema: &Schema) -> Result<ScalarExpr> {
+    lower_with(e, &mut |qualifier, name| {
+        let _ = qualifier;
+        schema.index_of_required(name)
+    })
+}
+
+/// MERGE name resolution over (target ++ source).
+struct MergeScope<'a> {
+    target_alias: &'a str,
+    target: &'a Schema,
+    source_alias: &'a str,
+    source: &'a Schema,
+}
+
+impl MergeScope<'_> {
+    fn lower(&self, e: &ast::Expr) -> Result<ScalarExpr> {
+        lower_with(e, &mut |qualifier, name| {
+            match qualifier {
+                Some(q) if q == self.target_alias => self.target.index_of_required(name),
+                Some(q) if q == self.source_alias => self
+                    .source
+                    .index_of_required(name)
+                    .map(|i| i + self.target.len()),
+                Some(q) => Err(HiveError::Analysis(format!("unknown alias {q}"))),
+                None => match self.target.index_of(name) {
+                    Some(i) => Ok(i),
+                    None => self
+                        .source
+                        .index_of_required(name)
+                        .map(|i| i + self.target.len()),
+                },
+            }
+        })
+    }
+
+    /// For INSERT arm values: only source columns are in scope, and the
+    /// produced expression evaluates against a source row alone.
+    fn lower_source_only(&self, e: &ast::Expr) -> Result<ScalarExpr> {
+        lower_with(e, &mut |qualifier, name| match qualifier {
+            Some(q) if q == self.source_alias => self.source.index_of_required(name),
+            None => self.source.index_of_required(name),
+            Some(q) => Err(HiveError::Analysis(format!(
+                "MERGE insert values may only reference the source ({q} given)"
+            ))),
+        })
+    }
+}
+
+/// Generic single-scope AST lowering used by DML paths.
+fn lower_with(
+    e: &ast::Expr,
+    resolve: &mut impl FnMut(Option<&str>, &str) -> Result<usize>,
+) -> Result<ScalarExpr> {
+    Ok(match e {
+        ast::Expr::Literal(v) => ScalarExpr::Literal(v.clone()),
+        ast::Expr::Column { qualifier, name } => {
+            ScalarExpr::Column(resolve(qualifier.as_deref(), name)?)
+        }
+        ast::Expr::BinaryOp { left, op, right } => ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(lower_with(left, resolve)?),
+            right: Box::new(lower_with(right, resolve)?),
+        },
+        ast::Expr::Not(i) => ScalarExpr::Not(Box::new(lower_with(i, resolve)?)),
+        ast::Expr::Negate(i) => ScalarExpr::Negate(Box::new(lower_with(i, resolve)?)),
+        ast::Expr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(lower_with(expr, resolve)?),
+            negated: *negated,
+        },
+        ast::Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let e = lower_with(expr, resolve)?;
+            let ge = ScalarExpr::Binary {
+                op: ast::BinaryOp::GtEq,
+                left: Box::new(e.clone()),
+                right: Box::new(lower_with(low, resolve)?),
+            };
+            let le = ScalarExpr::Binary {
+                op: ast::BinaryOp::LtEq,
+                left: Box::new(e),
+                right: Box::new(lower_with(high, resolve)?),
+            };
+            let both = ScalarExpr::Binary {
+                op: ast::BinaryOp::And,
+                left: Box::new(ge),
+                right: Box::new(le),
+            };
+            if *negated {
+                ScalarExpr::Not(Box::new(both))
+            } else {
+                both
+            }
+        }
+        ast::Expr::InList {
+            expr,
+            list,
+            negated,
+        } => ScalarExpr::InList {
+            expr: Box::new(lower_with(expr, resolve)?),
+            list: list
+                .iter()
+                .map(|i| lower_with(i, resolve))
+                .collect::<Result<Vec<_>>>()?,
+            negated: *negated,
+        },
+        ast::Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            expr: Box::new(lower_with(expr, resolve)?),
+            pattern: Box::new(lower_with(pattern, resolve)?),
+            negated: *negated,
+        },
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => ScalarExpr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| lower_with(o, resolve).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(c, r)| Ok((lower_with(c, resolve)?, lower_with(r, resolve)?)))
+                .collect::<Result<Vec<_>>>()?,
+            else_expr: else_expr
+                .as_ref()
+                .map(|x| lower_with(x, resolve).map(Box::new))
+                .transpose()?,
+        },
+        ast::Expr::Cast { expr, to } => ScalarExpr::Cast {
+            expr: Box::new(lower_with(expr, resolve)?),
+            to: to.clone(),
+        },
+        ast::Expr::Extract { field, expr } => ScalarExpr::Extract {
+            field: *field,
+            expr: Box::new(lower_with(expr, resolve)?),
+        },
+        ast::Expr::Function { name, args, .. } => {
+            match hive_optimizer::expr::BuiltinFunc::from_name(name) {
+                Some(func) => ScalarExpr::Func {
+                    func,
+                    args: args
+                        .iter()
+                        .map(|a| lower_with(a, resolve))
+                        .collect::<Result<Vec<_>>>()?,
+                },
+                None => {
+                    return Err(HiveError::Unsupported(format!(
+                        "function {name} not allowed in DML expressions"
+                    )))
+                }
+            }
+        }
+        other => {
+            return Err(HiveError::Unsupported(format!(
+                "unsupported expression in DML: {other}"
+            )))
+        }
+    })
+}

@@ -1,0 +1,265 @@
+//! The query results cache (paper §4.3).
+//!
+//! Each HS2 instance keeps a cache mapping the resolved query (we key by
+//! the analyzed plan's fingerprint, which subsumes the paper's
+//! "unqualified table references … resolved before the AST is used to
+//! probe the cache") to the result plus the transactional snapshot it
+//! was computed under. An entry answers a probe only when none of the
+//! participating tables gained new WriteIds since — "if the tables used
+//! by the query do not contain new or modified data".
+//!
+//! The **pending entry** mode protects against a thundering herd of
+//! identical queries after a data change: the first miss claims the key,
+//! concurrent probers wait for it to fill instead of recomputing.
+
+use hive_common::{VectorBatch, WriteId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Outcome of a cache probe.
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// A valid entry; serve these rows.
+    Hit(VectorBatch),
+    /// No valid entry; the caller must execute and then call
+    /// [`QueryResultsCache::fill`] (or [`QueryResultsCache::abandon`]
+    /// on failure). The caller holds the pending claim.
+    MissClaimed,
+    /// Another identical query is computing; this call waited and the
+    /// entry arrived.
+    HitAfterWait(VectorBatch),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    batch: VectorBatch,
+    /// (table, WriteId high watermark) at computation time.
+    snapshot: Vec<(String, WriteId)>,
+    /// Logical clock for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    pending: HashMap<u64, usize>, // key → waiter epoch marker
+    tick: u64,
+}
+
+/// The per-server results cache.
+#[derive(Debug)]
+pub struct QueryResultsCache {
+    inner: Mutex<Inner>,
+    filled: Condvar,
+    capacity: usize,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl QueryResultsCache {
+    /// A cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(QueryResultsCache {
+            inner: Mutex::new(Inner::default()),
+            filled: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: Default::default(),
+            misses: Default::default(),
+        })
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Probe for `key`. `current_hwm(table)` reports the table's current
+    /// WriteId high watermark for validity checking.
+    pub fn probe(
+        &self,
+        key: u64,
+        current_hwm: impl Fn(&str) -> WriteId,
+    ) -> CacheOutcome {
+        let mut g = self.inner.lock();
+        loop {
+            g.tick += 1;
+            let tick = g.tick;
+            if let Some(e) = g.entries.get_mut(&key) {
+                let valid = e
+                    .snapshot
+                    .iter()
+                    .all(|(t, hwm)| current_hwm(t) == *hwm);
+                if valid {
+                    e.last_used = tick;
+                    let out = e.batch.clone();
+                    self.hits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return CacheOutcome::Hit(out);
+                }
+                // Stale: expunge.
+                g.entries.remove(&key);
+            }
+            if g.pending.contains_key(&key) {
+                // Thundering-herd protection: wait for the first query
+                // to fill the entry, then re-probe.
+                self.filled.wait(&mut g);
+                continue;
+            }
+            g.pending.insert(key, 1);
+            self.misses
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return CacheOutcome::MissClaimed;
+        }
+    }
+
+    /// Fill a previously claimed key.
+    pub fn fill(&self, key: u64, batch: VectorBatch, snapshot: Vec<(String, WriteId)>) {
+        let mut g = self.inner.lock();
+        g.pending.remove(&key);
+        g.tick += 1;
+        let tick = g.tick;
+        // LRU eviction.
+        while g.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = g
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+            {
+                g.entries.remove(&victim);
+            } else {
+                break;
+            }
+        }
+        g.entries.insert(
+            key,
+            Entry {
+                batch,
+                snapshot,
+                last_used: tick,
+            },
+        );
+        drop(g);
+        self.filled.notify_all();
+    }
+
+    /// Release a claim without filling (execution failed or the query is
+    /// uncacheable).
+    pub fn abandon(&self, key: u64) {
+        let mut g = self.inner.lock();
+        g.pending.remove(&key);
+        drop(g);
+        self.filled.notify_all();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{DataType, Field, Row, Schema, Value};
+
+    fn batch(v: i64) -> VectorBatch {
+        VectorBatch::from_rows(
+            &Schema::new(vec![Field::new("x", DataType::BigInt)]),
+            &[Row::new(vec![Value::BigInt(v)])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let c = QueryResultsCache::new(8);
+        let hwm = |_: &str| WriteId(5);
+        assert!(matches!(c.probe(1, hwm), CacheOutcome::MissClaimed));
+        c.fill(1, batch(42), vec![("default.t".into(), WriteId(5))]);
+        match c.probe(1, hwm) {
+            CacheOutcome::Hit(b) => assert_eq!(b.row(0).get(0), &Value::BigInt(42)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn invalidated_by_new_writes() {
+        let c = QueryResultsCache::new(8);
+        assert!(matches!(
+            c.probe(1, |_| WriteId(5)),
+            CacheOutcome::MissClaimed
+        ));
+        c.fill(1, batch(1), vec![("default.t".into(), WriteId(5))]);
+        // Table advanced to WriteId 6: entry is stale, new claim issued.
+        assert!(matches!(
+            c.probe(1, |_| WriteId(6)),
+            CacheOutcome::MissClaimed
+        ));
+        assert_eq!(c.len(), 0, "stale entry expunged");
+        c.abandon(1);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_entries() {
+        let c = QueryResultsCache::new(2);
+        for k in 0..5u64 {
+            assert!(matches!(
+                c.probe(k, |_| WriteId(0)),
+                CacheOutcome::MissClaimed
+            ));
+            c.fill(k, batch(k as i64), vec![]);
+        }
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn pending_entry_blocks_identical_queries() {
+        let c = QueryResultsCache::new(8);
+        assert!(matches!(
+            c.probe(7, |_| WriteId(1)),
+            CacheOutcome::MissClaimed
+        ));
+        let c2 = c.clone();
+        let waiter = std::thread::spawn(move || {
+            match c2.probe(7, |_: &str| WriteId(1)) {
+                CacheOutcome::Hit(b) => b.row(0).get(0).as_i64().unwrap(),
+                other => panic!("expected hit after wait, got {other:?}"),
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        c.fill(7, batch(99), vec![("default.t".into(), WriteId(1))]);
+        assert_eq!(waiter.join().unwrap(), 99);
+        // Only one miss was recorded: the herd was absorbed.
+        assert_eq!(c.stats().1, 1);
+    }
+
+    #[test]
+    fn abandon_releases_waiters() {
+        let c = QueryResultsCache::new(8);
+        assert!(matches!(
+            c.probe(9, |_| WriteId(1)),
+            CacheOutcome::MissClaimed
+        ));
+        let c2 = c.clone();
+        let waiter = std::thread::spawn(move || {
+            matches!(
+                c2.probe(9, |_: &str| WriteId(1)),
+                CacheOutcome::MissClaimed
+            )
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        c.abandon(9);
+        assert!(waiter.join().unwrap(), "waiter takes over the claim");
+        c.abandon(9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # hive-dfs
+//!
+//! An in-memory simulation of the distributed file system underneath the
+//! warehouse (HDFS / cloud object stores in the paper, Section 2).
+//!
+//! The simulation preserves exactly the properties the rest of the system
+//! depends on:
+//!
+//! * **Immutable files** — files are written once; updates happen by
+//!   writing new files into new directories (the basis of the ACID
+//!   base/delta design, Section 3.2).
+//! * **Stable file identity** — every file gets a unique [`FileId`] and
+//!   exposes its length, the analogue of HDFS file ids / blob-store ETags
+//!   that LLAP's cache uses for validity (Section 5.1).
+//! * **Atomic directory rename** — used by compaction to publish results.
+//! * **Hierarchical listing** — partition pruning skips whole directories.
+//!
+//! An [`IoStats`] meter counts operations and bytes so higher layers
+//! (the cluster cost model, cache-effectiveness tests) can observe I/O.
+
+mod fs;
+mod path;
+mod stats;
+
+pub use fs::{DistFs, FileMeta, FileStatus};
+pub use path::DfsPath;
+pub use stats::{IoStats, IoStatsSnapshot};
+
+pub use hive_common::FileId;

@@ -1,0 +1,139 @@
+//! Slash-separated paths within the simulated file system.
+
+use std::fmt;
+
+/// A normalized, absolute, `/`-separated path.
+///
+/// Construction normalizes repeated separators and strips trailing
+/// slashes, so path equality is structural equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DfsPath(String);
+
+impl DfsPath {
+    /// Build a path from a string, normalizing separators.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        let mut out = String::with_capacity(s.as_ref().len() + 1);
+        out.push('/');
+        for seg in s.as_ref().split('/').filter(|s| !s.is_empty()) {
+            if out.len() > 1 {
+                out.push('/');
+            }
+            out.push_str(seg);
+        }
+        DfsPath(out)
+    }
+
+    /// The root path `/`.
+    pub fn root() -> Self {
+        DfsPath("/".into())
+    }
+
+    /// Append a child segment (which may itself contain separators).
+    pub fn child(&self, seg: impl AsRef<str>) -> DfsPath {
+        if self.0 == "/" {
+            DfsPath::new(seg.as_ref())
+        } else {
+            DfsPath::new(format!("{}/{}", self.0, seg.as_ref()))
+        }
+    }
+
+    /// The parent directory, or `None` at the root.
+    pub fn parent(&self) -> Option<DfsPath> {
+        if self.0 == "/" {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(DfsPath::root()),
+            Some(i) => Some(DfsPath(self.0[..i].to_string())),
+            None => None,
+        }
+    }
+
+    /// The final path segment (file or directory name).
+    pub fn name(&self) -> &str {
+        self.0.rsplit('/').next().unwrap_or("")
+    }
+
+    /// Whether `self` is underneath (or equal to) `dir`.
+    pub fn starts_with(&self, dir: &DfsPath) -> bool {
+        if dir.0 == "/" {
+            return true;
+        }
+        self.0 == dir.0
+            || (self.0.starts_with(&dir.0) && self.0.as_bytes().get(dir.0.len()) == Some(&b'/'))
+    }
+
+    /// Is `self` a *direct* child of `dir`?
+    pub fn is_direct_child_of(&self, dir: &DfsPath) -> bool {
+        match self.parent() {
+            Some(p) => p == *dir,
+            None => false,
+        }
+    }
+
+    /// The raw string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Replace prefix `from` with `to` (used by directory rename).
+    pub(crate) fn rebase(&self, from: &DfsPath, to: &DfsPath) -> DfsPath {
+        debug_assert!(self.starts_with(from));
+        if self == from {
+            return to.clone();
+        }
+        let rest = &self.0[from.0.len()..];
+        DfsPath::new(format!("{}{}", to.0, rest))
+    }
+}
+
+impl fmt::Display for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for DfsPath {
+    fn from(s: &str) -> Self {
+        DfsPath::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(DfsPath::new("a//b/").as_str(), "/a/b");
+        assert_eq!(DfsPath::new("/a/b").as_str(), "/a/b");
+        assert_eq!(DfsPath::new("").as_str(), "/");
+    }
+
+    #[test]
+    fn navigation() {
+        let p = DfsPath::new("/wh/db/t/part=1/file");
+        assert_eq!(p.name(), "file");
+        assert_eq!(p.parent().unwrap().as_str(), "/wh/db/t/part=1");
+        assert_eq!(DfsPath::new("/a").parent().unwrap(), DfsPath::root());
+        assert_eq!(DfsPath::root().parent(), None);
+        assert_eq!(DfsPath::root().child("x").as_str(), "/x");
+    }
+
+    #[test]
+    fn prefix_checks() {
+        let dir = DfsPath::new("/a/b");
+        assert!(DfsPath::new("/a/b/c").starts_with(&dir));
+        assert!(DfsPath::new("/a/b").starts_with(&dir));
+        assert!(!DfsPath::new("/a/bc").starts_with(&dir));
+        assert!(DfsPath::new("/a/b/c").is_direct_child_of(&dir));
+        assert!(!DfsPath::new("/a/b/c/d").is_direct_child_of(&dir));
+    }
+
+    #[test]
+    fn rebase() {
+        let p = DfsPath::new("/a/b/c/d");
+        let out = p.rebase(&DfsPath::new("/a/b"), &DfsPath::new("/x"));
+        assert_eq!(out.as_str(), "/x/c/d");
+    }
+}

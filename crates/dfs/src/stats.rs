@@ -1,0 +1,101 @@
+//! I/O accounting for the simulated file system.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters for file-system activity. One instance is owned
+/// by each [`crate::DistFs`]; snapshot with [`IoStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    lists: AtomicU64,
+    renames: AtomicU64,
+    deletes: AtomicU64,
+}
+
+impl IoStats {
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_list(&self) {
+        self.lists.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rename(&self) {
+        self.renames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            lists: self.lists.load(Ordering::Relaxed),
+            renames: self.renames.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of the I/O counters; supports difference for
+/// before/after measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStatsSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub lists: u64,
+    pub renames: u64,
+    pub deletes: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Counter deltas `self - earlier`.
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            lists: self.lists - earlier.lists,
+            renames: self.renames - earlier.renames,
+            deletes: self.deletes - earlier.deletes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = IoStats::default();
+        s.record_read(100);
+        let a = s.snapshot();
+        s.record_read(50);
+        s.record_write(10);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.bytes_read, 50);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.bytes_written, 10);
+    }
+}

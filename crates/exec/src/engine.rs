@@ -1,0 +1,522 @@
+//! The execution engine: materializing operator evaluation over the
+//! optimized logical plan, with per-node tracing feeding the simulated
+//! cluster time model.
+
+use crate::aggregate::execute_aggregate;
+use crate::join::execute_join;
+use crate::kernels::{eval_rowmode, eval_vector, filter_indices, filter_indices_rowmode};
+use crate::scan::execute_scan;
+use crate::window::execute_window;
+use hive_common::{ColumnBuilder, HiveConf, HiveError, Result, Row, VectorBatch};
+use hive_dfs::DistFs;
+use hive_metastore::{Metastore, ValidWriteIdList};
+use hive_optimizer::fingerprint::fingerprint;
+use hive_optimizer::plan::LogicalPlan;
+use hive_optimizer::ScalarExpr;
+use hive_sql::SetOperator;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Per-table snapshot provider (the driver owns transaction state).
+pub trait SnapshotProvider: Sync {
+    /// The ValidWriteIdList a scan of `table` must honor.
+    fn write_ids(&self, table: &str) -> ValidWriteIdList;
+}
+
+/// Wide-open snapshots (tests, compaction, external-only queries).
+pub struct WideOpenSnapshots<'a>(pub &'a Metastore);
+
+impl SnapshotProvider for WideOpenSnapshots<'_> {
+    fn write_ids(&self, table: &str) -> ValidWriteIdList {
+        ValidWriteIdList::wide_open(table, self.0.table_write_hwm(table))
+    }
+}
+
+/// Result of a federated scan: the rows plus the external system's own
+/// simulated latency contribution.
+pub struct ExternalScanResult {
+    pub batch: VectorBatch,
+    pub external_ms: f64,
+    /// Whether a pushed-down query answered the scan (vs full export).
+    pub pushed: bool,
+}
+
+/// Federation hook (implemented by `hive-federation`, wired by the
+/// driver) — exec stays independent of concrete storage handlers.
+pub trait ExternalScanner: Sync {
+    /// Scan an external (storage-handler) table.
+    fn scan(
+        &self,
+        table: &hive_optimizer::ScanTable,
+        projection: &[usize],
+        filters: &[ScalarExpr],
+    ) -> Result<ExternalScanResult>;
+}
+
+/// Everything execution needs from its environment.
+pub struct ExecContext<'a> {
+    pub fs: &'a DistFs,
+    pub ms: &'a Metastore,
+    pub conf: &'a HiveConf,
+    pub llap: Option<&'a hive_llap::LlapDaemons>,
+    pub snapshots: &'a dyn SnapshotProvider,
+    pub external: Option<&'a dyn ExternalScanner>,
+    /// Shared-work result cache (§4.5): fingerprints of subplans that
+    /// occur more than once, filled as they first execute.
+    shared: Mutex<HashMap<u64, VectorBatch>>,
+    shared_counts: HashMap<u64, usize>,
+}
+
+impl ExecContext<'_> {
+    /// Is the filter-stripped form of this scan shared by multiple plan
+    /// sites?
+    pub(crate) fn scan_share_key(&self, plan: &LogicalPlan) -> Option<u64> {
+        let key = scan_base_key(plan)?;
+        self.shared_counts.contains_key(&key).then_some(key)
+    }
+
+    /// Fetch a shared scan's raw (unfiltered) rows, if already read.
+    pub(crate) fn shared_get(&self, key: u64) -> Option<VectorBatch> {
+        self.shared.lock().get(&key).cloned()
+    }
+
+    /// Publish a shared scan's raw rows.
+    pub(crate) fn shared_put(&self, key: u64, batch: VectorBatch) {
+        self.shared.lock().insert(key, batch);
+    }
+}
+
+impl<'a> ExecContext<'a> {
+    /// Build a context for one query execution.
+    pub fn new(
+        fs: &'a DistFs,
+        ms: &'a Metastore,
+        conf: &'a HiveConf,
+        llap: Option<&'a hive_llap::LlapDaemons>,
+        snapshots: &'a dyn SnapshotProvider,
+        external: Option<&'a dyn ExternalScanner>,
+    ) -> Self {
+        ExecContext {
+            fs,
+            ms,
+            conf,
+            llap,
+            snapshots,
+            external,
+            shared: Mutex::new(HashMap::new()),
+            shared_counts: HashMap::new(),
+        }
+    }
+
+    /// Pre-scan the plan for repeated subtrees (the shared-work
+    /// optimizer's detection pass, §4.5). Call before `execute`.
+    pub fn prepare_shared_work(&mut self, plan: &LogicalPlan) {
+        if !self.conf.shared_work {
+            return;
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        count_subtrees(plan, &mut counts);
+        counts.retain(|_, c| *c > 1);
+        self.shared_counts = counts;
+    }
+}
+
+fn count_subtrees(plan: &LogicalPlan, counts: &mut HashMap<u64, usize>) {
+    // Count non-leaf subtrees; scans alone are cheap to repeat but a
+    // scan with filters is worth sharing too, so count everything with
+    // at least one operator above a scan.
+    if !plan.children().is_empty() || matches!(plan, LogicalPlan::Scan { filters, .. } if !filters.is_empty())
+    {
+        *counts.entry(fingerprint(plan)).or_insert(0) += 1;
+    }
+    // Hive's shared-work optimizer "starts merging scan operations over
+    // the same tables, then continues merging plan operators until a
+    // difference is found" (§4.5): scans of one table that differ only
+    // in their pushed filters share the underlying read. Count the
+    // filter-stripped scan shape as well.
+    if let Some(base) = scan_base_key(plan) {
+        *counts.entry(base).or_insert(0) += 1;
+    }
+    for c in plan.children() {
+        count_subtrees(c, counts);
+    }
+}
+
+/// The share key of a scan ignoring its pushed filters; `None` for
+/// non-scans and for scans whose reducers do dynamic partition pruning
+/// (their directory set is not known statically).
+pub(crate) fn scan_base_key(plan: &LogicalPlan) -> Option<u64> {
+    let LogicalPlan::Scan {
+        table,
+        projection,
+        partitions,
+        semijoin_filters,
+        ..
+    } = plan
+    else {
+        return None;
+    };
+    if semijoin_filters.iter().any(|s| s.is_partition_col) {
+        return None;
+    }
+    let stripped = LogicalPlan::Scan {
+        table: table.clone(),
+        projection: projection.clone(),
+        filters: vec![],
+        partitions: partitions.clone(),
+        semijoin_filters: vec![],
+    };
+    Some(fingerprint(&stripped) ^ 0x5ca4_ba5e)
+}
+
+/// Per-node execution trace (rows, I/O, reuse), consumed by
+/// [`crate::simtime`].
+#[derive(Debug, Clone, Default)]
+pub struct NodeTrace {
+    pub label: String,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub bytes_disk: u64,
+    pub bytes_cache: u64,
+    /// File-system operations (opens/ranged reads) — deltas make these
+    /// grow, which is what compaction fights (§3.2).
+    pub io_ops: u64,
+    /// Rows that crossed a shuffle boundary into this node.
+    pub shuffle_rows: u64,
+    /// True for shuffle-boundary operators (join/agg/sort/setop).
+    pub is_boundary: bool,
+    /// Federated-scan latency contribution.
+    pub external_ms: f64,
+    /// Result served from the shared-work cache.
+    pub shared_reuse: bool,
+    pub children: Vec<NodeTrace>,
+}
+
+impl NodeTrace {
+    fn leaf(label: &str) -> NodeTrace {
+        NodeTrace {
+            label: label.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sum of `f` over this node and all descendants.
+    pub fn total<F: Fn(&NodeTrace) -> u64 + Copy>(&self, f: F) -> u64 {
+        f(self) + self.children.iter().map(|c| c.total(f)).sum::<u64>()
+    }
+
+    /// Visit all nodes.
+    pub fn visit(&self, f: &mut impl FnMut(&NodeTrace)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+
+    /// Flatten operator labels and output rows (runtime statistics for
+    /// re-optimization feedback, §4.2).
+    pub fn operator_rows(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| out.push((n.label.clone(), n.rows_out)));
+        out
+    }
+}
+
+/// Execute a plan, returning the result batch and the trace tree.
+pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, NodeTrace)> {
+    // Shared-work reuse check.
+    let fp = fingerprint(plan);
+    let is_shared = ctx.shared_counts.contains_key(&fp);
+    if is_shared {
+        if let Some(cached) = ctx.shared.lock().get(&fp) {
+            let mut t = NodeTrace::leaf("SharedWorkReuse");
+            t.rows_out = cached.num_rows() as u64;
+            t.shared_reuse = true;
+            return Ok((cached.clone(), t));
+        }
+    }
+    let (batch, trace) = execute_inner(plan, ctx)?;
+    if is_shared {
+        ctx.shared.lock().insert(fp, batch.clone());
+    }
+    Ok((batch, trace))
+}
+
+fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, NodeTrace)> {
+    let schema = plan.schema();
+    match plan {
+        LogicalPlan::Scan { .. } => execute_scan(plan, ctx, &execute),
+        LogicalPlan::Values { schema, rows } => {
+            let rows: Vec<Row> = rows.iter().map(|r| Row::new(r.clone())).collect();
+            let b = VectorBatch::from_rows(schema, &rows)?;
+            let mut t = NodeTrace::leaf("Values");
+            t.rows_out = b.num_rows() as u64;
+            Ok((b, t))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (child, ct) = execute(input, ctx)?;
+            let idx = if ctx.conf.vectorized {
+                filter_indices(predicate, &child)?
+            } else {
+                filter_indices_rowmode(predicate, &child)?
+            };
+            let out = child.take(&idx);
+            let mut t = NodeTrace::leaf("Filter");
+            t.rows_in = child.num_rows() as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.children = vec![ct];
+            Ok((out, t))
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let (child, ct) = execute(input, ctx)?;
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (i, e) in exprs.iter().enumerate() {
+                if ctx.conf.vectorized {
+                    let col = eval_vector(e, &child)?;
+                    // Align the column to the declared output type.
+                    cols.push(align_column(col, &schema.field(i).data_type, &child)?);
+                } else {
+                    let vals = eval_rowmode(e, &child)?;
+                    let mut b = ColumnBuilder::new(&schema.field(i).data_type)?;
+                    for v in &vals {
+                        b.push(v)?;
+                    }
+                    cols.push(b.finish());
+                }
+            }
+            let out = VectorBatch::new_with_rows(schema.clone(), cols, child.num_rows())?;
+            let mut t = NodeTrace::leaf("Project");
+            t.rows_in = child.num_rows() as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.children = vec![ct];
+            Ok((out, t))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+        } => {
+            let (lb, lt) = execute(left, ctx)?;
+            let (rb, rt) = execute(right, ctx)?;
+            let out = execute_join(
+                &lb,
+                &rb,
+                *join_type,
+                equi,
+                residual,
+                &schema,
+                ctx.conf.hash_join_row_budget,
+            )?;
+            let mut t = NodeTrace::leaf(&format!("Join({join_type:?})"));
+            t.rows_in = (lb.num_rows() + rb.num_rows()) as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.is_boundary = true;
+            t.shuffle_rows = t.rows_in;
+            t.children = vec![lt, rt];
+            Ok((out, t))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            grouping_sets,
+            aggs,
+        } => {
+            let (child, ct) = execute(input, ctx)?;
+            let out = execute_aggregate(&child, group_exprs, grouping_sets, aggs, &schema)?;
+            let mut t = NodeTrace::leaf("Aggregate");
+            t.rows_in = child.num_rows() as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.is_boundary = !group_exprs.is_empty() || grouping_sets.is_some();
+            t.shuffle_rows = t.rows_in;
+            t.children = vec![ct];
+            Ok((out, t))
+        }
+        LogicalPlan::Window { input, windows } => {
+            let (child, ct) = execute(input, ctx)?;
+            let out = execute_window(&child, windows, &schema)?;
+            let mut t = NodeTrace::leaf("Window");
+            t.rows_in = child.num_rows() as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.is_boundary = true;
+            t.shuffle_rows = t.rows_in;
+            t.children = vec![ct];
+            Ok((out, t))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let (child, ct) = execute(input, ctx)?;
+            let key_cols = keys
+                .iter()
+                .map(|k| eval_vector(&k.expr, &child))
+                .collect::<Result<Vec<_>>>()?;
+            let mut idx: Vec<u32> = (0..child.num_rows() as u32).collect();
+            idx.sort_by(|&a, &b| {
+                for (kc, key) in key_cols.iter().zip(keys) {
+                    let (va, vb) = (kc.get(a as usize), kc.get(b as usize));
+                    let ord = match (va.is_null(), vb.is_null()) {
+                        (true, true) => std::cmp::Ordering::Equal,
+                        (true, false) => {
+                            if key.nulls_first {
+                                std::cmp::Ordering::Less
+                            } else {
+                                std::cmp::Ordering::Greater
+                            }
+                        }
+                        (false, true) => {
+                            if key.nulls_first {
+                                std::cmp::Ordering::Greater
+                            } else {
+                                std::cmp::Ordering::Less
+                            }
+                        }
+                        (false, false) => va.sql_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal),
+                    };
+                    let ord = if key.asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let out = child.take(&idx);
+            let mut t = NodeTrace::leaf("Sort");
+            t.rows_in = child.num_rows() as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.is_boundary = true;
+            t.shuffle_rows = t.rows_in;
+            t.children = vec![ct];
+            Ok((out, t))
+        }
+        LogicalPlan::Limit { input, n } => {
+            let (child, ct) = execute(input, ctx)?;
+            let take: Vec<u32> = (0..child.num_rows().min(*n as usize) as u32).collect();
+            let out = child.take(&take);
+            let mut t = NodeTrace::leaf("Limit");
+            t.rows_in = child.num_rows() as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.children = vec![ct];
+            Ok((out, t))
+        }
+        LogicalPlan::Union { inputs } => {
+            let mut out = VectorBatch::empty(&schema)?;
+            let mut t = NodeTrace::leaf("UnionAll");
+            for i in inputs {
+                let (b, ct) = execute(i, ctx)?;
+                t.rows_in += b.num_rows() as u64;
+                out.append(&b)?;
+                t.children.push(ct);
+            }
+            t.rows_out = out.num_rows() as u64;
+            Ok((out, t))
+        }
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let (lb, lt) = execute(left, ctx)?;
+            let (rb, rt) = execute(right, ctx)?;
+            let out = execute_setop(*op, *all, &lb, &rb, &schema)?;
+            let mut t = NodeTrace::leaf(&format!("SetOp({op:?})"));
+            t.rows_in = (lb.num_rows() + rb.num_rows()) as u64;
+            t.rows_out = out.num_rows() as u64;
+            t.is_boundary = true;
+            t.shuffle_rows = t.rows_in;
+            t.children = vec![lt, rt];
+            Ok((out, t))
+        }
+    }
+}
+
+/// Coerce a column produced by a kernel to the declared output type
+/// (kernels keep natural types; e.g. `Int + Int` stays Int even when
+/// the planner widened the projection type).
+fn align_column(
+    col: hive_common::ColumnVector,
+    want: &hive_common::DataType,
+    _input: &VectorBatch,
+) -> Result<hive_common::ColumnVector> {
+    if &col.data_type() == want
+        || matches!(
+            (col.data_type(), want),
+            (hive_common::DataType::Decimal(_, a), hive_common::DataType::Decimal(_, b)) if a == *b
+        )
+    {
+        return Ok(col);
+    }
+    let mut b = ColumnBuilder::new(want)?;
+    for i in 0..col.len() {
+        b.push(&col.get(i))?;
+    }
+    Ok(b.finish())
+}
+
+/// INTERSECT / EXCEPT via row-count maps (ALL keeps multiplicity).
+fn execute_setop(
+    op: SetOperator,
+    all: bool,
+    left: &VectorBatch,
+    right: &VectorBatch,
+    schema: &hive_common::Schema,
+) -> Result<VectorBatch> {
+    let mut right_counts: HashMap<Row, i64> = HashMap::new();
+    for i in 0..right.num_rows() {
+        *right_counts.entry(right.row(i)).or_insert(0) += 1;
+    }
+    let mut out_rows: Vec<Row> = Vec::new();
+    let mut emitted: HashMap<Row, i64> = HashMap::new();
+    for i in 0..left.num_rows() {
+        let row = left.row(i);
+        let in_right = right_counts.get(&row).copied().unwrap_or(0);
+        let already = emitted.entry(row.clone()).or_insert(0);
+        let emit = match (op, all) {
+            (SetOperator::Intersect, false) => in_right > 0 && *already == 0,
+            (SetOperator::Intersect, true) => in_right > *already,
+            (SetOperator::Except, false) => in_right == 0 && *already == 0,
+            (SetOperator::Except, true) => {
+                // Multiset difference: emit occurrences beyond those
+                // matched by right-side copies.
+                let left_seen = *already + 1;
+                left_seen > in_right
+            }
+            (SetOperator::Union, _) => unreachable!("unions use Union nodes"),
+        };
+        if emit {
+            out_rows.push(row.clone());
+        }
+        *already += 1;
+    }
+    VectorBatch::from_rows(schema, &out_rows)
+}
+
+/// Convenience for tests: run a plan with wide-open snapshots and no
+/// LLAP/federation.
+pub fn execute_simple(
+    plan: &LogicalPlan,
+    fs: &DistFs,
+    ms: &Metastore,
+    conf: &HiveConf,
+) -> Result<(VectorBatch, NodeTrace)> {
+    let snaps = WideOpenSnapshots(ms);
+    let mut ctx = ExecContext::new(fs, ms, conf, None, &snaps, None);
+    ctx.prepare_shared_work(plan);
+    execute(plan, &ctx)
+}
+
+/// Map a retryable error to a fresh "overlay" configuration for the
+/// re-execution (§4.2's overlay strategy): more conservative join
+/// budgets and row-mode fallback off.
+pub fn overlay_conf(conf: &HiveConf) -> HiveConf {
+    let mut c = conf.clone();
+    c.hash_join_row_budget = usize::MAX; // force sort-merge-like robustness
+    c
+}
+
+const _: () = {
+    // Compile-time guard: HiveError::Retryable drives reoptimization.
+    fn _assert(e: &HiveError) -> bool {
+        e.is_retryable()
+    }
+};

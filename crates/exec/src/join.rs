@@ -1,0 +1,401 @@
+//! Hash joins: inner/left/right/full/semi/anti (+cross), with residual
+//! predicates, NULL-safe key semantics, and the memory-budget check that
+//! feeds query re-optimization (§4.2).
+
+use crate::kernels::eval_vector;
+use hive_common::{
+    ColumnBuilder, HiveError, Result, Schema, Value, VectorBatch,
+};
+use hive_optimizer::eval::eval_scalar;
+use hive_optimizer::plan::JoinType;
+use hive_optimizer::ScalarExpr;
+use std::collections::HashMap;
+
+/// Execute a join. `equi` pairs are (left expr, right expr); `residual`
+/// is evaluated over the concatenated (left ++ right) row.
+///
+/// The build side is the right input; exceeding `build_row_budget`
+/// raises a retryable error so the driver can re-optimize with runtime
+/// statistics.
+pub fn execute_join(
+    left: &VectorBatch,
+    right: &VectorBatch,
+    join_type: JoinType,
+    equi: &[(ScalarExpr, ScalarExpr)],
+    residual: &Option<ScalarExpr>,
+    out_schema: &Schema,
+    build_row_budget: usize,
+) -> Result<VectorBatch> {
+    if right.num_rows() > build_row_budget {
+        return Err(HiveError::Retryable(format!(
+            "hash join build side has {} rows, exceeding the {} row budget",
+            right.num_rows(),
+            build_row_budget
+        )));
+    }
+
+    // Evaluate key columns.
+    let lkeys = equi
+        .iter()
+        .map(|(l, _)| eval_vector(l, left))
+        .collect::<Result<Vec<_>>>()?;
+    let rkeys = equi
+        .iter()
+        .map(|(_, r)| eval_vector(r, right))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Build hash table over the right side. NULL keys never match.
+    let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+    if equi.is_empty() {
+        // Cross-style: single bucket with every row.
+        table.insert(Vec::new(), (0..right.num_rows() as u32).collect());
+    } else {
+        'rows: for i in 0..right.num_rows() {
+            let mut key = Vec::with_capacity(equi.len());
+            for kc in &rkeys {
+                let v = kc.get(i);
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push(i as u32);
+        }
+    }
+
+    let residual_ok = |li: u32, ri: u32| -> Result<bool> {
+        match residual {
+            None => Ok(true),
+            Some(pred) => {
+                let mut vals = left.row(li as usize).into_values();
+                vals.extend(right.row(ri as usize).into_values());
+                Ok(eval_scalar(pred, &vals)? == Value::Boolean(true))
+            }
+        }
+    };
+
+    let mut out_left: Vec<u32> = Vec::new();
+    let mut out_right: Vec<Option<u32>> = Vec::new();
+    let mut right_matched = vec![false; right.num_rows()];
+
+    for li in 0..left.num_rows() as u32 {
+        // Probe key (NULLs never match).
+        let probe: Option<Vec<Value>> = if equi.is_empty() {
+            Some(Vec::new())
+        } else {
+            let mut key = Vec::with_capacity(equi.len());
+            let mut ok = true;
+            for kc in &lkeys {
+                let v = kc.get(li as usize);
+                if v.is_null() {
+                    ok = false;
+                    break;
+                }
+                key.push(v);
+            }
+            ok.then_some(key)
+        };
+        let matches: Vec<u32> = match probe.and_then(|k| table.get(&k).cloned()) {
+            Some(cands) => {
+                let mut kept = Vec::with_capacity(cands.len());
+                for ri in cands {
+                    if residual_ok(li, ri)? {
+                        kept.push(ri);
+                    }
+                }
+                kept
+            }
+            None => Vec::new(),
+        };
+        match join_type {
+            JoinType::Inner | JoinType::Cross => {
+                for ri in matches {
+                    out_left.push(li);
+                    out_right.push(Some(ri));
+                }
+            }
+            JoinType::Left => {
+                if matches.is_empty() {
+                    out_left.push(li);
+                    out_right.push(None);
+                } else {
+                    for ri in matches {
+                        out_left.push(li);
+                        out_right.push(Some(ri));
+                    }
+                }
+            }
+            JoinType::Right | JoinType::Full => {
+                for &ri in &matches {
+                    right_matched[ri as usize] = true;
+                    out_left.push(li);
+                    out_right.push(Some(ri));
+                }
+                if join_type == JoinType::Full && matches.is_empty() {
+                    out_left.push(li);
+                    out_right.push(None);
+                }
+            }
+            JoinType::Semi => {
+                if !matches.is_empty() {
+                    out_left.push(li);
+                    out_right.push(None);
+                }
+            }
+            JoinType::Anti => {
+                if matches.is_empty() {
+                    out_left.push(li);
+                    out_right.push(None);
+                }
+            }
+        }
+    }
+
+    // Unmatched build rows for right/full joins.
+    let mut extra_right: Vec<u32> = Vec::new();
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for (ri, m) in right_matched.iter().enumerate() {
+            if !m {
+                extra_right.push(ri as u32);
+            }
+        }
+    }
+
+    assemble(
+        left,
+        right,
+        join_type,
+        &out_left,
+        &out_right,
+        &extra_right,
+        out_schema,
+    )
+}
+
+fn assemble(
+    left: &VectorBatch,
+    right: &VectorBatch,
+    join_type: JoinType,
+    out_left: &[u32],
+    out_right: &[Option<u32>],
+    extra_right: &[u32],
+    out_schema: &Schema,
+) -> Result<VectorBatch> {
+    let keeps_right = join_type.keeps_right();
+    let n = out_left.len() + extra_right.len();
+    let mut cols = Vec::with_capacity(out_schema.len());
+    // Left columns.
+    for (ci, f) in left.schema().fields().iter().enumerate() {
+        let src = left.column(ci);
+        let mut b = ColumnBuilder::new(&f.data_type)?;
+        for &li in out_left {
+            b.push(&src.get(li as usize))?;
+        }
+        for _ in extra_right {
+            b.push(&Value::Null)?;
+        }
+        cols.push(b.finish());
+    }
+    if keeps_right {
+        for (ci, f) in right.schema().fields().iter().enumerate() {
+            let src = right.column(ci);
+            let mut b = ColumnBuilder::new(&f.data_type)?;
+            for ri in out_right {
+                match ri {
+                    Some(r) => b.push(&src.get(*r as usize))?,
+                    None => b.push(&Value::Null)?,
+                }
+            }
+            for &ri in extra_right {
+                b.push(&src.get(ri as usize))?;
+            }
+            cols.push(b.finish());
+        }
+    }
+    VectorBatch::new_with_rows(out_schema.clone(), cols, n)
+}
+
+/// Build a runtime semijoin reducer from the values of one column:
+/// min/max range + Bloom filter (§4.6's index semijoin payload).
+pub fn build_runtime_filter(
+    values: &VectorBatch,
+    key_col: usize,
+) -> Option<(Value, Value, hive_corc::BloomFilter)> {
+    let col = values.column(key_col);
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    let mut bloom = hive_corc::BloomFilter::new(values.num_rows().max(16), 0.01);
+    for i in 0..col.len() {
+        let v = col.get(i);
+        if v.is_null() {
+            continue;
+        }
+        bloom.insert(&v);
+        if min
+            .as_ref()
+            .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+        {
+            min = Some(v.clone());
+        }
+        if max
+            .as_ref()
+            .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+        {
+            max = Some(v);
+        }
+    }
+    Some((min?, max?, bloom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{DataType, Field, Row};
+
+    fn batch(name: &str, rows: &[(Option<i32>, &str)]) -> VectorBatch {
+        let schema = Schema::new(vec![
+            Field::new(format!("{name}_k"), DataType::Int),
+            Field::new(format!("{name}_v"), DataType::String),
+        ]);
+        let rows: Vec<Row> = rows
+            .iter()
+            .map(|(k, v)| {
+                Row::new(vec![
+                    k.map(Value::Int).unwrap_or(Value::Null),
+                    Value::String((*v).into()),
+                ])
+            })
+            .collect();
+        VectorBatch::from_rows(&schema, &rows).unwrap()
+    }
+
+    fn join(
+        l: &VectorBatch,
+        r: &VectorBatch,
+        jt: JoinType,
+    ) -> Vec<String> {
+        let out_schema = if jt.keeps_right() {
+            l.schema().join(r.schema())
+        } else {
+            l.schema().clone()
+        };
+        let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
+        let out = execute_join(l, r, jt, &equi, &None, &out_schema, 1_000_000).unwrap();
+        let mut rows: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn inner_join() {
+        let l = batch("l", &[(Some(1), "a"), (Some(2), "b"), (None, "n")]);
+        let r = batch("r", &[(Some(2), "x"), (Some(2), "y"), (Some(3), "z"), (None, "rn")]);
+        assert_eq!(join(&l, &r, JoinType::Inner), vec!["2\tb\t2\tx", "2\tb\t2\ty"]);
+    }
+
+    #[test]
+    fn left_join_null_extends() {
+        let l = batch("l", &[(Some(1), "a"), (Some(2), "b")]);
+        let r = batch("r", &[(Some(2), "x")]);
+        assert_eq!(
+            join(&l, &r, JoinType::Left),
+            vec!["1\ta\tNULL\tNULL", "2\tb\t2\tx"]
+        );
+    }
+
+    #[test]
+    fn right_and_full_joins() {
+        let l = batch("l", &[(Some(1), "a")]);
+        let r = batch("r", &[(Some(1), "x"), (Some(9), "y")]);
+        assert_eq!(
+            join(&l, &r, JoinType::Right),
+            vec!["1\ta\t1\tx", "NULL\tNULL\t9\ty"]
+        );
+        let l2 = batch("l", &[(Some(1), "a"), (Some(5), "only-left")]);
+        assert_eq!(
+            join(&l2, &r, JoinType::Full),
+            vec!["1\ta\t1\tx", "5\tonly-left\tNULL\tNULL", "NULL\tNULL\t9\ty"]
+        );
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let l = batch("l", &[(Some(1), "a"), (Some(2), "b"), (None, "n")]);
+        let r = batch("r", &[(Some(2), "x"), (Some(2), "x2")]);
+        assert_eq!(join(&l, &r, JoinType::Semi), vec!["2\tb"]);
+        // NULL keys never match: the NULL row lands in anti output
+        // (Hive's NOT IN caveat documented in DESIGN.md).
+        assert_eq!(join(&l, &r, JoinType::Anti), vec!["1\ta", "NULL\tn"]);
+    }
+
+    #[test]
+    fn residual_predicate() {
+        let l = batch("l", &[(Some(1), "keep"), (Some(1), "drop")]);
+        let r = batch("r", &[(Some(1), "keep")]);
+        let out_schema = l.schema().join(r.schema());
+        let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
+        // residual: l_v = r_v (cols 1 and 3 of the combined row).
+        let residual = Some(ScalarExpr::eq(
+            ScalarExpr::Column(1),
+            ScalarExpr::Column(3),
+        ));
+        let out = execute_join(
+            &l,
+            &r,
+            JoinType::Inner,
+            &equi,
+            &residual,
+            &out_schema,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0).get(1), &Value::String("keep".into()));
+    }
+
+    #[test]
+    fn budget_exceeded_is_retryable() {
+        let l = batch("l", &[(Some(1), "a")]);
+        let r = batch("r", &[(Some(1), "x"), (Some(2), "y"), (Some(3), "z")]);
+        let out_schema = l.schema().join(r.schema());
+        let err = execute_join(
+            &l,
+            &r,
+            JoinType::Inner,
+            &[(ScalarExpr::Column(0), ScalarExpr::Column(0))],
+            &None,
+            &out_schema,
+            2,
+        )
+        .unwrap_err();
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn cross_join_without_keys() {
+        let l = batch("l", &[(Some(1), "a"), (Some(2), "b")]);
+        let r = batch("r", &[(Some(9), "x")]);
+        let out_schema = l.schema().join(r.schema());
+        let out = execute_join(
+            &l,
+            &r,
+            JoinType::Cross,
+            &[],
+            &None,
+            &out_schema,
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn runtime_filter_build() {
+        let r = batch("r", &[(Some(5), "a"), (Some(9), "b"), (None, "n")]);
+        let (min, max, bloom) = build_runtime_filter(&r, 0).unwrap();
+        assert_eq!(min, Value::Int(5));
+        assert_eq!(max, Value::Int(9));
+        assert!(bloom.might_contain(&Value::Int(5)));
+        assert!(!bloom.might_contain(&Value::Int(6)));
+    }
+}

@@ -1,0 +1,420 @@
+//! Vectorized expression evaluation over [`VectorBatch`]es.
+//!
+//! Hot paths (column/literal comparisons, boolean combinators, numeric
+//! arithmetic) run column-at-a-time on the typed vectors; everything
+//! else falls back to the shared row evaluator
+//! ([`hive_optimizer::eval`]), which is also what the Hive-1.2
+//! row-interpreter mode uses for *all* expressions.
+
+use hive_common::{BitSet, ColumnBuilder, ColumnVector, HiveError, Result, Value, VectorBatch};
+use hive_optimizer::eval::{eval_binary, eval_scalar};
+use hive_optimizer::ScalarExpr;
+use hive_sql::BinaryOp;
+use std::cmp::Ordering;
+
+/// Evaluate an expression over every row of the batch, producing one
+/// column.
+pub fn eval_vector(expr: &ScalarExpr, batch: &VectorBatch) -> Result<ColumnVector> {
+    match expr {
+        ScalarExpr::Column(i) => Ok(batch.column(*i).clone()),
+        ScalarExpr::Literal(v) => broadcast(v, batch.num_rows()),
+        ScalarExpr::Binary { op, left, right } => match op {
+            BinaryOp::And | BinaryOp::Or => {
+                let l = eval_vector(left, batch)?;
+                let r = eval_vector(right, batch)?;
+                bool_combine(*op, &l, &r)
+            }
+            _ => {
+                // Specialized compare/arith kernels when a typed fast
+                // path applies; fallback otherwise.
+                if let Some(out) = try_fast_binary(*op, left, right, batch)? {
+                    Ok(out)
+                } else {
+                    fallback(expr, batch)
+                }
+            }
+        },
+        ScalarExpr::Not(e) => {
+            let v = eval_vector(e, batch)?;
+            match v {
+                ColumnVector::Boolean(vals, nulls) => Ok(ColumnVector::Boolean(
+                    vals.into_iter().map(|b| !b).collect(),
+                    nulls,
+                )),
+                other => Err(HiveError::Execution(format!(
+                    "NOT over non-boolean column {}",
+                    other.data_type()
+                ))),
+            }
+        }
+        ScalarExpr::IsNull { expr, negated } => {
+            let v = eval_vector(expr, batch)?;
+            let out: Vec<bool> = (0..v.len()).map(|i| v.is_null(i) != *negated).collect();
+            Ok(ColumnVector::Boolean(out, None))
+        }
+        _ => fallback(expr, batch),
+    }
+}
+
+/// Evaluate a boolean predicate and return the indexes of rows where it
+/// is TRUE (the vectorized selection).
+pub fn filter_indices(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Vec<u32>> {
+    let col = eval_vector(expr, batch)?;
+    match col {
+        ColumnVector::Boolean(vals, nulls) => Ok(vals
+            .iter()
+            .enumerate()
+            .filter(|(i, &b)| b && !nulls.as_ref().is_some_and(|n| n.get(*i)))
+            .map(|(i, _)| i as u32)
+            .collect()),
+        other => Err(HiveError::Execution(format!(
+            "filter predicate produced {}",
+            other.data_type()
+        ))),
+    }
+}
+
+/// Row-at-a-time interpretation of a predicate (the Hive 1.2 path).
+pub fn filter_indices_rowmode(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    for i in 0..batch.num_rows() {
+        let row = batch.row(i);
+        if eval_scalar(expr, row.values())? == Value::Boolean(true) {
+            out.push(i as u32);
+        }
+    }
+    Ok(out)
+}
+
+/// Row-at-a-time projection (the Hive 1.2 path).
+pub fn eval_rowmode(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Vec<Value>> {
+    let mut out = Vec::with_capacity(batch.num_rows());
+    for i in 0..batch.num_rows() {
+        let row = batch.row(i);
+        out.push(eval_scalar(expr, row.values())?);
+    }
+    Ok(out)
+}
+
+fn broadcast(v: &Value, n: usize) -> Result<ColumnVector> {
+    Ok(match v {
+        Value::Null => {
+            // Type-less NULL broadcast: a string column of NULLs.
+            let mut b = BitSet::new(n);
+            for i in 0..n {
+                b.set(i);
+            }
+            ColumnVector::Str(vec![String::new(); n], Some(b))
+        }
+        Value::Boolean(x) => ColumnVector::Boolean(vec![*x; n], None),
+        Value::Int(x) => ColumnVector::Int(vec![*x; n], None),
+        Value::BigInt(x) => ColumnVector::BigInt(vec![*x; n], None),
+        Value::Double(x) => ColumnVector::Double(vec![*x; n], None),
+        Value::Decimal(u, s) => ColumnVector::Decimal(vec![*u; n], *s, None),
+        Value::String(x) => ColumnVector::Str(vec![x.clone(); n], None),
+        Value::Date(x) => ColumnVector::Date(vec![*x; n], None),
+        Value::Timestamp(x) => ColumnVector::Timestamp(vec![*x; n], None),
+    })
+}
+
+fn bool_combine(op: BinaryOp, l: &ColumnVector, r: &ColumnVector) -> Result<ColumnVector> {
+    let (lv, ln) = match l {
+        ColumnVector::Boolean(v, n) => (v, n),
+        other => {
+            return Err(HiveError::Execution(format!(
+                "AND/OR over {}",
+                other.data_type()
+            )))
+        }
+    };
+    let (rv, rn) = match r {
+        ColumnVector::Boolean(v, n) => (v, n),
+        other => {
+            return Err(HiveError::Execution(format!(
+                "AND/OR over {}",
+                other.data_type()
+            )))
+        }
+    };
+    let n = lv.len();
+    let mut out = Vec::with_capacity(n);
+    let mut nulls: Option<BitSet> = None;
+    for i in 0..n {
+        let ln_i = ln.as_ref().is_some_and(|b| b.get(i));
+        let rn_i = rn.as_ref().is_some_and(|b| b.get(i));
+        // Three-valued logic.
+        let (val, is_null) = match op {
+            BinaryOp::And => match (ln_i, lv[i], rn_i, rv[i]) {
+                (false, false, _, _) | (_, _, false, false) => (false, false),
+                (false, true, false, true) => (true, false),
+                _ => (false, true),
+            },
+            BinaryOp::Or => match (ln_i, lv[i], rn_i, rv[i]) {
+                (false, true, _, _) | (_, _, false, true) => (true, false),
+                (false, false, false, false) => (false, false),
+                _ => (false, true),
+            },
+            _ => unreachable!(),
+        };
+        if is_null {
+            nulls
+                .get_or_insert_with(|| BitSet::new(n))
+                .set(i);
+        }
+        out.push(val);
+    }
+    Ok(ColumnVector::Boolean(out, nulls))
+}
+
+/// Try the typed fast path for a comparison or arithmetic op; returns
+/// `None` when the shapes are not specialized.
+fn try_fast_binary(
+    op: BinaryOp,
+    left: &ScalarExpr,
+    right: &ScalarExpr,
+    batch: &VectorBatch,
+) -> Result<Option<ColumnVector>> {
+    if !op.is_comparison() {
+        return Ok(None); // arithmetic falls back (precision rules live in Value)
+    }
+    // column vs literal comparison over primitive types.
+    let (col_expr, lit, flipped) = match (left, right) {
+        (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => (*c, v, false),
+        (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (*c, v, true),
+        _ => return Ok(None),
+    };
+    if lit.is_null() {
+        return Ok(None);
+    }
+    let col = batch.column(col_expr);
+    let n = col.len();
+    let op = if flipped { flip(op) } else { op };
+    macro_rules! cmp_prim {
+        ($vals:expr, $nulls:expr, $lit:expr) => {{
+            let lit = $lit;
+            let mut out = Vec::with_capacity(n);
+            for v in $vals.iter() {
+                out.push(apply_ord(op, v.partial_cmp(&lit)));
+            }
+            Ok(Some(ColumnVector::Boolean(out, $nulls.clone())))
+        }};
+    }
+    match (col, lit) {
+        (ColumnVector::Int(v, nl), Value::Int(x)) => cmp_prim!(v, nl, *x),
+        (ColumnVector::BigInt(v, nl), Value::BigInt(x)) => cmp_prim!(v, nl, *x),
+        (ColumnVector::BigInt(v, nl), Value::Int(x)) => cmp_prim!(v, nl, *x as i64),
+        (ColumnVector::Int(v, nl), Value::BigInt(x)) => {
+            let lit = *x;
+            let mut out = Vec::with_capacity(n);
+            for v in v.iter() {
+                out.push(apply_ord(op, (*v as i64).partial_cmp(&lit)));
+            }
+            Ok(Some(ColumnVector::Boolean(out, nl.clone())))
+        }
+        (ColumnVector::Double(v, nl), Value::Double(x)) => cmp_prim!(v, nl, *x),
+        (ColumnVector::Double(v, nl), Value::Int(x)) => cmp_prim!(v, nl, *x as f64),
+        (ColumnVector::Date(v, nl), Value::Date(x)) => cmp_prim!(v, nl, *x),
+        (ColumnVector::Timestamp(v, nl), Value::Timestamp(x)) => cmp_prim!(v, nl, *x),
+        (ColumnVector::Str(v, nl), Value::String(x)) => {
+            let mut out = Vec::with_capacity(n);
+            for s in v.iter() {
+                out.push(apply_ord(op, Some(s.as_str().cmp(x.as_str()))));
+            }
+            Ok(Some(ColumnVector::Boolean(out, nl.clone())))
+        }
+        (ColumnVector::Decimal(v, s, nl), Value::Decimal(u, s2)) => {
+            let scaled = hive_common::value::rescale(*u, *s2, *s);
+            cmp_prim!(v, nl, scaled)
+        }
+        (ColumnVector::Decimal(v, s, nl), Value::Int(x)) => {
+            let scaled = *x as i128 * hive_common::value::pow10(*s);
+            cmp_prim!(v, nl, scaled)
+        }
+        _ => Ok(None),
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+fn apply_ord(op: BinaryOp, ord: Option<Ordering>) -> bool {
+    match ord {
+        None => false,
+        Some(o) => match op {
+            BinaryOp::Eq => o == Ordering::Equal,
+            BinaryOp::NotEq => o != Ordering::Equal,
+            BinaryOp::Lt => o == Ordering::Less,
+            BinaryOp::LtEq => o != Ordering::Greater,
+            BinaryOp::Gt => o == Ordering::Greater,
+            BinaryOp::GtEq => o != Ordering::Less,
+            _ => false,
+        },
+    }
+}
+
+/// Row-fallback evaluation into a typed column. The output type comes
+/// from the expression's static type against the batch schema.
+fn fallback(expr: &ScalarExpr, batch: &VectorBatch) -> Result<ColumnVector> {
+    let dt = expr.data_type(batch.schema())?;
+    let dt = if dt == hive_common::DataType::Null {
+        hive_common::DataType::String
+    } else {
+        dt
+    };
+    let mut b = ColumnBuilder::new(&dt)?;
+    for i in 0..batch.num_rows() {
+        let row = batch.row(i);
+        let v = eval_scalar(expr, row.values())?;
+        b.push(&v)?;
+    }
+    Ok(b.finish())
+}
+
+/// Evaluate a binary op on two scalars — re-exported convenience for
+/// operators that need ad-hoc value comparisons.
+pub fn eval_value_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    eval_binary(op, l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{DataType, Field, Row, Schema};
+
+    fn batch() -> VectorBatch {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("s", DataType::String),
+            Field::new("d", DataType::Decimal(7, 2)),
+        ]);
+        VectorBatch::from_rows(
+            &schema,
+            &[
+                Row::new(vec![
+                    Value::Int(1),
+                    Value::String("x".into()),
+                    Value::Decimal(100, 2),
+                ]),
+                Row::new(vec![Value::Int(5), Value::Null, Value::Decimal(250, 2)]),
+                Row::new(vec![
+                    Value::Int(9),
+                    Value::String("y".into()),
+                    Value::Null,
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_compare_int() {
+        let b = batch();
+        let e = ScalarExpr::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(ScalarExpr::Column(0)),
+            right: Box::new(ScalarExpr::Literal(Value::Int(4))),
+        };
+        assert_eq!(filter_indices(&e, &b).unwrap(), vec![1, 2]);
+        // Flipped literal side.
+        let e2 = ScalarExpr::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(ScalarExpr::Literal(Value::Int(4))),
+            right: Box::new(ScalarExpr::Column(0)),
+        };
+        assert_eq!(filter_indices(&e2, &b).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn nulls_never_pass_filters() {
+        let b = batch();
+        let e = ScalarExpr::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(ScalarExpr::Column(1)),
+            right: Box::new(ScalarExpr::Literal(Value::String("x".into()))),
+        };
+        assert_eq!(filter_indices(&e, &b).unwrap(), vec![0]);
+        // Decimal null row filtered out too.
+        let e2 = ScalarExpr::Binary {
+            op: BinaryOp::LtEq,
+            left: Box::new(ScalarExpr::Column(2)),
+            right: Box::new(ScalarExpr::Literal(Value::Decimal(300, 2))),
+        };
+        assert_eq!(filter_indices(&e2, &b).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn vector_and_row_modes_agree() {
+        let b = batch();
+        let exprs = vec![
+            ScalarExpr::Binary {
+                op: BinaryOp::GtEq,
+                left: Box::new(ScalarExpr::Column(0)),
+                right: Box::new(ScalarExpr::Literal(Value::Int(5))),
+            },
+            ScalarExpr::IsNull {
+                expr: Box::new(ScalarExpr::Column(1)),
+                negated: false,
+            },
+            ScalarExpr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(ScalarExpr::Binary {
+                    op: BinaryOp::Gt,
+                    left: Box::new(ScalarExpr::Column(0)),
+                    right: Box::new(ScalarExpr::Literal(Value::Int(0))),
+                }),
+                right: Box::new(ScalarExpr::IsNull {
+                    expr: Box::new(ScalarExpr::Column(2)),
+                    negated: true,
+                }),
+            },
+        ];
+        for e in exprs {
+            assert_eq!(
+                filter_indices(&e, &b).unwrap(),
+                filter_indices_rowmode(&e, &b).unwrap(),
+                "mode divergence for {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_valued_and_with_null_operands() {
+        // (s = 'x') AND (a > 0): row 1 has s NULL → predicate NULL → drop.
+        let b = batch();
+        let e = ScalarExpr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(ScalarExpr::Binary {
+                op: BinaryOp::Eq,
+                left: Box::new(ScalarExpr::Column(1)),
+                right: Box::new(ScalarExpr::Literal(Value::String("x".into()))),
+            }),
+            right: Box::new(ScalarExpr::Binary {
+                op: BinaryOp::Gt,
+                left: Box::new(ScalarExpr::Column(0)),
+                right: Box::new(ScalarExpr::Literal(Value::Int(0))),
+            }),
+        };
+        assert_eq!(filter_indices(&e, &b).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn projection_fallback_types() {
+        let b = batch();
+        // a + 1 stays Int via fallback.
+        let e = ScalarExpr::Binary {
+            op: BinaryOp::Plus,
+            left: Box::new(ScalarExpr::Column(0)),
+            right: Box::new(ScalarExpr::Literal(Value::Int(1))),
+        };
+        let col = eval_vector(&e, &b).unwrap();
+        assert_eq!(col.get(0), Value::Int(2));
+        assert_eq!(col.get(2), Value::Int(10));
+    }
+}

@@ -1,0 +1,28 @@
+//! # hive-exec
+//!
+//! The execution engine (paper §5): vectorized physical operators over
+//! [`hive_common::VectorBatch`]es, ACID-snapshot table scans routed
+//! through the LLAP cache, dynamic semijoin reduction at runtime, a
+//! shared-work result cache, and the simulated cluster time model that
+//! reprojects measured per-operator work onto the paper's 10-node
+//! cluster (see DESIGN.md).
+//!
+//! Queries execute for real — results are exact; only the reported
+//! *response time* comes from [`simtime`]. The engine runs in two
+//! modes selected by [`hive_common::HiveConf`]: the vectorized Hive-3.1
+//! path and a row-interpreter Hive-1.2 emulation used as the Figure 7
+//! baseline.
+
+pub mod aggregate;
+pub mod engine;
+pub mod join;
+pub mod kernels;
+pub mod scan;
+pub mod simtime;
+pub mod window;
+
+pub use engine::{
+    execute, execute_simple, ExecContext, ExternalScanResult, ExternalScanner, NodeTrace,
+    SnapshotProvider, WideOpenSnapshots,
+};
+pub use simtime::{simulate_ms, summarize, SimCostModel, SimSummary};

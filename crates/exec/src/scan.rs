@@ -1,0 +1,591 @@
+//! Table scans: ACID snapshot reads, partition handling, sarg pushdown,
+//! dynamic semijoin reduction, LLAP cache routing, and federation
+//! dispatch.
+
+use crate::engine::{ExecContext, NodeTrace};
+use crate::join::build_runtime_filter;
+use crate::kernels::{filter_indices, filter_indices_rowmode};
+use hive_acid::{resolve_snapshot, writer::record_id_at, DeleteSet, ACID_COLS};
+use hive_common::{
+    ColumnVector, HiveError, Result, Schema, Value, VectorBatch, WriteId,
+};
+use hive_corc::{ColumnPredicate, CorcFile, SearchArgument};
+use hive_dfs::DfsPath;
+use hive_optimizer::eval::eval_scalar;
+use hive_optimizer::plan::{LogicalPlan, SemiJoinFilterSpec};
+use hive_optimizer::ScalarExpr;
+use hive_sql::BinaryOp;
+use std::collections::HashSet;
+
+type ExecFn<'f> = &'f dyn Fn(&LogicalPlan, &ExecContext) -> Result<(VectorBatch, NodeTrace)>;
+
+/// Execute a Scan node.
+pub fn execute_scan(
+    plan: &LogicalPlan,
+    ctx: &ExecContext,
+    exec: ExecFn,
+) -> Result<(VectorBatch, NodeTrace)> {
+    let LogicalPlan::Scan {
+        table,
+        projection,
+        filters,
+        partitions,
+        semijoin_filters,
+    } = plan
+    else {
+        return Err(HiveError::Execution("execute_scan on non-scan".into()));
+    };
+    let out_schema = plan.schema();
+    let mut trace = NodeTrace {
+        label: format!("Scan({})", table.qualified_name),
+        ..Default::default()
+    };
+
+    // Federated tables go through the storage-handler hook.
+    if table.handler.is_some() {
+        let scanner = ctx.external.ok_or_else(|| {
+            HiveError::External(format!(
+                "no storage handler registered for {}",
+                table.qualified_name
+            ))
+        })?;
+        let result = scanner.scan(table, projection, filters)?;
+        trace.rows_out = result.batch.num_rows() as u64;
+        trace.external_ms = result.external_ms;
+        // Residual filters still apply (the handler may have pushed
+        // only part of them).
+        let filtered = apply_row_filters(result.batch, filters, ctx)?;
+        trace.rows_out = filtered.num_rows() as u64;
+        return Ok((filtered, trace));
+    }
+
+    // --- dynamic semijoin reduction (§4.6) -------------------------------
+    let mut extra_preds: Vec<ColumnPredicate> = Vec::new();
+    let mut partition_value_allowlist: Option<(usize, HashSet<Value>)> = None;
+    for spec in semijoin_filters {
+        let reducer = run_reducer(spec, ctx, exec, &mut trace)?;
+        let Some((min, max, bloom, values)) = reducer else {
+            // Empty build side: nothing can match.
+            return Ok((VectorBatch::empty(&out_schema)?, trace));
+        };
+        if spec.is_partition_col {
+            // Dynamic partition pruning: collect the exact value set.
+            let entry = partition_value_allowlist
+                .get_or_insert_with(|| (spec.target_col, HashSet::new()));
+            if entry.0 == spec.target_col {
+                entry.1.extend(values);
+            }
+        } else {
+            extra_preds.push(ColumnPredicate::BloomRange {
+                column: spec.target_col,
+                min,
+                max,
+                bloom,
+            });
+        }
+    }
+
+    // --- partition directory resolution ----------------------------------
+    let cat_table = ctx.ms.get_table(&table.db, &table.name)?;
+    let data_cols = cat_table.schema.len();
+    // (directory, partition values) pairs to read.
+    let mut dirs: Vec<(DfsPath, Vec<Value>)> = Vec::new();
+    if cat_table.is_partitioned() {
+        let selected: Vec<(&String, &hive_metastore::PartitionInfo)> = match partitions {
+            Some(list) => list
+                .iter()
+                .filter_map(|d| cat_table.partitions.get_key_value(d))
+                .collect(),
+            None => cat_table.partitions.iter().collect(),
+        };
+        for (_, info) in selected {
+            // Dynamic partition pruning by reducer value set.
+            if let Some((target, allow)) = &partition_value_allowlist {
+                let schema_col = projection[*target];
+                let key_idx = schema_col - data_cols;
+                if let Some(v) = info.values.get(key_idx) {
+                    if !allow.iter().any(|a| a.group_eq(v)) {
+                        continue;
+                    }
+                }
+            }
+            // Partition-only filter conjuncts evaluated per directory.
+            if !partition_dir_matches(filters, projection, data_cols, &info.values) {
+                continue;
+            }
+            dirs.push((DfsPath::new(&info.location), info.values.clone()));
+        }
+    } else {
+        dirs.push((DfsPath::new(&cat_table.location), Vec::new()));
+    }
+
+    // --- sarg construction -------------------------------------------------
+    // File-level sarg over *data* columns only (partition columns are
+    // constant per directory and were handled above).
+    let mut sarg_preds: Vec<ColumnPredicate> = Vec::new();
+    for f in filters {
+        for part in f.split_conjunction() {
+            if let Some(p) = to_column_predicate(part, projection, data_cols) {
+                sarg_preds.push(p);
+            }
+        }
+    }
+    for p in &extra_preds {
+        // Reducer target col → data column index.
+        let col = projection[p.column()];
+        if col < data_cols {
+            sarg_preds.push(retarget(p, col));
+        }
+    }
+    let acid = table.acid;
+    let id_shift = if acid { ACID_COLS } else { 0 };
+    let file_sarg = SearchArgument::with(
+        sarg_preds
+            .iter()
+            .map(|p| retarget(p, p.column() + id_shift))
+            .collect(),
+    );
+
+    // --- shared-work scan reuse (§4.5) -----------------------------------
+    // When several plan sites scan the same table shape with different
+    // filters, the raw read happens once; each consumer applies its own
+    // filters below. (The sarg skip is forfeited on the shared read.)
+    let share_key = ctx.scan_share_key(plan);
+    if let Some(key) = share_key {
+        if let Some(raw) = ctx.shared_get(key) {
+            let mut reuse = NodeTrace {
+                label: format!("SharedScanReuse({})", table.qualified_name),
+                rows_out: raw.num_rows() as u64,
+                shared_reuse: true,
+                ..Default::default()
+            };
+            std::mem::swap(&mut reuse.children, &mut trace.children);
+            trace.children.push(reuse);
+            trace.rows_in = raw.num_rows() as u64;
+            let mut filtered = apply_row_filters(raw, filters, ctx)?;
+            if !extra_preds.is_empty() {
+                let keep: Vec<u32> = (0..filtered.num_rows() as u32)
+                    .filter(|&i| {
+                        extra_preds.iter().all(|p| {
+                            let v = filtered.column(p.column()).get(i as usize);
+                            p.matches_value(&v)
+                        })
+                    })
+                    .collect();
+                filtered = filtered.take(&keep);
+            }
+            trace.rows_out = filtered.num_rows() as u64;
+            return Ok((filtered, trace));
+        }
+    }
+    // A shared scan reads without sargs so every consumer's rows are
+    // present in the published batch.
+    let effective_sarg = if share_key.is_some() {
+        SearchArgument::new()
+    } else {
+        file_sarg
+    };
+    let file_sarg = effective_sarg;
+
+    // --- read --------------------------------------------------------------
+    let io_before = ctx.fs.stats().snapshot();
+    let cache_before = ctx
+        .llap
+        .map(|l| l.cache().stats().hit_miss())
+        .unwrap_or((0, 0));
+    let cache_bytes_before = ctx
+        .llap
+        .map(|l| {
+            l.cache()
+                .stats()
+                .bytes_served_from_cache
+                .load(std::sync::atomic::Ordering::Relaxed)
+        })
+        .unwrap_or(0);
+
+    let mut out = VectorBatch::empty(&out_schema)?;
+    // Data-column projection (schema col indexes < data_cols).
+    let proj_data: Vec<(usize, usize)> = projection
+        .iter()
+        .enumerate()
+        .filter(|(_, &sc)| sc < data_cols)
+        .map(|(out_i, &sc)| (out_i, sc))
+        .collect();
+    let proj_part: Vec<(usize, usize)> = projection
+        .iter()
+        .enumerate()
+        .filter(|(_, &sc)| sc >= data_cols)
+        .map(|(out_i, &sc)| (out_i, sc - data_cols))
+        .collect();
+
+    for (dir, part_values) in &dirs {
+        if acid {
+            let wlist = ctx.snapshots.write_ids(&table.qualified_name);
+            let snap = resolve_snapshot(ctx.fs, dir, &wlist);
+            let deletes = DeleteSet::load(ctx.fs, &snap, &wlist)?;
+            let mut files: Vec<DfsPath> = Vec::new();
+            if let Some(b) = &snap.base {
+                files.extend(ctx.fs.list_files_recursive(&b.path).into_iter().map(|(p, _)| p));
+            }
+            for d in &snap.insert_deltas {
+                files.extend(ctx.fs.list_files_recursive(&d.path).into_iter().map(|(p, _)| p));
+            }
+            for path in files {
+                let file = open_file(ctx, &path)?;
+                read_file(
+                    ctx,
+                    &file,
+                    &file_sarg,
+                    &proj_data,
+                    &proj_part,
+                    part_values,
+                    id_shift,
+                    Some((&wlist, &deletes)),
+                    &out_schema,
+                    &mut out,
+                )?;
+            }
+        } else {
+            for (path, _) in ctx.fs.list_files_recursive(dir) {
+                let file = open_file(ctx, &path)?;
+                read_file(
+                    ctx,
+                    &file,
+                    &file_sarg,
+                    &proj_data,
+                    &proj_part,
+                    part_values,
+                    0,
+                    None,
+                    &out_schema,
+                    &mut out,
+                )?;
+            }
+        }
+    }
+
+    let io_after = ctx.fs.stats().snapshot().since(&io_before);
+    trace.bytes_disk = io_after.bytes_read;
+    trace.io_ops = io_after.reads + io_after.lists;
+    if let Some(l) = ctx.llap {
+        let (h, _m) = l.cache().stats().hit_miss();
+        let _ = h.saturating_sub(cache_before.0);
+        let bytes_cache_after = l
+            .cache()
+            .stats()
+            .bytes_served_from_cache
+            .load(std::sync::atomic::Ordering::Relaxed);
+        trace.bytes_cache = bytes_cache_after.saturating_sub(cache_bytes_before);
+    }
+    trace.rows_in = out.num_rows() as u64;
+    if let Some(key) = share_key {
+        ctx.shared_put(key, out.clone());
+    }
+
+    // --- residual row-level filtering --------------------------------------
+    let mut filtered = apply_row_filters(out, filters, ctx)?;
+    // Row-level check of non-partition reducers (Bloom may let some
+    // row-groups through).
+    if !extra_preds.is_empty() {
+        let keep: Vec<u32> = (0..filtered.num_rows() as u32)
+            .filter(|&i| {
+                extra_preds.iter().all(|p| {
+                    let v = filtered.column(p.column()).get(i as usize);
+                    p.matches_value(&v)
+                })
+            })
+            .collect();
+        filtered = filtered.take(&keep);
+    }
+    trace.rows_out = filtered.num_rows() as u64;
+    Ok((filtered, trace))
+}
+
+/// Run one semijoin reducer's source subplan; `None` when the build side
+/// is empty.
+#[allow(clippy::type_complexity)]
+fn run_reducer(
+    spec: &SemiJoinFilterSpec,
+    ctx: &ExecContext,
+    exec: ExecFn,
+    trace: &mut NodeTrace,
+) -> Result<Option<(Value, Value, hive_corc::BloomFilter, Vec<Value>)>> {
+    let (batch, sub_trace) = exec(&spec.source, ctx)?;
+    trace.children.push(sub_trace);
+    if batch.num_rows() == 0 {
+        return Ok(None);
+    }
+    let Some((min, max, bloom)) = build_runtime_filter(&batch, spec.source_key) else {
+        return Ok(None);
+    };
+    let col = batch.column(spec.source_key);
+    let values: Vec<Value> = (0..col.len())
+        .map(|i| col.get(i))
+        .filter(|v| !v.is_null())
+        .collect();
+    Ok(Some((min, max, bloom, values)))
+}
+
+fn open_file(ctx: &ExecContext, path: &DfsPath) -> Result<CorcFile> {
+    match ctx.llap {
+        Some(l) if ctx.conf.llap_enabled => l.metadata().open(ctx.fs, path),
+        _ => CorcFile::open(ctx.fs, path),
+    }
+}
+
+/// Read one file's selected row groups into `out`.
+#[allow(clippy::too_many_arguments)]
+fn read_file(
+    ctx: &ExecContext,
+    file: &CorcFile,
+    file_sarg: &SearchArgument,
+    proj_data: &[(usize, usize)],
+    proj_part: &[(usize, usize)],
+    part_values: &[Value],
+    id_shift: usize,
+    acid: Option<(&hive_metastore::ValidWriteIdList, &DeleteSet)>,
+    out_schema: &Schema,
+    out: &mut VectorBatch,
+) -> Result<()> {
+    for rg in file.selected_row_groups(file_sarg) {
+        let rows = file.row_group_rows(rg) as usize;
+        // Fetch the needed file columns (identity columns for ACID).
+        let mut file_cols: Vec<usize> = (0..id_shift).collect();
+        file_cols.extend(proj_data.iter().map(|(_, sc)| sc + id_shift));
+        let mut fetched: Vec<ColumnVector> = Vec::with_capacity(file_cols.len());
+        for &fc in &file_cols {
+            let col = fetch_chunk(ctx, file, rg, fc)?;
+            fetched.push(col);
+        }
+        // Visibility filtering for ACID files.
+        let keep: Vec<u32> = match acid {
+            Some((wlist, deletes)) => {
+                let id_batch = VectorBatch::new(
+                    hive_acid::writer::acid_file_schema(&Schema::empty()),
+                    fetched[..ACID_COLS].to_vec(),
+                )?;
+                (0..rows as u32)
+                    .filter(|&i| {
+                        let wid = match id_batch.column(0).get(i as usize) {
+                            Value::BigInt(v) => WriteId(v as u64),
+                            _ => return false,
+                        };
+                        wlist.is_visible(wid)
+                            && (deletes.is_empty()
+                                || !deletes.contains(&record_id_at(&id_batch, i as usize)))
+                    })
+                    .collect()
+            }
+            None => (0..rows as u32).collect(),
+        };
+        // Assemble the output-ordered batch.
+        let mut cols: Vec<Option<ColumnVector>> = vec![None; out_schema.len()];
+        for (slot, (out_i, _)) in proj_data.iter().enumerate() {
+            let col = &fetched[id_shift + slot];
+            cols[*out_i] = Some(col.take(&keep));
+        }
+        for (out_i, key_idx) in proj_part {
+            let v = part_values.get(*key_idx).cloned().unwrap_or(Value::Null);
+            let mut b = hive_common::ColumnBuilder::new(&out_schema.field(*out_i).data_type)?;
+            for _ in 0..keep.len() {
+                b.push(&v)?;
+            }
+            cols[*out_i] = Some(b.finish());
+        }
+        let cols: Vec<ColumnVector> = cols
+            .into_iter()
+            .map(|c| c.ok_or_else(|| HiveError::Execution("unfilled scan column".into())))
+            .collect::<Result<Vec<_>>>()?;
+        out.append(&VectorBatch::new_with_rows(
+            out_schema.clone(),
+            cols,
+            keep.len(),
+        )?)?;
+    }
+    Ok(())
+}
+
+/// Fetch one column chunk, through the LLAP cache when enabled
+/// (the I/O elevator path, §5.1).
+fn fetch_chunk(
+    ctx: &ExecContext,
+    file: &CorcFile,
+    rg: usize,
+    col: usize,
+) -> Result<ColumnVector> {
+    match ctx.llap {
+        Some(l) if ctx.conf.llap_enabled => {
+            let key = hive_llap::cache::ChunkKey {
+                file: file.file_id(),
+                column: col,
+                row_group: rg,
+            };
+            let arc = l
+                .cache()
+                .get_or_load(key, || file.read_column_chunk(rg, col))?;
+            Ok((*arc).clone())
+        }
+        _ => file.read_column_chunk(rg, col),
+    }
+}
+
+fn apply_row_filters(
+    batch: VectorBatch,
+    filters: &[ScalarExpr],
+    ctx: &ExecContext,
+) -> Result<VectorBatch> {
+    let Some(pred) = ScalarExpr::conjunction(filters.to_vec()) else {
+        return Ok(batch);
+    };
+    let idx = if ctx.conf.vectorized {
+        filter_indices(&pred, &batch)?
+    } else {
+        filter_indices_rowmode(&pred, &batch)?
+    };
+    Ok(batch.take(&idx))
+}
+
+/// Evaluate partition-column-only conjuncts against a directory's
+/// partition values; false ⇒ skip the directory.
+fn partition_dir_matches(
+    filters: &[ScalarExpr],
+    projection: &[usize],
+    data_cols: usize,
+    part_values: &[Value],
+) -> bool {
+    // Build a pseudo-row over the scan output: partition columns carry
+    // the directory's values, everything else NULL.
+    let mut row = vec![Value::Null; projection.len()];
+    let mut has_part_col = false;
+    for (out_i, &sc) in projection.iter().enumerate() {
+        if sc >= data_cols {
+            if let Some(v) = part_values.get(sc - data_cols) {
+                row[out_i] = v.clone();
+                has_part_col = true;
+            }
+        }
+    }
+    if !has_part_col {
+        return true;
+    }
+    for f in filters {
+        for part in f.split_conjunction() {
+            // Only conjuncts entirely over partition columns are
+            // decisive per-directory.
+            let cols = part.columns();
+            if cols.is_empty()
+                || !cols
+                    .iter()
+                    .all(|&c| projection.get(c).is_some_and(|&sc| sc >= data_cols))
+            {
+                continue;
+            }
+            if eval_scalar(part, &row) != Ok(Value::Boolean(true)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Convert a supported conjunct to a sargable [`ColumnPredicate`] over
+/// *data-column* indexes. Returns `None` for unsupported shapes.
+fn to_column_predicate(
+    e: &ScalarExpr,
+    projection: &[usize],
+    data_cols: usize,
+) -> Option<ColumnPredicate> {
+    let data_col = |c: usize| -> Option<usize> {
+        let sc = *projection.get(c)?;
+        (sc < data_cols).then_some(sc)
+    };
+    match e {
+        ScalarExpr::Binary { op, left, right } => {
+            let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(v)) if !v.is_null() => {
+                    (*c, v.clone(), *op)
+                }
+                (ScalarExpr::Literal(v), ScalarExpr::Column(c)) if !v.is_null() => {
+                    let flipped = match op {
+                        BinaryOp::Lt => BinaryOp::Gt,
+                        BinaryOp::LtEq => BinaryOp::GtEq,
+                        BinaryOp::Gt => BinaryOp::Lt,
+                        BinaryOp::GtEq => BinaryOp::LtEq,
+                        o => *o,
+                    };
+                    (*c, v.clone(), flipped)
+                }
+                _ => return None,
+            };
+            let dc = data_col(col)?;
+            Some(match op {
+                BinaryOp::Eq => ColumnPredicate::Eq(dc, lit),
+                BinaryOp::Lt => ColumnPredicate::Lt(dc, lit),
+                BinaryOp::LtEq => ColumnPredicate::Le(dc, lit),
+                BinaryOp::Gt => ColumnPredicate::Gt(dc, lit),
+                BinaryOp::GtEq => ColumnPredicate::Ge(dc, lit),
+                _ => return None,
+            })
+        }
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            if let ScalarExpr::Column(c) = expr.as_ref() {
+                let dc = data_col(*c)?;
+                let vals: Option<Vec<Value>> = list
+                    .iter()
+                    .map(|i| match i {
+                        ScalarExpr::Literal(v) if !v.is_null() => Some(v.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                Some(ColumnPredicate::In(dc, vals?))
+            } else {
+                None
+            }
+        }
+        ScalarExpr::IsNull {
+            expr,
+            negated,
+        } => {
+            if let ScalarExpr::Column(c) = expr.as_ref() {
+                let dc = data_col(*c)?;
+                Some(if *negated {
+                    ColumnPredicate::IsNotNull(dc)
+                } else {
+                    ColumnPredicate::IsNull(dc)
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Rebuild a predicate with a different column index.
+fn retarget(p: &ColumnPredicate, col: usize) -> ColumnPredicate {
+    match p {
+        ColumnPredicate::Eq(_, v) => ColumnPredicate::Eq(col, v.clone()),
+        ColumnPredicate::Lt(_, v) => ColumnPredicate::Lt(col, v.clone()),
+        ColumnPredicate::Le(_, v) => ColumnPredicate::Le(col, v.clone()),
+        ColumnPredicate::Gt(_, v) => ColumnPredicate::Gt(col, v.clone()),
+        ColumnPredicate::Ge(_, v) => ColumnPredicate::Ge(col, v.clone()),
+        ColumnPredicate::Between(_, a, b) => {
+            ColumnPredicate::Between(col, a.clone(), b.clone())
+        }
+        ColumnPredicate::In(_, vs) => ColumnPredicate::In(col, vs.clone()),
+        ColumnPredicate::IsNull(_) => ColumnPredicate::IsNull(col),
+        ColumnPredicate::IsNotNull(_) => ColumnPredicate::IsNotNull(col),
+        ColumnPredicate::BloomRange {
+            min, max, bloom, ..
+        } => ColumnPredicate::BloomRange {
+            column: col,
+            min: min.clone(),
+            max: max.clone(),
+            bloom: bloom.clone(),
+        },
+    }
+}

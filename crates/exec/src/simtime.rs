@@ -1,0 +1,276 @@
+//! The simulated cluster time model.
+//!
+//! Queries *execute for real* (results are exact); this module projects
+//! the recorded per-operator work ([`NodeTrace`]) onto a model of the
+//! paper's 10-node cluster to produce deterministic "response times".
+//! The model's purpose is preserving the *shape* of the paper's results
+//! (who wins and by roughly what factor), not absolute numbers — see
+//! DESIGN.md's substitution table.
+//!
+//! Modeled effects:
+//! * **container startup** — per-vertex YARN container allocation unless
+//!   LLAP's persistent executors serve the fragment (§5, "execution
+//!   required YARN containers allocation at start-up, which quickly
+//!   became a critical bottleneck for low latency queries");
+//! * **MapReduce emulation** — each shuffle boundary becomes a job with
+//!   startup latency and intermediate materialization to the DFS
+//!   (§2/§5: Tez removes exactly these);
+//! * **I/O tiering** — bytes from disk vs. bytes from the LLAP cache;
+//! * **vectorization** — interpreted row processing costs ~2.7× more
+//!   CPU per row than vectorized batches ([39]);
+//! * **parallelism** — work divides across `min(tasks, slots)` with
+//!   task granularity `rows_per_task`.
+
+use crate::engine::NodeTrace;
+use hive_common::{EngineVersion, HiveConf, RuntimeKind};
+
+/// Cost-model constants. All times in milliseconds, rates in bytes/ms.
+#[derive(Debug, Clone)]
+pub struct SimCostModel {
+    /// YARN container allocation latency per execution vertex.
+    pub container_startup_ms: f64,
+    /// LLAP fragment dispatch latency per vertex (daemons are running).
+    pub llap_dispatch_ms: f64,
+    /// MapReduce job submission+init latency per shuffle stage.
+    pub mr_job_startup_ms: f64,
+    /// Aggregate disk read bandwidth per node (bytes/ms).
+    pub disk_bytes_per_ms: f64,
+    /// LLAP cache read bandwidth per node (bytes/ms).
+    pub cache_bytes_per_ms: f64,
+    /// Shuffle network bandwidth per node (bytes/ms).
+    pub network_bytes_per_ms: f64,
+    /// CPU cost per row for vectorized operators (ms/row).
+    pub cpu_ms_per_row_vectorized: f64,
+    /// CPU cost per row for the row interpreter (ms/row).
+    pub cpu_ms_per_row_interpreted: f64,
+    /// Assumed bytes per shuffled row.
+    pub shuffle_row_bytes: f64,
+    /// Latency per file-system operation (NameNode round trip + open +
+    /// seek) — the per-file cost that makes uncompacted delta piles
+    /// expensive (§3.2).
+    pub io_op_ms: f64,
+    /// JIT warmup penalty factor for fresh containers (first-wave work
+    /// runs this much slower without long-lived executors).
+    pub cold_jit_factor: f64,
+}
+
+impl Default for SimCostModel {
+    fn default() -> Self {
+        // The constants are calibrated for the bench-scale workloads
+        // (tens of thousands of fact rows) so that the *ratio* of fixed
+        // (startup/scheduling) to variable (CPU/I/O) cost matches the
+        // paper's cluster at its 10 TB scale — see DESIGN.md's
+        // substitution table and EXPERIMENTS.md's calibration notes.
+        // Using raw cluster constants (e.g. ~6 s per MapReduce job)
+        // would make fixed costs dwarf the laptop-scale work and
+        // destroy the comparative shape the benchmarks reproduce.
+        SimCostModel {
+            container_startup_ms: 25.0,
+            llap_dispatch_ms: 2.0,
+            mr_job_startup_ms: 40.0,
+            disk_bytes_per_ms: 150_000.0,     // ~150 MB/s per node
+            cache_bytes_per_ms: 3_000_000.0,  // ~3 GB/s per node
+            network_bytes_per_ms: 1_000_000.0, // ~1 GB/s per node
+            cpu_ms_per_row_vectorized: 0.00015,
+            cpu_ms_per_row_interpreted: 0.0004,
+            shuffle_row_bytes: 48.0,
+            io_op_ms: 0.35,
+            cold_jit_factor: 1.4,
+        }
+    }
+}
+
+/// The simulated response time of a query execution, in milliseconds.
+pub fn simulate_ms(trace: &NodeTrace, conf: &HiveConf, model: &SimCostModel) -> f64 {
+    let session_startup = match (conf.llap_enabled, conf.runtime) {
+        // AM + container fleet spin-up once per query.
+        (false, RuntimeKind::Tez) => model.container_startup_ms,
+        (false, RuntimeKind::MapReduce) => model.mr_job_startup_ms,
+        (true, _) => model.llap_dispatch_ms,
+    };
+    session_startup + node_time(trace, conf, model)
+}
+
+fn node_time(node: &NodeTrace, conf: &HiveConf, model: &SimCostModel) -> f64 {
+    // Children combine *additively*: the cluster is modeled as
+    // throughput-bound (the paper's 10-node testbed under a full TPC-DS
+    // run), so sibling subtrees consume shared executor/I/O capacity
+    // rather than free idle slots. This is what makes repeated
+    // subexpressions expensive and the shared-work optimizer (§4.5)
+    // valuable; per-node work is already divided by the achievable
+    // parallelism inside `own_time`.
+    let children: f64 = node
+        .children
+        .iter()
+        .map(|c| node_time(c, conf, model))
+        .sum();
+    children + own_time(node, conf, model)
+}
+
+fn own_time(node: &NodeTrace, conf: &HiveConf, model: &SimCostModel) -> f64 {
+    if node.shared_reuse {
+        // Shared work: the subtree was computed once elsewhere.
+        return 0.0;
+    }
+    let slots = conf.total_slots().max(1) as f64;
+    let rows = (node.rows_in + node.rows_out) as f64;
+    let tasks = (rows / conf.rows_per_task as f64).ceil().max(1.0);
+    let par = tasks.min(slots);
+
+    let cpu_rate = if conf.vectorized {
+        model.cpu_ms_per_row_vectorized
+    } else {
+        model.cpu_ms_per_row_interpreted
+    };
+    let jit = if conf.llap_enabled {
+        1.0
+    } else {
+        model.cold_jit_factor
+    };
+    let mut t = rows * cpu_rate * jit / par;
+
+    // I/O: disk vs cache tier (bandwidth scales with participating
+    // nodes, capped by task parallelism).
+    let io_par = par.min(conf.cluster_nodes as f64).max(1.0);
+    t += node.bytes_disk as f64 / (model.disk_bytes_per_ms * io_par);
+    t += node.bytes_cache as f64 / (model.cache_bytes_per_ms * io_par);
+    t += node.io_ops as f64 * model.io_op_ms / io_par;
+    t += node.external_ms;
+
+    // Shuffle boundary costs.
+    if node.is_boundary {
+        let shuffle_bytes = node.shuffle_rows as f64 * model.shuffle_row_bytes;
+        t += shuffle_bytes / (model.network_bytes_per_ms * io_par);
+        match conf.runtime {
+            RuntimeKind::Tez => {
+                // New vertex: container wave or LLAP dispatch.
+                t += if conf.llap_enabled {
+                    model.llap_dispatch_ms
+                } else {
+                    model.container_startup_ms * (tasks / slots).ceil().max(1.0).min(3.0)
+                };
+            }
+            RuntimeKind::MapReduce => {
+                // A whole new MR job: startup + materialize the
+                // intermediate data to the DFS and read it back.
+                t += model.mr_job_startup_ms;
+                t += 2.0 * shuffle_bytes / (model.disk_bytes_per_ms * io_par);
+            }
+        }
+    }
+    t
+}
+
+/// A convenience summary of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSummary {
+    pub sim_ms: f64,
+    pub rows_out: u64,
+    pub bytes_disk: u64,
+    pub bytes_cache: u64,
+    pub version: EngineVersion,
+}
+
+/// Summarize a trace under a configuration.
+pub fn summarize(trace: &NodeTrace, conf: &HiveConf, model: &SimCostModel) -> SimSummary {
+    SimSummary {
+        sim_ms: simulate_ms(trace, conf, model),
+        rows_out: trace.rows_out,
+        bytes_disk: trace.total(|n| n.bytes_disk),
+        bytes_cache: trace.total(|n| n.bytes_cache),
+        version: conf.version,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_trace(bytes_disk: u64, bytes_cache: u64, rows: u64) -> NodeTrace {
+        NodeTrace {
+            label: "Scan".into(),
+            rows_in: rows,
+            rows_out: rows,
+            bytes_disk,
+            bytes_cache,
+            ..Default::default()
+        }
+    }
+
+    fn agg_over(child: NodeTrace, rows_in: u64) -> NodeTrace {
+        NodeTrace {
+            label: "Aggregate".into(),
+            rows_in,
+            rows_out: 100,
+            is_boundary: true,
+            shuffle_rows: rows_in,
+            children: vec![child],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn llap_beats_containers_on_warm_cache() {
+        let model = SimCostModel::default();
+        let mut with_llap = hive_common::HiveConf::v3_1();
+        with_llap.llap_enabled = true;
+        let mut without = with_llap.clone();
+        without.llap_enabled = false;
+
+        // Same logical work; LLAP run reads from cache.
+        let cold = agg_over(scan_trace(500_000_000, 0, 2_000_000), 2_000_000);
+        let warm = agg_over(scan_trace(0, 500_000_000, 2_000_000), 2_000_000);
+        let t_container = simulate_ms(&cold, &without, &model);
+        let t_llap = simulate_ms(&warm, &with_llap, &model);
+        assert!(
+            t_llap * 1.5 < t_container,
+            "LLAP should be much faster: {t_llap:.0}ms vs {t_container:.0}ms"
+        );
+    }
+
+    #[test]
+    fn mapreduce_pays_per_stage() {
+        let model = SimCostModel::default();
+        let tez = hive_common::HiveConf::v3_1().with(|c| c.llap_enabled = false);
+        let mr = hive_common::HiveConf::v1_2();
+        // Two-stage query.
+        let trace = agg_over(
+            agg_over(scan_trace(100_000_000, 0, 1_000_000), 1_000_000),
+            500,
+        );
+        let t_tez = simulate_ms(&trace, &tez, &model);
+        let t_mr = simulate_ms(&trace, &mr, &model);
+        assert!(
+            t_mr > t_tez * 1.5,
+            "MR stages should dominate: {t_mr:.0}ms vs {t_tez:.0}ms"
+        );
+    }
+
+    #[test]
+    fn shared_reuse_is_free() {
+        let model = SimCostModel::default();
+        let conf = hive_common::HiveConf::v3_1();
+        let reused = NodeTrace {
+            shared_reuse: true,
+            rows_out: 1_000_000,
+            bytes_disk: 1_000_000_000,
+            ..NodeTrace::default()
+        };
+        let t = node_time(&reused, &conf, &model);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn interpreter_costs_more_cpu() {
+        let model = SimCostModel::default();
+        let vec_conf = hive_common::HiveConf::v3_1();
+        let row_conf = vec_conf.clone().with(|c| c.vectorized = false);
+        let trace = scan_trace(0, 0, 10_000_000);
+        let tv = node_time(&trace, &vec_conf, &model);
+        let tr = node_time(&trace, &row_conf, &model);
+        assert!(
+            tr > tv * 2.0,
+            "row mode should cost ~2.7x more CPU: {tr} vs {tv}"
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! Window function execution: partition, order, and evaluate ranking /
+//! navigation / framed-aggregate functions.
+
+use crate::kernels::eval_vector;
+use hive_common::{ColumnBuilder, Result, Value, VectorBatch};
+use hive_optimizer::plan::window_output_type;
+use hive_optimizer::{AggFunc, ScalarExpr, WindowExpr, WindowFunc};
+use hive_sql::{FrameBound, WindowFrame};
+use std::cmp::Ordering;
+
+/// Execute a Window node: input columns pass through, one extra column
+/// per window expression is appended.
+pub fn execute_window(
+    input: &VectorBatch,
+    windows: &[WindowExpr],
+    out_schema: &hive_common::Schema,
+) -> Result<VectorBatch> {
+    let n = input.num_rows();
+    let mut cols: Vec<hive_common::ColumnVector> = input.columns().to_vec();
+    for w in windows {
+        let dt = window_output_type(w, input.schema());
+        let values = eval_one_window(input, w)?;
+        let mut b = ColumnBuilder::new(&dt)?;
+        for v in &values {
+            b.push(v)?;
+        }
+        let col = b.finish();
+        debug_assert_eq!(col.len(), n);
+        cols.push(col);
+    }
+    VectorBatch::new(out_schema.clone(), cols)
+}
+
+fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
+    let n = input.num_rows();
+    // Partition keys and order keys evaluated once.
+    let part_cols = w
+        .partition_by
+        .iter()
+        .map(|e| eval_vector(e, input))
+        .collect::<Result<Vec<_>>>()?;
+    let order_cols = w
+        .order_by
+        .iter()
+        .map(|k| eval_vector(&k.expr, input))
+        .collect::<Result<Vec<_>>>()?;
+    let arg_cols = w
+        .args
+        .iter()
+        .map(|e| eval_vector(e, input))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Group row indexes by partition key.
+    let mut partitions: std::collections::HashMap<Vec<Value>, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let key: Vec<Value> = part_cols.iter().map(|c| c.get(i)).collect();
+        partitions.entry(key).or_default().push(i);
+    }
+
+    let mut out = vec![Value::Null; n];
+    for (_, mut rows) in partitions {
+        // Sort within the partition by the order keys.
+        rows.sort_by(|&a, &b| {
+            for (kc, key) in order_cols.iter().zip(&w.order_by) {
+                let (va, vb) = (kc.get(a), kc.get(b));
+                let ord = match (va.is_null(), vb.is_null()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => {
+                        if key.nulls_first {
+                            Ordering::Less
+                        } else {
+                            Ordering::Greater
+                        }
+                    }
+                    (false, true) => {
+                        if key.nulls_first {
+                            Ordering::Greater
+                        } else {
+                            Ordering::Less
+                        }
+                    }
+                    (false, false) => va.sql_cmp(&vb).unwrap_or(Ordering::Equal),
+                };
+                let ord = if key.asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        let peer_key = |i: usize| -> Vec<Value> {
+            order_cols.iter().map(|c| c.get(rows[i])).collect()
+        };
+        match &w.func {
+            WindowFunc::RowNumber => {
+                for (pos, &r) in rows.iter().enumerate() {
+                    out[r] = Value::BigInt(pos as i64 + 1);
+                }
+            }
+            WindowFunc::Rank => {
+                let mut rank = 1i64;
+                for pos in 0..rows.len() {
+                    if pos > 0 && peer_key(pos) != peer_key(pos - 1) {
+                        rank = pos as i64 + 1;
+                    }
+                    out[rows[pos]] = Value::BigInt(rank);
+                }
+            }
+            WindowFunc::DenseRank => {
+                let mut rank = 1i64;
+                for pos in 0..rows.len() {
+                    if pos > 0 && peer_key(pos) != peer_key(pos - 1) {
+                        rank += 1;
+                    }
+                    out[rows[pos]] = Value::BigInt(rank);
+                }
+            }
+            WindowFunc::Ntile => {
+                let buckets = arg_cols
+                    .first()
+                    .map(|c| c.get(rows[0]))
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(1)
+                    .max(1) as usize;
+                let len = rows.len();
+                for (pos, &r) in rows.iter().enumerate() {
+                    out[r] = Value::BigInt((pos * buckets / len.max(1)) as i64 + 1);
+                }
+            }
+            WindowFunc::Lag | WindowFunc::Lead => {
+                let offset = w
+                    .args
+                    .get(1)
+                    .and_then(|a| match a {
+                        ScalarExpr::Literal(v) => v.as_i64(),
+                        _ => None,
+                    })
+                    .unwrap_or(1);
+                let default = w.args.get(2).and_then(|a| match a {
+                    ScalarExpr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                });
+                for pos in 0..rows.len() {
+                    let target = if w.func == WindowFunc::Lag {
+                        pos as i64 - offset
+                    } else {
+                        pos as i64 + offset
+                    };
+                    out[rows[pos]] = if target >= 0 && (target as usize) < rows.len() {
+                        arg_cols[0].get(rows[target as usize])
+                    } else {
+                        default.clone().unwrap_or(Value::Null)
+                    };
+                }
+            }
+            WindowFunc::FirstValue => {
+                for &r in &rows {
+                    out[r] = arg_cols[0].get(rows[0]);
+                }
+            }
+            WindowFunc::LastValue => {
+                // Default frame (up to current row): last value is the
+                // current row's value; with an explicit full frame it is
+                // the partition's last.
+                let full = matches!(
+                    &w.frame,
+                    Some(WindowFrame {
+                        end: FrameBound::UnboundedFollowing,
+                        ..
+                    })
+                );
+                for (pos, &r) in rows.iter().enumerate() {
+                    let src = if full { rows[rows.len() - 1] } else { rows[pos] };
+                    out[r] = arg_cols[0].get(src);
+                }
+            }
+            WindowFunc::Agg(func) => {
+                let frame = effective_frame(w);
+                for pos in 0..rows.len() {
+                    let (lo, hi) = frame_bounds(&frame, pos, rows.len());
+                    let mut acc = AggState::new(*func);
+                    for &r in &rows[lo..hi] {
+                        let v = arg_cols.first().map(|c| c.get(r));
+                        acc.update(v.as_ref())?;
+                    }
+                    out[rows[pos]] = acc.finish();
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Default frame semantics: with ORDER BY, unbounded-preceding..current;
+/// without, the whole partition.
+fn effective_frame(w: &WindowExpr) -> WindowFrame {
+    match &w.frame {
+        Some(f) => f.clone(),
+        None if !w.order_by.is_empty() => WindowFrame {
+            start: FrameBound::UnboundedPreceding,
+            end: FrameBound::CurrentRow,
+        },
+        None => WindowFrame {
+            start: FrameBound::UnboundedPreceding,
+            end: FrameBound::UnboundedFollowing,
+        },
+    }
+}
+
+fn frame_bounds(frame: &WindowFrame, pos: usize, len: usize) -> (usize, usize) {
+    let lo = match &frame.start {
+        FrameBound::UnboundedPreceding => 0,
+        FrameBound::Preceding(k) => pos.saturating_sub(*k as usize),
+        FrameBound::CurrentRow => pos,
+        FrameBound::Following(k) => (pos + *k as usize).min(len),
+        FrameBound::UnboundedFollowing => len,
+    };
+    let hi = match &frame.end {
+        FrameBound::UnboundedPreceding => 0,
+        FrameBound::Preceding(k) => pos.saturating_sub(*k as usize).saturating_add(1).min(len),
+        FrameBound::CurrentRow => (pos + 1).min(len),
+        FrameBound::Following(k) => (pos + 1 + *k as usize).min(len),
+        FrameBound::UnboundedFollowing => len,
+    };
+    (lo.min(hi), hi)
+}
+
+/// Small aggregate state for framed window aggregates.
+struct AggState {
+    func: AggFunc,
+    count: i64,
+    sum: Option<Value>,
+    fsum: f64,
+    fcount: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        AggState {
+            func,
+            count: 0,
+            sum: None,
+            fsum: 0.0,
+            fcount: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        let Some(v) = v else {
+            self.count += 1;
+            return Ok(());
+        };
+        if v.is_null() {
+            return Ok(());
+        }
+        self.count += 1;
+        self.sum = Some(match self.sum.take() {
+            None => v.clone(),
+            Some(cur) => cur.add(v)?,
+        });
+        if let Some(f) = v.as_f64() {
+            self.fsum += f;
+            self.fcount += 1;
+        }
+        if self
+            .min
+            .as_ref()
+            .map_or(true, |m| v.sql_cmp(m) == Some(Ordering::Less))
+        {
+            self.min = Some(v.clone());
+        }
+        if self
+            .max
+            .as_ref()
+            .map_or(true, |m| v.sql_cmp(m) == Some(Ordering::Greater))
+        {
+            self.max = Some(v.clone());
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::BigInt(self.count),
+            AggFunc::Sum => self.sum.unwrap_or(Value::Null),
+            AggFunc::Min => self.min.unwrap_or(Value::Null),
+            AggFunc::Max => self.max.unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if self.fcount == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.fsum / self.fcount as f64)
+                }
+            }
+            AggFunc::StddevSamp => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{DataType, Field, Row, Schema};
+    use hive_optimizer::SortKey;
+
+    fn input() -> VectorBatch {
+        let schema = Schema::new(vec![
+            Field::new("dept", DataType::String),
+            Field::new("sal", DataType::Int),
+        ]);
+        VectorBatch::from_rows(
+            &schema,
+            &[
+                Row::new(vec![Value::String("a".into()), Value::Int(10)]),
+                Row::new(vec![Value::String("a".into()), Value::Int(30)]),
+                Row::new(vec![Value::String("a".into()), Value::Int(30)]),
+                Row::new(vec![Value::String("b".into()), Value::Int(5)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn wexpr(func: WindowFunc, args: Vec<ScalarExpr>, frame: Option<WindowFrame>) -> WindowExpr {
+        WindowExpr {
+            func,
+            args,
+            partition_by: vec![ScalarExpr::Column(0)],
+            order_by: vec![SortKey {
+                expr: ScalarExpr::Column(1),
+                asc: true,
+                nulls_first: false,
+            }],
+            frame,
+        }
+    }
+
+    fn run(w: WindowExpr) -> Vec<Value> {
+        let b = input();
+        let plan_schema = {
+            let mut fields = b.schema().fields().to_vec();
+            fields.push(Field::new(
+                "_w0",
+                window_output_type(&w, b.schema()),
+            ));
+            Schema::new(fields)
+        };
+        let out = execute_window(&b, &[w], &plan_schema).unwrap();
+        (0..out.num_rows()).map(|i| out.column(2).get(i)).collect()
+    }
+
+    #[test]
+    fn row_number_and_ranks() {
+        assert_eq!(
+            run(wexpr(WindowFunc::RowNumber, vec![], None)),
+            vec![
+                Value::BigInt(1),
+                Value::BigInt(2),
+                Value::BigInt(3),
+                Value::BigInt(1)
+            ]
+        );
+        assert_eq!(
+            run(wexpr(WindowFunc::Rank, vec![], None)),
+            vec![
+                Value::BigInt(1),
+                Value::BigInt(2),
+                Value::BigInt(2),
+                Value::BigInt(1)
+            ]
+        );
+        assert_eq!(
+            run(wexpr(WindowFunc::DenseRank, vec![], None)),
+            vec![
+                Value::BigInt(1),
+                Value::BigInt(2),
+                Value::BigInt(2),
+                Value::BigInt(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn running_sum_default_frame() {
+        assert_eq!(
+            run(wexpr(
+                WindowFunc::Agg(AggFunc::Sum),
+                vec![ScalarExpr::Column(1)],
+                None
+            )),
+            vec![
+                Value::Int(10),
+                Value::Int(40),
+                Value::Int(70),
+                Value::Int(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn sliding_frame() {
+        assert_eq!(
+            run(wexpr(
+                WindowFunc::Agg(AggFunc::Sum),
+                vec![ScalarExpr::Column(1)],
+                Some(WindowFrame {
+                    start: FrameBound::Preceding(1),
+                    end: FrameBound::CurrentRow,
+                })
+            )),
+            vec![
+                Value::Int(10),
+                Value::Int(40),
+                Value::Int(60),
+                Value::Int(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn lag_lead() {
+        assert_eq!(
+            run(wexpr(
+                WindowFunc::Lag,
+                vec![ScalarExpr::Column(1)],
+                None
+            )),
+            vec![Value::Null, Value::Int(10), Value::Int(30), Value::Null]
+        );
+        assert_eq!(
+            run(wexpr(
+                WindowFunc::Lead,
+                vec![ScalarExpr::Column(1)],
+                None
+            )),
+            vec![Value::Int(30), Value::Int(30), Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
+    fn first_last_value() {
+        assert_eq!(
+            run(wexpr(
+                WindowFunc::FirstValue,
+                vec![ScalarExpr::Column(1)],
+                None
+            )),
+            vec![
+                Value::Int(10),
+                Value::Int(10),
+                Value::Int(10),
+                Value::Int(5)
+            ]
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! Whole-stack pipeline tests: SQL text → analyzer → optimizer →
+//! execution over real ACID tables in the simulated DFS.
+
+use hive_acid::AcidWriter;
+use hive_common::{DataType, Field, HiveConf, Row, Schema, Value, VectorBatch};
+use hive_dfs::{DfsPath, DistFs};
+use hive_exec::{execute, ExecContext, NodeTrace, SnapshotProvider};
+use hive_llap::LlapDaemons;
+use hive_metastore::{Metastore, TableBuilder, TableStats, ValidWriteIdList};
+use hive_optimizer::{Analyzer, MetastoreCatalog, Optimizer, OptimizerContext};
+use hive_sql::parse_sql;
+
+struct Fixture {
+    fs: DistFs,
+    ms: Metastore,
+    llap: LlapDaemons,
+}
+
+struct LiveSnapshots<'a>(&'a Metastore);
+impl SnapshotProvider for LiveSnapshots<'_> {
+    fn write_ids(&self, table: &str) -> ValidWriteIdList {
+        let snap = self.0.valid_txn_list();
+        self.0.valid_write_ids(table, &snap, None)
+    }
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        let fs = DistFs::new();
+        let ms = Metastore::new();
+        let llap = LlapDaemons::new(4, 4, 64 << 20, 0.5);
+        let fx = Fixture { fs, ms, llap };
+        // store_sales partitioned by sold_date.
+        fx.create_table(
+            "store_sales",
+            vec![
+                Field::new("ss_item_sk", DataType::Int),
+                Field::new("ss_customer_sk", DataType::Int),
+                Field::new("ss_sales_price", DataType::Decimal(7, 2)),
+                Field::new("ss_quantity", DataType::Int),
+            ],
+            vec![Field::new("ss_sold_date_sk", DataType::Int)],
+        );
+        fx.create_table(
+            "item",
+            vec![
+                Field::new("i_item_sk", DataType::Int),
+                Field::new("i_category", DataType::String),
+            ],
+            vec![],
+        );
+        // item: 20 items across 4 categories.
+        fx.insert(
+            "item",
+            (0..20)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i),
+                        Value::String(format!("cat{}", i % 4)),
+                    ])
+                })
+                .collect(),
+            None,
+        );
+        // store_sales: 3 day-partitions × 300 rows.
+        for day in 0..3 {
+            let rows: Vec<Row> = (0..300)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i % 20),
+                        Value::Int(i % 50),
+                        Value::Decimal(((i % 90) + 10) as i128 * 100, 2),
+                        Value::Int(i % 7 + 1),
+                    ])
+                })
+                .collect();
+            fx.insert("store_sales", rows, Some(Value::Int(2450815 + day)));
+        }
+        fx
+    }
+
+    fn create_table(&self, name: &str, cols: Vec<Field>, parts: Vec<Field>) {
+        self.ms
+            .create_table(
+                TableBuilder::new("default", name, Schema::new(cols))
+                    .partitioned_by(parts)
+                    .build(),
+            )
+            .unwrap();
+    }
+
+    /// Insert through a real transaction into the right delta dir.
+    fn insert(&self, name: &str, rows: Vec<Row>, partition: Option<Value>) {
+        let table = self.ms.get_table("default", name).unwrap();
+        let qname = table.qualified_name();
+        let txn = self.ms.open_txn();
+        let wid = self.ms.allocate_write_id(txn, &qname).unwrap();
+        let dir = match &partition {
+            Some(v) => {
+                let info = self
+                    .ms
+                    .add_partition("default", name, vec![v.clone()])
+                    .unwrap();
+                DfsPath::new(&info.location)
+            }
+            None => DfsPath::new(&table.location),
+        };
+        let writer = AcidWriter::new(&self.fs, &dir, table.schema.clone());
+        let batch = VectorBatch::from_rows(&table.schema, &rows).unwrap();
+        writer.write_insert_delta(wid, &batch).unwrap();
+        self.ms.commit_txn(txn).unwrap();
+        // Keep stats fresh (additive merge, §4.1).
+        let mut delta = TableStats::new(table.schema.len());
+        delta.update_batch(&batch);
+        self.ms.merge_table_stats(&qname, &delta);
+    }
+
+    fn run_conf(&self, sql: &str, conf: &HiveConf) -> (VectorBatch, NodeTrace) {
+        let cat = MetastoreCatalog::new(self.ms.clone(), "default");
+        let analyzer = Analyzer::new(&cat);
+        let plan = match parse_sql(sql).unwrap() {
+            hive_sql::Statement::Query(q) => analyzer.analyze_query(&q).unwrap(),
+            other => panic!("not a query: {other:?}"),
+        };
+        let ctx = OptimizerContext {
+            metastore: &self.ms,
+            conf,
+            usable_views: vec![],
+        };
+        let plan = Optimizer::optimize(plan, &ctx).unwrap();
+        let snaps = LiveSnapshots(&self.ms);
+        let mut ectx = ExecContext::new(
+            &self.fs,
+            &self.ms,
+            conf,
+            Some(&self.llap),
+            &snaps,
+            None,
+        );
+        ectx.prepare_shared_work(&plan);
+        execute(&plan, &ectx).unwrap()
+    }
+
+    fn run(&self, sql: &str) -> (VectorBatch, NodeTrace) {
+        self.run_conf(sql, &HiveConf::v3_1())
+    }
+
+    fn rows(&self, sql: &str) -> Vec<String> {
+        let (b, _) = self.run(sql);
+        b.to_rows().iter().map(|r| r.to_string()).collect()
+    }
+}
+
+#[test]
+fn count_star() {
+    let fx = Fixture::new();
+    assert_eq!(fx.rows("SELECT COUNT(*) FROM store_sales"), vec!["900"]);
+    assert_eq!(fx.rows("SELECT COUNT(*) FROM item"), vec!["20"]);
+}
+
+#[test]
+fn filter_and_project() {
+    let fx = Fixture::new();
+    let rows = fx.rows("SELECT i_item_sk FROM item WHERE i_category = 'cat1' ORDER BY i_item_sk");
+    assert_eq!(rows, vec!["1", "5", "9", "13", "17"]);
+}
+
+#[test]
+fn partition_pruned_query_reads_less() {
+    let fx = Fixture::new();
+    // Disable the LLAP cache so both queries read from disk (cache
+    // bytes are decoded-vector sized and not comparable to file bytes).
+    let conf = HiveConf::v3_1().with(|c| c.llap_enabled = false);
+    let (b_all, t_all) = fx.run_conf("SELECT COUNT(*) FROM store_sales", &conf);
+    let (b_one, t_one) = fx.run_conf(
+        "SELECT COUNT(*) FROM store_sales WHERE ss_sold_date_sk = 2450815",
+        &conf,
+    );
+    assert_eq!(b_all.row(0).get(0), &Value::BigInt(900));
+    assert_eq!(b_one.row(0).get(0), &Value::BigInt(300));
+    let all_bytes = t_all.total(|n| n.bytes_disk);
+    let one_bytes = t_one.total(|n| n.bytes_disk);
+    assert!(
+        one_bytes * 2 < all_bytes,
+        "partition pruning must cut I/O: {one_bytes} vs {all_bytes}"
+    );
+}
+
+#[test]
+fn star_join_with_aggregation() {
+    let fx = Fixture::new();
+    let rows = fx.rows(
+        "SELECT i_category, COUNT(*) AS c
+         FROM store_sales, item
+         WHERE ss_item_sk = i_item_sk
+         GROUP BY i_category
+         ORDER BY i_category",
+    );
+    // 900 sales spread uniformly over item ids 0..20 → category counts.
+    assert_eq!(rows.len(), 4);
+    let total: i64 = rows
+        .iter()
+        .map(|r| r.split('\t').nth(1).unwrap().parse::<i64>().unwrap())
+        .sum();
+    assert_eq!(total, 900);
+}
+
+#[test]
+fn semi_join_subquery() {
+    let fx = Fixture::new();
+    let rows = fx.rows(
+        "SELECT COUNT(*) FROM store_sales
+         WHERE ss_item_sk IN (SELECT i_item_sk FROM item WHERE i_category = 'cat0')",
+    );
+    // cat0 items: 0,4,8,12,16 — each day has 300 rows over ids 0..19,
+    // i.e. 15 full cycles: 15 rows per id → 5 ids * 15 * 3 days = 225.
+    assert_eq!(rows, vec!["225"]);
+}
+
+#[test]
+fn snapshot_isolation_visible_through_engine() {
+    let fx = Fixture::new();
+    // Open (uncommitted) insert must stay invisible.
+    let table = fx.ms.get_table("default", "item").unwrap();
+    let txn = fx.ms.open_txn();
+    let wid = fx.ms.allocate_write_id(txn, "default.item").unwrap();
+    let writer = AcidWriter::new(&fx.fs, &DfsPath::new(&table.location), table.schema.clone());
+    let batch = VectorBatch::from_rows(
+        &table.schema,
+        &[Row::new(vec![
+            Value::Int(99),
+            Value::String("ghost".into()),
+        ])],
+    )
+    .unwrap();
+    writer.write_insert_delta(wid, &batch).unwrap();
+    assert_eq!(fx.rows("SELECT COUNT(*) FROM item"), vec!["20"]);
+    fx.ms.commit_txn(txn).unwrap();
+    assert_eq!(fx.rows("SELECT COUNT(*) FROM item"), vec!["21"]);
+}
+
+#[test]
+fn llap_cache_warms_across_queries() {
+    let fx = Fixture::new();
+    let (_, t_cold) = fx.run("SELECT SUM(ss_quantity) FROM store_sales");
+    let (_, t_warm) = fx.run("SELECT SUM(ss_quantity) FROM store_sales");
+    let cold_disk = t_cold.total(|n| n.bytes_disk);
+    let warm_disk = t_warm.total(|n| n.bytes_disk);
+    let warm_cache = t_warm.total(|n| n.bytes_cache);
+    assert!(cold_disk > 0);
+    assert!(
+        warm_disk < cold_disk / 4,
+        "second run should hit cache: {warm_disk} vs {cold_disk}"
+    );
+    assert!(warm_cache > 0);
+}
+
+#[test]
+fn row_mode_and_vectorized_agree() {
+    let fx = Fixture::new();
+    let sql = "SELECT i_category, SUM(ss_sales_price) AS s
+               FROM store_sales, item WHERE ss_item_sk = i_item_sk
+                 AND ss_quantity > 3
+               GROUP BY i_category ORDER BY i_category";
+    let (v, _) = fx.run_conf(sql, &HiveConf::v3_1());
+    let mut v1_conf = HiveConf::v1_2();
+    // Keep modern planning, only flip execution mode, to isolate the
+    // vectorization comparison.
+    v1_conf.cbo_enabled = true;
+    v1_conf.vectorized = false;
+    let (r, _) = fx.run_conf(sql, &v1_conf);
+    assert_eq!(v.to_rows(), r.to_rows());
+}
+
+#[test]
+fn grouping_sets_end_to_end() {
+    let fx = Fixture::new();
+    let rows = fx.rows(
+        "SELECT i_category, COUNT(*) FROM item GROUP BY ROLLUP(i_category) ORDER BY i_category",
+    );
+    // 4 categories + 1 total row.
+    assert_eq!(rows.len(), 5);
+    assert!(rows.iter().any(|r| r.starts_with("NULL\t20")));
+}
+
+#[test]
+fn windows_end_to_end() {
+    let fx = Fixture::new();
+    let rows = fx.rows(
+        "SELECT i_item_sk, ROW_NUMBER() OVER (PARTITION BY i_category ORDER BY i_item_sk)
+         FROM item ORDER BY i_item_sk LIMIT 5",
+    );
+    assert_eq!(rows, vec!["0\t1", "1\t1", "2\t1", "3\t1", "4\t2"]);
+}
+
+#[test]
+fn set_operations_end_to_end() {
+    let fx = Fixture::new();
+    let rows = fx.rows(
+        "SELECT i_item_sk FROM item WHERE i_category = 'cat0'
+         INTERSECT
+         SELECT i_item_sk FROM item WHERE i_item_sk < 10
+         ORDER BY i_item_sk",
+    );
+    assert_eq!(rows, vec!["0", "4", "8"]);
+    let rows = fx.rows(
+        "SELECT i_item_sk FROM item WHERE i_item_sk < 4
+         EXCEPT
+         SELECT i_item_sk FROM item WHERE i_category = 'cat0'
+         ORDER BY i_item_sk",
+    );
+    assert_eq!(rows, vec!["1", "2", "3"]);
+}
+
+#[test]
+fn scalar_subquery_end_to_end() {
+    let fx = Fixture::new();
+    let rows = fx.rows(
+        "SELECT COUNT(*) FROM item
+         WHERE i_item_sk > (SELECT AVG(i_item_sk) FROM item)",
+    );
+    // avg = 9.5; ids 10..19 → 10 rows.
+    assert_eq!(rows, vec!["10"]);
+}
+
+#[test]
+fn correlated_exists_end_to_end() {
+    let fx = Fixture::new();
+    // Items with at least one sale of quantity 7.
+    let rows = fx.rows(
+        "SELECT COUNT(*) FROM item
+         WHERE EXISTS (SELECT 1 FROM store_sales
+                       WHERE ss_item_sk = i_item_sk AND ss_quantity = 7)",
+    );
+    let n: i64 = rows[0].parse().unwrap();
+    assert!(n > 0 && n <= 20, "got {n}");
+}
+
+#[test]
+fn shared_work_reuses_subtrees() {
+    let fx = Fixture::new();
+    let sql = "SELECT a.c, b.c FROM
+                 (SELECT COUNT(*) AS c FROM store_sales WHERE ss_quantity > 2) a,
+                 (SELECT COUNT(*) AS c FROM store_sales WHERE ss_quantity > 2) b";
+    let (out, trace) = fx.run(sql);
+    assert_eq!(out.num_rows(), 1);
+    assert_eq!(out.row(0).get(0), out.row(0).get(1));
+    let mut reuse = 0;
+    trace.visit(&mut |n| {
+        if n.shared_reuse {
+            reuse += 1;
+        }
+    });
+    assert!(reuse >= 1, "one branch should be served from shared work");
+    // Disabled shared work executes both branches.
+    let conf = HiveConf::v3_1().with(|c| c.shared_work = false);
+    let (_, t2) = fx.run_conf(sql, &conf);
+    let mut reuse2 = 0;
+    t2.visit(&mut |n| {
+        if n.shared_reuse {
+            reuse2 += 1;
+        }
+    });
+    assert_eq!(reuse2, 0);
+}
+
+#[test]
+fn semijoin_reducer_cuts_io() {
+    let fx = Fixture::new();
+    let sql = "SELECT SUM(ss_sales_price) FROM store_sales, item
+               WHERE ss_item_sk = i_item_sk AND i_category = 'cat2'";
+    let on = HiveConf::v3_1().with(|c| c.llap_enabled = false);
+    let off = on.clone().with(|c| c.semijoin_reduction = false);
+    let (a, _ta) = fx.run_conf(sql, &on);
+    let (b, _tb) = fx.run_conf(sql, &off);
+    assert_eq!(a.to_rows(), b.to_rows(), "reduction must not change results");
+}
+

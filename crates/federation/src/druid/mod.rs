@@ -1,0 +1,9 @@
+//! The Druid-like OLAP substrate (paper §6.2's federation target).
+
+pub mod handler;
+pub mod query;
+pub mod store;
+
+pub use handler::DruidStorageHandler;
+pub use query::{DruidAgg, DruidFilter, DruidQuery, Granularity, QueryType};
+pub use store::DruidStore;

@@ -1,0 +1,927 @@
+//! The Druid query language: groupBy/timeseries/topN/scan queries with
+//! JSON serialization (Figure 6 of the paper) and execution against
+//! [`super::store::DruidStore`].
+
+use super::store::{Datasource, DruidStore, Segment};
+use crate::json::Json;
+use hive_common::{dates, BitSet, HiveError, Result, Row, Value};
+use std::collections::HashMap;
+
+/// Query types (Druid's native API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryType {
+    GroupBy,
+    Timeseries,
+    TopN,
+    Scan,
+}
+
+/// Time bucketing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    All,
+    Day,
+    Month,
+    Year,
+}
+
+/// Dimension filters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DruidFilter {
+    /// `dimension = value`
+    Selector { dimension: String, value: String },
+    /// `dimension IN (values)`
+    In {
+        dimension: String,
+        values: Vec<String>,
+    },
+    /// Lexicographic/numeric bound on a dimension.
+    Bound {
+        dimension: String,
+        lower: Option<String>,
+        upper: Option<String>,
+        numeric: bool,
+    },
+    And(Vec<DruidFilter>),
+    Or(Vec<DruidFilter>),
+    Not(Box<DruidFilter>),
+}
+
+/// Aggregators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DruidAgg {
+    Count { name: String },
+    DoubleSum { name: String, field: String },
+    DoubleMin { name: String, field: String },
+    DoubleMax { name: String, field: String },
+}
+
+impl DruidAgg {
+    /// Output column name.
+    pub fn name(&self) -> &str {
+        match self {
+            DruidAgg::Count { name }
+            | DruidAgg::DoubleSum { name, .. }
+            | DruidAgg::DoubleMin { name, .. }
+            | DruidAgg::DoubleMax { name, .. } => name,
+        }
+    }
+}
+
+/// Result ordering/limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LimitSpec {
+    pub limit: usize,
+    /// (column name, descending).
+    pub columns: Vec<(String, bool)>,
+}
+
+/// A Druid query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DruidQuery {
+    pub query_type: QueryType,
+    pub datasource: String,
+    /// `[start_ms, end_ms)` intervals; empty = all time.
+    pub intervals: Vec<(i64, i64)>,
+    pub filter: Option<DruidFilter>,
+    pub dimensions: Vec<String>,
+    pub aggregations: Vec<DruidAgg>,
+    pub granularity: Granularity,
+    pub limit_spec: Option<LimitSpec>,
+    /// Scan-query columns.
+    pub columns: Vec<String>,
+}
+
+impl DruidQuery {
+    /// A groupBy query skeleton.
+    pub fn group_by(datasource: &str) -> DruidQuery {
+        DruidQuery {
+            query_type: QueryType::GroupBy,
+            datasource: datasource.to_string(),
+            intervals: Vec::new(),
+            filter: None,
+            dimensions: Vec::new(),
+            aggregations: Vec::new(),
+            granularity: Granularity::All,
+            limit_spec: None,
+            columns: Vec::new(),
+        }
+    }
+
+    // ---- JSON -------------------------------------------------------------
+
+    /// Serialize to the JSON wire form (paper Figure 6(c)).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = vec![
+            (
+                "queryType",
+                Json::s(match self.query_type {
+                    QueryType::GroupBy => "groupBy",
+                    QueryType::Timeseries => "timeseries",
+                    QueryType::TopN => "topN",
+                    QueryType::Scan => "scan",
+                }),
+            ),
+            ("dataSource", Json::s(&self.datasource)),
+            (
+                "granularity",
+                Json::s(match self.granularity {
+                    Granularity::All => "all",
+                    Granularity::Day => "day",
+                    Granularity::Month => "month",
+                    Granularity::Year => "year",
+                }),
+            ),
+        ];
+        if !self.dimensions.is_empty() {
+            fields.push((
+                "dimensions",
+                Json::Array(self.dimensions.iter().map(Json::s).collect()),
+            ));
+        }
+        if !self.columns.is_empty() {
+            fields.push((
+                "columns",
+                Json::Array(self.columns.iter().map(Json::s).collect()),
+            ));
+        }
+        if !self.aggregations.is_empty() {
+            fields.push((
+                "aggregations",
+                Json::Array(self.aggregations.iter().map(agg_json).collect()),
+            ));
+        }
+        if let Some(f) = &self.filter {
+            fields.push(("filter", filter_json(f)));
+        }
+        if !self.intervals.is_empty() {
+            fields.push((
+                "intervals",
+                Json::Array(
+                    self.intervals
+                        .iter()
+                        .map(|(a, b)| Json::s(format!("{}/{}", iso(*a), iso(*b))))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(l) = &self.limit_spec {
+            fields.push((
+                "limitSpec",
+                Json::obj(vec![
+                    ("limit", Json::n(l.limit as f64)),
+                    (
+                        "columns",
+                        Json::Array(
+                            l.columns
+                                .iter()
+                                .map(|(c, desc)| {
+                                    Json::obj(vec![
+                                        ("dimension", Json::s(c)),
+                                        (
+                                            "direction",
+                                            Json::s(if *desc {
+                                                "descending"
+                                            } else {
+                                                "ascending"
+                                            }),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// Parse from JSON.
+    pub fn parse(text: &str) -> Result<DruidQuery> {
+        let j = Json::parse(text)?;
+        let query_type = match j.get("queryType").and_then(|v| v.as_str()) {
+            Some("groupBy") => QueryType::GroupBy,
+            Some("timeseries") => QueryType::Timeseries,
+            Some("topN") => QueryType::TopN,
+            Some("scan") => QueryType::Scan,
+            other => {
+                return Err(HiveError::External(format!(
+                    "unknown druid queryType {other:?}"
+                )))
+            }
+        };
+        let datasource = j
+            .get("dataSource")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| HiveError::External("missing dataSource".into()))?
+            .to_string();
+        let granularity = match j.get("granularity").and_then(|v| v.as_str()) {
+            Some("day") => Granularity::Day,
+            Some("month") => Granularity::Month,
+            Some("year") => Granularity::Year,
+            _ => Granularity::All,
+        };
+        let dimensions = str_array(&j, "dimensions");
+        let columns = str_array(&j, "columns");
+        let aggregations = j
+            .get("aggregations")
+            .and_then(|v| v.as_array())
+            .map(|a| a.iter().map(parse_agg).collect::<Result<Vec<_>>>())
+            .transpose()?
+            .unwrap_or_default();
+        let filter = j.get("filter").map(parse_filter).transpose()?;
+        let intervals = j
+            .get("intervals")
+            .and_then(|v| v.as_array())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str())
+                    .filter_map(parse_interval)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let limit_spec = j.get("limitSpec").map(|l| LimitSpec {
+            limit: l.get("limit").and_then(|v| v.as_f64()).unwrap_or(1e18) as usize,
+            columns: l
+                .get("columns")
+                .and_then(|v| v.as_array())
+                .map(|cols| {
+                    cols.iter()
+                        .filter_map(|c| {
+                            Some((
+                                c.get("dimension")?.as_str()?.to_string(),
+                                c.get("direction").and_then(|d| d.as_str())
+                                    == Some("descending"),
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        });
+        Ok(DruidQuery {
+            query_type,
+            datasource,
+            intervals,
+            filter,
+            dimensions,
+            aggregations,
+            granularity,
+            limit_spec,
+            columns,
+        })
+    }
+
+    // ---- execution ---------------------------------------------------------
+
+    /// Execute against the store. Returns rows shaped as:
+    /// * groupBy/topN/timeseries: `[time bucket?]... dims..., aggs...`
+    ///   (a leading BIGINT bucket column only when granularity ≠ all);
+    /// * scan: the requested columns.
+    ///
+    /// Also returns the number of rows actually *examined* (after bitmap
+    /// and interval pruning) — the handler's latency model input.
+    pub fn execute(&self, store: &DruidStore) -> Result<(Vec<Row>, u64)> {
+        store.with_datasource(&self.datasource, |ds| match self.query_type {
+            QueryType::Scan => self.execute_scan(ds),
+            _ => self.execute_group_by(ds),
+        })
+    }
+
+    fn segment_selected(&self, seg: &Segment) -> bool {
+        self.intervals.is_empty()
+            || self
+                .intervals
+                .iter()
+                .any(|(a, b)| seg.start_ms < *b && seg.end_ms > *a)
+    }
+
+    fn row_mask(&self, seg: &Segment, ds: &Datasource) -> Result<BitSet> {
+        let mut mask = match &self.filter {
+            Some(f) => eval_filter(f, seg, ds)?,
+            None => BitSet::all_set(seg.len()),
+        };
+        // Row-level interval check (segments are day-grain; intervals
+        // may cut finer).
+        if !self.intervals.is_empty() {
+            let mut time_mask = BitSet::new(seg.len());
+            for (i, &t) in seg.time.iter().enumerate() {
+                if self.intervals.iter().any(|(a, b)| t >= *a && t < *b) {
+                    time_mask.set(i);
+                }
+            }
+            mask.and_with(&time_mask);
+        }
+        Ok(mask)
+    }
+
+    fn execute_scan(&self, ds: &Datasource) -> Result<(Vec<Row>, u64)> {
+        let mut out = Vec::new();
+        let mut examined = 0u64;
+        for seg in &ds.segments {
+            if !self.segment_selected(seg) {
+                continue;
+            }
+            let mask = self.row_mask(seg, ds)?;
+            examined += mask.count_ones() as u64;
+            for row in mask.iter_ones() {
+                let mut vals = Vec::with_capacity(self.columns.len());
+                for c in &self.columns {
+                    vals.push(read_cell(seg, ds, c, row)?);
+                }
+                out.push(Row::new(vals));
+            }
+        }
+        Ok((out, examined))
+    }
+
+    fn execute_group_by(&self, ds: &Datasource) -> Result<(Vec<Row>, u64)> {
+        let dim_idx: Vec<usize> = self
+            .dimensions
+            .iter()
+            .map(|d| {
+                ds.dim_names
+                    .iter()
+                    .position(|n| n == d)
+                    .ok_or_else(|| HiveError::External(format!("unknown dimension {d}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut groups: HashMap<(i64, Vec<String>), Vec<AggState>> = HashMap::new();
+        let mut examined = 0u64;
+        for seg in &ds.segments {
+            if !self.segment_selected(seg) {
+                continue;
+            }
+            let mask = self.row_mask(seg, ds)?;
+            examined += mask.count_ones() as u64;
+            for row in mask.iter_ones() {
+                let bucket = bucket_of(self.granularity, seg.time[row]);
+                let key: Vec<String> = dim_idx
+                    .iter()
+                    .map(|&di| seg.dims[di].get(row).to_string())
+                    .collect();
+                let states = groups.entry((bucket, key)).or_insert_with(|| {
+                    self.aggregations.iter().map(AggState::new).collect()
+                });
+                for (st, agg) in states.iter_mut().zip(&self.aggregations) {
+                    st.update(agg, seg, ds, row)?;
+                }
+            }
+        }
+        let bucketed = self.granularity != Granularity::All;
+        let mut rows: Vec<Row> = groups
+            .into_iter()
+            .map(|((bucket, key), states)| {
+                let mut vals: Vec<Value> = Vec::new();
+                if bucketed {
+                    vals.push(Value::BigInt(bucket));
+                }
+                vals.extend(key.into_iter().map(Value::String));
+                vals.extend(states.into_iter().map(|s| s.finish()));
+                Row::new(vals)
+            })
+            .collect();
+        // limitSpec ordering over named output columns.
+        if let Some(l) = &self.limit_spec {
+            let col_index = |name: &str| -> Option<usize> {
+                let base = if bucketed { 1 } else { 0 };
+                if let Some(i) = self.dimensions.iter().position(|d| d == name) {
+                    return Some(base + i);
+                }
+                self.aggregations
+                    .iter()
+                    .position(|a| a.name() == name)
+                    .map(|i| base + self.dimensions.len() + i)
+            };
+            let keys: Vec<(usize, bool)> = l
+                .columns
+                .iter()
+                .filter_map(|(n, desc)| col_index(n).map(|i| (i, *desc)))
+                .collect();
+            rows.sort_by(|a, b| {
+                for (i, desc) in &keys {
+                    let ord = a.get(*i).total_cmp_nulls_last(b.get(*i));
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            rows.truncate(l.limit);
+        }
+        Ok((rows, examined))
+    }
+}
+
+#[derive(Debug)]
+enum AggState {
+    Count(i64),
+    Sum(f64),
+    Min(f64),
+    Max(f64),
+}
+
+impl AggState {
+    fn new(agg: &DruidAgg) -> AggState {
+        match agg {
+            DruidAgg::Count { .. } => AggState::Count(0),
+            DruidAgg::DoubleSum { .. } => AggState::Sum(0.0),
+            DruidAgg::DoubleMin { .. } => AggState::Min(f64::INFINITY),
+            DruidAgg::DoubleMax { .. } => AggState::Max(f64::NEG_INFINITY),
+        }
+    }
+
+    fn update(
+        &mut self,
+        agg: &DruidAgg,
+        seg: &Segment,
+        ds: &Datasource,
+        row: usize,
+    ) -> Result<()> {
+        let field_value = |field: &str| -> Result<f64> {
+            let mi = ds
+                .metric_names
+                .iter()
+                .position(|n| n == field)
+                .ok_or_else(|| HiveError::External(format!("unknown metric {field}")))?;
+            Ok(seg.metrics[mi][row])
+        };
+        match (self, agg) {
+            (AggState::Count(c), DruidAgg::Count { .. }) => *c += 1,
+            (AggState::Sum(s), DruidAgg::DoubleSum { field, .. }) => *s += field_value(field)?,
+            (AggState::Min(m), DruidAgg::DoubleMin { field, .. }) => {
+                *m = m.min(field_value(field)?)
+            }
+            (AggState::Max(m), DruidAgg::DoubleMax { field, .. }) => {
+                *m = m.max(field_value(field)?)
+            }
+            _ => unreachable!("state/agg mismatch"),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::BigInt(c),
+            AggState::Sum(s) => Value::Double(s),
+            AggState::Min(m) => {
+                if m.is_finite() {
+                    Value::Double(m)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Max(m) => {
+                if m.is_finite() {
+                    Value::Double(m)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+fn bucket_of(g: Granularity, t_ms: i64) -> i64 {
+    let days = t_ms.div_euclid(86_400_000);
+    match g {
+        Granularity::All => 0,
+        Granularity::Day => days,
+        Granularity::Month => dates::truncate_to_month(days as i32) as i64,
+        Granularity::Year => dates::truncate_to_year(days as i32) as i64,
+    }
+}
+
+fn read_cell(seg: &Segment, ds: &Datasource, col: &str, row: usize) -> Result<Value> {
+    if col == "__time" {
+        return Ok(Value::Timestamp(seg.time[row] * 1000));
+    }
+    if let Some(di) = ds.dim_names.iter().position(|n| n == col) {
+        return Ok(Value::String(seg.dims[di].get(row).to_string()));
+    }
+    if let Some(mi) = ds.metric_names.iter().position(|n| n == col) {
+        return Ok(Value::Double(seg.metrics[mi][row]));
+    }
+    Err(HiveError::External(format!("unknown column {col}")))
+}
+
+/// Evaluate a filter to a row bitmap, using inverted indexes for
+/// selector/in filters (Druid's core speed trick).
+fn eval_filter(f: &DruidFilter, seg: &Segment, ds: &Datasource) -> Result<BitSet> {
+    match f {
+        DruidFilter::Selector { dimension, value } => {
+            let di = ds
+                .dim_names
+                .iter()
+                .position(|n| n == dimension)
+                .ok_or_else(|| HiveError::External(format!("unknown dimension {dimension}")))?;
+            Ok(seg.dims[di].rows_matching(value))
+        }
+        DruidFilter::In { dimension, values } => {
+            let mut acc = BitSet::new(seg.len());
+            for v in values {
+                acc.or_with(&eval_filter(
+                    &DruidFilter::Selector {
+                        dimension: dimension.clone(),
+                        value: v.clone(),
+                    },
+                    seg,
+                    ds,
+                )?);
+            }
+            Ok(acc)
+        }
+        DruidFilter::Bound {
+            dimension,
+            lower,
+            upper,
+            numeric,
+        } => {
+            let di = ds
+                .dim_names
+                .iter()
+                .position(|n| n == dimension)
+                .ok_or_else(|| HiveError::External(format!("unknown dimension {dimension}")))?;
+            let col = &seg.dims[di];
+            let mut mask = BitSet::new(seg.len());
+            let in_bound = |s: &str| -> bool {
+                if *numeric {
+                    let v: f64 = s.parse().unwrap_or(f64::NAN);
+                    let lo_ok = lower
+                        .as_ref()
+                        .map_or(true, |l| v >= l.parse().unwrap_or(f64::NEG_INFINITY));
+                    let hi_ok = upper
+                        .as_ref()
+                        .map_or(true, |u| v <= u.parse().unwrap_or(f64::INFINITY));
+                    lo_ok && hi_ok
+                } else {
+                    lower.as_ref().map_or(true, |l| s >= l.as_str())
+                        && upper.as_ref().map_or(true, |u| s <= u.as_str())
+                }
+            };
+            // Evaluate per dictionary code then expand via the index.
+            for (code, word) in col.dict.iter().enumerate() {
+                if in_bound(word) {
+                    mask.or_with(&col.inverted[code]);
+                }
+            }
+            Ok(mask)
+        }
+        DruidFilter::And(parts) => {
+            let mut acc = BitSet::all_set(seg.len());
+            for p in parts {
+                acc.and_with(&eval_filter(p, seg, ds)?);
+            }
+            Ok(acc)
+        }
+        DruidFilter::Or(parts) => {
+            let mut acc = BitSet::new(seg.len());
+            for p in parts {
+                acc.or_with(&eval_filter(p, seg, ds)?);
+            }
+            Ok(acc)
+        }
+        DruidFilter::Not(inner) => {
+            let mut m = eval_filter(inner, seg, ds)?;
+            m.negate();
+            Ok(m)
+        }
+    }
+}
+
+// ---- JSON helpers -----------------------------------------------------------
+
+fn agg_json(a: &DruidAgg) -> Json {
+    match a {
+        DruidAgg::Count { name } => Json::obj(vec![
+            ("type", Json::s("count")),
+            ("name", Json::s(name)),
+        ]),
+        DruidAgg::DoubleSum { name, field } => Json::obj(vec![
+            ("type", Json::s("doubleSum")),
+            ("name", Json::s(name)),
+            ("fieldName", Json::s(field)),
+        ]),
+        DruidAgg::DoubleMin { name, field } => Json::obj(vec![
+            ("type", Json::s("doubleMin")),
+            ("name", Json::s(name)),
+            ("fieldName", Json::s(field)),
+        ]),
+        DruidAgg::DoubleMax { name, field } => Json::obj(vec![
+            ("type", Json::s("doubleMax")),
+            ("name", Json::s(name)),
+            ("fieldName", Json::s(field)),
+        ]),
+    }
+}
+
+fn parse_agg(j: &Json) -> Result<DruidAgg> {
+    let name = j
+        .get("name")
+        .and_then(|v| v.as_str())
+        .unwrap_or("agg")
+        .to_string();
+    let field = j
+        .get("fieldName")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default()
+        .to_string();
+    Ok(match j.get("type").and_then(|v| v.as_str()) {
+        Some("count") => DruidAgg::Count { name },
+        Some("doubleSum") | Some("floatSum") | Some("longSum") => {
+            DruidAgg::DoubleSum { name, field }
+        }
+        Some("doubleMin") => DruidAgg::DoubleMin { name, field },
+        Some("doubleMax") => DruidAgg::DoubleMax { name, field },
+        other => {
+            return Err(HiveError::External(format!(
+                "unknown druid aggregator {other:?}"
+            )))
+        }
+    })
+}
+
+fn filter_json(f: &DruidFilter) -> Json {
+    match f {
+        DruidFilter::Selector { dimension, value } => Json::obj(vec![
+            ("type", Json::s("selector")),
+            ("dimension", Json::s(dimension)),
+            ("value", Json::s(value)),
+        ]),
+        DruidFilter::In { dimension, values } => Json::obj(vec![
+            ("type", Json::s("in")),
+            ("dimension", Json::s(dimension)),
+            ("values", Json::Array(values.iter().map(Json::s).collect())),
+        ]),
+        DruidFilter::Bound {
+            dimension,
+            lower,
+            upper,
+            numeric,
+        } => {
+            let mut fields = vec![
+                ("type", Json::s("bound")),
+                ("dimension", Json::s(dimension)),
+            ];
+            if let Some(l) = lower {
+                fields.push(("lower", Json::s(l)));
+            }
+            if let Some(u) = upper {
+                fields.push(("upper", Json::s(u)));
+            }
+            if *numeric {
+                fields.push(("ordering", Json::s("numeric")));
+            }
+            Json::obj(fields)
+        }
+        DruidFilter::And(parts) => Json::obj(vec![
+            ("type", Json::s("and")),
+            ("fields", Json::Array(parts.iter().map(filter_json).collect())),
+        ]),
+        DruidFilter::Or(parts) => Json::obj(vec![
+            ("type", Json::s("or")),
+            ("fields", Json::Array(parts.iter().map(filter_json).collect())),
+        ]),
+        DruidFilter::Not(inner) => Json::obj(vec![
+            ("type", Json::s("not")),
+            ("field", filter_json(inner)),
+        ]),
+    }
+}
+
+fn parse_filter(j: &Json) -> Result<DruidFilter> {
+    match j.get("type").and_then(|v| v.as_str()) {
+        Some("selector") => Ok(DruidFilter::Selector {
+            dimension: req_str(j, "dimension")?,
+            value: req_str(j, "value")?,
+        }),
+        Some("in") => Ok(DruidFilter::In {
+            dimension: req_str(j, "dimension")?,
+            values: str_array(j, "values"),
+        }),
+        Some("bound") => Ok(DruidFilter::Bound {
+            dimension: req_str(j, "dimension")?,
+            lower: j.get("lower").and_then(|v| v.as_str()).map(String::from),
+            upper: j.get("upper").and_then(|v| v.as_str()).map(String::from),
+            numeric: j.get("ordering").and_then(|v| v.as_str()) == Some("numeric"),
+        }),
+        Some("and") => Ok(DruidFilter::And(
+            j.get("fields")
+                .and_then(|v| v.as_array())
+                .unwrap_or(&[])
+                .iter()
+                .map(parse_filter)
+                .collect::<Result<Vec<_>>>()?,
+        )),
+        Some("or") => Ok(DruidFilter::Or(
+            j.get("fields")
+                .and_then(|v| v.as_array())
+                .unwrap_or(&[])
+                .iter()
+                .map(parse_filter)
+                .collect::<Result<Vec<_>>>()?,
+        )),
+        Some("not") => Ok(DruidFilter::Not(Box::new(parse_filter(
+            j.get("field")
+                .ok_or_else(|| HiveError::External("not filter lacks field".into()))?,
+        )?))),
+        other => Err(HiveError::External(format!(
+            "unknown druid filter {other:?}"
+        ))),
+    }
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String> {
+    j.get(key)
+        .and_then(|v| v.as_str())
+        .map(String::from)
+        .ok_or_else(|| HiveError::External(format!("missing filter field {key}")))
+}
+
+fn str_array(j: &Json, key: &str) -> Vec<String> {
+    j.get(key)
+        .and_then(|v| v.as_array())
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Millis → ISO-8601 `YYYY-MM-DDTHH:MM:SS.mmm`.
+fn iso(ms: i64) -> String {
+    let days = ms.div_euclid(86_400_000);
+    let rem = ms.rem_euclid(86_400_000);
+    let (y, m, d) = dates::days_to_civil(days as i32);
+    let secs = rem / 1000;
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}.{:03}",
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60,
+        rem % 1000
+    )
+}
+
+/// ISO interval `start/end` → `(start_ms, end_ms)`.
+fn parse_interval(s: &str) -> Option<(i64, i64)> {
+    let (a, b) = s.split_once('/')?;
+    Some((parse_iso(a)?, parse_iso(b)?))
+}
+
+fn parse_iso(s: &str) -> Option<i64> {
+    let normalized = s.replace('T', " ");
+    let micros = dates::parse_timestamp(&normalized)?;
+    Some(micros / 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{DataType, Field, Schema, VectorBatch};
+
+    fn store() -> DruidStore {
+        let schema = Schema::new(vec![
+            Field::new("__time", DataType::Timestamp),
+            Field::new("d1", DataType::String),
+            Field::new("m1", DataType::Double),
+        ]);
+        let store = DruidStore::new();
+        store.create_datasource("src", &schema).unwrap();
+        let rows: Vec<Row> = (0..100)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Timestamp((i % 10) as i64 * 86_400_000_000),
+                    Value::String(format!("d{}", i % 5)),
+                    Value::Double(i as f64),
+                ])
+            })
+            .collect();
+        let batch = VectorBatch::from_rows(
+            &Schema::new(vec![
+                Field::new("__time", DataType::Timestamp),
+                Field::new("d1", DataType::String),
+                Field::new("m1", DataType::Double),
+            ]),
+            &rows,
+        )
+        .unwrap();
+        store.ingest("src", &batch).unwrap();
+        store
+    }
+
+    #[test]
+    fn group_by_with_selector() {
+        let s = store();
+        let mut q = DruidQuery::group_by("src");
+        q.dimensions = vec!["d1".into()];
+        q.aggregations = vec![
+            DruidAgg::Count { name: "c".into() },
+            DruidAgg::DoubleSum {
+                name: "s".into(),
+                field: "m1".into(),
+            },
+        ];
+        q.filter = Some(DruidFilter::Selector {
+            dimension: "d1".into(),
+            value: "d2".into(),
+        });
+        let (rows, examined) = q.execute(&s).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::String("d2".into()));
+        assert_eq!(rows[0].get(1), &Value::BigInt(20));
+        // Bitmap pruning examined only matching rows.
+        assert_eq!(examined, 20);
+    }
+
+    #[test]
+    fn interval_prunes_segments() {
+        let s = store();
+        let mut q = DruidQuery::group_by("src");
+        q.aggregations = vec![DruidAgg::Count { name: "c".into() }];
+        q.intervals = vec![(0, 2 * 86_400_000)]; // days 0 and 1
+        let (rows, examined) = q.execute(&s).unwrap();
+        assert_eq!(rows[0].get(0), &Value::BigInt(20));
+        assert_eq!(examined, 20, "other segments skipped");
+    }
+
+    #[test]
+    fn limit_spec_orders_and_truncates() {
+        let s = store();
+        let mut q = DruidQuery::group_by("src");
+        q.dimensions = vec!["d1".into()];
+        q.aggregations = vec![DruidAgg::DoubleSum {
+            name: "s".into(),
+            field: "m1".into(),
+        }];
+        q.limit_spec = Some(LimitSpec {
+            limit: 2,
+            columns: vec![("s".into(), true)],
+        });
+        let (rows, _) = q.execute(&s).unwrap();
+        assert_eq!(rows.len(), 2);
+        let s0 = rows[0].get(1).as_f64().unwrap();
+        let s1 = rows[1].get(1).as_f64().unwrap();
+        assert!(s0 >= s1);
+    }
+
+    #[test]
+    fn scan_query() {
+        let s = store();
+        let mut q = DruidQuery::group_by("src");
+        q.query_type = QueryType::Scan;
+        q.columns = vec!["__time".into(), "d1".into(), "m1".into()];
+        q.filter = Some(DruidFilter::In {
+            dimension: "d1".into(),
+            values: vec!["d0".into(), "d1".into()],
+        });
+        let (rows, _) = q.execute(&s).unwrap();
+        assert_eq!(rows.len(), 40);
+        assert_eq!(rows[0].len(), 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut q = DruidQuery::group_by("my_druid_source");
+        q.dimensions = vec!["d1".into()];
+        q.aggregations = vec![DruidAgg::DoubleSum {
+            name: "s".into(),
+            field: "m1".into(),
+        }];
+        q.filter = Some(DruidFilter::And(vec![
+            DruidFilter::Selector {
+                dimension: "d1".into(),
+                value: "x".into(),
+            },
+            DruidFilter::Bound {
+                dimension: "d2".into(),
+                lower: Some("10".into()),
+                upper: None,
+                numeric: true,
+            },
+        ]));
+        q.intervals = vec![(1483228800000, 1546300800000)]; // 2017..2019
+        q.limit_spec = Some(LimitSpec {
+            limit: 10,
+            columns: vec![("s".into(), true)],
+        });
+        let text = q.to_json().to_string();
+        assert!(text.contains("\"queryType\":\"groupBy\""));
+        assert!(text.contains("2017-01-01T00:00:00.000/2019-01-01T00:00:00.000"));
+        let back = DruidQuery::parse(&text).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn granularity_buckets() {
+        let s = store();
+        let mut q = DruidQuery::group_by("src");
+        q.granularity = Granularity::Day;
+        q.aggregations = vec![DruidAgg::Count { name: "c".into() }];
+        let (rows, _) = q.execute(&s).unwrap();
+        assert_eq!(rows.len(), 10, "one bucket per day");
+    }
+}

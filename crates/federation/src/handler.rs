@@ -1,0 +1,112 @@
+//! The storage-handler interface (paper §6.1) and the registry that the
+//! execution engine consults for federated scans.
+//!
+//! A storage handler consists of an **input format** (how to read,
+//! including how a pushed query answers the scan), an **output format**
+//! (how to write), a **SerDe** (value conversion — here folded into the
+//! batch-based read/write paths), and a **Metastore hook** (notified on
+//! table create/drop).
+
+use hive_common::{HiveError, Result, VectorBatch};
+use hive_exec::{ExternalScanResult, ExternalScanner};
+use hive_metastore::Table;
+use hive_optimizer::{ScalarExpr, ScanTable};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A pluggable connector to an external data system.
+pub trait StorageHandler: Send + Sync {
+    /// Registry key, e.g. `"druid"`, `"jdbc"`.
+    fn name(&self) -> &str;
+
+    /// Human-readable SerDe identifier (diagnostics only — conversion
+    /// happens inside scan/write).
+    fn serde_name(&self) -> &str {
+        "batch"
+    }
+
+    /// Input format: answer a scan. `table.external_query`, when set,
+    /// carries a query in the external system's language produced by
+    /// the pushdown rules; otherwise the handler exports raw rows and
+    /// the engine evaluates `filters` locally.
+    fn scan(
+        &self,
+        table: &ScanTable,
+        projection: &[usize],
+        filters: &[ScalarExpr],
+    ) -> Result<ExternalScanResult>;
+
+    /// Output format: append a batch to the external system.
+    fn write(&self, table: &Table, batch: &VectorBatch) -> Result<()>;
+
+    /// Metastore hook: a table backed by this handler was created.
+    /// May mutate the table (e.g. infer its schema from the external
+    /// system, the paper's "automatically inferred from Druid metadata").
+    fn on_table_created(&self, table: &mut Table) -> Result<()> {
+        let _ = table;
+        Ok(())
+    }
+
+    /// Metastore hook: a table backed by this handler was dropped.
+    fn on_table_dropped(&self, table: &Table) -> Result<()> {
+        let _ = table;
+        Ok(())
+    }
+}
+
+/// The handler registry, keyed by handler name.
+#[derive(Clone, Default)]
+pub struct HandlerRegistry {
+    handlers: HashMap<String, Arc<dyn StorageHandler>>,
+}
+
+impl HandlerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a handler under its name.
+    pub fn register(&mut self, handler: Arc<dyn StorageHandler>) {
+        self.handlers.insert(handler.name().to_string(), handler);
+    }
+
+    /// Look up a handler.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn StorageHandler>> {
+        self.handlers.get(name).cloned().ok_or_else(|| {
+            HiveError::External(format!("no storage handler registered as '{name}'"))
+        })
+    }
+
+    /// Registered handler names.
+    pub fn names(&self) -> Vec<&str> {
+        self.handlers.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// Adapter implementing the execution engine's [`ExternalScanner`] over
+/// the registry.
+pub struct FederationScanner {
+    registry: HandlerRegistry,
+}
+
+impl FederationScanner {
+    /// Wrap a registry.
+    pub fn new(registry: HandlerRegistry) -> Self {
+        FederationScanner { registry }
+    }
+}
+
+impl ExternalScanner for FederationScanner {
+    fn scan(
+        &self,
+        table: &ScanTable,
+        projection: &[usize],
+        filters: &[ScalarExpr],
+    ) -> Result<ExternalScanResult> {
+        let name = table.handler.as_deref().ok_or_else(|| {
+            HiveError::External(format!("{} has no storage handler", table.qualified_name))
+        })?;
+        self.registry.get(name)?.scan(table, projection, filters)
+    }
+}

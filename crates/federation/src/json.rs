@@ -1,0 +1,359 @@
+//! A minimal JSON value model with writer and recursive-descent parser.
+//!
+//! The Druid substrate speaks JSON (its real API is JSON over HTTP);
+//! the approved dependency list contains no JSON crate, so this ~200
+//! line implementation covers exactly the subset the query language
+//! uses: objects, arrays, strings, f64 numbers, booleans, null.
+
+use hive_common::{HiveError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    /// BTreeMap keeps key order deterministic for tests and display.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// String shorthand.
+    pub fn s(v: impl Into<String>) -> Json {
+        Json::String(v.into())
+    }
+
+    /// Number shorthand.
+    pub fn n(v: f64) -> Json {
+        Json::Number(v)
+    }
+
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Parse JSON text.
+    pub fn parse(text: &str) -> Result<Json> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(HiveError::Format("trailing JSON content".into()));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<char> {
+        self.skip_ws();
+        self.chars
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| HiveError::Format("unexpected end of JSON".into()))
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(HiveError::Format(format!(
+                "expected '{c}' at {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek()? {
+            '{' => self.object(),
+            '[' => self.array(),
+            '"' => Ok(Json::String(self.string()?)),
+            't' => self.literal("true", Json::Bool(true)),
+            'f' => self.literal("false", Json::Bool(false)),
+            'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json> {
+        self.skip_ws();
+        for c in word.chars() {
+            if self.chars.get(self.pos) != Some(&c) {
+                return Err(HiveError::Format(format!("bad JSON literal, expected {word}")));
+            }
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == '}' {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let v = self.value()?;
+            map.insert(key, v);
+            match self.peek()? {
+                ',' => {
+                    self.pos += 1;
+                }
+                '}' => {
+                    self.pos += 1;
+                    break;
+                }
+                c => return Err(HiveError::Format(format!("unexpected '{c}' in object"))),
+            }
+        }
+        Ok(Json::Object(map))
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek()? == ']' {
+            self.pos += 1;
+            return Ok(Json::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                ',' => {
+                    self.pos += 1;
+                }
+                ']' => {
+                    self.pos += 1;
+                    break;
+                }
+                c => return Err(HiveError::Format(format!("unexpected '{c}' in array"))),
+            }
+        }
+        Ok(Json::Array(out))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            let c = self
+                .chars
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| HiveError::Format("unterminated JSON string".into()))?;
+            self.pos += 1;
+            match c {
+                '"' => break,
+                '\\' => {
+                    let e = self
+                        .chars
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| HiveError::Format("bad escape".into()))?;
+                    self.pos += 1;
+                    s.push(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '"' => '"',
+                        '\\' => '\\',
+                        '/' => '/',
+                        'u' => {
+                            let hex: String =
+                                self.chars[self.pos..(self.pos + 4).min(self.chars.len())]
+                                    .iter()
+                                    .collect();
+                            self.pos += 4;
+                            char::from_u32(
+                                u32::from_str_radix(&hex, 16).map_err(|_| {
+                                    HiveError::Format("bad unicode escape".into())
+                                })?,
+                            )
+                            .unwrap_or('\u{fffd}')
+                        }
+                        other => other,
+                    });
+                }
+                other => s.push(other),
+            }
+        }
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && matches!(self.chars[self.pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| HiveError::Format(format!("bad JSON number '{text}'")))
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::String(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Object(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Json::String(k.clone()))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let j = Json::obj(vec![
+            ("queryType", Json::s("groupBy")),
+            ("limit", Json::n(10.0)),
+            (
+                "dimensions",
+                Json::Array(vec![Json::s("d1"), Json::s("d2")]),
+            ),
+            ("granularity", Json::s("all")),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+        ]);
+        let text = j.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn parses_paper_figure6_shape() {
+        let text = r#"{
+            "queryType": "groupBy",
+            "dataSource": "my_druid_source",
+            "granularity": "all",
+            "dimension": "d1",
+            "aggregations": [ { "type": "floatSum", "name": "s", "fieldName": "m1" } ],
+            "limitSpec": { "limit": 10, "columns": [ {"dimension": "s", "direction": "descending"} ] },
+            "intervals": [ "2017-01-01T00:00:00.000/2019-01-01T00:00:00.000" ]
+        }"#;
+        let j = Json::parse(text).unwrap();
+        assert_eq!(j.get("queryType").unwrap().as_str(), Some("groupBy"));
+        assert_eq!(
+            j.get("aggregations").unwrap().as_array().unwrap()[0]
+                .get("type")
+                .unwrap()
+                .as_str(),
+            Some("floatSum")
+        );
+    }
+
+    #[test]
+    fn escapes_and_errors() {
+        let j = Json::parse(r#""a\"b\\c\nd""#).unwrap();
+        assert_eq!(j.as_str(), Some("a\"b\\c\nd"));
+        assert!(Json::parse("{bad}").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("12 34").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # hive-federation
+//!
+//! The federated warehouse layer (paper §6): Hive as a *mediator* over
+//! specialized data systems.
+//!
+//! * [`handler::StorageHandler`] — the storage-handler interface (§6.1):
+//!   input format (scan, including pushed queries), output format
+//!   (write), SerDe, and metastore hooks.
+//! * [`druid`] — a Druid-like OLAP substrate (§6.2's example system):
+//!   time-partitioned segments, dictionary-encoded dimensions with
+//!   inverted bitmap indexes, and a JSON query API
+//!   (timeseries/topN/groupBy/scan) that the pushdown rules target.
+//! * [`jdbc`] — a JDBC-style substrate receiving *generated SQL text*
+//!   (the "Calcite can generate SQL queries … using a large number of
+//!   different dialects" path).
+//! * [`pushdown`] — the Calcite-role rules that replace plan subtrees
+//!   over external tables with pushed queries (Figure 6).
+//! * [`json`] — a minimal self-contained JSON reader/writer used by the
+//!   Druid query language (the approved dependency list has no JSON
+//!   crate; see DESIGN.md §5).
+
+pub mod druid;
+pub mod handler;
+pub mod json;
+pub mod jdbc;
+pub mod pushdown;
+pub mod sqlgen;
+
+pub use druid::{DruidQuery, DruidStorageHandler, DruidStore};
+pub use handler::{FederationScanner, HandlerRegistry, StorageHandler};
+pub use jdbc::{JdbcBackend, JdbcStorageHandler};

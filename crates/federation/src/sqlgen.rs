@@ -1,0 +1,153 @@
+//! SQL text generation from plan fragments — the "Calcite can generate
+//! SQL queries … using a large number of different dialects" path
+//! (paper §6.2, footnote 4). Used by the JDBC storage handler pushdown.
+
+use hive_common::{Result, Schema, Value};
+use hive_optimizer::ScalarExpr;
+use hive_sql::BinaryOp;
+
+/// Generate `SELECT <cols> FROM <table> [WHERE <pred>]` for a pushed
+/// projection+filter over an external table.
+pub fn select_sql(
+    table_name: &str,
+    schema: &Schema,
+    projection: &[usize],
+    filters: &[ScalarExpr],
+) -> Result<String> {
+    let cols: Vec<String> = projection
+        .iter()
+        .map(|&c| schema.field(c).name.clone())
+        .collect();
+    let mut sql = format!("SELECT {} FROM {}", cols.join(", "), table_name);
+    if !filters.is_empty() {
+        let parts: Vec<String> = filters
+            .iter()
+            .map(|f| expr_sql(f, schema, projection))
+            .collect::<Result<Vec<_>>>()?;
+        sql.push_str(" WHERE ");
+        sql.push_str(&parts.join(" AND "));
+    }
+    Ok(sql)
+}
+
+/// Render a scalar expression in SQL. Column indexes refer to the scan
+/// output (`projection` positions into `schema`).
+pub fn expr_sql(e: &ScalarExpr, schema: &Schema, projection: &[usize]) -> Result<String> {
+    Ok(match e {
+        ScalarExpr::Column(c) => {
+            let sc = projection.get(*c).copied().ok_or_else(|| {
+                hive_common::HiveError::Plan(format!("column {c} outside projection"))
+            })?;
+            schema.field(sc).name.clone()
+        }
+        ScalarExpr::Literal(v) => literal_sql(v),
+        ScalarExpr::Binary { op, left, right } => format!(
+            "({} {} {})",
+            expr_sql(left, schema, projection)?,
+            op_sql(*op),
+            expr_sql(right, schema, projection)?
+        ),
+        ScalarExpr::Not(inner) => format!("NOT ({})", expr_sql(inner, schema, projection)?),
+        ScalarExpr::Negate(inner) => format!("-({})", expr_sql(inner, schema, projection)?),
+        ScalarExpr::IsNull { expr, negated } => format!(
+            "{} IS {}NULL",
+            expr_sql(expr, schema, projection)?,
+            if *negated { "NOT " } else { "" }
+        ),
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
+            "{} {}LIKE {}",
+            expr_sql(expr, schema, projection)?,
+            if *negated { "NOT " } else { "" },
+            expr_sql(pattern, schema, projection)?
+        ),
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let items: Vec<String> = list
+                .iter()
+                .map(|i| expr_sql(i, schema, projection))
+                .collect::<Result<Vec<_>>>()?;
+            format!(
+                "{} {}IN ({})",
+                expr_sql(expr, schema, projection)?,
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        other => {
+            return Err(hive_common::HiveError::Unsupported(format!(
+                "cannot generate SQL for {other}"
+            )))
+        }
+    })
+}
+
+fn op_sql(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Plus => "+",
+        BinaryOp::Minus => "-",
+        BinaryOp::Multiply => "*",
+        BinaryOp::Divide => "/",
+        BinaryOp::Modulo => "%",
+        BinaryOp::Eq => "=",
+        BinaryOp::NotEq => "<>",
+        BinaryOp::Lt => "<",
+        BinaryOp::LtEq => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::GtEq => ">=",
+        BinaryOp::And => "AND",
+        BinaryOp::Or => "OR",
+    }
+}
+
+fn literal_sql(v: &Value) -> String {
+    match v {
+        Value::String(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Date(_) => format!("DATE '{v}'"),
+        Value::Timestamp(_) => format!("TIMESTAMP '{v}'"),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{DataType, Field};
+
+    #[test]
+    fn generates_select_where() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::String),
+            Field::new("price", DataType::Double),
+        ]);
+        let sql = select_sql(
+            "products",
+            &schema,
+            &[0, 1],
+            &[
+                ScalarExpr::Binary {
+                    op: BinaryOp::Gt,
+                    left: Box::new(ScalarExpr::Column(0)),
+                    right: Box::new(ScalarExpr::Literal(Value::Int(5))),
+                },
+                ScalarExpr::Like {
+                    expr: Box::new(ScalarExpr::Column(1)),
+                    pattern: Box::new(ScalarExpr::Literal(Value::String("it''s%".into()))),
+                    negated: false,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            sql,
+            "SELECT id, name FROM products WHERE (id > 5) AND name LIKE 'it''''s%'"
+        );
+    }
+}

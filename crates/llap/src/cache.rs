@@ -1,0 +1,345 @@
+//! The LLAP data cache and metadata cache.
+
+use hive_common::{ColumnVector, FileId, Result};
+use hive_corc::CorcFile;
+use hive_dfs::{DfsPath, DistFs};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cache key: one column chunk of one row group of one file. FileId is
+/// the stable identity (ETag analogue) that keeps entries valid across
+/// the ACID table's evolving directory layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    pub file: FileId,
+    pub column: usize,
+    pub row_group: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Arc<ColumnVector>,
+    bytes: usize,
+    /// LRFU combined recency/frequency value.
+    crf: f64,
+    last_ref: u64,
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub bytes_served_from_cache: AtomicU64,
+    pub bytes_loaded: AtomicU64,
+}
+
+impl CacheStats {
+    /// (hits, misses) snapshot.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hit rate in [0,1]; 0 when empty.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.hit_miss();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// The off-heap-style chunk cache with **LRFU** eviction (§5.1: "a
+/// simple LRFU replacement policy that is tuned for analytic workloads
+/// with frequent full and partial scan operations"; "the unit of data
+/// for eviction is the chunk").
+///
+/// LRFU computes a combined recency/frequency value per entry:
+/// `CRF = 1 + CRF_old · 2^(−λ·Δt)` on each reference. λ→0 degenerates to
+/// LFU, λ→1 to LRU.
+#[derive(Debug)]
+pub struct LlapCache {
+    inner: Mutex<CacheInner>,
+    capacity_bytes: usize,
+    lambda: f64,
+    stats: CacheStats,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<ChunkKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl LlapCache {
+    /// A cache bounded to `capacity_bytes` with LRFU decay `lambda`.
+    pub fn new(capacity_bytes: usize, lambda: f64) -> Self {
+        LlapCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity_bytes,
+            lambda: lambda.clamp(0.0, 1.0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Current resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn crf_now(&self, e: &Entry, now: u64) -> f64 {
+        let dt = (now - e.last_ref) as f64;
+        e.crf * 2f64.powf(-self.lambda * dt)
+    }
+
+    /// Fetch a chunk, loading it on miss via `load` (the I/O elevator's
+    /// fetch-and-decode path).
+    pub fn get_or_load(
+        &self,
+        key: ChunkKey,
+        load: impl FnOnce() -> Result<ColumnVector>,
+    ) -> Result<Arc<ColumnVector>> {
+        {
+            let mut g = self.inner.lock();
+            g.tick += 1;
+            let now = g.tick;
+            if let Some(e) = g.entries.get_mut(&key) {
+                let decayed = {
+                    let dt = (now - e.last_ref) as f64;
+                    e.crf * 2f64.powf(-self.lambda * dt)
+                };
+                e.crf = 1.0 + decayed;
+                e.last_ref = now;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_served_from_cache
+                    .fetch_add(e.bytes as u64, Ordering::Relaxed);
+                return Ok(e.data.clone());
+            }
+        }
+        // Miss: load outside the lock.
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let col = load()?;
+        let bytes = col.approx_bytes();
+        self.stats
+            .bytes_loaded
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let data = Arc::new(col);
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let now = g.tick;
+        // Evict lowest-CRF entries until the new chunk fits. Chunks
+        // larger than the whole cache bypass it.
+        if bytes <= self.capacity_bytes {
+            while g.bytes + bytes > self.capacity_bytes && !g.entries.is_empty() {
+                let victim = g
+                    .entries
+                    .iter()
+                    .min_by(|(_, a), (_, b)| {
+                        self.crf_now(a, now)
+                            .partial_cmp(&self.crf_now(b, now))
+                            .unwrap()
+                    })
+                    .map(|(k, _)| *k)
+                    .expect("nonempty");
+                if let Some(e) = g.entries.remove(&victim) {
+                    g.bytes -= e.bytes;
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            g.bytes += bytes;
+            g.entries.insert(
+                key,
+                Entry {
+                    data: data.clone(),
+                    bytes,
+                    crf: 1.0,
+                    last_ref: now,
+                },
+            );
+        }
+        Ok(data)
+    }
+
+    /// Drop every cached chunk (tests / manual flush).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.entries.clear();
+        g.bytes = 0;
+    }
+}
+
+/// Footer/metadata cache: open corc files keyed by path + FileId.
+/// "The metadata, including index information, is cached even for data
+/// that was never in the cache" — sargs evaluate against this before
+/// any chunk is fetched.
+#[derive(Debug, Default)]
+pub struct MetadataCache {
+    inner: Mutex<HashMap<DfsPath, (FileId, CorcFile)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MetadataCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a file through the cache; the FileId check invalidates
+    /// entries if a path is ever reused by a new file.
+    pub fn open(&self, fs: &DistFs, path: &DfsPath) -> Result<CorcFile> {
+        let current_id = fs.stat(path)?.file_id;
+        {
+            let g = self.inner.lock();
+            if let Some((id, f)) = g.get(path) {
+                if *id == current_id {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(f.clone());
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let f = CorcFile::open(fs, path)?;
+        self.inner
+            .lock()
+            .insert(path.clone(), (current_id, f.clone()));
+        Ok(f)
+    }
+
+    /// (hits, misses).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::HiveError;
+
+    fn chunk(n: usize) -> ColumnVector {
+        ColumnVector::BigInt(vec![7; n], None)
+    }
+
+    fn key(f: u64, c: usize, rg: usize) -> ChunkKey {
+        ChunkKey {
+            file: FileId(f),
+            column: c,
+            row_group: rg,
+        }
+    }
+
+    #[test]
+    fn hit_after_load() {
+        let cache = LlapCache::new(1 << 20, 0.5);
+        let k = key(1, 0, 0);
+        let a = cache.get_or_load(k, || Ok(chunk(100))).unwrap();
+        let b = cache
+            .get_or_load(k, || panic!("must not reload"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        // Each chunk ~800 bytes; capacity for ~3.
+        let cache = LlapCache::new(2600, 1.0);
+        for i in 0..10 {
+            cache.get_or_load(key(i, 0, 0), || Ok(chunk(100))).unwrap();
+        }
+        assert!(cache.resident_bytes() <= 2600);
+        assert!(cache.len() <= 3);
+        assert!(cache.stats().evictions.load(Ordering::Relaxed) >= 7);
+    }
+
+    #[test]
+    fn lrfu_lru_mode_keeps_recent() {
+        // λ=1 ≈ LRU: after touching key 0 repeatedly long ago, a recent
+        // stream should evict it only after fresher entries.
+        let cache = LlapCache::new(1700, 1.0); // fits 2 chunks
+        cache.get_or_load(key(0, 0, 0), || Ok(chunk(100))).unwrap();
+        cache.get_or_load(key(1, 0, 0), || Ok(chunk(100))).unwrap();
+        // Touch key 1 (most recent), then insert key 2 → evict key 0.
+        cache
+            .get_or_load(key(1, 0, 0), || panic!("hit expected"))
+            .unwrap();
+        cache.get_or_load(key(2, 0, 0), || Ok(chunk(100))).unwrap();
+        let mut reloaded0 = false;
+        cache
+            .get_or_load(key(0, 0, 0), || {
+                reloaded0 = true;
+                Ok(chunk(100))
+            })
+            .unwrap();
+        assert!(reloaded0, "LRU-ish mode should have evicted key 0");
+    }
+
+    #[test]
+    fn lrfu_lfu_mode_keeps_frequent() {
+        // λ=0 ≈ LFU: a frequently-referenced entry survives a scan of
+        // one-shot entries.
+        let cache = LlapCache::new(1700, 0.0); // fits 2 chunks
+        for _ in 0..10 {
+            cache.get_or_load(key(0, 0, 0), || Ok(chunk(100))).unwrap();
+        }
+        for i in 1..6 {
+            cache.get_or_load(key(i, 0, 0), || Ok(chunk(100))).unwrap();
+        }
+        let mut reloaded0 = false;
+        cache
+            .get_or_load(key(0, 0, 0), || {
+                reloaded0 = true;
+                Ok(chunk(100))
+            })
+            .unwrap();
+        assert!(!reloaded0, "LFU-ish mode should retain the hot chunk");
+    }
+
+    #[test]
+    fn oversized_chunks_bypass() {
+        let cache = LlapCache::new(100, 0.5);
+        cache
+            .get_or_load(key(1, 0, 0), || Ok(chunk(1000)))
+            .unwrap();
+        assert_eq!(cache.len(), 0, "oversized chunk must not be cached");
+    }
+
+    #[test]
+    fn load_errors_propagate() {
+        let cache = LlapCache::new(1 << 20, 0.5);
+        let r = cache.get_or_load(key(9, 0, 0), || {
+            Err(HiveError::Io("disk gone".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(cache.len(), 0);
+    }
+}

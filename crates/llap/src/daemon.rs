@@ -1,0 +1,102 @@
+//! The LLAP daemon fleet: persistent executors plus the shared caches.
+//!
+//! Daemons are stateless (§5.1): "each contains a number of executors to
+//! run several query fragments in parallel and a local work queue.
+//! Failure and recovery is simplified because any node can still be used
+//! to process any fragment." Here the fleet tracks executor occupancy
+//! (used by the scheduler and the workload manager) and owns the data
+//! and metadata caches.
+
+use crate::cache::{LlapCache, MetadataCache};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The daemon fleet.
+#[derive(Debug, Clone)]
+pub struct LlapDaemons {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes: usize,
+    executors_per_node: usize,
+    busy: Mutex<usize>,
+    cache: LlapCache,
+    metadata: MetadataCache,
+}
+
+impl LlapDaemons {
+    /// Start a fleet of `nodes` daemons with `executors_per_node`
+    /// executors each and a cache of `cache_bytes` (cluster-wide).
+    pub fn new(nodes: usize, executors_per_node: usize, cache_bytes: usize, lrfu_lambda: f64) -> Self {
+        LlapDaemons {
+            inner: Arc::new(Inner {
+                nodes,
+                executors_per_node,
+                busy: Mutex::new(0),
+                cache: LlapCache::new(cache_bytes, lrfu_lambda),
+                metadata: MetadataCache::new(),
+            }),
+        }
+    }
+
+    /// Total executor slots.
+    pub fn total_executors(&self) -> usize {
+        self.inner.nodes * self.inner.executors_per_node
+    }
+
+    /// Number of daemon nodes.
+    pub fn nodes(&self) -> usize {
+        self.inner.nodes
+    }
+
+    /// The shared data cache.
+    pub fn cache(&self) -> &LlapCache {
+        &self.inner.cache
+    }
+
+    /// The shared metadata cache.
+    pub fn metadata(&self) -> &MetadataCache {
+        &self.inner.metadata
+    }
+
+    /// Try to reserve `n` executors; returns how many were granted
+    /// (possibly fewer under load — fragments queue in that case).
+    pub fn reserve_executors(&self, n: usize) -> usize {
+        let mut busy = self.inner.busy.lock();
+        let free = self.total_executors().saturating_sub(*busy);
+        let granted = n.min(free);
+        *busy += granted;
+        granted
+    }
+
+    /// Release previously reserved executors.
+    pub fn release_executors(&self, n: usize) {
+        let mut busy = self.inner.busy.lock();
+        *busy = busy.saturating_sub(n);
+    }
+
+    /// Executors currently busy.
+    pub fn busy_executors(&self) -> usize {
+        *self.inner.busy.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservation_accounting() {
+        let d = LlapDaemons::new(2, 4, 1 << 20, 0.5);
+        assert_eq!(d.total_executors(), 8);
+        assert_eq!(d.reserve_executors(5), 5);
+        assert_eq!(d.reserve_executors(5), 3, "only 3 free");
+        d.release_executors(4);
+        assert_eq!(d.busy_executors(), 4);
+        assert_eq!(d.reserve_executors(10), 4);
+        d.release_executors(100);
+        assert_eq!(d.busy_executors(), 0);
+    }
+}

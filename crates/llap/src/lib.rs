@@ -1,0 +1,31 @@
+//! # hive-llap
+//!
+//! Live Long and Process (paper §5.1): the persistent execution + cache
+//! layer. LLAP "does not replace the existing execution runtime … but
+//! rather enhances it": the executor (`hive-exec`) routes its I/O
+//! through this crate when LLAP is enabled.
+//!
+//! * [`cache::LlapCache`] — the multi-tenant data cache, addressed by
+//!   `(FileId, column, row group)` chunks, with the paper's LRFU
+//!   (Least Recently/Frequently Used) eviction policy. Because ACID
+//!   never mutates files, cache entries keyed by FileId form an MVCC
+//!   view: "the cache turns into an MVCC view of the data servicing
+//!   multiple concurrent queries possibly in different transactional
+//!   states".
+//! * [`cache::MetadataCache`] — file footers/indexes cached "even for
+//!   data that was never in the cache", so sarg evaluation happens
+//!   before any data read.
+//! * [`daemon::LlapDaemons`] — the daemon fleet abstraction: executor
+//!   slots per node used by the scheduler, plus the shared caches.
+//! * [`workload::WorkloadManager`] — resource plans, pools, mappings and
+//!   triggers (§5.2).
+
+pub mod cache;
+pub mod daemon;
+pub mod workload;
+
+pub use cache::{CacheStats, ChunkKey, LlapCache, MetadataCache};
+pub use daemon::LlapDaemons;
+pub use workload::{
+    Mapping, Pool, ResourcePlan, Trigger, TriggerAction, WorkloadManager,
+};

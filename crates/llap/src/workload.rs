@@ -1,0 +1,331 @@
+//! The workload manager (paper §5.2): resource plans, pools, mappings
+//! and triggers controlling access to LLAP resources in multi-tenant
+//! clusters.
+//!
+//! A resource plan consists of "(i) one or more pool of resources, with
+//! a maximum amount of resources and number of concurrent queries per
+//! pool, (ii) mappings, which route incoming queries to pools …, and
+//! (iii) triggers which initiate an action, such as killing queries in a
+//! pool or moving queries from one pool to another". Idle capacity is
+//! borrowable: "a query may be assigned idle resources from a pool that
+//! it has not been assigned to".
+
+use hive_common::{HiveError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A pool of LLAP resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pool {
+    pub name: String,
+    /// Fraction of cluster resources guaranteed to the pool.
+    pub alloc_fraction: f64,
+    /// Maximum concurrent queries.
+    pub query_parallelism: usize,
+}
+
+/// Routes queries to pools by user or application name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mapping {
+    User { name: String, pool: String },
+    Application { name: String, pool: String },
+    Group { name: String, pool: String },
+}
+
+/// A runtime action taken by a trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriggerAction {
+    Kill,
+    MoveToPool(String),
+}
+
+/// A trigger: when a query in `pool` exceeds `threshold` for `metric`,
+/// apply `action`. The only metric modeled is total runtime in
+/// milliseconds (the paper's `total_runtime` example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trigger {
+    pub name: String,
+    pub pool: String,
+    pub total_runtime_ms_threshold: u64,
+    pub action: TriggerAction,
+}
+
+/// A self-contained resource-sharing configuration. Only one plan can
+/// be active at a time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResourcePlan {
+    pub name: String,
+    pub pools: Vec<Pool>,
+    pub mappings: Vec<Mapping>,
+    pub triggers: Vec<Trigger>,
+    pub default_pool: Option<String>,
+}
+
+impl ResourcePlan {
+    /// The paper's §5.2 example: `daytime` with `bi` (80%, 5 queries)
+    /// and `etl` (20%, 20 queries) pools, a downgrade trigger at 3 s,
+    /// and an application mapping.
+    pub fn paper_example() -> ResourcePlan {
+        ResourcePlan {
+            name: "daytime".into(),
+            pools: vec![
+                Pool {
+                    name: "bi".into(),
+                    alloc_fraction: 0.8,
+                    query_parallelism: 5,
+                },
+                Pool {
+                    name: "etl".into(),
+                    alloc_fraction: 0.2,
+                    query_parallelism: 20,
+                },
+            ],
+            mappings: vec![Mapping::Application {
+                name: "visualization_app".into(),
+                pool: "bi".into(),
+            }],
+            triggers: vec![Trigger {
+                name: "downgrade".into(),
+                pool: "bi".into(),
+                total_runtime_ms_threshold: 3000,
+                action: TriggerAction::MoveToPool("etl".into()),
+            }],
+            default_pool: Some("etl".into()),
+        }
+    }
+
+    fn pool(&self, name: &str) -> Option<&Pool> {
+        self.pools.iter().find(|p| p.name == name)
+    }
+}
+
+/// A granted admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// Pool the query runs in.
+    pub pool: String,
+    /// Guaranteed fraction of cluster resources for this query.
+    pub guaranteed_fraction: f64,
+    /// True when the query borrowed idle capacity from another pool.
+    pub borrowed: bool,
+}
+
+/// The workload manager: admission control over the active plan.
+#[derive(Debug)]
+pub struct WorkloadManager {
+    plan: Option<ResourcePlan>,
+    running: Mutex<HashMap<String, usize>>,
+}
+
+impl Default for WorkloadManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadManager {
+    /// A manager with no active plan (everything admitted).
+    pub fn new() -> Self {
+        WorkloadManager {
+            plan: None,
+            running: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Activate a resource plan (replacing any previous one).
+    pub fn activate(&mut self, plan: ResourcePlan) {
+        self.plan = Some(plan);
+        self.running.lock().clear();
+    }
+
+    /// The active plan.
+    pub fn active_plan(&self) -> Option<&ResourcePlan> {
+        self.plan.as_ref()
+    }
+
+    /// Route a query to its pool by mappings (user first, then
+    /// application, then the default pool).
+    pub fn route(&self, user: &str, application: Option<&str>) -> Option<String> {
+        let plan = self.plan.as_ref()?;
+        for m in &plan.mappings {
+            match m {
+                Mapping::User { name, pool } if name == user => return Some(pool.clone()),
+                Mapping::Application { name, pool }
+                    if Some(name.as_str()) == application =>
+                {
+                    return Some(pool.clone())
+                }
+                _ => {}
+            }
+        }
+        plan.default_pool.clone()
+    }
+
+    /// Admit a query. Fails with [`HiveError::Workload`] when the target
+    /// pool (and every pool with idle capacity) is saturated.
+    pub fn admit(&self, user: &str, application: Option<&str>) -> Result<Admission> {
+        let Some(plan) = self.plan.as_ref() else {
+            return Ok(Admission {
+                pool: "default".into(),
+                guaranteed_fraction: 1.0,
+                borrowed: false,
+            });
+        };
+        let pool_name = self.route(user, application).ok_or_else(|| {
+            HiveError::Workload("no pool mapping and no default pool".into())
+        })?;
+        let pool = plan
+            .pool(&pool_name)
+            .ok_or_else(|| HiveError::Workload(format!("unknown pool {pool_name}")))?;
+        let mut running = self.running.lock();
+        let in_pool = running.entry(pool_name.clone()).or_insert(0);
+        if *in_pool < pool.query_parallelism {
+            *in_pool += 1;
+            return Ok(Admission {
+                pool: pool_name,
+                guaranteed_fraction: pool.alloc_fraction,
+                borrowed: false,
+            });
+        }
+        // Borrow idle capacity from another pool.
+        for other in &plan.pools {
+            if other.name == pool_name {
+                continue;
+            }
+            let count = running.entry(other.name.clone()).or_insert(0);
+            if *count < other.query_parallelism {
+                *count += 1;
+                return Ok(Admission {
+                    pool: other.name.clone(),
+                    guaranteed_fraction: other.alloc_fraction,
+                    borrowed: true,
+                });
+            }
+        }
+        Err(HiveError::Workload(format!(
+            "pool {pool_name} is at parallelism {} and no idle capacity remains",
+            pool.query_parallelism
+        )))
+    }
+
+    /// Release a finished/killed query's slot.
+    pub fn release(&self, pool: &str) {
+        let mut running = self.running.lock();
+        if let Some(c) = running.get_mut(pool) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Evaluate triggers for a query running in `pool` with the given
+    /// elapsed runtime; returns the action to apply, if any. A MoveTo
+    /// action transfers the accounting to the target pool.
+    pub fn check_triggers(&self, pool: &str, elapsed_ms: u64) -> Option<TriggerAction> {
+        let plan = self.plan.as_ref()?;
+        for t in &plan.triggers {
+            if t.pool == pool && elapsed_ms > t.total_runtime_ms_threshold {
+                if let TriggerAction::MoveToPool(target) = &t.action {
+                    let mut running = self.running.lock();
+                    if let Some(c) = running.get_mut(pool) {
+                        *c = c.saturating_sub(1);
+                    }
+                    *running.entry(target.clone()).or_insert(0) += 1;
+                }
+                return Some(t.action.clone());
+            }
+        }
+        None
+    }
+
+    /// Running query count for a pool (diagnostics).
+    pub fn running_in(&self, pool: &str) -> usize {
+        *self.running.lock().get(pool).unwrap_or(&0)
+    }
+}
+
+impl fmt::Display for ResourcePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RESOURCE PLAN {}", self.name)?;
+        for p in &self.pools {
+            writeln!(
+                f,
+                "  POOL {} alloc_fraction={} query_parallelism={}",
+                p.name, p.alloc_fraction, p.query_parallelism
+            )?;
+        }
+        for t in &self.triggers {
+            writeln!(
+                f,
+                "  TRIGGER {} IN {} WHEN total_runtime > {}ms THEN {:?}",
+                t.name, t.pool, t.total_runtime_ms_threshold, t.action
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wm() -> WorkloadManager {
+        let mut w = WorkloadManager::new();
+        w.activate(ResourcePlan::paper_example());
+        w
+    }
+
+    #[test]
+    fn routing() {
+        let w = wm();
+        assert_eq!(
+            w.route("alice", Some("visualization_app")),
+            Some("bi".into())
+        );
+        assert_eq!(w.route("bob", None), Some("etl".into()));
+    }
+
+    #[test]
+    fn admission_limits_and_borrowing() {
+        let w = wm();
+        // Fill the bi pool (parallelism 5).
+        for _ in 0..5 {
+            let a = w.admit("u", Some("visualization_app")).unwrap();
+            assert_eq!(a.pool, "bi");
+            assert!(!a.borrowed);
+        }
+        // Sixth borrows from etl.
+        let a = w.admit("u", Some("visualization_app")).unwrap();
+        assert_eq!(a.pool, "etl");
+        assert!(a.borrowed);
+        assert_eq!(w.running_in("bi"), 5);
+        assert_eq!(w.running_in("etl"), 1);
+        // Saturate etl too → rejection.
+        for _ in 0..19 {
+            w.admit("b", None).unwrap();
+        }
+        assert!(w.admit("b", None).is_err());
+        // Releasing frees a slot.
+        w.release("etl");
+        assert!(w.admit("b", None).is_ok());
+    }
+
+    #[test]
+    fn trigger_moves_query() {
+        let w = wm();
+        let a = w.admit("u", Some("visualization_app")).unwrap();
+        assert_eq!(a.pool, "bi");
+        assert_eq!(w.check_triggers("bi", 1000), None);
+        let action = w.check_triggers("bi", 3500).unwrap();
+        assert_eq!(action, TriggerAction::MoveToPool("etl".into()));
+        assert_eq!(w.running_in("bi"), 0);
+        assert_eq!(w.running_in("etl"), 1);
+    }
+
+    #[test]
+    fn no_plan_admits_everything() {
+        let w = WorkloadManager::new();
+        for _ in 0..100 {
+            assert!(w.admit("anyone", None).is_ok());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The compaction request queue and its state machine (paper §3.2).
+//!
+//! Compaction requests are enqueued automatically by the server when
+//! thresholds are surpassed (delta count, delta/base row ratio) or
+//! manually. The *cleaning* phase is separated from the *merging* phase
+//! so ongoing queries finish before obsolete files are removed.
+
+use std::collections::VecDeque;
+
+/// Minor merges deltas with deltas; major merges deltas into a new base
+/// (deleting history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionKind {
+    Minor,
+    Major,
+}
+
+/// Lifecycle of a compaction request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionState {
+    /// Queued, not yet picked up.
+    Initiated,
+    /// A worker is merging files.
+    Working,
+    /// Merge finished and published; obsolete directories await the
+    /// cleaner (readers may still be using them).
+    ReadyForCleaning,
+    /// Fully done.
+    Succeeded,
+    /// The attempt failed.
+    Failed,
+}
+
+/// One compaction request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionRequest {
+    /// Queue-assigned id.
+    pub id: u64,
+    /// Qualified table name.
+    pub table: String,
+    /// Partition directory name, `None` for unpartitioned tables.
+    pub partition: Option<String>,
+    /// Minor or major.
+    pub kind: CompactionKind,
+    /// Current state.
+    pub state: CompactionState,
+}
+
+/// FIFO compaction queue with per-target dedup.
+#[derive(Debug, Default)]
+pub struct CompactionQueue {
+    next_id: u64,
+    requests: VecDeque<CompactionRequest>,
+}
+
+impl CompactionQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a request unless an active one for the same target is
+    /// already pending/working. Returns the request id, or `None` when
+    /// deduplicated.
+    pub fn submit(
+        &mut self,
+        table: &str,
+        partition: Option<String>,
+        kind: CompactionKind,
+    ) -> Option<u64> {
+        let duplicate = self.requests.iter().any(|r| {
+            r.table == table
+                && r.partition == partition
+                && matches!(
+                    r.state,
+                    CompactionState::Initiated | CompactionState::Working
+                )
+                && (r.kind == kind || r.kind == CompactionKind::Major)
+        });
+        if duplicate {
+            return None;
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        self.requests.push_back(CompactionRequest {
+            id,
+            table: table.to_string(),
+            partition,
+            kind,
+            state: CompactionState::Initiated,
+        });
+        Some(id)
+    }
+
+    /// Claim the next initiated request (marks it `Working`).
+    pub fn next_initiated(&mut self) -> Option<CompactionRequest> {
+        let req = self
+            .requests
+            .iter_mut()
+            .find(|r| r.state == CompactionState::Initiated)?;
+        req.state = CompactionState::Working;
+        Some(req.clone())
+    }
+
+    /// Transition a request's state.
+    pub fn set_state(&mut self, id: u64, state: CompactionState) -> bool {
+        if let Some(r) = self.requests.iter_mut().find(|r| r.id == id) {
+            r.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All requests currently in the given state.
+    pub fn in_state(&self, state: CompactionState) -> Vec<CompactionRequest> {
+        self.requests
+            .iter()
+            .filter(|r| r.state == state)
+            .cloned()
+            .collect()
+    }
+
+    /// Full queue contents (diagnostics / SHOW COMPACTIONS).
+    pub fn all(&self) -> Vec<CompactionRequest> {
+        self.requests.iter().cloned().collect()
+    }
+
+    /// Drop completed entries older than the queue cares to keep.
+    pub fn purge_finished(&mut self) {
+        self.requests.retain(|r| {
+            !matches!(
+                r.state,
+                CompactionState::Succeeded | CompactionState::Failed
+            )
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_claim() {
+        let mut q = CompactionQueue::new();
+        let id = q
+            .submit("db.t", Some("d=1".into()), CompactionKind::Minor)
+            .unwrap();
+        let req = q.next_initiated().unwrap();
+        assert_eq!(req.id, id);
+        assert_eq!(req.state, CompactionState::Working);
+        assert!(q.next_initiated().is_none(), "no more initiated requests");
+    }
+
+    #[test]
+    fn dedup_active_requests() {
+        let mut q = CompactionQueue::new();
+        q.submit("db.t", None, CompactionKind::Minor).unwrap();
+        assert!(q.submit("db.t", None, CompactionKind::Minor).is_none());
+        // A different partition is a different target.
+        assert!(q
+            .submit("db.t", Some("d=1".into()), CompactionKind::Minor)
+            .is_some());
+        // A pending major absorbs minor requests but not vice versa.
+        assert!(q.submit("db.t", None, CompactionKind::Major).is_some());
+    }
+
+    #[test]
+    fn state_machine_and_cleanup() {
+        let mut q = CompactionQueue::new();
+        let id = q.submit("db.t", None, CompactionKind::Major).unwrap();
+        q.next_initiated().unwrap();
+        q.set_state(id, CompactionState::ReadyForCleaning);
+        assert_eq!(q.in_state(CompactionState::ReadyForCleaning).len(), 1);
+        q.set_state(id, CompactionState::Succeeded);
+        q.purge_finished();
+        assert!(q.all().is_empty());
+        // After completion, a new request for the same target is allowed.
+        assert!(q.submit("db.t", None, CompactionKind::Major).is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! HyperLogLog++ cardinality sketch.
+//!
+//! HMS stores the number-of-distinct-values statistic as "a bit array
+//! representation based on HyperLogLog++ which can be combined without
+//! loss of approximation accuracy" (paper §4.1). This is the dense
+//! representation with the HLL++ bias-corrected estimator and
+//! linear-counting fallback for small cardinalities.
+
+use hive_common::Value;
+use serde::{Deserialize, Serialize};
+use std::hash::Hasher;
+
+/// Register-index precision: 2^P registers.
+const P: u32 = 12;
+const M: usize = 1 << P; // 4096 registers
+
+/// A dense HyperLogLog++ sketch over SQL values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+}
+
+impl Default for HyperLogLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HyperLogLog {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        HyperLogLog {
+            registers: vec![0; M],
+        }
+    }
+
+    fn hash(v: &Value) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash_value(&mut h);
+        // Finalize with a 64-bit mix for better low-bit dispersion.
+        let mut x = h.finish();
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        x
+    }
+
+    /// Observe a value. NULLs are ignored (NDV counts non-null values).
+    pub fn add(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        let h = Self::hash(v);
+        let idx = (h >> (64 - P)) as usize;
+        let rest = h << P;
+        // Number of leading zeros in the remaining bits, plus one.
+        let rank = (rest.leading_zeros() + 1).min(64 - P + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Merge another sketch (register-wise max) — the lossless additive
+    /// combination HMS relies on.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Estimated number of distinct values.
+    pub fn estimate(&self) -> u64 {
+        let m = M as f64;
+        let mut sum = 0.0;
+        let mut zeros = 0usize;
+        for &r in &self.registers {
+            sum += 1.0 / (1u64 << r) as f64;
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / sum;
+        // Linear counting for the small range (HLL++ style threshold).
+        if raw <= 2.5 * m && zeros > 0 {
+            let lc = m * (m / zeros as f64).ln();
+            return lc.round() as u64;
+        }
+        raw.round() as u64
+    }
+
+    /// True when nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate_of(n: i64) -> u64 {
+        let mut h = HyperLogLog::new();
+        for i in 0..n {
+            h.add(&Value::BigInt(i));
+        }
+        h.estimate()
+    }
+
+    fn assert_within(est: u64, actual: u64, pct: f64) {
+        let err = (est as f64 - actual as f64).abs() / actual as f64;
+        assert!(
+            err < pct,
+            "estimate {est} vs actual {actual}: error {:.1}% > {:.1}%",
+            err * 100.0,
+            pct * 100.0
+        );
+    }
+
+    #[test]
+    fn small_cardinalities_exactish() {
+        for n in [1u64, 10, 100, 1000] {
+            assert_within(estimate_of(n as i64), n, 0.05);
+        }
+    }
+
+    #[test]
+    fn large_cardinalities_within_error_bound() {
+        // Standard error for p=12 is ~1.6%; allow 5%.
+        for n in [50_000u64, 200_000] {
+            assert_within(estimate_of(n as i64), n, 0.05);
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::new();
+        for _ in 0..10 {
+            for i in 0..500 {
+                h.add(&Value::Int(i));
+            }
+        }
+        assert_within(h.estimate(), 500, 0.05);
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let mut h = HyperLogLog::new();
+        h.add(&Value::Null);
+        assert!(h.is_empty());
+        assert_eq!(h.estimate(), 0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new();
+        let mut b = HyperLogLog::new();
+        let mut u = HyperLogLog::new();
+        for i in 0..30_000 {
+            let v = Value::BigInt(i);
+            if i % 2 == 0 {
+                a.add(&v);
+            } else {
+                b.add(&v);
+            }
+            u.add(&v);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), u.estimate(), "merge must be lossless");
+        assert_within(a.estimate(), 30_000, 0.05);
+    }
+
+    #[test]
+    fn string_values() {
+        let mut h = HyperLogLog::new();
+        for i in 0..5000 {
+            h.add(&Value::String(format!("customer_{i}")));
+        }
+        assert_within(h.estimate(), 5000, 0.05);
+    }
+}

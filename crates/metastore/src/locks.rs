@@ -1,0 +1,224 @@
+//! Shared/exclusive lock manager at table or partition granularity.
+//!
+//! Per the paper (§3.2): "For partitioned tables the lock granularity is
+//! a partition, while the full table needs to be locked for unpartitioned
+//! tables. HS2 only needs to obtain exclusive locks for operations that
+//! disrupt readers and writers, such as DROP PARTITION or DROP TABLE.
+//! All other common operations just acquire shared locks." Updates and
+//! deletes use *optimistic* conflict resolution (handled in [`crate::txn`]),
+//! not exclusive locks.
+
+use hive_common::{HiveError, Result, TxnId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// What a lock protects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockKey {
+    /// Qualified table name `db.table`.
+    pub table: String,
+    /// Partition directory name, or `None` for whole-table locks.
+    pub partition: Option<String>,
+}
+
+impl LockKey {
+    /// Whole-table lock key.
+    pub fn table(table: impl Into<String>) -> Self {
+        LockKey {
+            table: table.into(),
+            partition: None,
+        }
+    }
+
+    /// Single-partition lock key.
+    pub fn partition(table: impl Into<String>, part: impl Into<String>) -> Self {
+        LockKey {
+            table: table.into(),
+            partition: Some(part.into()),
+        }
+    }
+
+    /// Do two keys guard overlapping data? A table-level key overlaps
+    /// every partition of the same table.
+    fn overlaps(&self, other: &LockKey) -> bool {
+        self.table == other.table
+            && match (&self.partition, &other.partition) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+    }
+}
+
+impl fmt::Display for LockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.partition {
+            Some(p) => write!(f, "{}/{p}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+/// Lock strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Compatible with other shared locks.
+    Shared,
+    /// Incompatible with everything else.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct Held {
+    shared: HashSet<TxnId>,
+    exclusive: Option<TxnId>,
+}
+
+/// The lock table. Non-blocking: acquisition either succeeds or returns
+/// a [`HiveError::Lock`] immediately (callers retry or abort).
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: HashMap<LockKey, Held>,
+    by_txn: HashMap<TxnId, Vec<(LockKey, LockMode)>>,
+}
+
+impl LockManager {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to acquire a lock for `txn`. Re-acquiring a held lock is a
+    /// no-op; a shared→exclusive upgrade succeeds only if `txn` is the
+    /// sole holder.
+    pub fn acquire(&mut self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<()> {
+        // Conflict scan: any overlapping key with an incompatible holder.
+        for (other_key, held) in &self.locks {
+            if !other_key.overlaps(&key) {
+                continue;
+            }
+            if let Some(owner) = held.exclusive {
+                if owner != txn {
+                    return Err(HiveError::Lock(format!(
+                        "{key} is exclusively locked by txn {owner}"
+                    )));
+                }
+            }
+            if mode == LockMode::Exclusive
+                && held.shared.iter().any(|&t| t != txn)
+            {
+                return Err(HiveError::Lock(format!(
+                    "{key} has shared holders blocking exclusive lock"
+                )));
+            }
+        }
+        let held = self.locks.entry(key.clone()).or_default();
+        match mode {
+            LockMode::Shared => {
+                held.shared.insert(txn);
+            }
+            LockMode::Exclusive => {
+                held.exclusive = Some(txn);
+                held.shared.remove(&txn); // upgrade
+            }
+        }
+        self.by_txn.entry(txn).or_default().push((key, mode));
+        Ok(())
+    }
+
+    /// Release every lock held by `txn` (commit/abort path).
+    pub fn release_all(&mut self, txn: TxnId) {
+        if let Some(keys) = self.by_txn.remove(&txn) {
+            for (key, _) in keys {
+                if let Some(held) = self.locks.get_mut(&key) {
+                    held.shared.remove(&txn);
+                    if held.exclusive == Some(txn) {
+                        held.exclusive = None;
+                    }
+                    if held.shared.is_empty() && held.exclusive.is_none() {
+                        self.locks.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of live lock entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True when no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut lm = LockManager::new();
+        let k = LockKey::table("db.t");
+        lm.acquire(TxnId(1), k.clone(), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(2), k.clone(), LockMode::Shared).unwrap();
+        assert!(lm.acquire(TxnId(3), k.clone(), LockMode::Exclusive).is_err());
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        lm.acquire(TxnId(3), k, LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn exclusive_blocks_everything() {
+        let mut lm = LockManager::new();
+        let k = LockKey::table("db.t");
+        lm.acquire(TxnId(1), k.clone(), LockMode::Exclusive).unwrap();
+        assert!(lm.acquire(TxnId(2), k.clone(), LockMode::Shared).is_err());
+        assert!(lm.acquire(TxnId(2), k.clone(), LockMode::Exclusive).is_err());
+        // Owner can re-acquire.
+        lm.acquire(TxnId(1), k.clone(), LockMode::Shared).unwrap();
+        lm.release_all(TxnId(1));
+        assert!(lm.is_empty());
+    }
+
+    #[test]
+    fn table_lock_overlaps_partitions() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), LockKey::partition("db.t", "d=1"), LockMode::Shared)
+            .unwrap();
+        // Exclusive on the whole table conflicts with the partition lock.
+        assert!(lm
+            .acquire(TxnId(2), LockKey::table("db.t"), LockMode::Exclusive)
+            .is_err());
+        // But a different partition's shared lock is fine.
+        lm.acquire(TxnId(2), LockKey::partition("db.t", "d=2"), LockMode::Shared)
+            .unwrap();
+        // Exclusive on a third partition is fine too.
+        lm.acquire(
+            TxnId(3),
+            LockKey::partition("db.t", "d=3"),
+            LockMode::Exclusive,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let mut lm = LockManager::new();
+        let k = LockKey::table("db.t");
+        lm.acquire(TxnId(1), k.clone(), LockMode::Shared).unwrap();
+        lm.acquire(TxnId(1), k.clone(), LockMode::Exclusive).unwrap();
+        assert!(lm.acquire(TxnId(2), k, LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn different_tables_independent() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), LockKey::table("db.a"), LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(TxnId(2), LockKey::table("db.b"), LockMode::Exclusive)
+            .unwrap();
+        assert_eq!(lm.len(), 2);
+    }
+}

@@ -1,0 +1,382 @@
+//! The [`Metastore`] facade: one thread-safe object combining catalog,
+//! statistics, transactions, locks, and the compaction queue — the role
+//! HMS plays for HiveServer2 in the paper's architecture (Figure 1).
+
+use crate::catalog::{Catalog, MaterializedViewInfo, PartitionInfo, Table};
+use crate::compaction::{CompactionKind, CompactionQueue, CompactionRequest, CompactionState};
+use crate::locks::{LockKey, LockManager, LockMode};
+use crate::stats::TableStats;
+use crate::txn::{TxnManager, TxnState, ValidTxnList, ValidWriteIdList};
+use hive_common::{Result, TxnId, Value, WriteId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The Hive Metastore service object. Cheap to clone; all clones share
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct Metastore {
+    inner: Arc<MetastoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetastoreInner {
+    catalog: RwLock<Catalog>,
+    txns: Mutex<TxnManager>,
+    locks: Mutex<LockManager>,
+    stats: RwLock<HashMap<String, TableStats>>,
+    compactions: Mutex<CompactionQueue>,
+    /// Runtime operator statistics persisted for reoptimization feedback
+    /// (§4.2/§9), keyed by plan fingerprint.
+    runtime_stats: RwLock<HashMap<String, Vec<(String, u64)>>>,
+}
+
+impl Metastore {
+    /// A fresh metastore with an empty catalog (plus `default` DB).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- catalog -------------------------------------------------------
+
+    /// Create a database.
+    pub fn create_database(&self, name: &str) -> Result<()> {
+        self.inner.catalog.write().create_database(name)
+    }
+
+    /// Drop an empty database.
+    pub fn drop_database(&self, name: &str) -> Result<()> {
+        self.inner.catalog.write().drop_database(name)
+    }
+
+    /// Register a table; also initializes its stats entry.
+    pub fn create_table(&self, table: Table) -> Result<()> {
+        let qname = table.qualified_name();
+        let ncols = table.schema.len();
+        self.inner.catalog.write().create_table(table)?;
+        self.inner
+            .stats
+            .write()
+            .insert(qname, TableStats::new(ncols));
+        Ok(())
+    }
+
+    /// Drop a table and its stats.
+    pub fn drop_table(&self, db: &str, name: &str) -> Result<Table> {
+        let t = self.inner.catalog.write().drop_table(db, name)?;
+        self.inner.stats.write().remove(&t.qualified_name());
+        Ok(t)
+    }
+
+    /// Fetch a table's metadata (cloned snapshot).
+    pub fn get_table(&self, db: &str, name: &str) -> Result<Table> {
+        self.inner.catalog.read().table(db, name).cloned()
+    }
+
+    /// True if a table exists.
+    pub fn table_exists(&self, db: &str, name: &str) -> bool {
+        self.inner.catalog.read().table(db, name).is_ok()
+    }
+
+    /// All tables of a database.
+    pub fn list_tables(&self, db: &str) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .catalog
+            .read()
+            .tables_in(db)?
+            .iter()
+            .map(|t| t.name.clone())
+            .collect())
+    }
+
+    /// Rewrite-enabled materialized views (cloned snapshots).
+    pub fn rewrite_enabled_views(&self) -> Vec<Table> {
+        self.inner
+            .catalog
+            .read()
+            .rewrite_enabled_views()
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Register a partition on a table, creating its location entry.
+    pub fn add_partition(&self, db: &str, name: &str, values: Vec<Value>) -> Result<PartitionInfo> {
+        let mut cat = self.inner.catalog.write();
+        let t = cat.table_mut(db, name)?;
+        let dir = t.partition_dir_name(&values);
+        if let Some(existing) = t.partitions.get(&dir) {
+            return Ok(existing.clone());
+        }
+        let info = PartitionInfo {
+            values,
+            location: format!("{}/{}", t.location, dir),
+        };
+        t.partitions.insert(dir, info.clone());
+        Ok(info)
+    }
+
+    /// Drop a partition.
+    pub fn drop_partition(&self, db: &str, name: &str, dir: &str) -> Result<PartitionInfo> {
+        let mut cat = self.inner.catalog.write();
+        let t = cat.table_mut(db, name)?;
+        t.partitions.remove(dir).ok_or_else(|| {
+            hive_common::HiveError::Catalog(format!("partition not found: {db}.{name}/{dir}"))
+        })
+    }
+
+    /// Update a materialized view's metadata after a (re)build.
+    pub fn update_mv_info(&self, db: &str, name: &str, info: MaterializedViewInfo) -> Result<()> {
+        let mut cat = self.inner.catalog.write();
+        let t = cat.table_mut(db, name)?;
+        t.mv_info = Some(info);
+        Ok(())
+    }
+
+    /// Apply an arbitrary mutation to a table's metadata.
+    pub fn alter_table(
+        &self,
+        db: &str,
+        name: &str,
+        f: impl FnOnce(&mut Table),
+    ) -> Result<()> {
+        let mut cat = self.inner.catalog.write();
+        let t = cat.table_mut(db, name)?;
+        f(t);
+        Ok(())
+    }
+
+    // ---- statistics ----------------------------------------------------
+
+    /// Current stats for a table (empty default when never written).
+    pub fn table_stats(&self, qualified: &str) -> TableStats {
+        self.inner
+            .stats
+            .read()
+            .get(qualified)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Additively merge new statistics (the INSERT path of §4.1).
+    pub fn merge_table_stats(&self, qualified: &str, delta: &TableStats) {
+        let mut g = self.inner.stats.write();
+        g.entry(qualified.to_string())
+            .or_insert_with(|| TableStats::new(delta.columns.len()))
+            .merge(delta);
+    }
+
+    /// Replace statistics outright (ANALYZE TABLE / major compaction).
+    pub fn set_table_stats(&self, qualified: &str, stats: TableStats) {
+        self.inner
+            .stats
+            .write()
+            .insert(qualified.to_string(), stats);
+    }
+
+    // ---- transactions --------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn open_txn(&self) -> TxnId {
+        self.inner.txns.lock().open()
+    }
+
+    /// Transaction state.
+    pub fn txn_state(&self, txn: TxnId) -> Option<TxnState> {
+        self.inner.txns.lock().state(txn)
+    }
+
+    /// Allocate the per-table WriteId for a transaction.
+    pub fn allocate_write_id(&self, txn: TxnId, table: &str) -> Result<WriteId> {
+        self.inner.txns.lock().allocate_write_id(txn, table)
+    }
+
+    /// Record an update/delete write-set entry for conflict detection.
+    pub fn add_write_set(&self, txn: TxnId, table: &str, partition: Option<String>) -> Result<()> {
+        self.inner.txns.lock().add_write_set(txn, table, partition)
+    }
+
+    /// Commit; releases all locks whatever the outcome.
+    pub fn commit_txn(&self, txn: TxnId) -> Result<()> {
+        let result = self.inner.txns.lock().commit(txn);
+        self.inner.locks.lock().release_all(txn);
+        result
+    }
+
+    /// Abort; releases all locks.
+    pub fn abort_txn(&self, txn: TxnId) -> Result<()> {
+        let result = self.inner.txns.lock().abort(txn);
+        self.inner.locks.lock().release_all(txn);
+        result
+    }
+
+    /// `SHOW TRANSACTIONS`: every known transaction with state and
+    /// written tables.
+    pub fn show_transactions(&self) -> Vec<(TxnId, TxnState, Vec<String>)> {
+        self.inner.txns.lock().show_transactions()
+    }
+
+    /// Global snapshot.
+    pub fn valid_txn_list(&self) -> ValidTxnList {
+        self.inner.txns.lock().valid_txn_list()
+    }
+
+    /// Per-table snapshot narrowing.
+    pub fn valid_write_ids(
+        &self,
+        table: &str,
+        snapshot: &ValidTxnList,
+        reader: Option<TxnId>,
+    ) -> ValidWriteIdList {
+        self.inner.txns.lock().valid_write_ids(table, snapshot, reader)
+    }
+
+    /// Current WriteId high watermark for a table (used to stamp MV
+    /// snapshots).
+    pub fn table_write_hwm(&self, table: &str) -> WriteId {
+        self.inner.txns.lock().table_write_hwm(table)
+    }
+
+    /// Major-compaction history truncation.
+    pub fn truncate_aborted_history(&self, table: &str, below: WriteId) {
+        self.inner
+            .txns
+            .lock()
+            .truncate_aborted_history(table, below)
+    }
+
+    // ---- locks ---------------------------------------------------------
+
+    /// Try to acquire a lock.
+    pub fn acquire_lock(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<()> {
+        self.inner.locks.lock().acquire(txn, key, mode)
+    }
+
+    // ---- compaction queue ----------------------------------------------
+
+    /// Enqueue a compaction request (deduplicated).
+    pub fn submit_compaction(
+        &self,
+        table: &str,
+        partition: Option<String>,
+        kind: CompactionKind,
+    ) -> Option<u64> {
+        self.inner.compactions.lock().submit(table, partition, kind)
+    }
+
+    /// Claim the next initiated compaction request.
+    pub fn next_compaction(&self) -> Option<CompactionRequest> {
+        self.inner.compactions.lock().next_initiated()
+    }
+
+    /// Advance a compaction request's state.
+    pub fn set_compaction_state(&self, id: u64, state: CompactionState) -> bool {
+        self.inner.compactions.lock().set_state(id, state)
+    }
+
+    /// Snapshot of the whole compaction queue (SHOW COMPACTIONS).
+    pub fn show_compactions(&self) -> Vec<CompactionRequest> {
+        self.inner.compactions.lock().all()
+    }
+
+    // ---- runtime stats (reoptimization feedback) -------------------------
+
+    /// Persist per-operator runtime row counts for a plan fingerprint.
+    pub fn save_runtime_stats(&self, fingerprint: &str, operator_rows: Vec<(String, u64)>) {
+        self.inner
+            .runtime_stats
+            .write()
+            .insert(fingerprint.to_string(), operator_rows);
+    }
+
+    /// Fetch persisted runtime stats for a plan fingerprint.
+    pub fn runtime_stats(&self, fingerprint: &str) -> Option<Vec<(String, u64)>> {
+        self.inner.runtime_stats.read().get(fingerprint).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableBuilder;
+    use hive_common::{DataType, Field, Schema};
+
+    fn ms_with_table() -> Metastore {
+        let ms = Metastore::new();
+        ms.create_table(
+            TableBuilder::new(
+                "default",
+                "t",
+                Schema::new(vec![Field::new("a", DataType::Int)]),
+            )
+            .partitioned_by(vec![Field::new("d", DataType::Int)])
+            .build(),
+        )
+        .unwrap();
+        ms
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let ms = ms_with_table();
+        let t = ms.get_table("default", "t").unwrap();
+        assert_eq!(t.qualified_name(), "default.t");
+        assert!(ms.table_exists("default", "t"));
+        assert_eq!(ms.list_tables("default").unwrap(), vec!["t"]);
+    }
+
+    #[test]
+    fn partitions() {
+        let ms = ms_with_table();
+        let p = ms
+            .add_partition("default", "t", vec![Value::Int(7)])
+            .unwrap();
+        assert_eq!(p.location, "/warehouse/default/t/d=7");
+        // Idempotent.
+        let p2 = ms
+            .add_partition("default", "t", vec![Value::Int(7)])
+            .unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(ms.get_table("default", "t").unwrap().partitions.len(), 1);
+        ms.drop_partition("default", "t", "d=7").unwrap();
+        assert!(ms.get_table("default", "t").unwrap().partitions.is_empty());
+    }
+
+    #[test]
+    fn txn_lifecycle_through_facade() {
+        let ms = ms_with_table();
+        let txn = ms.open_txn();
+        let wid = ms.allocate_write_id(txn, "default.t").unwrap();
+        assert_eq!(wid, WriteId(1));
+        ms.acquire_lock(txn, LockKey::table("default.t"), LockMode::Shared)
+            .unwrap();
+        ms.commit_txn(txn).unwrap();
+        // Locks were released on commit.
+        let txn2 = ms.open_txn();
+        ms.acquire_lock(txn2, LockKey::table("default.t"), LockMode::Exclusive)
+            .unwrap();
+        ms.abort_txn(txn2).unwrap();
+    }
+
+    #[test]
+    fn stats_merge_via_facade() {
+        let ms = ms_with_table();
+        let mut delta = TableStats::new(1);
+        delta.row_count = 10;
+        ms.merge_table_stats("default.t", &delta);
+        ms.merge_table_stats("default.t", &delta);
+        assert_eq!(ms.table_stats("default.t").row_count, 20);
+    }
+
+    #[test]
+    fn runtime_stats_round_trip() {
+        let ms = Metastore::new();
+        ms.save_runtime_stats("plan-x", vec![("join-1".into(), 1000)]);
+        assert_eq!(
+            ms.runtime_stats("plan-x").unwrap(),
+            vec![("join-1".to_string(), 1000)]
+        );
+        assert!(ms.runtime_stats("plan-y").is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Table and column statistics stored in HMS and served to the
+//! optimizer (paper §4.1). Statistics are additive: inserts and
+//! per-partition stats merge onto existing values without rescanning.
+
+use crate::hll::HyperLogLog;
+use hive_common::{ColumnVector, Value, VectorBatch};
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ColumnStatsMeta {
+    /// Minimum non-null value.
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// NDV sketch (merged losslessly across partitions/inserts).
+    pub ndv: HyperLogLog,
+}
+
+impl ColumnStatsMeta {
+    /// Estimated number of distinct values.
+    pub fn ndv_estimate(&self) -> u64 {
+        self.ndv.estimate()
+    }
+
+    /// Fold one value in.
+    pub fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        self.ndv.add(v);
+        match &self.min {
+            None => self.min = Some(v.clone()),
+            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => {
+                self.min = Some(v.clone())
+            }
+            _ => {}
+        }
+        match &self.max {
+            None => self.max = Some(v.clone()),
+            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Greater) => {
+                self.max = Some(v.clone())
+            }
+            _ => {}
+        }
+    }
+
+    /// Fold a whole column vector in.
+    pub fn update_column(&mut self, col: &ColumnVector) {
+        for i in 0..col.len() {
+            self.update(&col.get(i));
+        }
+    }
+
+    /// Additive merge with stats from another data slice.
+    pub fn merge(&mut self, other: &ColumnStatsMeta) {
+        self.null_count += other.null_count;
+        self.ndv.merge(&other.ndv);
+        for v in [&other.min, &other.max].into_iter().flatten() {
+            match &self.min {
+                None => self.min = Some(v.clone()),
+                Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => {
+                    self.min = Some(v.clone())
+                }
+                _ => {}
+            }
+            match &self.max {
+                None => self.max = Some(v.clone()),
+                Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Greater) => {
+                    self.max = Some(v.clone())
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Statistics for one table (or one partition of it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TableStats {
+    /// Total row count.
+    pub row_count: u64,
+    /// Per-column statistics, aligned with the table schema.
+    pub columns: Vec<ColumnStatsMeta>,
+}
+
+impl TableStats {
+    /// Empty stats for `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        TableStats {
+            row_count: 0,
+            columns: vec![ColumnStatsMeta::default(); ncols],
+        }
+    }
+
+    /// Fold a batch of new data in (the INSERT path).
+    pub fn update_batch(&mut self, batch: &VectorBatch) {
+        self.row_count += batch.num_rows() as u64;
+        for (cs, col) in self.columns.iter_mut().zip(batch.columns()) {
+            cs.update_column(col);
+        }
+    }
+
+    /// Additive merge (cross-partition rollup).
+    pub fn merge(&mut self, other: &TableStats) {
+        self.row_count += other.row_count;
+        if self.columns.len() < other.columns.len() {
+            self.columns
+                .resize(other.columns.len(), ColumnStatsMeta::default());
+        }
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hive_common::{DataType, Field, Row, Schema};
+
+    fn batch(vals: &[(i32, &str)]) -> VectorBatch {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("s", DataType::String),
+        ]);
+        let rows: Vec<Row> = vals
+            .iter()
+            .map(|(k, s)| {
+                Row::new(vec![
+                    Value::Int(*k),
+                    if s.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::String((*s).into())
+                    },
+                ])
+            })
+            .collect();
+        VectorBatch::from_rows(&schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn update_batch_tracks_everything() {
+        let mut st = TableStats::new(2);
+        st.update_batch(&batch(&[(3, "a"), (1, "b"), (7, ""), (1, "a")]));
+        assert_eq!(st.row_count, 4);
+        assert_eq!(st.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(st.columns[0].max, Some(Value::Int(7)));
+        assert_eq!(st.columns[0].ndv_estimate(), 3);
+        assert_eq!(st.columns[1].null_count, 1);
+        assert_eq!(st.columns[1].ndv_estimate(), 2);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = TableStats::new(2);
+        a.update_batch(&batch(&[(1, "x"), (2, "y")]));
+        let mut b = TableStats::new(2);
+        b.update_batch(&batch(&[(2, "z"), (9, "")]));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // Compare with stats computed over the union.
+        let mut whole = TableStats::new(2);
+        whole.update_batch(&batch(&[(1, "x"), (2, "y"), (2, "z"), (9, "")]));
+        assert_eq!(merged.row_count, whole.row_count);
+        assert_eq!(merged.columns[0].min, whole.columns[0].min);
+        assert_eq!(merged.columns[0].max, whole.columns[0].max);
+        assert_eq!(
+            merged.columns[0].ndv_estimate(),
+            whole.columns[0].ndv_estimate()
+        );
+        assert_eq!(merged.columns[1].null_count, whole.columns[1].null_count);
+    }
+}

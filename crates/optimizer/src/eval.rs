@@ -1,0 +1,469 @@
+//! Row-at-a-time evaluation of [`ScalarExpr`].
+//!
+//! This single implementation backs three consumers: constant folding in
+//! the optimizer, the Hive-1.2-emulation row interpreter, and the
+//! vectorized engine's fallback for expressions without a specialized
+//! kernel.
+
+use crate::expr::{BuiltinFunc, ScalarExpr};
+use hive_common::dates;
+use hive_common::{like, DataType, HiveError, Result, Value};
+use hive_sql::BinaryOp;
+use std::cmp::Ordering;
+
+/// Evaluate an expression against one row of input values.
+pub fn eval_scalar(expr: &ScalarExpr, row: &[Value]) -> Result<Value> {
+    match expr {
+        ScalarExpr::Column(i) => row
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| HiveError::Execution(format!("column {i} out of range"))),
+        ScalarExpr::Literal(v) => Ok(v.clone()),
+        ScalarExpr::Binary { op, left, right } => {
+            // AND/OR need three-valued logic with short-circuit.
+            match op {
+                BinaryOp::And => {
+                    let l = eval_scalar(left, row)?;
+                    if l == Value::Boolean(false) {
+                        return Ok(Value::Boolean(false));
+                    }
+                    let r = eval_scalar(right, row)?;
+                    return Ok(match (l, r) {
+                        (_, Value::Boolean(false)) => Value::Boolean(false),
+                        (Value::Boolean(true), Value::Boolean(true)) => Value::Boolean(true),
+                        _ => Value::Null,
+                    });
+                }
+                BinaryOp::Or => {
+                    let l = eval_scalar(left, row)?;
+                    if l == Value::Boolean(true) {
+                        return Ok(Value::Boolean(true));
+                    }
+                    let r = eval_scalar(right, row)?;
+                    return Ok(match (l, r) {
+                        (_, Value::Boolean(true)) => Value::Boolean(true),
+                        (Value::Boolean(false), Value::Boolean(false)) => Value::Boolean(false),
+                        _ => Value::Null,
+                    });
+                }
+                _ => {}
+            }
+            let l = eval_scalar(left, row)?;
+            let r = eval_scalar(right, row)?;
+            eval_binary(*op, &l, &r)
+        }
+        ScalarExpr::Not(e) => match eval_scalar(e, row)? {
+            Value::Null => Ok(Value::Null),
+            Value::Boolean(b) => Ok(Value::Boolean(!b)),
+            other => Err(HiveError::Execution(format!("NOT of non-boolean {other}"))),
+        },
+        ScalarExpr::Negate(e) => eval_scalar(e, row)?.neg(),
+        ScalarExpr::IsNull { expr, negated } => {
+            let v = eval_scalar(expr, row)?;
+            Ok(Value::Boolean(v.is_null() != *negated))
+        }
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_scalar(expr, row)?;
+            let p = eval_scalar(pattern, row)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::String(s), Value::String(pat)) => {
+                    Ok(Value::Boolean(like::like_match(&s, &pat) != *negated))
+                }
+                (a, b) => Err(HiveError::Execution(format!("LIKE on {a} / {b}"))),
+            }
+        }
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_scalar(expr, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let x = eval_scalar(item, row)?;
+                if x.is_null() {
+                    saw_null = true;
+                } else if v.sql_cmp(&x) == Some(Ordering::Equal) {
+                    return Ok(Value::Boolean(!*negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Boolean(*negated))
+            }
+        }
+        ScalarExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let op_v = operand.as_ref().map(|o| eval_scalar(o, row)).transpose()?;
+            for (cond, result) in branches {
+                let hit = match &op_v {
+                    Some(v) => {
+                        let c = eval_scalar(cond, row)?;
+                        !v.is_null() && v.sql_cmp(&c) == Some(Ordering::Equal)
+                    }
+                    None => eval_scalar(cond, row)? == Value::Boolean(true),
+                };
+                if hit {
+                    return eval_scalar(result, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_scalar(e, row),
+                None => Ok(Value::Null),
+            }
+        }
+        ScalarExpr::Cast { expr, to } => eval_scalar(expr, row)?.cast_to(to),
+        ScalarExpr::Extract { field, expr } => {
+            let v = eval_scalar(expr, row)?;
+            Ok(match v {
+                Value::Null => Value::Null,
+                Value::Date(d) => Value::BigInt(dates::extract_from_days(*field, d)),
+                Value::Timestamp(t) => Value::BigInt(dates::extract_from_micros(*field, t)),
+                other => {
+                    let casted = other.cast_to(&DataType::Date)?;
+                    match casted {
+                        Value::Date(d) => Value::BigInt(dates::extract_from_days(*field, d)),
+                        _ => Value::Null,
+                    }
+                }
+            })
+        }
+        ScalarExpr::Func { func, args } => eval_func(*func, args, row),
+    }
+}
+
+/// Evaluate a comparison/arithmetic binary operator on two values.
+pub fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    match op {
+        BinaryOp::Plus => {
+            // DATE + integer days.
+            if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
+                if r.data_type().is_integer() {
+                    return Ok(Value::Date(d + n as i32));
+                }
+            }
+            l.add(r)
+        }
+        BinaryOp::Minus => {
+            if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
+                if r.data_type().is_integer() {
+                    return Ok(Value::Date(d - n as i32));
+                }
+            }
+            // DATE - DATE = day difference.
+            if let (Value::Date(a), Value::Date(b)) = (l, r) {
+                return Ok(Value::BigInt((*a as i64) - (*b as i64)));
+            }
+            l.sub(r)
+        }
+        BinaryOp::Multiply => l.mul(r),
+        BinaryOp::Divide => l.div(r),
+        BinaryOp::Modulo => l.rem(r),
+        BinaryOp::Eq => Ok(bool3(l.sql_cmp(r).map(|o| o == Ordering::Equal))),
+        BinaryOp::NotEq => Ok(bool3(l.sql_cmp(r).map(|o| o != Ordering::Equal))),
+        BinaryOp::Lt => Ok(bool3(l.sql_cmp(r).map(|o| o == Ordering::Less))),
+        BinaryOp::LtEq => Ok(bool3(l.sql_cmp(r).map(|o| o != Ordering::Greater))),
+        BinaryOp::Gt => Ok(bool3(l.sql_cmp(r).map(|o| o == Ordering::Greater))),
+        BinaryOp::GtEq => Ok(bool3(l.sql_cmp(r).map(|o| o != Ordering::Less))),
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled by eval_scalar"),
+    }
+}
+
+fn bool3(v: Option<bool>) -> Value {
+    match v {
+        Some(b) => Value::Boolean(b),
+        None => Value::Null,
+    }
+}
+
+fn eval_func(func: BuiltinFunc, args: &[ScalarExpr], row: &[Value]) -> Result<Value> {
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|a| eval_scalar(a, row))
+        .collect::<Result<Vec<_>>>()?;
+    let arg = |i: usize| -> &Value { vals.get(i).unwrap_or(&Value::Null) };
+    let null_in = vals.iter().any(|v| v.is_null());
+    Ok(match func {
+        BuiltinFunc::Coalesce => vals
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null),
+        BuiltinFunc::Nvl => {
+            if arg(0).is_null() {
+                arg(1).clone()
+            } else {
+                arg(0).clone()
+            }
+        }
+        BuiltinFunc::If => {
+            if arg(0) == &Value::Boolean(true) {
+                arg(1).clone()
+            } else {
+                arg(2).clone()
+            }
+        }
+        _ if null_in => Value::Null,
+        BuiltinFunc::Substr => {
+            let s = arg(0).as_str().unwrap_or_default();
+            let chars: Vec<char> = s.chars().collect();
+            let start = arg(1).as_i64().unwrap_or(1);
+            // SQL substr is 1-based; negative counts from the end.
+            let begin = if start > 0 {
+                (start - 1) as usize
+            } else if start < 0 {
+                chars.len().saturating_sub((-start) as usize)
+            } else {
+                0
+            };
+            let len = vals
+                .get(2)
+                .and_then(|v| v.as_i64())
+                .map(|l| l.max(0) as usize)
+                .unwrap_or(usize::MAX);
+            Value::String(chars.iter().skip(begin).take(len).collect())
+        }
+        BuiltinFunc::Upper => Value::String(arg(0).as_str().unwrap_or_default().to_uppercase()),
+        BuiltinFunc::Lower => Value::String(arg(0).as_str().unwrap_or_default().to_lowercase()),
+        BuiltinFunc::Length => {
+            Value::BigInt(arg(0).as_str().map(|s| s.chars().count()).unwrap_or(0) as i64)
+        }
+        BuiltinFunc::Trim => Value::String(arg(0).as_str().unwrap_or_default().trim().to_string()),
+        BuiltinFunc::Concat => {
+            let mut s = String::new();
+            for v in &vals {
+                s.push_str(&v.to_string());
+            }
+            Value::String(s)
+        }
+        BuiltinFunc::Abs => match arg(0) {
+            Value::Int(v) => Value::Int(v.abs()),
+            Value::BigInt(v) => Value::BigInt(v.abs()),
+            Value::Double(v) => Value::Double(v.abs()),
+            Value::Decimal(u, s) => Value::Decimal(u.abs(), *s),
+            other => other.clone(),
+        },
+        BuiltinFunc::Round => match (arg(0), vals.get(1).and_then(|v| v.as_i64())) {
+            (Value::Double(v), None) => Value::Double(v.round()),
+            (Value::Double(v), Some(d)) => {
+                let f = 10f64.powi(d as i32);
+                Value::Double((v * f).round() / f)
+            }
+            (Value::Decimal(u, s), Some(d)) => {
+                let target = (d.max(0) as u8).min(*s);
+                Value::Decimal(
+                    hive_common::value::rescale(*u, *s, target),
+                    target,
+                )
+            }
+            (other, _) => other.clone(),
+        },
+        BuiltinFunc::Floor => Value::BigInt(arg(0).as_f64().map(|v| v.floor() as i64).unwrap_or(0)),
+        BuiltinFunc::Ceil => Value::BigInt(arg(0).as_f64().map(|v| v.ceil() as i64).unwrap_or(0)),
+        BuiltinFunc::Sqrt => Value::Double(arg(0).as_f64().map(|v| v.sqrt()).unwrap_or(f64::NAN)),
+        BuiltinFunc::Power => Value::Double(
+            arg(0)
+                .as_f64()
+                .zip(arg(1).as_f64())
+                .map(|(a, b)| a.powf(b))
+                .unwrap_or(f64::NAN),
+        ),
+        BuiltinFunc::DateAdd => {
+            let d = date_of(arg(0))?;
+            Value::Date(d + arg(1).as_i64().unwrap_or(0) as i32)
+        }
+        BuiltinFunc::DateSub => {
+            let d = date_of(arg(0))?;
+            Value::Date(d - arg(1).as_i64().unwrap_or(0) as i32)
+        }
+        BuiltinFunc::AddMonths => {
+            let d = date_of(arg(0))?;
+            Value::Date(dates::add_months(d, arg(1).as_i64().unwrap_or(0) as i32))
+        }
+        BuiltinFunc::Year => Value::BigInt(dates::extract_from_days(
+            dates::DateField::Year,
+            date_of(arg(0))?,
+        )),
+        BuiltinFunc::Month => Value::BigInt(dates::extract_from_days(
+            dates::DateField::Month,
+            date_of(arg(0))?,
+        )),
+        BuiltinFunc::Day => Value::BigInt(dates::extract_from_days(
+            dates::DateField::Day,
+            date_of(arg(0))?,
+        )),
+        BuiltinFunc::Quarter => Value::BigInt(dates::extract_from_days(
+            dates::DateField::Quarter,
+            date_of(arg(0))?,
+        )),
+        BuiltinFunc::DayOfWeek => Value::BigInt(dates::extract_from_days(
+            dates::DateField::DayOfWeek,
+            date_of(arg(0))?,
+        )),
+        BuiltinFunc::TruncMonth => Value::Date(dates::truncate_to_month(date_of(arg(0))?)),
+        BuiltinFunc::TruncYear => Value::Date(dates::truncate_to_year(date_of(arg(0))?)),
+        BuiltinFunc::Hash64 => {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for v in &vals {
+                v.hash(&mut h);
+            }
+            Value::BigInt(h.finish() as i64)
+        }
+        // Non-deterministic / runtime constants: fixed values keep the
+        // engine deterministic for tests; the results cache refuses to
+        // cache queries containing them regardless.
+        BuiltinFunc::Rand => Value::Double(0.5),
+        BuiltinFunc::CurrentDate => Value::Date(19_000),
+        BuiltinFunc::CurrentTimestamp => Value::Timestamp(19_000 * dates::MICROS_PER_DAY),
+        // Coalesce/Nvl/If handled before the null_in guard above.
+    })
+}
+
+fn date_of(v: &Value) -> Result<i32> {
+    match v.cast_to(&DataType::Date)? {
+        Value::Date(d) => Ok(d),
+        _ => Err(HiveError::Execution(format!("not a date: {v}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: Value) -> ScalarExpr {
+        ScalarExpr::Literal(v)
+    }
+
+    fn eval(e: &ScalarExpr) -> Value {
+        eval_scalar(e, &[]).unwrap()
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = lit(Value::Boolean(true));
+        let f = lit(Value::Boolean(false));
+        let n = lit(Value::Null);
+        let and = |a: &ScalarExpr, b: &ScalarExpr| ScalarExpr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(a.clone()),
+            right: Box::new(b.clone()),
+        };
+        let or = |a: &ScalarExpr, b: &ScalarExpr| ScalarExpr::Binary {
+            op: BinaryOp::Or,
+            left: Box::new(a.clone()),
+            right: Box::new(b.clone()),
+        };
+        assert_eq!(eval(&and(&n, &f)), Value::Boolean(false));
+        assert_eq!(eval(&and(&n, &t)), Value::Null);
+        assert_eq!(eval(&or(&n, &t)), Value::Boolean(true));
+        assert_eq!(eval(&or(&n, &f)), Value::Null);
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let e = ScalarExpr::InList {
+            expr: Box::new(lit(Value::Int(5))),
+            list: vec![lit(Value::Int(1)), lit(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(eval(&e), Value::Null, "5 IN (1, NULL) is unknown");
+        let e2 = ScalarExpr::InList {
+            expr: Box::new(lit(Value::Int(1))),
+            list: vec![lit(Value::Int(1)), lit(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(eval(&e2), Value::Boolean(true));
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let d = dates::parse_date("2018-01-31").unwrap();
+        let plus = ScalarExpr::Binary {
+            op: BinaryOp::Plus,
+            left: Box::new(lit(Value::Date(d))),
+            right: Box::new(lit(Value::Int(1)))
+        };
+        assert_eq!(eval(&plus), Value::Date(d + 1));
+        let diff = ScalarExpr::Binary {
+            op: BinaryOp::Minus,
+            left: Box::new(lit(Value::Date(d))),
+            right: Box::new(lit(Value::Date(d - 10))),
+        };
+        assert_eq!(eval(&diff), Value::BigInt(10));
+    }
+
+    #[test]
+    fn functions() {
+        let sub = ScalarExpr::Func {
+            func: BuiltinFunc::Substr,
+            args: vec![
+                lit(Value::String("warehouse".into())),
+                lit(Value::Int(1)),
+                lit(Value::Int(4)),
+            ],
+        };
+        assert_eq!(eval(&sub), Value::String("ware".into()));
+        let coal = ScalarExpr::Func {
+            func: BuiltinFunc::Coalesce,
+            args: vec![lit(Value::Null), lit(Value::Int(3))],
+        };
+        assert_eq!(eval(&coal), Value::Int(3));
+        let iff = ScalarExpr::Func {
+            func: BuiltinFunc::If,
+            args: vec![
+                lit(Value::Boolean(false)),
+                lit(Value::Int(1)),
+                lit(Value::Int(2)),
+            ],
+        };
+        assert_eq!(eval(&iff), Value::Int(2));
+    }
+
+    #[test]
+    fn case_forms() {
+        // Searched CASE.
+        let c = ScalarExpr::Case {
+            operand: None,
+            branches: vec![(
+                ScalarExpr::Binary {
+                    op: BinaryOp::Gt,
+                    left: Box::new(ScalarExpr::Column(0)),
+                    right: Box::new(lit(Value::Int(0))),
+                },
+                lit(Value::String("pos".into())),
+            )],
+            else_expr: Some(Box::new(lit(Value::String("neg".into())))),
+        };
+        assert_eq!(
+            eval_scalar(&c, &[Value::Int(5)]).unwrap(),
+            Value::String("pos".into())
+        );
+        assert_eq!(
+            eval_scalar(&c, &[Value::Int(-5)]).unwrap(),
+            Value::String("neg".into())
+        );
+        // Simple CASE with operand.
+        let c2 = ScalarExpr::Case {
+            operand: Some(Box::new(ScalarExpr::Column(0))),
+            branches: vec![(lit(Value::Int(1)), lit(Value::String("one".into())))],
+            else_expr: None,
+        };
+        assert_eq!(
+            eval_scalar(&c2, &[Value::Int(2)]).unwrap(),
+            Value::Null
+        );
+    }
+}

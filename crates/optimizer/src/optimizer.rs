@@ -1,0 +1,83 @@
+//! The multi-stage optimization driver (§4.1): an exhaustive rewrite
+//! stage run to fixpoint, followed by cost-based stages.
+
+use crate::mv_rewrite;
+use crate::plan::LogicalPlan;
+use crate::rules::{folding, join_reorder, partition_prune, pruning, pushdown, semijoin};
+use hive_common::{HiveConf, Result};
+use hive_metastore::Metastore;
+
+/// Everything the optimizer needs from its environment.
+pub struct OptimizerContext<'a> {
+    /// Metastore (statistics, partitions, MV registry).
+    pub metastore: &'a Metastore,
+    /// Engine configuration (feature switches).
+    pub conf: &'a HiveConf,
+    /// Materialized views eligible for rewriting *under the current
+    /// snapshot* (fresh, or within their staleness window). The driver
+    /// computes this (it owns snapshot state).
+    pub usable_views: Vec<mv_rewrite::UsableView>,
+}
+
+/// The optimizer.
+pub struct Optimizer;
+
+impl Optimizer {
+    /// Optimize an analyzed plan.
+    pub fn optimize(plan: LogicalPlan, ctx: &OptimizerContext) -> Result<LogicalPlan> {
+        let mut plan = plan;
+
+        // Stage 1 — exhaustive rewriting to fixpoint.
+        plan = Self::exhaustive(plan)?;
+
+        // Stage 2 — materialized-view rewriting (cost-based: the
+        // rewriter only substitutes when the estimate improves).
+        if ctx.conf.mv_rewriting && !ctx.usable_views.is_empty() {
+            if let Some(rewritten) =
+                mv_rewrite::try_rewrite(&plan, &ctx.usable_views, ctx.metastore)?
+            {
+                plan = Self::exhaustive(rewritten)?;
+            }
+        }
+
+        // Stage 3 — cost-based join reordering.
+        if ctx.conf.cbo_enabled {
+            plan = join_reorder::reorder_joins(&plan, ctx.metastore)?;
+            plan = Self::exhaustive(plan)?;
+        }
+
+        // Stage 4 — static partition pruning (after pushdown settled).
+        plan = partition_prune::prune_partitions(&plan, ctx.metastore)?;
+
+        // Stage 5 — projection pruning (drives columnar projection
+        // pushdown).
+        plan = pruning::prune_columns(&plan, ctx.metastore)?;
+        plan = folding::remove_trivial_projects(&plan);
+
+        // Stage 6 — dynamic semijoin reduction planning.
+        if ctx.conf.semijoin_reduction {
+            plan = semijoin::plan_semijoin_reduction(&plan, ctx.metastore);
+        }
+
+        debug_assert!(plan.check().is_ok(), "optimized plan fails type check");
+        Ok(plan)
+    }
+
+    /// The exhaustive stage: folding, filter merging, pushdown, project
+    /// merging, empty pruning — iterated until the plan stops changing.
+    pub fn exhaustive(mut plan: LogicalPlan) -> Result<LogicalPlan> {
+        for _ in 0..10 {
+            let before = crate::fingerprint::fingerprint(&plan);
+            plan = folding::fold_constants(&plan);
+            plan = folding::merge_filters(&plan);
+            plan = pushdown::push_down_predicates(&plan);
+            plan = folding::merge_projects(&plan);
+            plan = folding::remove_trivial_projects(&plan);
+            plan = folding::prune_empty(&plan);
+            if crate::fingerprint::fingerprint(&plan) == before {
+                break;
+            }
+        }
+        Ok(plan)
+    }
+}

@@ -1,0 +1,218 @@
+//! Constant folding and predicate simplification.
+
+use crate::eval::eval_scalar;
+use crate::expr::ScalarExpr;
+use crate::plan::LogicalPlan;
+use crate::rules::{map_node_exprs, transform_up};
+use hive_common::{Schema, Value};
+use hive_sql::BinaryOp;
+use std::sync::Arc;
+
+/// Fold constant subexpressions and simplify boolean structure across
+/// the whole plan; collapse always-false filters into empty relations
+/// and drop always-true filters.
+pub fn fold_constants(plan: &LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &mut |node| {
+        let node = map_node_exprs(node, &mut fold_expr);
+        simplify_node(node)
+    })
+}
+
+/// Fold one expression node (called bottom-up by `transform`).
+pub fn fold_expr(e: ScalarExpr) -> ScalarExpr {
+    // Evaluate fully-constant deterministic subtrees.
+    if e.is_constant() && !matches!(e, ScalarExpr::Literal(_)) {
+        if let Ok(v) = eval_scalar(&e, &[]) {
+            return ScalarExpr::Literal(v);
+        }
+    }
+    match e {
+        // NOT NOT x → x; NOT literal folds above.
+        ScalarExpr::Not(inner) => match *inner {
+            ScalarExpr::Not(x) => *x,
+            ScalarExpr::Literal(Value::Boolean(b)) => ScalarExpr::Literal(Value::Boolean(!b)),
+            other => ScalarExpr::Not(Box::new(other)),
+        },
+        ScalarExpr::Binary { op, left, right } => {
+            let t = |b: &ScalarExpr| matches!(b, ScalarExpr::Literal(Value::Boolean(true)));
+            let f = |b: &ScalarExpr| matches!(b, ScalarExpr::Literal(Value::Boolean(false)));
+            match op {
+                BinaryOp::And => {
+                    if f(&left) || f(&right) {
+                        ScalarExpr::Literal(Value::Boolean(false))
+                    } else if t(&left) {
+                        *right
+                    } else if t(&right) {
+                        *left
+                    } else {
+                        ScalarExpr::Binary { op, left, right }
+                    }
+                }
+                BinaryOp::Or => {
+                    if t(&left) || t(&right) {
+                        ScalarExpr::Literal(Value::Boolean(true))
+                    } else if f(&left) {
+                        *right
+                    } else if f(&right) {
+                        *left
+                    } else {
+                        ScalarExpr::Binary { op, left, right }
+                    }
+                }
+                _ => ScalarExpr::Binary { op, left, right },
+            }
+        }
+        other => other,
+    }
+}
+
+fn simplify_node(node: LogicalPlan) -> LogicalPlan {
+    match node {
+        LogicalPlan::Filter { input, predicate } => match &predicate {
+            ScalarExpr::Literal(Value::Boolean(true)) => (*input).clone(),
+            ScalarExpr::Literal(Value::Boolean(false)) | ScalarExpr::Literal(Value::Null) => {
+                empty_of(&input.schema())
+            }
+            _ => LogicalPlan::Filter { input, predicate },
+        },
+        // Merge stacked filters.
+        other => other,
+    }
+}
+
+/// An empty relation with the given schema.
+pub fn empty_of(schema: &Schema) -> LogicalPlan {
+    LogicalPlan::Values {
+        schema: schema.clone(),
+        rows: vec![],
+    }
+}
+
+/// Merge adjacent Filter nodes (Filter(Filter(x)) → Filter(x)).
+pub fn merge_filters(plan: &LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &mut |node| match node {
+        LogicalPlan::Filter { input, predicate } => match input.as_ref() {
+            LogicalPlan::Filter {
+                input: inner,
+                predicate: p2,
+            } => LogicalPlan::Filter {
+                input: inner.clone(),
+                predicate: ScalarExpr::Binary {
+                    op: BinaryOp::And,
+                    left: Box::new(predicate),
+                    right: Box::new(p2.clone()),
+                },
+            },
+            _ => LogicalPlan::Filter { input, predicate },
+        },
+        other => other,
+    })
+}
+
+/// Collapse trivial projections (identity over the full input).
+pub fn remove_trivial_projects(plan: &LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &mut |node| match &node {
+        LogicalPlan::Project { input, exprs, names } => {
+            let in_schema = input.schema();
+            let identity = exprs.len() == in_schema.len()
+                && exprs
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| matches!(e, ScalarExpr::Column(c) if *c == i))
+                && names
+                    .iter()
+                    .enumerate()
+                    .all(|(i, n)| in_schema.field(i).name == *n);
+            if identity {
+                (**input).clone()
+            } else {
+                node
+            }
+        }
+        _ => node,
+    })
+}
+
+/// Stacked Project(Project(x)) composition when the outer is made of
+/// column refs and cheap expressions.
+pub fn merge_projects(plan: &LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &mut |node| match &node {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => {
+            if let LogicalPlan::Project {
+                input: inner_input,
+                exprs: inner_exprs,
+                ..
+            } = input.as_ref()
+            {
+                // Substitute inner expressions into the outer.
+                let composed: Vec<ScalarExpr> = exprs
+                    .iter()
+                    .map(|e| {
+                        e.clone().transform(&mut |x| match x {
+                            ScalarExpr::Column(c) => inner_exprs[c].clone(),
+                            other => other,
+                        })
+                    })
+                    .collect();
+                LogicalPlan::Project {
+                    input: inner_input.clone(),
+                    exprs: composed,
+                    names: names.clone(),
+                }
+            } else {
+                node
+            }
+        }
+        _ => node,
+    })
+}
+
+/// Propagate emptiness: joins/filters/aggregates over empty inputs.
+pub fn prune_empty(plan: &LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &mut |node| {
+        let is_empty = |p: &Arc<LogicalPlan>| {
+            matches!(p.as_ref(), LogicalPlan::Values { rows, .. } if rows.is_empty())
+        };
+        match &node {
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => match join_type {
+                crate::plan::JoinType::Inner | crate::plan::JoinType::Cross
+                | crate::plan::JoinType::Semi => {
+                    if is_empty(left) || (is_empty(right) && *join_type != crate::plan::JoinType::Semi && *join_type != crate::plan::JoinType::Inner && *join_type != crate::plan::JoinType::Cross) {
+                        empty_of(&node.schema())
+                    } else if is_empty(right) {
+                        empty_of(&node.schema())
+                    } else {
+                        node
+                    }
+                }
+                crate::plan::JoinType::Anti => {
+                    if is_empty(left) {
+                        empty_of(&node.schema())
+                    } else {
+                        node
+                    }
+                }
+                _ => node,
+            },
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Window { input, .. } => {
+                if is_empty(input) {
+                    empty_of(&node.schema())
+                } else {
+                    node
+                }
+            }
+            _ => node,
+        }
+    })
+}

@@ -1,0 +1,321 @@
+//! Cost-based join reordering (§4.1).
+//!
+//! Flattens a tree of inner/cross joins into a join graph, then rebuilds
+//! a left-deep order greedily: root the tree at the largest connected
+//! relation (the fact table — the executor builds hash tables on the
+//! *right* input, so small filtered dimensions should join in as build
+//! sides) and at each step attach the connected relation that minimizes
+//! the estimated intermediate cardinality (falling back to Cartesian
+//! expansion only when no connected relation remains). A final
+//! projection restores the original column order.
+
+use crate::expr::ScalarExpr;
+use crate::plan::{JoinType, LogicalPlan};
+use crate::rules::transform_up;
+use crate::stats::{estimate_rows, StatsSource};
+use hive_common::Result;
+use std::sync::Arc;
+
+/// Reorder all maximal inner-join trees in the plan.
+pub fn reorder_joins(plan: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPlan> {
+    let mut err = None;
+    let out = transform_up(plan, &mut |node| {
+        if is_reorderable_join(&node) {
+            match reorder_one(&node, stats) {
+                Ok(p) => p,
+                Err(e) => {
+                    err = Some(e);
+                    node
+                }
+            }
+        } else {
+            node
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+fn is_reorderable_join(node: &LogicalPlan) -> bool {
+    matches!(
+        node,
+        LogicalPlan::Join {
+            join_type: JoinType::Inner | JoinType::Cross,
+            ..
+        }
+    )
+}
+
+/// One relation in the flattened join graph.
+struct Rel {
+    plan: Arc<LogicalPlan>,
+    /// Offset of this relation's columns in the original global order.
+    offset: usize,
+    width: usize,
+    rows: f64,
+}
+
+/// An equi edge in global column coordinates.
+struct Edge {
+    left_rel: usize,
+    right_rel: usize,
+    /// Exprs in each relation's local coordinates.
+    left_expr: ScalarExpr,
+    right_expr: ScalarExpr,
+    used: bool,
+}
+
+fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPlan> {
+    // Flatten.
+    let mut rels: Vec<Rel> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut residuals: Vec<ScalarExpr> = Vec::new(); // global coords
+    flatten(node, &mut rels, &mut edges, &mut residuals, stats)?;
+    if rels.len() < 2 {
+        return Ok(node.clone());
+    }
+
+    // Greedy construction.
+    let n = rels.len();
+    let mut joined = vec![false; n];
+    // Current output layout: list of (rel index, local col) in order.
+    let mut layout: Vec<(usize, usize)> = Vec::new();
+
+    // Root the left-deep tree at the largest connected relation (the
+    // fact table): the executor builds its hash table on the *right*
+    // input, so smaller relations should join in as build sides.
+    let start = (0..n)
+        .max_by(|&a, &b| {
+            let conn_a = edges.iter().any(|e| e.left_rel == a || e.right_rel == a);
+            let conn_b = edges.iter().any(|e| e.left_rel == b || e.right_rel == b);
+            conn_a
+                .cmp(&conn_b)
+                .then(rels[a].rows.partial_cmp(&rels[b].rows).unwrap())
+        })
+        .expect("nonempty");
+    joined[start] = true;
+    let mut current: Arc<LogicalPlan> = rels[start].plan.clone();
+    let mut current_rows = rels[start].rows;
+    layout.extend((0..rels[start].width).map(|c| (start, c)));
+
+    while joined.iter().any(|j| !j) {
+        // Candidate = unjoined relation; prefer connected ones, pick the
+        // one minimizing estimated output rows.
+        let mut best: Option<(usize, f64, bool)> = None; // (rel, est, connected)
+        for r in 0..n {
+            if joined[r] {
+                continue;
+            }
+            let connected = edges.iter().any(|e| {
+                !e.used
+                    && ((joined[e.left_rel] && e.right_rel == r)
+                        || (joined[e.right_rel] && e.left_rel == r))
+            });
+            let est = if connected {
+                current_rows * rels[r].rows / current_rows.max(rels[r].rows).max(1.0)
+            } else {
+                current_rows * rels[r].rows
+            };
+            let better = match &best {
+                None => true,
+                Some((_, b_est, b_conn)) => {
+                    (connected && !b_conn) || (connected == *b_conn && est < *b_est)
+                }
+            };
+            if better {
+                best = Some((r, est, connected));
+            }
+        }
+        let (next, est, connected) = best.expect("some relation remains");
+        // Gather join conditions between `current` and `next`.
+        let mut equi: Vec<(ScalarExpr, ScalarExpr)> = Vec::new();
+        for e in edges.iter_mut().filter(|e| !e.used) {
+            let (cur_rel, cur_expr, next_expr) = if joined[e.left_rel] && e.right_rel == next {
+                (e.left_rel, &e.left_expr, &e.right_expr)
+            } else if joined[e.right_rel] && e.left_rel == next {
+                (e.right_rel, &e.right_expr, &e.left_expr)
+            } else {
+                continue;
+            };
+            // Remap the current-side expr into the accumulated layout.
+            let left = cur_expr.clone().remap_columns(&|c| {
+                layout.iter().position(|&(r, lc)| r == cur_rel && lc == c)
+            })?;
+            equi.push((left, next_expr.clone()));
+            e.used = true;
+        }
+        let join_type = if connected && !equi.is_empty() {
+            JoinType::Inner
+        } else {
+            JoinType::Cross
+        };
+        current = Arc::new(LogicalPlan::Join {
+            left: current,
+            right: rels[next].plan.clone(),
+            join_type,
+            equi,
+            residual: None,
+        });
+        layout.extend((0..rels[next].width).map(|c| (next, c)));
+        joined[next] = true;
+        current_rows = est.max(1.0);
+    }
+
+    // Any unused edges (cycles) and residuals become a filter on top,
+    // remapped from global coordinates to the final layout.
+    let global_to_layout = |g: usize| -> Option<usize> {
+        // Find which relation owns global column g.
+        let rel = rels
+            .iter()
+            .position(|r| g >= r.offset && g < r.offset + r.width)?;
+        let local = g - rels[rel].offset;
+        layout.iter().position(|&(r, lc)| r == rel && lc == local)
+    };
+    let mut filters: Vec<ScalarExpr> = Vec::new();
+    for e in edges.iter().filter(|e| !e.used) {
+        let l = e
+            .left_expr
+            .clone()
+            .remap_columns(&|c| {
+                layout
+                    .iter()
+                    .position(|&(r, lc)| r == e.left_rel && lc == c)
+            })?;
+        let r = e
+            .right_expr
+            .clone()
+            .remap_columns(&|c| {
+                layout
+                    .iter()
+                    .position(|&(r2, lc)| r2 == e.right_rel && lc == c)
+            })?;
+        filters.push(ScalarExpr::eq(l, r));
+    }
+    for res in &residuals {
+        filters.push(res.clone().remap_columns(&global_to_layout)?);
+    }
+    let mut out: Arc<LogicalPlan> = current;
+    if let Some(pred) = ScalarExpr::conjunction(filters) {
+        out = Arc::new(LogicalPlan::Filter {
+            input: out,
+            predicate: pred,
+        });
+    }
+
+    // Restore the original global column order.
+    let schema = out.schema();
+    let total: usize = rels.iter().map(|r| r.width).sum();
+    let mut exprs = Vec::with_capacity(total);
+    let mut names = Vec::with_capacity(total);
+    for g in 0..total {
+        let pos = global_to_layout(g)
+            .ok_or_else(|| hive_common::HiveError::Plan("lost column in reorder".into()))?;
+        exprs.push(ScalarExpr::Column(pos));
+        names.push(schema.field(pos).name.clone());
+    }
+    Ok(LogicalPlan::Project {
+        input: out,
+        exprs,
+        names,
+    })
+}
+
+/// Flatten nested inner/cross joins into relations + edges.
+fn flatten(
+    node: &LogicalPlan,
+    rels: &mut Vec<Rel>,
+    edges: &mut Vec<Edge>,
+    residuals: &mut Vec<ScalarExpr>,
+    stats: &dyn StatsSource,
+) -> Result<()> {
+    match node {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type: JoinType::Inner | JoinType::Cross,
+            equi,
+            residual,
+        } => {
+            let left_start_rel = rels.len();
+            flatten(left, rels, edges, residuals, stats)?;
+            let right_start_rel = rels.len();
+            let left_width: usize = rels[left_start_rel..right_start_rel]
+                .iter()
+                .map(|r| r.width)
+                .sum();
+            let left_offset = rels
+                .get(left_start_rel)
+                .map(|r| r.offset)
+                .unwrap_or(0);
+            flatten(right, rels, edges, residuals, stats)?;
+            // Register equi edges: left expr over left subtree's local
+            // coords, right over right subtree's.
+            for (l, r) in equi {
+                let (l_rel, l_local) = locate(rels, left_start_rel, right_start_rel, l, 0)?;
+                let (r_rel, r_local) =
+                    locate(rels, right_start_rel, rels.len(), r, 0)?;
+                edges.push(Edge {
+                    left_rel: l_rel,
+                    right_rel: r_rel,
+                    left_expr: l_local,
+                    right_expr: r_local,
+                    used: false,
+                });
+            }
+            if let Some(res) = residual {
+                // Residual over (left ++ right) local coords → global.
+                let shifted = res.clone().remap_columns(&|c| {
+                    if c < left_width {
+                        Some(left_offset + c)
+                    } else {
+                        let right_offset = rels.get(right_start_rel).map(|r| r.offset)?;
+                        Some(right_offset + (c - left_width))
+                    }
+                })?;
+                residuals.push(shifted);
+            }
+            Ok(())
+        }
+        other => {
+            let offset = rels.iter().map(|r| r.width).sum();
+            let width = other.schema().len();
+            rels.push(Rel {
+                plan: Arc::new(other.clone()),
+                offset,
+                width,
+                rows: estimate_rows(other, stats),
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Express a join-side expr in the local coordinates of the single
+/// relation it references (errors when an expr spans relations — those
+/// stay as residuals upstream of this rule).
+fn locate(
+    rels: &[Rel],
+    rel_start: usize,
+    rel_end: usize,
+    expr: &ScalarExpr,
+    _unused: usize,
+) -> Result<(usize, ScalarExpr)> {
+    // The expr is in the subtree's combined coordinates; relation widths
+    // inside [rel_start, rel_end) partition that space in order.
+    let cols = expr.columns();
+    let mut acc = 0usize;
+    for (idx, rel) in rels[rel_start..rel_end].iter().enumerate() {
+        let lo = acc;
+        let hi = acc + rel.width;
+        if cols.iter().all(|&c| c >= lo && c < hi) {
+            let local = expr.clone().remap_columns(&|c| Some(c - lo))?;
+            return Ok((rel_start + idx, local));
+        }
+        acc = hi;
+    }
+    Err(hive_common::HiveError::Plan(
+        "join key spans multiple relations".into(),
+    ))
+}

@@ -1,0 +1,200 @@
+//! The rewrite-rule library. Rules are pure functions
+//! `LogicalPlan -> LogicalPlan`; the [`crate::optimizer::Optimizer`]
+//! sequences them into exhaustive and cost-based stages (§4.1's
+//! "multi-stage optimization").
+
+pub mod folding;
+pub mod join_reorder;
+pub mod partition_prune;
+pub mod pruning;
+pub mod pushdown;
+pub mod semijoin;
+
+use crate::expr::{AggExpr, ScalarExpr, SortKey, WindowExpr};
+use crate::plan::LogicalPlan;
+use std::sync::Arc;
+
+/// Rebuild a plan with children replaced (shape-preserving).
+pub fn with_children(plan: &LogicalPlan, new_children: Vec<Arc<LogicalPlan>>) -> LogicalPlan {
+    let mut it = new_children.into_iter();
+    match plan {
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => plan.clone(),
+        LogicalPlan::Filter { predicate, .. } => LogicalPlan::Filter {
+            input: it.next().expect("child"),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { exprs, names, .. } => LogicalPlan::Project {
+            input: it.next().expect("child"),
+            exprs: exprs.clone(),
+            names: names.clone(),
+        },
+        LogicalPlan::Join {
+            join_type,
+            equi,
+            residual,
+            ..
+        } => LogicalPlan::Join {
+            left: it.next().expect("left"),
+            right: it.next().expect("right"),
+            join_type: *join_type,
+            equi: equi.clone(),
+            residual: residual.clone(),
+        },
+        LogicalPlan::Aggregate {
+            group_exprs,
+            grouping_sets,
+            aggs,
+            ..
+        } => LogicalPlan::Aggregate {
+            input: it.next().expect("child"),
+            group_exprs: group_exprs.clone(),
+            grouping_sets: grouping_sets.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Window { windows, .. } => LogicalPlan::Window {
+            input: it.next().expect("child"),
+            windows: windows.clone(),
+        },
+        LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
+            input: it.next().expect("child"),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
+            input: it.next().expect("child"),
+            n: *n,
+        },
+        LogicalPlan::Union { .. } => LogicalPlan::Union {
+            inputs: it.collect(),
+        },
+        LogicalPlan::SetOp { op, all, .. } => LogicalPlan::SetOp {
+            op: *op,
+            all: *all,
+            left: it.next().expect("left"),
+            right: it.next().expect("right"),
+        },
+    }
+}
+
+/// Apply `f` bottom-up over the whole plan (children first).
+pub fn transform_up(
+    plan: &LogicalPlan,
+    f: &mut impl FnMut(LogicalPlan) -> LogicalPlan,
+) -> LogicalPlan {
+    let new_children: Vec<Arc<LogicalPlan>> = plan
+        .children()
+        .iter()
+        .map(|c| Arc::new(transform_up(c, f)))
+        .collect();
+    let rebuilt = if new_children.is_empty() {
+        plan.clone()
+    } else {
+        with_children(plan, new_children)
+    };
+    f(rebuilt)
+}
+
+/// Rewrite every scalar expression in a single node in place.
+pub fn map_node_exprs(
+    plan: LogicalPlan,
+    f: &mut impl FnMut(ScalarExpr) -> ScalarExpr,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filters,
+            partitions,
+            semijoin_filters,
+        } => LogicalPlan::Scan {
+            table,
+            projection,
+            filters: filters.into_iter().map(|e| e.transform(f)).collect(),
+            partitions,
+            semijoin_filters,
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: predicate.transform(f),
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => LogicalPlan::Project {
+            input,
+            exprs: exprs.into_iter().map(|e| e.transform(f)).collect(),
+            names,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+        } => LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi: equi
+                .into_iter()
+                .map(|(l, r)| (l.transform(f), r.transform(f)))
+                .collect(),
+            residual: residual.map(|r| r.transform(f)),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            grouping_sets,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input,
+            group_exprs: group_exprs.into_iter().map(|e| e.transform(f)).collect(),
+            grouping_sets,
+            aggs: aggs
+                .into_iter()
+                .map(|a| AggExpr {
+                    func: a.func,
+                    arg: a.arg.map(|e| e.transform(f)),
+                    distinct: a.distinct,
+                })
+                .collect(),
+        },
+        LogicalPlan::Window { input, windows } => LogicalPlan::Window {
+            input,
+            windows: windows
+                .into_iter()
+                .map(|w| WindowExpr {
+                    func: w.func,
+                    args: w.args.into_iter().map(|e| e.transform(f)).collect(),
+                    partition_by: w
+                        .partition_by
+                        .into_iter()
+                        .map(|e| e.transform(f))
+                        .collect(),
+                    order_by: w
+                        .order_by
+                        .into_iter()
+                        .map(|k| SortKey {
+                            expr: k.expr.transform(f),
+                            asc: k.asc,
+                            nulls_first: k.nulls_first,
+                        })
+                        .collect(),
+                    frame: w.frame,
+                })
+                .collect(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input,
+            keys: keys
+                .into_iter()
+                .map(|k| SortKey {
+                    expr: k.expr.transform(f),
+                    asc: k.asc,
+                    nulls_first: k.nulls_first,
+                })
+                .collect(),
+        },
+        other => other,
+    }
+}

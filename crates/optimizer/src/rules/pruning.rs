@@ -1,0 +1,524 @@
+//! Projection pruning: push column requirements down to the scans so
+//! the columnar reader fetches only what the query touches.
+//!
+//! Contract: `prune(plan, required, ms)` returns a plan whose output is the
+//! old output restricted to `required` (ascending order). The top-level
+//! entry requires every column, so the overall shape is preserved while
+//! interior nodes shrink.
+
+use crate::expr::{AggExpr, ScalarExpr, SortKey};
+use crate::plan::LogicalPlan;
+use crate::plan::JoinType;
+use hive_common::Result;
+use hive_metastore::{Constraint, Metastore};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Prune unused columns across the plan.
+pub fn prune_columns(plan: &LogicalPlan, ms: &Metastore) -> Result<LogicalPlan> {
+    let all: Vec<usize> = (0..plan.schema().len()).collect();
+    prune(plan, &all, ms)
+}
+
+/// Build the old→new column mapping for a `required` list.
+fn mapper(required: &[usize]) -> impl Fn(usize) -> Option<usize> + '_ {
+    move |c| required.iter().position(|&r| r == c)
+}
+
+fn union_required(required: &[usize], extra: impl IntoIterator<Item = usize>) -> Vec<usize> {
+    let mut set: BTreeSet<usize> = required.iter().copied().collect();
+    set.extend(extra);
+    set.into_iter().collect()
+}
+
+/// Wrap `plan` (whose output is `have`) in a projection producing
+/// exactly `want` (both lists are old-column indexes).
+fn restrict(plan: LogicalPlan, have: &[usize], want: &[usize]) -> Result<LogicalPlan> {
+    if have == want {
+        return Ok(plan);
+    }
+    let schema = plan.schema();
+    let mut exprs = Vec::with_capacity(want.len());
+    let mut names = Vec::with_capacity(want.len());
+    for &w in want {
+        let pos = have
+            .iter()
+            .position(|&h| h == w)
+            .ok_or_else(|| hive_common::HiveError::Plan("pruning lost a column".into()))?;
+        exprs.push(ScalarExpr::Column(pos));
+        names.push(schema.field(pos).name.clone());
+    }
+    Ok(LogicalPlan::Project {
+        input: Arc::new(plan),
+        exprs,
+        names,
+    })
+}
+
+fn prune(plan: &LogicalPlan, required: &[usize], ms: &Metastore) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filters,
+            partitions,
+            semijoin_filters,
+        } => {
+            // Keep required output columns plus those the pushed filters
+            // and semijoin reducers need.
+            let filter_cols = filters.iter().flat_map(|f| f.columns());
+            let semijoin_cols = semijoin_filters.iter().map(|s| s.target_col);
+            let need = union_required(required, filter_cols.chain(semijoin_cols));
+            let new_projection: Vec<usize> = need.iter().map(|&c| projection[c]).collect();
+            let remap = mapper(&need);
+            let new_filters = filters
+                .iter()
+                .map(|f| f.clone().remap_columns(&remap))
+                .collect::<Result<Vec<_>>>()?;
+            let new_semijoin = semijoin_filters
+                .iter()
+                .map(|s| {
+                    let mut s2 = s.clone();
+                    s2.target_col = remap(s.target_col)
+                        .ok_or_else(|| hive_common::HiveError::Plan("semijoin col lost".into()))?;
+                    Ok(s2)
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let scan = LogicalPlan::Scan {
+                table: table.clone(),
+                projection: new_projection,
+                filters: new_filters,
+                partitions: partitions.clone(),
+                semijoin_filters: new_semijoin,
+            };
+            restrict(scan, &need, required)
+        }
+        LogicalPlan::Values { schema, rows } => {
+            let new_schema = schema.project(required);
+            let new_rows = rows
+                .iter()
+                .map(|r| required.iter().map(|&c| r[c].clone()).collect())
+                .collect();
+            Ok(LogicalPlan::Values {
+                schema: new_schema,
+                rows: new_rows,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let need = union_required(required, predicate.columns());
+            let child = prune(input, &need, ms)?;
+            let remap = mapper(&need);
+            let filtered = LogicalPlan::Filter {
+                input: Arc::new(child),
+                predicate: predicate.clone().remap_columns(&remap)?,
+            };
+            restrict(filtered, &need, required)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => {
+            let kept_exprs: Vec<&ScalarExpr> = required.iter().map(|&c| &exprs[c]).collect();
+            let child_need: Vec<usize> = {
+                let mut s = BTreeSet::new();
+                for e in &kept_exprs {
+                    s.extend(e.columns());
+                }
+                s.into_iter().collect()
+            };
+            let child = prune(input, &child_need, ms)?;
+            let remap = mapper(&child_need);
+            Ok(LogicalPlan::Project {
+                input: Arc::new(child),
+                exprs: kept_exprs
+                    .into_iter()
+                    .map(|e| e.clone().remap_columns(&remap))
+                    .collect::<Result<Vec<_>>>()?,
+                names: required.iter().map(|&c| names[c].clone()).collect(),
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+        } => {
+            let left_len = left.schema().len();
+            // Constraint-based join elimination (§4.1): an inner or left
+            // join against a key-side table contributes nothing when no
+            // column of that side is needed above and the declared
+            // PK/FK constraints guarantee the join neither duplicates
+            // nor (for INNER, via a NOT NULL foreign key) drops rows.
+            if required.iter().all(|&c| c < left_len)
+                && can_eliminate_right(left, right, *join_type, equi, residual, ms)
+            {
+                return prune(left, required, ms);
+            }
+            // Mirror case (join reordering may have put the key side on
+            // the left): INNER only, since a LEFT join's left side is
+            // row-preserving and cannot be dropped.
+            if *join_type == JoinType::Inner && required.iter().all(|&c| c >= left_len) {
+                let swapped: Vec<(ScalarExpr, ScalarExpr)> =
+                    equi.iter().map(|(l, r)| (r.clone(), l.clone())).collect();
+                if can_eliminate_right(right, left, JoinType::Inner, &swapped, residual, ms) {
+                    let shifted: Vec<usize> = required.iter().map(|&c| c - left_len).collect();
+                    return prune(right, &shifted, ms);
+                }
+            }
+            let mut left_need: BTreeSet<usize> = BTreeSet::new();
+            let mut right_need: BTreeSet<usize> = BTreeSet::new();
+            for &c in required {
+                if c < left_len {
+                    left_need.insert(c);
+                } else {
+                    right_need.insert(c - left_len);
+                }
+            }
+            for (l, r) in equi {
+                left_need.extend(l.columns());
+                right_need.extend(r.columns());
+            }
+            if let Some(res) = residual {
+                for c in res.columns() {
+                    if c < left_len {
+                        left_need.insert(c);
+                    } else {
+                        right_need.insert(c - left_len);
+                    }
+                }
+            }
+            let left_list: Vec<usize> = left_need.into_iter().collect();
+            let right_list: Vec<usize> = right_need.into_iter().collect();
+            let new_left = prune(left, &left_list, ms)?;
+            let new_right = prune(right, &right_list, ms)?;
+            let lmap = mapper(&left_list);
+            let rmap = mapper(&right_list);
+            let new_equi = equi
+                .iter()
+                .map(|(l, r)| {
+                    Ok((
+                        l.clone().remap_columns(&lmap)?,
+                        r.clone().remap_columns(&rmap)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let new_left_len = left_list.len();
+            let new_residual = residual
+                .as_ref()
+                .map(|res| {
+                    res.clone().remap_columns(&|c| {
+                        if c < left_len {
+                            lmap(c)
+                        } else {
+                            rmap(c - left_len).map(|n| n + new_left_len)
+                        }
+                    })
+                })
+                .transpose()?;
+            let join = LogicalPlan::Join {
+                left: Arc::new(new_left),
+                right: Arc::new(new_right),
+                join_type: *join_type,
+                equi: new_equi,
+                residual: new_residual,
+            };
+            // Output columns present now, in old-index terms.
+            let have: Vec<usize> = if join_type.keeps_right() {
+                left_list
+                    .iter()
+                    .copied()
+                    .chain(right_list.iter().map(|&c| c + left_len))
+                    .collect()
+            } else {
+                left_list.clone()
+            };
+            restrict(join, &have, required)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            grouping_sets,
+            aggs,
+        } => {
+            let n_groups = group_exprs.len();
+            let gid_col = grouping_sets.as_ref().map(|_| n_groups + aggs.len());
+            // Group keys always stay; aggs stay if required (or if the
+            // grouping id is in play, to keep indexes stable, keep all).
+            let keep_all_aggs = grouping_sets.is_some();
+            let kept_aggs: Vec<usize> = (0..aggs.len())
+                .filter(|i| keep_all_aggs || required.contains(&(n_groups + i)))
+                .collect();
+            let mut child_need: BTreeSet<usize> = BTreeSet::new();
+            for g in group_exprs {
+                child_need.extend(g.columns());
+            }
+            for &i in &kept_aggs {
+                if let Some(arg) = &aggs[i].arg {
+                    child_need.extend(arg.columns());
+                }
+            }
+            let child_list: Vec<usize> = child_need.into_iter().collect();
+            let child = prune(input, &child_list, ms)?;
+            let remap = mapper(&child_list);
+            let new_groups = group_exprs
+                .iter()
+                .map(|g| g.clone().remap_columns(&remap))
+                .collect::<Result<Vec<_>>>()?;
+            let new_aggs = kept_aggs
+                .iter()
+                .map(|&i| {
+                    Ok(AggExpr {
+                        func: aggs[i].func,
+                        arg: aggs[i]
+                            .arg
+                            .clone()
+                            .map(|a| a.remap_columns(&remap))
+                            .transpose()?,
+                        distinct: aggs[i].distinct,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let agg = LogicalPlan::Aggregate {
+                input: Arc::new(child),
+                group_exprs: new_groups,
+                grouping_sets: grouping_sets.clone(),
+                aggs: new_aggs,
+            };
+            let mut have: Vec<usize> = (0..n_groups).collect();
+            have.extend(kept_aggs.iter().map(|&i| n_groups + i));
+            if let Some(g) = gid_col {
+                have.push(g);
+            }
+            restrict(agg, &have, required)
+        }
+        LogicalPlan::Window { input, windows } => {
+            let in_len = input.schema().len();
+            // Keep all input columns (window output indexes stay stable)
+            // but prune below the window's input.
+            let mut child_need: BTreeSet<usize> = (0..in_len).collect();
+            for w in windows {
+                for e in w.args.iter().chain(w.partition_by.iter()) {
+                    child_need.extend(e.columns());
+                }
+                for k in &w.order_by {
+                    child_need.extend(k.expr.columns());
+                }
+            }
+            let child_list: Vec<usize> = child_need.into_iter().collect();
+            let child = prune(input, &child_list, ms)?;
+            let win = LogicalPlan::Window {
+                input: Arc::new(child),
+                windows: windows.clone(),
+            };
+            let have: Vec<usize> = (0..in_len + windows.len()).collect();
+            restrict(win, &have, required)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let need = union_required(
+                required,
+                keys.iter().flat_map(|k| k.expr.columns()),
+            );
+            let child = prune(input, &need, ms)?;
+            let remap = mapper(&need);
+            let sorted = LogicalPlan::Sort {
+                input: Arc::new(child),
+                keys: keys
+                    .iter()
+                    .map(|k| {
+                        Ok(SortKey {
+                            expr: k.expr.clone().remap_columns(&remap)?,
+                            asc: k.asc,
+                            nulls_first: k.nulls_first,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            };
+            restrict(sorted, &need, required)
+        }
+        LogicalPlan::Limit { input, n } => Ok(LogicalPlan::Limit {
+            input: Arc::new(prune(input, required, ms)?),
+            n: *n,
+        }),
+        LogicalPlan::Union { inputs } => Ok(LogicalPlan::Union {
+            inputs: inputs
+                .iter()
+                .map(|i| Ok(Arc::new(prune(i, required, ms)?)))
+                .collect::<Result<Vec<_>>>()?,
+        }),
+        LogicalPlan::SetOp { op, all, left, right } => {
+            // Set operations compare whole rows: require everything.
+            let n = left.schema().len();
+            let full: Vec<usize> = (0..n).collect();
+            let new = LogicalPlan::SetOp {
+                op: *op,
+                all: *all,
+                left: Arc::new(prune(left, &full, ms)?),
+                right: Arc::new(prune(right, &full, ms)?),
+            };
+            restrict(new, &full, required)
+        }
+    }
+}
+
+
+/// Can the right side of `left JOIN right ON equi` be dropped entirely,
+/// assuming no output column of the right side is referenced above?
+///
+/// LEFT join: safe whenever the equi keys cover the right table's
+/// declared PRIMARY KEY (at most one match per left row, and a left row
+/// without a match survives either way). INNER join additionally needs
+/// a declared FOREIGN KEY over NOT NULL columns on the left key source,
+/// referencing that primary key, so every left row finds exactly one
+/// match. Constraints are informational (RELY) in Hive; the optimizer
+/// trusts them just as §4.1 describes.
+fn can_eliminate_right(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    join_type: JoinType,
+    equi: &[(ScalarExpr, ScalarExpr)],
+    residual: &Option<ScalarExpr>,
+    ms: &Metastore,
+) -> bool {
+    if residual.is_some() || equi.is_empty() {
+        return false;
+    }
+    if !matches!(join_type, JoinType::Inner | JoinType::Left) {
+        return false;
+    }
+    // Right side must be a bare scan: any filter or reducer could drop
+    // matches and turn the join into a row filter we must preserve.
+    let LogicalPlan::Scan {
+        table,
+        projection,
+        filters,
+        partitions,
+        semijoin_filters,
+    } = right
+    else {
+        return false;
+    };
+    if !filters.is_empty() || partitions.is_some() || !semijoin_filters.is_empty() {
+        return false;
+    }
+    let Ok(meta) = ms.get_table(&table.db, &table.name) else {
+        return false;
+    };
+    let Some(pk) = meta.primary_key() else {
+        return false;
+    };
+    // Right key expressions must be plain columns naming the PK.
+    let mut pairs: Vec<(&ScalarExpr, String)> = Vec::new();
+    for (l, r) in equi {
+        let ScalarExpr::Column(c) = r else {
+            return false;
+        };
+        let Some(&tc) = projection.get(*c) else {
+            return false;
+        };
+        pairs.push((l, table.schema.field(tc).name.clone()));
+    }
+    let key_names: BTreeSet<&str> = pairs.iter().map(|(_, n)| n.as_str()).collect();
+    let pk_set: BTreeSet<&str> = pk.iter().map(|s| s.as_str()).collect();
+    match join_type {
+        // LEFT: uniqueness is enough; extra equi conditions only reduce
+        // matches, which the preserved side does not care about.
+        JoinType::Left => pk_set.is_subset(&key_names),
+        // INNER: keys must be exactly the PK, and the left side must
+        // carry a matching NOT NULL foreign key.
+        JoinType::Inner => {
+            if key_names != pk_set {
+                return false;
+            }
+            // Resolve every left key to a source scan column.
+            let mut src_table: Option<String> = None;
+            let mut fk_pairs: Vec<(String, String)> = Vec::new();
+            for (l, r_name) in &pairs {
+                let ScalarExpr::Column(c) = l else {
+                    return false;
+                };
+                let Some((t, col, nullable)) = resolve_source_column(left, *c) else {
+                    return false;
+                };
+                if nullable {
+                    return false;
+                }
+                match &src_table {
+                    None => src_table = Some(t),
+                    Some(prev) if *prev == t => {}
+                    _ => return false,
+                }
+                fk_pairs.push((col, r_name.clone()));
+            }
+            let Some(src) = src_table else { return false };
+            let Some((db, name)) = src.split_once('.') else {
+                return false;
+            };
+            let Ok(src_meta) = ms.get_table(db, name) else {
+                return false;
+            };
+            src_meta.constraints.iter().any(|c| {
+                let Constraint::ForeignKey {
+                    columns,
+                    ref_table,
+                    ref_columns,
+                } = c
+                else {
+                    return false;
+                };
+                if ref_table != &table.qualified_name && ref_table != &table.name {
+                    return false;
+                }
+                fk_pairs.iter().all(|(fcol, rcol)| {
+                    columns
+                        .iter()
+                        .zip(ref_columns)
+                        .any(|(fc, rc)| fc == fcol && rc == rcol)
+                })
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Trace output column `col` of `plan` down to the scan column that
+/// produces it, returning (qualified table, column name, nullability as
+/// observed at this point in the plan — a column pulled through the
+/// null-producing side of an outer join reports nullable even when the
+/// source field is NOT NULL).
+fn resolve_source_column(plan: &LogicalPlan, col: usize) -> Option<(String, String, bool)> {
+    match plan {
+        LogicalPlan::Scan {
+            table, projection, ..
+        } => {
+            let f = table.schema.field(*projection.get(col)?);
+            Some((table.qualified_name.clone(), f.name.clone(), f.nullable))
+        }
+        LogicalPlan::Project { input, exprs, .. } => match exprs.get(col)? {
+            ScalarExpr::Column(c) => resolve_source_column(input, *c),
+            _ => None,
+        },
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => resolve_source_column(input, col),
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            ..
+        } => {
+            let ll = left.schema().len();
+            if col < ll {
+                let (t, c, n) = resolve_source_column(left, col)?;
+                let forced = matches!(join_type, JoinType::Right | JoinType::Full);
+                Some((t, c, n || forced))
+            } else {
+                let (t, c, n) = resolve_source_column(right, col - ll)?;
+                let forced = matches!(join_type, JoinType::Left | JoinType::Full);
+                Some((t, c, n || forced))
+            }
+        }
+        _ => None,
+    }
+}

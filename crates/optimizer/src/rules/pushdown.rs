@@ -1,0 +1,271 @@
+//! Predicate pushdown: move filters toward the scans they constrain,
+//! extract equi-join conditions from cross joins (comma joins), and sink
+//! residual scan predicates into the `Scan.filters` list where the I/O
+//! layer turns them into sargs.
+
+use crate::expr::ScalarExpr;
+use crate::plan::{JoinType, LogicalPlan};
+use crate::rules::transform_up;
+use hive_sql::BinaryOp;
+use std::sync::Arc;
+
+/// One pushdown pass (run to fixpoint by the optimizer driver).
+pub fn push_down_predicates(plan: &LogicalPlan) -> LogicalPlan {
+    transform_up(plan, &mut push_one)
+}
+
+fn push_one(node: LogicalPlan) -> LogicalPlan {
+    let LogicalPlan::Filter { input, predicate } = node else {
+        return node;
+    };
+    match input.as_ref() {
+        LogicalPlan::Project {
+            input: p_input,
+            exprs,
+            names,
+        } => {
+            // Inline projection expressions into the predicate and push
+            // below (only when all substituted expressions are
+            // deterministic).
+            let mut ok = true;
+            let substituted = predicate.clone().transform(&mut |e| match e {
+                ScalarExpr::Column(c) => {
+                    let sub = exprs[c].clone();
+                    if !sub.is_deterministic() {
+                        ok = false;
+                    }
+                    sub
+                }
+                other => other,
+            });
+            if !ok {
+                return LogicalPlan::Filter { input, predicate };
+            }
+            LogicalPlan::Project {
+                input: Arc::new(push_one(LogicalPlan::Filter {
+                    input: p_input.clone(),
+                    predicate: substituted,
+                })),
+                exprs: exprs.clone(),
+                names: names.clone(),
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+        } => {
+            let left_len = left.schema().len();
+            let mut to_left: Vec<ScalarExpr> = Vec::new();
+            let mut to_right: Vec<ScalarExpr> = Vec::new();
+            let mut new_equi = equi.clone();
+            let mut keep: Vec<ScalarExpr> = Vec::new();
+            let can_push_left = matches!(
+                join_type,
+                JoinType::Inner | JoinType::Cross | JoinType::Left | JoinType::Semi | JoinType::Anti
+            );
+            let can_push_right =
+                matches!(join_type, JoinType::Inner | JoinType::Cross | JoinType::Right);
+            let can_extract_equi = matches!(join_type, JoinType::Inner | JoinType::Cross);
+            for part in predicate.split_conjunction() {
+                let cols = part.columns();
+                let all_left = cols.iter().all(|&c| c < left_len);
+                let all_right = cols.iter().all(|&c| c >= left_len);
+                if all_left && !cols.is_empty() && can_push_left {
+                    to_left.push(part.clone());
+                } else if all_right && !cols.is_empty() && can_push_right {
+                    to_right.push(
+                        part.clone()
+                            .remap_columns(&|c| Some(c - left_len))
+                            .expect("all right"),
+                    );
+                } else if can_extract_equi {
+                    // Equi-condition extraction: left_expr = right_expr.
+                    if let ScalarExpr::Binary {
+                        op: BinaryOp::Eq,
+                        left: l,
+                        right: r,
+                    } = part
+                    {
+                        let lc = l.columns();
+                        let rc = r.columns();
+                        let l_left = !lc.is_empty() && lc.iter().all(|&c| c < left_len);
+                        let l_right = !lc.is_empty() && lc.iter().all(|&c| c >= left_len);
+                        let r_left = !rc.is_empty() && rc.iter().all(|&c| c < left_len);
+                        let r_right = !rc.is_empty() && rc.iter().all(|&c| c >= left_len);
+                        if l_left && r_right {
+                            new_equi.push((
+                                (**l).clone(),
+                                (**r)
+                                    .clone()
+                                    .remap_columns(&|c| Some(c - left_len))
+                                    .expect("right side"),
+                            ));
+                            continue;
+                        }
+                        if l_right && r_left {
+                            new_equi.push((
+                                (**r).clone(),
+                                (**l)
+                                    .clone()
+                                    .remap_columns(&|c| Some(c - left_len))
+                                    .expect("right side"),
+                            ));
+                            continue;
+                        }
+                    }
+                    keep.push(part.clone());
+                } else {
+                    keep.push(part.clone());
+                }
+            }
+            let new_left: Arc<LogicalPlan> = match ScalarExpr::conjunction(to_left) {
+                Some(p) => Arc::new(push_one(LogicalPlan::Filter {
+                    input: left.clone(),
+                    predicate: p,
+                })),
+                None => left.clone(),
+            };
+            let new_right: Arc<LogicalPlan> = match ScalarExpr::conjunction(to_right) {
+                Some(p) => Arc::new(push_one(LogicalPlan::Filter {
+                    input: right.clone(),
+                    predicate: p,
+                })),
+                None => right.clone(),
+            };
+            // Cross joins that gained equi conditions become inner.
+            let new_type = if *join_type == JoinType::Cross && !new_equi.is_empty() {
+                JoinType::Inner
+            } else {
+                *join_type
+            };
+            let join = LogicalPlan::Join {
+                left: new_left,
+                right: new_right,
+                join_type: new_type,
+                equi: new_equi,
+                residual: residual.clone(),
+            };
+            match ScalarExpr::conjunction(keep) {
+                Some(p) => LogicalPlan::Filter {
+                    input: Arc::new(join),
+                    predicate: p,
+                },
+                None => join,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input: a_input,
+            group_exprs,
+            grouping_sets,
+            aggs,
+        } => {
+            // Push conjuncts that reference only plain group-key columns
+            // (disabled under grouping sets: filters over partially
+            // grouped output are not equivalent below the aggregate).
+            if grouping_sets.is_some() {
+                return LogicalPlan::Filter { input, predicate };
+            }
+            let mut below: Vec<ScalarExpr> = Vec::new();
+            let mut keep: Vec<ScalarExpr> = Vec::new();
+            for part in predicate.split_conjunction() {
+                let cols = part.columns();
+                let only_keys = cols.iter().all(|&c| c < group_exprs.len());
+                if only_keys && !cols.is_empty() {
+                    // Rewrite over aggregate input by substituting the
+                    // group expressions.
+                    let rewritten = part.clone().transform(&mut |e| match e {
+                        ScalarExpr::Column(c) if c < group_exprs.len() => group_exprs[c].clone(),
+                        other => other,
+                    });
+                    below.push(rewritten);
+                } else {
+                    keep.push(part.clone());
+                }
+            }
+            if below.is_empty() {
+                return LogicalPlan::Filter { input, predicate };
+            }
+            let pushed = LogicalPlan::Aggregate {
+                input: Arc::new(push_one(LogicalPlan::Filter {
+                    input: a_input.clone(),
+                    predicate: ScalarExpr::conjunction(below).expect("nonempty"),
+                })),
+                group_exprs: group_exprs.clone(),
+                grouping_sets: grouping_sets.clone(),
+                aggs: aggs.clone(),
+            };
+            match ScalarExpr::conjunction(keep) {
+                Some(p) => LogicalPlan::Filter {
+                    input: Arc::new(pushed),
+                    predicate: p,
+                },
+                None => pushed,
+            }
+        }
+        LogicalPlan::Union { inputs } => LogicalPlan::Union {
+            inputs: inputs
+                .iter()
+                .map(|i| {
+                    Arc::new(push_one(LogicalPlan::Filter {
+                        input: i.clone(),
+                        predicate: predicate.clone(),
+                    }))
+                })
+                .collect(),
+        },
+        LogicalPlan::Sort { input: s_input, keys } => LogicalPlan::Sort {
+            input: Arc::new(push_one(LogicalPlan::Filter {
+                input: s_input.clone(),
+                predicate,
+            })),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Filter {
+            input: f_input,
+            predicate: p2,
+        } => push_one(LogicalPlan::Filter {
+            input: f_input.clone(),
+            predicate: ScalarExpr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(predicate),
+                right: Box::new(p2.clone()),
+            },
+        }),
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filters,
+            partitions,
+            semijoin_filters,
+        } => {
+            // Sink deterministic predicates into the scan.
+            let mut new_filters = filters.clone();
+            let mut keep: Vec<ScalarExpr> = Vec::new();
+            for part in predicate.split_conjunction() {
+                if part.is_deterministic() {
+                    new_filters.push(part.clone());
+                } else {
+                    keep.push(part.clone());
+                }
+            }
+            let scan = LogicalPlan::Scan {
+                table: table.clone(),
+                projection: projection.clone(),
+                filters: new_filters,
+                partitions: partitions.clone(),
+                semijoin_filters: semijoin_filters.clone(),
+            };
+            match ScalarExpr::conjunction(keep) {
+                Some(p) => LogicalPlan::Filter {
+                    input: Arc::new(scan),
+                    predicate: p,
+                },
+                None => scan,
+            }
+        }
+        _ => LogicalPlan::Filter { input, predicate },
+    }
+}

@@ -1,0 +1,179 @@
+//! Dynamic semijoin reduction planning (§4.6).
+//!
+//! For inner joins where one side is selectively filtered (a dimension
+//! table behind predicates) and the other side's join key is a plain
+//! scan column (the fact table), attach a [`SemiJoinFilterSpec`] to the
+//! fact scan. At run time the executor evaluates the dimension subplan
+//! first, collects the join-key values, and reduces the fact scan with:
+//!
+//! * **dynamic partition pruning** when the key is a partition column —
+//!   unneeded partition directories are skipped outright;
+//! * an **index semijoin** otherwise — a min/max range plus Bloom filter
+//!   pushed into the scan's search argument so entire row groups are
+//!   skipped.
+
+use crate::expr::ScalarExpr;
+use crate::plan::{JoinType, LogicalPlan, SemiJoinFilterSpec};
+use crate::rules::transform_up;
+use crate::stats::{estimate_rows, StatsSource};
+use std::sync::Arc;
+
+/// Maximum estimated build-side rows for which a reducer is planned.
+const MAX_SOURCE_ROWS: f64 = 2_000_000.0;
+/// Minimum ratio between probe and build side for the filter to pay off.
+const MIN_RATIO: f64 = 2.0;
+
+/// Plan semijoin reducers across the plan.
+pub fn plan_semijoin_reduction(plan: &LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan {
+    transform_up(plan, &mut |node| attach_reducers(node, stats))
+}
+
+fn attach_reducers(node: LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan {
+    let LogicalPlan::Join {
+        left,
+        right,
+        join_type,
+        equi,
+        residual,
+    } = node
+    else {
+        return node;
+    };
+    if !matches!(join_type, JoinType::Inner | JoinType::Semi) || equi.is_empty() {
+        return LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            equi,
+            residual,
+        };
+    }
+    let left_rows = estimate_rows(&left, stats);
+    let right_rows = estimate_rows(&right, stats);
+
+    let mut new_left = left.clone();
+    let mut new_right = right.clone();
+    // Try reducing the larger side with keys from the smaller, filtered
+    // side. Only a side that actually has filtering (Filter node or scan
+    // filters) is a useful source.
+    for (li, ri) in &equi {
+        if right_rows * MIN_RATIO < left_rows
+            && right_rows < MAX_SOURCE_ROWS
+            && is_filtered(&right)
+        {
+            if let Some(reduced) = try_attach(&new_left, li, &right, ri) {
+                new_left = reduced;
+            }
+        } else if left_rows * MIN_RATIO < right_rows
+            && left_rows < MAX_SOURCE_ROWS
+            && is_filtered(&left)
+        {
+            if let Some(reduced) = try_attach(&new_right, ri, &left, li) {
+                new_right = reduced;
+            }
+        }
+    }
+    LogicalPlan::Join {
+        left: new_left,
+        right: new_right,
+        join_type,
+        equi,
+        residual,
+    }
+}
+
+/// Does the subplan apply any filtering (so its key set is selective)?
+fn is_filtered(plan: &LogicalPlan) -> bool {
+    let mut found = false;
+    plan.visit(&mut |p| match p {
+        LogicalPlan::Filter { .. } => found = true,
+        LogicalPlan::Scan { filters, .. } if !filters.is_empty() => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Attach a reducer to the scan feeding `target_expr` on the probe side.
+/// The key must be a plain column that passes untransformed through
+/// Filters (and trivial Projects) down to a Scan.
+fn try_attach(
+    probe: &Arc<LogicalPlan>,
+    probe_key: &ScalarExpr,
+    build: &Arc<LogicalPlan>,
+    build_key: &ScalarExpr,
+) -> Option<Arc<LogicalPlan>> {
+    let ScalarExpr::Column(col) = probe_key else {
+        return None;
+    };
+    // Build the source plan: build subtree projected to its key column.
+    let build_schema = build.schema();
+    let key_name = match build_key {
+        ScalarExpr::Column(c) => build_schema.field(*c).name.clone(),
+        _ => "_sj_key".to_string(),
+    };
+    let source = Arc::new(LogicalPlan::Project {
+        input: build.clone(),
+        exprs: vec![build_key.clone()],
+        names: vec![key_name],
+    });
+    let spec_builder = |target_col: usize, is_partition_col: bool| SemiJoinFilterSpec {
+        source: source.clone(),
+        source_key: 0,
+        target_col,
+        is_partition_col,
+    };
+    attach_to_scan(probe, *col, &spec_builder).map(Arc::new)
+}
+
+fn attach_to_scan(
+    plan: &LogicalPlan,
+    col: usize,
+    make_spec: &dyn Fn(usize, bool) -> SemiJoinFilterSpec,
+) -> Option<LogicalPlan> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filters,
+            partitions,
+            semijoin_filters,
+        } => {
+            let schema_col = *projection.get(col)?;
+            let is_partition_col = table.partition_cols.contains(&schema_col);
+            let mut sj = semijoin_filters.clone();
+            sj.push(make_spec(col, is_partition_col));
+            Some(LogicalPlan::Scan {
+                table: table.clone(),
+                projection: projection.clone(),
+                filters: filters.clone(),
+                partitions: partitions.clone(),
+                semijoin_filters: sj,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let inner = attach_to_scan(input, col, make_spec)?;
+            Some(LogicalPlan::Filter {
+                input: Arc::new(inner),
+                predicate: predicate.clone(),
+            })
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => {
+            // Trace through a pass-through projection.
+            if let Some(ScalarExpr::Column(inner_col)) = exprs.get(col) {
+                let inner = attach_to_scan(input, *inner_col, make_spec)?;
+                Some(LogicalPlan::Project {
+                    input: Arc::new(inner),
+                    exprs: exprs.clone(),
+                    names: names.clone(),
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}

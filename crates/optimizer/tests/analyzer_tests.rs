@@ -1,0 +1,727 @@
+//! End-to-end analyzer + optimizer tests: SQL text in, optimized
+//! logical plan out, against a real Metastore catalog.
+
+use hive_common::{DataType, Field, HiveConf, Schema, Value};
+use hive_metastore::{Metastore, TableBuilder, TableStats};
+use hive_optimizer::{
+    Analyzer, JoinType, LogicalPlan, MetastoreCatalog, Optimizer, OptimizerContext,
+};
+use hive_sql::parse_sql;
+
+fn setup() -> Metastore {
+    let ms = Metastore::new();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "store_sales",
+            Schema::new(vec![
+                Field::new("ss_item_sk", DataType::Int),
+                Field::new("ss_customer_sk", DataType::Int),
+                Field::new("ss_ticket_number", DataType::Int),
+                Field::new("ss_sales_price", DataType::Decimal(7, 2)),
+                Field::new("ss_quantity", DataType::Int),
+            ]),
+        )
+        .partitioned_by(vec![Field::new("ss_sold_date_sk", DataType::Int)])
+        .build(),
+    )
+    .unwrap();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "item",
+            Schema::new(vec![
+                Field::new("i_item_sk", DataType::Int),
+                Field::new("i_category", DataType::String),
+                Field::new("i_brand", DataType::String),
+            ]),
+        )
+        .build(),
+    )
+    .unwrap();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "date_dim",
+            Schema::new(vec![
+                Field::new("d_date_sk", DataType::Int),
+                Field::new("d_year", DataType::Int),
+                Field::new("d_moy", DataType::Int),
+            ]),
+        )
+        .build(),
+    )
+    .unwrap();
+    // Stats: store_sales is large, dims are small.
+    let mut ss = TableStats::new(6);
+    ss.row_count = 1_000_000;
+    ms.set_table_stats("default.store_sales", ss);
+    let mut it = TableStats::new(3);
+    it.row_count = 1000;
+    for i in 0..1000 {
+        it.columns[0].update(&Value::Int(i));
+        it.columns[1].update(&Value::String(format!("cat{}", i % 10)));
+    }
+    ms.set_table_stats("default.item", it);
+    let mut dd = TableStats::new(3);
+    dd.row_count = 3650;
+    ms.set_table_stats("default.date_dim", dd);
+    ms
+}
+
+fn analyze(ms: &Metastore, sql: &str) -> LogicalPlan {
+    let cat = MetastoreCatalog::new(ms.clone(), "default");
+    let analyzer = Analyzer::new(&cat);
+    match parse_sql(sql).unwrap() {
+        hive_sql::Statement::Query(q) => analyzer.analyze_query(&q).unwrap(),
+        other => panic!("expected query, got {other:?}"),
+    }
+}
+
+fn optimize(ms: &Metastore, sql: &str) -> LogicalPlan {
+    let plan = analyze(ms, sql);
+    plan.check().unwrap();
+    let conf = HiveConf::v3_1();
+    let ctx = OptimizerContext {
+        metastore: ms,
+        conf: &conf,
+        usable_views: vec![],
+    };
+    let out = Optimizer::optimize(plan, &ctx).unwrap();
+    out.check().unwrap();
+    out
+}
+
+#[test]
+fn simple_select_analyzes() {
+    let ms = setup();
+    let plan = analyze(&ms, "SELECT i_category, i_brand FROM item WHERE i_item_sk = 5");
+    assert_eq!(plan.schema().names(), vec!["i_category", "i_brand"]);
+    plan.check().unwrap();
+}
+
+#[test]
+fn comma_join_becomes_inner_join_after_pushdown() {
+    let ms = setup();
+    let plan = optimize(
+        &ms,
+        "SELECT ss_sales_price FROM store_sales, item
+         WHERE ss_item_sk = i_item_sk AND i_category = 'cat3'",
+    );
+    let mut saw_inner = false;
+    let mut saw_scan_filter = false;
+    plan.visit(&mut |p| match p {
+        LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            equi,
+            ..
+        } if !equi.is_empty() => saw_inner = true,
+        LogicalPlan::Scan { table, filters, .. }
+            if table.name == "item" && !filters.is_empty() =>
+        {
+            saw_scan_filter = true
+        }
+        _ => {}
+    });
+    assert!(saw_inner, "cross join should become equi inner join:\n{plan}");
+    assert!(
+        saw_scan_filter,
+        "category filter should be pushed into the item scan:\n{plan}"
+    );
+}
+
+#[test]
+fn aggregation_with_having_and_order() {
+    let ms = setup();
+    let plan = optimize(
+        &ms,
+        "SELECT i_category, SUM(ss_sales_price) AS s, COUNT(*)
+         FROM store_sales, item WHERE ss_item_sk = i_item_sk
+         GROUP BY i_category HAVING SUM(ss_sales_price) > 100
+         ORDER BY s DESC LIMIT 10",
+    );
+    let schema = plan.schema();
+    assert_eq!(schema.len(), 3);
+    let mut saw_agg = false;
+    let mut saw_limit = false;
+    plan.visit(&mut |p| match p {
+        LogicalPlan::Aggregate { aggs, .. } if aggs.len() == 2 => saw_agg = true,
+        LogicalPlan::Limit { n: 10, .. } => saw_limit = true,
+        _ => {}
+    });
+    assert!(saw_agg && saw_limit, "{plan}");
+}
+
+#[test]
+fn order_by_unselected_column() {
+    let ms = setup();
+    let plan = optimize(&ms, "SELECT i_brand FROM item ORDER BY i_category");
+    assert_eq!(plan.schema().names(), vec!["i_brand"]);
+    let mut saw_sort = false;
+    plan.visit(&mut |p| {
+        if matches!(p, LogicalPlan::Sort { .. }) {
+            saw_sort = true;
+        }
+    });
+    assert!(saw_sort);
+}
+
+#[test]
+fn in_subquery_becomes_semi_join() {
+    let ms = setup();
+    let plan = analyze(
+        &ms,
+        "SELECT ss_sales_price FROM store_sales
+         WHERE ss_item_sk IN (SELECT i_item_sk FROM item WHERE i_category = 'cat1')",
+    );
+    let mut saw_semi = false;
+    plan.visit(&mut |p| {
+        if matches!(
+            p,
+            LogicalPlan::Join {
+                join_type: JoinType::Semi,
+                ..
+            }
+        ) {
+            saw_semi = true;
+        }
+    });
+    assert!(saw_semi, "{plan}");
+    plan.check().unwrap();
+}
+
+#[test]
+fn not_exists_becomes_anti_join_with_correlation() {
+    let ms = setup();
+    let plan = analyze(
+        &ms,
+        "SELECT i_brand FROM item
+         WHERE NOT EXISTS (SELECT 1 FROM store_sales WHERE ss_item_sk = i_item_sk)",
+    );
+    let mut saw_anti_with_key = false;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Join {
+            join_type: JoinType::Anti,
+            equi,
+            ..
+        } = p
+        {
+            if !equi.is_empty() {
+                saw_anti_with_key = true;
+            }
+        }
+    });
+    assert!(saw_anti_with_key, "{plan}");
+    plan.check().unwrap();
+}
+
+#[test]
+fn correlated_scalar_subquery_decorrelates() {
+    let ms = setup();
+    let plan = analyze(
+        &ms,
+        "SELECT i_brand FROM item
+         WHERE i_item_sk > (SELECT AVG(ss_quantity) FROM store_sales
+                            WHERE ss_item_sk = i_item_sk)",
+    );
+    plan.check().unwrap();
+    // The scalar subquery becomes a left join against a grouped
+    // aggregate keyed by the correlation column.
+    let mut saw_left_join = false;
+    let mut saw_grouped_agg = false;
+    plan.visit(&mut |p| match p {
+        LogicalPlan::Join {
+            join_type: JoinType::Left,
+            equi,
+            ..
+        } if !equi.is_empty() => saw_left_join = true,
+        LogicalPlan::Aggregate { group_exprs, .. } if !group_exprs.is_empty() => {
+            saw_grouped_agg = true
+        }
+        _ => {}
+    });
+    assert!(saw_left_join && saw_grouped_agg, "{plan}");
+}
+
+#[test]
+fn projection_pruning_shrinks_scans() {
+    let ms = setup();
+    let plan = optimize(&ms, "SELECT i_brand FROM item WHERE i_category = 'cat2'");
+    let mut scan_cols = None;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { projection, .. } = p {
+            scan_cols = Some(projection.len());
+        }
+    });
+    assert_eq!(scan_cols, Some(2), "only i_brand + i_category needed:\n{plan}");
+}
+
+#[test]
+fn partition_pruning_selects_directories() {
+    let ms = setup();
+    for d in [2450815, 2450816, 2450817] {
+        ms.add_partition("default", "store_sales", vec![Value::Int(d)])
+            .unwrap();
+    }
+    let plan = optimize(
+        &ms,
+        "SELECT ss_sales_price FROM store_sales WHERE ss_sold_date_sk = 2450816",
+    );
+    let mut parts = None;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { partitions, table, .. } = p {
+            if table.name == "store_sales" {
+                parts = partitions.clone();
+            }
+        }
+    });
+    assert_eq!(parts, Some(vec!["ss_sold_date_sk=2450816".to_string()]), "{plan}");
+}
+
+#[test]
+fn join_reordering_puts_small_filtered_side_as_build() {
+    let ms = setup();
+    // Three-way join: the optimizer should not leave the order as
+    // written but start from the filtered dimension.
+    let plan = optimize(
+        &ms,
+        "SELECT ss_sales_price, d_year FROM store_sales, date_dim, item
+         WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+           AND i_category = 'cat1'",
+    );
+    plan.check().unwrap();
+    // All three tables survive and the plan has two equi joins.
+    let mut joins = 0;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Join { equi, .. } = p {
+            if !equi.is_empty() {
+                joins += 1;
+            }
+        }
+    });
+    assert_eq!(joins, 2, "{plan}");
+    assert_eq!(plan.referenced_tables().len(), 3);
+}
+
+#[test]
+fn semijoin_reduction_planned_for_star_join() {
+    let ms = setup();
+    let plan = optimize(
+        &ms,
+        "SELECT ss_sales_price FROM store_sales, item
+         WHERE ss_item_sk = i_item_sk AND i_category = 'cat7'",
+    );
+    let mut reducers = 0;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan {
+            table,
+            semijoin_filters,
+            ..
+        } = p
+        {
+            if table.name == "store_sales" {
+                reducers = semijoin_filters.len();
+            }
+        }
+    });
+    assert!(reducers >= 1, "fact scan should carry a semijoin reducer:\n{plan}");
+}
+
+#[test]
+fn union_and_set_operations() {
+    let ms = setup();
+    let plan = analyze(
+        &ms,
+        "SELECT i_item_sk FROM item UNION ALL SELECT ss_item_sk FROM store_sales",
+    );
+    assert!(matches!(plan, LogicalPlan::Union { .. }));
+    let plan = analyze(
+        &ms,
+        "SELECT i_item_sk FROM item INTERSECT SELECT ss_item_sk FROM store_sales",
+    );
+    assert!(matches!(plan, LogicalPlan::SetOp { .. }));
+    // UNION DISTINCT adds a dedup aggregate.
+    let plan = analyze(
+        &ms,
+        "SELECT i_item_sk FROM item UNION SELECT ss_item_sk FROM store_sales",
+    );
+    assert!(matches!(plan, LogicalPlan::Aggregate { .. }));
+}
+
+#[test]
+fn window_functions_analyze() {
+    let ms = setup();
+    let plan = analyze(
+        &ms,
+        "SELECT i_category, RANK() OVER (PARTITION BY i_category ORDER BY i_brand) FROM item",
+    );
+    plan.check().unwrap();
+    let mut saw_window = false;
+    plan.visit(&mut |p| {
+        if matches!(p, LogicalPlan::Window { .. }) {
+            saw_window = true;
+        }
+    });
+    assert!(saw_window);
+}
+
+#[test]
+fn grouping_sets_analyze() {
+    let ms = setup();
+    let plan = analyze(
+        &ms,
+        "SELECT d_year, d_moy, COUNT(*) FROM date_dim GROUP BY ROLLUP(d_year, d_moy)",
+    );
+    plan.check().unwrap();
+    let mut sets = None;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Aggregate { grouping_sets, .. } = p {
+            sets = grouping_sets.clone();
+        }
+    });
+    assert_eq!(sets.unwrap().len(), 3);
+}
+
+#[test]
+fn ctes_inline() {
+    let ms = setup();
+    let plan = analyze(
+        &ms,
+        "WITH cheap AS (SELECT i_item_sk FROM item WHERE i_category = 'cat0')
+         SELECT COUNT(*) FROM cheap",
+    );
+    plan.check().unwrap();
+    assert_eq!(plan.referenced_tables(), vec!["default.item".to_string()]);
+}
+
+#[test]
+fn constant_folding_removes_tautologies() {
+    let ms = setup();
+    let plan = optimize(&ms, "SELECT i_brand FROM item WHERE 1 = 1 AND 2 > 1");
+    let mut saw_filter = false;
+    plan.visit(&mut |p| {
+        if matches!(p, LogicalPlan::Filter { .. }) {
+            saw_filter = true;
+        }
+        if let LogicalPlan::Scan { filters, .. } = p {
+            assert!(filters.is_empty(), "tautologies must fold away");
+        }
+    });
+    assert!(!saw_filter);
+    // Contradictions become empty relations.
+    let plan = optimize(&ms, "SELECT i_brand FROM item WHERE 1 = 2");
+    assert!(matches!(plan, LogicalPlan::Values { ref rows, .. } if rows.is_empty()), "{plan}");
+}
+
+#[test]
+fn ambiguous_and_unknown_columns_error() {
+    let ms = setup();
+    let cat = MetastoreCatalog::new(ms.clone(), "default");
+    let analyzer = Analyzer::new(&cat);
+    let q = match parse_sql("SELECT nonexistent FROM item").unwrap() {
+        hive_sql::Statement::Query(q) => q,
+        _ => unreachable!(),
+    };
+    assert!(analyzer.analyze_query(&q).is_err());
+}
+
+#[test]
+fn having_on_group_key_pushes_below_aggregate() {
+    let ms = setup();
+    let plan = optimize(
+        &ms,
+        "SELECT i_category, COUNT(*) FROM item
+         GROUP BY i_category HAVING i_category = 'cat3'",
+    );
+    // The key-only HAVING conjunct migrates all the way into the scan.
+    let mut scan_filters = 0;
+    let mut filter_above_agg = false;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { filters, .. } = p {
+            scan_filters = filters.len();
+        }
+        if let LogicalPlan::Filter { input, .. } = p {
+            if matches!(input.as_ref(), LogicalPlan::Aggregate { .. }) {
+                filter_above_agg = true;
+            }
+        }
+    });
+    assert!(scan_filters >= 1, "HAVING on key must reach the scan:\n{plan}");
+    assert!(!filter_above_agg, "no residual filter above aggregate:\n{plan}");
+}
+
+#[test]
+fn having_on_aggregate_output_stays_above() {
+    let ms = setup();
+    let plan = optimize(
+        &ms,
+        "SELECT i_category, COUNT(*) AS c FROM item
+         GROUP BY i_category HAVING COUNT(*) > 5",
+    );
+    let mut filter_above_agg = false;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Filter { input, .. } = p {
+            if matches!(input.as_ref(), LogicalPlan::Aggregate { .. }) {
+                filter_above_agg = true;
+            }
+        }
+        if let LogicalPlan::Scan { filters, .. } = p {
+            assert!(filters.is_empty(), "COUNT(*) predicate must not reach the scan:\n{p}");
+        }
+    });
+    assert!(filter_above_agg, "{plan}");
+}
+
+#[test]
+fn grouping_sets_block_filter_pushdown() {
+    let ms = setup();
+    // Under ROLLUP the d_year column of the output can be NULL for the
+    // super-aggregate rows, so a key filter is NOT equivalent below the
+    // aggregate and must stay put.
+    let plan = optimize(
+        &ms,
+        "SELECT d_year, d_moy, COUNT(*) FROM date_dim
+         GROUP BY ROLLUP(d_year, d_moy) HAVING d_year = 2000",
+    );
+    plan.check().unwrap();
+    let mut scan_filters = 0;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { filters, .. } = p {
+            scan_filters = filters.len();
+        }
+    });
+    assert_eq!(scan_filters, 0, "rollup blocks pushdown:\n{plan}");
+}
+
+#[test]
+fn filter_pushes_into_both_union_branches() {
+    let ms = setup();
+    let plan = optimize(
+        &ms,
+        "SELECT k FROM (SELECT i_item_sk AS k FROM item
+                        UNION ALL
+                        SELECT ss_item_sk FROM store_sales) u
+         WHERE k < 10",
+    );
+    let mut filtered_scans = 0;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { filters, .. } = p {
+            if !filters.is_empty() {
+                filtered_scans += 1;
+            }
+        }
+    });
+    assert_eq!(filtered_scans, 2, "both union branches filtered:\n{plan}");
+}
+
+#[test]
+fn left_join_pushdown_respects_null_side() {
+    let ms = setup();
+    // Filter on the preserved (left) side pushes below a LEFT join;
+    // a same-shaped filter on the null-producing side must not.
+    let plan = optimize(
+        &ms,
+        "SELECT ss_sales_price, i_brand
+         FROM store_sales LEFT JOIN item ON ss_item_sk = i_item_sk
+         WHERE ss_quantity > 3",
+    );
+    let mut fact_filtered = false;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { table, filters, .. } = p {
+            if table.name == "store_sales" && !filters.is_empty() {
+                fact_filtered = true;
+            }
+        }
+    });
+    assert!(fact_filtered, "preserved-side filter pushes:\n{plan}");
+
+    let plan = optimize(
+        &ms,
+        "SELECT ss_sales_price, i_brand
+         FROM store_sales LEFT JOIN item ON ss_item_sk = i_item_sk
+         WHERE i_brand IS NULL",
+    );
+    plan.check().unwrap();
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { table, filters, .. } = p {
+            if table.name == "item" {
+                assert!(
+                    filters.is_empty(),
+                    "IS NULL probe on the null side must stay above the join:\n{p}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn nondeterministic_filter_not_pushed_through_project() {
+    let ms = setup();
+    // RAND() in the derived column: the outer predicate must evaluate
+    // each row's materialized value once, so it cannot be inlined below.
+    let plan = optimize(
+        &ms,
+        "SELECT r FROM (SELECT RAND() AS r FROM item) t WHERE r < 0.5",
+    );
+    plan.check().unwrap();
+    let mut saw_filter_above_project = false;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { filters, .. } = p {
+            assert!(filters.is_empty(), "RAND() predicate must not reach the scan:\n{p}");
+        }
+        if let LogicalPlan::Filter { input, .. } = p {
+            if matches!(input.as_ref(), LogicalPlan::Project { .. }) {
+                saw_filter_above_project = true;
+            }
+        }
+    });
+    assert!(saw_filter_above_project, "{plan}");
+}
+
+#[test]
+fn cast_and_arithmetic_fold_to_literals() {
+    let ms = setup();
+    let plan = optimize(
+        &ms,
+        "SELECT i_brand FROM item WHERE i_item_sk < CAST('4' AS INT) + 6",
+    );
+    let mut scan_filter = None;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::Scan { filters, .. } = p {
+            scan_filter = filters.first().map(|f| f.to_string());
+        }
+    });
+    let f = scan_filter.expect("filter reaches scan");
+    assert!(f.contains("10"), "CAST('4') + 6 folds to 10, got {f}");
+}
+
+fn setup_with_constraints() -> Metastore {
+    use hive_metastore::Constraint;
+    let ms = setup();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "orders",
+            Schema::new(vec![
+                hive_common::Field::new("o_id", DataType::Int),
+                hive_common::Field::not_null("o_cust", DataType::Int),
+                hive_common::Field::new("o_amount", DataType::Double),
+            ]),
+        )
+        .constraint(Constraint::PrimaryKey(vec!["o_id".into()]))
+        .constraint(Constraint::ForeignKey {
+            columns: vec!["o_cust".into()],
+            ref_table: "default.customer".into(),
+            ref_columns: vec!["c_id".into()],
+        })
+        .build(),
+    )
+    .unwrap();
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "customer",
+            Schema::new(vec![
+                hive_common::Field::not_null("c_id", DataType::Int),
+                hive_common::Field::new("c_name", DataType::String),
+            ]),
+        )
+        .constraint(Constraint::PrimaryKey(vec!["c_id".into()]))
+        .build(),
+    )
+    .unwrap();
+    ms
+}
+
+#[test]
+fn pk_fk_inner_join_eliminated_when_dim_unused() {
+    let ms = setup_with_constraints();
+    // No customer column is projected: the NOT NULL FK guarantees every
+    // order matches exactly one customer, so the join folds away.
+    let plan = optimize(
+        &ms,
+        "SELECT o_amount FROM orders JOIN customer ON o_cust = c_id",
+    );
+    assert_eq!(
+        plan.referenced_tables(),
+        vec!["default.orders".to_string()],
+        "customer join eliminated:\n{plan}"
+    );
+}
+
+#[test]
+fn left_join_on_pk_eliminated_without_fk() {
+    let ms = setup_with_constraints();
+    // LEFT join needs only PK uniqueness on the dropped side — even a
+    // key column with no FK declaration qualifies (o_id is orders' PK
+    // here, joined from date_dim-free SQL below via customer.c_id).
+    let plan = optimize(
+        &ms,
+        "SELECT o_amount FROM orders LEFT JOIN customer ON o_id = c_id",
+    );
+    assert_eq!(
+        plan.referenced_tables(),
+        vec!["default.orders".to_string()],
+        "left join against PK side eliminated:\n{plan}"
+    );
+}
+
+#[test]
+fn join_elimination_blocked_when_dim_is_used_or_filtered() {
+    let ms = setup_with_constraints();
+    // Dim column used above: join must stay.
+    let plan = optimize(
+        &ms,
+        "SELECT o_amount, c_name FROM orders JOIN customer ON o_cust = c_id",
+    );
+    assert_eq!(plan.referenced_tables().len(), 2, "{plan}");
+    // Filter on the dim side: join is a row filter, must stay.
+    let plan = optimize(
+        &ms,
+        "SELECT o_amount FROM orders JOIN customer ON o_cust = c_id
+         WHERE c_name = 'alice'",
+    );
+    assert_eq!(plan.referenced_tables().len(), 2, "{plan}");
+}
+
+#[test]
+fn join_elimination_blocked_without_constraints() {
+    let ms = setup();
+    // item has no declared PK in the plain catalog: an unused inner
+    // join could still duplicate or drop rows, so it must stay.
+    let plan = optimize(
+        &ms,
+        "SELECT ss_sales_price FROM store_sales JOIN item ON ss_item_sk = i_item_sk",
+    );
+    assert_eq!(plan.referenced_tables().len(), 2, "{plan}");
+}
+
+#[test]
+fn join_elimination_blocked_for_nullable_fk() {
+    let ms = setup_with_constraints();
+    use hive_metastore::Constraint;
+    // A second fact table whose FK column is nullable: inner join drops
+    // the NULL rows, so elimination would change results.
+    ms.create_table(
+        TableBuilder::new(
+            "default",
+            "orders_nullable",
+            Schema::new(vec![
+                hive_common::Field::new("o_cust", DataType::Int),
+                hive_common::Field::new("o_amount", DataType::Double),
+            ]),
+        )
+        .constraint(Constraint::ForeignKey {
+            columns: vec!["o_cust".into()],
+            ref_table: "default.customer".into(),
+            ref_columns: vec!["c_id".into()],
+        })
+        .build(),
+    )
+    .unwrap();
+    let plan = optimize(
+        &ms,
+        "SELECT o_amount FROM orders_nullable JOIN customer ON o_cust = c_id",
+    );
+    assert_eq!(plan.referenced_tables().len(), 2, "{plan}");
+}

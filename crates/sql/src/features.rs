@@ -1,0 +1,296 @@
+//! SQL feature detection for engine-version gating.
+//!
+//! Figure 7 of the paper relies on Hive 1.2 *failing* 49 of the 99
+//! TPC-DS queries: it "lacked support for set operations such as EXCEPT
+//! or INTERSECT, correlated scalar subqueries with non-equi join
+//! conditions, interval notation, and order by unselected columns". The
+//! driver uses [`required_features`] to reject those statements when
+//! emulating the old release.
+
+use crate::ast::*;
+
+/// A SQL feature introduced after Hive 1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlFeature {
+    /// INTERSECT / EXCEPT set operations.
+    IntersectExcept,
+    /// Scalar subqueries (correlated or not).
+    ScalarSubquery,
+    /// Correlated EXISTS / IN subqueries.
+    SubqueryPredicate,
+    /// `INTERVAL n DAYS` notation.
+    IntervalNotation,
+    /// ORDER BY an expression that is not in the select list.
+    OrderByUnselected,
+    /// GROUPING SETS / ROLLUP / CUBE.
+    GroupingSets,
+    /// Window functions.
+    WindowFunctions,
+    /// Materialized views.
+    MaterializedViews,
+    /// MERGE statement.
+    MergeStatement,
+    /// Row-level UPDATE/DELETE.
+    RowLevelDml,
+}
+
+impl SqlFeature {
+    /// Was this feature available in Hive 1.2?
+    pub fn available_in_v1_2(&self) -> bool {
+        matches!(
+            self,
+            // Windowing and grouping sets existed (in some form) in 1.2.
+            SqlFeature::WindowFunctions | SqlFeature::GroupingSets
+        )
+    }
+}
+
+/// Collect the post-1.2 features a statement requires.
+pub fn required_features(stmt: &Statement) -> Vec<SqlFeature> {
+    let mut out = Vec::new();
+    collect_statement(stmt, &mut out);
+    out.sort_by_key(|f| *f as u8);
+    out.dedup();
+    out
+}
+
+fn push(out: &mut Vec<SqlFeature>, f: SqlFeature) {
+    out.push(f);
+}
+
+fn collect_statement(stmt: &Statement, out: &mut Vec<SqlFeature>) {
+    match stmt {
+        Statement::Query(q) => collect_query(q, out),
+        Statement::Insert(i) => match &i.source {
+            InsertSource::Query(q) => collect_query(q, out),
+            InsertSource::Values(rows) => {
+                for r in rows {
+                    for e in r {
+                        collect_expr(e, out);
+                    }
+                }
+            }
+        },
+        Statement::Update(u) => {
+            push(out, SqlFeature::RowLevelDml);
+            for (_, e) in &u.assignments {
+                collect_expr(e, out);
+            }
+            if let Some(f) = &u.filter {
+                collect_expr(f, out);
+            }
+        }
+        Statement::Delete(d) => {
+            push(out, SqlFeature::RowLevelDml);
+            if let Some(f) = &d.filter {
+                collect_expr(f, out);
+            }
+        }
+        Statement::MultiInsert(mi) => {
+            for leg in &mi.inserts {
+                for item in &leg.projection {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        collect_expr(expr, out);
+                    }
+                }
+                if let Some(f) = &leg.filter {
+                    collect_expr(f, out);
+                }
+            }
+        }
+        Statement::Merge(m) => {
+            push(out, SqlFeature::MergeStatement);
+            collect_expr(&m.on, out);
+        }
+        Statement::CreateMaterializedView(mv) => {
+            push(out, SqlFeature::MaterializedViews);
+            collect_query(&mv.query, out);
+        }
+        Statement::AlterMaterializedViewRebuild { .. }
+        | Statement::DropMaterializedView { .. } => {
+            push(out, SqlFeature::MaterializedViews);
+        }
+        Statement::CreateTable(ct) => {
+            if let Some(q) = &ct.as_query {
+                collect_query(q, out);
+            }
+        }
+        Statement::Explain(inner) => collect_statement(inner, out),
+        _ => {}
+    }
+}
+
+fn collect_query(q: &Query, out: &mut Vec<SqlFeature>) {
+    for (_, cte) in &q.ctes {
+        collect_query(cte, out);
+    }
+    collect_body(&q.body, out);
+    // ORDER BY unselected columns: approximate by checking that every
+    // ORDER BY column reference appears in the (top-level) select list
+    // as an expression or alias.
+    if let QueryBody::Select(sel) = &q.body {
+        let mut selected: Vec<String> = Vec::new();
+        let mut has_wildcard = false;
+        for item in &sel.projection {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    if let Some(a) = alias {
+                        selected.push(a.clone());
+                    }
+                    if let Expr::Column { name, .. } = expr {
+                        selected.push(name.clone());
+                    }
+                }
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => has_wildcard = true,
+            }
+        }
+        if !has_wildcard {
+            for o in &q.order_by {
+                if let Expr::Column { name, .. } = &o.expr {
+                    if !selected.iter().any(|s| s == name) {
+                        push(out, SqlFeature::OrderByUnselected);
+                    }
+                }
+            }
+        }
+    }
+    for o in &q.order_by {
+        collect_expr(&o.expr, out);
+    }
+}
+
+fn collect_body(b: &QueryBody, out: &mut Vec<SqlFeature>) {
+    match b {
+        QueryBody::Select(sel) => collect_select(sel, out),
+        QueryBody::SetOp { op, left, right, .. } => {
+            if matches!(op, SetOperator::Intersect | SetOperator::Except) {
+                push(out, SqlFeature::IntersectExcept);
+            }
+            collect_body(left, out);
+            collect_body(right, out);
+        }
+    }
+}
+
+fn collect_select(sel: &Select, out: &mut Vec<SqlFeature>) {
+    if sel.grouping_sets.is_some() {
+        push(out, SqlFeature::GroupingSets);
+    }
+    for item in &sel.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_expr(expr, out);
+        }
+    }
+    for t in &sel.from {
+        collect_table_ref(t, out);
+    }
+    if let Some(e) = &sel.selection {
+        collect_expr(e, out);
+    }
+    for e in &sel.group_by {
+        collect_expr(e, out);
+    }
+    if let Some(e) = &sel.having {
+        collect_expr(e, out);
+    }
+}
+
+fn collect_table_ref(t: &TableRef, out: &mut Vec<SqlFeature>) {
+    match t {
+        TableRef::Table { .. } => {}
+        TableRef::Subquery { query, .. } => collect_query(query, out),
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            collect_table_ref(left, out);
+            collect_table_ref(right, out);
+            if let Some(e) = on {
+                collect_expr(e, out);
+            }
+        }
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut Vec<SqlFeature>) {
+    e.visit(&mut |node| match node {
+        Expr::ScalarSubquery(q) => {
+            push(out, SqlFeature::ScalarSubquery);
+            collect_query(q, out);
+        }
+        Expr::InSubquery { query, .. } => {
+            push(out, SqlFeature::SubqueryPredicate);
+            collect_query(query, out);
+        }
+        Expr::Exists { query, .. } => {
+            push(out, SqlFeature::SubqueryPredicate);
+            collect_query(query, out);
+        }
+        Expr::Window { .. } => push(out, SqlFeature::WindowFunctions),
+        Expr::Function { name, .. } if name.starts_with("__interval_") => {
+            push(out, SqlFeature::IntervalNotation)
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql;
+
+    fn features(sql: &str) -> Vec<SqlFeature> {
+        required_features(&parse_sql(sql).unwrap())
+    }
+
+    #[test]
+    fn plain_select_needs_nothing() {
+        assert!(features("SELECT a FROM t WHERE b > 1").is_empty());
+    }
+
+    #[test]
+    fn intersect_detected() {
+        assert!(features("SELECT a FROM t INTERSECT SELECT a FROM u")
+            .contains(&SqlFeature::IntersectExcept));
+        assert!(features("SELECT a FROM t EXCEPT SELECT a FROM u")
+            .contains(&SqlFeature::IntersectExcept));
+        assert!(!features("SELECT a FROM t UNION ALL SELECT a FROM u")
+            .contains(&SqlFeature::IntersectExcept));
+    }
+
+    #[test]
+    fn subqueries_detected() {
+        assert!(
+            features("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+                .contains(&SqlFeature::SubqueryPredicate)
+        );
+        assert!(
+            features("SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u)")
+                .contains(&SqlFeature::ScalarSubquery)
+        );
+    }
+
+    #[test]
+    fn interval_detected() {
+        assert!(
+            features("SELECT a FROM t WHERE d <= DATE '2000-01-01' + INTERVAL 30 DAYS")
+                .contains(&SqlFeature::IntervalNotation)
+        );
+    }
+
+    #[test]
+    fn order_by_unselected_detected() {
+        assert!(features("SELECT a FROM t ORDER BY b")
+            .contains(&SqlFeature::OrderByUnselected));
+        assert!(!features("SELECT a, b FROM t ORDER BY b")
+            .contains(&SqlFeature::OrderByUnselected));
+        assert!(!features("SELECT a AS x FROM t ORDER BY x")
+            .contains(&SqlFeature::OrderByUnselected));
+    }
+
+    #[test]
+    fn v1_2_availability() {
+        assert!(SqlFeature::WindowFunctions.available_in_v1_2());
+        assert!(!SqlFeature::IntersectExcept.available_in_v1_2());
+        assert!(!SqlFeature::MergeStatement.available_in_v1_2());
+    }
+}

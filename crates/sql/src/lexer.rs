@@ -1,0 +1,351 @@
+//! The SQL lexer.
+
+use hive_common::{HiveError, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (kept verbatim; keyword matching is
+    /// case-insensitive at the parser level).
+    Word(String),
+    /// Backtick-quoted identifier.
+    QuotedIdent(String),
+    /// Single-quoted string literal (escapes resolved).
+    StringLit(String),
+    /// Integer literal.
+    Integer(i128),
+    /// Decimal/float literal, kept as text for exact decimal handling.
+    Number(String),
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::QuotedIdent(w) => write!(f, "`{w}`"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::Integer(v) => write!(f, "{v}"),
+            Token::Number(v) => write!(f, "{v}"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize SQL text. Supports `--` line comments and `/* */` block
+/// comments.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    i += 1;
+                }
+                if i + 1 >= chars.len() {
+                    return Err(HiveError::Parse("unterminated block comment".into()));
+                }
+                i += 2;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(HiveError::Parse("unterminated string".into())),
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') if chars.get(i + 1).is_some() => {
+                            let n = chars[i + 1];
+                            s.push(match n {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::StringLit(s));
+            }
+            '`' => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && chars[i] != '`' {
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(HiveError::Parse("unterminated quoted identifier".into()));
+                }
+                out.push(Token::QuotedIdent(
+                    chars[start..i].iter().collect::<String>(),
+                ));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_decimal = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || (chars[i] == '.' && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())))
+                {
+                    if chars[i] == '.' {
+                        is_decimal = true;
+                    }
+                    i += 1;
+                }
+                // Scientific notation.
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let save = i;
+                    i += 1;
+                    if i < chars.len() && (chars[i] == '+' || chars[i] == '-') {
+                        i += 1;
+                    }
+                    if i < chars.len() && chars[i].is_ascii_digit() {
+                        is_decimal = true;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_decimal {
+                    out.push(Token::Number(text));
+                } else {
+                    let v: i128 = text
+                        .parse()
+                        .map_err(|_| HiveError::Parse(format!("bad integer literal {text}")))?;
+                    out.push(Token::Integer(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Word(chars[start..i].iter().collect()));
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 1; // tolerate '=='
+                }
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::LtEq);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(HiveError::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_numbers_symbols() {
+        let toks = tokenize("SELECT a, 1.5, 42 FROM t WHERE x <= 'hi'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("a".into()),
+                Token::Comma,
+                Token::Number("1.5".into()),
+                Token::Comma,
+                Token::Integer(42),
+                Token::Word("FROM".into()),
+                Token::Word("t".into()),
+                Token::Word("WHERE".into()),
+                Token::Word("x".into()),
+                Token::LtEq,
+                Token::StringLit("hi".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_quotes() {
+        let toks = tokenize("a -- line comment\n /* block */ `weird id` 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("a".into()),
+                Token::QuotedIdent("weird id".into()),
+                Token::StringLit("it's".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("< <= > >= <> != = ==").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Eq,
+                Token::Eq,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation_and_member_access() {
+        let toks = tokenize("1e3 2.5E-2 t.c").unwrap();
+        assert_eq!(toks[0], Token::Number("1e3".into()));
+        assert_eq!(toks[1], Token::Number("2.5E-2".into()));
+        assert_eq!(
+            &toks[2..5],
+            &[
+                Token::Word("t".into()),
+                Token::Dot,
+                Token::Word("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("`unterminated").is_err());
+        assert!(tokenize("a @ b").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # hive-sql
+//!
+//! The SQL frontend: a hand-written lexer and recursive-descent parser
+//! producing the [`ast`] the driver compiles (paper Figure 2: "parser →
+//! AST").
+//!
+//! The grammar covers the SQL surface the paper describes (§3.1):
+//! SELECT with all join kinds, correlated subqueries (IN / EXISTS /
+//! scalar), set operations (UNION [ALL] / INTERSECT / EXCEPT), GROUP BY
+//! with GROUPING SETS / ROLLUP / CUBE, window functions with frames,
+//! ORDER BY (including unselected columns) and LIMIT; DDL with
+//! `PARTITIONED BY`, constraints, `STORED BY` storage handlers,
+//! `TBLPROPERTIES`, and materialized views; DML with INSERT / UPDATE /
+//! DELETE / MERGE; plus EXPLAIN and ALTER ... REBUILD.
+//!
+//! [`features::required_features`] reports which post-1.2 SQL features a
+//! statement uses, so the driver can emulate Hive 1.2's reduced surface
+//! for the Figure 7 baseline.
+
+pub mod ast;
+pub mod features;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use features::{required_features, SqlFeature};
+pub use parser::parse_sql;

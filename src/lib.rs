@@ -1,0 +1,30 @@
+//! # hive-warehouse
+//!
+//! Umbrella crate for the hive-rs warehouse — a Rust reproduction of the
+//! architecture described in *"Apache Hive: From MapReduce to
+//! Enterprise-grade Big Data Warehousing"* (SIGMOD 2019).
+//!
+//! The commonly-used entry points are re-exported here:
+//!
+//! ```
+//! use hive_warehouse::{HiveConf, HiveServer};
+//!
+//! let server = HiveServer::new(HiveConf::v3_1());
+//! let session = server.session();
+//! session.execute("CREATE TABLE t (a INT, b STRING)").unwrap();
+//! session.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+//! let result = session.execute("SELECT b FROM t WHERE a = 2").unwrap();
+//! assert_eq!(result.rows()[0].get(0).to_string(), "y");
+//! ```
+
+pub use hive_common as common;
+pub use hive_common::{
+    DataType, EngineVersion, HiveConf, HiveError, Result, Row, Schema, Value,
+};
+pub use hive_core as core;
+pub use hive_core::{HiveServer, QueryResult, Session};
+pub use hive_dfs::DfsPath;
+
+/// Workload generators used by the benchmark harnesses (TPC-DS-derived
+/// star schema + SSB).
+pub use hive_benchdata as benchdata;
