@@ -90,6 +90,9 @@ pub struct HiveConf {
     /// Memory budget per hash join build side, in rows; exceeding it raises
     /// a retryable error that triggers reoptimization.
     pub hash_join_row_budget: usize,
+    /// Fault-injection plan (see [`crate::fault`]); `FaultPlan::none()`
+    /// injects nothing.
+    pub fault: crate::fault::FaultPlan,
 }
 
 impl HiveConf {
@@ -117,6 +120,7 @@ impl HiveConf {
             lrfu_lambda: 0.5,
             results_cache_entries: 64,
             hash_join_row_budget: 4_000_000,
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 

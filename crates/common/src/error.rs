@@ -41,6 +41,14 @@ pub enum HiveError {
     Workload(String),
     /// Federation / external system failure.
     External(String),
+    /// A transient infrastructure fault (injected or real): flaky DFS
+    /// read, daemon restart mid-query, corrupt cache chunk. Safe to
+    /// retry at fragment granularity — and, if fragment retries are
+    /// exhausted, at driver granularity (§4.2).
+    Transient(String),
+    /// A fragment exhausted its retry budget and its node failovers;
+    /// the driver-level re-execution ladder is the only rung left.
+    FragmentLost(String),
 }
 
 impl HiveError {
@@ -60,12 +68,26 @@ impl HiveError {
             HiveError::Unsupported(_) => "UNSUPPORTED",
             HiveError::Workload(_) => "WORKLOAD",
             HiveError::External(_) => "EXTERNAL",
+            HiveError::Transient(_) => "TRANSIENT",
+            HiveError::FragmentLost(_) => "FRAGMENT_LOST",
         }
     }
 
     /// Whether the driver should attempt re-optimization + re-execution.
+    /// Covers planner mispredictions ([`HiveError::Retryable`]) and
+    /// infrastructure faults that escaped fragment-level recovery
+    /// ([`HiveError::Transient`], [`HiveError::FragmentLost`]).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, HiveError::Retryable(_))
+        matches!(
+            self,
+            HiveError::Retryable(_) | HiveError::Transient(_) | HiveError::FragmentLost(_)
+        )
+    }
+
+    /// Whether this is a transient infrastructure fault, i.e. retrying
+    /// the same work (same plan) may simply succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HiveError::Transient(_) | HiveError::FragmentLost(_))
     }
 
     fn message(&self) -> &str {
@@ -82,7 +104,9 @@ impl HiveError {
             | HiveError::Format(m)
             | HiveError::Unsupported(m)
             | HiveError::Workload(m)
-            | HiveError::External(m) => m,
+            | HiveError::External(m)
+            | HiveError::Transient(m)
+            | HiveError::FragmentLost(m) => m,
         }
     }
 }
@@ -108,7 +132,17 @@ mod tests {
     #[test]
     fn retryable_flag() {
         assert!(HiveError::Retryable("oom".into()).is_retryable());
+        assert!(HiveError::Transient("flaky read".into()).is_retryable());
+        assert!(HiveError::FragmentLost("retries exhausted".into()).is_retryable());
         assert!(!HiveError::Execution("boom".into()).is_retryable());
+    }
+
+    #[test]
+    fn transient_flag() {
+        assert!(HiveError::Transient("flaky read".into()).is_transient());
+        assert!(HiveError::FragmentLost("gone".into()).is_transient());
+        assert!(!HiveError::Retryable("oom".into()).is_transient());
+        assert!(!HiveError::Io("missing".into()).is_transient());
     }
 
     #[test]
@@ -127,6 +161,8 @@ mod tests {
             HiveError::Unsupported(String::new()),
             HiveError::Workload(String::new()),
             HiveError::External(String::new()),
+            HiveError::Transient(String::new()),
+            HiveError::FragmentLost(String::new()),
         ];
         let kinds: std::collections::HashSet<_> = variants.iter().map(|v| v.kind()).collect();
         assert_eq!(kinds.len(), variants.len(), "kinds must be distinct");

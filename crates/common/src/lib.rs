@@ -12,6 +12,7 @@ pub mod bitset;
 pub mod conf;
 pub mod dates;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod like;
 pub mod row;
@@ -24,6 +25,7 @@ pub use bitset::BitSet;
 pub use conf::{EngineVersion, HiveConf, RuntimeKind};
 pub use vector::ColumnBuilder;
 pub use error::{HiveError, Result};
+pub use fault::{FaultInjector, FaultPlan, FaultSite, FaultStats};
 pub use ids::{BucketId, FileId, RecordId, RowId, TxnId, WriteId};
 pub use row::Row;
 pub use schema::{Field, Schema};

@@ -401,6 +401,8 @@ impl Session {
                     affected_rows: 0,
                     bytes_disk: trace.total(|n| n.bytes_disk),
                     bytes_cache: trace.total(|n| n.bytes_cache),
+                    fragment_retries: trace.total(|n| n.fragment_retries),
+                    failovers: trace.total(|n| n.failovers),
                     message: None,
                 })
             }

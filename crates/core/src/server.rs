@@ -38,6 +38,9 @@ impl HiveServer {
     /// Boot a server with the given configuration.
     pub fn new(conf: HiveConf) -> Self {
         let fs = DistFs::new();
+        // One fault injector for the whole stack (DFS reads, LLAP
+        // daemons, executor fragments), programmed from the conf's plan.
+        fs.fault().set_plan(conf.fault.clone());
         let ms = Metastore::new();
         let llap = LlapDaemons::new(
             conf.cluster_nodes,
@@ -45,6 +48,7 @@ impl HiveServer {
             conf.llap_cache_bytes,
             conf.lrfu_lambda,
         );
+        llap.attach_fault(fs.fault().clone());
         let druid = DruidStore::new();
         let jdbc = JdbcBackend::new();
         let mut registry = HandlerRegistry::new();
@@ -115,7 +119,16 @@ impl HiveServer {
 
     /// Update the configuration (takes effect for subsequent queries).
     pub fn set_conf(&self, f: impl FnOnce(&mut HiveConf)) {
-        f(&mut self.inner.conf.write());
+        let fault_plan = {
+            let mut conf = self.inner.conf.write();
+            f(&mut conf);
+            conf.fault.clone()
+        };
+        // Keep the stack-wide injector in sync with the conf's plan
+        // (a changed plan resets attempt counters for a fresh replay).
+        if self.inner.fs.fault().plan() != fault_plan {
+            self.inner.fs.fault().set_plan(fault_plan);
+        }
     }
 
     /// Activate a workload-management resource plan (§5.2).

@@ -24,6 +24,12 @@ pub struct QueryResult {
     pub bytes_disk: u64,
     /// Bytes served by the LLAP cache during execution.
     pub bytes_cache: u64,
+    /// Fragment/task attempts retried after injected faults (see
+    /// `hive_common::fault`).
+    pub fragment_retries: u64,
+    /// Fragments re-dispatched onto a surviving LLAP daemon after their
+    /// node died mid-query (§5.1 failover).
+    pub failovers: u64,
     /// Human-readable notice (DDL acknowledgements, EXPLAIN text, …).
     pub message: Option<String>,
 }
@@ -39,6 +45,8 @@ impl QueryResult {
             affected_rows: 0,
             bytes_disk: 0,
             bytes_cache: 0,
+            fragment_retries: 0,
+            failovers: 0,
             message: None,
         }
     }

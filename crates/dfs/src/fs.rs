@@ -3,7 +3,7 @@
 use crate::path::DfsPath;
 use crate::stats::IoStats;
 use bytes::Bytes;
-use hive_common::{FileId, HiveError, Result};
+use hive_common::{FaultInjector, FileId, HiveError, Result};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +50,9 @@ pub struct DistFs {
     inner: Arc<RwLock<Inner>>,
     next_file_id: Arc<AtomicU64>,
     stats: Arc<IoStats>,
+    /// Deterministic fault injection (shared with LLAP and the
+    /// executor so one seed drives the whole stack).
+    fault: Arc<FaultInjector>,
 }
 
 impl Default for DistFs {
@@ -68,12 +71,36 @@ impl DistFs {
             })),
             next_file_id: Arc::new(AtomicU64::new(1)),
             stats: Arc::new(IoStats::default()),
+            fault: Arc::new(FaultInjector::new()),
         }
     }
 
     /// The I/O meter for this file system.
     pub fn stats(&self) -> &IoStats {
         &self.stats
+    }
+
+    /// The shared fault injector. The server pushes `HiveConf::fault`
+    /// into it; LLAP and the executor roll against the same instance.
+    pub fn fault(&self) -> &Arc<FaultInjector> {
+        &self.fault
+    }
+
+    /// Roll the injected-fault dice for a read of `path`: a transient
+    /// error (surfaced as [`HiveError::Transient`]) or a slow-I/O
+    /// penalty charged to the injector's simtime accumulator.
+    fn inject_read_faults(&self, path: &DfsPath) -> Result<()> {
+        if !self.fault.is_active() {
+            return Ok(());
+        }
+        if self.fault.dfs_read_fails(path.as_str()) {
+            return Err(HiveError::Transient(format!(
+                "injected transient read error: {path}"
+            )));
+        }
+        // Slow reads still succeed; the latency lands in simtime.
+        self.fault.dfs_read_slow_ms(path.as_str());
+        Ok(())
     }
 
     /// Create an (empty) directory, including ancestors.
@@ -120,6 +147,7 @@ impl DistFs {
 
     /// Read a whole file.
     pub fn read(&self, path: &DfsPath) -> Result<(FileMeta, Bytes)> {
+        self.inject_read_faults(path)?;
         let g = self.inner.read();
         let (meta, data) = g
             .files
@@ -132,6 +160,7 @@ impl DistFs {
     /// Read a byte range of a file (records only the range against the
     /// I/O meter — the basis of column/row-group-selective read costs).
     pub fn read_range(&self, path: &DfsPath, offset: u64, len: u64) -> Result<Bytes> {
+        self.inject_read_faults(path)?;
         let g = self.inner.read();
         let (meta, data) = g
             .files
@@ -267,7 +296,9 @@ impl DistFs {
             .map(|(p, _)| p.clone())
             .collect();
         for p in files {
-            let entry = g.files.remove(&p).expect("listed above");
+            let entry = g.files.remove(&p).ok_or_else(|| {
+                HiveError::Io(format!("file vanished during rename: {p}"))
+            })?;
             g.files.insert(p.rebase(from, to), entry);
         }
         let dirs: Vec<DfsPath> = g
@@ -407,6 +438,38 @@ mod tests {
         assert!(fs
             .rename_dir(&DfsPath::new("/t/base_5"), &DfsPath::new("/t/other"))
             .is_err());
+    }
+
+    #[test]
+    fn injected_read_error_is_transient_and_deterministic() {
+        use hive_common::FaultPlan;
+        let fs = fs_with_files(&["/t/part-0.orc", "/t/part-1.orc"]);
+        fs.fault().set_plan(FaultPlan::none().with(|p| {
+            p.fail_path_substrings = vec!["part-0".into()];
+            p.path_fail_count = 1;
+        }));
+        let err = fs.read(&DfsPath::new("/t/part-0.orc")).unwrap_err();
+        assert_eq!(err.kind(), "TRANSIENT");
+        assert!(err.is_transient());
+        // Retry heals; the untargeted file never failed.
+        assert!(fs.read(&DfsPath::new("/t/part-0.orc")).is_ok());
+        assert!(fs.read(&DfsPath::new("/t/part-1.orc")).is_ok());
+        assert_eq!(fs.fault().stats().dfs_read_errors, 1);
+    }
+
+    #[test]
+    fn injected_slow_read_accumulates_latency_not_errors() {
+        use hive_common::FaultPlan;
+        let fs = fs_with_files(&["/t/f"]);
+        fs.fault().set_plan(FaultPlan::none().with(|p| {
+            p.seed = 11;
+            p.dfs_slow_prob = 1.0;
+            p.dfs_slow_ms = 30.0;
+        }));
+        assert!(fs.read(&DfsPath::new("/t/f")).is_ok());
+        assert!(fs.read_range(&DfsPath::new("/t/f"), 0, 2).is_ok());
+        assert_eq!(fs.fault().slow_penalty_ms(), 60.0);
+        assert_eq!(fs.fault().stats().dfs_slow_reads, 2);
     }
 
     #[test]

@@ -65,6 +65,18 @@ pub struct ExecContext<'a> {
     /// occur more than once, filled as they first execute.
     shared: Mutex<HashMap<u64, VectorBatch>>,
     shared_counts: HashMap<u64, usize>,
+    /// Per-query fault-recovery charges (transient-read retries happen
+    /// deep in the scan path where no trace node is at hand; scans
+    /// snapshot this before/after their reads).
+    charges: Mutex<FaultCharges>,
+}
+
+/// Accumulated fault-recovery work for one query: how many transient
+/// reads were retried and how much simulated backoff wait they cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultCharges {
+    pub transient_retries: u64,
+    pub backoff_wait_ms: f64,
 }
 
 impl ExecContext<'_> {
@@ -83,6 +95,18 @@ impl ExecContext<'_> {
     /// Publish a shared scan's raw rows.
     pub(crate) fn shared_put(&self, key: u64, batch: VectorBatch) {
         self.shared.lock().insert(key, batch);
+    }
+
+    /// Record one transient-read retry and its backoff wait.
+    pub(crate) fn charge_retry(&self, backoff_ms: f64) {
+        let mut c = self.charges.lock();
+        c.transient_retries += 1;
+        c.backoff_wait_ms += backoff_ms;
+    }
+
+    /// Snapshot of the per-query recovery charges so far.
+    pub fn fault_charges(&self) -> FaultCharges {
+        *self.charges.lock()
     }
 }
 
@@ -105,6 +129,7 @@ impl<'a> ExecContext<'a> {
             external,
             shared: Mutex::new(HashMap::new()),
             shared_counts: HashMap::new(),
+            charges: Mutex::new(FaultCharges::default()),
         }
     }
 
@@ -189,6 +214,16 @@ pub struct NodeTrace {
     pub external_ms: f64,
     /// Result served from the shared-work cache.
     pub shared_reuse: bool,
+    /// Fragment/task attempts retried after injected faults (fragment
+    /// failures, daemon deaths, transient-read exhaustion retries).
+    pub fragment_retries: u64,
+    /// Fragments re-dispatched onto a surviving daemon after their node
+    /// died (§5.1 stateless-daemon failover).
+    pub failovers: u64,
+    /// Simulated wait spent in retry backoff (ms).
+    pub backoff_wait_ms: f64,
+    /// Injected gray-failure (slow I/O) latency attributed here (ms).
+    pub injected_delay_ms: f64,
     pub children: Vec<NodeTrace>,
 }
 
@@ -235,7 +270,10 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, No
             return Ok((cached.clone(), t));
         }
     }
-    let (batch, trace) = execute_inner(plan, ctx)?;
+    let (batch, mut trace) = execute_inner(plan, ctx)?;
+    // Per-vertex fault injection + fragment recovery (retries, node
+    // failover); no-op when no fault plan is active.
+    crate::recovery::apply_fragment_faults(ctx, &mut trace)?;
     if is_shared {
         ctx.shared.lock().insert(fp, batch.clone());
     }

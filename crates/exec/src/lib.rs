@@ -17,12 +17,13 @@ pub mod aggregate;
 pub mod engine;
 pub mod join;
 pub mod kernels;
+pub mod recovery;
 pub mod scan;
 pub mod simtime;
 pub mod window;
 
 pub use engine::{
-    execute, execute_simple, ExecContext, ExternalScanResult, ExternalScanner, NodeTrace,
-    SnapshotProvider, WideOpenSnapshots,
+    execute, execute_simple, ExecContext, ExternalScanResult, ExternalScanner, FaultCharges,
+    NodeTrace, SnapshotProvider, WideOpenSnapshots,
 };
 pub use simtime::{simulate_ms, summarize, SimCostModel, SimSummary};

@@ -189,6 +189,8 @@ pub fn execute_scan(
 
     // --- read --------------------------------------------------------------
     let io_before = ctx.fs.stats().snapshot();
+    let charges_before = ctx.fault_charges();
+    let slow_before = ctx.fs.fault().slow_penalty_ms();
     let cache_before = ctx
         .llap
         .map(|l| l.cache().stats().hit_miss())
@@ -222,7 +224,9 @@ pub fn execute_scan(
         if acid {
             let wlist = ctx.snapshots.write_ids(&table.qualified_name);
             let snap = resolve_snapshot(ctx.fs, dir, &wlist);
-            let deletes = DeleteSet::load(ctx.fs, &snap, &wlist)?;
+            let deletes = crate::recovery::retry_transient(ctx, "load delete deltas", || {
+                DeleteSet::load(ctx.fs, &snap, &wlist)
+            })?;
             let mut files: Vec<DfsPath> = Vec::new();
             if let Some(b) = &snap.base {
                 files.extend(ctx.fs.list_files_recursive(&b.path).into_iter().map(|(p, _)| p));
@@ -267,6 +271,12 @@ pub fn execute_scan(
     let io_after = ctx.fs.stats().snapshot().since(&io_before);
     trace.bytes_disk = io_after.bytes_read;
     trace.io_ops = io_after.reads + io_after.lists;
+    // Fault-recovery work done inside this scan's reads: transient-read
+    // retries (with their backoff waits) and injected slow-I/O latency.
+    let charges = ctx.fault_charges();
+    trace.fragment_retries += charges.transient_retries - charges_before.transient_retries;
+    trace.backoff_wait_ms += charges.backoff_wait_ms - charges_before.backoff_wait_ms;
+    trace.injected_delay_ms += ctx.fs.fault().slow_penalty_ms() - slow_before;
     if let Some(l) = ctx.llap {
         let (h, _m) = l.cache().stats().hit_miss();
         let _ = h.saturating_sub(cache_before.0);
@@ -327,10 +337,10 @@ fn run_reducer(
 }
 
 fn open_file(ctx: &ExecContext, path: &DfsPath) -> Result<CorcFile> {
-    match ctx.llap {
+    crate::recovery::retry_transient(ctx, &format!("open {path}"), || match ctx.llap {
         Some(l) if ctx.conf.llap_enabled => l.metadata().open(ctx.fs, path),
         _ => CorcFile::open(ctx.fs, path),
-    }
+    })
 }
 
 /// Read one file's selected row groups into `out`.
@@ -406,13 +416,16 @@ fn read_file(
 }
 
 /// Fetch one column chunk, through the LLAP cache when enabled
-/// (the I/O elevator path, §5.1).
+/// (the I/O elevator path, §5.1). DFS loads retry transient injected
+/// errors; cached chunks detected as corrupt degrade back to the DFS
+/// load path.
 fn fetch_chunk(
     ctx: &ExecContext,
     file: &CorcFile,
     rg: usize,
     col: usize,
 ) -> Result<ColumnVector> {
+    let what = format!("chunk rg={rg} col={col} of file {:?}", file.file_id());
     match ctx.llap {
         Some(l) if ctx.conf.llap_enabled => {
             let key = hive_llap::cache::ChunkKey {
@@ -420,12 +433,14 @@ fn fetch_chunk(
                 column: col,
                 row_group: rg,
             };
-            let arc = l
-                .cache()
-                .get_or_load(key, || file.read_column_chunk(rg, col))?;
+            let fault = ctx.fs.fault();
+            let fault = fault.is_active().then(|| fault.as_ref());
+            let arc = l.cache().get_or_load_with_fault(key, fault, || {
+                crate::recovery::retry_transient(ctx, &what, || file.read_column_chunk(rg, col))
+            })?;
             Ok((*arc).clone())
         }
-        _ => file.read_column_chunk(rg, col),
+        _ => crate::recovery::retry_transient(ctx, &what, || file.read_column_chunk(rg, col)),
     }
 }
 

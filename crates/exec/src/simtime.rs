@@ -158,6 +158,23 @@ fn own_time(node: &NodeTrace, conf: &HiveConf, model: &SimCostModel) -> f64 {
             }
         }
     }
+
+    // Fault-recovery charges. Each retried fragment re-runs roughly one
+    // task's share of the vertex work; each failover additionally pays a
+    // re-dispatch onto the surviving daemon (or a fresh container).
+    // Backoff waits and injected gray-failure latency add directly —
+    // deterministic for a fixed fault seed.
+    if node.fragment_retries > 0 || node.failovers > 0 {
+        let per_task = t / tasks;
+        t += node.fragment_retries as f64 * per_task;
+        let redispatch = if conf.llap_enabled {
+            model.llap_dispatch_ms
+        } else {
+            model.container_startup_ms
+        };
+        t += node.failovers as f64 * redispatch;
+    }
+    t += node.backoff_wait_ms + node.injected_delay_ms;
     t
 }
 

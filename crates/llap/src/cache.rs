@@ -1,10 +1,11 @@
 //! The LLAP data cache and metadata cache.
 
-use hive_common::{ColumnVector, FileId, Result};
+use hive_common::{ColumnVector, FaultInjector, FileId, Result};
 use hive_corc::CorcFile;
 use hive_dfs::{DfsPath, DistFs};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -16,6 +17,16 @@ pub struct ChunkKey {
     pub file: FileId,
     pub column: usize,
     pub row_group: usize,
+}
+
+impl ChunkKey {
+    /// Stable 64-bit identity, used for fault-injection rolls and for
+    /// partitioning the cache across daemon nodes.
+    pub fn hash64(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[derive(Debug)]
@@ -35,6 +46,9 @@ pub struct CacheStats {
     pub evictions: AtomicU64,
     pub bytes_served_from_cache: AtomicU64,
     pub bytes_loaded: AtomicU64,
+    /// Hits discarded because the chunk was detected as corrupt
+    /// (checksum-mismatch model); each degrades to a DFS load.
+    pub corrupt_misses: AtomicU64,
 }
 
 impl CacheStats {
@@ -123,22 +137,47 @@ impl LlapCache {
         key: ChunkKey,
         load: impl FnOnce() -> Result<ColumnVector>,
     ) -> Result<Arc<ColumnVector>> {
+        self.get_or_load_with_fault(key, None, load)
+    }
+
+    /// [`LlapCache::get_or_load`] with fault injection: a hit may be
+    /// detected as corrupt (per the injector's deterministic roll), in
+    /// which case the entry is dropped and the read degrades to the
+    /// `load` path — the graceful cache→DFS degradation rung of the
+    /// recovery ladder.
+    pub fn get_or_load_with_fault(
+        &self,
+        key: ChunkKey,
+        fault: Option<&FaultInjector>,
+        load: impl FnOnce() -> Result<ColumnVector>,
+    ) -> Result<Arc<ColumnVector>> {
         {
             let mut g = self.inner.lock();
             g.tick += 1;
             let now = g.tick;
             if let Some(e) = g.entries.get_mut(&key) {
-                let decayed = {
-                    let dt = (now - e.last_ref) as f64;
-                    e.crf * 2f64.powf(-self.lambda * dt)
-                };
-                e.crf = 1.0 + decayed;
-                e.last_ref = now;
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                self.stats
-                    .bytes_served_from_cache
-                    .fetch_add(e.bytes as u64, Ordering::Relaxed);
-                return Ok(e.data.clone());
+                let corrupt = fault
+                    .map(|f| f.cache_chunk_corrupt(key.hash64()))
+                    .unwrap_or(false);
+                if corrupt {
+                    self.stats.corrupt_misses.fetch_add(1, Ordering::Relaxed);
+                    if let Some(e) = g.entries.remove(&key) {
+                        g.bytes -= e.bytes;
+                    }
+                    // Fall through to the miss path below.
+                } else {
+                    let decayed = {
+                        let dt = (now - e.last_ref) as f64;
+                        e.crf * 2f64.powf(-self.lambda * dt)
+                    };
+                    e.crf = 1.0 + decayed;
+                    e.last_ref = now;
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .bytes_served_from_cache
+                        .fetch_add(e.bytes as u64, Ordering::Relaxed);
+                    return Ok(e.data.clone());
+                }
             }
         }
         // Miss: load outside the lock.
@@ -155,17 +194,21 @@ impl LlapCache {
         // Evict lowest-CRF entries until the new chunk fits. Chunks
         // larger than the whole cache bypass it.
         if bytes <= self.capacity_bytes {
-            while g.bytes + bytes > self.capacity_bytes && !g.entries.is_empty() {
-                let victim = g
+            while g.bytes + bytes > self.capacity_bytes {
+                // total_cmp instead of partial_cmp().unwrap(): a NaN
+                // CRF (λ/Δt edge cases) must pick *a* victim, not
+                // panic mid-eviction with the cache lock held.
+                let victim = match g
                     .entries
                     .iter()
                     .min_by(|(_, a), (_, b)| {
-                        self.crf_now(a, now)
-                            .partial_cmp(&self.crf_now(b, now))
-                            .unwrap()
+                        self.crf_now(a, now).total_cmp(&self.crf_now(b, now))
                     })
                     .map(|(k, _)| *k)
-                    .expect("nonempty");
+                {
+                    Some(v) => v,
+                    None => break,
+                };
                 if let Some(e) = g.entries.remove(&victim) {
                     g.bytes -= e.bytes;
                     self.stats.evictions.fetch_add(1, Ordering::Relaxed);
@@ -190,6 +233,29 @@ impl LlapCache {
         let mut g = self.inner.lock();
         g.entries.clear();
         g.bytes = 0;
+    }
+
+    /// Drop the share of the cache owned by daemon `node` out of a
+    /// fleet of `nodes` (daemon death: its resident chunks are gone).
+    /// Chunks are partitioned by key hash, the same consistent mapping
+    /// a distributed cache would use.
+    pub fn evict_node_share(&self, node: usize, nodes: usize) {
+        if nodes == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        let victims: Vec<ChunkKey> = g
+            .entries
+            .keys()
+            .filter(|k| k.hash64() as usize % nodes == node)
+            .copied()
+            .collect();
+        for k in victims {
+            if let Some(e) = g.entries.remove(&k) {
+                g.bytes -= e.bytes;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 

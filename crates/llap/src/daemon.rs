@@ -4,10 +4,13 @@
 //! run several query fragments in parallel and a local work queue.
 //! Failure and recovery is simplified because any node can still be used
 //! to process any fragment." Here the fleet tracks executor occupancy
-//! (used by the scheduler and the workload manager) and owns the data
-//! and metadata caches.
+//! (used by the scheduler and the workload manager), owns the data and
+//! metadata caches, and models daemon death/restart: killing a node
+//! removes its executors from the fleet and drops its share of the
+//! cache; any surviving node can pick up its fragments.
 
 use crate::cache::{LlapCache, MetadataCache};
+use hive_common::FaultInjector;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -22,8 +25,14 @@ struct Inner {
     nodes: usize,
     executors_per_node: usize,
     busy: Mutex<usize>,
+    /// Liveness per node; killed daemons contribute no executors and
+    /// lose their cache share until restarted.
+    alive: Mutex<Vec<bool>>,
     cache: LlapCache,
     metadata: MetadataCache,
+    /// Shared fault injector (the same instance the DFS rolls
+    /// against); set by the server at boot.
+    fault: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl LlapDaemons {
@@ -35,20 +44,89 @@ impl LlapDaemons {
                 nodes,
                 executors_per_node,
                 busy: Mutex::new(0),
+                alive: Mutex::new(vec![true; nodes]),
                 cache: LlapCache::new(cache_bytes, lrfu_lambda),
                 metadata: MetadataCache::new(),
+                fault: Mutex::new(None),
             }),
         }
     }
 
-    /// Total executor slots.
-    pub fn total_executors(&self) -> usize {
-        self.inner.nodes * self.inner.executors_per_node
+    /// Share the stack-wide fault injector with this fleet.
+    pub fn attach_fault(&self, fault: Arc<FaultInjector>) {
+        *self.inner.fault.lock() = Some(fault);
     }
 
-    /// Number of daemon nodes.
+    /// The attached fault injector, if any.
+    pub fn fault(&self) -> Option<Arc<FaultInjector>> {
+        self.inner.fault.lock().clone()
+    }
+
+    /// Executor slots on live daemons.
+    pub fn total_executors(&self) -> usize {
+        self.live_node_count() * self.inner.executors_per_node
+    }
+
+    /// Number of daemon nodes in the fleet (live or dead).
     pub fn nodes(&self) -> usize {
         self.inner.nodes
+    }
+
+    /// Executors per daemon.
+    pub fn executors_per_node(&self) -> usize {
+        self.inner.executors_per_node
+    }
+
+    /// Number of currently live daemons.
+    pub fn live_node_count(&self) -> usize {
+        self.inner.alive.lock().iter().filter(|a| **a).count()
+    }
+
+    /// Indices of currently live daemons.
+    pub fn live_nodes(&self) -> Vec<usize> {
+        self.inner
+            .alive
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.then_some(i))
+            .collect()
+    }
+
+    /// Whether the daemon on `node` is alive.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.inner.alive.lock().get(node).copied().unwrap_or(false)
+    }
+
+    /// Kill the daemon on `node`: its executors leave the fleet and
+    /// its share of the cache is dropped (cache contents on a dead
+    /// node are gone; §5.1 — the data itself is safe in the DFS, so
+    /// readers degrade to DFS loads). Returns false if already dead
+    /// or out of range.
+    pub fn kill_daemon(&self, node: usize) -> bool {
+        {
+            let mut alive = self.inner.alive.lock();
+            match alive.get_mut(node) {
+                Some(a) if *a => *a = false,
+                _ => return false,
+            }
+        }
+        self.inner.cache.evict_node_share(node, self.inner.nodes);
+        true
+    }
+
+    /// Restart the daemon on `node`. It rejoins the fleet with a cold
+    /// cache share (the eviction happened at kill time). Returns false
+    /// if it was already alive or out of range.
+    pub fn restart_daemon(&self, node: usize) -> bool {
+        let mut alive = self.inner.alive.lock();
+        match alive.get_mut(node) {
+            Some(a) if !*a => {
+                *a = true;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The shared data cache.
@@ -77,9 +155,41 @@ impl LlapDaemons {
         *busy = busy.saturating_sub(n);
     }
 
+    /// Reserve up to `n` executors behind an RAII guard, so a failing
+    /// (even panicking) fragment cannot leak its slots and wedge the
+    /// workload manager's admission accounting.
+    pub fn lease_executors(&self, n: usize) -> ExecutorLease {
+        let granted = self.reserve_executors(n);
+        ExecutorLease {
+            daemons: self.clone(),
+            granted,
+        }
+    }
+
     /// Executors currently busy.
     pub fn busy_executors(&self) -> usize {
         *self.inner.busy.lock()
+    }
+}
+
+/// RAII reservation of executor slots: dropping the lease releases
+/// them, on success, error, and unwind paths alike.
+#[derive(Debug)]
+pub struct ExecutorLease {
+    daemons: LlapDaemons,
+    granted: usize,
+}
+
+impl ExecutorLease {
+    /// How many executors this lease actually holds.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for ExecutorLease {
+    fn drop(&mut self) {
+        self.daemons.release_executors(self.granted);
     }
 }
 
@@ -98,5 +208,68 @@ mod tests {
         assert_eq!(d.reserve_executors(10), 4);
         d.release_executors(100);
         assert_eq!(d.busy_executors(), 0);
+    }
+
+    #[test]
+    fn lease_releases_on_drop() {
+        let d = LlapDaemons::new(2, 4, 1 << 20, 0.5);
+        {
+            let lease = d.lease_executors(5);
+            assert_eq!(lease.granted(), 5);
+            assert_eq!(d.busy_executors(), 5);
+        }
+        assert_eq!(d.busy_executors(), 0);
+    }
+
+    #[test]
+    fn lease_releases_on_panic() {
+        let d = LlapDaemons::new(2, 4, 1 << 20, 0.5);
+        let d2 = d.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _lease = d2.lease_executors(6);
+            panic!("fragment died");
+        });
+        assert!(result.is_err());
+        assert_eq!(d.busy_executors(), 0, "panicking fragment must not leak slots");
+    }
+
+    #[test]
+    fn kill_and_restart_change_fleet_capacity() {
+        let d = LlapDaemons::new(3, 4, 1 << 20, 0.5);
+        assert_eq!(d.total_executors(), 12);
+        assert!(d.kill_daemon(1));
+        assert!(!d.kill_daemon(1), "already dead");
+        assert!(!d.is_alive(1));
+        assert_eq!(d.total_executors(), 8);
+        assert_eq!(d.live_nodes(), vec![0, 2]);
+        assert!(d.restart_daemon(1));
+        assert!(!d.restart_daemon(1), "already alive");
+        assert_eq!(d.total_executors(), 12);
+        assert!(!d.kill_daemon(99), "out of range");
+    }
+
+    #[test]
+    fn kill_drops_cache_share() {
+        use hive_common::{ColumnVector, FileId};
+        use crate::cache::ChunkKey;
+        let d = LlapDaemons::new(4, 2, 1 << 20, 0.5);
+        for i in 0..64 {
+            d.cache()
+                .get_or_load(
+                    ChunkKey {
+                        file: FileId(i),
+                        column: 0,
+                        row_group: 0,
+                    },
+                    || Ok(ColumnVector::BigInt(vec![1; 16], None)),
+                )
+                .unwrap();
+        }
+        let before = d.cache().len();
+        assert_eq!(before, 64);
+        d.kill_daemon(2);
+        let after = d.cache().len();
+        assert!(after < before, "killed node's share must be evicted");
+        assert!(after > 0, "only one node's share is lost");
     }
 }

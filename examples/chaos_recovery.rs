@@ -1,0 +1,120 @@
+//! Fault injection + fragment recovery, end to end.
+//!
+//! Boots a warehouse, runs an aggregation fault-free, then replays it
+//! under a seeded chaos plan (daemon kills, transient/slow DFS reads,
+//! cache corruption, fragment failures): results stay identical while
+//! the failovers/retries and the simulated-latency penalty surface on
+//! the `QueryResult`. Set `HIVE_FAULT_SEED` to override the built-in
+//! plan with an environment-configured one.
+//!
+//! ```sh
+//! cargo run --example chaos_recovery
+//! HIVE_FAULT_SEED=42 cargo run --example chaos_recovery
+//! ```
+
+use hive_warehouse::{FaultPlan, HiveConf, HiveServer};
+
+fn boot() -> HiveServer {
+    let server = HiveServer::new(HiveConf::v3_1());
+    let session = server.session();
+    session
+        .execute("CREATE TABLE region_dim (r_id INT, r_name STRING)")
+        .unwrap();
+    session
+        .execute(
+            "INSERT INTO region_dim VALUES \
+             (0, 'AFRICA'), (1, 'AMERICA'), (2, 'ASIA'), (3, 'EUROPE'), (4, 'MIDDLE EAST')",
+        )
+        .unwrap();
+    session
+        .execute("CREATE TABLE sales (s_id INT, r_id INT, qty INT, amount DECIMAL(12,2))")
+        .unwrap();
+    for batch in 0..4 {
+        let values: Vec<String> = (0..75)
+            .map(|i| {
+                let id = batch * 75 + i;
+                format!(
+                    "({id}, {}, {}, {}.{:02})",
+                    id % 5,
+                    (id * 7) % 23 + 1,
+                    (id * 13) % 900 + 10,
+                    id % 100,
+                )
+            })
+            .collect();
+        session
+            .execute(&format!("INSERT INTO sales VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    server
+}
+
+const QUERY: &str = "SELECT r_name, COUNT(*), SUM(amount) \
+                     FROM sales JOIN region_dim ON sales.r_id = region_dim.r_id \
+                     WHERE qty > 3 GROUP BY r_name ORDER BY r_name";
+
+fn main() {
+    // Fault-free reference run.
+    let server = boot();
+    let clean = server.session().execute(QUERY).unwrap();
+    println!("fault-free:   sim {:8.2} ms", clean.sim_ms);
+    for row in clean.display_rows() {
+        println!("    {row}");
+    }
+
+    // The same query under chaos (env-overridable seed/rates).
+    let plan = FaultPlan::from_env().unwrap_or_else(|| {
+        FaultPlan::chaos(0xC0FFEE).with(|p| p.daemon_kill_prob = 0.6)
+    });
+    println!(
+        "\nchaos plan: seed={} kill={} dfs_err={} slow={} corrupt={} frag={} recovery={}",
+        plan.seed,
+        plan.daemon_kill_prob,
+        plan.dfs_read_error_prob,
+        plan.dfs_slow_prob,
+        plan.cache_corruption_prob,
+        plan.fragment_failure_prob,
+        plan.recovery_enabled,
+    );
+    let server = boot();
+    server.set_conf(|c| c.fault = plan.clone());
+    match server.session().execute(QUERY) {
+        Ok(r) => {
+            println!(
+                "under chaos:  sim {:8.2} ms   ({} fragment retries, {} failovers, \
+                 {}/{} daemons alive)",
+                r.sim_ms,
+                r.fragment_retries,
+                r.failovers,
+                server.llap().live_node_count(),
+                server.llap().nodes(),
+            );
+            for row in r.display_rows() {
+                println!("    {row}");
+            }
+            assert_eq!(
+                r.display_rows(),
+                clean.display_rows(),
+                "recovery must preserve results"
+            );
+            println!("results identical to the fault-free run ✓");
+        }
+        Err(e) => {
+            assert!(!plan.recovery_enabled, "unexpected failure: {e}");
+            println!("under chaos (recovery disabled): {} — {e}", e.kind());
+        }
+    }
+
+    // Kill every daemon but one; the survivor answers alone (§5.1).
+    let server = boot();
+    for node in 0..server.llap().nodes() - 1 {
+        server.llap().kill_daemon(node);
+    }
+    let r = server.session().execute(QUERY).unwrap();
+    println!(
+        "\n1 of {} daemons alive: sim {:.2} ms, rows match: {}",
+        server.llap().nodes(),
+        r.sim_ms,
+        r.display_rows() == clean.display_rows(),
+    );
+}

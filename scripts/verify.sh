@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite, then the chaos
+# fault-injection job.
+#
+# The chaos job replays seeded fault plans through tests/chaos.rs.
+# Beyond the fixed-seed tests that always run, HIVE_CHAOS_SEEDS sweeps
+# extra seeds through the env-gated replay test, e.g.:
+#
+#   HIVE_CHAOS_SEEDS="1 2 3" scripts/verify.sh
+#
+# A failing seed reproduces directly with:
+#
+#   HIVE_FAULT_SEED=<seed> cargo test --test chaos env_seeded_chaos_replay
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline --workspace
+
+echo "== chaos: fixed-seed fault-injection suite =="
+cargo test -q --offline --test chaos
+
+for seed in ${HIVE_CHAOS_SEEDS:-}; do
+    echo "== chaos: replaying seed $seed =="
+    HIVE_FAULT_SEED="$seed" \
+        cargo test -q --offline --test chaos env_seeded_chaos_replay -- --nocapture
+done
+
+echo "verify: OK"

@@ -19,7 +19,7 @@
 
 pub use hive_common as common;
 pub use hive_common::{
-    DataType, EngineVersion, HiveConf, HiveError, Result, Row, Schema, Value,
+    DataType, EngineVersion, FaultPlan, HiveConf, HiveError, Result, Row, Schema, Value,
 };
 pub use hive_core as core;
 pub use hive_core::{HiveServer, QueryResult, Session};

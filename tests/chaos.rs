@@ -1,0 +1,197 @@
+//! Chaos tests: deterministic fault injection + fragment-level
+//! recovery, end to end through the public API.
+//!
+//! The invariant under test: because recovery re-runs deterministic
+//! work, *any* seeded fault plan with recovery enabled must yield
+//! results byte-identical to the fault-free run — faults may only move
+//! simulated time and the retry/failover counters.
+//!
+//! A failing seed replays outside the test via `HIVE_FAULT_SEED` (see
+//! `FaultPlan::from_env` and scripts/verify.sh).
+
+use hive_warehouse::{FaultPlan, HiveConf, HiveServer};
+use proptest::prelude::*;
+
+/// Stand up a warehouse with a star-schema-lite dataset: a fact table
+/// with enough rows for several row groups plus a small dimension.
+fn load_warehouse() -> HiveServer {
+    let server = HiveServer::new(HiveConf::v3_1());
+    let session = server.session();
+    session
+        .execute("CREATE TABLE region_dim (r_id INT, r_name STRING)")
+        .unwrap();
+    session
+        .execute(
+            "INSERT INTO region_dim VALUES \
+             (0, 'AFRICA'), (1, 'AMERICA'), (2, 'ASIA'), (3, 'EUROPE'), (4, 'MIDDLE EAST')",
+        )
+        .unwrap();
+    session
+        .execute("CREATE TABLE sales (s_id INT, r_id INT, qty INT, amount DECIMAL(12,2))")
+        .unwrap();
+    // Deterministic synthetic rows, inserted in a few batches so the
+    // fact table spans multiple files.
+    for batch in 0..4 {
+        let values: Vec<String> = (0..75)
+            .map(|i| {
+                let id = batch * 75 + i;
+                format!(
+                    "({id}, {}, {}, {}.{:02})",
+                    id % 5,
+                    (id * 7) % 23 + 1,
+                    (id * 13) % 900 + 10,
+                    id % 100,
+                )
+            })
+            .collect();
+        session
+            .execute(&format!("INSERT INTO sales VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    server
+}
+
+const QUERY: &str = "SELECT r_name, COUNT(*), SUM(amount), SUM(qty) \
+                     FROM sales JOIN region_dim ON sales.r_id = region_dim.r_id \
+                     WHERE qty > 3 \
+                     GROUP BY r_name ORDER BY r_name";
+
+/// Run the reference query on a freshly-loaded warehouse under `plan`
+/// (applied after load, so faults hit only the query), returning
+/// `(rows, sim_ms, fragment_retries, failovers, live_nodes)`.
+fn run_under_plan(plan: &FaultPlan) -> hive_warehouse::Result<(Vec<String>, f64, u64, u64, usize)> {
+    let server = load_warehouse();
+    server.set_conf(|c| c.fault = plan.clone());
+    let r = server.session().execute(QUERY)?;
+    Ok((
+        r.display_rows(),
+        r.sim_ms,
+        r.fragment_retries,
+        r.failovers,
+        server.llap().live_node_count(),
+    ))
+}
+
+/// The ISSUE acceptance scenario: a TPC-DS-style aggregation query
+/// loses an LLAP daemon mid-query under a fixed fault seed. The result
+/// must be identical to the fault-free run, the trace must report the
+/// failover, and the simulated-latency penalty must reproduce exactly
+/// from the seed.
+#[test]
+fn daemon_loss_mid_query_recovers_with_identical_results() {
+    let (baseline, base_ms, _, _, base_live) = run_under_plan(&FaultPlan::none()).unwrap();
+    assert!(!baseline.is_empty());
+
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0xC0FFEE;
+        p.daemon_kill_prob = 1.0; // every dispatch roll kills a daemon
+    });
+    let (rows, sim_ms, retries, failovers, live) = run_under_plan(&plan).unwrap();
+
+    assert_eq!(rows, baseline, "recovery must not change results");
+    assert!(failovers >= 1, "expected at least one daemon failover");
+    assert!(retries >= failovers, "failovers re-run fragments");
+    assert!(live < base_live, "the dead daemon stays blacklisted");
+    assert!(
+        sim_ms > base_ms,
+        "recovery must cost simulated time: {sim_ms} vs {base_ms}"
+    );
+
+    // Same seed, fresh warehouse: the penalty replays bit-for-bit.
+    let (rows2, sim_ms2, retries2, failovers2, _) = run_under_plan(&plan).unwrap();
+    assert_eq!(rows2, baseline);
+    assert_eq!(sim_ms2, sim_ms, "fault penalty must be deterministic");
+    assert_eq!((retries2, failovers2), (retries, failovers));
+}
+
+/// With recovery disabled, the same seed surfaces the daemon death as
+/// a `Transient`-classified error instead of failing over.
+#[test]
+fn recovery_disabled_surfaces_transient_error() {
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0xC0FFEE;
+        p.daemon_kill_prob = 1.0;
+        p.recovery_enabled = false;
+    });
+    let err = run_under_plan(&plan).unwrap_err();
+    assert_eq!(err.kind(), "TRANSIENT", "got: {err}");
+    assert!(err.is_transient());
+}
+
+/// §5.1: any node can process any fragment — queries complete on a
+/// single surviving daemon after the rest of the fleet is killed.
+#[test]
+fn queries_survive_on_last_daemon() {
+    let (baseline, ..) = run_under_plan(&FaultPlan::none()).unwrap();
+
+    let server = load_warehouse();
+    let nodes = server.llap().nodes();
+    for node in 0..nodes - 1 {
+        assert!(server.llap().kill_daemon(node));
+    }
+    assert_eq!(server.llap().live_node_count(), 1);
+    assert_eq!(
+        server.llap().total_executors(),
+        server.llap().executors_per_node()
+    );
+
+    let r = server.session().execute(QUERY).unwrap();
+    assert_eq!(r.display_rows(), baseline);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seeded fault plan (recovery enabled) yields byte-identical
+    /// results to the fault-free run.
+    #[test]
+    fn any_fault_plan_preserves_results(
+        seed in any::<u64>(),
+        dfs_read in 0.0f64..0.25,
+        dfs_slow in 0.0f64..0.3,
+        slow_ms in 1.0f64..50.0,
+        daemon_kill in 0.0f64..0.15,
+        corrupt in 0.0f64..0.3,
+        fragment in 0.0f64..0.25,
+    ) {
+        let plan = FaultPlan::none().with(|p| {
+            p.seed = seed;
+            p.dfs_read_error_prob = dfs_read;
+            p.dfs_slow_prob = dfs_slow;
+            p.dfs_slow_ms = slow_ms;
+            p.daemon_kill_prob = daemon_kill;
+            p.cache_corruption_prob = corrupt;
+            p.fragment_failure_prob = fragment;
+        });
+        let (baseline, ..) = run_under_plan(&FaultPlan::none()).unwrap();
+        let (rows, sim_ms, ..) = run_under_plan(&plan).unwrap();
+        prop_assert_eq!(&rows, &baseline);
+        // Replay: the same plan reproduces the same simulated time.
+        let (rows2, sim_ms2, ..) = run_under_plan(&plan).unwrap();
+        prop_assert_eq!(&rows2, &baseline);
+        prop_assert_eq!(sim_ms2, sim_ms);
+    }
+}
+
+/// `HIVE_FAULT_SEED`-driven chaos replay for CI (scripts/verify.sh sets
+/// the variable); a no-op when the variable is unset.
+#[test]
+fn env_seeded_chaos_replay() {
+    let Some(plan) = FaultPlan::from_env() else {
+        return;
+    };
+    let (baseline, ..) = run_under_plan(&FaultPlan::none()).unwrap();
+    match run_under_plan(&plan) {
+        Ok((rows, _, retries, failovers, _)) => {
+            assert_eq!(rows, baseline, "fault recovery changed results");
+            eprintln!(
+                "chaos replay seed={}: ok ({retries} retries, {failovers} failovers)",
+                plan.seed
+            );
+        }
+        Err(e) if !plan.recovery_enabled => {
+            eprintln!("chaos replay seed={} (no recovery): error {e}", plan.seed);
+        }
+        Err(e) => panic!("chaos replay seed={} failed: {e}", plan.seed),
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for `criterion`. Benches compile and run as smoke
+//! tests: each `bench_function` body executes a handful of iterations
+//! and prints the mean wall time — no statistics, no HTML reports.
+
+use std::time::Instant;
+
+/// Iterations per bench; enough to print a number, cheap enough for CI.
+const ITERS: u32 = 3;
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        report(start, ITERS);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let inputs: Vec<I> = (0..ITERS).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        report(start, ITERS);
+    }
+}
+
+fn report(start: Instant, iters: u32) {
+    let per_iter = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("    {per_iter:.3} ms/iter ({iters} iters)");
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench: {name}");
+        let mut b = Bencher { _private: () };
+        f(&mut b);
+        self
+    }
+}
+
+/// Identity that defeats constant-folding well enough for a smoke run.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

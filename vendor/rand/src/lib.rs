@@ -1,0 +1,143 @@
+//! Offline stand-in for `rand` 0.8 covering this workspace's usage:
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over half-open and
+//! inclusive integer ranges, and `Rng::gen_bool`. The generator is
+//! splitmix64 — not the real StdRng (ChaCha12), but every caller here
+//! only needs *seeded determinism*, not a specific stream.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Element types samplable uniformly from a range. A single blanket
+/// `SampleRange` impl per range kind keeps integer-literal inference
+/// working exactly like the real rand crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo < hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let roll = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + roll as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let roll = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + roll as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        Self::sample_half_open(lo, hi, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(-5i64..17);
+            assert_eq!(x, b.gen_range(-5i64..17));
+            assert!((-5..17).contains(&x));
+            let y = a.gen_range(1u8..=20);
+            assert_eq!(y, b.gen_range(1u8..=20));
+            assert!((1..=20).contains(&y));
+            assert_eq!(a.gen_bool(0.3), b.gen_bool(0.3));
+        }
+        assert!(!StdRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(StdRng::seed_from_u64(1).gen_bool(1.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this repo builds in has no network access and no
+//! registry cache, so external crates cannot be fetched. The codebase
+//! only ever *derives* `Serialize`/`Deserialize` (as documentation of
+//! intent and to keep the door open for a real wire format later); it
+//! never serializes anything — there is no serde_json or bincode
+//! anywhere in the workspace. Marker traits with blanket impls plus
+//! no-op derive macros are therefore a faithful substitute: every
+//! `#[derive(Serialize, Deserialize)]` and every `T: Serialize` bound
+//! compiles and means exactly what it meant before.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op derive macros for the offline `serde` stand-in. The sibling
+//! `serde` crate provides blanket impls of its marker traits, so the
+//! derives only need to exist and accept `#[serde(...)]` attributes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
