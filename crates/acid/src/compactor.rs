@@ -85,8 +85,9 @@ impl Compactor {
         let mut obsolete = Vec::new();
 
         if ins.len() >= 2 {
-            let min = ins.iter().map(|d| d.min_wid).min().expect("nonempty");
-            let max = ins.iter().map(|d| d.max_wid).max().expect("nonempty");
+            // invariant: guarded by `ins.len() >= 2`, so min/max exist.
+            let min = ins.iter().map(|d| d.min_wid).min().expect("ins nonempty");
+            let max = ins.iter().map(|d| d.max_wid).max().expect("ins nonempty");
             let merged = self.read_stores_with_ids(&ins, wlist, true)?;
             let w = AcidWriter::new(&self.fs, &self.dir, self.data_schema.clone());
             self.fs.mkdirs(&tmp);
@@ -97,8 +98,9 @@ impl Compactor {
             obsolete.extend(ins.iter().map(|d| d.path.clone()));
         }
         if dels.len() >= 2 {
-            let min = dels.iter().map(|d| d.min_wid).min().expect("nonempty");
-            let max = dels.iter().map(|d| d.max_wid).max().expect("nonempty");
+            // invariant: guarded by `dels.len() >= 2`, so min/max exist.
+            let min = dels.iter().map(|d| d.min_wid).min().expect("dels nonempty");
+            let max = dels.iter().map(|d| d.max_wid).max().expect("dels nonempty");
             let merged = self.read_delete_stores(&dels, wlist)?;
             self.fs.mkdirs(&tmp);
             let dir_name = AcidDir::dir_name(DirKind::DeleteDelta, min, max);

@@ -165,20 +165,25 @@ impl AcidWriter {
 
 /// Extract the [`RecordId`] of row `i` in a batch that carries the
 /// identity columns at the front.
+///
+/// Panics if the first three columns are not non-null `BigInt`.
+/// invariant: identity columns are declared `BigInt` by
+/// `acid_file_schema`/`delete_file_schema` and written by `AcidWriter`
+/// itself, so any other value means the batch handed in is not an ACID
+/// identity batch — a caller bug, not a data condition. Parallel scan
+/// workers catch this panic and surface it as a typed execution error.
 pub fn record_id_at(batch: &VectorBatch, i: usize) -> RecordId {
-    let wid = match batch.column(0).get(i) {
-        hive_common::Value::BigInt(v) => v as u64,
-        v => panic!("bad __writeid value {v:?}"),
-    };
-    let bucket = match batch.column(1).get(i) {
-        hive_common::Value::BigInt(v) => v as u64,
-        v => panic!("bad __bucket value {v:?}"),
-    };
-    let row = match batch.column(2).get(i) {
-        hive_common::Value::BigInt(v) => v as u64,
-        v => panic!("bad __rowid value {v:?}"),
-    };
-    RecordId::new(WriteId(wid), BucketId(bucket), RowId(row))
+    fn id_col(batch: &VectorBatch, col: usize, i: usize, name: &str) -> u64 {
+        match batch.column(col).get(i) {
+            hive_common::Value::BigInt(v) => v as u64,
+            v => panic!("bad {name} value {v:?} (not an ACID identity batch)"),
+        }
+    }
+    RecordId::new(
+        WriteId(id_col(batch, 0, i, "__writeid")),
+        BucketId(id_col(batch, 1, i, "__bucket")),
+        RowId(id_col(batch, 2, i, "__rowid")),
+    )
 }
 
 #[cfg(test)]

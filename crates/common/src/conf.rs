@@ -90,6 +90,12 @@ pub struct HiveConf {
     /// Memory budget per hash join build side, in rows; exceeding it raises
     /// a retryable error that triggers reoptimization.
     pub hash_join_row_budget: usize,
+    /// `hive.exec.parallel.threads`: host threads used for morsel-driven
+    /// operator parallelism (scan, hash-aggregate build, hash-join
+    /// build/probe). `0` means auto (one per available core); `1` forces
+    /// the serial path. Results are byte-identical at every setting; only
+    /// wall-clock time changes. Overridable via `HIVE_PARALLEL_THREADS`.
+    pub parallel_threads: usize,
     /// Fault-injection plan (see [`crate::fault`]); `FaultPlan::none()`
     /// injects nothing.
     pub fault: crate::fault::FaultPlan,
@@ -120,6 +126,7 @@ impl HiveConf {
             lrfu_lambda: 0.5,
             results_cache_entries: 64,
             hash_join_row_budget: 4_000_000,
+            parallel_threads: 0,
             fault: crate::fault::FaultPlan::none(),
         }
     }
@@ -151,6 +158,23 @@ impl HiveConf {
     pub fn total_slots(&self) -> usize {
         self.cluster_nodes * self.slots_per_node
     }
+
+    /// Resolve [`HiveConf::parallel_threads`] to a concrete worker
+    /// count: the `HIVE_PARALLEL_THREADS` environment variable wins,
+    /// then the conf field, then (for `0` = auto) the host's available
+    /// parallelism. Always ≥ 1.
+    pub fn effective_parallel_threads(&self) -> usize {
+        let requested = std::env::var("HIVE_PARALLEL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(self.parallel_threads);
+        if requested > 0 {
+            return requested;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
 }
 
 impl Default for HiveConf {
@@ -179,5 +203,20 @@ mod tests {
         let c = HiveConf::v3_1().with(|c| c.llap_enabled = false);
         assert!(!c.llap_enabled);
         assert!(c.cbo_enabled);
+    }
+
+    #[test]
+    fn parallel_threads_resolution() {
+        // Auto (0) resolves to ≥ 1; an explicit conf setting is honored
+        // unless the env override is present (HIVE_PAR_SWEEP sets it for
+        // the whole test process, so only assert the conf path when the
+        // environment is clean).
+        let auto = HiveConf::v3_1();
+        assert_eq!(auto.parallel_threads, 0);
+        assert!(auto.effective_parallel_threads() >= 1);
+        if std::env::var("HIVE_PARALLEL_THREADS").is_err() {
+            let c = HiveConf::v3_1().with(|c| c.parallel_threads = 4);
+            assert_eq!(c.effective_parallel_threads(), 4);
+        }
     }
 }

@@ -28,11 +28,8 @@ pub fn days_in_month(y: i32, m: u32) -> u32 {
     }
 }
 
-/// Convert (year, month 1-12, day 1-31) to days since the epoch.
-///
-/// Uses the Howard Hinnant `days_from_civil` algorithm, valid over the
-/// full i32 day range.
-pub fn civil_to_days(y: i32, m: u32, d: u32) -> i32 {
+/// Hinnant `days_from_civil` in i64, exact for any i32 year.
+fn civil_to_days_wide(y: i32, m: u32, d: u32) -> i64 {
     let y = if m <= 2 { y - 1 } else { y } as i64;
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = y - era * 400; // [0, 399]
@@ -40,7 +37,25 @@ pub fn civil_to_days(y: i32, m: u32, d: u32) -> i32 {
     let d = d as i64;
     let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
-    (era * 146_097 + doe - 719_468) as i32
+    era * 146_097 + doe - 719_468
+}
+
+/// Convert (year, month 1-12, day 1-31) to days since the epoch, or
+/// `None` when the result does not fit the i32 day range (roughly
+/// beyond ±5,879,610 AD) — the fallible entry point parsers use.
+pub fn civil_to_days_checked(y: i32, m: u32, d: u32) -> Option<i32> {
+    i32::try_from(civil_to_days_wide(y, m, d)).ok()
+}
+
+/// Convert (year, month 1-12, day 1-31) to days since the epoch.
+///
+/// Uses the Howard Hinnant `days_from_civil` algorithm. Results outside
+/// the i32 day range clamp to `i32::MIN`/`i32::MAX` (documented clamp —
+/// never a silent two's-complement wrap); in-crate callers only pass
+/// calendar triples obtained from [`days_to_civil`], which are always
+/// in range. Use [`civil_to_days_checked`] to detect out-of-range input.
+pub fn civil_to_days(y: i32, m: u32, d: u32) -> i32 {
+    civil_to_days_wide(y, m, d).clamp(i32::MIN as i64, i32::MAX as i64) as i32
 }
 
 /// Convert days since the epoch to (year, month, day).
@@ -54,6 +69,8 @@ pub fn days_to_civil(days: i32) -> (i32, u32, u32) {
     let mp = (5 * doy + 2) / 153; // [0, 11]
     let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
     let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    // invariant: |y| <= |days|/365 + 1 < 5.9M for any i32 `days`, so the
+    // year always fits i32 — this cast cannot wrap.
     ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
 }
 
@@ -67,7 +84,7 @@ pub fn parse_date(s: &str) -> Option<i32> {
     if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
         return None;
     }
-    Some(civil_to_days(y, m, d))
+    civil_to_days_checked(y, m, d)
 }
 
 /// Parse `YYYY-MM-DD[ HH:MM:SS[.ffffff]]` into epoch microseconds.
@@ -78,7 +95,10 @@ pub fn parse_timestamp(s: &str) -> Option<i64> {
         None => (s, None),
     };
     let days = parse_date(date_part)? as i64;
-    let mut micros = days * MICROS_PER_DAY;
+    // Checked arithmetic: i32-range dates times MICROS_PER_DAY can
+    // exceed i64 micros (the timestamp range is only ±~292k years), and
+    // overflow here must read as "unparseable", not a wrapped instant.
+    let mut micros = days.checked_mul(MICROS_PER_DAY)?;
     if let Some(t) = time_part {
         let (hms, frac) = match t.split_once('.') {
             Some((a, b)) => (a, Some(b)),
@@ -91,14 +111,14 @@ pub fn parse_timestamp(s: &str) -> Option<i64> {
         if h > 23 || mi > 59 || se > 59 {
             return None;
         }
-        micros += (h * 3600 + mi * 60 + se) * 1_000_000;
+        micros = micros.checked_add((h * 3600 + mi * 60 + se) * 1_000_000)?;
         if let Some(fr) = frac {
             let digits: String = fr.chars().take(6).collect();
             let mut v: i64 = digits.parse().ok()?;
             for _ in digits.len()..6 {
                 v *= 10;
             }
-            micros += v;
+            micros = micros.checked_add(v)?;
         }
     }
     Some(micros)
@@ -114,6 +134,8 @@ pub fn format_date(days: i32) -> String {
 pub fn format_timestamp(micros: i64) -> String {
     let days = micros.div_euclid(MICROS_PER_DAY);
     let rem = micros.rem_euclid(MICROS_PER_DAY);
+    // invariant: |days| <= i64::MAX / MICROS_PER_DAY ≈ 1.07e8, well
+    // inside i32 — the cast cannot wrap.
     let (y, m, d) = days_to_civil(days as i32);
     let secs = rem / 1_000_000;
     let frac = rem % 1_000_000;
@@ -155,6 +177,7 @@ pub fn extract_from_days(field: DateField, days: i32) -> i64 {
 
 /// Extract a calendar field from epoch microseconds.
 pub fn extract_from_micros(field: DateField, micros: i64) -> i64 {
+    // invariant: |days| <= i64::MAX / MICROS_PER_DAY ≈ 1.07e8 < i32::MAX.
     let days = micros.div_euclid(MICROS_PER_DAY) as i32;
     let rem = micros.rem_euclid(MICROS_PER_DAY) / 1_000_000;
     match field {
@@ -246,6 +269,39 @@ mod tests {
         assert_eq!(extract_from_days(DateField::DayOfWeek, d), 7);
         // 1970-01-01 was a Thursday -> 5.
         assert_eq!(extract_from_days(DateField::DayOfWeek, 0), 5);
+    }
+
+    #[test]
+    fn extreme_year_boundaries() {
+        // ±5,874,897 AD (the widest year many engines admit) is well
+        // inside the i32 day range and must round-trip exactly.
+        for (y, m, d) in [(5_874_897, 12, 31), (-5_874_897, 1, 1)] {
+            let days = civil_to_days_checked(y, m, d).expect("in range");
+            assert_eq!(days_to_civil(days), (y, m, d));
+            assert_eq!(civil_to_days(y, m, d), days); // clamped form agrees
+        }
+        // Past the i32 day horizon: checked says None, clamped saturates
+        // instead of wrapping.
+        assert_eq!(civil_to_days_checked(6_000_000, 1, 1), None);
+        assert_eq!(civil_to_days(6_000_000, 1, 1), i32::MAX);
+        assert_eq!(civil_to_days_checked(-6_000_000, 1, 1), None);
+        assert_eq!(civil_to_days(-6_000_000, 1, 1), i32::MIN);
+        assert_eq!(parse_date("6000000-01-01"), None);
+        // Dates that fit in days but not in micros must fail timestamp
+        // parsing rather than wrap.
+        assert_eq!(parse_timestamp("5874897-12-31 23:59:59"), None);
+    }
+
+    #[test]
+    fn year_zero() {
+        // Proleptic Gregorian has a year 0 (divisible by 400 → leap).
+        assert!(is_leap_year(0));
+        let days = civil_to_days(0, 2, 29);
+        assert_eq!(days_to_civil(days), (0, 2, 29));
+        assert_eq!(format_date(civil_to_days(0, 1, 1)), "0000-01-01");
+        assert_eq!(parse_date("0000-03-01"), Some(civil_to_days(0, 3, 1)));
+        // Year 0 sits right before 1 AD.
+        assert_eq!(civil_to_days(1, 1, 1) - civil_to_days(0, 12, 31), 1);
     }
 
     #[test]

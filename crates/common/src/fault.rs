@@ -196,6 +196,13 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Stable key for a `(path, byte-offset)` read site: distinct ranges of
+/// one file draw independent fault streams (see
+/// [`FaultInjector::dfs_read_fails`]).
+fn range_key(path: &str, offset: u64) -> u64 {
+    splitmix64(hash_str(path) ^ offset.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
 /// FNV-1a hash of a string — the stable key derivation used for
 /// per-path and per-fragment fault rolls (exported so the executor can
 /// key fragment rolls off vertex labels the same way).
@@ -307,10 +314,15 @@ impl FaultInjector {
         unit < prob
     }
 
-    /// Should this DFS read fail transiently? `path` keys the roll, so
-    /// different files draw independent streams and a retry of the
-    /// same file draws a fresh value.
-    pub fn dfs_read_fails(&self, path: &str) -> bool {
+    /// Should this DFS read fail transiently? `(path, offset)` keys the
+    /// roll: different files *and different byte ranges of one file*
+    /// draw independent deterministic streams, and a retry of the same
+    /// range draws a fresh value. Keying on the offset (not just the
+    /// path) is what makes fault replay independent of thread
+    /// interleaving when the scanner reads a file's chunks in parallel —
+    /// each chunk owns its attempt counter, so which worker reads it
+    /// first cannot change the outcome.
+    pub fn dfs_read_fails(&self, path: &str, offset: u64) -> bool {
         let plan = self.plan.read().unwrap_or_else(|e| e.into_inner());
         if !plan.is_active() {
             return false;
@@ -324,7 +336,7 @@ impl FaultInjector {
         };
         let fail_count = plan.path_fail_count;
         drop(plan);
-        let key = hash_str(path);
+        let key = range_key(path, offset);
         if targeted {
             let mut attempts = self.attempts.write().unwrap_or_else(|e| e.into_inner());
             let counter = attempts.entry((FaultSite::DfsRead, key)).or_insert(0);
@@ -344,15 +356,16 @@ impl FaultInjector {
     }
 
     /// Should this DFS read be slow? Returns the simulated latency to
-    /// charge, accumulating it for `simtime`.
-    pub fn dfs_read_slow_ms(&self, path: &str) -> Option<f64> {
+    /// charge, accumulating it for `simtime`. Keyed by `(path, offset)`
+    /// for the same interleaving-independence as [`Self::dfs_read_fails`].
+    pub fn dfs_read_slow_ms(&self, path: &str, offset: u64) -> Option<f64> {
         let plan = self.plan.read().unwrap_or_else(|e| e.into_inner());
         if !plan.is_active() || plan.dfs_slow_prob <= 0.0 {
             return None;
         }
         let (prob, ms) = (plan.dfs_slow_prob, plan.dfs_slow_ms);
         drop(plan);
-        if self.roll(FaultSite::DfsSlow, hash_str(path), prob) {
+        if self.roll(FaultSite::DfsSlow, range_key(path, offset), prob) {
             self.dfs_slow_reads.fetch_add(1, Ordering::Relaxed);
             self.slow_penalty_micros
                 .fetch_add((ms * 1000.0) as u64, Ordering::Relaxed);
@@ -445,8 +458,8 @@ mod tests {
     fn inactive_plan_never_fires() {
         let inj = FaultInjector::new();
         for i in 0..100 {
-            assert!(!inj.dfs_read_fails(&format!("/t/f{i}")));
-            assert!(inj.dfs_read_slow_ms("/t/x").is_none());
+            assert!(!inj.dfs_read_fails(&format!("/t/f{i}"), 0));
+            assert!(inj.dfs_read_slow_ms("/t/x", 0).is_none());
             assert!(!inj.daemon_dies(i % 4, i as u64));
             assert!(!inj.cache_chunk_corrupt(i as u64));
             assert!(!inj.fragment_fails(i as u64));
@@ -460,7 +473,7 @@ mod tests {
             let inj = FaultInjector::new();
             inj.set_plan(FaultPlan::chaos(seed));
             (0..200)
-                .map(|i| inj.dfs_read_fails(&format!("/warehouse/t/f{}", i % 7)))
+                .map(|i| inj.dfs_read_fails(&format!("/warehouse/t/f{}", i % 7), (i / 7) as u64))
                 .collect()
         };
         assert_eq!(run(42), run(42));
@@ -476,7 +489,7 @@ mod tests {
         }));
         // With p=0.5 over 64 attempts of the same path, both outcomes
         // must appear — the counter decorrelates successive attempts.
-        let outcomes: Vec<bool> = (0..64).map(|_| inj.dfs_read_fails("/t/same")).collect();
+        let outcomes: Vec<bool> = (0..64).map(|_| inj.dfs_read_fails("/t/same", 0)).collect();
         assert!(outcomes.iter().any(|&b| b));
         assert!(outcomes.iter().any(|&b| !b));
     }
@@ -488,10 +501,15 @@ mod tests {
             p.fail_path_substrings = vec!["part-3".into()];
             p.path_fail_count = 2;
         }));
-        assert!(inj.dfs_read_fails("/w/t/part-3.orc"));
-        assert!(inj.dfs_read_fails("/w/t/part-3.orc"));
-        assert!(!inj.dfs_read_fails("/w/t/part-3.orc"), "healed after 2");
-        assert!(!inj.dfs_read_fails("/w/t/part-1.orc"), "other paths fine");
+        assert!(inj.dfs_read_fails("/w/t/part-3.orc", 0));
+        assert!(inj.dfs_read_fails("/w/t/part-3.orc", 0));
+        assert!(!inj.dfs_read_fails("/w/t/part-3.orc", 0), "healed after 2");
+        assert!(!inj.dfs_read_fails("/w/t/part-1.orc", 0), "other paths fine");
+        // Each byte range heals independently: a fresh offset of the
+        // targeted path starts its own fail-then-heal sequence.
+        assert!(inj.dfs_read_fails("/w/t/part-3.orc", 4096));
+        assert!(inj.dfs_read_fails("/w/t/part-3.orc", 4096));
+        assert!(!inj.dfs_read_fails("/w/t/part-3.orc", 4096), "healed");
     }
 
     #[test]
@@ -514,9 +532,42 @@ mod tests {
             p.dfs_slow_prob = 1.0;
             p.dfs_slow_ms = 25.0;
         }));
-        assert_eq!(inj.dfs_read_slow_ms("/t/a"), Some(25.0));
-        assert_eq!(inj.dfs_read_slow_ms("/t/b"), Some(25.0));
+        assert_eq!(inj.dfs_read_slow_ms("/t/a", 0), Some(25.0));
+        assert_eq!(inj.dfs_read_slow_ms("/t/b", 0), Some(25.0));
         assert_eq!(inj.slow_penalty_ms(), 50.0);
+    }
+
+    #[test]
+    fn range_rolls_are_order_independent() {
+        // The parallel scanner reads a file's chunks from many worker
+        // threads; because each (path, offset) pair owns its attempt
+        // counter, the per-chunk outcomes must not depend on the order
+        // the reads happen to interleave in.
+        let sites: Vec<(String, u64)> = (0..6)
+            .flat_map(|f| (0..8).map(move |rg| (format!("/w/t/f{f}.corc"), rg * 512)))
+            .collect();
+        let run = |order: &[usize]| -> Vec<((String, u64), bool, Option<f64>)> {
+            let inj = FaultInjector::new();
+            inj.set_plan(FaultPlan::chaos(99));
+            let mut out: Vec<_> = order
+                .iter()
+                .map(|&i| {
+                    let (p, off) = &sites[i];
+                    (
+                        (p.clone(), *off),
+                        inj.dfs_read_fails(p, *off),
+                        inj.dfs_read_slow_ms(p, *off),
+                    )
+                })
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        };
+        let forward: Vec<usize> = (0..sites.len()).collect();
+        let mut shuffled = forward.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(7);
+        assert_eq!(run(&forward), run(&shuffled));
     }
 
     #[test]

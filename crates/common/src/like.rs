@@ -1,41 +1,55 @@
 //! SQL `LIKE` pattern matching (`%` = any run, `_` = any single char),
 //! with `\` as the escape character.
+//!
+//! The matcher walks both strings by byte offset (advancing whole UTF-8
+//! chars) — no per-call allocation, which matters because `LIKE` sits
+//! on the row-filter hot path.
 
-/// Match `text` against the SQL LIKE `pattern`.
-pub fn like_match(text: &str, pattern: &str) -> bool {
-    let t: Vec<char> = text.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
-    like_rec(&t, &p)
+/// Decode the char at byte offset `i`.
+fn char_at(s: &str, i: usize) -> char {
+    // invariant: offsets only ever advance by `len_utf8()` of decoded
+    // chars (or past 1-byte ASCII metachars), so `i` is always a char
+    // boundary inside the string.
+    s[i..].chars().next().expect("offset on a char boundary")
 }
 
-fn like_rec(t: &[char], p: &[char]) -> bool {
+/// Match `text` against the SQL LIKE `pattern`.
+///
+/// Escape semantics: `\` makes the next pattern char literal (so `\%`
+/// matches a percent sign, `\\` a backslash). A trailing `\` with
+/// nothing to escape matches a literal backslash, mirroring Hive's
+/// lenient treatment rather than erroring.
+pub fn like_match(text: &str, pattern: &str) -> bool {
     // Iterative two-pointer algorithm with backtracking on the last '%'.
-    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut ti, mut pi) = (0usize, 0usize); // byte offsets
     let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
-    while ti < t.len() {
-        if pi < p.len() {
-            match p[pi] {
+    while ti < text.len() {
+        if pi < pattern.len() {
+            match char_at(pattern, pi) {
                 '%' => {
                     star = Some((pi + 1, ti));
                     pi += 1;
                     continue;
                 }
                 '_' => {
-                    ti += 1;
+                    ti += char_at(text, ti).len_utf8();
                     pi += 1;
                     continue;
                 }
-                '\\' if pi + 1 < p.len() => {
-                    if t[ti] == p[pi + 1] {
-                        ti += 1;
-                        pi += 2;
+                '\\' if pi + 1 < pattern.len() => {
+                    let lit = char_at(pattern, pi + 1);
+                    let tc = char_at(text, ti);
+                    if tc == lit {
+                        ti += tc.len_utf8();
+                        pi += 1 + lit.len_utf8();
                         continue;
                     }
                 }
                 c => {
-                    if t[ti] == c {
-                        ti += 1;
-                        pi += 1;
+                    let tc = char_at(text, ti);
+                    if tc == c {
+                        ti += tc.len_utf8();
+                        pi += c.len_utf8();
                         continue;
                     }
                 }
@@ -44,15 +58,17 @@ fn like_rec(t: &[char], p: &[char]) -> bool {
         // Mismatch: backtrack to last '%' if any, consuming one more char.
         match star {
             Some((sp, st)) => {
+                let adv = char_at(text, st).len_utf8();
                 pi = sp;
-                ti = st + 1;
-                star = Some((sp, st + 1));
+                ti = st + adv;
+                star = Some((sp, st + adv));
             }
             None => return false,
         }
     }
-    // Remaining pattern must be all '%'.
-    p[pi..].iter().all(|&c| c == '%')
+    // Remaining pattern must be all '%' ('%' is ASCII, so a byte scan
+    // is exact; an escaped `\%` in the tail correctly fails it).
+    pattern[pi..].bytes().all(|b| b == b'%')
 }
 
 #[cfg(test)]
@@ -86,5 +102,37 @@ mod tests {
         assert!(!like_match("50x", "50\\%"));
         assert!(like_match("a_b", "a\\_b"));
         assert!(!like_match("axb", "a\\_b"));
+        assert!(like_match("a\\b", "a\\\\b")); // \\ escapes the backslash itself
+        assert!(!like_match("ab", "a\\\\b"));
+    }
+
+    #[test]
+    fn trailing_backslash_is_literal() {
+        assert!(like_match("a\\", "a\\"));
+        assert!(!like_match("ab", "a\\"));
+        assert!(like_match("x\\", "%\\"));
+        assert!(!like_match("x", "%\\"));
+        assert!(!like_match("", "\\"));
+    }
+
+    #[test]
+    fn escaped_metachars_after_backtrack_point() {
+        // The escape pair sits after a '%', so it is re-tried at every
+        // backtrack position.
+        assert!(like_match("ab%", "%\\%"));
+        assert!(!like_match("abx", "%\\%"));
+        assert!(like_match("a_b", "%\\_%"));
+        assert!(!like_match("axb", "%\\_%"));
+        assert!(like_match("100% done", "%\\%%"));
+        assert!(like_match("pct_50%", "%\\_%\\%"));
+    }
+
+    #[test]
+    fn multibyte_chars_count_as_one() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("héllo", "h%o"));
+        assert!(like_match("日本語", "__語"));
+        assert!(!like_match("日本語", "_語"));
+        assert!(like_match("日本語", "%語"));
     }
 }

@@ -27,6 +27,10 @@ pub struct Footer {
 /// `open` reads only the footer; data is fetched with ranged reads per
 /// `(row group, column)` chunk, so the I/O meter reflects projection and
 /// row-group skipping exactly.
+///
+/// The handle is `Sync` + cheaply `Clone` (a DFS handle plus an
+/// `Arc`-shared footer), so the morsel-parallel scanner can hand one
+/// clone to each worker thread and read disjoint chunks concurrently.
 #[derive(Debug, Clone)]
 pub struct CorcFile {
     fs: DistFs,
@@ -35,6 +39,15 @@ pub struct CorcFile {
     file_len: u64,
     footer: std::sync::Arc<Footer>,
 }
+
+const _: () = {
+    // Compile-time guard: parallel scan workers share clones of this
+    // handle across threads.
+    fn _assert<T: Send + Sync + Clone>() {}
+    fn _corc_file() {
+        _assert::<CorcFile>();
+    }
+};
 
 impl CorcFile {
     /// Open a file: fetches and parses the footer only.
@@ -98,11 +111,16 @@ impl CorcFile {
     }
 
     /// Rows in row group `rg`.
+    // invariant: callers enumerate `rg` from `row_group_count()` /
+    // `selected_row_groups()` of this same footer, so the index is in
+    // range by construction.
     pub fn row_group_rows(&self, rg: usize) -> u64 {
         self.footer.row_groups[rg].row_count
     }
 
     /// Per-row-group column statistics.
+    // invariant: `rg` from footer enumeration (see `row_group_rows`);
+    // `col` from this file's schema.
     pub fn column_stats(&self, rg: usize, col: usize) -> &ColumnStatistics {
         &self.footer.row_groups[rg].chunks[col].stats
     }
@@ -134,15 +152,28 @@ impl CorcFile {
             .collect()
     }
 
-    /// Byte range of one `(row group, column)` chunk within the file.
-    pub fn chunk_range(&self, rg: usize, col: usize) -> (u64, u64) {
-        let c = &self.footer.row_groups[rg].chunks[col];
-        (c.offset, c.len)
+    /// Byte range of one `(row group, column)` chunk within the file;
+    /// a typed error (not a panic) for out-of-range coordinates, which
+    /// can reach here via an external cache key rather than footer
+    /// enumeration.
+    pub fn chunk_range(&self, rg: usize, col: usize) -> Result<(u64, u64)> {
+        let c = self
+            .footer
+            .row_groups
+            .get(rg)
+            .and_then(|g| g.chunks.get(col))
+            .ok_or_else(|| {
+                HiveError::Format(format!(
+                    "chunk (rg={rg}, col={col}) out of range for {}",
+                    self.path
+                ))
+            })?;
+        Ok((c.offset, c.len))
     }
 
     /// Fetch and decode one column chunk (a ranged DFS read).
     pub fn read_column_chunk(&self, rg: usize, col: usize) -> Result<ColumnVector> {
-        let (offset, len) = self.chunk_range(rg, col);
+        let (offset, len) = self.chunk_range(rg, col)?;
         let bytes = self.fs.read_range(&self.path, offset, len)?;
         self.decode_column_chunk(bytes, rg, col)
     }
@@ -155,7 +186,14 @@ impl CorcFile {
         rg: usize,
         col: usize,
     ) -> Result<ColumnVector> {
-        let rows = self.footer.row_groups[rg].row_count as usize;
+        let rows = self
+            .footer
+            .row_groups
+            .get(rg)
+            .ok_or_else(|| {
+                HiveError::Format(format!("row group {rg} out of range for {}", self.path))
+            })?
+            .row_count as usize;
         let dt = &self.footer.schema.field(col).data_type;
         decode_column(bytes, dt, rows)
     }

@@ -205,6 +205,9 @@ pub(crate) fn write_data_type(w: &mut ByteWriter, dt: &DataType) {
         DataType::String => w.put_u8(5),
         DataType::Date => w.put_u8(6),
         DataType::Timestamp => w.put_u8(7),
+        // invariant: `CorcWriter::new` validates the schema and rejects
+        // every non-atomic type before any encode runs, so this arm is
+        // unreachable for writers constructed through the public API.
         _ => unreachable!("non-atomic types rejected at writer construction"),
     }
 }
@@ -262,7 +265,10 @@ pub(crate) fn encode_column(col: &ColumnVector, w: &mut ByteWriter) -> Result<()
                 }
                 let indexes: Vec<i64> = v
                     .iter()
-                    .map(|s| dict.binary_search(&s).expect("in dict") as i64)
+                    // invariant: `dict` was built from these exact
+                    // values (sorted + deduped just above), so every
+                    // value is present in the search.
+                    .map(|s| dict.binary_search(&s).expect("value in its own dictionary") as i64)
                     .collect();
                 crate::encoding::rle_encode_i64(&indexes, w);
             } else {

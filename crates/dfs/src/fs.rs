@@ -86,20 +86,23 @@ impl DistFs {
         &self.fault
     }
 
-    /// Roll the injected-fault dice for a read of `path`: a transient
-    /// error (surfaced as [`HiveError::Transient`]) or a slow-I/O
-    /// penalty charged to the injector's simtime accumulator.
-    fn inject_read_faults(&self, path: &DfsPath) -> Result<()> {
+    /// Roll the injected-fault dice for a read of `path` at `offset`:
+    /// a transient error (surfaced as [`HiveError::Transient`]) or a
+    /// slow-I/O penalty charged to the injector's simtime accumulator.
+    /// Keying rolls by byte offset (not just path) keeps fault replay
+    /// deterministic when the scanner reads a file's ranges from
+    /// parallel worker threads.
+    fn inject_read_faults(&self, path: &DfsPath, offset: u64) -> Result<()> {
         if !self.fault.is_active() {
             return Ok(());
         }
-        if self.fault.dfs_read_fails(path.as_str()) {
+        if self.fault.dfs_read_fails(path.as_str(), offset) {
             return Err(HiveError::Transient(format!(
-                "injected transient read error: {path}"
+                "injected transient read error: {path}@{offset}"
             )));
         }
         // Slow reads still succeed; the latency lands in simtime.
-        self.fault.dfs_read_slow_ms(path.as_str());
+        self.fault.dfs_read_slow_ms(path.as_str(), offset);
         Ok(())
     }
 
@@ -147,7 +150,7 @@ impl DistFs {
 
     /// Read a whole file.
     pub fn read(&self, path: &DfsPath) -> Result<(FileMeta, Bytes)> {
-        self.inject_read_faults(path)?;
+        self.inject_read_faults(path, 0)?;
         let g = self.inner.read();
         let (meta, data) = g
             .files
@@ -160,7 +163,7 @@ impl DistFs {
     /// Read a byte range of a file (records only the range against the
     /// I/O meter — the basis of column/row-group-selective read costs).
     pub fn read_range(&self, path: &DfsPath, offset: u64, len: u64) -> Result<Bytes> {
-        self.inject_read_faults(path)?;
+        self.inject_read_faults(path, offset)?;
         let g = self.inner.read();
         let (meta, data) = g
             .files

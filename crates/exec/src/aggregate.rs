@@ -1,9 +1,18 @@
 //! Hash aggregation, including DISTINCT aggregates and GROUPING SETS.
+//!
+//! The build phase is morsel-parallel: rows are partitioned by a stable
+//! group-key hash so each group's rows land in exactly one partition
+//! and fold in ascending row order — the same fold order as the serial
+//! loop, which matters for order-sensitive accumulators (f64 sums,
+//! Welford variance). Partitions merge by each group's first-seen row
+//! index, so the emitted row order is byte-identical for any worker or
+//! partition count (and deterministic, unlike HashMap iteration order).
 
 use crate::kernels::eval_vector;
-use hive_common::{Result, Row, Value, VectorBatch};
+use hive_common::{ColumnVector, Result, Row, Value, VectorBatch};
 use hive_optimizer::{AggExpr, AggFunc, ScalarExpr};
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 /// One in-flight aggregate state.
 #[derive(Debug, Clone)]
@@ -178,16 +187,30 @@ impl Acc {
     }
 }
 
-/// Execute an Aggregate node over a materialized input.
-///
-/// `out_schema` is the logical node's output schema (group keys, aggs,
-/// and the grouping-id column when `grouping_sets` is present).
+/// Execute an Aggregate node over a materialized input (serial path;
+/// identical results to [`execute_aggregate_par`] at any worker count).
 pub fn execute_aggregate(
     input: &VectorBatch,
     group_exprs: &[ScalarExpr],
     grouping_sets: &Option<Vec<Vec<usize>>>,
     aggs: &[AggExpr],
     out_schema: &hive_common::Schema,
+) -> Result<VectorBatch> {
+    execute_aggregate_par(input, group_exprs, grouping_sets, aggs, out_schema, 1)
+}
+
+/// Execute an Aggregate node over a materialized input with a
+/// hash-partitioned parallel build across up to `workers` threads.
+///
+/// `out_schema` is the logical node's output schema (group keys, aggs,
+/// and the grouping-id column when `grouping_sets` is present).
+pub fn execute_aggregate_par(
+    input: &VectorBatch,
+    group_exprs: &[ScalarExpr],
+    grouping_sets: &Option<Vec<Vec<usize>>>,
+    aggs: &[AggExpr],
+    out_schema: &hive_common::Schema,
+    workers: usize,
 ) -> Result<VectorBatch> {
     // Evaluate key and argument columns once.
     let key_cols = group_exprs
@@ -211,28 +234,22 @@ pub fn execute_aggregate(
         let gid: i64 = (0..group_exprs.len())
             .filter(|k| !set.contains(k))
             .fold(0i64, |acc, k| acc | (1 << k));
-        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-        for i in 0..input.num_rows() {
-            let key: Vec<Value> = set.iter().map(|&k| key_cols[k].get(i)).collect();
-            let accs = groups
-                .entry(key)
-                .or_insert_with(|| aggs.iter().map(Acc::new).collect());
-            for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
-                let v = arg.as_ref().map(|c| c.get(i));
-                acc.update(v.as_ref())?;
-            }
-        }
+        let mut groups = build_groups(input.num_rows(), &key_cols, &arg_cols, set, aggs, workers)?;
         // Global aggregation with no keys over empty input yields the
         // neutral row.
         if groups.is_empty() && set.is_empty() {
-            groups.insert(Vec::new(), aggs.iter().map(Acc::new).collect());
+            groups.push((Vec::new(), aggs.iter().map(Acc::new).collect()));
         }
         for (key, accs) in groups {
             let mut row: Vec<Value> = Vec::with_capacity(out_schema.len());
             let mut key_iter = key.into_iter();
             for k in 0..group_exprs.len() {
                 if set.contains(&k) {
-                    row.push(key_iter.next().expect("key value"));
+                    // invariant: the key vec holds exactly one value per
+                    // member of `set`, pushed in `set` order below.
+                    row.push(key_iter.next().ok_or_else(|| {
+                        hive_common::HiveError::Execution("group key arity mismatch".into())
+                    })?);
                 } else {
                     row.push(Value::Null);
                 }
@@ -252,6 +269,91 @@ pub fn execute_aggregate(
         }
     }
     VectorBatch::from_rows(out_schema, &out_rows)
+}
+
+/// Stable hash of row `i`'s group key. `DefaultHasher::new()` uses
+/// fixed keys (unlike `RandomState`), so the partitioning — and with it
+/// the fault-free execution schedule — is deterministic across runs.
+fn row_key_hash(key_cols: &[ColumnVector], set: &[usize], i: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &k in set {
+        key_cols[k].get(i).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Build the aggregation state for one grouping set, returning groups
+/// ordered by their first-seen row index — exactly the order the serial
+/// single-pass build discovers them in, for any `workers` count.
+fn build_groups(
+    num_rows: usize,
+    key_cols: &[ColumnVector],
+    arg_cols: &[Option<ColumnVector>],
+    set: &[usize],
+    aggs: &[AggExpr],
+    workers: usize,
+) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+    // One partition's build: fold every row whose stable key hash maps
+    // to this partition, in ascending row order (`filter` preserves it),
+    // tracking each group's first row for the deterministic merge.
+    let build_partition = |rows: &mut dyn Iterator<Item = usize>,
+                           hashes: Option<(&[u64], usize, usize)>|
+     -> Result<Vec<(usize, Vec<Value>, Vec<Acc>)>> {
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<Value>, Vec<Acc>)> = Vec::new();
+        for i in rows {
+            if let Some((hashes, nparts, p)) = hashes {
+                if hashes[i] as usize % nparts != p {
+                    continue;
+                }
+            }
+            let key: Vec<Value> = set.iter().map(|&k| key_cols[k].get(i)).collect();
+            let gi = match index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    index.insert(key.clone(), g);
+                    groups.push((i, key, aggs.iter().map(Acc::new).collect()));
+                    g
+                }
+            };
+            for (acc, arg) in groups[gi].2.iter_mut().zip(arg_cols) {
+                let v = arg.as_ref().map(|c| c.get(i));
+                acc.update(v.as_ref())?;
+            }
+        }
+        Ok(groups)
+    };
+
+    if workers <= 1 || num_rows < 2 {
+        let groups = build_partition(&mut (0..num_rows), None)?;
+        return Ok(groups.into_iter().map(|(_, k, a)| (k, a)).collect());
+    }
+
+    // Stage 1: stable key hashes, computed over contiguous row chunks in
+    // parallel (a pure per-row function — chunking cannot change it).
+    let chunk = num_rows.div_ceil(workers).max(1);
+    let nchunks = num_rows.div_ceil(chunk);
+    let hashes: Vec<u64> = crate::par::parallel_map(workers, nchunks, |c| {
+        let lo = c * chunk;
+        let hi = ((c + 1) * chunk).min(num_rows);
+        Ok((lo..hi)
+            .map(|i| row_key_hash(key_cols, set, i))
+            .collect::<Vec<u64>>())
+    })?
+    .concat();
+
+    // Stage 2: one build per hash partition. A group's rows all share a
+    // hash, so they live in exactly one partition and fold in row order.
+    let nparts = workers;
+    let parts = crate::par::parallel_map(workers, nparts, |p| {
+        build_partition(&mut (0..num_rows), Some((&hashes, nparts, p)))
+    })?;
+
+    // Stage 3: deterministic merge — global first-seen-row order.
+    let mut all: Vec<(usize, Vec<Value>, Vec<Acc>)> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|(first_row, _, _)| *first_row);
+    Ok(all.into_iter().map(|(_, k, a)| (k, a)).collect())
 }
 
 #[cfg(test)]
@@ -413,5 +515,46 @@ mod tests {
         let rows = sorted_rows(&out);
         assert!(rows.contains(&"NULL\t5\t1".to_string()), "{rows:?}"); // total: gid 1
         assert!(rows.contains(&"a\t3\t0".to_string()), "{rows:?}");
+    }
+
+    #[test]
+    fn parallel_aggregate_is_byte_identical() {
+        // Floating-point aggregates (avg, stddev) are fold-order
+        // sensitive, so byte-identical output across worker counts is a
+        // strong check that the partitioned build preserves row order.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Double),
+        ]);
+        let rows: Vec<Row> = (0..12_000)
+            .map(|i| {
+                let k = if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((i * 37 % 97) as i32)
+                };
+                Row::new(vec![k, Value::Double(i as f64 * 0.25 - 100.0)])
+            })
+            .collect();
+        let b = VectorBatch::from_rows(&schema, &rows).unwrap();
+        let groups = vec![ScalarExpr::Column(0)];
+        let aggs = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::StddevSamp]
+            .into_iter()
+            .map(|func| AggExpr {
+                func,
+                arg: Some(ScalarExpr::Column(1)),
+                distinct: false,
+            })
+            .collect::<Vec<_>>();
+        let out_schema = agg_schema(&b, &groups, &None, &aggs);
+        let base = execute_aggregate_par(&b, &groups, &None, &aggs, &out_schema, 1).unwrap();
+        let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
+        assert_eq!(base.num_rows(), 98); // 97 int keys + NULL group
+        for workers in [2, 8] {
+            let out =
+                execute_aggregate_par(&b, &groups, &None, &aggs, &out_schema, workers).unwrap();
+            let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
+            assert_eq!(got, base_rows, "{workers} workers diverged");
+        }
     }
 }

@@ -2,8 +2,8 @@
 //! optimized logical plan, with per-node tracing feeding the simulated
 //! cluster time model.
 
-use crate::aggregate::execute_aggregate;
-use crate::join::execute_join;
+use crate::aggregate::execute_aggregate_par;
+use crate::join::execute_join_par;
 use crate::kernels::{eval_rowmode, eval_vector, filter_indices, filter_indices_rowmode};
 use crate::scan::execute_scan;
 use crate::window::execute_window;
@@ -16,6 +16,7 @@ use hive_optimizer::ScalarExpr;
 use hive_sql::SetOperator;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-table snapshot provider (the driver owns transaction state).
 pub trait SnapshotProvider: Sync {
@@ -67,8 +68,13 @@ pub struct ExecContext<'a> {
     shared_counts: HashMap<u64, usize>,
     /// Per-query fault-recovery charges (transient-read retries happen
     /// deep in the scan path where no trace node is at hand; scans
-    /// snapshot this before/after their reads).
-    charges: Mutex<FaultCharges>,
+    /// snapshot this before/after their reads). Atomic so parallel
+    /// morsel workers can charge retries without serializing on a lock;
+    /// the backoff total is fixed-point microseconds because integer
+    /// addition is associative — the sum is identical under any thread
+    /// interleaving, which keeps `HIVE_FAULT_SEED` replay exact.
+    charges_retries: AtomicU64,
+    charges_backoff_micros: AtomicU64,
 }
 
 /// Accumulated fault-recovery work for one query: how many transient
@@ -99,14 +105,44 @@ impl ExecContext<'_> {
 
     /// Record one transient-read retry and its backoff wait.
     pub(crate) fn charge_retry(&self, backoff_ms: f64) {
-        let mut c = self.charges.lock();
-        c.transient_retries += 1;
-        c.backoff_wait_ms += backoff_ms;
+        self.charges_retries.fetch_add(1, Ordering::Relaxed);
+        self.charges_backoff_micros
+            .fetch_add((backoff_ms * 1000.0) as u64, Ordering::Relaxed);
     }
 
     /// Snapshot of the per-query recovery charges so far.
     pub fn fault_charges(&self) -> FaultCharges {
-        *self.charges.lock()
+        FaultCharges {
+            transient_retries: self.charges_retries.load(Ordering::Relaxed),
+            backoff_wait_ms: self.charges_backoff_micros.load(Ordering::Relaxed) as f64 / 1000.0,
+        }
+    }
+
+    /// Size a morsel worker pool for `items` units of work and (when
+    /// LLAP is up) lease matching executor slots so host-thread
+    /// parallelism is gated by the live fleet's admission accounting:
+    /// a shrunken fleet grants fewer slots, so fewer workers run.
+    /// Always returns at least one worker — the query must make
+    /// progress even when every slot is busy (fragments queue). The
+    /// returned lease (if any) must be held for the parallel section.
+    pub(crate) fn lease_workers(
+        &self,
+        items: usize,
+    ) -> (usize, Option<hive_llap::ExecutorLease>) {
+        let want = self
+            .conf
+            .effective_parallel_threads()
+            .min(items.max(1));
+        if want <= 1 {
+            return (1, None);
+        }
+        match self.llap {
+            Some(llap) => {
+                let lease = llap.lease_executors(want);
+                (lease.granted().max(1), Some(lease))
+            }
+            None => (want, None),
+        }
     }
 }
 
@@ -129,7 +165,8 @@ impl<'a> ExecContext<'a> {
             external,
             shared: Mutex::new(HashMap::new()),
             shared_counts: HashMap::new(),
-            charges: Mutex::new(FaultCharges::default()),
+            charges_retries: AtomicU64::new(0),
+            charges_backoff_micros: AtomicU64::new(0),
         }
     }
 
@@ -224,6 +261,9 @@ pub struct NodeTrace {
     pub backoff_wait_ms: f64,
     /// Injected gray-failure (slow I/O) latency attributed here (ms).
     pub injected_delay_ms: f64,
+    /// Host worker threads this operator fanned morsels across (0 for
+    /// operators with no parallel section, 1 for the serial fallback).
+    pub parallel_workers: u64,
     pub children: Vec<NodeTrace>,
 }
 
@@ -338,7 +378,9 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
         } => {
             let (lb, lt) = execute(left, ctx)?;
             let (rb, rt) = execute(right, ctx)?;
-            let out = execute_join(
+            let morsels = crate::par::row_morsels(lb.num_rows().max(rb.num_rows()));
+            let (workers, _lease) = ctx.lease_workers(morsels);
+            let out = execute_join_par(
                 &lb,
                 &rb,
                 *join_type,
@@ -346,8 +388,10 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
                 residual,
                 &schema,
                 ctx.conf.hash_join_row_budget,
+                workers,
             )?;
             let mut t = NodeTrace::leaf(&format!("Join({join_type:?})"));
+            t.parallel_workers = workers as u64;
             t.rows_in = (lb.num_rows() + rb.num_rows()) as u64;
             t.rows_out = out.num_rows() as u64;
             t.is_boundary = true;
@@ -362,8 +406,17 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
             aggs,
         } => {
             let (child, ct) = execute(input, ctx)?;
-            let out = execute_aggregate(&child, group_exprs, grouping_sets, aggs, &schema)?;
+            let (workers, _lease) = ctx.lease_workers(crate::par::row_morsels(child.num_rows()));
+            let out = execute_aggregate_par(
+                &child,
+                group_exprs,
+                grouping_sets,
+                aggs,
+                &schema,
+                workers,
+            )?;
             let mut t = NodeTrace::leaf("Aggregate");
+            t.parallel_workers = workers as u64;
             t.rows_in = child.num_rows() as u64;
             t.rows_out = out.num_rows() as u64;
             t.is_boundary = !group_exprs.is_empty() || grouping_sets.is_some();
@@ -519,7 +572,14 @@ fn execute_setop(
                 let left_seen = *already + 1;
                 left_seen > in_right
             }
-            (SetOperator::Union, _) => unreachable!("unions use Union nodes"),
+            (SetOperator::Union, _) => {
+                // The planner lowers UNION to LogicalPlan::Union nodes;
+                // reaching here means a plan-construction bug, which
+                // should fail the query, not the process.
+                return Err(HiveError::Plan(
+                    "UNION reached SetOp execution (unions lower to Union nodes)".into(),
+                ));
+            }
         };
         if emit {
             out_rows.push(row.clone());
@@ -556,5 +616,11 @@ const _: () = {
     // Compile-time guard: HiveError::Retryable drives reoptimization.
     fn _assert(e: &HiveError) -> bool {
         e.is_retryable()
+    }
+    // Compile-time guard: morsel workers share the context by reference,
+    // so it must stay Sync (atomic charges, lock-protected caches).
+    fn _assert_sync<T: Sync>() {}
+    fn _ctx_is_sync() {
+        _assert_sync::<ExecContext<'_>>();
     }
 };

@@ -1,22 +1,26 @@
 //! Hash joins: inner/left/right/full/semi/anti (+cross), with residual
 //! predicates, NULL-safe key semantics, and the memory-budget check that
 //! feeds query re-optimization (§4.2).
+//!
+//! Both join phases are morsel-parallel with byte-identical output at
+//! any worker count: the build side is hash-partitioned (each partition
+//! inserts its rows in ascending order, so per-bucket candidate lists
+//! match the serial build exactly), and the probe side splits into
+//! contiguous row ranges whose outputs concatenate in range order —
+//! the serial probe order.
 
 use crate::kernels::eval_vector;
 use hive_common::{
-    ColumnBuilder, HiveError, Result, Schema, Value, VectorBatch,
+    ColumnBuilder, ColumnVector, HiveError, Result, Schema, Value, VectorBatch,
 };
 use hive_optimizer::eval::eval_scalar;
 use hive_optimizer::plan::JoinType;
 use hive_optimizer::ScalarExpr;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
-/// Execute a join. `equi` pairs are (left expr, right expr); `residual`
-/// is evaluated over the concatenated (left ++ right) row.
-///
-/// The build side is the right input; exceeding `build_row_budget`
-/// raises a retryable error so the driver can re-optimize with runtime
-/// statistics.
+/// Execute a join (serial path; identical results to
+/// [`execute_join_par`] at any worker count).
 pub fn execute_join(
     left: &VectorBatch,
     right: &VectorBatch,
@@ -25,6 +29,54 @@ pub fn execute_join(
     residual: &Option<ScalarExpr>,
     out_schema: &Schema,
     build_row_budget: usize,
+) -> Result<VectorBatch> {
+    execute_join_par(
+        left,
+        right,
+        join_type,
+        equi,
+        residual,
+        out_schema,
+        build_row_budget,
+        1,
+    )
+}
+
+/// Stable hash of row `i`'s join key over `keys`; `None` when any key
+/// value is NULL (NULL keys never match, and never enter the build).
+/// With no key columns (cross-style joins) every row shares the hash of
+/// the empty key. `DefaultHasher::new()` is deterministic, so the
+/// partition assignment replays identically across runs.
+fn row_key_hash(keys: &[ColumnVector], i: usize) -> Option<u64> {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for kc in keys {
+        let v = kc.get(i);
+        if v.is_null() {
+            return None;
+        }
+        v.hash(&mut h);
+    }
+    Some(h.finish())
+}
+
+/// Execute a join with hash-partitioned parallel build and ranged
+/// parallel probe across up to `workers` threads. `equi` pairs are
+/// (left expr, right expr); `residual` is evaluated over the
+/// concatenated (left ++ right) row.
+///
+/// The build side is the right input; exceeding `build_row_budget`
+/// raises a retryable error so the driver can re-optimize with runtime
+/// statistics.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_join_par(
+    left: &VectorBatch,
+    right: &VectorBatch,
+    join_type: JoinType,
+    equi: &[(ScalarExpr, ScalarExpr)],
+    residual: &Option<ScalarExpr>,
+    out_schema: &Schema,
+    build_row_budget: usize,
+    workers: usize,
 ) -> Result<VectorBatch> {
     if right.num_rows() > build_row_budget {
         return Err(HiveError::Retryable(format!(
@@ -44,24 +96,46 @@ pub fn execute_join(
         .map(|(_, r)| eval_vector(r, right))
         .collect::<Result<Vec<_>>>()?;
 
-    // Build hash table over the right side. NULL keys never match.
-    let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
-    if equi.is_empty() {
-        // Cross-style: single bucket with every row.
-        table.insert(Vec::new(), (0..right.num_rows() as u32).collect());
+    // --- build ------------------------------------------------------------
+    // Hash-partitioned build over the right side: a key's rows all land
+    // in one partition (keyed by the stable hash), and each partition
+    // inserts its rows in ascending order, so every bucket's candidate
+    // list is exactly what the serial single-map build produces.
+    let nparts = if workers <= 1 { 1 } else { workers };
+    let rhashes: Vec<Option<u64>> = if nparts == 1 {
+        Vec::new()
     } else {
-        'rows: for i in 0..right.num_rows() {
-            let mut key = Vec::with_capacity(equi.len());
-            for kc in &rkeys {
-                let v = kc.get(i);
-                if v.is_null() {
-                    continue 'rows;
+        let n = right.num_rows();
+        let chunk = n.div_ceil(nparts).max(1);
+        crate::par::parallel_map(workers, n.div_ceil(chunk), |c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            Ok((lo..hi).map(|i| row_key_hash(&rkeys, i)).collect::<Vec<_>>())
+        })?
+        .concat()
+    };
+    let tables: Vec<HashMap<Vec<Value>, Vec<u32>>> =
+        crate::par::parallel_map(workers, nparts, |p| {
+            let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+            'rows: for i in 0..right.num_rows() {
+                if nparts > 1 {
+                    match rhashes[i] {
+                        Some(h) if h as usize % nparts == p => {}
+                        _ => continue 'rows,
+                    }
                 }
-                key.push(v);
+                let mut key = Vec::with_capacity(equi.len());
+                for kc in &rkeys {
+                    let v = kc.get(i);
+                    if v.is_null() {
+                        continue 'rows;
+                    }
+                    key.push(v);
+                }
+                table.entry(key).or_default().push(i as u32);
             }
-            table.entry(key).or_default().push(i as u32);
-        }
-    }
+            Ok(table)
+        })?;
 
     let residual_ok = |li: u32, ri: u32| -> Result<bool> {
         match residual {
@@ -74,80 +148,104 @@ pub fn execute_join(
         }
     };
 
+    // --- probe ------------------------------------------------------------
+    // Contiguous left-row ranges probed in parallel; range outputs
+    // concatenate in range order, reproducing the serial probe order.
+    let probe_range = |lo: u32, hi: u32| -> Result<ProbeOut> {
+        let mut out = ProbeOut::default();
+        for li in lo..hi {
+            // Probe key (NULLs never match).
+            let (probe, part): (Option<Vec<Value>>, usize) = match row_key_hash(&lkeys, li as usize)
+            {
+                None => (None, 0),
+                Some(h) => {
+                    let mut key = Vec::with_capacity(equi.len());
+                    for kc in &lkeys {
+                        key.push(kc.get(li as usize));
+                    }
+                    (Some(key), h as usize % nparts)
+                }
+            };
+            let matches: Vec<u32> = match probe.and_then(|k| tables[part].get(&k).cloned()) {
+                Some(cands) => {
+                    let mut kept = Vec::with_capacity(cands.len());
+                    for ri in cands {
+                        if residual_ok(li, ri)? {
+                            kept.push(ri);
+                        }
+                    }
+                    kept
+                }
+                None => Vec::new(),
+            };
+            match join_type {
+                JoinType::Inner | JoinType::Cross => {
+                    for ri in matches {
+                        out.left.push(li);
+                        out.right.push(Some(ri));
+                    }
+                }
+                JoinType::Left => {
+                    if matches.is_empty() {
+                        out.left.push(li);
+                        out.right.push(None);
+                    } else {
+                        for ri in matches {
+                            out.left.push(li);
+                            out.right.push(Some(ri));
+                        }
+                    }
+                }
+                JoinType::Right | JoinType::Full => {
+                    for &ri in &matches {
+                        out.matched_right.push(ri);
+                        out.left.push(li);
+                        out.right.push(Some(ri));
+                    }
+                    if join_type == JoinType::Full && matches.is_empty() {
+                        out.left.push(li);
+                        out.right.push(None);
+                    }
+                }
+                JoinType::Semi => {
+                    if !matches.is_empty() {
+                        out.left.push(li);
+                        out.right.push(None);
+                    }
+                }
+                JoinType::Anti => {
+                    if matches.is_empty() {
+                        out.left.push(li);
+                        out.right.push(None);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    let n = left.num_rows() as u32;
+    let ranges: Vec<ProbeOut> = if workers <= 1 {
+        vec![probe_range(0, n)?]
+    } else {
+        let chunk = (n.div_ceil(workers as u32)).max(crate::par::ROWS_PER_MORSEL as u32 / 4);
+        let nranges = n.div_ceil(chunk) as usize;
+        crate::par::parallel_map(workers, nranges, |r| {
+            let lo = r as u32 * chunk;
+            probe_range(lo, (lo + chunk).min(n))
+        })?
+    };
+
+    // Deterministic merge: concatenate range outputs in range order and
+    // OR the matched-right sets (order-insensitive booleans).
     let mut out_left: Vec<u32> = Vec::new();
     let mut out_right: Vec<Option<u32>> = Vec::new();
     let mut right_matched = vec![false; right.num_rows()];
-
-    for li in 0..left.num_rows() as u32 {
-        // Probe key (NULLs never match).
-        let probe: Option<Vec<Value>> = if equi.is_empty() {
-            Some(Vec::new())
-        } else {
-            let mut key = Vec::with_capacity(equi.len());
-            let mut ok = true;
-            for kc in &lkeys {
-                let v = kc.get(li as usize);
-                if v.is_null() {
-                    ok = false;
-                    break;
-                }
-                key.push(v);
-            }
-            ok.then_some(key)
-        };
-        let matches: Vec<u32> = match probe.and_then(|k| table.get(&k).cloned()) {
-            Some(cands) => {
-                let mut kept = Vec::with_capacity(cands.len());
-                for ri in cands {
-                    if residual_ok(li, ri)? {
-                        kept.push(ri);
-                    }
-                }
-                kept
-            }
-            None => Vec::new(),
-        };
-        match join_type {
-            JoinType::Inner | JoinType::Cross => {
-                for ri in matches {
-                    out_left.push(li);
-                    out_right.push(Some(ri));
-                }
-            }
-            JoinType::Left => {
-                if matches.is_empty() {
-                    out_left.push(li);
-                    out_right.push(None);
-                } else {
-                    for ri in matches {
-                        out_left.push(li);
-                        out_right.push(Some(ri));
-                    }
-                }
-            }
-            JoinType::Right | JoinType::Full => {
-                for &ri in &matches {
-                    right_matched[ri as usize] = true;
-                    out_left.push(li);
-                    out_right.push(Some(ri));
-                }
-                if join_type == JoinType::Full && matches.is_empty() {
-                    out_left.push(li);
-                    out_right.push(None);
-                }
-            }
-            JoinType::Semi => {
-                if !matches.is_empty() {
-                    out_left.push(li);
-                    out_right.push(None);
-                }
-            }
-            JoinType::Anti => {
-                if matches.is_empty() {
-                    out_left.push(li);
-                    out_right.push(None);
-                }
-            }
+    for r in ranges {
+        out_left.extend(r.left);
+        out_right.extend(r.right);
+        for ri in r.matched_right {
+            right_matched[ri as usize] = true;
         }
     }
 
@@ -170,6 +268,14 @@ pub fn execute_join(
         &extra_right,
         out_schema,
     )
+}
+
+/// One probe range's output rows and the build rows it matched.
+#[derive(Default)]
+struct ProbeOut {
+    left: Vec<u32>,
+    right: Vec<Option<u32>>,
+    matched_right: Vec<u32>,
 }
 
 fn assemble(
@@ -397,5 +503,55 @@ mod tests {
         assert_eq!(max, Value::Int(9));
         assert!(bloom.might_contain(&Value::Int(5)));
         assert!(!bloom.might_contain(&Value::Int(6)));
+    }
+
+    fn big_batch(name: &str, n: usize, key_mod: i32) -> VectorBatch {
+        let schema = Schema::new(vec![
+            Field::new(format!("{name}_k"), DataType::Int),
+            Field::new(format!("{name}_v"), DataType::String),
+        ]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                let k = if i % 17 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((i as i32).wrapping_mul(31).wrapping_add(7) % key_mod)
+                };
+                Row::new(vec![k, Value::String(format!("v{i}"))])
+            })
+            .collect();
+        VectorBatch::from_rows(&schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn parallel_join_is_byte_identical_for_every_join_type() {
+        let l = big_batch("l", 9_000, 500);
+        let r = big_batch("r", 3_000, 500);
+        let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Right,
+            JoinType::Full,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let out_schema = if jt.keeps_right() {
+                l.schema().join(r.schema())
+            } else {
+                l.schema().clone()
+            };
+            let base =
+                execute_join_par(&l, &r, jt, &equi, &None, &out_schema, 1_000_000, 1).unwrap();
+            let base_rows: Vec<String> =
+                base.to_rows().iter().map(|row| row.to_string()).collect();
+            assert!(base.num_rows() > 0, "{jt:?} produced no rows");
+            for workers in [2, 8] {
+                let out = execute_join_par(&l, &r, jt, &equi, &None, &out_schema, 1_000_000, workers)
+                    .unwrap();
+                let rows: Vec<String> = out.to_rows().iter().map(|row| row.to_string()).collect();
+                assert_eq!(rows, base_rows, "{jt:?} with {workers} workers diverged");
+            }
+        }
     }
 }

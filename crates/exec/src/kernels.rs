@@ -154,7 +154,11 @@ fn bool_combine(op: BinaryOp, l: &ColumnVector, r: &ColumnVector) -> Result<Colu
                 (false, false, false, false) => (false, false),
                 _ => (false, true),
             },
-            _ => unreachable!(),
+            other => {
+                return Err(HiveError::Execution(format!(
+                    "boolean kernel dispatched for non-logical operator {other:?}"
+                )))
+            }
         };
         if is_null {
             nulls

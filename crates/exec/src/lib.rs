@@ -17,6 +17,7 @@ pub mod aggregate;
 pub mod engine;
 pub mod join;
 pub mod kernels;
+pub(crate) mod par;
 pub mod recovery;
 pub mod scan;
 pub mod simtime;

@@ -1,0 +1,148 @@
+//! Morsel-style parallel execution primitives.
+//!
+//! The paper's LLAP layer (§5) runs query fragments concurrently on a
+//! fleet of persistent executors; this module is the host-side analogue:
+//! a work-stealing `parallel_map` over scoped threads (`std::thread::scope`
+//! — no external runtime) that operators use to fan morsels out across
+//! workers. Three properties matter more than raw speed:
+//!
+//! * **Determinism** — results are collected by item index and errors
+//!   are surfaced in item order, so the outcome (including *which*
+//!   error wins) is byte-identical to the serial loop for any worker
+//!   count or interleaving. Workers never exit early on error: every
+//!   item is processed exactly once per call, which keeps the
+//!   fault-injection attempt counters on a fixed schedule (see
+//!   `FaultInjector`) and lets `HIVE_FAULT_SEED` replays reproduce
+//!   simulated time bit-for-bit.
+//! * **Panic safety** — a panicking worker is caught and surfaced as a
+//!   typed [`HiveError::Execution`], not a hung query or a poisoned
+//!   lock.
+//! * **Lease gating** — callers size the worker pool with
+//!   [`crate::engine::ExecContext::lease_workers`], which draws on live
+//!   LLAP executor leases so host threads and the simulated fleet's
+//!   admission accounting stay in agreement.
+
+use hive_common::{HiveError, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per morsel for operators that parallelize over row ranges
+/// (aggregate build, join build/probe). Inputs smaller than one morsel
+/// run serially — thread spawn would cost more than it saves.
+pub(crate) const ROWS_PER_MORSEL: usize = 4096;
+
+/// How many row-range morsels an input of `rows` splits into (the work
+/// item count handed to `ExecContext::lease_workers`).
+pub(crate) fn row_morsels(rows: usize) -> usize {
+    rows.div_ceil(ROWS_PER_MORSEL)
+}
+
+/// Run `f(0..items)` across up to `workers` scoped threads and return
+/// the results in item order. Items are claimed from a shared atomic
+/// counter (morsel dispatch), so workers self-balance regardless of
+/// per-item cost skew.
+///
+/// With `workers <= 1` (or fewer than two items) this degenerates to
+/// the plain serial loop — the `threads=1` fallback path — except that
+/// the serial loop *does* stop at the first error (nothing after it
+/// has run yet, so determinism is trivially preserved).
+pub(crate) fn parallel_map<T, F>(workers: usize, items: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if workers <= 1 || items <= 1 {
+        return (0..items).map(&f).collect();
+    }
+    let workers = workers.min(items);
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..items).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items {
+                    return;
+                }
+                // Catch panics per item: a poisoned worker must surface
+                // as an error on its item, not tear down the query or
+                // leave siblings unprocessed (the remaining items still
+                // run, keeping the fault-roll schedule deterministic).
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "worker thread panicked".to_string());
+                        Err(HiveError::Execution(format!("parallel worker panicked: {msg}")))
+                    });
+                *slots[i].lock() = Some(r);
+            });
+        }
+    });
+    // Collect in item order; the lowest-index error wins, exactly as it
+    // would in the serial loop.
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().unwrap_or_else(|| {
+                // invariant: the dispatch counter hands out every index
+                // below `items` exactly once and scope joins all
+                // workers, so every slot is filled; surface a typed
+                // error anyway rather than trusting that across edits.
+                Err(HiveError::Execution("parallel worker lost its result".into()))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_for_any_worker_count() {
+        let f = |i: usize| -> Result<usize> { Ok(i * i) };
+        let serial = parallel_map(1, 37, f).unwrap();
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(parallel_map(workers, 37, f).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let f = |i: usize| -> Result<usize> {
+            if i % 3 == 2 {
+                Err(HiveError::Execution(format!("boom {i}")))
+            } else {
+                Ok(i)
+            }
+        };
+        for workers in [1, 2, 8] {
+            let err = parallel_map(workers, 20, f).unwrap_err();
+            assert_eq!(err.to_string(), HiveError::Execution("boom 2".into()).to_string());
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        let f = |i: usize| -> Result<usize> {
+            if i == 5 {
+                panic!("deliberate test panic");
+            }
+            Ok(i)
+        };
+        let err = parallel_map(4, 10, f).unwrap_err();
+        match err {
+            HiveError::Execution(msg) => assert!(msg.contains("deliberate test panic"), "{msg}"),
+            other => panic!("expected Execution error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        assert!(parallel_map(8, 0, |i| Ok(i)).unwrap().is_empty());
+        assert_eq!(parallel_map(8, 1, |i| Ok(i)).unwrap(), vec![0]);
+    }
+}

@@ -220,13 +220,24 @@ pub fn execute_scan(
         .map(|(out_i, &sc)| (out_i, sc - data_cols))
         .collect();
 
-    for (dir, part_values) in &dirs {
+    // --- morsel enumeration (serial) ---------------------------------------
+    // Directory listing, ACID snapshot resolution, delete-delta loads,
+    // and footer opens stay on this thread in deterministic order; the
+    // work list is one morsel per selected row group (the stripe-sized
+    // unit morsel-driven schedulers dispatch). `CorcFile` carries only
+    // the DFS handle and an `Arc<Footer>`, so cloning it into each
+    // morsel is cheap and shares the decoded footer.
+    let mut acid_states: Vec<(hive_metastore::ValidWriteIdList, DeleteSet)> = Vec::new();
+    let mut morsels: Vec<Morsel> = Vec::new();
+    for (dir_idx, (dir, _)) in dirs.iter().enumerate() {
         if acid {
             let wlist = ctx.snapshots.write_ids(&table.qualified_name);
             let snap = resolve_snapshot(ctx.fs, dir, &wlist);
             let deletes = crate::recovery::retry_transient(ctx, "load delete deltas", || {
                 DeleteSet::load(ctx.fs, &snap, &wlist)
             })?;
+            let acid_idx = acid_states.len();
+            acid_states.push((wlist, deletes));
             let mut files: Vec<DfsPath> = Vec::new();
             if let Some(b) = &snap.base {
                 files.extend(ctx.fs.list_files_recursive(&b.path).into_iter().map(|(p, _)| p));
@@ -236,36 +247,53 @@ pub fn execute_scan(
             }
             for path in files {
                 let file = open_file(ctx, &path)?;
-                read_file(
-                    ctx,
-                    &file,
-                    &file_sarg,
-                    &proj_data,
-                    &proj_part,
-                    part_values,
-                    id_shift,
-                    Some((&wlist, &deletes)),
-                    &out_schema,
-                    &mut out,
-                )?;
+                for rg in file.selected_row_groups(&file_sarg) {
+                    morsels.push(Morsel {
+                        file: file.clone(),
+                        rg,
+                        dir_idx,
+                        acid_idx: Some(acid_idx),
+                    });
+                }
             }
         } else {
             for (path, _) in ctx.fs.list_files_recursive(dir) {
                 let file = open_file(ctx, &path)?;
-                read_file(
-                    ctx,
-                    &file,
-                    &file_sarg,
-                    &proj_data,
-                    &proj_part,
-                    part_values,
-                    0,
-                    None,
-                    &out_schema,
-                    &mut out,
-                )?;
+                for rg in file.selected_row_groups(&file_sarg) {
+                    morsels.push(Morsel {
+                        file: file.clone(),
+                        rg,
+                        dir_idx,
+                        acid_idx: None,
+                    });
+                }
             }
         }
+    }
+
+    // --- morsel execution --------------------------------------------------
+    // Workers claim morsels from a shared counter; the count is gated by
+    // live LLAP executor leases. Batches land indexed by morsel and are
+    // appended in enumeration order, so the result is byte-identical to
+    // the serial loop at any worker count.
+    let (workers, _lease) = ctx.lease_workers(morsels.len());
+    trace.parallel_workers = workers as u64;
+    let batches = crate::par::parallel_map(workers, morsels.len(), |i| {
+        let m = &morsels[i];
+        read_row_group(
+            ctx,
+            &m.file,
+            m.rg,
+            &proj_data,
+            &proj_part,
+            &dirs[m.dir_idx].1,
+            id_shift,
+            m.acid_idx.map(|a| (&acid_states[a].0, &acid_states[a].1)),
+            &out_schema,
+        )
+    })?;
+    for b in &batches {
+        out.append(b)?;
     }
 
     let io_after = ctx.fs.stats().snapshot().since(&io_before);
@@ -343,76 +371,79 @@ fn open_file(ctx: &ExecContext, path: &DfsPath) -> Result<CorcFile> {
     })
 }
 
-/// Read one file's selected row groups into `out`.
+/// One unit of parallel scan work: a single selected row group of one
+/// file (the ORC-stripe/row-group granularity the tentpole targets).
+struct Morsel {
+    file: CorcFile,
+    rg: usize,
+    /// Index into the scan's `(dir, partition values)` list.
+    dir_idx: usize,
+    /// Index into the per-directory ACID snapshot state, if any.
+    acid_idx: Option<usize>,
+}
+
+/// Read one row group into a standalone batch (runs on a morsel worker).
 #[allow(clippy::too_many_arguments)]
-fn read_file(
+fn read_row_group(
     ctx: &ExecContext,
     file: &CorcFile,
-    file_sarg: &SearchArgument,
+    rg: usize,
     proj_data: &[(usize, usize)],
     proj_part: &[(usize, usize)],
     part_values: &[Value],
     id_shift: usize,
     acid: Option<(&hive_metastore::ValidWriteIdList, &DeleteSet)>,
     out_schema: &Schema,
-    out: &mut VectorBatch,
-) -> Result<()> {
-    for rg in file.selected_row_groups(file_sarg) {
-        let rows = file.row_group_rows(rg) as usize;
-        // Fetch the needed file columns (identity columns for ACID).
-        let mut file_cols: Vec<usize> = (0..id_shift).collect();
-        file_cols.extend(proj_data.iter().map(|(_, sc)| sc + id_shift));
-        let mut fetched: Vec<ColumnVector> = Vec::with_capacity(file_cols.len());
-        for &fc in &file_cols {
-            let col = fetch_chunk(ctx, file, rg, fc)?;
-            fetched.push(col);
-        }
-        // Visibility filtering for ACID files.
-        let keep: Vec<u32> = match acid {
-            Some((wlist, deletes)) => {
-                let id_batch = VectorBatch::new(
-                    hive_acid::writer::acid_file_schema(&Schema::empty()),
-                    fetched[..ACID_COLS].to_vec(),
-                )?;
-                (0..rows as u32)
-                    .filter(|&i| {
-                        let wid = match id_batch.column(0).get(i as usize) {
-                            Value::BigInt(v) => WriteId(v as u64),
-                            _ => return false,
-                        };
-                        wlist.is_visible(wid)
-                            && (deletes.is_empty()
-                                || !deletes.contains(&record_id_at(&id_batch, i as usize)))
-                    })
-                    .collect()
-            }
-            None => (0..rows as u32).collect(),
-        };
-        // Assemble the output-ordered batch.
-        let mut cols: Vec<Option<ColumnVector>> = vec![None; out_schema.len()];
-        for (slot, (out_i, _)) in proj_data.iter().enumerate() {
-            let col = &fetched[id_shift + slot];
-            cols[*out_i] = Some(col.take(&keep));
-        }
-        for (out_i, key_idx) in proj_part {
-            let v = part_values.get(*key_idx).cloned().unwrap_or(Value::Null);
-            let mut b = hive_common::ColumnBuilder::new(&out_schema.field(*out_i).data_type)?;
-            for _ in 0..keep.len() {
-                b.push(&v)?;
-            }
-            cols[*out_i] = Some(b.finish());
-        }
-        let cols: Vec<ColumnVector> = cols
-            .into_iter()
-            .map(|c| c.ok_or_else(|| HiveError::Execution("unfilled scan column".into())))
-            .collect::<Result<Vec<_>>>()?;
-        out.append(&VectorBatch::new_with_rows(
-            out_schema.clone(),
-            cols,
-            keep.len(),
-        )?)?;
+) -> Result<VectorBatch> {
+    let rows = file.row_group_rows(rg) as usize;
+    // Fetch the needed file columns (identity columns for ACID).
+    let mut file_cols: Vec<usize> = (0..id_shift).collect();
+    file_cols.extend(proj_data.iter().map(|(_, sc)| sc + id_shift));
+    let mut fetched: Vec<ColumnVector> = Vec::with_capacity(file_cols.len());
+    for &fc in &file_cols {
+        let col = fetch_chunk(ctx, file, rg, fc)?;
+        fetched.push(col);
     }
-    Ok(())
+    // Visibility filtering for ACID files.
+    let keep: Vec<u32> = match acid {
+        Some((wlist, deletes)) => {
+            let id_batch = VectorBatch::new(
+                hive_acid::writer::acid_file_schema(&Schema::empty()),
+                fetched[..ACID_COLS].to_vec(),
+            )?;
+            (0..rows as u32)
+                .filter(|&i| {
+                    let wid = match id_batch.column(0).get(i as usize) {
+                        Value::BigInt(v) => WriteId(v as u64),
+                        _ => return false,
+                    };
+                    wlist.is_visible(wid)
+                        && (deletes.is_empty()
+                            || !deletes.contains(&record_id_at(&id_batch, i as usize)))
+                })
+                .collect()
+        }
+        None => (0..rows as u32).collect(),
+    };
+    // Assemble the output-ordered batch.
+    let mut cols: Vec<Option<ColumnVector>> = vec![None; out_schema.len()];
+    for (slot, (out_i, _)) in proj_data.iter().enumerate() {
+        let col = &fetched[id_shift + slot];
+        cols[*out_i] = Some(col.take(&keep));
+    }
+    for (out_i, key_idx) in proj_part {
+        let v = part_values.get(*key_idx).cloned().unwrap_or(Value::Null);
+        let mut b = hive_common::ColumnBuilder::new(&out_schema.field(*out_i).data_type)?;
+        for _ in 0..keep.len() {
+            b.push(&v)?;
+        }
+        cols[*out_i] = Some(b.finish());
+    }
+    let cols: Vec<ColumnVector> = cols
+        .into_iter()
+        .map(|c| c.ok_or_else(|| HiveError::Execution("unfilled scan column".into())))
+        .collect::<Result<Vec<_>>>()?;
+    VectorBatch::new_with_rows(out_schema.clone(), cols, keep.len())
 }
 
 /// Fetch one column chunk, through the LLAP cache when enabled

@@ -215,7 +215,7 @@ impl LlapCache {
                 }
             }
             g.bytes += bytes;
-            g.entries.insert(
+            if let Some(old) = g.entries.insert(
                 key,
                 Entry {
                     data: data.clone(),
@@ -223,7 +223,14 @@ impl LlapCache {
                     crf: 1.0,
                     last_ref: now,
                 },
-            );
+            ) {
+                // Two workers can miss on the same chunk concurrently
+                // (the load runs outside the lock); the loser's insert
+                // replaces the winner's entry, so give back the bytes
+                // of the entry being replaced or resident accounting
+                // drifts upward forever.
+                g.bytes -= old.bytes;
+            }
         }
         Ok(data)
     }
@@ -397,6 +404,30 @@ mod tests {
             .get_or_load(key(1, 0, 0), || Ok(chunk(1000)))
             .unwrap();
         assert_eq!(cache.len(), 0, "oversized chunk must not be cached");
+    }
+
+    #[test]
+    fn racing_same_key_loads_keep_byte_accounting_exact() {
+        // Two workers miss on the same chunk at once (loads run outside
+        // the lock); the second insert replaces the first and must not
+        // double-count the entry's bytes.
+        let cache = LlapCache::new(1 << 20, 0.5);
+        let k = key(1, 0, 0);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    cache
+                        .get_or_load(k, || {
+                            barrier.wait(); // both threads are mid-load → both miss
+                            Ok(chunk(100))
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), chunk(100).approx_bytes());
     }
 
     #[test]

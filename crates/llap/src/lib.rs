@@ -25,7 +25,7 @@ pub mod daemon;
 pub mod workload;
 
 pub use cache::{CacheStats, ChunkKey, LlapCache, MetadataCache};
-pub use daemon::LlapDaemons;
+pub use daemon::{ExecutorLease, LlapDaemons};
 pub use workload::{
     Mapping, Pool, ResourcePlan, Trigger, TriggerAction, WorkloadManager,
 };

@@ -11,6 +11,12 @@
 # A failing seed reproduces directly with:
 #
 #   HIVE_FAULT_SEED=<seed> cargo test --test chaos env_seeded_chaos_replay
+#
+# HIVE_PAR_SWEEP=1 additionally re-runs the test suite with the
+# morsel-parallelism knob forced to 1, 2, and 8 host threads
+# (HIVE_PARALLEL_THREADS overrides hive.exec.parallel.threads), then
+# runs the parallel benchmark, which refreshes BENCH_parallel.json at
+# the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,5 +34,14 @@ for seed in ${HIVE_CHAOS_SEEDS:-}; do
     HIVE_FAULT_SEED="$seed" \
         cargo test -q --offline --test chaos env_seeded_chaos_replay -- --nocapture
 done
+
+if [[ -n "${HIVE_PAR_SWEEP:-}" ]]; then
+    for threads in 1 2 8; do
+        echo "== parallel sweep: tests at HIVE_PARALLEL_THREADS=$threads =="
+        HIVE_PARALLEL_THREADS="$threads" cargo test -q --offline --workspace
+    done
+    echo "== parallel sweep: benchmark (writes BENCH_parallel.json) =="
+    cargo bench -q --offline -p hive-bench --bench parallel
+fi
 
 echo "verify: OK"
