@@ -209,7 +209,7 @@ impl Compactor {
         for d in dirs {
             for (path, _) in self.fs.list_files_recursive(&d.path) {
                 let f = CorcFile::open(&self.fs, &path)?;
-                let all = f.read_all()?;
+                let all = f.read_all_encoded()?;
                 if drop_invisible {
                     let keep: Vec<u32> = (0..all.num_rows())
                         .filter(|&i| match all.column(0).get(i) {
@@ -239,7 +239,7 @@ impl Compactor {
         for d in dirs {
             for (path, _) in self.fs.list_files_recursive(&d.path) {
                 let f = CorcFile::open(&self.fs, &path)?;
-                let all = f.read_all()?;
+                let all = f.read_all_encoded()?;
                 let keep: Vec<u32> = (0..all.num_rows())
                     .filter(|&i| {
                         let visible = match all.column(0).get(i) {
@@ -267,7 +267,7 @@ impl Compactor {
         for d in dirs {
             for (path, _) in self.fs.list_files_recursive(&d.path) {
                 let f = CorcFile::open(&self.fs, &path)?;
-                let all = f.read_all()?;
+                let all = f.read_all_encoded()?;
                 let keep: Vec<u32> = (0..all.num_rows())
                     .filter(|&i| match all.column(3).get(i) {
                         Value::BigInt(v) => wlist.is_visible(WriteId(v as u64)),

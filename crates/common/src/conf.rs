@@ -96,6 +96,13 @@ pub struct HiveConf {
     /// the serial path. Results are byte-identical at every setting; only
     /// wall-clock time changes. Overridable via `HIVE_PARALLEL_THREADS`.
     pub parallel_threads: usize,
+    /// `hive.exec.dictionary.enabled`: keep string columns dictionary-
+    /// encoded end-to-end (corc reader → LLAP cache → exec kernels),
+    /// materializing to `Str` only at output boundaries. Results are
+    /// byte-identical either way; only decode cost, allocations and
+    /// cache bytes change. Overridable via `HIVE_DICT_ENABLED`
+    /// (`0`/`false`/`off` disables, anything else enables).
+    pub dictionary_enabled: bool,
     /// Fault-injection plan (see [`crate::fault`]); `FaultPlan::none()`
     /// injects nothing.
     pub fault: crate::fault::FaultPlan,
@@ -127,6 +134,7 @@ impl HiveConf {
             results_cache_entries: 64,
             hash_join_row_budget: 4_000_000,
             parallel_threads: 0,
+            dictionary_enabled: true,
             fault: crate::fault::FaultPlan::none(),
         }
     }
@@ -174,6 +182,16 @@ impl HiveConf {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+
+    /// Resolve [`HiveConf::dictionary_enabled`]: the `HIVE_DICT_ENABLED`
+    /// environment variable wins (for process-level differential
+    /// sweeps), then the conf field.
+    pub fn effective_dictionary_enabled(&self) -> bool {
+        match std::env::var("HIVE_DICT_ENABLED") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
+            Err(_) => self.dictionary_enabled,
+        }
     }
 }
 

@@ -13,13 +13,14 @@ use crate::schema::Schema;
 use crate::types::DataType;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Default number of rows per vectorized batch.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 /// A typed column of values with an optional null bitmap
 /// (bit set = value is NULL).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ColumnVector {
     Boolean(Vec<bool>, Option<BitSet>),
     Int(Vec<i32>, Option<BitSet>),
@@ -28,6 +29,17 @@ pub enum ColumnVector {
     /// Unscaled values plus a shared scale.
     Decimal(Vec<i128>, u8, Option<BitSet>),
     Str(Vec<String>, Option<BitSet>),
+    /// Dictionary-encoded strings: one `u32` code per row indexing into
+    /// a dictionary shared (via `Arc`) across every chunk clone — the
+    /// paper's §3.1/§3.3 encoded representation kept alive past the
+    /// reader. Logically equivalent to a `Str` column; materialize via
+    /// [`ColumnVector::decode`] only at output boundaries. Invariant:
+    /// every code is `< dict.len()` (enforced at construction).
+    Dict {
+        codes: Vec<u32>,
+        dict: Arc<Vec<String>>,
+        nulls: Option<BitSet>,
+    },
     Date(Vec<i32>, Option<BitSet>),
     Timestamp(Vec<i64>, Option<BitSet>),
 }
@@ -41,6 +53,7 @@ macro_rules! per_variant {
             ColumnVector::Double($v, $n) => $body,
             ColumnVector::Decimal($v, _, $n) => $body,
             ColumnVector::Str($v, $n) => $body,
+            ColumnVector::Dict { codes: $v, nulls: $n, .. } => $body,
             ColumnVector::Date($v, $n) => $body,
             ColumnVector::Timestamp($v, $n) => $body,
         }
@@ -67,6 +80,7 @@ impl ColumnVector {
             ColumnVector::Double(..) => DataType::Double,
             ColumnVector::Decimal(_, s, _) => DataType::Decimal(38, *s),
             ColumnVector::Str(..) => DataType::String,
+            ColumnVector::Dict { .. } => DataType::String,
             ColumnVector::Date(..) => DataType::Date,
             ColumnVector::Timestamp(..) => DataType::Timestamp,
         }
@@ -95,6 +109,9 @@ impl ColumnVector {
             ColumnVector::Double(v, _) => Value::Double(v[i]),
             ColumnVector::Decimal(v, s, _) => Value::Decimal(v[i], *s),
             ColumnVector::Str(v, _) => Value::String(v[i].clone()),
+            ColumnVector::Dict { codes, dict, .. } => {
+                Value::String(dict[codes[i] as usize].clone())
+            }
             ColumnVector::Date(v, _) => Value::Date(v[i]),
             ColumnVector::Timestamp(v, _) => Value::Timestamp(v[i]),
         }
@@ -174,6 +191,10 @@ impl ColumnVector {
                 let (v, n) = gather(v, n, indices);
                 ColumnVector::Str(v, n)
             }
+            ColumnVector::Dict { codes, dict, nulls } => {
+                let (codes, nulls) = gather(codes, nulls, indices);
+                ColumnVector::Dict { codes, dict: dict.clone(), nulls }
+            }
             ColumnVector::Date(v, n) => {
                 let (v, n) = gather(v, n, indices);
                 ColumnVector::Date(v, n)
@@ -218,7 +239,92 @@ impl ColumnVector {
                 Ok(())
             }};
         }
+        // An empty Str column (the shape `VectorBatch::empty` produces
+        // for String fields) adopts the encoded form wholesale so scan
+        // assembly keeps dictionaries intact across morsel appends.
+        if let (ColumnVector::Str(av, _), ColumnVector::Dict { .. }) = (&*self, other) {
+            if av.is_empty() {
+                *self = other.clone();
+                return Ok(());
+            }
+        }
         match (self, other) {
+            (
+                ColumnVector::Dict { codes: ac, dict: ad, nulls: an },
+                ColumnVector::Dict { codes: bc, dict: bd, nulls: bn },
+            ) => {
+                let alen = ac.len();
+                if bc.is_empty() {
+                    return Ok(());
+                }
+                if Arc::ptr_eq(ad, bd) || **ad == **bd {
+                    ac.extend_from_slice(bc);
+                } else {
+                    // Different dictionaries: merge, interning the
+                    // other side's entries and remapping its codes.
+                    let mut merged: Vec<String> = (**ad).clone();
+                    let mut index: std::collections::HashMap<String, u32> = merged
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| (s.clone(), i as u32))
+                        .collect();
+                    let remap: Vec<u32> = bd
+                        .iter()
+                        .map(|s| match index.get(s) {
+                            Some(&c) => c,
+                            None => {
+                                let c = merged.len() as u32;
+                                merged.push(s.clone());
+                                index.insert(s.clone(), c);
+                                c
+                            }
+                        })
+                        .collect();
+                    ac.extend(bc.iter().map(|&c| remap[c as usize]));
+                    *ad = Arc::new(merged);
+                }
+                merge_nulls(alen, an, bc.len(), bn);
+                Ok(())
+            }
+            (
+                ColumnVector::Dict { codes: ac, dict: ad, nulls: an },
+                ColumnVector::Str(bv, bn),
+            ) => {
+                let alen = ac.len();
+                if bv.is_empty() {
+                    return Ok(());
+                }
+                let mut merged: Vec<String> = (**ad).clone();
+                let mut index: std::collections::HashMap<String, u32> = merged
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), i as u32))
+                    .collect();
+                for s in bv {
+                    let c = match index.get(s) {
+                        Some(&c) => c,
+                        None => {
+                            let c = merged.len() as u32;
+                            merged.push(s.clone());
+                            index.insert(s.clone(), c);
+                            c
+                        }
+                    };
+                    ac.push(c);
+                }
+                *ad = Arc::new(merged);
+                merge_nulls(alen, an, bv.len(), bn);
+                Ok(())
+            }
+            (
+                ColumnVector::Str(av, an),
+                ColumnVector::Dict { codes: bc, dict: bd, nulls: bn },
+            ) => {
+                let alen = av.len();
+                av.extend(bc.iter().map(|&c| bd[c as usize].clone()));
+                merge_nulls(alen, an, bc.len(), bn);
+                Ok(())
+            }
             (ColumnVector::Boolean(av, an), ColumnVector::Boolean(bv, bn)) => app!(av, an, bv, bn),
             (ColumnVector::Int(av, an), ColumnVector::Int(bv, bn)) => app!(av, an, bv, bn),
             (ColumnVector::BigInt(av, an), ColumnVector::BigInt(bv, bn)) => app!(av, an, bv, bn),
@@ -250,8 +356,100 @@ impl ColumnVector {
             ColumnVector::Double(v, _) => v.len() * 8,
             ColumnVector::Decimal(v, _, _) => v.len() * 16,
             ColumnVector::Str(v, _) => v.iter().map(|s| s.len() + 24).sum(),
+            // Codes plus the full dictionary heap. Cache accounting
+            // that shares the dictionary across chunks charges it once
+            // via `dict_parts` instead of using this total.
+            ColumnVector::Dict { codes, dict, .. } => {
+                codes.len() * 4 + dict.iter().map(|s| s.len() + 24).sum::<usize>()
+            }
         };
         base + self.len() / 8
+    }
+
+    /// Build a dictionary-encoded string column, rejecting any code
+    /// outside the dictionary as a [`HiveError::Format`] error (the
+    /// on-disk form is untrusted input).
+    pub fn dict_from_codes(
+        codes: Vec<u32>,
+        dict: Arc<Vec<String>>,
+        nulls: Option<BitSet>,
+    ) -> Result<ColumnVector> {
+        if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict.len()) {
+            return Err(HiveError::Format(format!(
+                "dictionary code {bad} out of range for dictionary of {} entries",
+                dict.len()
+            )));
+        }
+        Ok(ColumnVector::Dict { codes, dict, nulls })
+    }
+
+    /// Borrow the encoded parts when this column is dictionary-encoded.
+    pub fn dict_parts(&self) -> Option<(&[u32], &Arc<Vec<String>>, Option<&BitSet>)> {
+        match self {
+            ColumnVector::Dict { codes, dict, nulls } => {
+                Some((codes, dict, nulls.as_ref()))
+            }
+            _ => None,
+        }
+    }
+
+    /// True when this column is dictionary-encoded.
+    pub fn is_dict(&self) -> bool {
+        matches!(self, ColumnVector::Dict { .. })
+    }
+
+    /// The single materialization choke point: dictionary-encoded
+    /// columns decode to `Str`; every other variant passes through
+    /// unchanged. Called only at output boundaries (final results,
+    /// results-cache fill, corc re-write).
+    pub fn decode(self) -> ColumnVector {
+        match self {
+            ColumnVector::Dict { codes, dict, nulls } => ColumnVector::Str(
+                codes.iter().map(|&c| dict[c as usize].clone()).collect(),
+                nulls,
+            ),
+            other => other,
+        }
+    }
+}
+
+/// Logical per-row comparison across the `Str`/`Dict` representations:
+/// two string columns are equal when every row has the same null flag
+/// and the same underlying string (including the padding value stored
+/// at null slots, matching the derived `Str`/`Str` semantics).
+fn str_eq_logical(a: &ColumnVector, b: &ColumnVector) -> bool {
+    fn raw(c: &ColumnVector, i: usize) -> &str {
+        match c {
+            ColumnVector::Str(v, _) => &v[i],
+            ColumnVector::Dict { codes, dict, .. } => &dict[codes[i] as usize],
+            _ => unreachable!("str_eq_logical called on non-string column"),
+        }
+    }
+    if a.len() != b.len() {
+        return false;
+    }
+    (0..a.len()).all(|i| a.is_null(i) == b.is_null(i) && raw(a, i) == raw(b, i))
+}
+
+impl PartialEq for ColumnVector {
+    fn eq(&self, other: &Self) -> bool {
+        use ColumnVector::*;
+        match (self, other) {
+            (Boolean(a, an), Boolean(b, bn)) => a == b && an == bn,
+            (Int(a, an), Int(b, bn)) => a == b && an == bn,
+            (BigInt(a, an), BigInt(b, bn)) => a == b && an == bn,
+            (Double(a, an), Double(b, bn)) => a == b && an == bn,
+            (Decimal(a, s1, an), Decimal(b, s2, bn)) => s1 == s2 && a == b && an == bn,
+            (Str(a, an), Str(b, bn)) => a == b && an == bn,
+            (Date(a, an), Date(b, bn)) => a == b && an == bn,
+            (Timestamp(a, an), Timestamp(b, bn)) => a == b && an == bn,
+            // Encoded and materialized string columns compare by
+            // logical content so Dict is transparent to batch equality.
+            (Dict { .. }, Dict { .. })
+            | (Dict { .. }, Str(..))
+            | (Str(..), Dict { .. }) => str_eq_logical(self, other),
+            _ => false,
+        }
     }
 }
 
@@ -306,6 +504,9 @@ impl ColumnBuilder {
             ColumnVector::Double(v, _) => v.push(0.0),
             ColumnVector::Decimal(v, _, _) => v.push(0),
             ColumnVector::Str(v, _) => v.push(String::new()),
+            // invariant: builders only ever hold columns produced by
+            // `new_empty`, which never creates the encoded variant.
+            ColumnVector::Dict { .. } => unreachable!("builders never hold Dict columns"),
             ColumnVector::Date(v, _) => v.push(0),
             ColumnVector::Timestamp(v, _) => v.push(0),
         }
@@ -520,6 +721,21 @@ impl VectorBatch {
         self.columns.iter().map(|c| c.approx_bytes()).sum()
     }
 
+    /// Materialize every dictionary-encoded column (the late-
+    /// materialization output boundary).
+    pub fn decode(self) -> VectorBatch {
+        VectorBatch {
+            schema: self.schema,
+            columns: self.columns.into_iter().map(|c| c.decode()).collect(),
+            num_rows: self.num_rows,
+        }
+    }
+
+    /// True when any column is still dictionary-encoded.
+    pub fn has_dict(&self) -> bool {
+        self.columns.iter().any(|c| c.is_dict())
+    }
+
     /// Split into sub-batches of at most `chunk` rows (used by scan and
     /// shuffle to keep pipeline batches bounded).
     pub fn split(&self, chunk: usize) -> Vec<VectorBatch> {
@@ -637,5 +853,117 @@ mod tests {
         let p = b.project(&[2, 0]);
         assert_eq!(p.schema().names(), vec!["price", "id"]);
         assert_eq!(p.row(0).get(1), &Value::Int(1));
+    }
+
+    fn dict_col() -> ColumnVector {
+        let dict = Arc::new(vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+        let mut nulls = BitSet::new(5);
+        nulls.set(3);
+        ColumnVector::dict_from_codes(vec![0, 2, 1, 0, 2], dict, Some(nulls)).unwrap()
+    }
+
+    #[test]
+    fn dict_get_and_decode() {
+        let c = dict_col();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.data_type(), DataType::String);
+        assert_eq!(c.get(1), Value::String("c".into()));
+        assert_eq!(c.get(3), Value::Null);
+        let decoded = c.clone().decode();
+        assert!(matches!(decoded, ColumnVector::Str(..)));
+        assert_eq!(decoded, c); // logical equality across representations
+        for i in 0..5 {
+            assert_eq!(decoded.get(i), c.get(i));
+        }
+    }
+
+    #[test]
+    fn dict_out_of_range_code_rejected() {
+        let dict = Arc::new(vec!["a".to_string()]);
+        let err = ColumnVector::dict_from_codes(vec![0, 1], dict, None).unwrap_err();
+        assert!(matches!(err, HiveError::Format(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn dict_take_shares_dictionary() {
+        let c = dict_col();
+        let t = c.take(&[4, 3, 0]);
+        let (codes, dict, nulls) = t.dict_parts().unwrap();
+        assert_eq!(codes, &[2, 0, 0]);
+        let (_, orig_dict, _) = c.dict_parts().unwrap();
+        assert!(Arc::ptr_eq(dict, orig_dict));
+        assert!(nulls.unwrap().get(1));
+        assert_eq!(t.get(0), Value::String("c".into()));
+    }
+
+    #[test]
+    fn dict_append_same_dictionary_extends_codes() {
+        let mut a = dict_col();
+        let b = dict_col();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.null_count(), 2);
+        let (codes, _, _) = a.dict_parts().unwrap();
+        assert_eq!(codes.len(), 10);
+        assert_eq!(a.get(6), Value::String("c".into()));
+    }
+
+    #[test]
+    fn dict_append_merges_distinct_dictionaries() {
+        let mut a = dict_col();
+        let other_dict = Arc::new(vec!["x".to_string(), "b".to_string()]);
+        let b = ColumnVector::dict_from_codes(vec![0, 1], other_dict, None).unwrap();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.get(5), Value::String("x".into()));
+        assert_eq!(a.get(6), Value::String("b".into()));
+        let (_, dict, _) = a.dict_parts().unwrap();
+        // "b" interned once, "x" appended.
+        assert_eq!(**dict, vec!["a", "b", "c", "x"]);
+    }
+
+    #[test]
+    fn empty_str_adopts_dict_on_append() {
+        let mut a = ColumnVector::new_empty(&DataType::String).unwrap();
+        a.append(&dict_col()).unwrap();
+        assert!(a.is_dict());
+        assert_eq!(a.len(), 5);
+        // And the reverse: appending Dict onto non-empty Str decodes.
+        let mut s = ColumnVector::Str(vec!["z".to_string()], None);
+        s.append(&dict_col()).unwrap();
+        assert!(!s.is_dict());
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.get(1), Value::String("a".into()));
+        assert!(s.is_null(4));
+    }
+
+    #[test]
+    fn dict_str_logical_equality() {
+        let c = dict_col();
+        let s = c.clone().decode();
+        assert_eq!(c, s);
+        assert_eq!(s, c);
+        let mut other = dict_col();
+        other.append(&dict_col()).unwrap();
+        assert_ne!(c, other);
+    }
+
+    #[test]
+    fn batch_decode_materializes_dict_columns() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::String),
+            Field::new("v", DataType::Int),
+        ]);
+        let b = VectorBatch::new(
+            schema,
+            vec![dict_col(), ColumnVector::Int(vec![1, 2, 3, 4, 5], None)],
+        )
+        .unwrap();
+        assert!(b.has_dict());
+        let rows = b.to_rows();
+        let d = b.clone().decode();
+        assert!(!d.has_dict());
+        assert_eq!(d.to_rows(), rows);
+        assert_eq!(d, b);
     }
 }

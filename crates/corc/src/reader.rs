@@ -38,6 +38,11 @@ pub struct CorcFile {
     file_id: FileId,
     file_len: u64,
     footer: std::sync::Arc<Footer>,
+    /// First decoded dictionary per column, shared across every chunk
+    /// of this file handle whose dictionary has identical contents —
+    /// so the LLAP cache sees one `Arc` (and charges its bytes once)
+    /// for all row groups of a column.
+    dict_memo: std::sync::Arc<std::sync::Mutex<std::collections::HashMap<usize, std::sync::Arc<Vec<String>>>>>,
 }
 
 const _: () = {
@@ -77,6 +82,7 @@ impl CorcFile {
             file_id: meta.file_id,
             file_len: meta.len,
             footer: std::sync::Arc::new(footer),
+            dict_memo: Default::default(),
         })
     }
 
@@ -171,11 +177,24 @@ impl CorcFile {
         Ok((c.offset, c.len))
     }
 
-    /// Fetch and decode one column chunk (a ranged DFS read).
+    /// Fetch and decode one column chunk (a ranged DFS read),
+    /// materializing strings (`Str`).
     pub fn read_column_chunk(&self, rg: usize, col: usize) -> Result<ColumnVector> {
-        let (offset, len) = self.chunk_range(rg, col)?;
-        let bytes = self.fs.read_range(&self.path, offset, len)?;
+        let bytes = self.fetch_chunk_bytes(rg, col)?;
         self.decode_column_chunk(bytes, rg, col)
+    }
+
+    /// Fetch and decode one column chunk keeping dictionary-encoded
+    /// string chunks in their encoded form (`Dict` with an `Arc`'d
+    /// dictionary shared across this file's chunks of the column).
+    pub fn read_column_chunk_encoded(&self, rg: usize, col: usize) -> Result<ColumnVector> {
+        let bytes = self.fetch_chunk_bytes(rg, col)?;
+        self.decode_column_chunk_encoded(bytes, rg, col)
+    }
+
+    fn fetch_chunk_bytes(&self, rg: usize, col: usize) -> Result<Bytes> {
+        let (offset, len) = self.chunk_range(rg, col)?;
+        self.fs.read_range(&self.path, offset, len)
     }
 
     /// Decode a previously-fetched chunk (LLAP's cache path: the cache
@@ -186,6 +205,26 @@ impl CorcFile {
         rg: usize,
         col: usize,
     ) -> Result<ColumnVector> {
+        self.decode_chunk_inner(bytes, rg, col, false)
+    }
+
+    /// Encoded-form counterpart of [`CorcFile::decode_column_chunk`].
+    pub fn decode_column_chunk_encoded(
+        &self,
+        bytes: Bytes,
+        rg: usize,
+        col: usize,
+    ) -> Result<ColumnVector> {
+        self.decode_chunk_inner(bytes, rg, col, true)
+    }
+
+    fn decode_chunk_inner(
+        &self,
+        bytes: Bytes,
+        rg: usize,
+        col: usize,
+        keep_dict: bool,
+    ) -> Result<ColumnVector> {
         let rows = self
             .footer
             .row_groups
@@ -195,7 +234,30 @@ impl CorcFile {
             })?
             .row_count as usize;
         let dt = &self.footer.schema.field(col).data_type;
-        decode_column(bytes, dt, rows)
+        let decoded = decode_column(bytes, dt, rows, keep_dict)?;
+        if !keep_dict {
+            return Ok(decoded);
+        }
+        Ok(self.share_dict(col, decoded))
+    }
+
+    /// Swap a freshly-decoded dictionary for the memoized per-column
+    /// `Arc` when the contents match (first decode wins), so identical
+    /// dictionaries across row groups collapse to one allocation.
+    fn share_dict(&self, col: usize, decoded: ColumnVector) -> ColumnVector {
+        let ColumnVector::Dict { codes, dict, nulls } = decoded else {
+            return decoded;
+        };
+        let mut memo = self.dict_memo.lock().unwrap_or_else(|p| p.into_inner());
+        let dict = match memo.get(&col) {
+            Some(m) if **m == *dict => m.clone(),
+            Some(_) => dict,
+            None => {
+                memo.insert(col, dict.clone());
+                dict
+            }
+        };
+        ColumnVector::Dict { codes, dict, nulls }
     }
 
     /// Read a whole row group restricted to `projection` columns.
@@ -213,6 +275,21 @@ impl CorcFile {
         let mut out = VectorBatch::empty(&self.footer.schema)?;
         for rg in 0..self.row_group_count() {
             out.append(&self.read_row_group(rg, &proj)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Read the entire file keeping string chunks dictionary-encoded
+    /// (the compactor's read side of the encoded re-write path).
+    pub fn read_all_encoded(&self) -> Result<VectorBatch> {
+        let proj: Vec<usize> = (0..self.footer.schema.len()).collect();
+        let mut out = VectorBatch::empty(&self.footer.schema)?;
+        for rg in 0..self.row_group_count() {
+            let cols = proj
+                .iter()
+                .map(|&c| self.read_column_chunk_encoded(rg, c))
+                .collect::<Result<Vec<_>>>()?;
+            out.append(&VectorBatch::new(self.footer.schema.clone(), cols)?)?;
         }
         Ok(out)
     }
@@ -291,8 +368,16 @@ fn read_data_type(r: &mut ByteReader) -> Result<DataType> {
     })
 }
 
-/// Decode one column chunk given its type and row count.
-pub(crate) fn decode_column(bytes: Bytes, dt: &DataType, rows: usize) -> Result<ColumnVector> {
+/// Decode one column chunk given its type and row count. With
+/// `keep_dict`, dictionary-encoded string chunks come back as
+/// `ColumnVector::Dict` (codes + shared dictionary) instead of
+/// materializing one `String` per row.
+pub(crate) fn decode_column(
+    bytes: Bytes,
+    dt: &DataType,
+    rows: usize,
+    keep_dict: bool,
+) -> Result<ColumnVector> {
     let mut r = ByteReader::new(bytes);
     // Null section.
     let nulls = match r.get_u8()? {
@@ -354,14 +439,31 @@ pub(crate) fn decode_column(bytes: Bytes, dt: &DataType, rows: usize) -> Result<
                     dict.push(r.get_str()?);
                 }
                 let idx = crate::encoding::rle_decode_i64(&mut r, rows)?;
-                let mut v = Vec::with_capacity(rows);
-                for i in idx {
-                    let s = dict.get(i as usize).ok_or_else(|| {
-                        HiveError::Format("dictionary index out of range".into())
-                    })?;
-                    v.push(s.clone());
+                if keep_dict {
+                    let mut codes = Vec::with_capacity(rows);
+                    for i in idx {
+                        if i < 0 || i as usize >= dict.len() {
+                            return Err(HiveError::Format(
+                                "dictionary index out of range".into(),
+                            ));
+                        }
+                        codes.push(i as u32);
+                    }
+                    ColumnVector::dict_from_codes(
+                        codes,
+                        std::sync::Arc::new(dict),
+                        nulls,
+                    )?
+                } else {
+                    let mut v = Vec::with_capacity(rows);
+                    for i in idx {
+                        let s = dict.get(i as usize).ok_or_else(|| {
+                            HiveError::Format("dictionary index out of range".into())
+                        })?;
+                        v.push(s.clone());
+                    }
+                    ColumnVector::Str(v, nulls)
                 }
-                ColumnVector::Str(v, nulls)
             }
             0 => {
                 let mut v = Vec::with_capacity(rows);
@@ -414,9 +516,83 @@ pub fn round_trip(batch: &VectorBatch, opts: crate::writer::WriterOptions) -> Re
                 chunk,
                 &footer.schema.field(ci).data_type,
                 rg.row_count as usize,
+                false,
             )?);
         }
         out.append(&VectorBatch::new(footer.schema.clone(), cols)?)?;
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{rle_encode_i64, ByteWriter};
+    use crate::writer::{CorcWriter, WriterOptions};
+    use hive_common::Row;
+
+    /// Hand-craft a dictionary-encoded string chunk whose index stream
+    /// holds a code past the dictionary: both the encoded and the
+    /// materialized decode paths must fail with a Format error rather
+    /// than panic or fabricate data.
+    #[test]
+    fn out_of_range_dictionary_code_is_a_format_error() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0); // no nulls
+        w.put_u8(1); // dictionary encoding
+        w.put_varint(2); // two entries
+        w.put_str("a");
+        w.put_str("b");
+        rle_encode_i64(&[0, 5, 1], &mut w); // code 5 is out of range
+        let bytes = w.finish();
+        for keep_dict in [true, false] {
+            let err = decode_column(bytes.clone(), &DataType::String, 3, keep_dict)
+                .expect_err("out-of-range code must not decode");
+            assert!(
+                matches!(err, HiveError::Format(_)),
+                "{keep_dict}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    /// Encoded chunks of one column share a single memoized dictionary
+    /// Arc across row groups — the identity the LLAP cache charges once.
+    #[test]
+    fn encoded_chunks_share_one_dictionary_arc() {
+        let schema = Schema::new(vec![Field::new("s", DataType::String)]);
+        let rows: Vec<Row> = (0..100)
+            .map(|i| {
+                Row::new(vec![hive_common::Value::String(format!("v{}", i % 4))])
+            })
+            .collect();
+        let batch = VectorBatch::from_rows(&schema, &rows).unwrap();
+        let fs = DistFs::new();
+        let path = DfsPath::new("/t/shared_dict");
+        let mut w = CorcWriter::new(
+            schema,
+            WriterOptions {
+                row_group_size: 25,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        w.write_batch(&batch).unwrap();
+        fs.create(&path, w.finish().unwrap()).unwrap();
+
+        let f = CorcFile::open(&fs, &path).unwrap();
+        assert!(f.row_group_count() > 1);
+        let dicts: Vec<std::sync::Arc<Vec<String>>> = (0..f.row_group_count())
+            .map(|rg| {
+                let col = f.read_column_chunk_encoded(rg, 0).unwrap();
+                let (_, dict, _) = col.dict_parts().expect("chunk should stay encoded");
+                dict.clone()
+            })
+            .collect();
+        for d in &dicts[1..] {
+            assert!(
+                std::sync::Arc::ptr_eq(&dicts[0], d),
+                "row-group dictionaries were not memoized into one Arc"
+            );
+        }
+    }
 }

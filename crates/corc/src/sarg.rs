@@ -311,6 +311,7 @@ mod tests {
             max: Some(Value::Int(max)),
             null_count: nulls,
             num_rows: rows,
+            ..Default::default()
         }
     }
 
@@ -380,6 +381,7 @@ mod tests {
             max: None,
             null_count: 10,
             num_rows: 10,
+            ..Default::default()
         };
         assert_eq!(
             ColumnPredicate::IsNull(0).evaluate(&no_nulls, None),

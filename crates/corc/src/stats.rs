@@ -4,6 +4,16 @@
 use crate::encoding::{read_value, write_value, ByteReader, ByteWriter};
 use hive_common::{ColumnVector, Result, Value};
 
+/// Physical encoding the writer chose for a column chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkEncoding {
+    /// Values stored directly.
+    #[default]
+    Plain,
+    /// Sorted deduped dictionary plus RLE-coded indexes (strings only).
+    Dictionary,
+}
+
 /// Statistics for one column over some row range.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ColumnStatistics {
@@ -15,6 +25,9 @@ pub struct ColumnStatistics {
     pub null_count: u64,
     /// Total number of rows covered (including NULLs).
     pub num_rows: u64,
+    /// Encoding the writer chose for this chunk; merged stats report
+    /// `Dictionary` when any covered chunk was dictionary-encoded.
+    pub encoding: ChunkEncoding,
 }
 
 impl ColumnStatistics {
@@ -59,6 +72,9 @@ impl ColumnStatistics {
     pub fn merge(&mut self, other: &ColumnStatistics) {
         self.num_rows += other.num_rows;
         self.null_count += other.null_count;
+        if other.encoding == ChunkEncoding::Dictionary {
+            self.encoding = ChunkEncoding::Dictionary;
+        }
         if let Some(m) = &other.min {
             self.update_minmax_only(m);
         }
@@ -95,6 +111,10 @@ impl ColumnStatistics {
         write_value(w, self.max.as_ref().unwrap_or(&Value::Null));
         w.put_varint(self.null_count);
         w.put_varint(self.num_rows);
+        w.put_u8(match self.encoding {
+            ChunkEncoding::Plain => 0,
+            ChunkEncoding::Dictionary => 1,
+        });
     }
 
     /// Deserialize.
@@ -112,6 +132,10 @@ impl ColumnStatistics {
             max,
             null_count: r.get_varint()?,
             num_rows: r.get_varint()?,
+            encoding: match r.get_u8()? {
+                1 => ChunkEncoding::Dictionary,
+                _ => ChunkEncoding::Plain,
+            },
         })
     }
 }

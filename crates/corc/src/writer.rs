@@ -2,7 +2,7 @@
 
 use crate::bloom::BloomFilter;
 use crate::encoding::ByteWriter;
-use crate::stats::ColumnStatistics;
+use crate::stats::{ChunkEncoding, ColumnStatistics};
 use crate::{DEFAULT_ROW_GROUP_SIZE, MAGIC};
 use bytes::Bytes;
 use hive_common::{
@@ -18,6 +18,10 @@ pub struct WriterOptions {
     pub bloom_columns: Vec<usize>,
     /// Bloom filter false-positive probability.
     pub bloom_fpp: f64,
+    /// Dictionary-encode a string chunk when
+    /// `distinct values ≤ rows × ratio` (ORC's distinct-ratio
+    /// heuristic); set to `0.0` to force plain encoding.
+    pub dictionary_ratio: f64,
 }
 
 impl Default for WriterOptions {
@@ -26,6 +30,7 @@ impl Default for WriterOptions {
             row_group_size: DEFAULT_ROW_GROUP_SIZE,
             bloom_columns: Vec::new(),
             bloom_fpp: 0.02,
+            dictionary_ratio: 0.5,
         }
     }
 }
@@ -101,10 +106,11 @@ impl CorcWriter {
         let mut chunks = Vec::with_capacity(group.num_columns());
         for (ci, col) in group.columns().iter().enumerate() {
             let offset = self.data.len() as u64;
-            encode_column(col, &mut self.data)?;
+            let encoding = encode_column(col, &mut self.data, self.opts.dictionary_ratio)?;
             let len = self.data.len() as u64 - offset;
             let mut stats = ColumnStatistics::new();
             stats.update_column(col);
+            stats.encoding = encoding;
             let bloom = if self.opts.bloom_columns.contains(&ci) {
                 let mut b = BloomFilter::new(col.len(), self.opts.bloom_fpp);
                 for i in 0..col.len() {
@@ -212,8 +218,49 @@ pub(crate) fn write_data_type(w: &mut ByteWriter, dt: &DataType) {
     }
 }
 
+/// Encode a string chunk: dictionary (sorted, deduped, RLE indexes)
+/// when the distinct ratio clears the threshold, else plain. Both the
+/// `Str` and `Dict` writer arms funnel through here so the bytes are
+/// identical regardless of the in-memory representation.
+fn encode_str_values(
+    vals: &[&String],
+    w: &mut ByteWriter,
+    dictionary_ratio: f64,
+) -> ChunkEncoding {
+    let mut dict: Vec<&String> = vals.to_vec();
+    dict.sort_unstable();
+    dict.dedup();
+    if !vals.is_empty() && (dict.len() as f64) <= (vals.len() as f64) * dictionary_ratio {
+        w.put_u8(1); // dictionary encoding
+        w.put_varint(dict.len() as u64);
+        for s in &dict {
+            w.put_str(s);
+        }
+        let indexes: Vec<i64> = vals
+            .iter()
+            // invariant: `dict` was built from these exact values
+            // (sorted + deduped just above), so every value is present
+            // in the search.
+            .map(|s| dict.binary_search(s).expect("value in its own dictionary") as i64)
+            .collect();
+        crate::encoding::rle_encode_i64(&indexes, w);
+        ChunkEncoding::Dictionary
+    } else {
+        w.put_u8(0); // plain encoding
+        for s in vals {
+            w.put_str(s);
+        }
+        ChunkEncoding::Plain
+    }
+}
+
 /// Encode one column chunk. Layout: null-bitmap section then typed data.
-pub(crate) fn encode_column(col: &ColumnVector, w: &mut ByteWriter) -> Result<()> {
+/// Returns the physical encoding chosen (recorded in stripe stats).
+pub(crate) fn encode_column(
+    col: &ColumnVector,
+    w: &mut ByteWriter,
+    dictionary_ratio: f64,
+) -> Result<ChunkEncoding> {
     // Null section: 0 = no nulls, 1 = varint-delta positions list.
     let null_positions: Vec<u64> = (0..col.len())
         .filter(|&i| col.is_null(i))
@@ -253,31 +300,16 @@ pub(crate) fn encode_column(col: &ColumnVector, w: &mut ByteWriter) -> Result<()
             }
         }
         ColumnVector::Str(v, _) => {
-            // Dictionary-encode when beneficial.
-            let mut dict: Vec<&String> = v.iter().collect();
-            dict.sort_unstable();
-            dict.dedup();
-            if !v.is_empty() && dict.len() * 2 <= v.len() {
-                w.put_u8(1); // dictionary encoding
-                w.put_varint(dict.len() as u64);
-                for s in &dict {
-                    w.put_str(s);
-                }
-                let indexes: Vec<i64> = v
-                    .iter()
-                    // invariant: `dict` was built from these exact
-                    // values (sorted + deduped just above), so every
-                    // value is present in the search.
-                    .map(|s| dict.binary_search(&s).expect("value in its own dictionary") as i64)
-                    .collect();
-                crate::encoding::rle_encode_i64(&indexes, w);
-            } else {
-                w.put_u8(0); // plain encoding
-                for s in v {
-                    w.put_str(s);
-                }
-            }
+            let vals: Vec<&String> = v.iter().collect();
+            return Ok(encode_str_values(&vals, w, dictionary_ratio));
+        }
+        // Already-encoded columns write without materializing a String
+        // per row: the per-row view borrows straight from the shared
+        // dictionary (the compactor's corc re-write path).
+        ColumnVector::Dict { codes, dict, .. } => {
+            let vals: Vec<&String> = codes.iter().map(|&c| &dict[c as usize]).collect();
+            return Ok(encode_str_values(&vals, w, dictionary_ratio));
         }
     }
-    Ok(())
+    Ok(ChunkEncoding::Plain)
 }

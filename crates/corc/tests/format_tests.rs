@@ -126,6 +126,7 @@ fn bloom_filter_skips_point_lookups() {
         row_group_size: 1000,
         bloom_columns: vec![1],
         bloom_fpp: 0.01,
+        ..Default::default()
     });
     let missing = SearchArgument::with(vec![ColumnPredicate::Eq(
         1,

@@ -52,6 +52,7 @@ proptest! {
             row_group_size: rg,
             bloom_columns: vec![0, 1],
             bloom_fpp: 0.05,
+            ..Default::default()
         };
         let back = round_trip(&batch, opts).unwrap();
         prop_assert_eq!(back, batch);
@@ -80,6 +81,7 @@ proptest! {
             row_group_size: rg,
             bloom_columns: vec![0],
             bloom_fpp: 0.02,
+            ..Default::default()
         }).unwrap();
         w.write_batch(&batch).unwrap();
         fs.create(&path, w.finish().unwrap()).unwrap();
@@ -104,4 +106,117 @@ proptest! {
         let expected = keys.iter().filter(|&&k| k >= lo && k <= hi).count();
         prop_assert_eq!(selected_matches, expected, "sarg pruning dropped matching rows");
     }
+}
+
+// --- dictionary-encoded round trips ------------------------------------
+
+use hive_common::ColumnVector;
+use std::sync::Arc;
+
+fn str_schema() -> Schema {
+    Schema::new(vec![Field::new("s", DataType::String)])
+}
+
+/// Write `batch`, then read it back both materialized and encoded; the
+/// encoded form must decode to exactly the materialized read.
+fn encoded_round_trip(batch: &VectorBatch, rg: usize) -> (VectorBatch, VectorBatch) {
+    let fs = DistFs::new();
+    let path = DfsPath::new("/t/dict_rt");
+    let mut w = CorcWriter::new(
+        batch.schema().clone(),
+        WriterOptions {
+            row_group_size: rg,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    w.write_batch(batch).unwrap();
+    fs.create(&path, w.finish().unwrap()).unwrap();
+    let f = CorcFile::open(&fs, &path).unwrap();
+    (f.read_all().unwrap(), f.read_all_encoded().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Low-cardinality string columns (the case the writer dictionary-
+    /// encodes): write → read_all_encoded → decode is the identity.
+    #[test]
+    fn dict_write_read_decode_round_trip(
+        picks in proptest::collection::vec(proptest::option::of(0usize..5), 0..200),
+        rg in 1usize..64,
+    ) {
+        let pool = ["", "alpha", "beta", "gamma", "delta"];
+        let rows: Vec<Row> = picks
+            .iter()
+            .map(|p| Row::new(vec![p.map(|i| Value::String(pool[i].into())).unwrap_or(Value::Null)]))
+            .collect();
+        let batch = VectorBatch::from_rows(&str_schema(), &rows).unwrap();
+        let (plain, encoded) = encoded_round_trip(&batch, rg);
+        prop_assert_eq!(&plain, &batch);
+        // Encoded and plain reads are logically equal before decode
+        // (ColumnVector::PartialEq compares Dict vs Str by content)...
+        prop_assert_eq!(&encoded, &batch);
+        // ...and exactly equal after materialization.
+        prop_assert_eq!(encoded.decode(), plain);
+    }
+
+    /// A Dict column fed to the writer round-trips the same as its
+    /// materialized form: the encoder is representation-agnostic.
+    #[test]
+    fn dict_input_encodes_byte_identically(
+        codes in proptest::collection::vec(0u32..4, 1..150),
+        null_every in 2usize..7,
+        rg in 1usize..64,
+    ) {
+        let dict = Arc::new(vec![
+            "a".to_string(),
+            "bb".to_string(),
+            "ccc".to_string(),
+            "".to_string(),
+        ]);
+        let mut nulls = hive_common::BitSet::new(codes.len());
+        for i in (0..codes.len()).step_by(null_every) {
+            nulls.set(i);
+        }
+        let col = ColumnVector::dict_from_codes(codes, dict, Some(nulls)).unwrap();
+        let n = col.len();
+        let as_dict = VectorBatch::new_with_rows(str_schema(), vec![col.clone()], n).unwrap();
+        let as_str = VectorBatch::new_with_rows(str_schema(), vec![col.decode()], n).unwrap();
+        let opts = WriterOptions { row_group_size: rg, ..Default::default() };
+        let from_dict =
+            hive_corc::writer::write_batch_to_bytes(&as_dict, opts.clone()).unwrap();
+        let from_str = hive_corc::writer::write_batch_to_bytes(&as_str, opts).unwrap();
+        prop_assert_eq!(from_dict, from_str, "Dict input changed the file bytes");
+        let (_, encoded) = encoded_round_trip(&as_dict, rg);
+        prop_assert_eq!(encoded.decode(), as_str);
+    }
+}
+
+/// Zero rows means a zero-length dictionary; the boundary code
+/// `dict_len - 1` is the largest that may round-trip.
+#[test]
+fn dict_edge_cases_round_trip() {
+    // Empty dictionary / empty column.
+    let empty = VectorBatch::new_with_rows(
+        str_schema(),
+        vec![ColumnVector::dict_from_codes(vec![], Arc::new(vec![]), None).unwrap()],
+        0,
+    )
+    .unwrap();
+    let (plain, encoded) = encoded_round_trip(&empty, 8);
+    assert_eq!(plain.num_rows(), 0);
+    assert_eq!(encoded.decode(), plain);
+
+    // Every row uses the boundary code dict_len - 1.
+    let dict = Arc::new(vec!["lo".to_string(), "hi".to_string()]);
+    let col = ColumnVector::dict_from_codes(vec![1, 1, 1], dict.clone(), None).unwrap();
+    let b = VectorBatch::new_with_rows(str_schema(), vec![col], 3).unwrap();
+    let (plain, encoded) = encoded_round_trip(&b, 2);
+    assert_eq!(encoded.decode(), plain);
+    assert_eq!(plain.column(0).get(2), Value::String("hi".into()));
+
+    // One past the boundary is rejected at construction.
+    let err = ColumnVector::dict_from_codes(vec![0, 2], dict, None).unwrap_err();
+    assert!(matches!(err, hive_common::HiveError::Format(_)), "{err:?}");
 }

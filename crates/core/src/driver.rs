@@ -456,6 +456,11 @@ impl Session {
         );
         ctx.prepare_shared_work(plan);
         let (batch, trace) = exec_plan(plan, &ctx)?;
+        // Output boundary: materialize any dictionary-encoded columns
+        // that survived all the way through the operators. Everything
+        // downstream (final results, the results cache, INSERT..SELECT
+        // sources) sees plain columns.
+        let batch = batch.decode();
         // Persist runtime operator statistics (§4.2/§9).
         self.server.metastore().save_runtime_stats(
             &hive_optimizer::fingerprint::fingerprint_hex(plan),

@@ -8,6 +8,7 @@
 //! index, so the emitted row order is byte-identical for any worker or
 //! partition count (and deterministic, unlike HashMap iteration order).
 
+use crate::dict::{KeyPart, KeyReader};
 use crate::kernels::eval_vector;
 use hive_common::{ColumnVector, Result, Row, Value, VectorBatch};
 use hive_optimizer::{AggExpr, AggFunc, ScalarExpr};
@@ -274,10 +275,12 @@ pub fn execute_aggregate_par(
 /// Stable hash of row `i`'s group key. `DefaultHasher::new()` uses
 /// fixed keys (unlike `RandomState`), so the partitioning — and with it
 /// the fault-free execution schedule — is deterministic across runs.
-fn row_key_hash(key_cols: &[ColumnVector], set: &[usize], i: usize) -> u64 {
+/// (The hash only routes rows to partitions; result order comes from
+/// first-seen row indices, so dictionary codes are safe to hash here.)
+fn row_key_hash(readers: &[KeyReader<'_>], i: usize) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    for &k in set {
-        key_cols[k].get(i).hash(&mut h);
+    for r in readers {
+        r.part(i).hash(&mut h);
     }
     h.finish()
 }
@@ -293,28 +296,62 @@ fn build_groups(
     aggs: &[AggExpr],
     workers: usize,
 ) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+    // Key access goes through per-column readers: dictionary-encoded
+    // string columns contribute their u32 code (no string clone, no
+    // Value allocation per row), everything else its scalar value.
+    let readers: Vec<KeyReader<'_>> = set.iter().map(|&k| KeyReader::new(&key_cols[k])).collect();
+    // Materialize a group's key parts into output scalars — once per
+    // group, not once per row.
+    let emit = |key: Vec<KeyPart>| -> Vec<Value> {
+        key.iter().zip(&readers).map(|(p, r)| r.value_of(p)).collect()
+    };
+
     // One partition's build: fold every row whose stable key hash maps
     // to this partition, in ascending row order (`filter` preserves it),
     // tracking each group's first row for the deterministic merge.
     let build_partition = |rows: &mut dyn Iterator<Item = usize>,
                            hashes: Option<(&[u64], usize, usize)>|
-     -> Result<Vec<(usize, Vec<Value>, Vec<Acc>)>> {
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-        let mut groups: Vec<(usize, Vec<Value>, Vec<Acc>)> = Vec::new();
+     -> Result<Vec<(usize, Vec<KeyPart>, Vec<Acc>)>> {
+        let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<KeyPart>, Vec<Acc>)> = Vec::new();
+        // Dense group lookup for the common single-dictionary-key case:
+        // slot 0 is the NULL group, slot c+1 the group of code c — no
+        // per-row key Vec, no hashing at all.
+        let dense_len = match &readers[..] {
+            [r] => r.dict_len(),
+            _ => None,
+        };
+        let mut dense: Vec<usize> = vec![usize::MAX; dense_len.map_or(0, |d| d + 1)];
         for i in rows {
             if let Some((hashes, nparts, p)) = hashes {
                 if hashes[i] as usize % nparts != p {
                     continue;
                 }
             }
-            let key: Vec<Value> = set.iter().map(|&k| key_cols[k].get(i)).collect();
-            let gi = match index.get(&key) {
-                Some(&g) => g,
-                None => {
-                    let g = groups.len();
-                    index.insert(key.clone(), g);
-                    groups.push((i, key, aggs.iter().map(Acc::new).collect()));
-                    g
+            let gi = if dense_len.is_some() {
+                let part = readers[0].part(i);
+                let slot = match &part {
+                    KeyPart::Null => 0,
+                    KeyPart::Code(c) => *c as usize + 1,
+                    // invariant: a reader with dict_len() set only
+                    // emits Null and Code parts.
+                    KeyPart::Val(_) => unreachable!("value part from a dictionary reader"),
+                };
+                if dense[slot] == usize::MAX {
+                    dense[slot] = groups.len();
+                    groups.push((i, vec![part], aggs.iter().map(Acc::new).collect()));
+                }
+                dense[slot]
+            } else {
+                let key: Vec<KeyPart> = readers.iter().map(|r| r.part(i)).collect();
+                match index.get(&key) {
+                    Some(&g) => g,
+                    None => {
+                        let g = groups.len();
+                        index.insert(key.clone(), g);
+                        groups.push((i, key, aggs.iter().map(Acc::new).collect()));
+                        g
+                    }
                 }
             };
             for (acc, arg) in groups[gi].2.iter_mut().zip(arg_cols) {
@@ -327,7 +364,7 @@ fn build_groups(
 
     if workers <= 1 || num_rows < 2 {
         let groups = build_partition(&mut (0..num_rows), None)?;
-        return Ok(groups.into_iter().map(|(_, k, a)| (k, a)).collect());
+        return Ok(groups.into_iter().map(|(_, k, a)| (emit(k), a)).collect());
     }
 
     // Stage 1: stable key hashes, computed over contiguous row chunks in
@@ -338,7 +375,7 @@ fn build_groups(
         let lo = c * chunk;
         let hi = ((c + 1) * chunk).min(num_rows);
         Ok((lo..hi)
-            .map(|i| row_key_hash(key_cols, set, i))
+            .map(|i| row_key_hash(&readers, i))
             .collect::<Vec<u64>>())
     })?
     .concat();
@@ -351,9 +388,9 @@ fn build_groups(
     })?;
 
     // Stage 3: deterministic merge — global first-seen-row order.
-    let mut all: Vec<(usize, Vec<Value>, Vec<Acc>)> = parts.into_iter().flatten().collect();
+    let mut all: Vec<(usize, Vec<KeyPart>, Vec<Acc>)> = parts.into_iter().flatten().collect();
     all.sort_by_key(|(first_row, _, _)| *first_row);
-    Ok(all.into_iter().map(|(_, k, a)| (k, a)).collect())
+    Ok(all.into_iter().map(|(_, k, a)| (emit(k), a)).collect())
 }
 
 #[cfg(test)]

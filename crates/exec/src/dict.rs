@@ -1,0 +1,118 @@
+//! Dictionary-aware key handling shared by the hash operators.
+//!
+//! GROUP BY, window partitioning and (with translation) hash joins key
+//! rows by [`KeyPart`]s: a dictionary-encoded string column contributes
+//! its `u32` code — hashed and compared without cloning the string —
+//! while every other column contributes the scalar value, exactly as
+//! the pre-dictionary code did with `Vec<Value>` keys.
+
+use hive_common::{BitSet, ColumnVector, Value};
+use std::sync::Arc;
+
+/// One component of a grouping/partition key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum KeyPart {
+    /// SQL NULL (all NULLs group together, as `Value::Null` did).
+    Null,
+    /// Dictionary code; only comparable against codes produced by the
+    /// same [`KeyReader`] (one column's code space).
+    Code(u32),
+    /// Any non-dictionary value.
+    Val(Value),
+}
+
+/// Per-column key accessor: resolves each row to a [`KeyPart`] and can
+/// materialize parts back to scalars at output time.
+pub(crate) struct KeyReader<'a> {
+    col: &'a ColumnVector,
+    dict: Option<(&'a [u32], &'a Arc<Vec<String>>, Option<&'a BitSet>)>,
+}
+
+impl<'a> KeyReader<'a> {
+    pub fn new(col: &'a ColumnVector) -> Self {
+        // The code fast path requires distinct dictionary entries —
+        // equal strings under different codes would split a group. All
+        // engine-produced dictionaries are deduplicated; this guard
+        // keeps hand-built columns correct rather than fast.
+        let dict = col.dict_parts().filter(|(_, d, _)| {
+            let mut seen = std::collections::HashSet::with_capacity(d.len());
+            d.iter().all(|s| seen.insert(s.as_str()))
+        });
+        KeyReader { col, dict }
+    }
+
+    /// The key part for row `i`.
+    #[inline]
+    pub fn part(&self, i: usize) -> KeyPart {
+        match &self.dict {
+            Some((codes, _, nulls)) => {
+                if nulls.is_some_and(|n| n.get(i)) {
+                    KeyPart::Null
+                } else {
+                    KeyPart::Code(codes[i])
+                }
+            }
+            None => {
+                let v = self.col.get(i);
+                if v.is_null() {
+                    KeyPart::Null
+                } else {
+                    KeyPart::Val(v)
+                }
+            }
+        }
+    }
+
+    /// Number of dictionary entries when the code fast path is active
+    /// (codes are then dense in `0..dict_len`).
+    pub fn dict_len(&self) -> Option<usize> {
+        self.dict.as_ref().map(|(_, d, _)| d.len())
+    }
+
+    /// Materialize a part produced by this reader back to its scalar.
+    pub fn value_of(&self, p: &KeyPart) -> Value {
+        match p {
+            KeyPart::Null => Value::Null,
+            KeyPart::Code(c) => match &self.dict {
+                Some((_, dict, _)) => Value::String(dict[*c as usize].clone()),
+                // invariant: `Code` parts only come out of `part()`,
+                // which only emits them when `dict` is present.
+                None => unreachable!("Code part from a non-dictionary reader"),
+            },
+            KeyPart::Val(v) => v.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_round_trip_through_value_of() {
+        let dict = Arc::new(vec!["a".to_string(), "b".to_string()]);
+        let mut nulls = BitSet::new(3);
+        nulls.set(2);
+        let col =
+            ColumnVector::dict_from_codes(vec![1, 0, 0], dict, Some(nulls)).unwrap();
+        let r = KeyReader::new(&col);
+        assert_eq!(r.part(0), KeyPart::Code(1));
+        assert_eq!(r.part(2), KeyPart::Null);
+        assert_eq!(r.value_of(&r.part(0)), Value::String("b".into()));
+        assert_eq!(r.value_of(&r.part(2)), Value::Null);
+
+        let plain = ColumnVector::Int(vec![7, 8], None);
+        let rp = KeyReader::new(&plain);
+        assert_eq!(rp.part(1), KeyPart::Val(Value::Int(8)));
+    }
+
+    #[test]
+    fn duplicate_dictionary_entries_disable_code_path() {
+        // Two codes for the same string must still land in one group.
+        let dict = Arc::new(vec!["x".to_string(), "x".to_string()]);
+        let col = ColumnVector::dict_from_codes(vec![0, 1], dict, None).unwrap();
+        let r = KeyReader::new(&col);
+        assert_eq!(r.part(0), r.part(1));
+        assert_eq!(r.part(0), KeyPart::Val(Value::String("x".into())));
+    }
+}

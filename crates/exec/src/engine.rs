@@ -441,28 +441,14 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
                 .iter()
                 .map(|k| eval_vector(&k.expr, &child))
                 .collect::<Result<Vec<_>>>()?;
+            // Dictionary-encoded string keys compare through a rank
+            // table built per distinct entry (see [`SortAccess`]); the
+            // per-row comparator then never touches string bytes.
+            let accesses: Vec<SortAccess<'_>> = key_cols.iter().map(SortAccess::new).collect();
             let mut idx: Vec<u32> = (0..child.num_rows() as u32).collect();
             idx.sort_by(|&a, &b| {
-                for (kc, key) in key_cols.iter().zip(keys) {
-                    let (va, vb) = (kc.get(a as usize), kc.get(b as usize));
-                    let ord = match (va.is_null(), vb.is_null()) {
-                        (true, true) => std::cmp::Ordering::Equal,
-                        (true, false) => {
-                            if key.nulls_first {
-                                std::cmp::Ordering::Less
-                            } else {
-                                std::cmp::Ordering::Greater
-                            }
-                        }
-                        (false, true) => {
-                            if key.nulls_first {
-                                std::cmp::Ordering::Greater
-                            } else {
-                                std::cmp::Ordering::Less
-                            }
-                        }
-                        (false, false) => va.sql_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal),
-                    };
+                for (acc, key) in accesses.iter().zip(keys) {
+                    let ord = acc.cmp_rows(a as usize, b as usize, key.nulls_first);
                     let ord = if key.asc { ord } else { ord.reverse() };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -517,6 +503,81 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
             t.shuffle_rows = t.rows_in;
             t.children = vec![lt, rt];
             Ok((out, t))
+        }
+    }
+}
+
+/// Per-key accessor for Sort: a dictionary-encoded string key compares
+/// through a rank table built by sorting the distinct dictionary
+/// entries once (equal entries share a rank, so ties — and with them
+/// the stable sort's output order — match the value comparator
+/// exactly); every other column compares via `sql_cmp` as before.
+enum SortAccess<'a> {
+    Ranked {
+        codes: &'a [u32],
+        nulls: Option<&'a hive_common::BitSet>,
+        rank: Vec<u32>,
+    },
+    Plain(&'a hive_common::ColumnVector),
+}
+
+impl<'a> SortAccess<'a> {
+    fn new(col: &'a hive_common::ColumnVector) -> SortAccess<'a> {
+        if let Some((codes, dict, nulls)) = col.dict_parts() {
+            let mut order: Vec<u32> = (0..dict.len() as u32).collect();
+            order.sort_by(|&x, &y| dict[x as usize].cmp(&dict[y as usize]));
+            let mut rank = vec![0u32; dict.len()];
+            for (pos, &c) in order.iter().enumerate() {
+                rank[c as usize] = if pos > 0 && dict[c as usize] == dict[order[pos - 1] as usize] {
+                    rank[order[pos - 1] as usize]
+                } else {
+                    pos as u32
+                };
+            }
+            return SortAccess::Ranked { codes, nulls, rank };
+        }
+        SortAccess::Plain(col)
+    }
+
+    fn cmp_rows(&self, a: usize, b: usize, nulls_first: bool) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let with_nulls = |na: bool, nb: bool, non_null: Ordering| match (na, nb) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if nulls_first {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, true) => {
+                if nulls_first {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, false) => non_null,
+        };
+        match self {
+            SortAccess::Ranked { codes, nulls, rank } => {
+                let na = nulls.is_some_and(|n| n.get(a));
+                let nb = nulls.is_some_and(|n| n.get(b));
+                let ord = if na || nb {
+                    Ordering::Equal // unused: with_nulls short-circuits
+                } else {
+                    rank[codes[a] as usize].cmp(&rank[codes[b] as usize])
+                };
+                with_nulls(na, nb, ord)
+            }
+            SortAccess::Plain(col) => {
+                let (va, vb) = (col.get(a), col.get(b));
+                with_nulls(
+                    va.is_null(),
+                    vb.is_null(),
+                    va.sql_cmp(&vb).unwrap_or(Ordering::Equal),
+                )
+            }
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::kernels::eval_vector;
 use hive_common::{
-    ColumnBuilder, ColumnVector, HiveError, Result, Schema, Value, VectorBatch,
+    BitSet, ColumnBuilder, ColumnVector, HiveError, Result, Schema, Value, VectorBatch,
 };
 use hive_optimizer::eval::eval_scalar;
 use hive_optimizer::plan::JoinType;
@@ -42,19 +42,137 @@ pub fn execute_join(
     )
 }
 
-/// Stable hash of row `i`'s join key over `keys`; `None` when any key
-/// value is NULL (NULL keys never match, and never enter the build).
-/// With no key columns (cross-style joins) every row shares the hash of
-/// the empty key. `DefaultHasher::new()` is deterministic, so the
-/// partition assignment replays identically across runs.
-fn row_key_hash(keys: &[ColumnVector], i: usize) -> Option<u64> {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    for kc in keys {
-        let v = kc.get(i);
-        if v.is_null() {
-            return None;
+/// One component of a join key as stored in the hash table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JPart {
+    /// Dictionary code in the *right* (build) side's code space.
+    Code(u32),
+    /// Non-dictionary value (also the mixed dict/plain fallback).
+    Val(Value),
+    /// Probe-only: a left dictionary entry absent from the right
+    /// dictionary. Build keys never contain `Miss`, so the lookup
+    /// fails — exactly the no-match outcome the value compare gives.
+    Miss,
+}
+
+/// Per-key-column codec: when both sides are dictionary-encoded, keys
+/// are right-side `u32` codes (left codes translate once per distinct
+/// left entry through `probe_map`), so build and probe hash and compare
+/// integers instead of cloning strings.
+enum JoinCodec<'a> {
+    Codes {
+        lcodes: &'a [u32],
+        lnulls: Option<&'a BitSet>,
+        rcodes: &'a [u32],
+        rnulls: Option<&'a BitSet>,
+        /// Canonical right code per right code (collapses duplicate
+        /// dictionary entries so equal strings share a key).
+        rcanon: Vec<u32>,
+        /// Right canonical code per left code, `None` when the left
+        /// entry does not appear in the right dictionary.
+        probe_map: Vec<Option<u32>>,
+    },
+    Vals {
+        l: &'a ColumnVector,
+        r: &'a ColumnVector,
+    },
+}
+
+impl<'a> JoinCodec<'a> {
+    fn new(l: &'a ColumnVector, r: &'a ColumnVector) -> JoinCodec<'a> {
+        if let (Some((lc, ld, ln)), Some((rc, rd, rn))) = (l.dict_parts(), r.dict_parts()) {
+            let mut rindex: HashMap<&str, u32> = HashMap::with_capacity(rd.len());
+            let rcanon: Vec<u32> = rd
+                .iter()
+                .enumerate()
+                .map(|(ci, s)| *rindex.entry(s.as_str()).or_insert(ci as u32))
+                .collect();
+            let probe_map = ld
+                .iter()
+                .map(|s| rindex.get(s.as_str()).copied())
+                .collect();
+            return JoinCodec::Codes {
+                lcodes: lc,
+                lnulls: ln,
+                rcodes: rc,
+                rnulls: rn,
+                rcanon,
+                probe_map,
+            };
         }
-        v.hash(&mut h);
+        JoinCodec::Vals { l, r }
+    }
+
+    /// Build-side key part for right row `i`; `None` = NULL key.
+    #[inline]
+    fn build_part(&self, i: usize) -> Option<JPart> {
+        match self {
+            JoinCodec::Codes {
+                rcodes,
+                rnulls,
+                rcanon,
+                ..
+            } => {
+                if rnulls.is_some_and(|n| n.get(i)) {
+                    None
+                } else {
+                    Some(JPart::Code(rcanon[rcodes[i] as usize]))
+                }
+            }
+            JoinCodec::Vals { r, .. } => {
+                let v = r.get(i);
+                if v.is_null() {
+                    None
+                } else {
+                    Some(JPart::Val(v))
+                }
+            }
+        }
+    }
+
+    /// Probe-side key part for left row `i`; `None` = NULL key.
+    #[inline]
+    fn probe_part(&self, i: usize) -> Option<JPart> {
+        match self {
+            JoinCodec::Codes {
+                lcodes,
+                lnulls,
+                probe_map,
+                ..
+            } => {
+                if lnulls.is_some_and(|n| n.get(i)) {
+                    None
+                } else {
+                    Some(match probe_map[lcodes[i] as usize] {
+                        Some(c) => JPart::Code(c),
+                        None => JPart::Miss,
+                    })
+                }
+            }
+            JoinCodec::Vals { l, .. } => {
+                let v = l.get(i);
+                if v.is_null() {
+                    None
+                } else {
+                    Some(JPart::Val(v))
+                }
+            }
+        }
+    }
+}
+
+/// Stable hash of row `i`'s join key parts; `None` when any key value
+/// is NULL (NULL keys never match, and never enter the build). With no
+/// key columns (cross-style joins) every row shares the hash of the
+/// empty key. `DefaultHasher::new()` is deterministic, so the partition
+/// assignment replays identically across runs. (The hash only routes
+/// rows to partitions; output order comes from probe range order, so
+/// hashing codes instead of strings cannot change results.)
+fn row_key_hash(codecs: &[JoinCodec<'_>], i: usize, build: bool) -> Option<u64> {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for c in codecs {
+        let p = if build { c.build_part(i) } else { c.probe_part(i) };
+        p?.hash(&mut h);
     }
     Some(h.finish())
 }
@@ -96,6 +214,14 @@ pub fn execute_join_par(
         .map(|(_, r)| eval_vector(r, right))
         .collect::<Result<Vec<_>>>()?;
 
+    // Per-key-column codecs: dict×dict columns join on u32 codes, all
+    // others on scalar values (see [`JoinCodec`]).
+    let codecs: Vec<JoinCodec<'_>> = lkeys
+        .iter()
+        .zip(&rkeys)
+        .map(|(l, r)| JoinCodec::new(l, r))
+        .collect();
+
     // --- build ------------------------------------------------------------
     // Hash-partitioned build over the right side: a key's rows all land
     // in one partition (keyed by the stable hash), and each partition
@@ -110,13 +236,15 @@ pub fn execute_join_par(
         crate::par::parallel_map(workers, n.div_ceil(chunk), |c| {
             let lo = c * chunk;
             let hi = ((c + 1) * chunk).min(n);
-            Ok((lo..hi).map(|i| row_key_hash(&rkeys, i)).collect::<Vec<_>>())
+            Ok((lo..hi)
+                .map(|i| row_key_hash(&codecs, i, true))
+                .collect::<Vec<_>>())
         })?
         .concat()
     };
-    let tables: Vec<HashMap<Vec<Value>, Vec<u32>>> =
+    let tables: Vec<HashMap<Vec<JPart>, Vec<u32>>> =
         crate::par::parallel_map(workers, nparts, |p| {
-            let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+            let mut table: HashMap<Vec<JPart>, Vec<u32>> = HashMap::new();
             'rows: for i in 0..right.num_rows() {
                 if nparts > 1 {
                     match rhashes[i] {
@@ -125,12 +253,11 @@ pub fn execute_join_par(
                     }
                 }
                 let mut key = Vec::with_capacity(equi.len());
-                for kc in &rkeys {
-                    let v = kc.get(i);
-                    if v.is_null() {
-                        continue 'rows;
+                for c in &codecs {
+                    match c.build_part(i) {
+                        Some(p) => key.push(p),
+                        None => continue 'rows,
                     }
-                    key.push(v);
                 }
                 table.entry(key).or_default().push(i as u32);
             }
@@ -155,17 +282,18 @@ pub fn execute_join_par(
         let mut out = ProbeOut::default();
         for li in lo..hi {
             // Probe key (NULLs never match).
-            let (probe, part): (Option<Vec<Value>>, usize) = match row_key_hash(&lkeys, li as usize)
-            {
-                None => (None, 0),
-                Some(h) => {
-                    let mut key = Vec::with_capacity(equi.len());
-                    for kc in &lkeys {
-                        key.push(kc.get(li as usize));
+            let (probe, part): (Option<Vec<JPart>>, usize) =
+                match row_key_hash(&codecs, li as usize, false) {
+                    None => (None, 0),
+                    Some(h) => {
+                        let key = codecs
+                            .iter()
+                            .map(|c| c.probe_part(li as usize))
+                            .collect::<Option<Vec<_>>>();
+                        // invariant: the hash existed, so no part is NULL.
+                        (key, h as usize % nparts)
                     }
-                    (Some(key), h as usize % nparts)
-                }
-            };
+                };
             let matches: Vec<u32> = match probe.and_then(|k| tables[part].get(&k).cloned()) {
                 Some(cands) => {
                     let mut kept = Vec::with_capacity(cands.len());

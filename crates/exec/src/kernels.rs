@@ -226,6 +226,17 @@ fn try_fast_binary(
             }
             Ok(Some(ColumnVector::Boolean(out, nl.clone())))
         }
+        (ColumnVector::Dict { codes, dict, nulls }, Value::String(x)) => {
+            // Compare once per distinct dictionary entry, then expand
+            // the per-code verdicts through the codes — one string
+            // comparison per *distinct* value instead of per row.
+            let per_code: Vec<bool> = dict
+                .iter()
+                .map(|s| apply_ord(op, Some(s.as_str().cmp(x.as_str()))))
+                .collect();
+            let out: Vec<bool> = codes.iter().map(|&c| per_code[c as usize]).collect();
+            Ok(Some(ColumnVector::Boolean(out, nulls.clone())))
+        }
         (ColumnVector::Decimal(v, s, nl), Value::Decimal(u, s2)) => {
             let scaled = hive_common::value::rescale(*u, *s2, *s);
             cmp_prim!(v, nl, scaled)
@@ -266,6 +277,9 @@ fn apply_ord(op: BinaryOp, ord: Option<Ordering>) -> bool {
 /// Row-fallback evaluation into a typed column. The output type comes
 /// from the expression's static type against the batch schema.
 fn fallback(expr: &ScalarExpr, batch: &VectorBatch) -> Result<ColumnVector> {
+    if let Some(out) = eval_dict_unary(expr, batch)? {
+        return Ok(out);
+    }
     let dt = expr.data_type(batch.schema())?;
     let dt = if dt == hive_common::DataType::Null {
         hive_common::DataType::String
@@ -279,6 +293,48 @@ fn fallback(expr: &ScalarExpr, batch: &VectorBatch) -> Result<ColumnVector> {
         b.push(&v)?;
     }
     Ok(b.finish())
+}
+
+/// Dictionary fast path for any expression whose only input column is
+/// dictionary-encoded (IN lists, LIKE, CASE, functions…): run the row
+/// interpreter once per *distinct* dictionary entry — plus once for
+/// NULL — and expand the results through the codes. Semantics match the
+/// row fallback by construction: it is the same evaluator, fed the same
+/// scalar each row would have produced.
+fn eval_dict_unary(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Option<ColumnVector>> {
+    let cols = expr.columns();
+    let [ci] = cols[..] else { return Ok(None) };
+    let Some((codes, dict, nulls)) = batch.column(ci).dict_parts() else {
+        return Ok(None);
+    };
+    // Only profitable when the dictionary is smaller than the row count.
+    if codes.len() <= dict.len() {
+        return Ok(None);
+    }
+    let dt = expr.data_type(batch.schema())?;
+    let dt = if dt == hive_common::DataType::Null {
+        hive_common::DataType::String
+    } else {
+        dt
+    };
+    // The expression reads only column `ci`, so the other positions of
+    // the synthetic row are never consulted.
+    let mut row: Vec<Value> = vec![Value::Null; batch.num_columns()];
+    let null_result = eval_scalar(expr, &row)?;
+    let mut per_code = Vec::with_capacity(dict.len());
+    for s in dict.iter() {
+        row[ci] = Value::String(s.clone());
+        per_code.push(eval_scalar(expr, &row)?);
+    }
+    let mut b = ColumnBuilder::new(&dt)?;
+    for (i, &c) in codes.iter().enumerate() {
+        if nulls.is_some_and(|n| n.get(i)) {
+            b.push(&null_result)?;
+        } else {
+            b.push(&per_code[c as usize])?;
+        }
+    }
+    Ok(Some(b.finish()))
 }
 
 /// Evaluate a binary op on two scalars — re-exported convenience for

@@ -14,6 +14,7 @@
 //! baseline.
 
 pub mod aggregate;
+pub(crate) mod dict;
 pub mod engine;
 pub mod join;
 pub mod kernels;

@@ -457,6 +457,17 @@ fn fetch_chunk(
     col: usize,
 ) -> Result<ColumnVector> {
     let what = format!("chunk rg={rg} col={col} of file {:?}", file.file_id());
+    // Late materialization: keep dictionary-encoded string chunks as
+    // codes + shared dictionary all the way through the cache and the
+    // operators (§3.1/§3.3 — LLAP caches data "in its encoded format").
+    let encoded = ctx.conf.effective_dictionary_enabled();
+    let read = || {
+        if encoded {
+            file.read_column_chunk_encoded(rg, col)
+        } else {
+            file.read_column_chunk(rg, col)
+        }
+    };
     match ctx.llap {
         Some(l) if ctx.conf.llap_enabled => {
             let key = hive_llap::cache::ChunkKey {
@@ -467,11 +478,11 @@ fn fetch_chunk(
             let fault = ctx.fs.fault();
             let fault = fault.is_active().then(|| fault.as_ref());
             let arc = l.cache().get_or_load_with_fault(key, fault, || {
-                crate::recovery::retry_transient(ctx, &what, || file.read_column_chunk(rg, col))
+                crate::recovery::retry_transient(ctx, &what, read)
             })?;
             Ok((*arc).clone())
         }
-        _ => crate::recovery::retry_transient(ctx, &what, || file.read_column_chunk(rg, col)),
+        _ => crate::recovery::retry_transient(ctx, &what, read),
     }
 }
 

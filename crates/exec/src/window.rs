@@ -1,6 +1,7 @@
 //! Window function execution: partition, order, and evaluate ranking /
 //! navigation / framed-aggregate functions.
 
+use crate::dict::{KeyPart, KeyReader};
 use crate::kernels::eval_vector;
 use hive_common::{ColumnBuilder, Result, Value, VectorBatch};
 use hive_optimizer::plan::window_output_type;
@@ -50,14 +51,19 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
         .map(|e| eval_vector(e, input))
         .collect::<Result<Vec<_>>>()?;
 
-    // Group row indexes by partition key.
-    let mut partitions: std::collections::HashMap<Vec<Value>, Vec<usize>> =
+    // Group row indexes by partition key. Dictionary-encoded partition
+    // columns key by u32 code via [`KeyReader`] — no string clones.
+    // (Output cells are written per row index, so partition iteration
+    // order is irrelevant to results.)
+    let part_readers: Vec<KeyReader<'_>> = part_cols.iter().map(KeyReader::new).collect();
+    let mut partitions: std::collections::HashMap<Vec<KeyPart>, Vec<usize>> =
         std::collections::HashMap::new();
     for i in 0..n {
-        let key: Vec<Value> = part_cols.iter().map(|c| c.get(i)).collect();
+        let key: Vec<KeyPart> = part_readers.iter().map(|r| r.part(i)).collect();
         partitions.entry(key).or_default().push(i);
     }
 
+    let order_readers: Vec<KeyReader<'_>> = order_cols.iter().map(KeyReader::new).collect();
     let mut out = vec![Value::Null; n];
     for (_, mut rows) in partitions {
         // Sort within the partition by the order keys.
@@ -89,8 +95,10 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
             }
             Ordering::Equal
         });
-        let peer_key = |i: usize| -> Vec<Value> {
-            order_cols.iter().map(|c| c.get(rows[i])).collect()
+        // Peer equality through key parts: code compare for
+        // dictionary-encoded order columns, value compare otherwise.
+        let peer_key = |i: usize| -> Vec<KeyPart> {
+            order_readers.iter().map(|r| r.part(rows[i])).collect()
         };
         match &w.func {
             WindowFunc::RowNumber => {

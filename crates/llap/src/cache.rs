@@ -5,7 +5,6 @@ use hive_corc::CorcFile;
 use hive_dfs::{DfsPath, DistFs};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -21,21 +20,65 @@ pub struct ChunkKey {
 
 impl ChunkKey {
     /// Stable 64-bit identity, used for fault-injection rolls and for
-    /// partitioning the cache across daemon nodes.
+    /// partitioning the cache across daemon nodes. Explicit FNV-1a
+    /// rather than `DefaultHasher`: the standard hasher's output is not
+    /// guaranteed stable across Rust releases, and `HIVE_FAULT_SEED`
+    /// replays must not change under a toolchain bump. Pinned by a
+    /// regression test below.
     pub fn hash64(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for v in [self.file.0, self.column as u64, self.row_group as u64] {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
     }
+}
+
+/// Identity of a shared dictionary allocation referenced by cache
+/// entries of one (file, column). The `Arc` address is a valid identity
+/// because every referencing `Entry` keeps the allocation alive, so the
+/// address cannot be reused while a charge is outstanding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DictKey {
+    file: FileId,
+    column: usize,
+    addr: usize,
 }
 
 #[derive(Debug)]
 struct Entry {
     data: Arc<ColumnVector>,
+    /// Bytes charged to this entry alone: for dictionary-encoded chunks
+    /// the codes (4 bytes/row) + null-bitmap overhead; the shared
+    /// dictionary is charged once per [`DictKey`] in `dict_charges`.
     bytes: usize,
+    /// Shared dictionary this entry holds a reference on, if any.
+    dict_key: Option<DictKey>,
     /// LRFU combined recency/frequency value.
     crf: f64,
     last_ref: u64,
+}
+
+/// Per-entry cost split: own bytes plus (for encoded chunks) the shared
+/// dictionary's identity and size.
+fn chunk_cost(key: &ChunkKey, col: &ColumnVector) -> (usize, Option<(DictKey, usize)>) {
+    match col.dict_parts() {
+        Some((codes, dict, _)) => {
+            let own = codes.len() * 4 + codes.len() / 8;
+            let dict_bytes: usize = dict.iter().map(|s| s.len() + 24).sum();
+            let dk = DictKey {
+                file: key.file,
+                column: key.column,
+                addr: Arc::as_ptr(dict) as *const u8 as usize,
+            };
+            (own, Some((dk, dict_bytes)))
+        }
+        None => (col.approx_bytes(), None),
+    }
 }
 
 /// Cache hit/miss counters.
@@ -92,6 +135,25 @@ struct CacheInner {
     entries: HashMap<ChunkKey, Entry>,
     bytes: usize,
     tick: u64,
+    /// `(bytes, live entry refs)` per shared dictionary; the bytes are
+    /// added to `bytes` when the first referencing entry is inserted
+    /// and released when the last one leaves.
+    dict_charges: HashMap<DictKey, (usize, usize)>,
+}
+
+/// Remove an entry's byte charges, releasing its dictionary share when
+/// it was the last reference.
+fn release_entry(g: &mut CacheInner, e: Entry) {
+    g.bytes -= e.bytes;
+    if let Some(dk) = e.dict_key {
+        if let Some(c) = g.dict_charges.get_mut(&dk) {
+            c.1 -= 1;
+            if c.1 == 0 {
+                g.bytes -= c.0;
+                g.dict_charges.remove(&dk);
+            }
+        }
+    }
 }
 
 impl LlapCache {
@@ -162,7 +224,7 @@ impl LlapCache {
                 if corrupt {
                     self.stats.corrupt_misses.fetch_add(1, Ordering::Relaxed);
                     if let Some(e) = g.entries.remove(&key) {
-                        g.bytes -= e.bytes;
+                        release_entry(&mut g, e);
                     }
                     // Fall through to the miss path below.
                 } else {
@@ -183,18 +245,33 @@ impl LlapCache {
         // Miss: load outside the lock.
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         let col = load()?;
-        let bytes = col.approx_bytes();
         self.stats
             .bytes_loaded
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+            .fetch_add(col.approx_bytes() as u64, Ordering::Relaxed);
+        let (bytes, dict_info) = chunk_cost(&key, &col);
         let data = Arc::new(col);
         let mut g = self.inner.lock();
         g.tick += 1;
         let now = g.tick;
+        // Cost of admitting this chunk right now: its own bytes plus
+        // the dictionary when no resident entry shares it yet
+        // (re-evaluated inside the eviction loop, since evicting the
+        // dictionary's last other holder re-adds its bytes to our bill).
+        fn admit_cost(
+            g: &CacheInner,
+            bytes: usize,
+            dict_info: &Option<(DictKey, usize)>,
+        ) -> usize {
+            bytes
+                + match dict_info {
+                    Some((dk, db)) if !g.dict_charges.contains_key(dk) => *db,
+                    _ => 0,
+                }
+        }
         // Evict lowest-CRF entries until the new chunk fits. Chunks
         // larger than the whole cache bypass it.
-        if bytes <= self.capacity_bytes {
-            while g.bytes + bytes > self.capacity_bytes {
+        if admit_cost(&g, bytes, &dict_info) <= self.capacity_bytes {
+            while g.bytes + admit_cost(&g, bytes, &dict_info) > self.capacity_bytes {
                 // total_cmp instead of partial_cmp().unwrap(): a NaN
                 // CRF (λ/Δt edge cases) must pick *a* victim, not
                 // panic mid-eviction with the cache lock held.
@@ -210,16 +287,27 @@ impl LlapCache {
                     None => break,
                 };
                 if let Some(e) = g.entries.remove(&victim) {
-                    g.bytes -= e.bytes;
+                    release_entry(&mut g, e);
                     self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            let inner = &mut *g;
+            let dict_key = dict_info.map(|(dk, db)| {
+                let c = inner.dict_charges.entry(dk).or_insert((db, 0));
+                if c.1 == 0 {
+                    // First resident reference carries the dictionary.
+                    inner.bytes += db;
+                }
+                c.1 += 1;
+                dk
+            });
             g.bytes += bytes;
             if let Some(old) = g.entries.insert(
                 key,
                 Entry {
                     data: data.clone(),
                     bytes,
+                    dict_key,
                     crf: 1.0,
                     last_ref: now,
                 },
@@ -229,7 +317,7 @@ impl LlapCache {
                 // replaces the winner's entry, so give back the bytes
                 // of the entry being replaced or resident accounting
                 // drifts upward forever.
-                g.bytes -= old.bytes;
+                release_entry(&mut g, old);
             }
         }
         Ok(data)
@@ -239,6 +327,7 @@ impl LlapCache {
     pub fn clear(&self) {
         let mut g = self.inner.lock();
         g.entries.clear();
+        g.dict_charges.clear();
         g.bytes = 0;
     }
 
@@ -259,7 +348,7 @@ impl LlapCache {
             .collect();
         for k in victims {
             if let Some(e) = g.entries.remove(&k) {
-                g.bytes -= e.bytes;
+                release_entry(&mut g, e);
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -437,6 +526,79 @@ mod tests {
             Err(HiveError::Io("disk gone".into()))
         });
         assert!(r.is_err());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn chunk_key_hash64_is_pinned() {
+        // FNV-1a over the key's fields, little-endian. These values are
+        // part of the replay contract: HIVE_FAULT_SEED schedules and
+        // daemon cache partitioning key off hash64, so it must never
+        // change — not even across Rust toolchain releases.
+        assert_eq!(key(1, 0, 0).hash64(), 0x5b2a_969b_42d2_38a4);
+        assert_eq!(key(0xDEAD_BEEF, 3, 7).hash64(), 0xbb59_cec2_b614_3d3f);
+        // And it must distinguish fields that a naive XOR would merge.
+        assert_ne!(key(1, 2, 3).hash64(), key(1, 3, 2).hash64());
+        assert_ne!(key(2, 1, 3).hash64(), key(1, 2, 3).hash64());
+    }
+
+    fn dict_chunk(dict: &Arc<Vec<String>>, rows: usize) -> ColumnVector {
+        let codes: Vec<u32> = (0..rows).map(|i| (i % dict.len()) as u32).collect();
+        ColumnVector::dict_from_codes(codes, dict.clone(), None).unwrap()
+    }
+
+    #[test]
+    fn shared_dictionary_charged_once() {
+        let cache = LlapCache::new(1 << 20, 0.5);
+        let dict = Arc::new(vec!["aaaaaaaa".to_string(), "bbbbbbbb".to_string()]);
+        let dict_bytes: usize = dict.iter().map(|s| s.len() + 24).sum();
+        let codes_bytes = 100 * 4 + 100 / 8;
+        // Two row-group chunks of the same (file, column) share the
+        // dictionary Arc — the second must charge its codes only.
+        cache
+            .get_or_load(key(1, 0, 0), || Ok(dict_chunk(&dict, 100)))
+            .unwrap();
+        assert_eq!(cache.resident_bytes(), codes_bytes + dict_bytes);
+        cache
+            .get_or_load(key(1, 0, 1), || Ok(dict_chunk(&dict, 100)))
+            .unwrap();
+        assert_eq!(
+            cache.resident_bytes(),
+            2 * codes_bytes + dict_bytes,
+            "second chunk of the column double-counted the dictionary"
+        );
+        // A different column's dictionary (distinct Arc) is its own charge.
+        let other = Arc::new(vec!["cc".to_string()]);
+        cache
+            .get_or_load(key(1, 1, 0), || Ok(dict_chunk(&other, 100)))
+            .unwrap();
+        let other_bytes: usize = other.iter().map(|s| s.len() + 24).sum();
+        assert_eq!(
+            cache.resident_bytes(),
+            3 * codes_bytes + dict_bytes + other_bytes
+        );
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn evicting_last_holder_releases_dictionary_bytes() {
+        let cache = LlapCache::new(1 << 20, 0.5);
+        let dict = Arc::new(vec!["xxxxxxxxxxxxxxxx".to_string()]);
+        cache
+            .get_or_load(key(1, 0, 0), || Ok(dict_chunk(&dict, 50)))
+            .unwrap();
+        cache
+            .get_or_load(key(1, 0, 1), || Ok(dict_chunk(&dict, 50)))
+            .unwrap();
+        let full = cache.resident_bytes();
+        // Daemon-death eviction drops both entries; all dictionary
+        // bytes must come back (refcount reaches zero exactly once).
+        assert!(full > 0);
+        cache.evict_node_share(0, 1);
+        cache.evict_node_share(1, 1);
+        // nodes=1 maps every key to node 0; the second call is a no-op.
+        assert_eq!(cache.resident_bytes(), 0);
         assert_eq!(cache.len(), 0);
     }
 }

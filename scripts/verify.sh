@@ -17,6 +17,11 @@
 # (HIVE_PARALLEL_THREADS overrides hive.exec.parallel.threads), then
 # runs the parallel benchmark, which refreshes BENCH_parallel.json at
 # the repo root.
+#
+# HIVE_DICT_SWEEP=1 re-runs the test suite with dictionary-encoded late
+# materialization forced off and then on (HIVE_DICT_ENABLED overrides
+# hive.exec.dictionary.enabled) — results must be identical either way —
+# then runs the dictionary benchmark, which refreshes BENCH_dict.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +47,15 @@ if [[ -n "${HIVE_PAR_SWEEP:-}" ]]; then
     done
     echo "== parallel sweep: benchmark (writes BENCH_parallel.json) =="
     cargo bench -q --offline -p hive-bench --bench parallel
+fi
+
+if [[ -n "${HIVE_DICT_SWEEP:-}" ]]; then
+    for dict in 0 1; do
+        echo "== dictionary sweep: tests at HIVE_DICT_ENABLED=$dict =="
+        HIVE_DICT_ENABLED="$dict" cargo test -q --offline --workspace
+    done
+    echo "== dictionary sweep: benchmark (writes BENCH_dict.json) =="
+    cargo bench -q --offline -p hive-bench --bench dictionary
 fi
 
 echo "verify: OK"

@@ -1,0 +1,118 @@
+//! Dictionary-encoding differential suite: `hive.exec.dictionary.enabled`
+//! may only change representation and speed, never results. Every
+//! curated TPC-DS query must return byte-identical rows with the
+//! encoded path on and off — fault-free, under a fault plan with
+//! recovery, and across the 1/2/8 thread sweep.
+
+use hive_warehouse::benchdata::tpcds::{self, TpcdsScale};
+use hive_warehouse::{FaultPlan, HiveConf, HiveServer};
+
+/// Env knobs override the conf fields; this binary manages both itself.
+fn neutralize_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        std::env::remove_var("HIVE_DICT_ENABLED");
+        std::env::remove_var("HIVE_PARALLEL_THREADS");
+    });
+}
+
+/// Big enough that string columns span several row groups, so encoded
+/// chunks flow through the cache and the operators for real.
+fn scale() -> TpcdsScale {
+    TpcdsScale {
+        days: 8,
+        items: 150,
+        customers: 200,
+        stores: 4,
+        sales_per_day: 1500,
+        return_rate: 0.1,
+    }
+}
+
+fn load_server(dict: bool, threads: usize) -> HiveServer {
+    neutralize_env();
+    let mut conf = HiveConf::v3_1();
+    conf.dictionary_enabled = dict;
+    conf.parallel_threads = threads;
+    let server = HiveServer::new(conf);
+    tpcds::load(&server, scale(), 0xDA7A).unwrap();
+    server
+}
+
+/// Every curated TPC-DS query: dictionary on == dictionary off.
+#[test]
+fn dictionary_toggle_never_changes_results() {
+    let queries = tpcds::queries();
+    let off = load_server(false, 1);
+    let on = load_server(true, 1);
+    for q in &queries {
+        let expected = off.session().execute(&q.sql).unwrap().display_rows();
+        let got = on.session().execute(&q.sql).unwrap().display_rows();
+        assert_eq!(got, expected, "{} diverged with dictionary encoding", q.id);
+    }
+}
+
+/// The toggle stays invisible across worker counts: for each thread
+/// count the dict-on rows equal the dict-off rows, and all equal the
+/// 1-thread baseline.
+#[test]
+fn dictionary_toggle_is_invisible_across_thread_sweep() {
+    let query = &tpcds::queries()[0]; // q3: scan + join + group + order
+    let baseline = load_server(false, 1)
+        .session()
+        .execute(&query.sql)
+        .unwrap()
+        .display_rows();
+    assert!(!baseline.is_empty());
+    for threads in [1, 2, 8] {
+        for dict in [false, true] {
+            let rows = load_server(dict, threads)
+                .session()
+                .execute(&query.sql)
+                .unwrap()
+                .display_rows();
+            assert_eq!(
+                rows, baseline,
+                "dict={dict} at {threads} threads diverged"
+            );
+        }
+    }
+}
+
+/// A seeded fault plan (daemon deaths, transient DFS errors, recovery
+/// enabled) yields the fault-free rows under both settings, and the
+/// simulated fault penalty replays exactly within each setting.
+#[test]
+fn faulted_runs_match_under_both_settings() {
+    let query = &tpcds::queries()[0];
+    let baseline = load_server(false, 1)
+        .session()
+        .execute(&query.sql)
+        .unwrap()
+        .display_rows();
+
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0xBADD_CAFE;
+        p.daemon_kill_prob = 0.8;
+        p.dfs_read_error_prob = 0.05;
+        p.dfs_slow_prob = 0.1;
+        p.dfs_slow_ms = 4.0;
+    });
+    let run = |dict: bool| -> (Vec<String>, f64, u64) {
+        let server = load_server(dict, 2);
+        server.set_conf(|c| c.fault = plan.clone());
+        let r = server.session().execute(&query.sql).unwrap();
+        (r.display_rows(), r.sim_ms, r.fragment_retries)
+    };
+    for dict in [false, true] {
+        let (rows, sim_ms, retries) = run(dict);
+        assert_eq!(rows, baseline, "faulted run diverged with dict={dict}");
+        let (rows2, sim_ms2, retries2) = run(dict);
+        assert_eq!(rows2, baseline);
+        assert_eq!(
+            (sim_ms2, retries2),
+            (sim_ms, retries),
+            "fault penalty must replay exactly with dict={dict}"
+        );
+    }
+}
