@@ -131,8 +131,7 @@ impl AcidScan {
                 let final_batch = if include_row_ids {
                     visible
                 } else {
-                    let data_cols: Vec<usize> =
-                        (ACID_COLS..ACID_COLS + projection.len()).collect();
+                    let data_cols: Vec<usize> = (ACID_COLS..ACID_COLS + projection.len()).collect();
                     visible.project(&data_cols)
                 };
                 // Align schemas (projection of file schema has same types).
@@ -151,9 +150,7 @@ fn shift_predicate(p: &ColumnPredicate, by: usize) -> ColumnPredicate {
         ColumnPredicate::Le(c, v) => ColumnPredicate::Le(c + by, v.clone()),
         ColumnPredicate::Gt(c, v) => ColumnPredicate::Gt(c + by, v.clone()),
         ColumnPredicate::Ge(c, v) => ColumnPredicate::Ge(c + by, v.clone()),
-        ColumnPredicate::Between(c, a, b) => {
-            ColumnPredicate::Between(c + by, a.clone(), b.clone())
-        }
+        ColumnPredicate::Between(c, a, b) => ColumnPredicate::Between(c + by, a.clone(), b.clone()),
         ColumnPredicate::In(c, vs) => ColumnPredicate::In(c + by, vs.clone()),
         ColumnPredicate::IsNull(c) => ColumnPredicate::IsNull(c + by),
         ColumnPredicate::IsNotNull(c) => ColumnPredicate::IsNotNull(c + by),

@@ -37,11 +37,7 @@ impl AcidSnapshot {
 ///    (`N ≤ hwm`, no open WriteId `≤ N`);
 /// 2. keep insert/delete deltas whose range reaches above `N` and whose
 ///    range intersects visible WriteIds.
-pub fn resolve_snapshot(
-    fs: &DistFs,
-    dir: &DfsPath,
-    wlist: &ValidWriteIdList,
-) -> AcidSnapshot {
+pub fn resolve_snapshot(fs: &DistFs, dir: &DfsPath, wlist: &ValidWriteIdList) -> AcidSnapshot {
     let mut bases: Vec<AcidDir> = Vec::new();
     let mut deltas: Vec<AcidDir> = Vec::new();
     let mut delete_deltas: Vec<AcidDir> = Vec::new();
@@ -74,18 +70,13 @@ pub fn resolve_snapshot(
     let visible_range = |d: &AcidDir| {
         // A delta is interesting when its range reaches above the base
         // and at least one id in the range could be visible.
-        d.max_wid > base_wid
-            && (d.min_wid <= wlist.high_watermark || wlist.own == Some(d.min_wid))
+        d.max_wid > base_wid && (d.min_wid <= wlist.high_watermark || wlist.own == Some(d.min_wid))
     };
     // Select live deltas, preferring the *widest* range when ranges
     // overlap: a compacted delta_1_5 subsumes delta_1_1..delta_5_5 that
     // the cleaner has not removed yet (Hive's getAcidState rule).
     let select = |mut candidates: Vec<AcidDir>, obsolete: &mut Vec<AcidDir>| {
-        candidates.sort_by(|a, b| {
-            a.min_wid
-                .cmp(&b.min_wid)
-                .then(b.max_wid.cmp(&a.max_wid))
-        });
+        candidates.sort_by(|a, b| a.min_wid.cmp(&b.min_wid).then(b.max_wid.cmp(&a.max_wid)));
         let mut out: Vec<AcidDir> = Vec::new();
         for d in candidates {
             if d.max_wid <= base_wid {
@@ -224,20 +215,14 @@ mod tests {
         w.write_insert_delta(WriteId(1), &one_row(1)).unwrap();
         w.write_insert_delta(WriteId(2), &one_row(2)).unwrap();
         // Simulate a compaction product.
-        fs.create(
-            &dir.child("base_2/bucket_0"),
-            {
-                let cw = hive_corc::CorcWriter::new(
-                    crate::writer::acid_file_schema(&Schema::new(vec![Field::new(
-                        "a",
-                        DataType::Int,
-                    )])),
-                    Default::default(),
-                )
-                .unwrap();
-                cw.finish().unwrap()
-            },
-        )
+        fs.create(&dir.child("base_2/bucket_0"), {
+            let cw = hive_corc::CorcWriter::new(
+                crate::writer::acid_file_schema(&Schema::new(vec![Field::new("a", DataType::Int)])),
+                Default::default(),
+            )
+            .unwrap();
+            cw.finish().unwrap()
+        })
         .unwrap();
         w.write_insert_delta(WriteId(3), &one_row(3)).unwrap();
         let snap = resolve_snapshot(&fs, &dir, &wlist(3, &[], &[]));
@@ -261,10 +246,8 @@ mod tests {
     }
 
     fn bytes_of_empty_base() -> bytes::Bytes {
-        let schema = crate::writer::acid_file_schema(&Schema::new(vec![Field::new(
-            "a",
-            DataType::Int,
-        )]));
+        let schema =
+            crate::writer::acid_file_schema(&Schema::new(vec![Field::new("a", DataType::Int)]));
         hive_corc::CorcWriter::new(schema, Default::default())
             .unwrap()
             .finish()

@@ -2,8 +2,7 @@
 
 use crate::layout::{AcidDir, DirKind};
 use hive_common::{
-    BucketId, ColumnVector, DataType, Field, RecordId, Result, RowId, Schema, VectorBatch,
-    WriteId,
+    BucketId, ColumnVector, DataType, Field, RecordId, Result, RowId, Schema, VectorBatch, WriteId,
 };
 use hive_corc::{CorcWriter, WriterOptions};
 use hive_dfs::{DfsPath, DistFs};
@@ -73,9 +72,7 @@ impl AcidWriter {
     /// (UPDATE + MERGE arms, multi-insert) produces one `bucket_N` file
     /// per write; the bucket id keeps record identities distinct.
     pub fn write_insert_delta(&self, wid: WriteId, batch: &VectorBatch) -> Result<DfsPath> {
-        let dir = self
-            .dir
-            .child(AcidDir::dir_name(DirKind::Delta, wid, wid));
+        let dir = self.dir.child(AcidDir::dir_name(DirKind::Delta, wid, wid));
         let bucket = BucketId(self.fs.list_files_recursive(&dir).len() as u64);
         self.write_store(DirKind::Delta, wid, wid, batch, bucket)
     }
@@ -112,9 +109,12 @@ impl AcidWriter {
         let wid_col = ColumnVector::BigInt(vec![max.raw() as i64; n], None);
         let bucket_col = ColumnVector::BigInt(vec![bucket.raw() as i64; n], None);
         let rowid_col = ColumnVector::BigInt((0..n as i64).collect(), None);
-        let mut cols = vec![wid_col, bucket_col, rowid_col];
+        let mut cols: Vec<std::sync::Arc<ColumnVector>> = vec![wid_col, bucket_col, rowid_col]
+            .into_iter()
+            .map(std::sync::Arc::new)
+            .collect();
         cols.extend(batch.columns().iter().cloned());
-        let file_batch = VectorBatch::new(acid_file_schema(batch.schema()), cols)?;
+        let file_batch = VectorBatch::from_arcs(acid_file_schema(batch.schema()), cols, n)?;
         let dir_name = AcidDir::dir_name(kind, min, max);
         let dir = self.dir.child(dir_name);
         let mut w = CorcWriter::new(file_batch.schema().clone(), self.opts.clone())?;
@@ -222,8 +222,14 @@ mod tests {
             vec!["__writeid", "__bucket", "__rowid", "a", "b"]
         );
         let all = f.read_all().unwrap();
-        assert_eq!(record_id_at(&all, 0), RecordId::new(WriteId(7), BucketId(0), RowId(0)));
-        assert_eq!(record_id_at(&all, 1), RecordId::new(WriteId(7), BucketId(0), RowId(1)));
+        assert_eq!(
+            record_id_at(&all, 0),
+            RecordId::new(WriteId(7), BucketId(0), RowId(0))
+        );
+        assert_eq!(
+            record_id_at(&all, 1),
+            RecordId::new(WriteId(7), BucketId(0), RowId(1))
+        );
         assert_eq!(all.row(1).get(4), &Value::String("y".into()));
     }
 

@@ -245,7 +245,7 @@ fn major_compaction_builds_base_and_drops_history() {
     let w1 = fx.insert(&[(1, "a"), (2, "b")]);
     fx.insert(&[(3, "c")]);
     fx.delete(&[RecordId::new(w1, BucketId(0), RowId(0))]); // delete k=1
-    // An aborted write leaves garbage that major compaction must drop.
+                                                            // An aborted write leaves garbage that major compaction must drop.
     let txn = fx.ms.open_txn();
     let wa = fx.ms.allocate_write_id(txn, TABLE).unwrap();
     fx.writer
@@ -253,9 +253,7 @@ fn major_compaction_builds_base_and_drops_history() {
         .unwrap();
     fx.ms.abort_txn(txn).unwrap();
 
-    let wlist = fx
-        .ms
-        .valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
+    let wlist = fx.ms.valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
     let compactor = Compactor::new(&fx.fs, &fx.dir, schema());
     let outcome = compactor.major(&wlist).unwrap().unwrap();
     assert_eq!(outcome.new_base_wid, Some(WriteId(4)));
@@ -293,9 +291,7 @@ fn compaction_respects_open_transactions() {
         .write_insert_delta(w_open, &batch(&[(2, "pending")]))
         .unwrap();
     fx.insert(&[(3, "c")]); // WriteId 3
-    let wlist = fx
-        .ms
-        .valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
+    let wlist = fx.ms.valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
     let compactor = Compactor::new(&fx.fs, &fx.dir, schema());
     let outcome = compactor.major(&wlist).unwrap().unwrap();
     // Ceiling is below the open txn: base_1, not base_3.
@@ -319,9 +315,7 @@ fn sarg_pushdown_through_acid_scan() {
         let refs: Vec<(i32, &str)> = rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
         fx.insert(&refs);
     }
-    let wlist = fx
-        .ms
-        .valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
+    let wlist = fx.ms.valid_write_ids(TABLE, &fx.ms.valid_txn_list(), None);
     let scan = AcidScan::new(&fx.fs, &fx.dir, schema(), wlist).unwrap();
     let sarg = SearchArgument::with(vec![hive_corc::ColumnPredicate::Between(
         0,

@@ -3,9 +3,7 @@
 //! minor/major compactions, and cleaning interleave (§3.2).
 
 use hive_acid::{AcidScan, AcidWriter, Compactor};
-use hive_common::{
-    BucketId, DataType, Field, RecordId, Row, RowId, Schema, Value, VectorBatch,
-};
+use hive_common::{BucketId, DataType, Field, RecordId, Row, RowId, Schema, Value, VectorBatch};
 use hive_corc::SearchArgument;
 use hive_dfs::{DfsPath, DistFs};
 use hive_metastore::{Metastore, TableBuilder};
@@ -74,7 +72,10 @@ impl Harness {
     fn batch(&mut self, n: u8) -> (VectorBatch, Vec<i32>) {
         let keys: Vec<i32> = (0..n as i32).map(|i| self.next_key + i).collect();
         self.next_key += n as i32;
-        let rows: Vec<Row> = keys.iter().map(|&k| Row::new(vec![Value::Int(k)])).collect();
+        let rows: Vec<Row> = keys
+            .iter()
+            .map(|&k| Row::new(vec![Value::Int(k)]))
+            .collect();
         (VectorBatch::from_rows(&schema(), &rows).unwrap(), keys)
     }
 

@@ -79,8 +79,7 @@ fn main() {
             .map(|i| Row::new(vec![Value::BigInt(i as i64), Value::BigInt(i as i64 % 997)]))
             .collect();
         let batch = VectorBatch::from_rows(&schema, &rows).unwrap();
-        let bytes =
-            hive_corc::writer::write_batch_to_bytes(&batch, Default::default()).unwrap();
+        let bytes = hive_corc::writer::write_batch_to_bytes(&batch, Default::default()).unwrap();
         server
             .fs()
             .create(

@@ -28,7 +28,9 @@ fn main() {
 
     // Invalidation: one insert, the entry is expunged.
     session
-        .execute("INSERT INTO store_sales VALUES (1,1,1,1,1,1,999999,1,1.0,1.0,1.0,1.0,0.1,2451000)")
+        .execute(
+            "INSERT INTO store_sales VALUES (1,1,1,1,1,1,999999,1,1.0,1.0,1.0,1.0,0.1,2451000)",
+        )
         .unwrap();
     let after_write = session.execute(q).unwrap();
     println!(
@@ -40,7 +42,9 @@ fn main() {
     // Thundering herd: N threads fire the same (now cached-again) query
     // after another invalidating write; only one executes.
     session
-        .execute("INSERT INTO store_sales VALUES (2,1,1,1,1,1,999998,1,1.0,1.0,1.0,1.0,0.1,2451000)")
+        .execute(
+            "INSERT INTO store_sales VALUES (2,1,1,1,1,1,999998,1,1.0,1.0,1.0,1.0,0.1,2451000)",
+        )
         .unwrap();
     let server = Arc::new(server);
     let (h0, m0) = server.results_cache().stats();

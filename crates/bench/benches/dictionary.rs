@@ -57,35 +57,50 @@ fn string_batches(card: usize) -> (VectorBatch, VectorBatch) {
 
 /// GROUP BY a string key (the operator the issue gates on): encoded
 /// keys hash u32 codes, materialized keys clone and hash strings.
-fn bench_groupby(
-    name: &'static str,
-    card: usize,
-    results: &mut Vec<(&'static str, f64, f64)>,
-) {
+fn bench_groupby(name: &'static str, card: usize, results: &mut Vec<(&'static str, f64, f64)>) {
     let (dict_b, str_b) = string_batches(card);
     let groups = vec![ScalarExpr::Column(0)];
     let aggs = vec![
-        AggExpr { func: AggFunc::Count, arg: None, distinct: false },
-        AggExpr { func: AggFunc::Sum, arg: Some(ScalarExpr::Column(1)), distinct: false },
+        AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        },
+        AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::Column(1)),
+            distinct: false,
+        },
     ];
     let out_schema = LogicalPlan::Aggregate {
-        input: Arc::new(LogicalPlan::Values { schema: dict_b.schema().clone(), rows: vec![] }),
+        input: Arc::new(LogicalPlan::Values {
+            schema: dict_b.schema().clone(),
+            rows: vec![],
+        }),
         group_exprs: groups.clone(),
         grouping_sets: None,
         aggs: aggs.clone(),
     }
     .schema();
     let run = |b: &VectorBatch| {
-        execute_aggregate_par(b, &groups, &None, &aggs, &out_schema, 1).unwrap()
+        let sb = hive_common::SelBatch::from_batch(b.clone());
+        execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1).unwrap()
     };
-    assert_eq!(rows_of(&run(&dict_b)), rows_of(&run(&str_b)), "{name} diverged");
+    assert_eq!(
+        rows_of(&run(&dict_b)),
+        rows_of(&run(&str_b)),
+        "{name} diverged"
+    );
     let on = time_ms(|| {
         run(&dict_b);
     });
     let off = time_ms(|| {
         run(&str_b);
     });
-    eprintln!("{name:<22} dict={on:8.2} ms  plain={off:8.2} ms  ({:.2}x)", off / on);
+    eprintln!(
+        "{name:<22} dict={on:8.2} ms  plain={off:8.2} ms  ({:.2}x)",
+        off / on
+    );
     results.push((name, on, off));
 }
 
@@ -188,7 +203,10 @@ fn bench_engine(results: &mut Vec<(&'static str, f64, f64)>) {
     }
     for (name, on, off) in results.iter() {
         if name.starts_with("engine") {
-            eprintln!("{name:<22} dict={on:8.2} ms  plain={off:8.2} ms  ({:.2}x)", off / on);
+            eprintln!(
+                "{name:<22} dict={on:8.2} ms  plain={off:8.2} ms  ({:.2}x)",
+                off / on
+            );
         }
     }
 }
@@ -205,7 +223,12 @@ fn bench_cache_bytes() -> (u64, u64) {
         let first = session.execute(sql).unwrap().display_rows();
         let second = session.execute(sql).unwrap().display_rows();
         assert_eq!(first, second);
-        loaded[slot] = server.llap().cache().stats().bytes_loaded.load(Ordering::Relaxed);
+        loaded[slot] = server
+            .llap()
+            .cache()
+            .stats()
+            .bytes_loaded
+            .load(Ordering::Relaxed);
     }
     eprintln!(
         "cache bytes_loaded     dict={} B  plain={} B  ({:.2}x smaller)",
@@ -246,7 +269,9 @@ fn main() {
         .find(|(n, _, _)| *n == "groupby_low_card")
         .map(|(_, on, off)| off / on)
         .unwrap_or(f64::NAN);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"dictionary\",\n  \"unit\": \"ms\",\n  \"iters\": {ITERS},\n  \
          \"rows\": {ROWS},\n  \"host_cores\": {cores},\n  \"results\": [\n{entries}\n  ],\n  \

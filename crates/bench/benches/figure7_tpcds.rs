@@ -1,7 +1,7 @@
 //! **Figure 7** — "Comparison of query response times among different
-//! Hive versions": the TPC-DS-derived query set on Hive 3.1 (Tez + LLAP
-//! + full optimizer) versus the Hive 1.2 emulation (MapReduce runtime,
-//! row interpreter, reduced optimizer, reduced SQL surface).
+//! Hive versions": the TPC-DS-derived query set on Hive 3.1 (Tez +
+//! LLAP + full optimizer) versus the Hive 1.2 emulation (MapReduce
+//! runtime, row interpreter, reduced optimizer, reduced SQL surface).
 //!
 //! Paper shape to reproduce: only a subset of queries runs on 1.2 at
 //! all; for those, 3.1 is faster by a large average factor (paper: 4.6×
@@ -71,10 +71,12 @@ fn main() {
         }
     }
     let ran = speedups.len();
-    let geo: f64 =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / ran.max(1) as f64).exp();
+    let geo: f64 = (speedups.iter().map(|s| s.ln()).sum::<f64>() / ran.max(1) as f64).exp();
     let max = speedups.iter().cloned().fold(0.0, f64::max);
-    println!("\nqueries runnable on 1.2: {ran}/{} (paper: 50/99)", queries.len());
+    println!(
+        "\nqueries runnable on 1.2: {ran}/{} (paper: 50/99)",
+        queries.len()
+    );
     println!(
         "speedup on the shared subset: geo-mean {geo:.1}x, max {max:.1}x (paper: avg 4.6x, max 45.5x)"
     );

@@ -81,7 +81,7 @@ fn bench_aggregate(results: &mut Vec<(&'static str, usize, f64)>) {
     let rows: Vec<Row> = (0..600_000)
         .map(|i| {
             Row::new(vec![
-                Value::Int((i * 31 % 4_001) as i32),
+                Value::Int(i * 31 % 4_001),
                 Value::Double(i as f64 * 0.5 - 1000.0),
             ])
         })
@@ -89,27 +89,43 @@ fn bench_aggregate(results: &mut Vec<(&'static str, usize, f64)>) {
     let batch = VectorBatch::from_rows(&schema, &rows).unwrap();
     let groups = vec![ScalarExpr::Column(0)];
     let aggs = vec![
-        AggExpr { func: AggFunc::Count, arg: None, distinct: false },
-        AggExpr { func: AggFunc::Sum, arg: Some(ScalarExpr::Column(1)), distinct: false },
-        AggExpr { func: AggFunc::Avg, arg: Some(ScalarExpr::Column(1)), distinct: false },
+        AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        },
+        AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::Column(1)),
+            distinct: false,
+        },
+        AggExpr {
+            func: AggFunc::Avg,
+            arg: Some(ScalarExpr::Column(1)),
+            distinct: false,
+        },
     ];
     let out_schema = LogicalPlan::Aggregate {
-        input: std::sync::Arc::new(LogicalPlan::Values { schema: batch.schema().clone(), rows: vec![] }),
+        input: std::sync::Arc::new(LogicalPlan::Values {
+            schema: batch.schema().clone(),
+            rows: vec![],
+        }),
         group_exprs: groups.clone(),
         grouping_sets: None,
         aggs: aggs.clone(),
     }
     .schema();
+    let input = hive_common::SelBatch::from_batch(batch);
     let mut baseline: Option<Vec<String>> = None;
     for &t in &THREADS {
-        let out = execute_aggregate_par(&batch, &groups, &None, &aggs, &out_schema, t).unwrap();
+        let out = execute_aggregate_par(&input, &groups, &None, &aggs, &out_schema, t).unwrap();
         let got = rows_of(&out);
         match &baseline {
             None => baseline = Some(got),
             Some(b) => assert_eq!(&got, b, "aggregate diverged at {t} threads"),
         }
         let ms = time_ms(|| {
-            execute_aggregate_par(&batch, &groups, &None, &aggs, &out_schema, t).unwrap();
+            execute_aggregate_par(&input, &groups, &None, &aggs, &out_schema, t).unwrap();
         });
         eprintln!("aggregate  threads={t:<2} {ms:8.2} ms");
         results.push(("aggregate", t, ms));
@@ -122,7 +138,7 @@ fn bench_join(results: &mut Vec<(&'static str, usize, f64)>) {
         Field::new("l_v", DataType::BigInt),
     ]);
     let lrows: Vec<Row> = (0..400_000)
-        .map(|i| Row::new(vec![Value::Int((i * 13 % 200_003) as i32), Value::BigInt(i as i64)]))
+        .map(|i| Row::new(vec![Value::Int(i * 13 % 200_003), Value::BigInt(i as i64)]))
         .collect();
     let left = VectorBatch::from_rows(&lschema, &lrows).unwrap();
     let rschema = Schema::new(vec![
@@ -130,15 +146,24 @@ fn bench_join(results: &mut Vec<(&'static str, usize, f64)>) {
         Field::new("r_v", DataType::BigInt),
     ]);
     let rrows: Vec<Row> = (0..40_000)
-        .map(|i| Row::new(vec![Value::Int((i * 7 % 200_003) as i32), Value::BigInt(i as i64)]))
+        .map(|i| Row::new(vec![Value::Int(i * 7 % 200_003), Value::BigInt(i as i64)]))
         .collect();
     let right = VectorBatch::from_rows(&rschema, &rrows).unwrap();
     let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
     let out_schema = left.schema().join(right.schema());
+    let left = hive_common::SelBatch::from_batch(left);
+    let right = hive_common::SelBatch::from_batch(right);
     let mut baseline: Option<Vec<String>> = None;
     for &t in &THREADS {
         let out = execute_join_par(
-            &left, &right, JoinType::Inner, &equi, &None, &out_schema, usize::MAX, t,
+            &left,
+            &right,
+            JoinType::Inner,
+            &equi,
+            &None,
+            &out_schema,
+            usize::MAX,
+            t,
         )
         .unwrap();
         let got = rows_of(&out);
@@ -148,7 +173,14 @@ fn bench_join(results: &mut Vec<(&'static str, usize, f64)>) {
         }
         let ms = time_ms(|| {
             execute_join_par(
-                &left, &right, JoinType::Inner, &equi, &None, &out_schema, usize::MAX, t,
+                &left,
+                &right,
+                JoinType::Inner,
+                &equi,
+                &None,
+                &out_schema,
+                usize::MAX,
+                t,
             )
             .unwrap();
         });
@@ -188,16 +220,15 @@ fn main() {
         if !speedups.is_empty() {
             speedups.push_str(", ");
         }
-        speedups.push_str(&format!(
-            "\"{op}\": {:.2}",
-            ms_of(op, 1) / ms_of(op, 4)
-        ));
+        speedups.push_str(&format!("\"{op}\": {:.2}", ms_of(op, 1) / ms_of(op, 4)));
     }
     // Speedup is bounded by physical cores: on a single-core host the
     // sweep measures pure parallelization overhead (the auto setting,
     // parallel_threads=0, resolves to the core count and stays serial
     // there), so record the host size alongside the timings.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"parallel\",\n  \"unit\": \"ms\",\n  \"iters\": {ITERS},\n  \
          \"host_cores\": {cores},\n  \
@@ -208,6 +239,9 @@ fn main() {
     std::fs::write(path, &json).unwrap();
     eprintln!("wrote {path}");
     for op in ["scan", "aggregate", "join"] {
-        eprintln!("{op}: {:.2}x speedup at 4 threads", ms_of(op, 1) / ms_of(op, 4));
+        eprintln!(
+            "{op}: {:.2}x speedup at 4 threads",
+            ms_of(op, 1) / ms_of(op, 4)
+        );
     }
 }

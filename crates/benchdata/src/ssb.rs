@@ -90,7 +90,10 @@ pub fn generate_flat_rows(scale: SsbScale, seed: u64) -> Vec<Row> {
                 Value::Timestamp(day as i64 * dates::MICROS_PER_DAY),
                 Value::String(y.to_string()),
                 Value::String(format!("{y}{m:02}")),
-                Value::String(format!("{}", (dates::extract_from_days(dates::DateField::Day, day) / 7) + 1)),
+                Value::String(format!(
+                    "{}",
+                    (dates::extract_from_days(dates::DateField::Day, day) / 7) + 1
+                )),
                 Value::String(format!("C{region_c}N{nation_c}CITY{city_c}")),
                 Value::String(format!("C{region_c}NATION{nation_c}")),
                 Value::String(REGIONS[region_c].to_string()),
@@ -115,10 +118,7 @@ pub fn generate_flat_rows(scale: SsbScale, seed: u64) -> Vec<Row> {
 /// Create and load the *native* flat materialization as `ssb_flat`.
 pub fn load_native(server: &HiveServer, scale: SsbScale, seed: u64) -> Result<u64> {
     let session = server.session();
-    session.execute(&format!(
-        "CREATE TABLE ssb_flat ({})",
-        flat_columns_sql()
-    ))?;
+    session.execute(&format!("CREATE TABLE ssb_flat ({})", flat_columns_sql()))?;
     let rows = generate_flat_rows(scale, seed);
     let n = session.bulk_insert("ssb_flat", rows)?.affected_rows;
     session.execute("ANALYZE TABLE ssb_flat COMPUTE STATISTICS")?;
@@ -144,72 +144,124 @@ pub fn load_druid(server: &HiveServer, scale: SsbScale, seed: u64) -> Result<u64
 pub fn queries(table: &str) -> Vec<(String, String)> {
     let q = |id: &str, sql: String| (id.to_string(), sql);
     vec![
-        q("q1.1", format!(
-            "SELECT SUM(lo_revenue_disc) AS revenue FROM {table}
-             WHERE d_year = '1992' AND lo_discount IN ('1','2','3')")),
-        q("q1.2", format!(
-            "SELECT SUM(lo_revenue_disc) AS revenue FROM {table}
-             WHERE d_yearmonthnum = '199201' AND lo_discount IN ('4','5','6')")),
-        q("q1.3", format!(
-            "SELECT SUM(lo_revenue_disc) AS revenue FROM {table}
+        q(
+            "q1.1",
+            format!(
+                "SELECT SUM(lo_revenue_disc) AS revenue FROM {table}
+             WHERE d_year = '1992' AND lo_discount IN ('1','2','3')"
+            ),
+        ),
+        q(
+            "q1.2",
+            format!(
+                "SELECT SUM(lo_revenue_disc) AS revenue FROM {table}
+             WHERE d_yearmonthnum = '199201' AND lo_discount IN ('4','5','6')"
+            ),
+        ),
+        q(
+            "q1.3",
+            format!(
+                "SELECT SUM(lo_revenue_disc) AS revenue FROM {table}
              WHERE d_weeknuminyear = '1' AND d_year = '1992'
-               AND lo_discount IN ('5','6','7')")),
-        q("q2.1", format!(
-            "SELECT d_year, p_brand1, SUM(lo_revenue) AS lo_revenue FROM {table}
+               AND lo_discount IN ('5','6','7')"
+            ),
+        ),
+        q(
+            "q2.1",
+            format!(
+                "SELECT d_year, p_brand1, SUM(lo_revenue) AS lo_revenue FROM {table}
              WHERE p_category = 'MFGR#12' AND s_region = 'AMERICA'
-             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1")),
-        q("q2.2", format!(
-            "SELECT d_year, p_brand1, SUM(lo_revenue) AS lo_revenue FROM {table}
+             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1"
+            ),
+        ),
+        q(
+            "q2.2",
+            format!(
+                "SELECT d_year, p_brand1, SUM(lo_revenue) AS lo_revenue FROM {table}
              WHERE p_brand1 IN ('MFGR#22B1','MFGR#22B2','MFGR#22B3','MFGR#22B4',
                                 'MFGR#22B5','MFGR#22B6','MFGR#22B7','MFGR#22B8')
                AND s_region = 'ASIA'
-             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1")),
-        q("q2.3", format!(
-            "SELECT d_year, p_brand1, SUM(lo_revenue) AS lo_revenue FROM {table}
+             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1"
+            ),
+        ),
+        q(
+            "q2.3",
+            format!(
+                "SELECT d_year, p_brand1, SUM(lo_revenue) AS lo_revenue FROM {table}
              WHERE p_brand1 = 'MFGR#33B3' AND s_region = 'EUROPE'
-             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1")),
-        q("q3.1", format!(
-            "SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
+             GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1"
+            ),
+        ),
+        q(
+            "q3.1",
+            format!(
+                "SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
              WHERE c_region = 'ASIA' AND s_region = 'ASIA'
                AND d_year >= '1992' AND d_year <= '1993'
              GROUP BY c_nation, s_nation, d_year
-             ORDER BY d_year, lo_revenue DESC LIMIT 150")),
-        q("q3.2", format!(
-            "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
+             ORDER BY d_year, lo_revenue DESC LIMIT 150"
+            ),
+        ),
+        q(
+            "q3.2",
+            format!(
+                "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
              WHERE c_nation = 'C1NATION1' AND s_nation = 'S1NATION1'
                AND d_year >= '1992' AND d_year <= '1993'
              GROUP BY c_city, s_city, d_year
-             ORDER BY d_year, lo_revenue DESC LIMIT 150")),
-        q("q3.3", format!(
-            "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
+             ORDER BY d_year, lo_revenue DESC LIMIT 150"
+            ),
+        ),
+        q(
+            "q3.3",
+            format!(
+                "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
              WHERE c_city IN ('C1N1CITY1','C1N1CITY2')
                AND s_city IN ('S1N1CITY1','S1N1CITY2')
              GROUP BY c_city, s_city, d_year
-             ORDER BY d_year, lo_revenue DESC LIMIT 150")),
-        q("q3.4", format!(
-            "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
+             ORDER BY d_year, lo_revenue DESC LIMIT 150"
+            ),
+        ),
+        q(
+            "q3.4",
+            format!(
+                "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS lo_revenue FROM {table}
              WHERE c_city IN ('C1N1CITY1','C2N2CITY2')
                AND s_city IN ('S1N1CITY1','S2N2CITY2')
                AND d_yearmonthnum = '199203'
              GROUP BY c_city, s_city, d_year
-             ORDER BY d_year, lo_revenue DESC LIMIT 150")),
-        q("q4.1", format!(
-            "SELECT d_year, c_nation, SUM(lo_profit) AS profit FROM {table}
+             ORDER BY d_year, lo_revenue DESC LIMIT 150"
+            ),
+        ),
+        q(
+            "q4.1",
+            format!(
+                "SELECT d_year, c_nation, SUM(lo_profit) AS profit FROM {table}
              WHERE c_region = 'AMERICA' AND s_region = 'AMERICA'
                AND p_mfgr IN ('MFGR#1','MFGR#2')
-             GROUP BY d_year, c_nation ORDER BY d_year, c_nation")),
-        q("q4.2", format!(
-            "SELECT d_year, s_nation, p_category, SUM(lo_profit) AS profit FROM {table}
+             GROUP BY d_year, c_nation ORDER BY d_year, c_nation"
+            ),
+        ),
+        q(
+            "q4.2",
+            format!(
+                "SELECT d_year, s_nation, p_category, SUM(lo_profit) AS profit FROM {table}
              WHERE c_region = 'AMERICA' AND s_region = 'AMERICA'
                AND d_year IN ('1992','1993') AND p_mfgr IN ('MFGR#1','MFGR#2')
              GROUP BY d_year, s_nation, p_category
-             ORDER BY d_year, s_nation, p_category")),
-        q("q4.3", format!(
-            "SELECT d_year, s_city, p_brand1, SUM(lo_profit) AS profit FROM {table}
+             ORDER BY d_year, s_nation, p_category"
+            ),
+        ),
+        q(
+            "q4.3",
+            format!(
+                "SELECT d_year, s_city, p_brand1, SUM(lo_profit) AS profit FROM {table}
              WHERE s_nation = 'S0NATION0' AND p_category = 'MFGR#14'
                AND d_year IN ('1992','1993')
              GROUP BY d_year, s_city, p_brand1
-             ORDER BY d_year, s_city, p_brand1")),
+             ORDER BY d_year, s_city, p_brand1"
+            ),
+        ),
     ]
 }
 
@@ -270,9 +322,6 @@ mod tests {
         let (_, sql) = &queries("ssb_flat_druid")[3]; // q2.1 groupBy
         let explain = session.execute(&format!("EXPLAIN {sql}")).unwrap();
         let text = explain.message.unwrap();
-        assert!(
-            text.contains("Scan[default.ssb_flat_druid]"),
-            "{text}"
-        );
+        assert!(text.contains("Scan[default.ssb_flat_druid]"), "{text}");
     }
 }

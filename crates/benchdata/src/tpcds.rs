@@ -56,14 +56,28 @@ impl TpcdsScale {
 }
 
 const CATEGORIES: [&str; 10] = [
-    "Sports", "Books", "Music", "Home", "Electronics", "Jewelry", "Men", "Women", "Shoes",
+    "Sports",
+    "Books",
+    "Music",
+    "Home",
+    "Electronics",
+    "Jewelry",
+    "Men",
+    "Women",
+    "Shoes",
     "Children",
 ];
 const STATES: [&str; 12] = [
     "TN", "CA", "TX", "NY", "OH", "GA", "IL", "WA", "FL", "MI", "NC", "VA",
 ];
 const DAY_NAMES: [&str; 7] = [
-    "Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
 ];
 const BUY_POTENTIAL: [&str; 4] = [">10000", "5001-10000", "1001-5000", "0-500"];
 
@@ -137,10 +151,9 @@ pub fn load(server: &HiveServer, scale: TpcdsScale, seed: u64) -> Result<u64> {
                 Value::Int(dom as i32),
                 Value::Int((m as i32 - 1) / 3 + 1),
                 Value::String(
-                    DAY_NAMES[dates::extract_from_days(dates::DateField::DayOfWeek, sk)
-                        as usize
-                        - 1]
-                    .to_string(),
+                    DAY_NAMES
+                        [dates::extract_from_days(dates::DateField::DayOfWeek, sk) as usize - 1]
+                        .to_string(),
                 ),
                 Value::Int((y - 1990) * 12 + m as i32),
             ])
@@ -159,8 +172,8 @@ pub fn load(server: &HiveServer, scale: TpcdsScale, seed: u64) -> Result<u64> {
                 // this is what lets min/max semijoin ranges skip
                 // clustered fact row groups (§4.6).
                 Value::String(
-                    CATEGORIES[(i as usize * CATEGORIES.len() / scale.items)
-                        .min(CATEGORIES.len() - 1)]
+                    CATEGORIES
+                        [(i as usize * CATEGORIES.len() / scale.items).min(CATEGORIES.len() - 1)]
                     .to_string(),
                 ),
                 Value::String(format!("brand#{}", i % 50)),
@@ -325,13 +338,12 @@ pub fn queries() -> Vec<TpcdsQuery> {
     };
     let y0 = 2000;
     vec![
-        q("q3", true, &format!(
-            "SELECT d_year, i_brand, SUM(ss_ext_sales_price) AS sum_agg
+        q("q3", true, "SELECT d_year, i_brand, SUM(ss_ext_sales_price) AS sum_agg
              FROM store_sales, date_dim, item
              WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
                AND i_manufact_id = 28 AND d_moy = 1
              GROUP BY d_year, i_brand
-             ORDER BY d_year, sum_agg DESC LIMIT 100")),
+             ORDER BY d_year, sum_agg DESC LIMIT 100"),
         q("q7", true,
             "SELECT i_category, AVG(ss_quantity) AS agg1, AVG(ss_list_price) AS agg2,
                     AVG(ss_sales_price) AS agg3
@@ -353,13 +365,12 @@ pub fn queries() -> Vec<TpcdsQuery> {
              WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
                AND d_date BETWEEN DATE '{y0}-01-05' AND DATE '{y0}-01-05' + INTERVAL 30 DAYS
              GROUP BY i_category ORDER BY itemrevenue DESC")),
-        q("q14", false, &format!(
-            "SELECT i_item_sk FROM store_sales, item, date_dim
+        q("q14", false, "SELECT i_item_sk FROM store_sales, item, date_dim
              WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND d_moy = 1
              INTERSECT
              SELECT i_item_sk FROM store_returns, item
              WHERE sr_item_sk = i_item_sk
-             ORDER BY i_item_sk LIMIT 100")),
+             ORDER BY i_item_sk LIMIT 100"),
         q("q15", true,
             "SELECT ca_state, SUM(ss_ext_sales_price) AS total
              FROM store_sales, customer, customer_address

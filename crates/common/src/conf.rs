@@ -103,6 +103,14 @@ pub struct HiveConf {
     /// cache bytes change. Overridable via `HIVE_DICT_ENABLED`
     /// (`0`/`false`/`off` disables, anything else enables).
     pub dictionary_enabled: bool,
+    /// `hive.exec.selvec.enabled`: pass selection vectors and `Arc`-
+    /// shared columns between operators, compacting only at pipeline
+    /// breakers (join build, union, final output). When off, every
+    /// operator boundary compacts eagerly — the pre-selection-vector
+    /// data flow. Results are byte-identical either way; only copy
+    /// volume changes. Overridable via `HIVE_SELVEC_ENABLED`
+    /// (`0`/`false`/`off` disables, anything else enables).
+    pub selvec_enabled: bool,
     /// Fault-injection plan (see [`crate::fault`]); `FaultPlan::none()`
     /// injects nothing.
     pub fault: crate::fault::FaultPlan,
@@ -135,6 +143,7 @@ impl HiveConf {
             hash_join_row_budget: 4_000_000,
             parallel_threads: 0,
             dictionary_enabled: true,
+            selvec_enabled: true,
             fault: crate::fault::FaultPlan::none(),
         }
     }
@@ -191,6 +200,16 @@ impl HiveConf {
         match std::env::var("HIVE_DICT_ENABLED") {
             Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
             Err(_) => self.dictionary_enabled,
+        }
+    }
+
+    /// Resolve [`HiveConf::selvec_enabled`]: the `HIVE_SELVEC_ENABLED`
+    /// environment variable wins (for process-level differential
+    /// sweeps), then the conf field.
+    pub fn effective_selvec_enabled(&self) -> bool {
+        match std::env::var("HIVE_SELVEC_ENABLED") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
+            Err(_) => self.selvec_enabled,
         }
     }
 }

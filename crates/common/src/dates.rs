@@ -69,8 +69,8 @@ pub fn days_to_civil(days: i32) -> (i32, u32, u32) {
     let mp = (5 * doy + 2) / 153; // [0, 11]
     let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
     let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
-    // invariant: |y| <= |days|/365 + 1 < 5.9M for any i32 `days`, so the
-    // year always fits i32 — this cast cannot wrap.
+                                                          // invariant: |y| <= |days|/365 + 1 < 5.9M for any i32 `days`, so the
+                                                          // year always fits i32 — this cast cannot wrap.
     ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
 }
 
@@ -242,7 +242,7 @@ mod tests {
         assert!(is_leap_year(2000));
         assert!(!is_leap_year(1900));
         assert!(is_leap_year(2016));
-        assert_eq!(parse_date("2016-02-29").is_some(), true);
+        assert!(parse_date("2016-02-29").is_some());
         assert_eq!(parse_date("2017-02-29"), None);
     }
 

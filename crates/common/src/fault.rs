@@ -158,9 +158,8 @@ impl FaultPlan {
     pub fn from_env() -> Option<FaultPlan> {
         let seed: u64 = std::env::var("HIVE_FAULT_SEED").ok()?.parse().ok()?;
         let mut plan = FaultPlan::chaos(seed);
-        let f64_var = |name: &str| -> Option<f64> {
-            std::env::var(name).ok().and_then(|v| v.parse().ok())
-        };
+        let f64_var =
+            |name: &str| -> Option<f64> { std::env::var(name).ok().and_then(|v| v.parse().ok()) };
         if let Some(p) = f64_var("HIVE_FAULT_DFS_READ_PROB") {
             plan.dfs_read_error_prob = p;
         }
@@ -504,7 +503,10 @@ mod tests {
         assert!(inj.dfs_read_fails("/w/t/part-3.orc", 0));
         assert!(inj.dfs_read_fails("/w/t/part-3.orc", 0));
         assert!(!inj.dfs_read_fails("/w/t/part-3.orc", 0), "healed after 2");
-        assert!(!inj.dfs_read_fails("/w/t/part-1.orc", 0), "other paths fine");
+        assert!(
+            !inj.dfs_read_fails("/w/t/part-1.orc", 0),
+            "other paths fine"
+        );
         // Each byte range heals independently: a fresh offset of the
         // targeted path starts its own fail-then-heal sequence.
         assert!(inj.dfs_read_fails("/w/t/part-3.orc", 4096));

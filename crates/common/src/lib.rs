@@ -17,18 +17,20 @@ pub mod ids;
 pub mod like;
 pub mod row;
 pub mod schema;
+pub mod selvec;
 pub mod types;
 pub mod value;
 pub mod vector;
 
 pub use bitset::BitSet;
 pub use conf::{EngineVersion, HiveConf, RuntimeKind};
-pub use vector::ColumnBuilder;
 pub use error::{HiveError, Result};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, FaultStats};
 pub use ids::{BucketId, FileId, RecordId, RowId, TxnId, WriteId};
 pub use row::Row;
 pub use schema::{Field, Schema};
+pub use selvec::{SelBatch, SelVec};
 pub use types::DataType;
 pub use value::Value;
+pub use vector::ColumnBuilder;
 pub use vector::{ColumnVector, VectorBatch};

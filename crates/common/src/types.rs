@@ -78,9 +78,7 @@ impl DataType {
             (Int, BigInt) | (BigInt, Int) => Some(BigInt),
             (Int, Double) | (Double, Int) | (BigInt, Double) | (Double, BigInt) => Some(Double),
             (Decimal(_, _), Double) | (Double, Decimal(_, _)) => Some(Double),
-            (Int, Decimal(p, s)) | (Decimal(p, s), Int) => {
-                Some(Decimal((*p).max(10 + *s), *s))
-            }
+            (Int, Decimal(p, s)) | (Decimal(p, s), Int) => Some(Decimal((*p).max(10 + *s), *s)),
             (BigInt, Decimal(p, s)) | (Decimal(p, s), BigInt) => {
                 Some(Decimal((*p).max(19 + *s).min(38), *s))
             }
@@ -161,7 +159,10 @@ mod tests {
             Some(Decimal(10, 4))
         );
         assert_eq!(DataType::common_supertype(&Null, &String), Some(String));
-        assert_eq!(DataType::common_supertype(&Date, &Timestamp), Some(Timestamp));
+        assert_eq!(
+            DataType::common_supertype(&Date, &Timestamp),
+            Some(Timestamp)
+        );
         assert_eq!(DataType::common_supertype(&Boolean, &Int), None);
     }
 

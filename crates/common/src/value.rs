@@ -139,9 +139,9 @@ impl Value {
             (Value::String(s), T::Decimal(_, sc)) => parse_decimal(s, *sc)
                 .map(|u| Value::Decimal(u, *sc))
                 .unwrap_or(Value::Null),
-            (Value::String(s), T::Date) => dates::parse_date(s)
-                .map(Value::Date)
-                .unwrap_or(Value::Null),
+            (Value::String(s), T::Date) => {
+                dates::parse_date(s).map(Value::Date).unwrap_or(Value::Null)
+            }
             (Value::String(s), T::Timestamp) => dates::parse_timestamp(s)
                 .map(Value::Timestamp)
                 .unwrap_or(Value::Null),
@@ -152,9 +152,7 @@ impl Value {
             },
             (Value::Date(d), T::Timestamp) => Value::Timestamp(*d as i64 * 86_400_000_000),
             (Value::Date(d), T::String) => Value::String(dates::format_date(*d)),
-            (Value::Timestamp(t), T::Date) => {
-                Value::Date(t.div_euclid(86_400_000_000) as i32)
-            }
+            (Value::Timestamp(t), T::Date) => Value::Date(t.div_euclid(86_400_000_000) as i32),
             (Value::Timestamp(t), T::String) => Value::String(dates::format_timestamp(*t)),
             (Value::Timestamp(t), T::BigInt) => Value::BigInt(*t),
             (v, t) => {
@@ -287,12 +285,12 @@ impl Value {
                 Value::BigInt(a % b)
             }),
             _ => {
-                let a = self.as_f64().ok_or_else(|| {
-                    HiveError::Execution("non-numeric modulo operand".into())
-                })?;
-                let b = other.as_f64().ok_or_else(|| {
-                    HiveError::Execution("non-numeric modulo operand".into())
-                })?;
+                let a = self
+                    .as_f64()
+                    .ok_or_else(|| HiveError::Execution("non-numeric modulo operand".into()))?;
+                let b = other
+                    .as_f64()
+                    .ok_or_else(|| HiveError::Execution("non-numeric modulo operand".into()))?;
                 Ok(if b == 0.0 {
                     Value::Null
                 } else {
@@ -453,12 +451,7 @@ pub fn format_decimal(unscaled: i128, scale: u8) -> String {
     let sign = if unscaled < 0 { "-" } else { "" };
     let a = unscaled.unsigned_abs();
     let p = p as u128;
-    format!(
-        "{sign}{}.{:0width$}",
-        a / p,
-        a % p,
-        width = scale as usize
-    )
+    format!("{sign}{}.{:0width$}", a / p, a % p, width = scale as usize)
 }
 
 /// Format a double the way Hive prints it (integral values keep `.0`).
@@ -559,7 +552,10 @@ mod tests {
         assert_eq!(a.add(&c).unwrap(), Value::Decimal(450, 2));
         assert_eq!(a.mul(&c).unwrap(), Value::Decimal(500, 2));
         // int / int -> double (Hive semantics)
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Double(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Double(3.5)
+        );
     }
 
     #[test]
@@ -609,7 +605,9 @@ mod tests {
             .unwrap()
             .is_null());
         assert_eq!(
-            Value::String(" 12 ".into()).cast_to(&DataType::Int).unwrap(),
+            Value::String(" 12 ".into())
+                .cast_to(&DataType::Int)
+                .unwrap(),
             Value::Int(12)
         );
     }

@@ -53,7 +53,11 @@ macro_rules! per_variant {
             ColumnVector::Double($v, $n) => $body,
             ColumnVector::Decimal($v, _, $n) => $body,
             ColumnVector::Str($v, $n) => $body,
-            ColumnVector::Dict { codes: $v, nulls: $n, .. } => $body,
+            ColumnVector::Dict {
+                codes: $v,
+                nulls: $n,
+                ..
+            } => $body,
             ColumnVector::Date($v, $n) => $body,
             ColumnVector::Timestamp($v, $n) => $body,
         }
@@ -89,7 +93,7 @@ impl ColumnVector {
     /// True if row `i` is NULL.
     #[inline]
     pub fn is_null(&self, i: usize) -> bool {
-        per_variant!(self, _v, n => n.as_ref().map_or(false, |b| b.get(i)))
+        per_variant!(self, _v, n => n.as_ref().is_some_and(|b| b.get(i)))
     }
 
     /// Number of NULL rows.
@@ -149,11 +153,7 @@ impl ColumnVector {
 
     /// Gather rows at `indices` into a new column.
     pub fn take(&self, indices: &[u32]) -> ColumnVector {
-        fn gather<T: Clone>(
-            v: &[T],
-            n: &Option<BitSet>,
-            idx: &[u32],
-        ) -> (Vec<T>, Option<BitSet>) {
+        fn gather<T: Clone>(v: &[T], n: &Option<BitSet>, idx: &[u32]) -> (Vec<T>, Option<BitSet>) {
             let out: Vec<T> = idx.iter().map(|&i| v[i as usize].clone()).collect();
             let nulls = n.as_ref().map(|b| {
                 let mut nb = BitSet::new(idx.len());
@@ -193,7 +193,11 @@ impl ColumnVector {
             }
             ColumnVector::Dict { codes, dict, nulls } => {
                 let (codes, nulls) = gather(codes, nulls, indices);
-                ColumnVector::Dict { codes, dict: dict.clone(), nulls }
+                ColumnVector::Dict {
+                    codes,
+                    dict: dict.clone(),
+                    nulls,
+                }
             }
             ColumnVector::Date(v, n) => {
                 let (v, n) = gather(v, n, indices);
@@ -208,12 +212,7 @@ impl ColumnVector {
 
     /// Append all rows of `other` (must be the same variant).
     pub fn append(&mut self, other: &ColumnVector) -> Result<()> {
-        fn merge_nulls(
-            a_len: usize,
-            a: &mut Option<BitSet>,
-            b_len: usize,
-            b: &Option<BitSet>,
-        ) {
+        fn merge_nulls(a_len: usize, a: &mut Option<BitSet>, b_len: usize, b: &Option<BitSet>) {
             if a.is_none() && b.is_none() {
                 return;
             }
@@ -250,8 +249,16 @@ impl ColumnVector {
         }
         match (self, other) {
             (
-                ColumnVector::Dict { codes: ac, dict: ad, nulls: an },
-                ColumnVector::Dict { codes: bc, dict: bd, nulls: bn },
+                ColumnVector::Dict {
+                    codes: ac,
+                    dict: ad,
+                    nulls: an,
+                },
+                ColumnVector::Dict {
+                    codes: bc,
+                    dict: bd,
+                    nulls: bn,
+                },
             ) => {
                 let alen = ac.len();
                 if bc.is_empty() {
@@ -287,7 +294,11 @@ impl ColumnVector {
                 Ok(())
             }
             (
-                ColumnVector::Dict { codes: ac, dict: ad, nulls: an },
+                ColumnVector::Dict {
+                    codes: ac,
+                    dict: ad,
+                    nulls: an,
+                },
                 ColumnVector::Str(bv, bn),
             ) => {
                 let alen = ac.len();
@@ -318,7 +329,11 @@ impl ColumnVector {
             }
             (
                 ColumnVector::Str(av, an),
-                ColumnVector::Dict { codes: bc, dict: bd, nulls: bn },
+                ColumnVector::Dict {
+                    codes: bc,
+                    dict: bd,
+                    nulls: bn,
+                },
             ) => {
                 let alen = av.len();
                 av.extend(bc.iter().map(|&c| bd[c as usize].clone()));
@@ -329,9 +344,7 @@ impl ColumnVector {
             (ColumnVector::Int(av, an), ColumnVector::Int(bv, bn)) => app!(av, an, bv, bn),
             (ColumnVector::BigInt(av, an), ColumnVector::BigInt(bv, bn)) => app!(av, an, bv, bn),
             (ColumnVector::Double(av, an), ColumnVector::Double(bv, bn)) => app!(av, an, bv, bn),
-            (ColumnVector::Decimal(av, s1, an), ColumnVector::Decimal(bv, s2, bn))
-                if s1 == s2 =>
-            {
+            (ColumnVector::Decimal(av, s1, an), ColumnVector::Decimal(bv, s2, bn)) if s1 == s2 => {
                 app!(av, an, bv, bn)
             }
             (ColumnVector::Str(av, an), ColumnVector::Str(bv, bn)) => app!(av, an, bv, bn),
@@ -384,11 +397,10 @@ impl ColumnVector {
     }
 
     /// Borrow the encoded parts when this column is dictionary-encoded.
+    #[allow(clippy::type_complexity)]
     pub fn dict_parts(&self) -> Option<(&[u32], &Arc<Vec<String>>, Option<&BitSet>)> {
         match self {
-            ColumnVector::Dict { codes, dict, nulls } => {
-                Some((codes, dict, nulls.as_ref()))
-            }
+            ColumnVector::Dict { codes, dict, nulls } => Some((codes, dict, nulls.as_ref())),
             _ => None,
         }
     }
@@ -445,9 +457,9 @@ impl PartialEq for ColumnVector {
             (Timestamp(a, an), Timestamp(b, bn)) => a == b && an == bn,
             // Encoded and materialized string columns compare by
             // logical content so Dict is transparent to batch equality.
-            (Dict { .. }, Dict { .. })
-            | (Dict { .. }, Str(..))
-            | (Str(..), Dict { .. }) => str_eq_logical(self, other),
+            (Dict { .. }, Dict { .. }) | (Dict { .. }, Str(..)) | (Str(..), Dict { .. }) => {
+                str_eq_logical(self, other)
+            }
             _ => false,
         }
     }
@@ -547,11 +559,14 @@ impl ColumnBuilder {
     }
 }
 
-/// A batch of rows in columnar form, with its schema.
+/// A batch of rows in columnar form, with its schema. Columns are held
+/// behind `Arc` so projections, cache handouts and operator pass-through
+/// share data instead of copying it; mutation (`append`) copies-on-write
+/// via [`Arc::make_mut`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VectorBatch {
     schema: Schema,
-    columns: Vec<ColumnVector>,
+    columns: Vec<Arc<ColumnVector>>,
     num_rows: usize,
 }
 
@@ -564,26 +579,26 @@ impl VectorBatch {
         columns: Vec<ColumnVector>,
         num_rows: usize,
     ) -> Result<Self> {
-        if columns.iter().any(|c| c.len() != num_rows) {
-            return Err(HiveError::Execution("ragged column lengths".into()));
-        }
-        if columns.len() != schema.len() {
-            return Err(HiveError::Execution(format!(
-                "schema has {} fields but {} columns given",
-                schema.len(),
-                columns.len()
-            )));
-        }
-        Ok(VectorBatch {
+        VectorBatch::from_arcs(
             schema,
-            columns,
+            columns.into_iter().map(Arc::new).collect(),
             num_rows,
-        })
+        )
     }
 
     /// Build a batch; all columns must share one length.
     pub fn new(schema: Schema, columns: Vec<ColumnVector>) -> Result<Self> {
         let num_rows = columns.first().map_or(0, |c| c.len());
+        VectorBatch::new_with_rows(schema, columns, num_rows)
+    }
+
+    /// Build a batch from already-shared columns (zero-copy: readers and
+    /// operators hand `Arc`s straight through).
+    pub fn from_arcs(
+        schema: Schema,
+        columns: Vec<Arc<ColumnVector>>,
+        num_rows: usize,
+    ) -> Result<Self> {
         if columns.iter().any(|c| c.len() != num_rows) {
             return Err(HiveError::Execution("ragged column lengths".into()));
         }
@@ -662,8 +677,14 @@ impl VectorBatch {
         &self.columns[i]
     }
 
-    /// All columns.
-    pub fn columns(&self) -> &[ColumnVector] {
+    /// Shared handle to column `i` (clone it to pass the column on
+    /// without copying its data).
+    pub fn column_arc(&self, i: usize) -> &Arc<ColumnVector> {
+        &self.columns[i]
+    }
+
+    /// All columns (shared handles).
+    pub fn columns(&self) -> &[Arc<ColumnVector>] {
         &self.columns
     }
 
@@ -681,12 +702,17 @@ impl VectorBatch {
     pub fn take(&self, indices: &[u32]) -> VectorBatch {
         VectorBatch {
             schema: self.schema.clone(),
-            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.take(indices)))
+                .collect(),
             num_rows: indices.len(),
         }
     }
 
-    /// Keep only the columns at `indices` (projection).
+    /// Keep only the columns at `indices` (projection). Zero-copy: the
+    /// projected batch shares column data with `self`.
     pub fn project(&self, indices: &[usize]) -> VectorBatch {
         VectorBatch {
             schema: self.schema.project(indices),
@@ -696,12 +722,16 @@ impl VectorBatch {
     }
 
     /// Append all rows of `other` (schemas' types must match).
+    /// Copy-on-write: columns shared with another batch are cloned
+    /// before extension, so sharers never observe the mutation.
     pub fn append(&mut self, other: &VectorBatch) -> Result<()> {
         if self.num_columns() != other.num_columns() {
-            return Err(HiveError::Execution("batch arity mismatch in append".into()));
+            return Err(HiveError::Execution(
+                "batch arity mismatch in append".into(),
+            ));
         }
         for (a, b) in self.columns.iter_mut().zip(other.columns()) {
-            a.append(b)?;
+            Arc::make_mut(a).append(b)?;
         }
         self.num_rows += other.num_rows;
         Ok(())
@@ -722,11 +752,23 @@ impl VectorBatch {
     }
 
     /// Materialize every dictionary-encoded column (the late-
-    /// materialization output boundary).
+    /// materialization output boundary). Non-encoded columns pass
+    /// through by handle, untouched.
     pub fn decode(self) -> VectorBatch {
         VectorBatch {
             schema: self.schema,
-            columns: self.columns.into_iter().map(|c| c.decode()).collect(),
+            columns: self
+                .columns
+                .into_iter()
+                .map(|c| {
+                    if c.is_dict() {
+                        let owned = Arc::try_unwrap(c).unwrap_or_else(|a| (*a).clone());
+                        Arc::new(owned.decode())
+                    } else {
+                        c
+                    }
+                })
+                .collect(),
             num_rows: self.num_rows,
         }
     }
@@ -772,11 +814,7 @@ mod tests {
                 Value::Decimal(100, 2),
             ]),
             Row::new(vec![Value::Int(2), Value::Null, Value::Decimal(250, 2)]),
-            Row::new(vec![
-                Value::Int(3),
-                Value::String("c".into()),
-                Value::Null,
-            ]),
+            Row::new(vec![Value::Int(3), Value::String("c".into()), Value::Null]),
         ];
         VectorBatch::from_rows(&schema, &rows).unwrap()
     }

@@ -12,8 +12,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i32>().prop_map(Value::Int),
         any::<i64>().prop_map(Value::BigInt),
         (-1.0e12f64..1.0e12).prop_map(Value::Double),
-        (-1_000_000_000i64..1_000_000_000, 0u8..6)
-            .prop_map(|(u, s)| Value::Decimal(u as i128, s)),
+        (-1_000_000_000i64..1_000_000_000, 0u8..6).prop_map(|(u, s)| Value::Decimal(u as i128, s)),
         "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::String),
         (-100_000i32..100_000).prop_map(Value::Date),
         (-3_000_000_000_000i64..3_000_000_000_000).prop_map(|v| Value::Timestamp(v * 1000)),

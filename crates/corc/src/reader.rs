@@ -42,7 +42,9 @@ pub struct CorcFile {
     /// of this file handle whose dictionary has identical contents —
     /// so the LLAP cache sees one `Arc` (and charges its bytes once)
     /// for all row groups of a column.
-    dict_memo: std::sync::Arc<std::sync::Mutex<std::collections::HashMap<usize, std::sync::Arc<Vec<String>>>>>,
+    dict_memo: std::sync::Arc<
+        std::sync::Mutex<std::collections::HashMap<usize, std::sync::Arc<Vec<String>>>>,
+    >,
 }
 
 const _: () = {
@@ -72,7 +74,9 @@ impl CorcFile {
             return Err(HiveError::Format(format!("bad magic in {path}")));
         }
         if footer_len + 8 > meta.len {
-            return Err(HiveError::Format(format!("corrupt footer length in {path}")));
+            return Err(HiveError::Format(format!(
+                "corrupt footer length in {path}"
+            )));
         }
         let footer_bytes = fs.read_range(path, meta.len - 8 - footer_len, footer_len)?;
         let footer = parse_footer(footer_bytes)?;
@@ -199,12 +203,7 @@ impl CorcFile {
 
     /// Decode a previously-fetched chunk (LLAP's cache path: the cache
     /// stores decoded chunks; on miss it fetches bytes then decodes).
-    pub fn decode_column_chunk(
-        &self,
-        bytes: Bytes,
-        rg: usize,
-        col: usize,
-    ) -> Result<ColumnVector> {
+    pub fn decode_column_chunk(&self, bytes: Bytes, rg: usize, col: usize) -> Result<ColumnVector> {
         self.decode_chunk_inner(bytes, rg, col, false)
     }
 
@@ -443,17 +442,11 @@ pub(crate) fn decode_column(
                     let mut codes = Vec::with_capacity(rows);
                     for i in idx {
                         if i < 0 || i as usize >= dict.len() {
-                            return Err(HiveError::Format(
-                                "dictionary index out of range".into(),
-                            ));
+                            return Err(HiveError::Format("dictionary index out of range".into()));
                         }
                         codes.push(i as u32);
                     }
-                    ColumnVector::dict_from_codes(
-                        codes,
-                        std::sync::Arc::new(dict),
-                        nulls,
-                    )?
+                    ColumnVector::dict_from_codes(codes, std::sync::Arc::new(dict), nulls)?
                 } else {
                     let mut v = Vec::with_capacity(rows);
                     for i in idx {
@@ -497,8 +490,7 @@ pub fn parse_in_memory(bytes: &Bytes) -> Result<(Footer, Bytes)> {
     if &magic != MAGIC {
         return Err(HiveError::Format("bad magic".into()));
     }
-    let footer =
-        parse_footer(bytes.slice(bytes.len() - 8 - footer_len..bytes.len() - 8))?;
+    let footer = parse_footer(bytes.slice(bytes.len() - 8 - footer_len..bytes.len() - 8))?;
     Ok((footer, bytes.clone()))
 }
 
@@ -561,9 +553,7 @@ mod tests {
     fn encoded_chunks_share_one_dictionary_arc() {
         let schema = Schema::new(vec![Field::new("s", DataType::String)]);
         let rows: Vec<Row> = (0..100)
-            .map(|i| {
-                Row::new(vec![hive_common::Value::String(format!("v{}", i % 4))])
-            })
+            .map(|i| Row::new(vec![hive_common::Value::String(format!("v{}", i % 4))]))
             .collect();
         let batch = VectorBatch::from_rows(&schema, &rows).unwrap();
         let fs = DistFs::new();

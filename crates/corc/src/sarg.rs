@@ -73,11 +73,7 @@ impl ColumnPredicate {
 
     /// Evaluate against row-range statistics (and an optional Bloom
     /// filter over the same range).
-    pub fn evaluate(
-        &self,
-        stats: &ColumnStatistics,
-        bloom: Option<&BloomFilter>,
-    ) -> TruthValue {
+    pub fn evaluate(&self, stats: &ColumnStatistics, bloom: Option<&BloomFilter>) -> TruthValue {
         use TruthValue::*;
         // A range with no rows can be skipped outright.
         if stats.num_rows == 0 {
@@ -175,9 +171,13 @@ impl ColumnPredicate {
             _ if v.is_null() => false,
             ColumnPredicate::Eq(_, x) => v.sql_cmp(x) == Some(Ordering::Equal),
             ColumnPredicate::Lt(_, x) => v.sql_cmp(x) == Some(Ordering::Less),
-            ColumnPredicate::Le(_, x) => v.sql_cmp(x) != Some(Ordering::Greater) && v.sql_cmp(x).is_some(),
+            ColumnPredicate::Le(_, x) => {
+                v.sql_cmp(x) != Some(Ordering::Greater) && v.sql_cmp(x).is_some()
+            }
             ColumnPredicate::Gt(_, x) => v.sql_cmp(x) == Some(Ordering::Greater),
-            ColumnPredicate::Ge(_, x) => v.sql_cmp(x) != Some(Ordering::Less) && v.sql_cmp(x).is_some(),
+            ColumnPredicate::Ge(_, x) => {
+                v.sql_cmp(x) != Some(Ordering::Less) && v.sql_cmp(x).is_some()
+            }
             ColumnPredicate::Between(_, lo, hi) => {
                 v.sql_cmp(lo) != Some(Ordering::Less)
                     && v.sql_cmp(hi) != Some(Ordering::Greater)
@@ -187,7 +187,9 @@ impl ColumnPredicate {
             ColumnPredicate::In(_, vals) => {
                 vals.iter().any(|x| v.sql_cmp(x) == Some(Ordering::Equal))
             }
-            ColumnPredicate::BloomRange { min, max, bloom, .. } => {
+            ColumnPredicate::BloomRange {
+                min, max, bloom, ..
+            } => {
                 v.sql_cmp(min) != Some(Ordering::Less)
                     && v.sql_cmp(max) != Some(Ordering::Greater)
                     && v.sql_cmp(min).is_some()
@@ -208,11 +210,7 @@ fn range_contains(stats: &ColumnStatistics, v: &Value) -> TruthValue {
 }
 
 /// Evaluate an ordering predicate against min/max bounds.
-fn cmp_bound(
-    stats: &ColumnStatistics,
-    v: &Value,
-    accept: impl Fn(Ordering) -> bool,
-) -> TruthValue {
+fn cmp_bound(stats: &ColumnStatistics, v: &Value, accept: impl Fn(Ordering) -> bool) -> TruthValue {
     let (min, max) = match (&stats.min, &stats.max) {
         (Some(a), Some(b)) => (a, b),
         _ => return TruthValue::Maybe,
@@ -294,7 +292,9 @@ impl fmt::Display for ColumnPredicate {
             }
             ColumnPredicate::IsNull(c) => write!(f, "col{c} IS NULL"),
             ColumnPredicate::IsNotNull(c) => write!(f, "col{c} IS NOT NULL"),
-            ColumnPredicate::BloomRange { column, min, max, .. } => {
+            ColumnPredicate::BloomRange {
+                column, min, max, ..
+            } => {
                 write!(f, "col{column} IN BLOOM[{min}..{max}]")
             }
         }
@@ -410,10 +410,7 @@ mod tests {
         ]);
         // Column 1 stats say impossible -> whole conjunction is No.
         let other = stats(0, 5, 0, 100);
-        let t = sarg.evaluate(
-            |c| if c == 0 { Some(&s) } else { Some(&other) },
-            |_| None,
-        );
+        let t = sarg.evaluate(|c| if c == 0 { Some(&s) } else { Some(&other) }, |_| None);
         assert_eq!(t, TruthValue::No);
     }
 

@@ -86,9 +86,7 @@ impl ColumnStatistics {
     fn update_minmax_only(&mut self, v: &Value) {
         match &self.min {
             None => self.min = Some(v.clone()),
-            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => {
-                self.min = Some(v.clone())
-            }
+            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => self.min = Some(v.clone()),
             _ => {}
         }
         match &self.max {

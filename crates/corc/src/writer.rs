@@ -5,9 +5,7 @@ use crate::encoding::ByteWriter;
 use crate::stats::{ChunkEncoding, ColumnStatistics};
 use crate::{DEFAULT_ROW_GROUP_SIZE, MAGIC};
 use bytes::Bytes;
-use hive_common::{
-    ColumnVector, DataType, HiveError, Result, Schema, VectorBatch,
-};
+use hive_common::{ColumnVector, DataType, HiveError, Result, Schema, VectorBatch};
 
 /// Options controlling file layout.
 #[derive(Debug, Clone)]
@@ -222,11 +220,7 @@ pub(crate) fn write_data_type(w: &mut ByteWriter, dt: &DataType) {
 /// when the distinct ratio clears the threshold, else plain. Both the
 /// `Str` and `Dict` writer arms funnel through here so the bytes are
 /// identical regardless of the in-memory representation.
-fn encode_str_values(
-    vals: &[&String],
-    w: &mut ByteWriter,
-    dictionary_ratio: f64,
-) -> ChunkEncoding {
+fn encode_str_values(vals: &[&String], w: &mut ByteWriter, dictionary_ratio: f64) -> ChunkEncoding {
     let mut dict: Vec<&String> = vals.to_vec();
     dict.sort_unstable();
     dict.dedup();

@@ -5,8 +5,8 @@
 use bytes::Bytes;
 use hive_common::{DataType, Field, Row, Schema, Value, VectorBatch};
 use hive_corc::{
-    reader, writer::write_batch_to_bytes, ColumnPredicate, CorcFile, CorcWriter,
-    SearchArgument, WriterOptions,
+    reader, writer::write_batch_to_bytes, ColumnPredicate, CorcFile, CorcWriter, SearchArgument,
+    WriterOptions,
 };
 use hive_dfs::{DfsPath, DistFs};
 
@@ -50,10 +50,15 @@ fn write_sales(fs: &DistFs, path: &DfsPath, n: usize, opts: WriterOptions) -> Co
 fn write_read_round_trip() {
     let fs = DistFs::new();
     let path = DfsPath::new("/t/f0");
-    let f = write_sales(&fs, &path, 2500, WriterOptions {
-        row_group_size: 1000,
-        ..Default::default()
-    });
+    let f = write_sales(
+        &fs,
+        &path,
+        2500,
+        WriterOptions {
+            row_group_size: 1000,
+            ..Default::default()
+        },
+    );
     assert_eq!(f.num_rows(), 2500);
     assert_eq!(f.row_group_count(), 3);
     assert_eq!(f.row_group_rows(2), 500);
@@ -72,10 +77,15 @@ fn write_read_round_trip() {
 fn projection_reads_fewer_bytes() {
     let fs = DistFs::new();
     let path = DfsPath::new("/t/f0");
-    let f = write_sales(&fs, &path, 10_000, WriterOptions {
-        row_group_size: 1000,
-        ..Default::default()
-    });
+    let f = write_sales(
+        &fs,
+        &path,
+        10_000,
+        WriterOptions {
+            row_group_size: 1000,
+            ..Default::default()
+        },
+    );
     let before = fs.stats().snapshot();
     let one = f.read_row_group(0, &[0]).unwrap();
     let one_col = fs.stats().snapshot().since(&before).bytes_read;
@@ -95,10 +105,15 @@ fn projection_reads_fewer_bytes() {
 fn sarg_skips_row_groups_by_range() {
     let fs = DistFs::new();
     let path = DfsPath::new("/t/f0");
-    let f = write_sales(&fs, &path, 10_000, WriterOptions {
-        row_group_size: 1000,
-        ..Default::default()
-    });
+    let f = write_sales(
+        &fs,
+        &path,
+        10_000,
+        WriterOptions {
+            row_group_size: 1000,
+            ..Default::default()
+        },
+    );
     // id is monotonically increasing: 0..10_000 in groups of 1000.
     let sarg = SearchArgument::with(vec![ColumnPredicate::Between(
         0,
@@ -122,21 +137,22 @@ fn bloom_filter_skips_point_lookups() {
     // Bloom on column 1 (category). Every row group contains all four
     // categories, so range stats alone cannot skip; a missing value can
     // only be skipped via the Bloom filter.
-    let f = write_sales(&fs, &path, 4000, WriterOptions {
-        row_group_size: 1000,
-        bloom_columns: vec![1],
-        bloom_fpp: 0.01,
-        ..Default::default()
-    });
-    let missing = SearchArgument::with(vec![ColumnPredicate::Eq(
-        1,
-        Value::String("garden".into()),
-    )]);
+    let f = write_sales(
+        &fs,
+        &path,
+        4000,
+        WriterOptions {
+            row_group_size: 1000,
+            bloom_columns: vec![1],
+            bloom_fpp: 0.01,
+            ..Default::default()
+        },
+    );
+    let missing =
+        SearchArgument::with(vec![ColumnPredicate::Eq(1, Value::String("garden".into()))]);
     assert!(f.selected_row_groups(&missing).is_empty());
-    let present = SearchArgument::with(vec![ColumnPredicate::Eq(
-        1,
-        Value::String("sports".into()),
-    )]);
+    let present =
+        SearchArgument::with(vec![ColumnPredicate::Eq(1, Value::String("sports".into()))]);
     assert_eq!(f.selected_row_groups(&present).len(), 4);
 }
 
@@ -144,16 +160,24 @@ fn bloom_filter_skips_point_lookups() {
 fn file_stats_merge_row_groups() {
     let fs = DistFs::new();
     let path = DfsPath::new("/t/f0");
-    let f = write_sales(&fs, &path, 3000, WriterOptions {
-        row_group_size: 1000,
-        ..Default::default()
-    });
+    let f = write_sales(
+        &fs,
+        &path,
+        3000,
+        WriterOptions {
+            row_group_size: 1000,
+            ..Default::default()
+        },
+    );
     let s = f.file_column_stats(0);
     assert_eq!(s.min, Some(Value::BigInt(0)));
     assert_eq!(s.max, Some(Value::BigInt(2999)));
     assert_eq!(s.num_rows, 3000);
     let nulls = f.file_column_stats(2);
-    assert_eq!(nulls.null_count, (0..3000).filter(|i| i % 11 == 0).count() as u64);
+    assert_eq!(
+        nulls.null_count,
+        (0..3000).filter(|i| i % 11 == 0).count() as u64
+    );
 }
 
 #[test]
@@ -221,7 +245,5 @@ fn empty_file_round_trips() {
     assert_eq!(f.num_rows(), 0);
     assert_eq!(f.row_group_count(), 0);
     assert_eq!(f.read_all().unwrap().num_rows(), 0);
-    assert!(f
-        .selected_row_groups(&SearchArgument::new())
-        .is_empty());
+    assert!(f.selected_row_groups(&SearchArgument::new()).is_empty());
 }

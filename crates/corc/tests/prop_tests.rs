@@ -26,7 +26,8 @@ fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
                     a.map(Value::BigInt).unwrap_or(Value::Null),
                     b.map(Value::String).unwrap_or(Value::Null),
                     c.map(Value::Boolean).unwrap_or(Value::Null),
-                    d.map(|v| Value::Decimal(v as i128, 2)).unwrap_or(Value::Null),
+                    d.map(|v| Value::Decimal(v as i128, 2))
+                        .unwrap_or(Value::Null),
                 ])
             })
             .collect()

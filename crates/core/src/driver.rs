@@ -11,18 +11,16 @@ use hive_common::{
 };
 use hive_corc::SearchArgument;
 use hive_dfs::DfsPath;
-use hive_exec::{execute as exec_plan, ExecContext, NodeTrace, SnapshotProvider};
+use hive_exec::{execute_sel as exec_plan_sel, ExecContext, NodeTrace, SnapshotProvider};
 use hive_llap::TriggerAction;
 use hive_metastore::{
-    CompactionKind, CompactionState, LockKey, LockMode, Metastore, Table, TableBuilder,
-    TableStats, TableType, ValidTxnList, ValidWriteIdList,
+    CompactionKind, CompactionState, LockKey, LockMode, Metastore, Table, TableBuilder, TableStats,
+    TableType, ValidTxnList, ValidWriteIdList,
 };
 use hive_optimizer::eval::eval_scalar;
 use hive_optimizer::fingerprint::fingerprint;
 use hive_optimizer::plan::LogicalPlan;
-use hive_optimizer::{
-    Analyzer, MetastoreCatalog, Optimizer, OptimizerContext, ScalarExpr,
-};
+use hive_optimizer::{Analyzer, MetastoreCatalog, Optimizer, OptimizerContext, ScalarExpr};
 use hive_sql as ast;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -199,10 +197,7 @@ impl Session {
                         Value::String(table.location.clone()),
                         Value::String(format!("{} partitions", table.partitions.len())),
                     ]));
-                    let stats = self
-                        .server
-                        .metastore()
-                        .table_stats(&table.qualified_name());
+                    let stats = self.server.metastore().table_stats(&table.qualified_name());
                     rows.push(Row::new(vec![
                         Value::String("#rows".into()),
                         Value::String(stats.row_count.to_string()),
@@ -362,9 +357,11 @@ impl Session {
         let key = fingerprint(&plan);
         let mut claimed = false;
         if cacheable {
-            match self.server.results_cache().probe(key, |t| {
-                self.server.metastore().table_write_hwm(t)
-            }) {
+            match self
+                .server
+                .results_cache()
+                .probe(key, |t| self.server.metastore().table_write_hwm(t))
+            {
                 CacheOutcome::Hit(batch) | CacheOutcome::HitAfterWait(batch) => {
                     return Ok(QueryResult {
                         batch,
@@ -390,8 +387,7 @@ impl Session {
                         .results_cache()
                         .fill(key, batch.clone(), snapshot);
                 }
-                let sim_ms =
-                    hive_exec::simulate_ms(&trace, conf, &self.server.inner.sim_model);
+                let sim_ms = hive_exec::simulate_ms(&trace, conf, &self.server.inner.sim_model);
                 Ok(QueryResult {
                     batch,
                     sim_ms,
@@ -455,12 +451,13 @@ impl Session {
             Some(&scanner),
         );
         ctx.prepare_shared_work(plan);
-        let (batch, trace) = exec_plan(plan, &ctx)?;
-        // Output boundary: materialize any dictionary-encoded columns
-        // that survived all the way through the operators. Everything
-        // downstream (final results, the results cache, INSERT..SELECT
-        // sources) sees plain columns.
-        let batch = batch.decode();
+        let (sel_batch, trace) = exec_plan_sel(plan, &ctx)?;
+        // Output boundary — the plan's final pipeline breaker: gather
+        // the surviving selection into a compact batch and materialize
+        // any dictionary-encoded columns that rode through the
+        // operators. Everything downstream (final results, the results
+        // cache, INSERT..SELECT sources) sees plain, compact columns.
+        let batch = sel_batch.compact().decode();
         // Persist runtime operator statistics (§4.2/§9).
         self.server.metastore().save_runtime_stats(
             &hive_optimizer::fingerprint::fingerprint_hex(plan),
@@ -535,8 +532,8 @@ impl Session {
             .iter()
             .map(|c| hive_common::Field::new(c.name.clone(), c.data_type.clone()))
             .collect();
-        let mut builder = TableBuilder::new(&db, &name, Schema::new(data_fields))
-            .partitioned_by(part_fields);
+        let mut builder =
+            TableBuilder::new(&db, &name, Schema::new(data_fields)).partitioned_by(part_fields);
         for c in &ct.constraints {
             builder = builder.constraint(convert_constraint(c));
         }
@@ -625,7 +622,9 @@ impl Session {
             }
             ast::InsertSource::Query(q) => {
                 let (plan, _) = self.plan_query(q, &conf)?;
-                let (batch, _) = self.execute_plan_with_retry(&plan, &conf).map(|(b, t, _)| (b, t))?;
+                let (batch, _) = self
+                    .execute_plan_with_retry(&plan, &conf)
+                    .map(|(b, t, _)| (b, t))?;
                 batch.to_rows()
             }
         };
@@ -776,7 +775,9 @@ impl Session {
         if auto_commit {
             self.server.metastore().commit_txn(txn)?;
         }
-        self.server.metastore().merge_table_stats(&qname, &stats_delta);
+        self.server
+            .metastore()
+            .merge_table_stats(&qname, &stats_delta);
         let maintenance = if auto_commit && conf.auto_compaction {
             self.auto_compact_check(table)?
         } else {
@@ -970,9 +971,7 @@ impl Session {
                 full_vals.extend(part_values.iter().cloned());
                 let full_row = Row::new(full_vals);
                 let matched = match filter {
-                    Some(f) => {
-                        eval_scalar(f, full_row.values())? == Value::Boolean(true)
-                    }
+                    Some(f) => eval_scalar(f, full_row.values())? == Value::Boolean(true),
                     None => true,
                 };
                 if !matched {
@@ -1024,10 +1023,7 @@ impl Session {
         require_acid(&table, "MERGE")?;
         let conf = self.server.conf();
         let full = table.full_schema();
-        let target_alias = m
-            .target_alias
-            .clone()
-            .unwrap_or_else(|| table.name.clone());
+        let target_alias = m.target_alias.clone().unwrap_or_else(|| table.name.clone());
 
         // Evaluate the source as SELECT * FROM <source>.
         let src_query = ast::Query::simple(ast::QueryBody::Select(Box::new(ast::Select {
@@ -1127,6 +1123,7 @@ impl Session {
                 // Find matching source rows (nested loop; MERGE sources
                 // are small dimension deltas in our workloads).
                 let mut any = false;
+                #[allow(clippy::needless_range_loop)] // `s` also indexes `src_batch`
                 for s in 0..src_batch.num_rows() {
                     let mut combined = target_vals.clone();
                     combined.extend(src_batch.row(s).into_values());
@@ -1183,6 +1180,7 @@ impl Session {
         // WHEN NOT MATCHED THEN INSERT.
         if let Some((cols, exprs)) = &ins_arm {
             let mut new_rows: Vec<Row> = Vec::new();
+            #[allow(clippy::needless_range_loop)] // `s` also indexes `src_batch`
             for s in 0..src_batch.num_rows() {
                 if matched_sources[s] {
                     continue;
@@ -1197,8 +1195,7 @@ impl Session {
             }
             if !new_rows.is_empty() {
                 // Route through the same partition logic as INSERT.
-                let mut by_partition: HashMap<Vec<String>, (Vec<Value>, Vec<Row>)> =
-                    HashMap::new();
+                let mut by_partition: HashMap<Vec<String>, (Vec<Value>, Vec<Row>)> = HashMap::new();
                 for r in new_rows {
                     let vals = r.into_values();
                     let part_values: Vec<Value> = vals[data_cols..].to_vec();
@@ -1294,7 +1291,9 @@ impl Session {
                 } else {
                     CompactionKind::Minor
                 };
-                self.server.metastore().submit_compaction(&qname, part, kind);
+                self.server
+                    .metastore()
+                    .submit_compaction(&qname, part, kind);
             }
         }
         self.run_maintenance()
@@ -1402,9 +1401,7 @@ fn convert_constraint(c: &ast::TableConstraintDef) -> hive_metastore::Constraint
             ref_table: ref_table.to_string(),
             ref_columns: ref_columns.clone(),
         },
-        ast::TableConstraintDef::Unique(cols) => {
-            hive_metastore::Constraint::Unique(cols.clone())
-        }
+        ast::TableConstraintDef::Unique(cols) => hive_metastore::Constraint::Unique(cols.clone()),
     }
 }
 
@@ -1421,7 +1418,9 @@ fn plan_is_deterministic(plan: &LogicalPlan) -> bool {
             LogicalPlan::Filter { predicate, .. } => check(predicate),
             LogicalPlan::Project { exprs, .. } => exprs.iter().for_each(&mut check),
             LogicalPlan::Scan { filters, .. } => filters.iter().for_each(&mut check),
-            LogicalPlan::Aggregate { group_exprs, aggs, .. } => {
+            LogicalPlan::Aggregate {
+                group_exprs, aggs, ..
+            } => {
                 group_exprs.iter().for_each(&mut check);
                 for a in aggs {
                     if let Some(arg) = &a.arg {
@@ -1441,11 +1440,9 @@ fn eval_const_ast(e: &ast::Expr) -> Result<Value> {
         ast::Expr::Literal(v) => Ok(v.clone()),
         ast::Expr::Negate(inner) => eval_const_ast(inner)?.neg(),
         ast::Expr::Cast { expr, to } => eval_const_ast(expr)?.cast_to(to),
-        ast::Expr::BinaryOp { left, op, right } => hive_optimizer::eval::eval_binary(
-            *op,
-            &eval_const_ast(left)?,
-            &eval_const_ast(right)?,
-        ),
+        ast::Expr::BinaryOp { left, op, right } => {
+            hive_optimizer::eval::eval_binary(*op, &eval_const_ast(left)?, &eval_const_ast(right)?)
+        }
         other => Err(HiveError::Unsupported(format!(
             "INSERT VALUES requires constant expressions, got {other}"
         ))),
@@ -1471,22 +1468,20 @@ struct MergeScope<'a> {
 
 impl MergeScope<'_> {
     fn lower(&self, e: &ast::Expr) -> Result<ScalarExpr> {
-        lower_with(e, &mut |qualifier, name| {
-            match qualifier {
-                Some(q) if q == self.target_alias => self.target.index_of_required(name),
-                Some(q) if q == self.source_alias => self
+        lower_with(e, &mut |qualifier, name| match qualifier {
+            Some(q) if q == self.target_alias => self.target.index_of_required(name),
+            Some(q) if q == self.source_alias => self
+                .source
+                .index_of_required(name)
+                .map(|i| i + self.target.len()),
+            Some(q) => Err(HiveError::Analysis(format!("unknown alias {q}"))),
+            None => match self.target.index_of(name) {
+                Some(i) => Ok(i),
+                None => self
                     .source
                     .index_of_required(name)
                     .map(|i| i + self.target.len()),
-                Some(q) => Err(HiveError::Analysis(format!("unknown alias {q}"))),
-                None => match self.target.index_of(name) {
-                    Some(i) => Ok(i),
-                    None => self
-                        .source
-                        .index_of_required(name)
-                        .map(|i| i + self.target.len()),
-                },
-            }
+            },
         })
     }
 

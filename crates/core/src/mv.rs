@@ -32,11 +32,7 @@ pub(crate) fn create_view(
     session: &Session,
     cmv: ast::CreateMaterializedView,
 ) -> Result<QueryResult> {
-    let db = cmv
-        .name
-        .db
-        .clone()
-        .unwrap_or_else(|| session.current_db());
+    let db = cmv.name.db.clone().unwrap_or_else(|| session.current_db());
     let name = cmv.name.name.clone();
     let ms = session.server.metastore();
     if ms.table_exists(&db, &name) {
@@ -132,10 +128,9 @@ pub(crate) fn rebuild(session: &Session, name: &ast::ObjectName) -> Result<Query
     let db = name.db.clone().unwrap_or_else(|| session.current_db());
     let ms = session.server.metastore();
     let table = ms.get_table(&db, &name.name)?;
-    let info = table
-        .mv_info
-        .clone()
-        .ok_or_else(|| HiveError::Catalog(format!("{db}.{} is not a materialized view", name.name)))?;
+    let info = table.mv_info.clone().ok_or_else(|| {
+        HiveError::Catalog(format!("{db}.{} is not a materialized view", name.name))
+    })?;
     let conf = session.server.conf();
     let query = hive_sql::parse_sql(&info.definition)?;
     let ast::Statement::Query(q) = query else {
@@ -294,13 +289,12 @@ pub(crate) fn usable_views(session: &Session) -> Result<Vec<UsableView>> {
         let Some(info) = &table.mv_info else {
             continue;
         };
-        let fresh = info
-            .source_tables
-            .iter()
-            .all(|t| ms.table_write_hwm(t).raw() == info.source_snapshots.get(t).copied().unwrap_or(0));
-        let within_window = info.staleness_window_millis.is_some_and(|w| {
-            now_millis().saturating_sub(info.last_rebuild_millis) <= w
+        let fresh = info.source_tables.iter().all(|t| {
+            ms.table_write_hwm(t).raw() == info.source_snapshots.get(t).copied().unwrap_or(0)
         });
+        let within_window = info
+            .staleness_window_millis
+            .is_some_and(|w| now_millis().saturating_sub(info.last_rebuild_millis) <= w);
         if !(fresh || within_window) {
             continue;
         }
@@ -360,13 +354,7 @@ pub(crate) mod render {
             let parts: Vec<String> = q
                 .order_by
                 .iter()
-                .map(|o| {
-                    format!(
-                        "{}{}",
-                        expr_sql(&o.expr),
-                        if o.asc { "" } else { " DESC" }
-                    )
-                })
+                .map(|o| format!("{}{}", expr_sql(&o.expr), if o.asc { "" } else { " DESC" }))
                 .collect();
             s.push_str(&parts.join(", "));
         }
@@ -546,9 +534,9 @@ pub(crate) mod render {
                 s
             }
             ast::Expr::Cast { expr, to } => format!("CAST({} AS {to})", expr_sql(expr)),
-            ast::Expr::Extract { field, expr } =>
-
-                format!("EXTRACT({} FROM {})", field_name(field), expr_sql(expr)),
+            ast::Expr::Extract { field, expr } => {
+                format!("EXTRACT({} FROM {})", field_name(field), expr_sql(expr))
+            }
             ast::Expr::Function {
                 name,
                 args,

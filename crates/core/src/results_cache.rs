@@ -79,25 +79,17 @@ impl QueryResultsCache {
 
     /// Probe for `key`. `current_hwm(table)` reports the table's current
     /// WriteId high watermark for validity checking.
-    pub fn probe(
-        &self,
-        key: u64,
-        current_hwm: impl Fn(&str) -> WriteId,
-    ) -> CacheOutcome {
+    pub fn probe(&self, key: u64, current_hwm: impl Fn(&str) -> WriteId) -> CacheOutcome {
         let mut g = self.inner.lock();
         loop {
             g.tick += 1;
             let tick = g.tick;
             if let Some(e) = g.entries.get_mut(&key) {
-                let valid = e
-                    .snapshot
-                    .iter()
-                    .all(|(t, hwm)| current_hwm(t) == *hwm);
+                let valid = e.snapshot.iter().all(|(t, hwm)| current_hwm(t) == *hwm);
                 if valid {
                     e.last_used = tick;
                     let out = e.batch.clone();
-                    self.hits
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     return CacheOutcome::Hit(out);
                 }
                 // Stale: expunge.
@@ -124,11 +116,7 @@ impl QueryResultsCache {
         let tick = g.tick;
         // LRU eviction.
         while g.entries.len() >= self.capacity {
-            if let Some((&victim, _)) = g
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-            {
+            if let Some((&victim, _)) = g.entries.iter().min_by_key(|(_, e)| e.last_used) {
                 g.entries.remove(&victim);
             } else {
                 break;
@@ -230,11 +218,9 @@ mod tests {
             CacheOutcome::MissClaimed
         ));
         let c2 = c.clone();
-        let waiter = std::thread::spawn(move || {
-            match c2.probe(7, |_: &str| WriteId(1)) {
-                CacheOutcome::Hit(b) => b.row(0).get(0).as_i64().unwrap(),
-                other => panic!("expected hit after wait, got {other:?}"),
-            }
+        let waiter = std::thread::spawn(move || match c2.probe(7, |_: &str| WriteId(1)) {
+            CacheOutcome::Hit(b) => b.row(0).get(0).as_i64().unwrap(),
+            other => panic!("expected hit after wait, got {other:?}"),
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
         c.fill(7, batch(99), vec![("default.t".into(), WriteId(1))]);
@@ -252,10 +238,7 @@ mod tests {
         ));
         let c2 = c.clone();
         let waiter = std::thread::spawn(move || {
-            matches!(
-                c2.probe(9, |_: &str| WriteId(1)),
-                CacheOutcome::MissClaimed
-            )
+            matches!(c2.probe(9, |_: &str| WriteId(1)), CacheOutcome::MissClaimed)
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
         c.abandon(9);

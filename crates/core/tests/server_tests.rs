@@ -17,16 +17,11 @@ fn setup_sales(s: &HiveServer) {
          ) PARTITIONED BY (ss_sold_date_sk INT)",
     )
     .unwrap();
-    sess.execute(
-        "CREATE TABLE item (i_item_sk INT, i_category STRING, PRIMARY KEY (i_item_sk))",
-    )
-    .unwrap();
-    for i in 0..12 {
-        sess.execute(&format!(
-            "INSERT INTO item VALUES ({i}, 'cat{}')",
-            i % 3
-        ))
+    sess.execute("CREATE TABLE item (i_item_sk INT, i_category STRING, PRIMARY KEY (i_item_sk))")
         .unwrap();
+    for i in 0..12 {
+        sess.execute(&format!("INSERT INTO item VALUES ({i}, 'cat{}')", i % 3))
+            .unwrap();
     }
     // Two day-partitions of sales.
     for day in [1, 2] {
@@ -106,7 +101,9 @@ fn update_delete_through_sql() {
         .execute("SELECT COUNT(*) FROM item WHERE i_category = 'sports'")
         .unwrap();
     assert_eq!(r.display_rows(), vec!["3"]);
-    let r = sess.execute("DELETE FROM item WHERE i_item_sk >= 9").unwrap();
+    let r = sess
+        .execute("DELETE FROM item WHERE i_item_sk >= 9")
+        .unwrap();
     assert_eq!(r.affected_rows, 3);
     let r = sess.execute("SELECT COUNT(*) FROM item").unwrap();
     assert_eq!(r.display_rows(), vec!["9"]);
@@ -116,8 +113,10 @@ fn update_delete_through_sql() {
 fn merge_statement_updates_and_inserts() {
     let s = server();
     let sess = s.session();
-    sess.execute("CREATE TABLE target (k INT, v STRING)").unwrap();
-    sess.execute("CREATE TABLE source (k INT, v STRING)").unwrap();
+    sess.execute("CREATE TABLE target (k INT, v STRING)")
+        .unwrap();
+    sess.execute("CREATE TABLE source (k INT, v STRING)")
+        .unwrap();
     sess.execute("INSERT INTO target VALUES (1, 'old1'), (2, 'old2')")
         .unwrap();
     sess.execute("INSERT INTO source VALUES (2, 'new2'), (3, 'new3')")
@@ -142,7 +141,8 @@ fn merge_delete_arm() {
     sess.execute("CREATE TABLE s2 (k INT, flag INT)").unwrap();
     sess.execute("INSERT INTO t2 VALUES (1, 10), (2, 20), (3, 30)")
         .unwrap();
-    sess.execute("INSERT INTO s2 VALUES (1, 1), (2, 0)").unwrap();
+    sess.execute("INSERT INTO s2 VALUES (1, 1), (2, 0)")
+        .unwrap();
     sess.execute(
         "MERGE INTO t2 USING s2 ON t2.k = s2.k
          WHEN MATCHED AND s2.flag = 1 THEN DELETE",
@@ -156,14 +156,10 @@ fn merge_delete_arm() {
 fn materialized_view_rewriting_paper_figure4() {
     let s = server();
     let sess = s.session();
-    sess.execute(
-        "CREATE TABLE store_sales2 (ss_sold_date_sk INT, ss_sales_price DECIMAL(7,2))",
-    )
-    .unwrap();
-    sess.execute(
-        "CREATE TABLE date_dim (d_date_sk INT, d_year INT, d_moy INT, d_dom INT)",
-    )
-    .unwrap();
+    sess.execute("CREATE TABLE store_sales2 (ss_sold_date_sk INT, ss_sales_price DECIMAL(7,2))")
+        .unwrap();
+    sess.execute("CREATE TABLE date_dim (d_date_sk INT, d_year INT, d_moy INT, d_dom INT)")
+        .unwrap();
     // date_dim: 3 years of months.
     let mut dd = Vec::new();
     let mut sk = 0;
@@ -252,7 +248,8 @@ fn stale_mv_not_used_until_rebuilt() {
     assert!(!r.used_mv, "stale view must not answer queries");
     assert_eq!(r.display_rows(), vec!["1\t105", "2\t100"]);
     // Rebuild refreshes it.
-    sess.execute("ALTER MATERIALIZED VIEW mv_sum REBUILD").unwrap();
+    sess.execute("ALTER MATERIALIZED VIEW mv_sum REBUILD")
+        .unwrap();
     let r = sess.execute(q).unwrap();
     assert!(r.used_mv);
     assert_eq!(r.display_rows(), vec!["1\t105", "2\t100"]);
@@ -265,14 +262,13 @@ fn auto_compaction_triggers_on_many_deltas() {
     let sess = s.session();
     sess.execute("CREATE TABLE hot (k INT)").unwrap();
     for i in 0..20 {
-        sess.execute(&format!("INSERT INTO hot VALUES ({i})")).unwrap();
+        sess.execute(&format!("INSERT INTO hot VALUES ({i})"))
+            .unwrap();
     }
     // Compactions ran (visible in the queue history or by the directory
     // shape: far fewer than 20 deltas remain).
     let table = s.metastore().get_table("default", "hot").unwrap();
-    let entries = s
-        .fs()
-        .list(&hive_dfs::DfsPath::new(&table.location));
+    let entries = s.fs().list(&hive_dfs::DfsPath::new(&table.location));
     assert!(
         entries.len() < 15,
         "compaction should have merged deltas, found {} entries",
@@ -293,7 +289,9 @@ fn druid_federation_pushdown() {
         Field::new("d1", DataType::String),
         Field::new("m1", DataType::Double),
     ]);
-    s.druid().create_datasource("my_druid_source", &schema).unwrap();
+    s.druid()
+        .create_datasource("my_druid_source", &schema)
+        .unwrap();
     let rows: Vec<Row> = (0..200)
         .map(|i| {
             Row::new(vec![
@@ -304,7 +302,10 @@ fn druid_federation_pushdown() {
         })
         .collect();
     s.druid()
-        .ingest("my_druid_source", &VectorBatch::from_rows(&schema, &rows).unwrap())
+        .ingest(
+            "my_druid_source",
+            &VectorBatch::from_rows(&schema, &rows).unwrap(),
+        )
         .unwrap();
 
     let sess = s.session();
@@ -419,11 +420,12 @@ fn reoptimization_recovers_from_join_budget() {
     s.set_conf(|c| c.hash_join_row_budget = 2);
     let sess = s.session();
     let r = sess
-        .execute(
-            "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk",
-        )
+        .execute("SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk")
         .unwrap();
-    assert!(r.reexecuted, "query should have been re-optimized and retried");
+    assert!(
+        r.reexecuted,
+        "query should have been re-optimized and retried"
+    );
     assert_eq!(r.display_rows(), vec!["120"]);
 }
 
@@ -438,7 +440,10 @@ fn explain_shows_plan() {
     let text = r.message.unwrap();
     assert!(text.contains("Aggregate"), "{text}");
     assert!(text.contains("Scan[default.store_sales]"), "{text}");
-    assert!(text.contains("partitions=1"), "partition pruning visible: {text}");
+    assert!(
+        text.contains("partitions=1"),
+        "partition pruning visible: {text}"
+    );
 }
 
 #[test]
@@ -461,12 +466,16 @@ fn snapshot_isolation_across_sessions() {
     a.execute("INSERT INTO iso VALUES (1)").unwrap();
     let b = s.session();
     assert_eq!(
-        b.execute("SELECT COUNT(*) FROM iso").unwrap().display_rows(),
+        b.execute("SELECT COUNT(*) FROM iso")
+            .unwrap()
+            .display_rows(),
         vec!["1"]
     );
     a.execute("INSERT INTO iso VALUES (2)").unwrap();
     assert_eq!(
-        b.execute("SELECT COUNT(*) FROM iso").unwrap().display_rows(),
+        b.execute("SELECT COUNT(*) FROM iso")
+            .unwrap()
+            .display_rows(),
         vec!["2"]
     );
 }
@@ -481,9 +490,7 @@ fn ctas_creates_and_fills() {
          SELECT i_category, COUNT(*) AS c FROM item GROUP BY i_category",
     )
     .unwrap();
-    let r = sess
-        .execute("SELECT COUNT(*) FROM cat_counts")
-        .unwrap();
+    let r = sess.execute("SELECT COUNT(*) FROM cat_counts").unwrap();
     assert_eq!(r.display_rows(), vec!["3"]);
 }
 
@@ -492,7 +499,8 @@ fn analyze_table_refreshes_stats() {
     let s = server();
     setup_sales(&s);
     let sess = s.session();
-    sess.execute("ANALYZE TABLE item COMPUTE STATISTICS").unwrap();
+    sess.execute("ANALYZE TABLE item COMPUTE STATISTICS")
+        .unwrap();
     let stats = s.metastore().table_stats("default.item");
     assert_eq!(stats.row_count, 12);
     assert_eq!(stats.columns[0].ndv_estimate(), 12);
@@ -517,11 +525,15 @@ fn multi_insert_is_one_transaction() {
         .unwrap();
     assert_eq!(r.affected_rows, 4);
     assert_eq!(
-        sess.execute("SELECT k FROM pos ORDER BY k").unwrap().display_rows(),
+        sess.execute("SELECT k FROM pos ORDER BY k")
+            .unwrap()
+            .display_rows(),
         vec!["1", "3"]
     );
     assert_eq!(
-        sess.execute("SELECT k FROM neg ORDER BY k").unwrap().display_rows(),
+        sess.execute("SELECT k FROM neg ORDER BY k")
+            .unwrap()
+            .display_rows(),
         vec!["2", "4"]
     );
     // Both legs share one WriteId-allocating transaction: the write ids
@@ -546,7 +558,9 @@ fn multi_insert_failure_aborts_all_legs() {
     assert!(err.is_err());
     // The first leg's rows are invisible (aborted transaction).
     assert_eq!(
-        sess.execute("SELECT COUNT(*) FROM ok_t").unwrap().display_rows(),
+        sess.execute("SELECT COUNT(*) FROM ok_t")
+            .unwrap()
+            .display_rows(),
         vec!["0"]
     );
 }
@@ -555,10 +569,8 @@ fn multi_insert_failure_aborts_all_legs() {
 fn materialized_view_stored_in_druid() {
     let s = server();
     let sess = s.session();
-    sess.execute(
-        "CREATE TABLE clicks (ts TIMESTAMP, page STRING, dur DOUBLE)",
-    )
-    .unwrap();
+    sess.execute("CREATE TABLE clicks (ts TIMESTAMP, page STRING, dur DOUBLE)")
+        .unwrap();
     let rows: Vec<String> = (0..200)
         .map(|i| {
             format!(
@@ -592,9 +604,7 @@ fn materialized_view_stored_in_druid() {
     assert_eq!(r.num_rows(), 5);
     // Cross-check against the source table.
     let direct = sess
-        .execute(
-            "SELECT page, SUM(dur) AS total FROM clicks GROUP BY page ORDER BY page",
-        )
+        .execute("SELECT page, SUM(dur) AS total FROM clicks GROUP BY page ORDER BY page")
         .unwrap();
     assert_eq!(r.display_rows(), direct.display_rows());
 }
@@ -616,10 +626,7 @@ fn describe_and_show_partitions() {
         .iter()
         .any(|l| l.starts_with("ss_sold_date_sk\tINT\tpartition column")));
     let r = sess.execute("DESCRIBE EXTENDED store_sales").unwrap();
-    assert!(r
-        .display_rows()
-        .iter()
-        .any(|l| l.starts_with("#rows\t120")));
+    assert!(r.display_rows().iter().any(|l| l.starts_with("#rows\t120")));
 }
 
 #[test]
@@ -677,7 +684,8 @@ fn show_transactions_reports_states() {
     assert!(r.num_rows() >= 1);
     let rows = r.display_rows();
     assert!(
-        rows.iter().any(|row| row.contains("Committed") && row.contains("default.t")),
+        rows.iter()
+            .any(|row| row.contains("Committed") && row.contains("default.t")),
         "committed txn with its table listed: {rows:?}"
     );
     // A failed multi-insert statement leaves an aborted transaction.

@@ -299,9 +299,10 @@ impl DistFs {
             .map(|(p, _)| p.clone())
             .collect();
         for p in files {
-            let entry = g.files.remove(&p).ok_or_else(|| {
-                HiveError::Io(format!("file vanished during rename: {p}"))
-            })?;
+            let entry = g
+                .files
+                .remove(&p)
+                .ok_or_else(|| HiveError::Io(format!("file vanished during rename: {p}")))?;
             g.files.insert(p.rebase(from, to), entry);
         }
         let dirs: Vec<DfsPath> = g

@@ -48,7 +48,7 @@ proptest! {
         let fs = DistFs::new();
         for ((d, f), data) in &files {
             fs.create(
-                &DfsPath::new(&format!("/staging/{d}/{f}")),
+                &DfsPath::new(format!("/staging/{d}/{f}")),
                 Bytes::from(data.clone()),
             )
             .unwrap();
@@ -59,9 +59,9 @@ proptest! {
         // Every file is readable at the new location with identical
         // contents, and the old prefix is empty.
         for ((d, f), data) in &files {
-            let (_, bytes) = fs.read(&DfsPath::new(&format!("/final/{d}/{f}"))).unwrap();
+            let (_, bytes) = fs.read(&DfsPath::new(format!("/final/{d}/{f}"))).unwrap();
             prop_assert_eq!(bytes.as_ref(), &data[..]);
-            let old = DfsPath::new(&format!("/staging/{d}/{f}"));
+            let old = DfsPath::new(format!("/staging/{d}/{f}"));
             prop_assert!(!fs.exists(&old));
         }
         prop_assert!(fs.list_files_recursive(&from).is_empty());

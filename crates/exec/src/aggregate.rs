@@ -10,10 +10,11 @@
 
 use crate::dict::{KeyPart, KeyReader};
 use crate::kernels::eval_vector;
-use hive_common::{ColumnVector, Result, Row, Value, VectorBatch};
+use hive_common::{ColumnVector, Result, Row, SelBatch, SelVec, Value, VectorBatch};
 use hive_optimizer::{AggExpr, AggFunc, ScalarExpr};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// One in-flight aggregate state.
 #[derive(Debug, Clone)]
@@ -22,10 +23,20 @@ enum Acc {
     Sum(Option<Value>),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
     /// Welford's online variance.
-    Stddev { n: i64, mean: f64, m2: f64 },
-    Distinct { seen: HashSet<Value>, func: AggFunc },
+    Stddev {
+        n: i64,
+        mean: f64,
+        m2: f64,
+    },
+    Distinct {
+        seen: HashSet<Value>,
+        func: AggFunc,
+    },
 }
 
 impl Acc {
@@ -55,7 +66,7 @@ impl Acc {
         match self {
             Acc::Count(c) => {
                 match v {
-                    None => *c += 1,                 // COUNT(*)
+                    None => *c += 1,                    // COUNT(*)
                     Some(x) if !x.is_null() => *c += 1, // COUNT(expr)
                     _ => {}
                 }
@@ -75,9 +86,7 @@ impl Acc {
                     if !x.is_null() {
                         let replace = match acc {
                             None => true,
-                            Some(cur) => {
-                                x.sql_cmp(cur) == Some(std::cmp::Ordering::Less)
-                            }
+                            Some(cur) => x.sql_cmp(cur) == Some(std::cmp::Ordering::Less),
                         };
                         if replace {
                             *acc = Some(x.clone());
@@ -90,9 +99,7 @@ impl Acc {
                     if !x.is_null() {
                         let replace = match acc {
                             None => true,
-                            Some(cur) => {
-                                x.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
-                            }
+                            Some(cur) => x.sql_cmp(cur) == Some(std::cmp::Ordering::Greater),
                         };
                         if replace {
                             *acc = Some(x.clone());
@@ -197,30 +204,61 @@ pub fn execute_aggregate(
     aggs: &[AggExpr],
     out_schema: &hive_common::Schema,
 ) -> Result<VectorBatch> {
-    execute_aggregate_par(input, group_exprs, grouping_sets, aggs, out_schema, 1)
+    execute_aggregate_par(
+        &SelBatch::from_batch(input.clone()),
+        group_exprs,
+        grouping_sets,
+        aggs,
+        out_schema,
+        1,
+    )
 }
 
 /// Execute an Aggregate node over a materialized input with a
 /// hash-partitioned parallel build across up to `workers` threads.
 ///
+/// The input arrives as a `(batch, selection)` pair: bare-column keys
+/// and arguments read straight through the selection (no compaction),
+/// computed expressions compact the input once up front.
+///
 /// `out_schema` is the logical node's output schema (group keys, aggs,
 /// and the grouping-id column when `grouping_sets` is present).
 pub fn execute_aggregate_par(
-    input: &VectorBatch,
+    input: &SelBatch,
     group_exprs: &[ScalarExpr],
     grouping_sets: &Option<Vec<Vec<usize>>>,
     aggs: &[AggExpr],
     out_schema: &hive_common::Schema,
     workers: usize,
 ) -> Result<VectorBatch> {
-    // Evaluate key and argument columns once.
+    let trivial = group_exprs
+        .iter()
+        .all(|g| matches!(g, ScalarExpr::Column(_)))
+        && aggs.iter().all(|a| {
+            a.arg
+                .as_ref()
+                .is_none_or(|e| matches!(e, ScalarExpr::Column(_)))
+        });
+    let input = if input.sel.is_all() || trivial {
+        input.clone()
+    } else {
+        SelBatch::from_batch(input.clone().compact())
+    };
+    // Evaluate key and argument columns once, over the batch domain
+    // (bare columns are `Arc` clones — zero copy); the build below maps
+    // selected positions back through `input.sel`.
     let key_cols = group_exprs
         .iter()
-        .map(|g| eval_vector(g, input))
+        .map(|g| eval_vector(g, &input.batch))
         .collect::<Result<Vec<_>>>()?;
     let arg_cols = aggs
         .iter()
-        .map(|a| a.arg.as_ref().map(|e| eval_vector(e, input)).transpose())
+        .map(|a| {
+            a.arg
+                .as_ref()
+                .map(|e| eval_vector(e, &input.batch))
+                .transpose()
+        })
         .collect::<Result<Vec<_>>>()?;
 
     let sets: Vec<Vec<usize>> = match grouping_sets {
@@ -235,7 +273,7 @@ pub fn execute_aggregate_par(
         let gid: i64 = (0..group_exprs.len())
             .filter(|k| !set.contains(k))
             .fold(0i64, |acc, k| acc | (1 << k));
-        let mut groups = build_groups(input.num_rows(), &key_cols, &arg_cols, set, aggs, workers)?;
+        let mut groups = build_groups(&input.sel, &key_cols, &arg_cols, set, aggs, workers)?;
         // Global aggregation with no keys over empty input yields the
         // neutral row.
         if groups.is_empty() && set.is_empty() {
@@ -286,30 +324,41 @@ fn row_key_hash(readers: &[KeyReader<'_>], i: usize) -> u64 {
 }
 
 /// Build the aggregation state for one grouping set, returning groups
-/// ordered by their first-seen row index — exactly the order the serial
-/// single-pass build discovers them in, for any `workers` count.
+/// ordered by their first-seen selected position — exactly the order
+/// the serial single-pass build discovers them in, for any `workers`
+/// count. Iteration runs over selected positions `0..sel.len()`; the
+/// key/arg columns span the batch domain and are read at `sel.index(p)`.
 fn build_groups(
-    num_rows: usize,
-    key_cols: &[ColumnVector],
-    arg_cols: &[Option<ColumnVector>],
+    sel: &SelVec,
+    key_cols: &[Arc<ColumnVector>],
+    arg_cols: &[Option<Arc<ColumnVector>>],
     set: &[usize],
     aggs: &[AggExpr],
     workers: usize,
 ) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+    let num_rows = sel.len();
     // Key access goes through per-column readers: dictionary-encoded
     // string columns contribute their u32 code (no string clone, no
     // Value allocation per row), everything else its scalar value.
-    let readers: Vec<KeyReader<'_>> = set.iter().map(|&k| KeyReader::new(&key_cols[k])).collect();
+    let readers: Vec<KeyReader<'_>> = set
+        .iter()
+        .map(|&k| KeyReader::new(key_cols[k].as_ref()))
+        .collect();
     // Materialize a group's key parts into output scalars — once per
     // group, not once per row.
     let emit = |key: Vec<KeyPart>| -> Vec<Value> {
-        key.iter().zip(&readers).map(|(p, r)| r.value_of(p)).collect()
+        key.iter()
+            .zip(&readers)
+            .map(|(p, r)| r.value_of(p))
+            .collect()
     };
 
-    // One partition's build: fold every row whose stable key hash maps
-    // to this partition, in ascending row order (`filter` preserves it),
-    // tracking each group's first row for the deterministic merge.
-    let build_partition = |rows: &mut dyn Iterator<Item = usize>,
+    // One partition's build: fold every selected position whose stable
+    // key hash maps to this partition, in ascending position order
+    // (`filter` preserves it), tracking each group's first position for
+    // the deterministic merge.
+    #[allow(clippy::type_complexity)]
+    let build_partition = |positions: &mut dyn Iterator<Item = usize>,
                            hashes: Option<(&[u64], usize, usize)>|
      -> Result<Vec<(usize, Vec<KeyPart>, Vec<Acc>)>> {
         let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
@@ -322,12 +371,13 @@ fn build_groups(
             _ => None,
         };
         let mut dense: Vec<usize> = vec![usize::MAX; dense_len.map_or(0, |d| d + 1)];
-        for i in rows {
+        for pos in positions {
             if let Some((hashes, nparts, p)) = hashes {
-                if hashes[i] as usize % nparts != p {
+                if hashes[pos] as usize % nparts != p {
                     continue;
                 }
             }
+            let i = sel.index(pos);
             let gi = if dense_len.is_some() {
                 let part = readers[0].part(i);
                 let slot = match &part {
@@ -339,7 +389,7 @@ fn build_groups(
                 };
                 if dense[slot] == usize::MAX {
                     dense[slot] = groups.len();
-                    groups.push((i, vec![part], aggs.iter().map(Acc::new).collect()));
+                    groups.push((pos, vec![part], aggs.iter().map(Acc::new).collect()));
                 }
                 dense[slot]
             } else {
@@ -349,7 +399,7 @@ fn build_groups(
                     None => {
                         let g = groups.len();
                         index.insert(key.clone(), g);
-                        groups.push((i, key, aggs.iter().map(Acc::new).collect()));
+                        groups.push((pos, key, aggs.iter().map(Acc::new).collect()));
                         g
                     }
                 }
@@ -367,29 +417,31 @@ fn build_groups(
         return Ok(groups.into_iter().map(|(_, k, a)| (emit(k), a)).collect());
     }
 
-    // Stage 1: stable key hashes, computed over contiguous row chunks in
-    // parallel (a pure per-row function — chunking cannot change it).
+    // Stage 1: stable key hashes, computed over contiguous position
+    // chunks in parallel (a pure per-row function — chunking cannot
+    // change it).
     let chunk = num_rows.div_ceil(workers).max(1);
     let nchunks = num_rows.div_ceil(chunk);
     let hashes: Vec<u64> = crate::par::parallel_map(workers, nchunks, |c| {
         let lo = c * chunk;
         let hi = ((c + 1) * chunk).min(num_rows);
         Ok((lo..hi)
-            .map(|i| row_key_hash(&readers, i))
+            .map(|pos| row_key_hash(&readers, sel.index(pos)))
             .collect::<Vec<u64>>())
     })?
     .concat();
 
     // Stage 2: one build per hash partition. A group's rows all share a
-    // hash, so they live in exactly one partition and fold in row order.
+    // hash, so they live in exactly one partition and fold in position
+    // order.
     let nparts = workers;
     let parts = crate::par::parallel_map(workers, nparts, |p| {
         build_partition(&mut (0..num_rows), Some((&hashes, nparts, p)))
     })?;
 
-    // Stage 3: deterministic merge — global first-seen-row order.
+    // Stage 3: deterministic merge — global first-seen-position order.
     let mut all: Vec<(usize, Vec<KeyPart>, Vec<Acc>)> = parts.into_iter().flatten().collect();
-    all.sort_by_key(|(first_row, _, _)| *first_row);
+    all.sort_by_key(|(first_pos, _, _)| *first_pos);
     Ok(all.into_iter().map(|(_, k, a)| (emit(k), a)).collect())
 }
 
@@ -568,28 +620,34 @@ mod tests {
                 let k = if i % 13 == 0 {
                     Value::Null
                 } else {
-                    Value::Int((i * 37 % 97) as i32)
+                    Value::Int(i * 37 % 97)
                 };
                 Row::new(vec![k, Value::Double(i as f64 * 0.25 - 100.0)])
             })
             .collect();
         let b = VectorBatch::from_rows(&schema, &rows).unwrap();
         let groups = vec![ScalarExpr::Column(0)];
-        let aggs = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::StddevSamp]
-            .into_iter()
-            .map(|func| AggExpr {
-                func,
-                arg: Some(ScalarExpr::Column(1)),
-                distinct: false,
-            })
-            .collect::<Vec<_>>();
+        let aggs = [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::StddevSamp,
+        ]
+        .into_iter()
+        .map(|func| AggExpr {
+            func,
+            arg: Some(ScalarExpr::Column(1)),
+            distinct: false,
+        })
+        .collect::<Vec<_>>();
         let out_schema = agg_schema(&b, &groups, &None, &aggs);
-        let base = execute_aggregate_par(&b, &groups, &None, &aggs, &out_schema, 1).unwrap();
+        let sb = SelBatch::from_batch(b);
+        let base = execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1).unwrap();
         let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
         assert_eq!(base.num_rows(), 98); // 97 int keys + NULL group
         for workers in [2, 8] {
             let out =
-                execute_aggregate_par(&b, &groups, &None, &aggs, &out_schema, workers).unwrap();
+                execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, workers).unwrap();
             let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
             assert_eq!(got, base_rows, "{workers} workers diverged");
         }

@@ -25,6 +25,7 @@ pub(crate) enum KeyPart {
 /// materialize parts back to scalars at output time.
 pub(crate) struct KeyReader<'a> {
     col: &'a ColumnVector,
+    #[allow(clippy::type_complexity)]
     dict: Option<(&'a [u32], &'a Arc<Vec<String>>, Option<&'a BitSet>)>,
 }
 
@@ -93,8 +94,7 @@ mod tests {
         let dict = Arc::new(vec!["a".to_string(), "b".to_string()]);
         let mut nulls = BitSet::new(3);
         nulls.set(2);
-        let col =
-            ColumnVector::dict_from_codes(vec![1, 0, 0], dict, Some(nulls)).unwrap();
+        let col = ColumnVector::dict_from_codes(vec![1, 0, 0], dict, Some(nulls)).unwrap();
         let r = KeyReader::new(&col);
         assert_eq!(r.part(0), KeyPart::Code(1));
         assert_eq!(r.part(2), KeyPart::Null);

@@ -7,7 +7,7 @@ use crate::join::execute_join_par;
 use crate::kernels::{eval_rowmode, eval_vector, filter_indices, filter_indices_rowmode};
 use crate::scan::execute_scan;
 use crate::window::execute_window;
-use hive_common::{ColumnBuilder, HiveConf, HiveError, Result, Row, VectorBatch};
+use hive_common::{ColumnBuilder, HiveConf, HiveError, Result, Row, SelBatch, SelVec, VectorBatch};
 use hive_dfs::DistFs;
 use hive_metastore::{Metastore, ValidWriteIdList};
 use hive_optimizer::fingerprint::fingerprint;
@@ -125,14 +125,8 @@ impl ExecContext<'_> {
     /// Always returns at least one worker — the query must make
     /// progress even when every slot is busy (fragments queue). The
     /// returned lease (if any) must be held for the parallel section.
-    pub(crate) fn lease_workers(
-        &self,
-        items: usize,
-    ) -> (usize, Option<hive_llap::ExecutorLease>) {
-        let want = self
-            .conf
-            .effective_parallel_threads()
-            .min(items.max(1));
+    pub(crate) fn lease_workers(&self, items: usize) -> (usize, Option<hive_llap::ExecutorLease>) {
+        let want = self.conf.effective_parallel_threads().min(items.max(1));
         if want <= 1 {
             return (1, None);
         }
@@ -187,7 +181,8 @@ fn count_subtrees(plan: &LogicalPlan, counts: &mut HashMap<u64, usize>) {
     // Count non-leaf subtrees; scans alone are cheap to repeat but a
     // scan with filters is worth sharing too, so count everything with
     // at least one operator above a scan.
-    if !plan.children().is_empty() || matches!(plan, LogicalPlan::Scan { filters, .. } if !filters.is_empty())
+    if !plan.children().is_empty()
+        || matches!(plan, LogicalPlan::Scan { filters, .. } if !filters.is_empty())
     {
         *counts.entry(fingerprint(plan)).or_insert(0) += 1;
     }
@@ -297,8 +292,23 @@ impl NodeTrace {
     }
 }
 
-/// Execute a plan, returning the result batch and the trace tree.
+/// Execute a plan, returning the materialized result batch and the
+/// trace tree (the compatibility entry point: reducers, MV rebuilds and
+/// tests want compact rows).
 pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, NodeTrace)> {
+    let (sb, trace) = execute_sel(plan, ctx)?;
+    Ok((sb.compact(), trace))
+}
+
+/// Execute a plan, returning a `(batch, selection)` pair. Operators
+/// narrow selections and share `Arc`'d columns instead of copying
+/// survivors; the caller compacts at its pipeline breaker (the driver's
+/// output choke point, a join build, a reducer). With
+/// `hive.exec.selvec.enabled` off, every operator boundary compacts
+/// here instead — each operator's `All`-selection path is exactly the
+/// pre-selection-vector code, which is what makes the toggle's
+/// byte-identity structural rather than coincidental.
+pub fn execute_sel(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch, NodeTrace)> {
     // Shared-work reuse check.
     let fp = fingerprint(plan);
     let is_shared = ctx.shared_counts.contains_key(&fp);
@@ -307,20 +317,37 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, No
             let mut t = NodeTrace::leaf("SharedWorkReuse");
             t.rows_out = cached.num_rows() as u64;
             t.shared_reuse = true;
-            return Ok((cached.clone(), t));
+            return Ok((SelBatch::from_batch(cached.clone()), t));
         }
     }
-    let (batch, mut trace) = execute_inner(plan, ctx)?;
+    let (mut sb, mut trace) = execute_sel_inner(plan, ctx)?;
     // Per-vertex fault injection + fragment recovery (retries, node
     // failover); no-op when no fault plan is active.
     crate::recovery::apply_fragment_faults(ctx, &mut trace)?;
     if is_shared {
-        ctx.shared.lock().insert(fp, batch.clone());
+        // Shared results are consumed at several plan sites: store them
+        // compacted once rather than re-gathering per consumer.
+        let b = sb.compact();
+        ctx.shared.lock().insert(fp, b.clone());
+        sb = SelBatch::from_batch(b);
     }
-    Ok((batch, trace))
+    if !ctx.conf.effective_selvec_enabled() && !sb.is_compact() {
+        sb = SelBatch::from_batch(sb.compact());
+    }
+    Ok((sb, trace))
 }
 
-fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, NodeTrace)> {
+/// True when `col_dt` already satisfies the declared output type (the
+/// condition under which `align_column` passes a column through).
+fn type_aligned(col_dt: &hive_common::DataType, want: &hive_common::DataType) -> bool {
+    col_dt == want
+        || matches!(
+            (col_dt, want),
+            (hive_common::DataType::Decimal(_, a), hive_common::DataType::Decimal(_, b)) if a == b
+        )
+}
+
+fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch, NodeTrace)> {
     let schema = plan.schema();
     match plan {
         LogicalPlan::Scan { .. } => execute_scan(plan, ctx, &execute),
@@ -329,45 +356,77 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
             let b = VectorBatch::from_rows(schema, &rows)?;
             let mut t = NodeTrace::leaf("Values");
             t.rows_out = b.num_rows() as u64;
-            Ok((b, t))
+            Ok((SelBatch::from_batch(b), t))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let (child, ct) = execute(input, ctx)?;
+            let (child, ct) = execute_sel(input, ctx)?;
+            let rows_in = child.num_rows() as u64;
+            // Kernels evaluate the predicate over every batch row, so a
+            // stacked selection compacts first — vectorized evaluation
+            // must only ever see rows the eager path would have seen.
+            let base = child.compact();
             let idx = if ctx.conf.vectorized {
-                filter_indices(predicate, &child)?
+                filter_indices(predicate, &base)?
             } else {
-                filter_indices_rowmode(predicate, &child)?
+                filter_indices_rowmode(predicate, &base)?
             };
-            let out = child.take(&idx);
             let mut t = NodeTrace::leaf("Filter");
-            t.rows_in = child.num_rows() as u64;
-            t.rows_out = out.num_rows() as u64;
+            t.rows_in = rows_in;
+            t.rows_out = idx.len() as u64;
             t.children = vec![ct];
-            Ok((out, t))
+            Ok((SelBatch::new(base, SelVec::Idx(idx))?, t))
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let (child, ct) = execute(input, ctx)?;
+            let (child, ct) = execute_sel(input, ctx)?;
+            let rows_in = child.num_rows() as u64;
+            // All-trivial projections (bare column refs already in
+            // their declared types) re-share the child's columns and
+            // pass the selection through untouched — zero copies.
+            let trivial = ctx.conf.vectorized
+                && exprs.iter().enumerate().all(|(i, e)| {
+                    matches!(e, ScalarExpr::Column(c)
+                        if type_aligned(&child.batch.column(*c).data_type(), &schema.field(i).data_type))
+                });
+            if trivial {
+                let cols = exprs
+                    .iter()
+                    .map(|e| match e {
+                        ScalarExpr::Column(c) => child.batch.column_arc(*c).clone(),
+                        _ => unreachable!("trivial projection is all column refs"),
+                    })
+                    .collect();
+                let out = VectorBatch::from_arcs(schema.clone(), cols, child.batch.num_rows())?;
+                let mut t = NodeTrace::leaf("Project");
+                t.rows_in = rows_in;
+                t.rows_out = rows_in;
+                t.children = vec![ct];
+                return Ok((SelBatch::new(out, child.sel)?, t));
+            }
+            // General expressions evaluate over a compact batch so they
+            // only ever see selected rows (an unselected row could
+            // error — or cost — where the eager path would not).
+            let base = child.compact();
             let mut cols = Vec::with_capacity(exprs.len());
             for (i, e) in exprs.iter().enumerate() {
                 if ctx.conf.vectorized {
-                    let col = eval_vector(e, &child)?;
+                    let col = eval_vector(e, &base)?;
                     // Align the column to the declared output type.
-                    cols.push(align_column(col, &schema.field(i).data_type, &child)?);
+                    cols.push(align_column(col, &schema.field(i).data_type)?);
                 } else {
-                    let vals = eval_rowmode(e, &child)?;
+                    let vals = eval_rowmode(e, &base)?;
                     let mut b = ColumnBuilder::new(&schema.field(i).data_type)?;
                     for v in &vals {
                         b.push(v)?;
                     }
-                    cols.push(b.finish());
+                    cols.push(std::sync::Arc::new(b.finish()));
                 }
             }
-            let out = VectorBatch::new_with_rows(schema.clone(), cols, child.num_rows())?;
+            let out = VectorBatch::from_arcs(schema.clone(), cols, base.num_rows())?;
             let mut t = NodeTrace::leaf("Project");
-            t.rows_in = child.num_rows() as u64;
+            t.rows_in = rows_in;
             t.rows_out = out.num_rows() as u64;
             t.children = vec![ct];
-            Ok((out, t))
+            Ok((SelBatch::from_batch(out), t))
         }
         LogicalPlan::Join {
             left,
@@ -376,10 +435,11 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
             equi,
             residual,
         } => {
-            let (lb, lt) = execute(left, ctx)?;
-            let (rb, rt) = execute(right, ctx)?;
+            let (lb, lt) = execute_sel(left, ctx)?;
+            let (rb, rt) = execute_sel(right, ctx)?;
             let morsels = crate::par::row_morsels(lb.num_rows().max(rb.num_rows()));
             let (workers, _lease) = ctx.lease_workers(morsels);
+            let rows_in = (lb.num_rows() + rb.num_rows()) as u64;
             let out = execute_join_par(
                 &lb,
                 &rb,
@@ -392,12 +452,12 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
             )?;
             let mut t = NodeTrace::leaf(&format!("Join({join_type:?})"));
             t.parallel_workers = workers as u64;
-            t.rows_in = (lb.num_rows() + rb.num_rows()) as u64;
+            t.rows_in = rows_in;
             t.rows_out = out.num_rows() as u64;
             t.is_boundary = true;
             t.shuffle_rows = t.rows_in;
             t.children = vec![lt, rt];
-            Ok((out, t))
+            Ok((SelBatch::from_batch(out), t))
         }
         LogicalPlan::Aggregate {
             input,
@@ -405,50 +465,58 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
             grouping_sets,
             aggs,
         } => {
-            let (child, ct) = execute(input, ctx)?;
+            let (child, ct) = execute_sel(input, ctx)?;
             let (workers, _lease) = ctx.lease_workers(crate::par::row_morsels(child.num_rows()));
-            let out = execute_aggregate_par(
-                &child,
-                group_exprs,
-                grouping_sets,
-                aggs,
-                &schema,
-                workers,
-            )?;
+            let rows_in = child.num_rows() as u64;
+            let out =
+                execute_aggregate_par(&child, group_exprs, grouping_sets, aggs, &schema, workers)?;
             let mut t = NodeTrace::leaf("Aggregate");
             t.parallel_workers = workers as u64;
-            t.rows_in = child.num_rows() as u64;
+            t.rows_in = rows_in;
             t.rows_out = out.num_rows() as u64;
             t.is_boundary = !group_exprs.is_empty() || grouping_sets.is_some();
             t.shuffle_rows = t.rows_in;
             t.children = vec![ct];
-            Ok((out, t))
+            Ok((SelBatch::from_batch(out), t))
         }
         LogicalPlan::Window { input, windows } => {
-            let (child, ct) = execute(input, ctx)?;
+            let (child, ct) = execute_sel(input, ctx)?;
+            let rows_in = child.num_rows() as u64;
             let out = execute_window(&child, windows, &schema)?;
             let mut t = NodeTrace::leaf("Window");
-            t.rows_in = child.num_rows() as u64;
+            t.rows_in = rows_in;
             t.rows_out = out.num_rows() as u64;
             t.is_boundary = true;
             t.shuffle_rows = t.rows_in;
             t.children = vec![ct];
-            Ok((out, t))
+            Ok((SelBatch::from_batch(out), t))
         }
         LogicalPlan::Sort { input, keys } => {
-            let (child, ct) = execute(input, ctx)?;
+            let (child, ct) = execute_sel(input, ctx)?;
+            // Key expressions evaluate over whole batches; with a
+            // stacked selection only bare column refs can read through
+            // it, so anything else compacts first.
+            let child = if child.sel.is_all()
+                || keys.iter().all(|k| matches!(k.expr, ScalarExpr::Column(_)))
+            {
+                child
+            } else {
+                SelBatch::from_batch(child.compact())
+            };
             let key_cols = keys
                 .iter()
-                .map(|k| eval_vector(&k.expr, &child))
+                .map(|k| eval_vector(&k.expr, &child.batch))
                 .collect::<Result<Vec<_>>>()?;
             // Dictionary-encoded string keys compare through a rank
             // table built per distinct entry (see [`SortAccess`]); the
             // per-row comparator then never touches string bytes.
-            let accesses: Vec<SortAccess<'_>> = key_cols.iter().map(SortAccess::new).collect();
-            let mut idx: Vec<u32> = (0..child.num_rows() as u32).collect();
-            idx.sort_by(|&a, &b| {
+            let accesses: Vec<SortAccess<'_>> =
+                key_cols.iter().map(|c| SortAccess::new(c)).collect();
+            let mut pos: Vec<u32> = (0..child.num_rows() as u32).collect();
+            pos.sort_by(|&a, &b| {
+                let (ra, rb) = (child.sel.index(a as usize), child.sel.index(b as usize));
                 for (acc, key) in accesses.iter().zip(keys) {
-                    let ord = acc.cmp_rows(a as usize, b as usize, key.nulls_first);
+                    let ord = acc.cmp_rows(ra, rb, key.nulls_first);
                     let ord = if key.asc { ord } else { ord.reverse() };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -456,26 +524,29 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
                 }
                 std::cmp::Ordering::Equal
             });
-            let out = child.take(&idx);
+            // The output permutation rides out as a selection —
+            // sorting moves no column data at all.
+            let sel = child.sel.compose(&pos);
             let mut t = NodeTrace::leaf("Sort");
             t.rows_in = child.num_rows() as u64;
-            t.rows_out = out.num_rows() as u64;
+            t.rows_out = sel.len() as u64;
             t.is_boundary = true;
             t.shuffle_rows = t.rows_in;
             t.children = vec![ct];
-            Ok((out, t))
+            Ok((SelBatch::new(child.batch, sel)?, t))
         }
         LogicalPlan::Limit { input, n } => {
-            let (child, ct) = execute(input, ctx)?;
-            let take: Vec<u32> = (0..child.num_rows().min(*n as usize) as u32).collect();
-            let out = child.take(&take);
+            let (child, ct) = execute_sel(input, ctx)?;
+            let rows_in = child.num_rows() as u64;
+            let sel = child.sel.truncate(*n as usize);
             let mut t = NodeTrace::leaf("Limit");
-            t.rows_in = child.num_rows() as u64;
-            t.rows_out = out.num_rows() as u64;
+            t.rows_in = rows_in;
+            t.rows_out = sel.len() as u64;
             t.children = vec![ct];
-            Ok((out, t))
+            Ok((SelBatch::new(child.batch, sel)?, t))
         }
         LogicalPlan::Union { inputs } => {
+            // Union buffers all inputs into one batch: a breaker.
             let mut out = VectorBatch::empty(&schema)?;
             let mut t = NodeTrace::leaf("UnionAll");
             for i in inputs {
@@ -485,7 +556,7 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
                 t.children.push(ct);
             }
             t.rows_out = out.num_rows() as u64;
-            Ok((out, t))
+            Ok((SelBatch::from_batch(out), t))
         }
         LogicalPlan::SetOp {
             op,
@@ -502,7 +573,7 @@ fn execute_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(VectorBatch, 
             t.is_boundary = true;
             t.shuffle_rows = t.rows_in;
             t.children = vec![lt, rt];
-            Ok((out, t))
+            Ok((SelBatch::from_batch(out), t))
         }
     }
 }
@@ -584,25 +655,20 @@ impl<'a> SortAccess<'a> {
 
 /// Coerce a column produced by a kernel to the declared output type
 /// (kernels keep natural types; e.g. `Int + Int` stays Int even when
-/// the planner widened the projection type).
+/// the planner widened the projection type). Aligned columns pass
+/// through by handle.
 fn align_column(
-    col: hive_common::ColumnVector,
+    col: std::sync::Arc<hive_common::ColumnVector>,
     want: &hive_common::DataType,
-    _input: &VectorBatch,
-) -> Result<hive_common::ColumnVector> {
-    if &col.data_type() == want
-        || matches!(
-            (col.data_type(), want),
-            (hive_common::DataType::Decimal(_, a), hive_common::DataType::Decimal(_, b)) if a == *b
-        )
-    {
+) -> Result<std::sync::Arc<hive_common::ColumnVector>> {
+    if type_aligned(&col.data_type(), want) {
         return Ok(col);
     }
     let mut b = ColumnBuilder::new(want)?;
     for i in 0..col.len() {
         b.push(&col.get(i))?;
     }
-    Ok(b.finish())
+    Ok(std::sync::Arc::new(b.finish()))
 }
 
 /// INTERSECT / EXCEPT via row-count maps (ALL keeps multiplicity).

@@ -11,16 +11,18 @@
 
 use crate::kernels::eval_vector;
 use hive_common::{
-    BitSet, ColumnBuilder, ColumnVector, HiveError, Result, Schema, Value, VectorBatch,
+    BitSet, ColumnBuilder, ColumnVector, HiveError, Result, Schema, SelBatch, SelVec, Value,
+    VectorBatch,
 };
 use hive_optimizer::eval::eval_scalar;
 use hive_optimizer::plan::JoinType;
 use hive_optimizer::ScalarExpr;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-/// Execute a join (serial path; identical results to
-/// [`execute_join_par`] at any worker count).
+/// Execute a join over compact batches (serial path; identical results
+/// to [`execute_join_par`] at any worker count).
 pub fn execute_join(
     left: &VectorBatch,
     right: &VectorBatch,
@@ -31,8 +33,8 @@ pub fn execute_join(
     build_row_budget: usize,
 ) -> Result<VectorBatch> {
     execute_join_par(
-        left,
-        right,
+        &SelBatch::from_batch(left.clone()),
+        &SelBatch::from_batch(right.clone()),
         join_type,
         equi,
         residual,
@@ -87,10 +89,7 @@ impl<'a> JoinCodec<'a> {
                 .enumerate()
                 .map(|(ci, s)| *rindex.entry(s.as_str()).or_insert(ci as u32))
                 .collect();
-            let probe_map = ld
-                .iter()
-                .map(|s| rindex.get(s.as_str()).copied())
-                .collect();
+            let probe_map = ld.iter().map(|s| rindex.get(s.as_str()).copied()).collect();
             return JoinCodec::Codes {
                 lcodes: lc,
                 lnulls: ln,
@@ -171,7 +170,11 @@ impl<'a> JoinCodec<'a> {
 fn row_key_hash(codecs: &[JoinCodec<'_>], i: usize, build: bool) -> Option<u64> {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     for c in codecs {
-        let p = if build { c.build_part(i) } else { c.probe_part(i) };
+        let p = if build {
+            c.build_part(i)
+        } else {
+            c.probe_part(i)
+        };
         p?.hash(&mut h);
     }
     Some(h.finish())
@@ -182,13 +185,18 @@ fn row_key_hash(codecs: &[JoinCodec<'_>], i: usize, build: bool) -> Option<u64> 
 /// (left expr, right expr); `residual` is evaluated over the
 /// concatenated (left ++ right) row.
 ///
+/// Inputs arrive as `(batch, selection)` pairs; the join works in
+/// *position* space (0..selected rows) — key columns are gathered
+/// compact, while residual evaluation and output assembly map positions
+/// back through the selections, so unselected rows are never touched.
+///
 /// The build side is the right input; exceeding `build_row_budget`
 /// raises a retryable error so the driver can re-optimize with runtime
 /// statistics.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_join_par(
-    left: &VectorBatch,
-    right: &VectorBatch,
+    left_in: &SelBatch,
+    right_in: &SelBatch,
     join_type: JoinType,
     equi: &[(ScalarExpr, ScalarExpr)],
     residual: &Option<ScalarExpr>,
@@ -196,22 +204,52 @@ pub fn execute_join_par(
     build_row_budget: usize,
     workers: usize,
 ) -> Result<VectorBatch> {
-    if right.num_rows() > build_row_budget {
+    if right_in.num_rows() > build_row_budget {
         return Err(HiveError::Retryable(format!(
             "hash join build side has {} rows, exceeding the {} row budget",
-            right.num_rows(),
+            right_in.num_rows(),
             build_row_budget
         )));
     }
 
-    // Evaluate key columns.
+    // Computed key expressions evaluate over whole batches, so a side
+    // with a stacked selection and non-trivial keys compacts up front;
+    // bare column keys gather through the selection instead (one column
+    // copy, not one per surviving column).
+    let normalize = |sb: &SelBatch, trivial: bool| -> SelBatch {
+        if sb.sel.is_all() || trivial {
+            sb.clone()
+        } else {
+            SelBatch::from_batch(sb.clone().compact())
+        }
+    };
+    let left = normalize(
+        left_in,
+        equi.iter().all(|(l, _)| matches!(l, ScalarExpr::Column(_))),
+    );
+    let right = normalize(
+        right_in,
+        equi.iter().all(|(_, r)| matches!(r, ScalarExpr::Column(_))),
+    );
+
+    // Evaluate key columns, compact (length = selected row count).
+    let sel_key = |sb: &SelBatch, e: &ScalarExpr| -> Result<Arc<ColumnVector>> {
+        match &sb.sel {
+            SelVec::All(_) => eval_vector(e, &sb.batch),
+            SelVec::Idx(idx) => match e {
+                ScalarExpr::Column(c) => Ok(Arc::new(sb.batch.column(*c).take(idx))),
+                // invariant: `normalize` compacted this side otherwise.
+                _ => unreachable!("non-trivial join key over a selection"),
+            },
+        }
+    };
     let lkeys = equi
         .iter()
-        .map(|(l, _)| eval_vector(l, left))
+        .map(|(l, _)| sel_key(&left, l))
         .collect::<Result<Vec<_>>>()?;
     let rkeys = equi
         .iter()
-        .map(|(_, r)| eval_vector(r, right))
+        .map(|(_, r)| sel_key(&right, r))
         .collect::<Result<Vec<_>>>()?;
 
     // Per-key-column codecs: dict×dict columns join on u32 codes, all
@@ -219,7 +257,7 @@ pub fn execute_join_par(
     let codecs: Vec<JoinCodec<'_>> = lkeys
         .iter()
         .zip(&rkeys)
-        .map(|(l, r)| JoinCodec::new(l, r))
+        .map(|(l, r)| JoinCodec::new(l.as_ref(), r.as_ref()))
         .collect();
 
     // --- build ------------------------------------------------------------
@@ -245,6 +283,7 @@ pub fn execute_join_par(
     let tables: Vec<HashMap<Vec<JPart>, Vec<u32>>> =
         crate::par::parallel_map(workers, nparts, |p| {
             let mut table: HashMap<Vec<JPart>, Vec<u32>> = HashMap::new();
+            #[allow(clippy::needless_range_loop)] // `i` is a row id, not just an index
             'rows: for i in 0..right.num_rows() {
                 if nparts > 1 {
                     match rhashes[i] {
@@ -268,8 +307,8 @@ pub fn execute_join_par(
         match residual {
             None => Ok(true),
             Some(pred) => {
-                let mut vals = left.row(li as usize).into_values();
-                vals.extend(right.row(ri as usize).into_values());
+                let mut vals = left.batch.row(left.sel.index(li as usize)).into_values();
+                vals.extend(right.batch.row(right.sel.index(ri as usize)).into_values());
                 Ok(eval_scalar(pred, &vals)? == Value::Boolean(true))
             }
         }
@@ -388,8 +427,8 @@ pub fn execute_join_par(
     }
 
     assemble(
-        left,
-        right,
+        &left,
+        &right,
         join_type,
         &out_left,
         &out_right,
@@ -406,9 +445,13 @@ struct ProbeOut {
     matched_right: Vec<u32>,
 }
 
+/// Gather the output columns. `out_left`/`out_right`/`extra_right` hold
+/// *positions* into each side's selection; `sel.index` maps them back to
+/// underlying batch rows at gather time — the only point where the join
+/// touches unneeded payload columns.
 fn assemble(
-    left: &VectorBatch,
-    right: &VectorBatch,
+    left: &SelBatch,
+    right: &SelBatch,
     join_type: JoinType,
     out_left: &[u32],
     out_right: &[Option<u32>],
@@ -420,10 +463,10 @@ fn assemble(
     let mut cols = Vec::with_capacity(out_schema.len());
     // Left columns.
     for (ci, f) in left.schema().fields().iter().enumerate() {
-        let src = left.column(ci);
+        let src = left.batch.column(ci);
         let mut b = ColumnBuilder::new(&f.data_type)?;
         for &li in out_left {
-            b.push(&src.get(li as usize))?;
+            b.push(&src.get(left.sel.index(li as usize)))?;
         }
         for _ in extra_right {
             b.push(&Value::Null)?;
@@ -432,16 +475,16 @@ fn assemble(
     }
     if keeps_right {
         for (ci, f) in right.schema().fields().iter().enumerate() {
-            let src = right.column(ci);
+            let src = right.batch.column(ci);
             let mut b = ColumnBuilder::new(&f.data_type)?;
             for ri in out_right {
                 match ri {
-                    Some(r) => b.push(&src.get(*r as usize))?,
+                    Some(r) => b.push(&src.get(right.sel.index(*r as usize)))?,
                     None => b.push(&Value::Null)?,
                 }
             }
             for &ri in extra_right {
-                b.push(&src.get(ri as usize))?;
+                b.push(&src.get(right.sel.index(ri as usize)))?;
             }
             cols.push(b.finish());
         }
@@ -451,29 +494,64 @@ fn assemble(
 
 /// Build a runtime semijoin reducer from the values of one column:
 /// min/max range + Bloom filter (§4.6's index semijoin payload).
+///
+/// The build side of a semijoin is often heavily duplicated (e.g. a
+/// dimension key repeated per sales row), so values are deduplicated
+/// before insertion — via the dictionary code space when the column is
+/// dictionary-encoded, otherwise through a `HashSet` — and the Bloom
+/// filter is sized by the *distinct* count rather than the row count,
+/// which keeps its bit array proportional to the information it holds.
 pub fn build_runtime_filter(
     values: &VectorBatch,
     key_col: usize,
 ) -> Option<(Value, Value, hive_corc::BloomFilter)> {
     let col = values.column(key_col);
+
+    // Pass 1: collect distinct non-NULL values.
+    let distinct: Vec<Value> = if let Some((codes, dict, nulls)) = col.dict_parts() {
+        // Dictionary path: mark the codes actually present, then emit
+        // each distinct *string* once (duplicate dictionary entries
+        // collapse through the set below).
+        let mut present = vec![false; dict.len()];
+        for (i, &c) in codes.iter().enumerate() {
+            if !nulls.is_some_and(|n| n.get(i)) {
+                present[c as usize] = true;
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        dict.iter()
+            .enumerate()
+            .filter(|&(c, s)| present[c] && seen.insert(s.as_str()))
+            .map(|(_, s)| Value::String(s.clone()))
+            .collect()
+    } else {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for i in 0..col.len() {
+            let v = col.get(i);
+            if !v.is_null() && seen.insert(v.clone()) {
+                out.push(v);
+            }
+        }
+        out
+    };
+
+    // Pass 2: one Bloom insert per distinct value, min/max over the
+    // distinct set.
+    let mut bloom = hive_corc::BloomFilter::new(distinct.len().max(16), 0.01);
     let mut min: Option<Value> = None;
     let mut max: Option<Value> = None;
-    let mut bloom = hive_corc::BloomFilter::new(values.num_rows().max(16), 0.01);
-    for i in 0..col.len() {
-        let v = col.get(i);
-        if v.is_null() {
-            continue;
-        }
+    for v in distinct {
         bloom.insert(&v);
         if min
             .as_ref()
-            .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
         {
             min = Some(v.clone());
         }
         if max
             .as_ref()
-            .map_or(true, |m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
         {
             max = Some(v);
         }
@@ -503,11 +581,7 @@ mod tests {
         VectorBatch::from_rows(&schema, &rows).unwrap()
     }
 
-    fn join(
-        l: &VectorBatch,
-        r: &VectorBatch,
-        jt: JoinType,
-    ) -> Vec<String> {
+    fn join(l: &VectorBatch, r: &VectorBatch, jt: JoinType) -> Vec<String> {
         let out_schema = if jt.keeps_right() {
             l.schema().join(r.schema())
         } else {
@@ -523,8 +597,14 @@ mod tests {
     #[test]
     fn inner_join() {
         let l = batch("l", &[(Some(1), "a"), (Some(2), "b"), (None, "n")]);
-        let r = batch("r", &[(Some(2), "x"), (Some(2), "y"), (Some(3), "z"), (None, "rn")]);
-        assert_eq!(join(&l, &r, JoinType::Inner), vec!["2\tb\t2\tx", "2\tb\t2\ty"]);
+        let r = batch(
+            "r",
+            &[(Some(2), "x"), (Some(2), "y"), (Some(3), "z"), (None, "rn")],
+        );
+        assert_eq!(
+            join(&l, &r, JoinType::Inner),
+            vec!["2\tb\t2\tx", "2\tb\t2\ty"]
+        );
     }
 
     #[test]
@@ -569,10 +649,7 @@ mod tests {
         let out_schema = l.schema().join(r.schema());
         let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
         // residual: l_v = r_v (cols 1 and 3 of the combined row).
-        let residual = Some(ScalarExpr::eq(
-            ScalarExpr::Column(1),
-            ScalarExpr::Column(3),
-        ));
+        let residual = Some(ScalarExpr::eq(ScalarExpr::Column(1), ScalarExpr::Column(3)));
         let out = execute_join(
             &l,
             &r,
@@ -610,16 +687,8 @@ mod tests {
         let l = batch("l", &[(Some(1), "a"), (Some(2), "b")]);
         let r = batch("r", &[(Some(9), "x")]);
         let out_schema = l.schema().join(r.schema());
-        let out = execute_join(
-            &l,
-            &r,
-            JoinType::Cross,
-            &[],
-            &None,
-            &out_schema,
-            1_000_000,
-        )
-        .unwrap();
+        let out =
+            execute_join(&l, &r, JoinType::Cross, &[], &None, &out_schema, 1_000_000).unwrap();
         assert_eq!(out.num_rows(), 2);
     }
 
@@ -669,14 +738,24 @@ mod tests {
             } else {
                 l.schema().clone()
             };
+            let lsb = SelBatch::from_batch(l.clone());
+            let rsb = SelBatch::from_batch(r.clone());
             let base =
-                execute_join_par(&l, &r, jt, &equi, &None, &out_schema, 1_000_000, 1).unwrap();
-            let base_rows: Vec<String> =
-                base.to_rows().iter().map(|row| row.to_string()).collect();
+                execute_join_par(&lsb, &rsb, jt, &equi, &None, &out_schema, 1_000_000, 1).unwrap();
+            let base_rows: Vec<String> = base.to_rows().iter().map(|row| row.to_string()).collect();
             assert!(base.num_rows() > 0, "{jt:?} produced no rows");
             for workers in [2, 8] {
-                let out = execute_join_par(&l, &r, jt, &equi, &None, &out_schema, 1_000_000, workers)
-                    .unwrap();
+                let out = execute_join_par(
+                    &lsb,
+                    &rsb,
+                    jt,
+                    &equi,
+                    &None,
+                    &out_schema,
+                    1_000_000,
+                    workers,
+                )
+                .unwrap();
                 let rows: Vec<String> = out.to_rows().iter().map(|row| row.to_string()).collect();
                 assert_eq!(rows, base_rows, "{jt:?} with {workers} workers diverged");
             }

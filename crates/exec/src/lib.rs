@@ -25,7 +25,7 @@ pub mod simtime;
 pub mod window;
 
 pub use engine::{
-    execute, execute_simple, ExecContext, ExternalScanResult, ExternalScanner, FaultCharges,
-    NodeTrace, SnapshotProvider, WideOpenSnapshots,
+    execute, execute_sel, execute_simple, ExecContext, ExternalScanResult, ExternalScanner,
+    FaultCharges, NodeTrace, SnapshotProvider, WideOpenSnapshots,
 };
 pub use simtime::{simulate_ms, summarize, SimCostModel, SimSummary};

@@ -75,7 +75,9 @@ where
                             .map(|s| s.to_string())
                             .or_else(|| panic.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "worker thread panicked".to_string());
-                        Err(HiveError::Execution(format!("parallel worker panicked: {msg}")))
+                        Err(HiveError::Execution(format!(
+                            "parallel worker panicked: {msg}"
+                        )))
                     });
                 *slots[i].lock() = Some(r);
             });
@@ -91,7 +93,9 @@ where
                 // below `items` exactly once and scope joins all
                 // workers, so every slot is filled; surface a typed
                 // error anyway rather than trusting that across edits.
-                Err(HiveError::Execution("parallel worker lost its result".into()))
+                Err(HiveError::Execution(
+                    "parallel worker lost its result".into(),
+                ))
             })
         })
         .collect()
@@ -121,7 +125,10 @@ mod tests {
         };
         for workers in [1, 2, 8] {
             let err = parallel_map(workers, 20, f).unwrap_err();
-            assert_eq!(err.to_string(), HiveError::Execution("boom 2".into()).to_string());
+            assert_eq!(
+                err.to_string(),
+                HiveError::Execution("boom 2".into()).to_string()
+            );
         }
     }
 
@@ -142,7 +149,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_item() {
-        assert!(parallel_map(8, 0, |i| Ok(i)).unwrap().is_empty());
-        assert_eq!(parallel_map(8, 1, |i| Ok(i)).unwrap(), vec![0]);
+        assert!(parallel_map(8, 0, Ok).unwrap().is_empty());
+        assert_eq!(parallel_map(8, 1, Ok).unwrap(), vec![0]);
     }
 }

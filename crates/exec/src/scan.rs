@@ -7,7 +7,7 @@ use crate::join::build_runtime_filter;
 use crate::kernels::{filter_indices, filter_indices_rowmode};
 use hive_acid::{resolve_snapshot, writer::record_id_at, DeleteSet, ACID_COLS};
 use hive_common::{
-    ColumnVector, HiveError, Result, Schema, Value, VectorBatch, WriteId,
+    ColumnVector, HiveError, Result, Schema, SelBatch, SelVec, Value, VectorBatch, WriteId,
 };
 use hive_corc::{ColumnPredicate, CorcFile, SearchArgument};
 use hive_dfs::DfsPath;
@@ -16,15 +16,18 @@ use hive_optimizer::plan::{LogicalPlan, SemiJoinFilterSpec};
 use hive_optimizer::ScalarExpr;
 use hive_sql::BinaryOp;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 type ExecFn<'f> = &'f dyn Fn(&LogicalPlan, &ExecContext) -> Result<(VectorBatch, NodeTrace)>;
 
-/// Execute a Scan node.
+/// Execute a Scan node. The result carries residual row-level filters as
+/// a selection over the read batch — downstream operators consume the
+/// `(batch, selection)` pair without compacting (§3.3's late filtering).
 pub fn execute_scan(
     plan: &LogicalPlan,
     ctx: &ExecContext,
     exec: ExecFn,
-) -> Result<(VectorBatch, NodeTrace)> {
+) -> Result<(SelBatch, NodeTrace)> {
     let LogicalPlan::Scan {
         table,
         projection,
@@ -66,12 +69,15 @@ pub fn execute_scan(
         let reducer = run_reducer(spec, ctx, exec, &mut trace)?;
         let Some((min, max, bloom, values)) = reducer else {
             // Empty build side: nothing can match.
-            return Ok((VectorBatch::empty(&out_schema)?, trace));
+            return Ok((
+                SelBatch::from_batch(VectorBatch::empty(&out_schema)?),
+                trace,
+            ));
         };
         if spec.is_partition_col {
             // Dynamic partition pruning: collect the exact value set.
-            let entry = partition_value_allowlist
-                .get_or_insert_with(|| (spec.target_col, HashSet::new()));
+            let entry =
+                partition_value_allowlist.get_or_insert_with(|| (spec.target_col, HashSet::new()));
             if entry.0 == spec.target_col {
                 entry.1.extend(values);
             }
@@ -162,18 +168,8 @@ pub fn execute_scan(
             std::mem::swap(&mut reuse.children, &mut trace.children);
             trace.children.push(reuse);
             trace.rows_in = raw.num_rows() as u64;
-            let mut filtered = apply_row_filters(raw, filters, ctx)?;
-            if !extra_preds.is_empty() {
-                let keep: Vec<u32> = (0..filtered.num_rows() as u32)
-                    .filter(|&i| {
-                        extra_preds.iter().all(|p| {
-                            let v = filtered.column(p.column()).get(i as usize);
-                            p.matches_value(&v)
-                        })
-                    })
-                    .collect();
-                filtered = filtered.take(&keep);
-            }
+            let filtered =
+                apply_reducer_row_checks(apply_row_filters(raw, filters, ctx)?, &extra_preds);
             trace.rows_out = filtered.num_rows() as u64;
             return Ok((filtered, trace));
         }
@@ -205,7 +201,6 @@ pub fn execute_scan(
         })
         .unwrap_or(0);
 
-    let mut out = VectorBatch::empty(&out_schema)?;
     // Data-column projection (schema col indexes < data_cols).
     let proj_data: Vec<(usize, usize)> = projection
         .iter()
@@ -240,10 +235,20 @@ pub fn execute_scan(
             acid_states.push((wlist, deletes));
             let mut files: Vec<DfsPath> = Vec::new();
             if let Some(b) = &snap.base {
-                files.extend(ctx.fs.list_files_recursive(&b.path).into_iter().map(|(p, _)| p));
+                files.extend(
+                    ctx.fs
+                        .list_files_recursive(&b.path)
+                        .into_iter()
+                        .map(|(p, _)| p),
+                );
             }
             for d in &snap.insert_deltas {
-                files.extend(ctx.fs.list_files_recursive(&d.path).into_iter().map(|(p, _)| p));
+                files.extend(
+                    ctx.fs
+                        .list_files_recursive(&d.path)
+                        .into_iter()
+                        .map(|(p, _)| p),
+                );
             }
             for path in files {
                 let file = open_file(ctx, &path)?;
@@ -278,7 +283,7 @@ pub fn execute_scan(
     // the serial loop at any worker count.
     let (workers, _lease) = ctx.lease_workers(morsels.len());
     trace.parallel_workers = workers as u64;
-    let batches = crate::par::parallel_map(workers, morsels.len(), |i| {
+    let mut batches = crate::par::parallel_map(workers, morsels.len(), |i| {
         let m = &morsels[i];
         read_row_group(
             ctx,
@@ -292,9 +297,17 @@ pub fn execute_scan(
             &out_schema,
         )
     })?;
-    for b in &batches {
-        out.append(b)?;
-    }
+    // Single-morsel scans keep the row group's `Arc` columns as-is;
+    // multi-morsel concatenation is a genuine pipeline breaker.
+    let out = if batches.len() == 1 {
+        batches.pop().expect("len checked")
+    } else {
+        let mut out = VectorBatch::empty(&out_schema)?;
+        for b in &batches {
+            out.append(b)?;
+        }
+        out
+    };
 
     let io_after = ctx.fs.stats().snapshot().since(&io_before);
     trace.bytes_disk = io_after.bytes_read;
@@ -321,20 +334,7 @@ pub fn execute_scan(
     }
 
     // --- residual row-level filtering --------------------------------------
-    let mut filtered = apply_row_filters(out, filters, ctx)?;
-    // Row-level check of non-partition reducers (Bloom may let some
-    // row-groups through).
-    if !extra_preds.is_empty() {
-        let keep: Vec<u32> = (0..filtered.num_rows() as u32)
-            .filter(|&i| {
-                extra_preds.iter().all(|p| {
-                    let v = filtered.column(p.column()).get(i as usize);
-                    p.matches_value(&v)
-                })
-            })
-            .collect();
-        filtered = filtered.take(&keep);
-    }
+    let filtered = apply_reducer_row_checks(apply_row_filters(out, filters, ctx)?, &extra_preds);
     trace.rows_out = filtered.num_rows() as u64;
     Ok((filtered, trace))
 }
@@ -399,7 +399,7 @@ fn read_row_group(
     // Fetch the needed file columns (identity columns for ACID).
     let mut file_cols: Vec<usize> = (0..id_shift).collect();
     file_cols.extend(proj_data.iter().map(|(_, sc)| sc + id_shift));
-    let mut fetched: Vec<ColumnVector> = Vec::with_capacity(file_cols.len());
+    let mut fetched: Vec<Arc<ColumnVector>> = Vec::with_capacity(file_cols.len());
     for &fc in &file_cols {
         let col = fetch_chunk(ctx, file, rg, fc)?;
         fetched.push(col);
@@ -407,9 +407,10 @@ fn read_row_group(
     // Visibility filtering for ACID files.
     let keep: Vec<u32> = match acid {
         Some((wlist, deletes)) => {
-            let id_batch = VectorBatch::new(
+            let id_batch = VectorBatch::from_arcs(
                 hive_acid::writer::acid_file_schema(&Schema::empty()),
                 fetched[..ACID_COLS].to_vec(),
+                rows,
             )?;
             (0..rows as u32)
                 .filter(|&i| {
@@ -425,11 +426,18 @@ fn read_row_group(
         }
         None => (0..rows as u32).collect(),
     };
-    // Assemble the output-ordered batch.
-    let mut cols: Vec<Option<ColumnVector>> = vec![None; out_schema.len()];
+    // Assemble the output-ordered batch. When visibility kept every row
+    // (non-ACID files, or ACID with nothing deleted) the fetched `Arc`s
+    // are shared as-is — no bytes move between the cache and the batch.
+    let full = keep.len() == rows;
+    let mut cols: Vec<Option<Arc<ColumnVector>>> = vec![None; out_schema.len()];
     for (slot, (out_i, _)) in proj_data.iter().enumerate() {
         let col = &fetched[id_shift + slot];
-        cols[*out_i] = Some(col.take(&keep));
+        cols[*out_i] = Some(if full {
+            col.clone()
+        } else {
+            Arc::new(col.take(&keep))
+        });
     }
     for (out_i, key_idx) in proj_part {
         let v = part_values.get(*key_idx).cloned().unwrap_or(Value::Null);
@@ -437,25 +445,29 @@ fn read_row_group(
         for _ in 0..keep.len() {
             b.push(&v)?;
         }
-        cols[*out_i] = Some(b.finish());
+        cols[*out_i] = Some(Arc::new(b.finish()));
     }
-    let cols: Vec<ColumnVector> = cols
+    let cols: Vec<Arc<ColumnVector>> = cols
         .into_iter()
         .map(|c| c.ok_or_else(|| HiveError::Execution("unfilled scan column".into())))
         .collect::<Result<Vec<_>>>()?;
-    VectorBatch::new_with_rows(out_schema.clone(), cols, keep.len())
+    VectorBatch::from_arcs(out_schema.clone(), cols, keep.len())
 }
 
 /// Fetch one column chunk, through the LLAP cache when enabled
 /// (the I/O elevator path, §5.1). DFS loads retry transient injected
 /// errors; cached chunks detected as corrupt degrade back to the DFS
 /// load path.
+///
+/// With `hive.exec.selvec.enabled` the cache's `Arc` is handed out
+/// directly (zero-copy); the legacy flow deep-copies the chunk into a
+/// private column and charges `bytes_copied_out`.
 fn fetch_chunk(
     ctx: &ExecContext,
     file: &CorcFile,
     rg: usize,
     col: usize,
-) -> Result<ColumnVector> {
+) -> Result<Arc<ColumnVector>> {
     let what = format!("chunk rg={rg} col={col} of file {:?}", file.file_id());
     // Late materialization: keep dictionary-encoded string chunks as
     // codes + shared dictionary all the way through the cache and the
@@ -480,26 +492,59 @@ fn fetch_chunk(
             let arc = l.cache().get_or_load_with_fault(key, fault, || {
                 crate::recovery::retry_transient(ctx, &what, read)
             })?;
-            Ok((*arc).clone())
+            if ctx.conf.effective_selvec_enabled() {
+                Ok(arc)
+            } else {
+                l.cache().stats().bytes_copied_out.fetch_add(
+                    arc.approx_bytes() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                Ok(Arc::new((*arc).clone()))
+            }
         }
-        _ => crate::recovery::retry_transient(ctx, &what, read),
+        _ => Ok(Arc::new(crate::recovery::retry_transient(
+            ctx, &what, read,
+        )?)),
     }
 }
 
+/// Apply residual row-level filters as a selection over `batch` — no
+/// row movement; compaction is deferred to the next pipeline breaker.
 fn apply_row_filters(
     batch: VectorBatch,
     filters: &[ScalarExpr],
     ctx: &ExecContext,
-) -> Result<VectorBatch> {
+) -> Result<SelBatch> {
     let Some(pred) = ScalarExpr::conjunction(filters.to_vec()) else {
-        return Ok(batch);
+        return Ok(SelBatch::from_batch(batch));
     };
     let idx = if ctx.conf.vectorized {
         filter_indices(&pred, &batch)?
     } else {
         filter_indices_rowmode(&pred, &batch)?
     };
-    Ok(batch.take(&idx))
+    SelBatch::new(batch, SelVec::Idx(idx))
+}
+
+/// Row-level check of non-partition semijoin reducers (the Bloom filter
+/// may let some row groups through); narrows the selection in place.
+fn apply_reducer_row_checks(sb: SelBatch, extra_preds: &[ColumnPredicate]) -> SelBatch {
+    if extra_preds.is_empty() {
+        return sb;
+    }
+    let positions: Vec<u32> = (0..sb.num_rows() as u32)
+        .filter(|&p| {
+            let row = sb.sel.index(p as usize);
+            extra_preds
+                .iter()
+                .all(|pr| pr.matches_value(&sb.batch.column(pr.column()).get(row)))
+        })
+        .collect();
+    let sel = sb.sel.compose(&positions);
+    SelBatch {
+        batch: sb.batch,
+        sel,
+    }
 }
 
 /// Evaluate partition-column-only conjuncts against a directory's
@@ -603,10 +648,7 @@ fn to_column_predicate(
                 None
             }
         }
-        ScalarExpr::IsNull {
-            expr,
-            negated,
-        } => {
+        ScalarExpr::IsNull { expr, negated } => {
             if let ScalarExpr::Column(c) = expr.as_ref() {
                 let dc = data_col(*c)?;
                 Some(if *negated {
@@ -630,9 +672,7 @@ fn retarget(p: &ColumnPredicate, col: usize) -> ColumnPredicate {
         ColumnPredicate::Le(_, v) => ColumnPredicate::Le(col, v.clone()),
         ColumnPredicate::Gt(_, v) => ColumnPredicate::Gt(col, v.clone()),
         ColumnPredicate::Ge(_, v) => ColumnPredicate::Ge(col, v.clone()),
-        ColumnPredicate::Between(_, a, b) => {
-            ColumnPredicate::Between(col, a.clone(), b.clone())
-        }
+        ColumnPredicate::Between(_, a, b) => ColumnPredicate::Between(col, a.clone(), b.clone()),
         ColumnPredicate::In(_, vs) => ColumnPredicate::In(col, vs.clone()),
         ColumnPredicate::IsNull(_) => ColumnPredicate::IsNull(col),
         ColumnPredicate::IsNotNull(_) => ColumnPredicate::IsNotNull(col),

@@ -68,8 +68,8 @@ impl Default for SimCostModel {
             container_startup_ms: 25.0,
             llap_dispatch_ms: 2.0,
             mr_job_startup_ms: 40.0,
-            disk_bytes_per_ms: 150_000.0,     // ~150 MB/s per node
-            cache_bytes_per_ms: 3_000_000.0,  // ~3 GB/s per node
+            disk_bytes_per_ms: 150_000.0,      // ~150 MB/s per node
+            cache_bytes_per_ms: 3_000_000.0,   // ~3 GB/s per node
             network_bytes_per_ms: 1_000_000.0, // ~1 GB/s per node
             cpu_ms_per_row_vectorized: 0.00015,
             cpu_ms_per_row_interpreted: 0.0004,
@@ -147,7 +147,7 @@ fn own_time(node: &NodeTrace, conf: &HiveConf, model: &SimCostModel) -> f64 {
                 t += if conf.llap_enabled {
                     model.llap_dispatch_ms
                 } else {
-                    model.container_startup_ms * (tasks / slots).ceil().max(1.0).min(3.0)
+                    model.container_startup_ms * (tasks / slots).ceil().clamp(1.0, 3.0)
                 };
             }
             RuntimeKind::MapReduce => {

@@ -3,73 +3,111 @@
 
 use crate::dict::{KeyPart, KeyReader};
 use crate::kernels::eval_vector;
-use hive_common::{ColumnBuilder, Result, Value, VectorBatch};
+use hive_common::{ColumnBuilder, ColumnVector, Result, SelBatch, SelVec, Value, VectorBatch};
 use hive_optimizer::plan::window_output_type;
 use hive_optimizer::{AggFunc, ScalarExpr, WindowExpr, WindowFunc};
 use hive_sql::{FrameBound, WindowFrame};
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Execute a Window node: input columns pass through, one extra column
-/// per window expression is appended.
+/// per window expression is appended. The input arrives as a
+/// `(batch, selection)` pair; output is 1:1 with the *selected* rows
+/// (window output is compact — a pipeline breaker by nature).
 pub fn execute_window(
-    input: &VectorBatch,
+    input: &SelBatch,
     windows: &[WindowExpr],
     out_schema: &hive_common::Schema,
 ) -> Result<VectorBatch> {
+    // Bare columns and literals read straight through the selection;
+    // computed expressions need a compact domain, so compact once.
+    fn trivial(e: &ScalarExpr) -> bool {
+        matches!(e, ScalarExpr::Column(_) | ScalarExpr::Literal(_))
+    }
+    let sel_native = windows.iter().all(|w| {
+        w.partition_by.iter().all(trivial)
+            && w.order_by.iter().all(|k| trivial(&k.expr))
+            && w.args.iter().all(trivial)
+    });
+    let input = if input.sel.is_all() || sel_native {
+        input.clone()
+    } else {
+        SelBatch::from_batch(input.clone().compact())
+    };
     let n = input.num_rows();
-    let mut cols: Vec<hive_common::ColumnVector> = input.columns().to_vec();
+    // Pass-through columns: an `All` selection shares the input `Arc`s
+    // untouched; an index selection gathers them here, once.
+    let mut cols: Vec<Arc<ColumnVector>> = match &input.sel {
+        SelVec::All(_) => input.batch.columns().to_vec(),
+        SelVec::Idx(idx) => input
+            .batch
+            .columns()
+            .iter()
+            .map(|c| Arc::new(c.take(idx)))
+            .collect(),
+    };
     for w in windows {
         let dt = window_output_type(w, input.schema());
-        let values = eval_one_window(input, w)?;
+        let values = eval_one_window(&input, w)?;
         let mut b = ColumnBuilder::new(&dt)?;
         for v in &values {
             b.push(v)?;
         }
         let col = b.finish();
         debug_assert_eq!(col.len(), n);
-        cols.push(col);
+        cols.push(Arc::new(col));
     }
-    VectorBatch::new(out_schema.clone(), cols)
+    VectorBatch::from_arcs(out_schema.clone(), cols, n)
 }
 
-fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
+/// Evaluate one window expression. All bookkeeping (partition lists,
+/// sort order, frames, the output vec) lives in *position* space
+/// (0..selected rows); column reads map through `input.sel`.
+fn eval_one_window(input: &SelBatch, w: &WindowExpr) -> Result<Vec<Value>> {
     let n = input.num_rows();
+    let at = |pos: usize| input.sel.index(pos);
     // Partition keys and order keys evaluated once.
     let part_cols = w
         .partition_by
         .iter()
-        .map(|e| eval_vector(e, input))
+        .map(|e| eval_vector(e, &input.batch))
         .collect::<Result<Vec<_>>>()?;
     let order_cols = w
         .order_by
         .iter()
-        .map(|k| eval_vector(&k.expr, input))
+        .map(|k| eval_vector(&k.expr, &input.batch))
         .collect::<Result<Vec<_>>>()?;
     let arg_cols = w
         .args
         .iter()
-        .map(|e| eval_vector(e, input))
+        .map(|e| eval_vector(e, &input.batch))
         .collect::<Result<Vec<_>>>()?;
 
-    // Group row indexes by partition key. Dictionary-encoded partition
+    // Group positions by partition key. Dictionary-encoded partition
     // columns key by u32 code via [`KeyReader`] — no string clones.
-    // (Output cells are written per row index, so partition iteration
+    // (Output cells are written per position, so partition iteration
     // order is irrelevant to results.)
-    let part_readers: Vec<KeyReader<'_>> = part_cols.iter().map(KeyReader::new).collect();
+    let part_readers: Vec<KeyReader<'_>> = part_cols
+        .iter()
+        .map(|c| KeyReader::new(c.as_ref()))
+        .collect();
     let mut partitions: std::collections::HashMap<Vec<KeyPart>, Vec<usize>> =
         std::collections::HashMap::new();
-    for i in 0..n {
-        let key: Vec<KeyPart> = part_readers.iter().map(|r| r.part(i)).collect();
-        partitions.entry(key).or_default().push(i);
+    for pos in 0..n {
+        let key: Vec<KeyPart> = part_readers.iter().map(|r| r.part(at(pos))).collect();
+        partitions.entry(key).or_default().push(pos);
     }
 
-    let order_readers: Vec<KeyReader<'_>> = order_cols.iter().map(KeyReader::new).collect();
+    let order_readers: Vec<KeyReader<'_>> = order_cols
+        .iter()
+        .map(|c| KeyReader::new(c.as_ref()))
+        .collect();
     let mut out = vec![Value::Null; n];
     for (_, mut rows) in partitions {
         // Sort within the partition by the order keys.
         rows.sort_by(|&a, &b| {
             for (kc, key) in order_cols.iter().zip(&w.order_by) {
-                let (va, vb) = (kc.get(a), kc.get(b));
+                let (va, vb) = (kc.get(at(a)), kc.get(at(b)));
                 let ord = match (va.is_null(), vb.is_null()) {
                     (true, true) => Ordering::Equal,
                     (true, false) => {
@@ -98,7 +136,7 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
         // Peer equality through key parts: code compare for
         // dictionary-encoded order columns, value compare otherwise.
         let peer_key = |i: usize| -> Vec<KeyPart> {
-            order_readers.iter().map(|r| r.part(rows[i])).collect()
+            order_readers.iter().map(|r| r.part(at(rows[i]))).collect()
         };
         match &w.func {
             WindowFunc::RowNumber => {
@@ -127,7 +165,7 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
             WindowFunc::Ntile => {
                 let buckets = arg_cols
                     .first()
-                    .map(|c| c.get(rows[0]))
+                    .map(|c| c.get(at(rows[0])))
                     .and_then(|v| v.as_i64())
                     .unwrap_or(1)
                     .max(1) as usize;
@@ -156,7 +194,7 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
                         pos as i64 + offset
                     };
                     out[rows[pos]] = if target >= 0 && (target as usize) < rows.len() {
-                        arg_cols[0].get(rows[target as usize])
+                        arg_cols[0].get(at(rows[target as usize]))
                     } else {
                         default.clone().unwrap_or(Value::Null)
                     };
@@ -164,7 +202,7 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
             }
             WindowFunc::FirstValue => {
                 for &r in &rows {
-                    out[r] = arg_cols[0].get(rows[0]);
+                    out[r] = arg_cols[0].get(at(rows[0]));
                 }
             }
             WindowFunc::LastValue => {
@@ -179,8 +217,12 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
                     })
                 );
                 for (pos, &r) in rows.iter().enumerate() {
-                    let src = if full { rows[rows.len() - 1] } else { rows[pos] };
-                    out[r] = arg_cols[0].get(src);
+                    let src = if full {
+                        rows[rows.len() - 1]
+                    } else {
+                        rows[pos]
+                    };
+                    out[r] = arg_cols[0].get(at(src));
                 }
             }
             WindowFunc::Agg(func) => {
@@ -189,7 +231,7 @@ fn eval_one_window(input: &VectorBatch, w: &WindowExpr) -> Result<Vec<Value>> {
                     let (lo, hi) = frame_bounds(&frame, pos, rows.len());
                     let mut acc = AggState::new(*func);
                     for &r in &rows[lo..hi] {
-                        let v = arg_cols.first().map(|c| c.get(r));
+                        let v = arg_cols.first().map(|c| c.get(at(r)));
                         acc.update(v.as_ref())?;
                     }
                     out[rows[pos]] = acc.finish();
@@ -278,14 +320,14 @@ impl AggState {
         if self
             .min
             .as_ref()
-            .map_or(true, |m| v.sql_cmp(m) == Some(Ordering::Less))
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Less))
         {
             self.min = Some(v.clone());
         }
         if self
             .max
             .as_ref()
-            .map_or(true, |m| v.sql_cmp(m) == Some(Ordering::Greater))
+            .is_none_or(|m| v.sql_cmp(m) == Some(Ordering::Greater))
         {
             self.max = Some(v.clone());
         }
@@ -351,13 +393,10 @@ mod tests {
         let b = input();
         let plan_schema = {
             let mut fields = b.schema().fields().to_vec();
-            fields.push(Field::new(
-                "_w0",
-                window_output_type(&w, b.schema()),
-            ));
+            fields.push(Field::new("_w0", window_output_type(&w, b.schema())));
             Schema::new(fields)
         };
-        let out = execute_window(&b, &[w], &plan_schema).unwrap();
+        let out = execute_window(&SelBatch::from_batch(b), &[w], &plan_schema).unwrap();
         (0..out.num_rows()).map(|i| out.column(2).get(i)).collect()
     }
 
@@ -432,19 +471,11 @@ mod tests {
     #[test]
     fn lag_lead() {
         assert_eq!(
-            run(wexpr(
-                WindowFunc::Lag,
-                vec![ScalarExpr::Column(1)],
-                None
-            )),
+            run(wexpr(WindowFunc::Lag, vec![ScalarExpr::Column(1)], None)),
             vec![Value::Null, Value::Int(10), Value::Int(30), Value::Null]
         );
         assert_eq!(
-            run(wexpr(
-                WindowFunc::Lead,
-                vec![ScalarExpr::Column(1)],
-                None
-            )),
+            run(wexpr(WindowFunc::Lead, vec![ScalarExpr::Column(1)], None)),
             vec![Value::Int(30), Value::Int(30), Value::Null, Value::Null]
         );
     }

@@ -53,12 +53,7 @@ impl Fixture {
         fx.insert(
             "item",
             (0..20)
-                .map(|i| {
-                    Row::new(vec![
-                        Value::Int(i),
-                        Value::String(format!("cat{}", i % 4)),
-                    ])
-                })
+                .map(|i| Row::new(vec![Value::Int(i), Value::String(format!("cat{}", i % 4))]))
                 .collect(),
             None,
         );
@@ -129,14 +124,7 @@ impl Fixture {
         };
         let plan = Optimizer::optimize(plan, &ctx).unwrap();
         let snaps = LiveSnapshots(&self.ms);
-        let mut ectx = ExecContext::new(
-            &self.fs,
-            &self.ms,
-            conf,
-            Some(&self.llap),
-            &snaps,
-            None,
-        );
+        let mut ectx = ExecContext::new(&self.fs, &self.ms, conf, Some(&self.llap), &snaps, None);
         ectx.prepare_shared_work(&plan);
         execute(&plan, &ectx).unwrap()
     }
@@ -373,6 +361,75 @@ fn semijoin_reducer_cuts_io() {
     let off = on.clone().with(|c| c.semijoin_reduction = false);
     let (a, _ta) = fx.run_conf(sql, &on);
     let (b, _tb) = fx.run_conf(sql, &off);
-    assert_eq!(a.to_rows(), b.to_rows(), "reduction must not change results");
+    assert_eq!(
+        a.to_rows(),
+        b.to_rows(),
+        "reduction must not change results"
+    );
 }
 
+#[test]
+fn dpp_empty_build_side_reads_zero_fact_partitions() {
+    let fx = Fixture::new();
+    // Dimension table joined on the fact table's partition column; the
+    // d_year = 1899 predicate matches none of its rows, so the dynamic
+    // partition pruning build side comes back empty.
+    fx.create_table(
+        "date_dim",
+        vec![
+            Field::new("d_date_sk", DataType::Int),
+            Field::new("d_year", DataType::Int),
+        ],
+        vec![],
+    );
+    fx.insert(
+        "date_dim",
+        (0..3)
+            .map(|d| Row::new(vec![Value::Int(2450815 + d), Value::Int(1998 + d)]))
+            .collect(),
+        None,
+    );
+    // LLAP off so fs.stats() meters every read the query performs.
+    let conf = HiveConf::v3_1().with(|c| c.llap_enabled = false);
+
+    // Baseline: the I/O cost of one standalone dimension scan.
+    let dim0 = fx.fs.stats().snapshot();
+    fx.run_conf("SELECT d_date_sk FROM date_dim WHERE d_year = 1899", &conf);
+    let dim = fx.fs.stats().snapshot().since(&dim0);
+    assert!(dim.reads > 0, "dimension scan must itself do I/O");
+
+    let sql = "SELECT SUM(ss_sales_price) FROM store_sales, date_dim
+               WHERE ss_sold_date_sk = d_date_sk AND d_year = 1899";
+    let before = fx.fs.stats().snapshot();
+    let (out, _trace) = fx.run_conf(sql, &conf);
+    let join = fx.fs.stats().snapshot().since(&before);
+
+    // The join touches date_dim at most twice (reducer source + join
+    // build side) and store_sales not at all: with the empty build side
+    // the scan returns before even listing partition directories, so
+    // every counter fits inside two standalone dimension scans.
+    assert!(
+        join.reads <= 2 * dim.reads,
+        "fact partitions were read: join={join:?} dim={dim:?}"
+    );
+    assert!(
+        join.bytes_read <= 2 * dim.bytes_read,
+        "fact bytes were read: join={join:?} dim={dim:?}"
+    );
+    assert!(
+        join.lists <= 2 * dim.lists,
+        "fact directories were listed: join={join:?} dim={dim:?}"
+    );
+
+    // Pruning everything must still produce the same (empty-sum) answer
+    // as the unreduced plan, which really does scan the partitions.
+    let off = conf.clone().with(|c| c.semijoin_reduction = false);
+    let before_off = fx.fs.stats().snapshot();
+    let (out_off, _) = fx.run_conf(sql, &off);
+    let join_off = fx.fs.stats().snapshot().since(&before_off);
+    assert_eq!(out.to_rows(), out_off.to_rows());
+    assert!(
+        join_off.bytes_read > join.bytes_read,
+        "unreduced plan should pay the fact-table I/O the pruned plan skipped"
+    );
+}

@@ -105,9 +105,8 @@ impl StorageHandler for DruidStorageHandler {
             HiveError::External(m) => HiveError::External(format!("druid: {m}")),
             other => other,
         })
-        .map(|r| {
+        .inspect(|_r| {
             let _ = &out_schema;
-            r
         })
     }
 

@@ -29,7 +29,10 @@ pub enum Granularity {
 #[derive(Debug, Clone, PartialEq)]
 pub enum DruidFilter {
     /// `dimension = value`
-    Selector { dimension: String, value: String },
+    Selector {
+        dimension: String,
+        value: String,
+    },
     /// `dimension IN (values)`
     In {
         dimension: String,
@@ -180,11 +183,7 @@ impl DruidQuery {
                                         ("dimension", Json::s(c)),
                                         (
                                             "direction",
-                                            Json::s(if *desc {
-                                                "descending"
-                                            } else {
-                                                "ascending"
-                                            }),
+                                            Json::s(if *desc { "descending" } else { "ascending" }),
                                         ),
                                     ])
                                 })
@@ -251,8 +250,7 @@ impl DruidQuery {
                         .filter_map(|c| {
                             Some((
                                 c.get("dimension")?.as_str()?.to_string(),
-                                c.get("direction").and_then(|d| d.as_str())
-                                    == Some("descending"),
+                                c.get("direction").and_then(|d| d.as_str()) == Some("descending"),
                             ))
                         })
                         .collect()
@@ -360,9 +358,9 @@ impl DruidQuery {
                     .iter()
                     .map(|&di| seg.dims[di].get(row).to_string())
                     .collect();
-                let states = groups.entry((bucket, key)).or_insert_with(|| {
-                    self.aggregations.iter().map(AggState::new).collect()
-                });
+                let states = groups
+                    .entry((bucket, key))
+                    .or_insert_with(|| self.aggregations.iter().map(AggState::new).collect());
                 for (st, agg) in states.iter_mut().zip(&self.aggregations) {
                     st.update(agg, seg, ds, row)?;
                 }
@@ -432,13 +430,7 @@ impl AggState {
         }
     }
 
-    fn update(
-        &mut self,
-        agg: &DruidAgg,
-        seg: &Segment,
-        ds: &Datasource,
-        row: usize,
-    ) -> Result<()> {
+    fn update(&mut self, agg: &DruidAgg, seg: &Segment, ds: &Datasource, row: usize) -> Result<()> {
         let field_value = |field: &str| -> Result<f64> {
             let mi = ds
                 .metric_names
@@ -550,14 +542,14 @@ fn eval_filter(f: &DruidFilter, seg: &Segment, ds: &Datasource) -> Result<BitSet
                     let v: f64 = s.parse().unwrap_or(f64::NAN);
                     let lo_ok = lower
                         .as_ref()
-                        .map_or(true, |l| v >= l.parse().unwrap_or(f64::NEG_INFINITY));
+                        .is_none_or(|l| v >= l.parse().unwrap_or(f64::NEG_INFINITY));
                     let hi_ok = upper
                         .as_ref()
-                        .map_or(true, |u| v <= u.parse().unwrap_or(f64::INFINITY));
+                        .is_none_or(|u| v <= u.parse().unwrap_or(f64::INFINITY));
                     lo_ok && hi_ok
                 } else {
-                    lower.as_ref().map_or(true, |l| s >= l.as_str())
-                        && upper.as_ref().map_or(true, |u| s <= u.as_str())
+                    lower.as_ref().is_none_or(|l| s >= l.as_str())
+                        && upper.as_ref().is_none_or(|u| s <= u.as_str())
                 }
             };
             // Evaluate per dictionary code then expand via the index.
@@ -594,10 +586,9 @@ fn eval_filter(f: &DruidFilter, seg: &Segment, ds: &Datasource) -> Result<BitSet
 
 fn agg_json(a: &DruidAgg) -> Json {
     match a {
-        DruidAgg::Count { name } => Json::obj(vec![
-            ("type", Json::s("count")),
-            ("name", Json::s(name)),
-        ]),
+        DruidAgg::Count { name } => {
+            Json::obj(vec![("type", Json::s("count")), ("name", Json::s(name))])
+        }
         DruidAgg::DoubleSum { name, field } => Json::obj(vec![
             ("type", Json::s("doubleSum")),
             ("name", Json::s(name)),
@@ -677,11 +668,17 @@ fn filter_json(f: &DruidFilter) -> Json {
         }
         DruidFilter::And(parts) => Json::obj(vec![
             ("type", Json::s("and")),
-            ("fields", Json::Array(parts.iter().map(filter_json).collect())),
+            (
+                "fields",
+                Json::Array(parts.iter().map(filter_json).collect()),
+            ),
         ]),
         DruidFilter::Or(parts) => Json::obj(vec![
             ("type", Json::s("or")),
-            ("fields", Json::Array(parts.iter().map(filter_json).collect())),
+            (
+                "fields",
+                Json::Array(parts.iter().map(filter_json).collect()),
+            ),
         ]),
         DruidFilter::Not(inner) => Json::obj(vec![
             ("type", Json::s("not")),

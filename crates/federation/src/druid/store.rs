@@ -299,13 +299,7 @@ mod tests {
 
     #[test]
     fn inverted_index_lookup() {
-        let col = DictColumn::build(&[
-            "a".into(),
-            "b".into(),
-            "a".into(),
-            "c".into(),
-            "a".into(),
-        ]);
+        let col = DictColumn::build(&["a".into(), "b".into(), "a".into(), "c".into(), "a".into()]);
         assert_eq!(
             col.rows_matching("a").iter_ones().collect::<Vec<_>>(),
             vec![0, 2, 4]

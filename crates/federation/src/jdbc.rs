@@ -139,9 +139,7 @@ impl JdbcBackend {
 fn lower_pred(e: &ast::Expr, schema: &Schema) -> Result<ScalarExpr> {
     Ok(match e {
         ast::Expr::Literal(v) => ScalarExpr::Literal(v.clone()),
-        ast::Expr::Column { name, .. } => {
-            ScalarExpr::Column(schema.index_of_required(name)?)
-        }
+        ast::Expr::Column { name, .. } => ScalarExpr::Column(schema.index_of_required(name)?),
         ast::Expr::BinaryOp { left, op, right } => ScalarExpr::Binary {
             op: *op,
             left: Box::new(lower_pred(left, schema)?),
@@ -254,9 +252,7 @@ impl StorageHandler for JdbcStorageHandler {
                 // Try to push the scan's own filters; fall back to a
                 // plain projection when a filter shape is ungenerable.
                 sqlgen::select_sql(&remote_name, &table.schema, projection, filters)
-                    .or_else(|_| {
-                        sqlgen::select_sql(&remote_name, &table.schema, projection, &[])
-                    })?
+                    .or_else(|_| sqlgen::select_sql(&remote_name, &table.schema, projection, &[]))?
             }
         };
         let (schema, rows) = self.backend.execute_sql(&sql)?;

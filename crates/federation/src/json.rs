@@ -24,12 +24,7 @@ pub enum Json {
 impl Json {
     /// Build an object from pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// String shorthand.
@@ -112,10 +107,7 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(HiveError::Format(format!(
-                "expected '{c}' at {}",
-                self.pos
-            )))
+            Err(HiveError::Format(format!("expected '{c}' at {}", self.pos)))
         }
     }
 
@@ -135,7 +127,9 @@ impl Parser {
         self.skip_ws();
         for c in word.chars() {
             if self.chars.get(self.pos) != Some(&c) {
-                return Err(HiveError::Format(format!("bad JSON literal, expected {word}")));
+                return Err(HiveError::Format(format!(
+                    "bad JSON literal, expected {word}"
+                )));
             }
             self.pos += 1;
         }
@@ -219,15 +213,14 @@ impl Parser {
                         '\\' => '\\',
                         '/' => '/',
                         'u' => {
-                            let hex: String =
-                                self.chars[self.pos..(self.pos + 4).min(self.chars.len())]
-                                    .iter()
-                                    .collect();
+                            let hex: String = self.chars
+                                [self.pos..(self.pos + 4).min(self.chars.len())]
+                                .iter()
+                                .collect();
                             self.pos += 4;
                             char::from_u32(
-                                u32::from_str_radix(&hex, 16).map_err(|_| {
-                                    HiveError::Format("bad unicode escape".into())
-                                })?,
+                                u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| HiveError::Format("bad unicode escape".into()))?,
                             )
                             .unwrap_or('\u{fffd}')
                         }
@@ -244,7 +237,10 @@ impl Parser {
         self.skip_ws();
         let start = self.pos;
         while self.pos < self.chars.len()
-            && matches!(self.chars[self.pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
+            && matches!(
+                self.chars[self.pos],
+                '0'..='9' | '-' | '+' | '.' | 'e' | 'E'
+            )
         {
             self.pos += 1;
         }

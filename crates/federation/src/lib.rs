@@ -21,8 +21,8 @@
 
 pub mod druid;
 pub mod handler;
-pub mod json;
 pub mod jdbc;
+pub mod json;
 pub mod pushdown;
 pub mod sqlgen;
 

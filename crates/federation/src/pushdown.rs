@@ -351,14 +351,9 @@ enum Converted {
 
 /// Convert one conjunct over the scan output into a Druid filter or a
 /// time interval. `None` = unconvertible (abort the rewrite).
-fn convert_conjunct(
-    e: &ScalarExpr,
-    table: &ScanTable,
-    projection: &[usize],
-) -> Option<Converted> {
-    let field_of = |c: usize| -> Option<&Field> {
-        projection.get(c).map(|&sc| table.schema.field(sc))
-    };
+fn convert_conjunct(e: &ScalarExpr, table: &ScanTable, projection: &[usize]) -> Option<Converted> {
+    let field_of =
+        |c: usize| -> Option<&Field> { projection.get(c).map(|&sc| table.schema.field(sc)) };
     match e {
         // EXTRACT(year FROM __time) cmp literal → interval (Figure 6).
         ScalarExpr::Binary { op, left, right } => {
@@ -379,8 +374,7 @@ fn convert_conjunct(
                 }
             }
             // dim cmp string literal.
-            if let (ScalarExpr::Column(c), ScalarExpr::Literal(v)) =
-                (left.as_ref(), right.as_ref())
+            if let (ScalarExpr::Column(c), ScalarExpr::Literal(v)) = (left.as_ref(), right.as_ref())
             {
                 let f = field_of(*c)?;
                 match (&f.data_type, v) {

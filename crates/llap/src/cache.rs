@@ -92,6 +92,12 @@ pub struct CacheStats {
     /// Hits discarded because the chunk was detected as corrupt
     /// (checksum-mismatch model); each degrades to a DFS load.
     pub corrupt_misses: AtomicU64,
+    /// Bytes deep-copied out of the cache into private batches. The
+    /// selection-vector data flow hands out `Arc` references instead,
+    /// so this counter stays at zero with `hive.exec.selvec.enabled`;
+    /// the eager-compaction path charges every chunk it clones. Scan
+    /// consumers charge it (the cache itself always returns `Arc`s).
+    pub bytes_copied_out: AtomicU64,
 }
 
 impl CacheStats {
@@ -257,11 +263,7 @@ impl LlapCache {
         // the dictionary when no resident entry shares it yet
         // (re-evaluated inside the eviction loop, since evicting the
         // dictionary's last other holder re-adds its bytes to our bill).
-        fn admit_cost(
-            g: &CacheInner,
-            bytes: usize,
-            dict_info: &Option<(DictKey, usize)>,
-        ) -> usize {
+        fn admit_cost(g: &CacheInner, bytes: usize, dict_info: &Option<(DictKey, usize)>) -> usize {
             bytes
                 + match dict_info {
                     Some((dk, db)) if !g.dict_charges.contains_key(dk) => *db,
@@ -278,9 +280,7 @@ impl LlapCache {
                 let victim = match g
                     .entries
                     .iter()
-                    .min_by(|(_, a), (_, b)| {
-                        self.crf_now(a, now).total_cmp(&self.crf_now(b, now))
-                    })
+                    .min_by(|(_, a), (_, b)| self.crf_now(a, now).total_cmp(&self.crf_now(b, now)))
                     .map(|(k, _)| *k)
                 {
                     Some(v) => v,
@@ -424,9 +424,7 @@ mod tests {
         let cache = LlapCache::new(1 << 20, 0.5);
         let k = key(1, 0, 0);
         let a = cache.get_or_load(k, || Ok(chunk(100))).unwrap();
-        let b = cache
-            .get_or_load(k, || panic!("must not reload"))
-            .unwrap();
+        let b = cache.get_or_load(k, || panic!("must not reload")).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().hit_miss(), (1, 1));
     }
@@ -489,9 +487,7 @@ mod tests {
     #[test]
     fn oversized_chunks_bypass() {
         let cache = LlapCache::new(100, 0.5);
-        cache
-            .get_or_load(key(1, 0, 0), || Ok(chunk(1000)))
-            .unwrap();
+        cache.get_or_load(key(1, 0, 0), || Ok(chunk(1000))).unwrap();
         assert_eq!(cache.len(), 0, "oversized chunk must not be cached");
     }
 
@@ -522,9 +518,7 @@ mod tests {
     #[test]
     fn load_errors_propagate() {
         let cache = LlapCache::new(1 << 20, 0.5);
-        let r = cache.get_or_load(key(9, 0, 0), || {
-            Err(HiveError::Io("disk gone".into()))
-        });
+        let r = cache.get_or_load(key(9, 0, 0), || Err(HiveError::Io("disk gone".into())));
         assert!(r.is_err());
         assert_eq!(cache.len(), 0);
     }

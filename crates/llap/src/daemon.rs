@@ -38,7 +38,12 @@ struct Inner {
 impl LlapDaemons {
     /// Start a fleet of `nodes` daemons with `executors_per_node`
     /// executors each and a cache of `cache_bytes` (cluster-wide).
-    pub fn new(nodes: usize, executors_per_node: usize, cache_bytes: usize, lrfu_lambda: f64) -> Self {
+    pub fn new(
+        nodes: usize,
+        executors_per_node: usize,
+        cache_bytes: usize,
+        lrfu_lambda: f64,
+    ) -> Self {
         LlapDaemons {
             inner: Arc::new(Inner {
                 nodes,
@@ -230,7 +235,11 @@ mod tests {
             panic!("fragment died");
         });
         assert!(result.is_err());
-        assert_eq!(d.busy_executors(), 0, "panicking fragment must not leak slots");
+        assert_eq!(
+            d.busy_executors(),
+            0,
+            "panicking fragment must not leak slots"
+        );
     }
 
     #[test]
@@ -250,8 +259,8 @@ mod tests {
 
     #[test]
     fn kill_drops_cache_share() {
-        use hive_common::{ColumnVector, FileId};
         use crate::cache::ChunkKey;
+        use hive_common::{ColumnVector, FileId};
         let d = LlapDaemons::new(4, 2, 1 << 20, 0.5);
         for i in 0..64 {
             d.cache()

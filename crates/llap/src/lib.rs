@@ -26,6 +26,4 @@ pub mod workload;
 
 pub use cache::{CacheStats, ChunkKey, LlapCache, MetadataCache};
 pub use daemon::{ExecutorLease, LlapDaemons};
-pub use workload::{
-    Mapping, Pool, ResourcePlan, Trigger, TriggerAction, WorkloadManager,
-};
+pub use workload::{Mapping, Pool, ResourcePlan, Trigger, TriggerAction, WorkloadManager};

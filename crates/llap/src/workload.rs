@@ -151,9 +151,7 @@ impl WorkloadManager {
         for m in &plan.mappings {
             match m {
                 Mapping::User { name, pool } if name == user => return Some(pool.clone()),
-                Mapping::Application { name, pool }
-                    if Some(name.as_str()) == application =>
-                {
+                Mapping::Application { name, pool } if Some(name.as_str()) == application => {
                     return Some(pool.clone())
                 }
                 _ => {}
@@ -172,9 +170,9 @@ impl WorkloadManager {
                 borrowed: false,
             });
         };
-        let pool_name = self.route(user, application).ok_or_else(|| {
-            HiveError::Workload("no pool mapping and no default pool".into())
-        })?;
+        let pool_name = self
+            .route(user, application)
+            .ok_or_else(|| HiveError::Workload("no pool mapping and no default pool".into()))?;
         let pool = plan
             .pool(&pool_name)
             .ok_or_else(|| HiveError::Workload(format!("unknown pool {pool_name}")))?;

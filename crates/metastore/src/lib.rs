@@ -29,8 +29,9 @@ pub mod metastore;
 pub mod stats;
 pub mod txn;
 
-pub use catalog::{Catalog, TableBuilder, 
-    Constraint, Database, MaterializedViewInfo, PartitionInfo, Table, TableType,
+pub use catalog::{
+    Catalog, Constraint, Database, MaterializedViewInfo, PartitionInfo, Table, TableBuilder,
+    TableType,
 };
 pub use compaction::{CompactionKind, CompactionRequest, CompactionState};
 pub use hll::HyperLogLog;

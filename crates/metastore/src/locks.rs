@@ -103,9 +103,7 @@ impl LockManager {
                     )));
                 }
             }
-            if mode == LockMode::Exclusive
-                && held.shared.iter().any(|&t| t != txn)
-            {
+            if mode == LockMode::Exclusive && held.shared.iter().any(|&t| t != txn) {
                 return Err(HiveError::Lock(format!(
                     "{key} has shared holders blocking exclusive lock"
                 )));
@@ -163,7 +161,9 @@ mod tests {
         let k = LockKey::table("db.t");
         lm.acquire(TxnId(1), k.clone(), LockMode::Shared).unwrap();
         lm.acquire(TxnId(2), k.clone(), LockMode::Shared).unwrap();
-        assert!(lm.acquire(TxnId(3), k.clone(), LockMode::Exclusive).is_err());
+        assert!(lm
+            .acquire(TxnId(3), k.clone(), LockMode::Exclusive)
+            .is_err());
         lm.release_all(TxnId(1));
         lm.release_all(TxnId(2));
         lm.acquire(TxnId(3), k, LockMode::Exclusive).unwrap();
@@ -173,9 +173,12 @@ mod tests {
     fn exclusive_blocks_everything() {
         let mut lm = LockManager::new();
         let k = LockKey::table("db.t");
-        lm.acquire(TxnId(1), k.clone(), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(1), k.clone(), LockMode::Exclusive)
+            .unwrap();
         assert!(lm.acquire(TxnId(2), k.clone(), LockMode::Shared).is_err());
-        assert!(lm.acquire(TxnId(2), k.clone(), LockMode::Exclusive).is_err());
+        assert!(lm
+            .acquire(TxnId(2), k.clone(), LockMode::Exclusive)
+            .is_err());
         // Owner can re-acquire.
         lm.acquire(TxnId(1), k.clone(), LockMode::Shared).unwrap();
         lm.release_all(TxnId(1));
@@ -185,15 +188,23 @@ mod tests {
     #[test]
     fn table_lock_overlaps_partitions() {
         let mut lm = LockManager::new();
-        lm.acquire(TxnId(1), LockKey::partition("db.t", "d=1"), LockMode::Shared)
-            .unwrap();
+        lm.acquire(
+            TxnId(1),
+            LockKey::partition("db.t", "d=1"),
+            LockMode::Shared,
+        )
+        .unwrap();
         // Exclusive on the whole table conflicts with the partition lock.
         assert!(lm
             .acquire(TxnId(2), LockKey::table("db.t"), LockMode::Exclusive)
             .is_err());
         // But a different partition's shared lock is fine.
-        lm.acquire(TxnId(2), LockKey::partition("db.t", "d=2"), LockMode::Shared)
-            .unwrap();
+        lm.acquire(
+            TxnId(2),
+            LockKey::partition("db.t", "d=2"),
+            LockMode::Shared,
+        )
+        .unwrap();
         // Exclusive on a third partition is fine too.
         lm.acquire(
             TxnId(3),
@@ -208,7 +219,8 @@ mod tests {
         let mut lm = LockManager::new();
         let k = LockKey::table("db.t");
         lm.acquire(TxnId(1), k.clone(), LockMode::Shared).unwrap();
-        lm.acquire(TxnId(1), k.clone(), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(1), k.clone(), LockMode::Exclusive)
+            .unwrap();
         assert!(lm.acquire(TxnId(2), k, LockMode::Shared).is_err());
     }
 

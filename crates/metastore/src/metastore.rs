@@ -135,12 +135,7 @@ impl Metastore {
     }
 
     /// Apply an arbitrary mutation to a table's metadata.
-    pub fn alter_table(
-        &self,
-        db: &str,
-        name: &str,
-        f: impl FnOnce(&mut Table),
-    ) -> Result<()> {
+    pub fn alter_table(&self, db: &str, name: &str, f: impl FnOnce(&mut Table)) -> Result<()> {
         let mut cat = self.inner.catalog.write();
         let t = cat.table_mut(db, name)?;
         f(t);
@@ -229,7 +224,10 @@ impl Metastore {
         snapshot: &ValidTxnList,
         reader: Option<TxnId>,
     ) -> ValidWriteIdList {
-        self.inner.txns.lock().valid_write_ids(table, snapshot, reader)
+        self.inner
+            .txns
+            .lock()
+            .valid_write_ids(table, snapshot, reader)
     }
 
     /// Current WriteId high watermark for a table (used to stamp MV

@@ -34,9 +34,7 @@ impl ColumnStatsMeta {
         self.ndv.add(v);
         match &self.min {
             None => self.min = Some(v.clone()),
-            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => {
-                self.min = Some(v.clone())
-            }
+            Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => self.min = Some(v.clone()),
             _ => {}
         }
         match &self.max {

@@ -78,15 +78,13 @@ impl ValidWriteIdList {
         if hi > self.high_watermark && self.own != Some(hi) {
             return false;
         }
-        self.open.range(lo..=hi).next().is_none()
-            && self.aborted.range(lo..=hi).next().is_none()
+        self.open.range(lo..=hi).next().is_none() && self.aborted.range(lo..=hi).next().is_none()
     }
 
     /// Can a `base_N` directory be consumed under this snapshot? True
     /// when `N ≤ hwm` and no open transaction's WriteId is `≤ N`.
     pub fn is_valid_base(&self, base_wid: WriteId) -> bool {
-        base_wid <= self.high_watermark
-            && self.open.range(..=base_wid).next().is_none()
+        base_wid <= self.high_watermark && self.open.range(..=base_wid).next().is_none()
     }
 
     /// Smallest open WriteId, if any — the ceiling below which compaction
@@ -518,10 +516,7 @@ mod tests {
         let w = tm.allocate_write_id(a, "db.t").unwrap();
         tm.abort(a).unwrap();
         let snap = tm.valid_txn_list();
-        assert_eq!(
-            tm.valid_write_ids("db.t", &snap, None).aborted.len(),
-            1
-        );
+        assert_eq!(tm.valid_write_ids("db.t", &snap, None).aborted.len(), 1);
         tm.truncate_aborted_history("db.t", w);
         // After a major compaction the aborted id disappears from new
         // snapshots — but note it stays via the txn table if the txn is

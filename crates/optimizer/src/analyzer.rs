@@ -424,15 +424,8 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn plan_scan(
-        &self,
-        name: &ObjectName,
-        alias: Option<&str>,
-    ) -> Result<(LogicalPlan, String)> {
-        let db = name
-            .db
-            .clone()
-            .unwrap_or_else(|| self.catalog.default_db());
+    fn plan_scan(&self, name: &ObjectName, alias: Option<&str>) -> Result<(LogicalPlan, String)> {
+        let db = name.db.clone().unwrap_or_else(|| self.catalog.default_db());
         let table = self.catalog.get_table(&db, &name.name)?;
         let full = table.full_schema();
         let data_cols = table.schema.len();
@@ -691,9 +684,10 @@ impl<'a> Analyzer<'a> {
                 {
                     out_exprs[*n as usize - 1].0.clone()
                 }
-                ast::Expr::Column { qualifier: None, name }
-                    if ctx.scope.resolve(None, name)?.is_none() =>
-                {
+                ast::Expr::Column {
+                    qualifier: None,
+                    name,
+                } if ctx.scope.resolve(None, name)?.is_none() => {
                     // Alias reference.
                     out_exprs
                         .iter()
@@ -1071,9 +1065,9 @@ impl<'a> Analyzer<'a> {
                     right: Box::new(r),
                 })
             }
-            ast::Expr::Not(inner) => {
-                Ok(ScalarExpr::Not(Box::new(self.lower_expr(inner, ctx, ctes)?)))
-            }
+            ast::Expr::Not(inner) => Ok(ScalarExpr::Not(Box::new(
+                self.lower_expr(inner, ctx, ctes)?,
+            ))),
             ast::Expr::Negate(inner) => Ok(ScalarExpr::Negate(Box::new(
                 self.lower_expr(inner, ctx, ctes)?,
             ))),
@@ -1124,7 +1118,12 @@ impl<'a> Analyzer<'a> {
                     .transpose()?,
                 branches: branches
                     .iter()
-                    .map(|(c, r)| Ok((self.lower_expr(c, ctx, ctes)?, self.lower_expr(r, ctx, ctes)?)))
+                    .map(|(c, r)| {
+                        Ok((
+                            self.lower_expr(c, ctx, ctes)?,
+                            self.lower_expr(r, ctx, ctes)?,
+                        ))
+                    })
                     .collect::<Result<Vec<_>>>()?,
                 else_expr: else_expr
                     .as_ref()
@@ -1159,12 +1158,9 @@ impl<'a> Analyzer<'a> {
             ast::Expr::Window { .. } => Err(HiveError::Analysis(
                 "window function not allowed in this context".into(),
             )),
-            ast::Expr::InSubquery { .. } | ast::Expr::Exists { .. } => {
-                Err(HiveError::Unsupported(
-                    "IN/EXISTS subqueries are only supported as top-level WHERE conjuncts"
-                        .into(),
-                ))
-            }
+            ast::Expr::InSubquery { .. } | ast::Expr::Exists { .. } => Err(HiveError::Unsupported(
+                "IN/EXISTS subqueries are only supported as top-level WHERE conjuncts".into(),
+            )),
             ast::Expr::ScalarSubquery(query) => {
                 let col = self.plan_subquery_join(ctx, ctes, query, JoinType::Left, None, true)?;
                 Ok(ScalarExpr::Column(col))
@@ -1274,9 +1270,7 @@ impl<'a> Analyzer<'a> {
             residual: ScalarExpr::conjunction(residual_parts),
         });
         if join_type.keeps_right() {
-            ctx.scope = ctx
-                .scope
-                .concat(&Scope::from_schema(&inner.schema(), None));
+            ctx.scope = ctx.scope.concat(&Scope::from_schema(&inner.schema(), None));
         }
         Ok(scalar_col)
     }
@@ -1306,7 +1300,10 @@ fn resolve_outer(
 enum Remap {
     Identity,
     /// Columns at or beyond `at` shift up by `by` (group-key insertion).
-    Shift { at: usize, by: usize },
+    Shift {
+        at: usize,
+        by: usize,
+    },
 }
 
 impl Remap {
@@ -1334,6 +1331,7 @@ impl Remap {
 /// Aggregates decorrelate by appending the correlation keys to the
 /// group key (classic Kim-style unnesting); projections grow
 /// pass-through columns when needed.
+#[allow(clippy::type_complexity)]
 fn extract_correlation(
     plan: LogicalPlan,
 ) -> Result<(LogicalPlan, Vec<(ScalarExpr, BinaryOp, usize)>)> {
@@ -1379,10 +1377,8 @@ fn strip_correlated(
         } => {
             let before = out.len();
             let (input_clean, map) = strip_correlated(input, out)?;
-            let mut group_exprs: Vec<ScalarExpr> = group_exprs
-                .iter()
-                .map(|g| map.apply(g.clone()))
-                .collect();
+            let mut group_exprs: Vec<ScalarExpr> =
+                group_exprs.iter().map(|g| map.apply(g.clone())).collect();
             let aggs: Vec<AggExpr> = aggs
                 .iter()
                 .map(|a| AggExpr {
@@ -1436,8 +1432,7 @@ fn strip_correlated(
         } => {
             let before = out.len();
             let (input_clean, map) = strip_correlated(input, out)?;
-            let mut exprs: Vec<ScalarExpr> =
-                exprs.iter().map(|e| map.apply(e.clone())).collect();
+            let mut exprs: Vec<ScalarExpr> = exprs.iter().map(|e| map.apply(e.clone())).collect();
             let mut names = names.clone();
             if out.len() > before {
                 // Re-express extracted entries over the projection
@@ -1606,6 +1601,7 @@ fn lower_between(e: ScalarExpr, lo: ScalarExpr, hi: ScalarExpr, negated: bool) -
 
 /// Split a lowered join condition (over the concatenated schema) into
 /// equi pairs and a residual.
+#[allow(clippy::type_complexity)]
 fn split_join_condition(
     cond: ScalarExpr,
     left_len: usize,
@@ -1715,7 +1711,13 @@ fn collect_aggregates(e: &ast::Expr, out: &mut Vec<ast::Expr>) {
         ast::Expr::Window { .. } => {
             // Window arguments may contain aggregates (e.g. SUM(SUM(x))
             // OVER ...); collect from args.
-            if let ast::Expr::Window { args, partition_by, order_by, .. } = e {
+            if let ast::Expr::Window {
+                args,
+                partition_by,
+                order_by,
+                ..
+            } = e
+            {
                 for a in args {
                     collect_aggregates(a, out);
                 }
@@ -1846,7 +1848,10 @@ fn replace_windows_in_ast(e: &ast::Expr, map: &HashMap<String, String>) -> ast::
             negated,
         } => ast::Expr::InList {
             expr: Box::new(replace_windows_in_ast(expr, map)),
-            list: list.iter().map(|i| replace_windows_in_ast(i, map)).collect(),
+            list: list
+                .iter()
+                .map(|i| replace_windows_in_ast(i, map))
+                .collect(),
             negated: *negated,
         },
         ast::Expr::Like {
@@ -1893,7 +1898,10 @@ fn replace_windows_in_ast(e: &ast::Expr, map: &HashMap<String, String>) -> ast::
             distinct,
         } => ast::Expr::Function {
             name: name.clone(),
-            args: args.iter().map(|a| replace_windows_in_ast(a, map)).collect(),
+            args: args
+                .iter()
+                .map(|a| replace_windows_in_ast(a, map))
+                .collect(),
             distinct: *distinct,
         },
         other => other.clone(),

@@ -263,10 +263,7 @@ fn eval_func(func: BuiltinFunc, args: &[ScalarExpr], row: &[Value]) -> Result<Va
             }
             (Value::Decimal(u, s), Some(d)) => {
                 let target = (d.max(0) as u8).min(*s);
-                Value::Decimal(
-                    hive_common::value::rescale(*u, *s, target),
-                    target,
-                )
+                Value::Decimal(hive_common::value::rescale(*u, *s, target), target)
             }
             (other, _) => other.clone(),
         },
@@ -394,7 +391,7 @@ mod tests {
         let plus = ScalarExpr::Binary {
             op: BinaryOp::Plus,
             left: Box::new(lit(Value::Date(d))),
-            right: Box::new(lit(Value::Int(1)))
+            right: Box::new(lit(Value::Int(1))),
         };
         assert_eq!(eval(&plus), Value::Date(d + 1));
         let diff = ScalarExpr::Binary {
@@ -461,9 +458,6 @@ mod tests {
             branches: vec![(lit(Value::Int(1)), lit(Value::String("one".into())))],
             else_expr: None,
         };
-        assert_eq!(
-            eval_scalar(&c2, &[Value::Int(2)]).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_scalar(&c2, &[Value::Int(2)]).unwrap(), Value::Null);
     }
 }

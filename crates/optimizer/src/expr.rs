@@ -175,7 +175,9 @@ impl ScalarExpr {
                     }
                 }
             }
-            ScalarExpr::Not(_) | ScalarExpr::IsNull { .. } | ScalarExpr::Like { .. }
+            ScalarExpr::Not(_)
+            | ScalarExpr::IsNull { .. }
+            | ScalarExpr::Like { .. }
             | ScalarExpr::InList { .. } => DataType::Boolean,
             ScalarExpr::Negate(e) => e.data_type(input)?,
             ScalarExpr::Case {
@@ -207,25 +209,31 @@ impl ScalarExpr {
                 | BuiltinFunc::Trim
                 | BuiltinFunc::Concat => DataType::String,
                 BuiltinFunc::Length => DataType::BigInt,
-                BuiltinFunc::Abs | BuiltinFunc::Round => {
-                    args.first()
-                        .map(|a| a.data_type(input))
-                        .transpose()?
-                        .unwrap_or(DataType::Double)
-                }
+                BuiltinFunc::Abs | BuiltinFunc::Round => args
+                    .first()
+                    .map(|a| a.data_type(input))
+                    .transpose()?
+                    .unwrap_or(DataType::Double),
                 BuiltinFunc::Floor | BuiltinFunc::Ceil => DataType::BigInt,
                 BuiltinFunc::Sqrt | BuiltinFunc::Power | BuiltinFunc::Rand => DataType::Double,
                 BuiltinFunc::Coalesce | BuiltinFunc::Nvl | BuiltinFunc::If => {
                     let mut ty = DataType::Null;
-                    let rel = if *func == BuiltinFunc::If { &args[1..] } else { &args[..] };
+                    let rel = if *func == BuiltinFunc::If {
+                        &args[1..]
+                    } else {
+                        &args[..]
+                    };
                     for a in rel {
                         let t = a.data_type(input)?;
                         ty = DataType::common_supertype(&ty, &t).unwrap_or(t);
                     }
                     ty
                 }
-                BuiltinFunc::DateAdd | BuiltinFunc::DateSub | BuiltinFunc::AddMonths
-                | BuiltinFunc::TruncMonth | BuiltinFunc::TruncYear => DataType::Date,
+                BuiltinFunc::DateAdd
+                | BuiltinFunc::DateSub
+                | BuiltinFunc::AddMonths
+                | BuiltinFunc::TruncMonth
+                | BuiltinFunc::TruncYear => DataType::Date,
                 BuiltinFunc::Year
                 | BuiltinFunc::Month
                 | BuiltinFunc::Day
@@ -563,7 +571,11 @@ impl fmt::Display for ScalarExpr {
                 expr,
                 pattern,
                 negated,
-            } => write!(f, "{expr} {}LIKE {pattern}", if *negated { "NOT " } else { "" }),
+            } => write!(
+                f,
+                "{expr} {}LIKE {pattern}",
+                if *negated { "NOT " } else { "" }
+            ),
             ScalarExpr::InList {
                 expr,
                 list,
@@ -682,6 +694,9 @@ mod tests {
             AggFunc::Sum.output_type(Some(&DataType::Decimal(7, 2))),
             DataType::Decimal(38, 2)
         );
-        assert_eq!(AggFunc::Avg.output_type(Some(&DataType::Int)), DataType::Double);
+        assert_eq!(
+            AggFunc::Avg.output_type(Some(&DataType::Int)),
+            DataType::Double
+        );
     }
 }

@@ -141,10 +141,7 @@ mod tests {
     fn identical_plans_share_fingerprints() {
         let a = LogicalPlan::Filter {
             input: Arc::new(scan("t")),
-            predicate: ScalarExpr::eq(
-                ScalarExpr::Column(0),
-                ScalarExpr::Literal(Value::Int(1)),
-            ),
+            predicate: ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Literal(Value::Int(1))),
         };
         let b = a.clone();
         assert_eq!(fingerprint(&a), fingerprint(&b));
@@ -157,17 +154,11 @@ mod tests {
         assert_ne!(fingerprint(&a), fingerprint(&b));
         let fa = LogicalPlan::Filter {
             input: Arc::new(a.clone()),
-            predicate: ScalarExpr::eq(
-                ScalarExpr::Column(0),
-                ScalarExpr::Literal(Value::Int(1)),
-            ),
+            predicate: ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Literal(Value::Int(1))),
         };
         let fb = LogicalPlan::Filter {
             input: Arc::new(a),
-            predicate: ScalarExpr::eq(
-                ScalarExpr::Column(0),
-                ScalarExpr::Literal(Value::Int(2)),
-            ),
+            predicate: ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Literal(Value::Int(2))),
         };
         assert_ne!(fingerprint(&fa), fingerprint(&fb));
     }

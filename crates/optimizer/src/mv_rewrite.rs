@@ -58,7 +58,10 @@ struct Spja {
 
 impl Spja {
     fn table_names(&self) -> Vec<&str> {
-        self.scans.iter().map(|s| s.qualified_name.as_str()).collect()
+        self.scans
+            .iter()
+            .map(|s| s.qualified_name.as_str())
+            .collect()
     }
 }
 
@@ -315,9 +318,7 @@ fn build_view_branch(
     // Project: keys in query order, then agg results (with AVG division).
     let k = query.group_keys.len();
     let mut exprs: Vec<ScalarExpr> = (0..k).map(ScalarExpr::Column).collect();
-    let mut names: Vec<String> = (0..k)
-        .map(|i| format!("_g{i}"))
-        .collect();
+    let mut names: Vec<String> = (0..k).map(|i| format!("_g{i}")).collect();
     for (i, (agg_expr, divisor)) in derived.iter().enumerate() {
         let col = ScalarExpr::Column(k + i);
         let e = match divisor {
@@ -393,7 +394,7 @@ fn build_source_branch(query: &Spja, filters: &[ScalarExpr]) -> Result<LogicalPl
     let group_exprs = query
         .group_keys
         .iter()
-        .map(|g| to_flat(g))
+        .map(&to_flat)
         .collect::<Result<Vec<_>>>()?;
     let aggs = query
         .aggs
@@ -401,7 +402,7 @@ fn build_source_branch(query: &Spja, filters: &[ScalarExpr]) -> Result<LogicalPl
         .map(|a| {
             Ok(AggExpr {
                 func: a.func,
-                arg: a.arg.as_ref().map(|e| to_flat(e)).transpose()?,
+                arg: a.arg.as_ref().map(&to_flat).transpose()?,
                 distinct: a.distinct,
             })
         })
@@ -424,7 +425,9 @@ impl Spja {
 /// How the query's filters relate to the view's.
 enum FilterMatch {
     /// Query region ⊆ view region; `residuals` re-applied on the view.
-    Contained { residuals: Vec<ScalarExpr> },
+    Contained {
+        residuals: Vec<ScalarExpr>,
+    },
     /// Exactly one view range conjunct is *narrower* than the query's on
     /// the same column: the complement must be computed from source.
     Partial {
@@ -530,11 +533,7 @@ fn as_range(e: &ScalarExpr) -> Option<(usize, BinaryOp, Value)> {
 /// Re-express a global-coordinate expression over the MV table's
 /// columns. Fails when a referenced column is not one of the view's
 /// group keys (or its key is not exported by the MV's projection).
-fn remap_to_view_output(
-    e: &ScalarExpr,
-    view: &Spja,
-    slots: &[OutSlot],
-) -> Option<ScalarExpr> {
+fn remap_to_view_output(e: &ScalarExpr, view: &Spja, slots: &[OutSlot]) -> Option<ScalarExpr> {
     let mut ok = true;
     let out = e.clone().transform(&mut |x| match &x {
         ScalarExpr::Column(g) => {
@@ -542,9 +541,7 @@ fn remap_to_view_output(
                 .group_keys
                 .iter()
                 .position(|k| matches!(k, ScalarExpr::Column(kc) if kc == g));
-            match key_idx
-                .and_then(|i| slots.iter().position(|s| *s == OutSlot::Key(i)))
-            {
+            match key_idx.and_then(|i| slots.iter().position(|s| *s == OutSlot::Key(i))) {
                 Some(col) => ScalarExpr::Column(col),
                 None => {
                     ok = false;
@@ -561,11 +558,7 @@ fn remap_to_view_output(
 /// Returns the rollup aggregate over the MV scan plus, for AVG, the
 /// index (within the derived agg list, filled by the caller's layout)
 /// of the COUNT divisor.
-fn derive_agg(
-    qa: &AggExpr,
-    view: &Spja,
-    slots: &[OutSlot],
-) -> Option<(AggExpr, Option<usize>)> {
+fn derive_agg(qa: &AggExpr, view: &Spja, slots: &[OutSlot]) -> Option<(AggExpr, Option<usize>)> {
     if qa.distinct {
         return None;
     }
@@ -694,16 +687,18 @@ fn extract_spja(plan: &LogicalPlan) -> Option<Spja> {
     };
     let filters = filters_flat
         .iter()
-        .map(|f| remap(f))
+        .map(&remap)
         .collect::<Option<Vec<_>>>()?;
-    let raw_joins = joins_flat
-        .iter()
-        .map(|f| remap(f))
-        .collect::<Option<Vec<_>>>()?;
+    let raw_joins = joins_flat.iter().map(&remap).collect::<Option<Vec<_>>>()?;
     let mut join_pairs: Vec<(String, String)> = raw_joins
         .iter()
         .filter_map(|j| {
-            if let ScalarExpr::Binary { op: BinaryOp::Eq, left, right } = j {
+            if let ScalarExpr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                right,
+            } = j
+            {
                 let (a, b) = (format!("{left}"), format!("{right}"));
                 Some(if a <= b { (a, b) } else { (b, a) })
             } else {
@@ -714,7 +709,7 @@ fn extract_spja(plan: &LogicalPlan) -> Option<Spja> {
     join_pairs.sort();
     let group_keys = group_keys_raw
         .iter()
-        .map(|g| remap(g))
+        .map(&remap)
         .collect::<Option<Vec<_>>>()?;
     let aggs = aggs_raw
         .iter()
@@ -785,8 +780,13 @@ fn collect_spj(
             let end = collect_spj(input, offset, scans, filters, joins)?;
             for part in predicate.split_conjunction() {
                 let cols = part.columns();
-                let is_join = matches!(part, ScalarExpr::Binary { op: BinaryOp::Eq, .. })
-                    && cols.len() >= 2
+                let is_join = matches!(
+                    part,
+                    ScalarExpr::Binary {
+                        op: BinaryOp::Eq,
+                        ..
+                    }
+                ) && cols.len() >= 2
                     && spans_scans(&cols, scans, offset);
                 if is_join {
                     joins.push(part.clone().shift_columns(offset));
@@ -811,14 +811,17 @@ fn collect_spj(
                 joins.push(ScalarExpr::eq(le, re));
             }
             if let Some(res) = residual {
-                let shifted = res.clone().remap_columns(&|c| {
-                    let left_w = mid - offset;
-                    if c < left_w {
-                        Some(c + offset)
-                    } else {
-                        Some(c - left_w + mid)
-                    }
-                }).ok()?;
+                let shifted = res
+                    .clone()
+                    .remap_columns(&|c| {
+                        let left_w = mid - offset;
+                        if c < left_w {
+                            Some(c + offset)
+                        } else {
+                            Some(c - left_w + mid)
+                        }
+                    })
+                    .ok()?;
                 filters.push(shifted);
             }
             Some(end)

@@ -112,7 +112,11 @@ pub fn merge_filters(plan: &LogicalPlan) -> LogicalPlan {
 /// Collapse trivial projections (identity over the full input).
 pub fn remove_trivial_projects(plan: &LogicalPlan) -> LogicalPlan {
     transform_up(plan, &mut |node| match &node {
-        LogicalPlan::Project { input, exprs, names } => {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => {
             let in_schema = input.schema();
             let identity = exprs.len() == in_schema.len()
                 && exprs
@@ -174,9 +178,7 @@ pub fn merge_projects(plan: &LogicalPlan) -> LogicalPlan {
 /// Propagate emptiness: joins/filters/aggregates over empty inputs.
 pub fn prune_empty(plan: &LogicalPlan) -> LogicalPlan {
     transform_up(plan, &mut |node| {
-        let is_empty = |p: &Arc<LogicalPlan>| {
-            matches!(p.as_ref(), LogicalPlan::Values { rows, .. } if rows.is_empty())
-        };
+        let is_empty = |p: &Arc<LogicalPlan>| matches!(p.as_ref(), LogicalPlan::Values { rows, .. } if rows.is_empty());
         match &node {
             LogicalPlan::Join {
                 left,
@@ -184,11 +186,10 @@ pub fn prune_empty(plan: &LogicalPlan) -> LogicalPlan {
                 join_type,
                 ..
             } => match join_type {
-                crate::plan::JoinType::Inner | crate::plan::JoinType::Cross
+                crate::plan::JoinType::Inner
+                | crate::plan::JoinType::Cross
                 | crate::plan::JoinType::Semi => {
-                    if is_empty(left) || (is_empty(right) && *join_type != crate::plan::JoinType::Semi && *join_type != crate::plan::JoinType::Inner && *join_type != crate::plan::JoinType::Cross) {
-                        empty_of(&node.schema())
-                    } else if is_empty(right) {
+                    if is_empty(left) || is_empty(right) {
                         empty_of(&node.schema())
                     } else {
                         node

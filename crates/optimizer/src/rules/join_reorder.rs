@@ -140,9 +140,9 @@ fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPla
                 continue;
             };
             // Remap the current-side expr into the accumulated layout.
-            let left = cur_expr.clone().remap_columns(&|c| {
-                layout.iter().position(|&(r, lc)| r == cur_rel && lc == c)
-            })?;
+            let left = cur_expr
+                .clone()
+                .remap_columns(&|c| layout.iter().position(|&(r, lc)| r == cur_rel && lc == c))?;
             equi.push((left, next_expr.clone()));
             e.used = true;
         }
@@ -175,22 +175,16 @@ fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPla
     };
     let mut filters: Vec<ScalarExpr> = Vec::new();
     for e in edges.iter().filter(|e| !e.used) {
-        let l = e
-            .left_expr
-            .clone()
-            .remap_columns(&|c| {
-                layout
-                    .iter()
-                    .position(|&(r, lc)| r == e.left_rel && lc == c)
-            })?;
-        let r = e
-            .right_expr
-            .clone()
-            .remap_columns(&|c| {
-                layout
-                    .iter()
-                    .position(|&(r2, lc)| r2 == e.right_rel && lc == c)
-            })?;
+        let l = e.left_expr.clone().remap_columns(&|c| {
+            layout
+                .iter()
+                .position(|&(r, lc)| r == e.left_rel && lc == c)
+        })?;
+        let r = e.right_expr.clone().remap_columns(&|c| {
+            layout
+                .iter()
+                .position(|&(r2, lc)| r2 == e.right_rel && lc == c)
+        })?;
         filters.push(ScalarExpr::eq(l, r));
     }
     for res in &residuals {
@@ -245,17 +239,13 @@ fn flatten(
                 .iter()
                 .map(|r| r.width)
                 .sum();
-            let left_offset = rels
-                .get(left_start_rel)
-                .map(|r| r.offset)
-                .unwrap_or(0);
+            let left_offset = rels.get(left_start_rel).map(|r| r.offset).unwrap_or(0);
             flatten(right, rels, edges, residuals, stats)?;
             // Register equi edges: left expr over left subtree's local
             // coords, right over right subtree's.
             for (l, r) in equi {
                 let (l_rel, l_local) = locate(rels, left_start_rel, right_start_rel, l, 0)?;
-                let (r_rel, r_local) =
-                    locate(rels, right_start_rel, rels.len(), r, 0)?;
+                let (r_rel, r_local) = locate(rels, right_start_rel, rels.len(), r, 0)?;
                 edges.push(Edge {
                     left_rel: l_rel,
                     right_rel: r_rel,

@@ -166,11 +166,7 @@ pub fn map_node_exprs(
                 .map(|w| WindowExpr {
                     func: w.func,
                     args: w.args.into_iter().map(|e| e.transform(f)).collect(),
-                    partition_by: w
-                        .partition_by
-                        .into_iter()
-                        .map(|e| e.transform(f))
-                        .collect(),
+                    partition_by: w.partition_by.into_iter().map(|e| e.transform(f)).collect(),
                     order_by: w
                         .order_by
                         .into_iter()

@@ -104,9 +104,9 @@ fn prune_scan(node: LogicalPlan, ms: &Metastore) -> Result<LogicalPlan> {
         for &(out, k) in &part_out_cols {
             row[out] = info.values.get(k).cloned().unwrap_or(Value::Null);
         }
-        let keep = part_conjuncts.iter().all(|c| {
-            matches!(eval_scalar(c, &row), Ok(Value::Boolean(true)))
-        });
+        let keep = part_conjuncts
+            .iter()
+            .all(|c| matches!(eval_scalar(c, &row), Ok(Value::Boolean(true))));
         if keep {
             selected.push(dir.clone());
         }

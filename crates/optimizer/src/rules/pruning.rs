@@ -7,8 +7,8 @@
 //! interior nodes shrink.
 
 use crate::expr::{AggExpr, ScalarExpr, SortKey};
-use crate::plan::LogicalPlan;
 use crate::plan::JoinType;
+use crate::plan::LogicalPlan;
 use hive_common::Result;
 use hive_metastore::{Constraint, Metastore};
 use std::collections::BTreeSet;
@@ -316,10 +316,7 @@ fn prune(plan: &LogicalPlan, required: &[usize], ms: &Metastore) -> Result<Logic
             restrict(win, &have, required)
         }
         LogicalPlan::Sort { input, keys } => {
-            let need = union_required(
-                required,
-                keys.iter().flat_map(|k| k.expr.columns()),
-            );
+            let need = union_required(required, keys.iter().flat_map(|k| k.expr.columns()));
             let child = prune(input, &need, ms)?;
             let remap = mapper(&need);
             let sorted = LogicalPlan::Sort {
@@ -347,7 +344,12 @@ fn prune(plan: &LogicalPlan, required: &[usize], ms: &Metastore) -> Result<Logic
                 .map(|i| Ok(Arc::new(prune(i, required, ms)?)))
                 .collect::<Result<Vec<_>>>()?,
         }),
-        LogicalPlan::SetOp { op, all, left, right } => {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             // Set operations compare whole rows: require everything.
             let n = left.schema().len();
             let full: Vec<usize> = (0..n).collect();
@@ -361,7 +363,6 @@ fn prune(plan: &LogicalPlan, required: &[usize], ms: &Metastore) -> Result<Logic
         }
     }
 }
-
 
 /// Can the right side of `left JOIN right ON equi` be dropped entirely,
 /// assuming no output column of the right side is referenced above?

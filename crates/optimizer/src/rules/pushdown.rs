@@ -64,10 +64,16 @@ fn push_one(node: LogicalPlan) -> LogicalPlan {
             let mut keep: Vec<ScalarExpr> = Vec::new();
             let can_push_left = matches!(
                 join_type,
-                JoinType::Inner | JoinType::Cross | JoinType::Left | JoinType::Semi | JoinType::Anti
+                JoinType::Inner
+                    | JoinType::Cross
+                    | JoinType::Left
+                    | JoinType::Semi
+                    | JoinType::Anti
             );
-            let can_push_right =
-                matches!(join_type, JoinType::Inner | JoinType::Cross | JoinType::Right);
+            let can_push_right = matches!(
+                join_type,
+                JoinType::Inner | JoinType::Cross | JoinType::Right
+            );
             let can_extract_equi = matches!(join_type, JoinType::Inner | JoinType::Cross);
             for part in predicate.split_conjunction() {
                 let cols = part.columns();
@@ -216,7 +222,10 @@ fn push_one(node: LogicalPlan) -> LogicalPlan {
                 })
                 .collect(),
         },
-        LogicalPlan::Sort { input: s_input, keys } => LogicalPlan::Sort {
+        LogicalPlan::Sort {
+            input: s_input,
+            keys,
+        } => LogicalPlan::Sort {
             input: Arc::new(push_one(LogicalPlan::Filter {
                 input: s_input.clone(),
                 predicate,

@@ -57,9 +57,7 @@ fn attach_reducers(node: LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan {
     // side. Only a side that actually has filtering (Filter node or scan
     // filters) is a useful source.
     for (li, ri) in &equi {
-        if right_rows * MIN_RATIO < left_rows
-            && right_rows < MAX_SOURCE_ROWS
-            && is_filtered(&right)
+        if right_rows * MIN_RATIO < left_rows && right_rows < MAX_SOURCE_ROWS && is_filtered(&right)
         {
             if let Some(reduced) = try_attach(&new_left, li, &right, ri) {
                 new_left = reduced;

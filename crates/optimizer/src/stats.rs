@@ -113,7 +113,9 @@ pub fn estimate_rows(plan: &LogicalPlan, src: &dyn StatsSource) -> f64 {
                 return 1.0;
             }
             // Heuristic: each key contributes sqrt reduction.
-            let groups = in_rows.powf(0.5 + 0.1 * (group_exprs.len() as f64 - 1.0)).min(in_rows);
+            let groups = in_rows
+                .powf(0.5 + 0.1 * (group_exprs.len() as f64 - 1.0))
+                .min(in_rows);
             match grouping_sets {
                 Some(sets) => groups * sets.len() as f64,
                 None => groups,
@@ -122,7 +124,9 @@ pub fn estimate_rows(plan: &LogicalPlan, src: &dyn StatsSource) -> f64 {
         LogicalPlan::Sort { input, .. } => estimate_rows(input, src),
         LogicalPlan::Limit { input, n } => estimate_rows(input, src).min(*n as f64),
         LogicalPlan::Union { inputs } => inputs.iter().map(|i| estimate_rows(i, src)).sum(),
-        LogicalPlan::SetOp { op, left, right, .. } => {
+        LogicalPlan::SetOp {
+            op, left, right, ..
+        } => {
             let l = estimate_rows(left, src);
             let r = estimate_rows(right, src);
             match op {
@@ -177,9 +181,7 @@ pub fn selectivity(pred: &ScalarExpr, scan: Option<(&TableStats, &[usize])>) -> 
         ScalarExpr::Literal(Value::Boolean(true)) => 1.0,
         ScalarExpr::Literal(Value::Boolean(false)) => 0.0,
         ScalarExpr::Binary { op, left, right } => match op {
-            BinaryOp::And => {
-                selectivity(left, scan) * selectivity(right, scan)
-            }
+            BinaryOp::And => selectivity(left, scan) * selectivity(right, scan),
             BinaryOp::Or => {
                 let a = selectivity(left, scan);
                 let b = selectivity(right, scan);
@@ -217,7 +219,11 @@ pub fn selectivity(pred: &ScalarExpr, scan: Option<(&TableStats, &[usize])>) -> 
                 SEL_LIKE_DEFAULT
             }
         }
-        ScalarExpr::InList { expr, list, negated } => {
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let per = column_of(expr)
                 .and_then(|c| column_stats(scan, c))
                 .map(|(cs, _)| 1.0 / cs.ndv_estimate().max(1) as f64)
@@ -295,8 +301,12 @@ fn range_selectivity(
         return SEL_RANGE_DEFAULT;
     };
     let (Some(min), Some(max)) = (
-        cs.min.as_ref().and_then(|v| v.as_f64().or_else(|| v.as_i64().map(|x| x as f64))),
-        cs.max.as_ref().and_then(|v| v.as_f64().or_else(|| v.as_i64().map(|x| x as f64))),
+        cs.min
+            .as_ref()
+            .and_then(|v| v.as_f64().or_else(|| v.as_i64().map(|x| x as f64))),
+        cs.max
+            .as_ref()
+            .and_then(|v| v.as_f64().or_else(|| v.as_i64().map(|x| x as f64))),
     ) else {
         return SEL_RANGE_DEFAULT;
     };
@@ -388,10 +398,7 @@ mod tests {
         assert_eq!(estimate_rows(&plan, &src), 100_000.0);
         let filtered = LogicalPlan::Filter {
             input: Arc::new(plan),
-            predicate: ScalarExpr::eq(
-                ScalarExpr::Column(0),
-                ScalarExpr::Literal(Value::Int(5)),
-            ),
+            predicate: ScalarExpr::eq(ScalarExpr::Column(0), ScalarExpr::Literal(Value::Int(5))),
         };
         let est = estimate_rows(&filtered, &src);
         assert!(est < 100_000.0 * 0.2, "eq filter must be selective: {est}");

@@ -95,7 +95,10 @@ fn optimize(ms: &Metastore, sql: &str) -> LogicalPlan {
 #[test]
 fn simple_select_analyzes() {
     let ms = setup();
-    let plan = analyze(&ms, "SELECT i_category, i_brand FROM item WHERE i_item_sk = 5");
+    let plan = analyze(
+        &ms,
+        "SELECT i_category, i_brand FROM item WHERE i_item_sk = 5",
+    );
     assert_eq!(plan.schema().names(), vec!["i_category", "i_brand"]);
     plan.check().unwrap();
 }
@@ -116,14 +119,15 @@ fn comma_join_becomes_inner_join_after_pushdown() {
             equi,
             ..
         } if !equi.is_empty() => saw_inner = true,
-        LogicalPlan::Scan { table, filters, .. }
-            if table.name == "item" && !filters.is_empty() =>
-        {
+        LogicalPlan::Scan { table, filters, .. } if table.name == "item" && !filters.is_empty() => {
             saw_scan_filter = true
         }
         _ => {}
     });
-    assert!(saw_inner, "cross join should become equi inner join:\n{plan}");
+    assert!(
+        saw_inner,
+        "cross join should become equi inner join:\n{plan}"
+    );
     assert!(
         saw_scan_filter,
         "category filter should be pushed into the item scan:\n{plan}"
@@ -253,7 +257,11 @@ fn projection_pruning_shrinks_scans() {
             scan_cols = Some(projection.len());
         }
     });
-    assert_eq!(scan_cols, Some(2), "only i_brand + i_category needed:\n{plan}");
+    assert_eq!(
+        scan_cols,
+        Some(2),
+        "only i_brand + i_category needed:\n{plan}"
+    );
 }
 
 #[test]
@@ -269,13 +277,20 @@ fn partition_pruning_selects_directories() {
     );
     let mut parts = None;
     plan.visit(&mut |p| {
-        if let LogicalPlan::Scan { partitions, table, .. } = p {
+        if let LogicalPlan::Scan {
+            partitions, table, ..
+        } = p
+        {
             if table.name == "store_sales" {
                 parts = partitions.clone();
             }
         }
     });
-    assert_eq!(parts, Some(vec!["ss_sold_date_sk=2450816".to_string()]), "{plan}");
+    assert_eq!(
+        parts,
+        Some(vec!["ss_sold_date_sk=2450816".to_string()]),
+        "{plan}"
+    );
 }
 
 #[test]
@@ -324,7 +339,10 @@ fn semijoin_reduction_planned_for_star_join() {
             }
         }
     });
-    assert!(reducers >= 1, "fact scan should carry a semijoin reducer:\n{plan}");
+    assert!(
+        reducers >= 1,
+        "fact scan should carry a semijoin reducer:\n{plan}"
+    );
 }
 
 #[test]
@@ -410,7 +428,10 @@ fn constant_folding_removes_tautologies() {
     assert!(!saw_filter);
     // Contradictions become empty relations.
     let plan = optimize(&ms, "SELECT i_brand FROM item WHERE 1 = 2");
-    assert!(matches!(plan, LogicalPlan::Values { ref rows, .. } if rows.is_empty()), "{plan}");
+    assert!(
+        matches!(plan, LogicalPlan::Values { ref rows, .. } if rows.is_empty()),
+        "{plan}"
+    );
 }
 
 #[test]
@@ -446,8 +467,14 @@ fn having_on_group_key_pushes_below_aggregate() {
             }
         }
     });
-    assert!(scan_filters >= 1, "HAVING on key must reach the scan:\n{plan}");
-    assert!(!filter_above_agg, "no residual filter above aggregate:\n{plan}");
+    assert!(
+        scan_filters >= 1,
+        "HAVING on key must reach the scan:\n{plan}"
+    );
+    assert!(
+        !filter_above_agg,
+        "no residual filter above aggregate:\n{plan}"
+    );
 }
 
 #[test]
@@ -466,7 +493,10 @@ fn having_on_aggregate_output_stays_above() {
             }
         }
         if let LogicalPlan::Scan { filters, .. } = p {
-            assert!(filters.is_empty(), "COUNT(*) predicate must not reach the scan:\n{p}");
+            assert!(
+                filters.is_empty(),
+                "COUNT(*) predicate must not reach the scan:\n{p}"
+            );
         }
     });
     assert!(filter_above_agg, "{plan}");
@@ -567,7 +597,10 @@ fn nondeterministic_filter_not_pushed_through_project() {
     let mut saw_filter_above_project = false;
     plan.visit(&mut |p| {
         if let LogicalPlan::Scan { filters, .. } = p {
-            assert!(filters.is_empty(), "RAND() predicate must not reach the scan:\n{p}");
+            assert!(
+                filters.is_empty(),
+                "RAND() predicate must not reach the scan:\n{p}"
+            );
         }
         if let LogicalPlan::Filter { input, .. } = p {
             if matches!(input.as_ref(), LogicalPlan::Project { .. }) {

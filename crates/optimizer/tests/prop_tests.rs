@@ -54,14 +54,18 @@ fn int_expr(depth: u32) -> BoxedStrategy<ScalarExpr> {
 /// Boolean combinations of integer comparisons (AND/OR/NOT trees) —
 /// what WHERE-clause folding sees.
 fn bool_expr(depth: u32) -> BoxedStrategy<ScalarExpr> {
-    let cmp = (int_expr(1), int_expr(1), prop_oneof![
-        Just(BinaryOp::Eq),
-        Just(BinaryOp::NotEq),
-        Just(BinaryOp::Lt),
-        Just(BinaryOp::LtEq),
-        Just(BinaryOp::Gt),
-        Just(BinaryOp::GtEq),
-    ])
+    let cmp = (
+        int_expr(1),
+        int_expr(1),
+        prop_oneof![
+            Just(BinaryOp::Eq),
+            Just(BinaryOp::NotEq),
+            Just(BinaryOp::Lt),
+            Just(BinaryOp::LtEq),
+            Just(BinaryOp::Gt),
+            Just(BinaryOp::GtEq),
+        ],
+    )
         .prop_map(|(l, r, op)| ScalarExpr::Binary {
             op,
             left: Box::new(l),
@@ -97,7 +101,10 @@ fn row_strategy() -> impl Strategy<Value = Vec<Value>> {
 /// Evaluation outcomes compare equal when both error or both produce
 /// the same value (folding may legitimately turn an error-free path
 /// into a literal, but never a value into a different value).
-fn outcomes_match(before: &Result<Value, hive_common::HiveError>, after: &Result<Value, hive_common::HiveError>) -> bool {
+fn outcomes_match(
+    before: &Result<Value, hive_common::HiveError>,
+    after: &Result<Value, hive_common::HiveError>,
+) -> bool {
     match (before, after) {
         (Ok(a), Ok(b)) => a == b,
         (Err(_), Err(_)) => true,

@@ -4,6 +4,10 @@ use hive_common::{DataType, Value};
 use std::fmt;
 
 /// A top-level SQL statement.
+///
+/// The `Merge` payload is much larger than the other variants; statements are
+/// parsed once and never stored in bulk, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// A SELECT query (possibly with set operations).
@@ -587,7 +591,9 @@ impl Expr {
                     o.expr.visit(f);
                 }
             }
-            Expr::Literal(_) | Expr::Column { .. } | Expr::Exists { .. }
+            Expr::Literal(_)
+            | Expr::Column { .. }
+            | Expr::Exists { .. }
             | Expr::ScalarSubquery(_) => {}
         }
     }
@@ -654,7 +660,11 @@ impl fmt::Display for Expr {
                 if *negated { "NOT " } else { "" }
             ),
             Expr::Exists { negated, .. } => {
-                write!(f, "{}EXISTS (<subquery>)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{}EXISTS (<subquery>)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::ScalarSubquery(_) => write!(f, "(<scalar subquery>)"),
             Expr::Like {

@@ -106,8 +106,7 @@ fn collect_statement(stmt: &Statement, out: &mut Vec<SqlFeature>) {
             push(out, SqlFeature::MaterializedViews);
             collect_query(&mv.query, out);
         }
-        Statement::AlterMaterializedViewRebuild { .. }
-        | Statement::DropMaterializedView { .. } => {
+        Statement::AlterMaterializedViewRebuild { .. } | Statement::DropMaterializedView { .. } => {
             push(out, SqlFeature::MaterializedViews);
         }
         Statement::CreateTable(ct) => {
@@ -162,7 +161,9 @@ fn collect_query(q: &Query, out: &mut Vec<SqlFeature>) {
 fn collect_body(b: &QueryBody, out: &mut Vec<SqlFeature>) {
     match b {
         QueryBody::Select(sel) => collect_select(sel, out),
-        QueryBody::SetOp { op, left, right, .. } => {
+        QueryBody::SetOp {
+            op, left, right, ..
+        } => {
             if matches!(op, SetOperator::Intersect | SetOperator::Except) {
                 push(out, SqlFeature::IntersectExcept);
             }
@@ -259,14 +260,10 @@ mod tests {
 
     #[test]
     fn subqueries_detected() {
-        assert!(
-            features("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
-                .contains(&SqlFeature::SubqueryPredicate)
-        );
-        assert!(
-            features("SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u)")
-                .contains(&SqlFeature::ScalarSubquery)
-        );
+        assert!(features("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+            .contains(&SqlFeature::SubqueryPredicate));
+        assert!(features("SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u)")
+            .contains(&SqlFeature::ScalarSubquery));
     }
 
     #[test]
@@ -279,12 +276,11 @@ mod tests {
 
     #[test]
     fn order_by_unselected_detected() {
-        assert!(features("SELECT a FROM t ORDER BY b")
-            .contains(&SqlFeature::OrderByUnselected));
-        assert!(!features("SELECT a, b FROM t ORDER BY b")
-            .contains(&SqlFeature::OrderByUnselected));
-        assert!(!features("SELECT a AS x FROM t ORDER BY x")
-            .contains(&SqlFeature::OrderByUnselected));
+        assert!(features("SELECT a FROM t ORDER BY b").contains(&SqlFeature::OrderByUnselected));
+        assert!(!features("SELECT a, b FROM t ORDER BY b").contains(&SqlFeature::OrderByUnselected));
+        assert!(
+            !features("SELECT a AS x FROM t ORDER BY x").contains(&SqlFeature::OrderByUnselected)
+        );
     }
 
     #[test]

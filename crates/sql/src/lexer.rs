@@ -141,7 +141,8 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 let mut is_decimal = false;
                 while i < chars.len()
                     && (chars[i].is_ascii_digit()
-                        || (chars[i] == '.' && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())))
+                        || (chars[i] == '.'
+                            && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())))
                 {
                     if chars[i] == '.' {
                         is_decimal = true;
@@ -333,11 +334,7 @@ mod tests {
         assert_eq!(toks[1], Token::Number("2.5E-2".into()));
         assert_eq!(
             &toks[2..5],
-            &[
-                Token::Word("t".into()),
-                Token::Dot,
-                Token::Word("c".into())
-            ]
+            &[Token::Word("t".into()), Token::Dot, Token::Word("c".into())]
         );
     }
 

@@ -196,7 +196,8 @@ impl Parser {
                     name: self.parse_object_name()?,
                 });
             }
-            return self.error("expected TABLES, PARTITIONS, COMPACTIONS, or TRANSACTIONS after SHOW");
+            return self
+                .error("expected TABLES, PARTITIONS, COMPACTIONS, or TRANSACTIONS after SHOW");
         }
         if self.at_kw("DESCRIBE") || self.at_kw("DESC") {
             self.advance();
@@ -1174,7 +1175,9 @@ impl Parser {
                 continue;
             }
             let negated = if self.at_kw("NOT")
-                && (self.at_kw_at(1, "BETWEEN") || self.at_kw_at(1, "IN") || self.at_kw_at(1, "LIKE"))
+                && (self.at_kw_at(1, "BETWEEN")
+                    || self.at_kw_at(1, "IN")
+                    || self.at_kw_at(1, "LIKE"))
             {
                 self.advance();
                 true
@@ -1388,9 +1391,10 @@ impl Parser {
                 self.advance();
                 let n = match self.advance() {
                     Token::Integer(v) => v as i64,
-                    Token::StringLit(s) => s.trim().parse().map_err(|_| {
-                        HiveError::Parse(format!("bad interval quantity '{s}'"))
-                    })?,
+                    Token::StringLit(s) => s
+                        .trim()
+                        .parse()
+                        .map_err(|_| HiveError::Parse(format!("bad interval quantity '{s}'")))?,
                     other => {
                         return Err(HiveError::Parse(format!(
                             "expected interval quantity, found '{other}'"
@@ -1511,7 +1515,9 @@ impl Parser {
     }
 
     fn parse_column_tail(&mut self, first: String) -> Result<Expr> {
-        if self.peek() == &Token::Dot && matches!(self.peek_at(1), Token::Word(_) | Token::QuotedIdent(_)) {
+        if self.peek() == &Token::Dot
+            && matches!(self.peek_at(1), Token::Word(_) | Token::QuotedIdent(_))
+        {
             self.advance();
             let name = self.parse_ident()?;
             Ok(Expr::Column {
@@ -1600,12 +1606,61 @@ impl Parser {
 /// Keywords that terminate an implicit alias position.
 fn is_structural_keyword(w: &str) -> bool {
     const KW: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "UNION", "INTERSECT",
-        "EXCEPT", "MINUS", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "ON", "AND", "OR",
-        "NOT", "AS", "WHEN", "THEN", "ELSE", "END", "USING", "SET", "VALUES", "INSERT", "UPDATE",
-        "DELETE", "MERGE", "INTO", "BY", "ASC", "DESC", "NULLS", "BETWEEN", "IN", "LIKE", "IS",
-        "EXISTS", "CASE", "DISTINCT", "ALL", "PARTITION", "OVER", "ROWS", "WITH", "SEMI",
-        "GROUPING", "STORED", "TBLPROPERTIES", "PARTITIONED",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "MINUS",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "CROSS",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "AS",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "USING",
+        "SET",
+        "VALUES",
+        "INSERT",
+        "UPDATE",
+        "DELETE",
+        "MERGE",
+        "INTO",
+        "BY",
+        "ASC",
+        "DESC",
+        "NULLS",
+        "BETWEEN",
+        "IN",
+        "LIKE",
+        "IS",
+        "EXISTS",
+        "CASE",
+        "DISTINCT",
+        "ALL",
+        "PARTITION",
+        "OVER",
+        "ROWS",
+        "WITH",
+        "SEMI",
+        "GROUPING",
+        "STORED",
+        "TBLPROPERTIES",
+        "PARTITIONED",
     ];
     KW.iter().any(|k| w.eq_ignore_ascii_case(k))
 }

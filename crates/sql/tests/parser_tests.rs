@@ -115,10 +115,7 @@ fn join_kinds() {
     let s = select_of(&q);
     let mut kinds = Vec::new();
     fn walk(t: &TableRef, kinds: &mut Vec<JoinKind>) {
-        if let TableRef::Join {
-            left, kind, ..
-        } = t
-        {
+        if let TableRef::Join { left, kind, .. } = t {
             walk(left, kinds);
             kinds.push(*kind);
         }
@@ -171,15 +168,10 @@ fn correlated_subqueries() {
 fn grouping_sets_rollup_cube() {
     let q = parse_query("SELECT a, b, SUM(c) FROM t GROUP BY ROLLUP(a, b)");
     let s = select_of(&q);
-    assert_eq!(
-        s.grouping_sets,
-        Some(vec![vec![0, 1], vec![0], vec![]])
-    );
+    assert_eq!(s.grouping_sets, Some(vec![vec![0, 1], vec![0], vec![]]));
     let q = parse_query("SELECT a, b, SUM(c) FROM t GROUP BY CUBE(a, b)");
     assert_eq!(select_of(&q).grouping_sets.as_ref().unwrap().len(), 4);
-    let q = parse_query(
-        "SELECT a, b, SUM(c) FROM t GROUP BY a, b GROUPING SETS ((a, b), (a), ())",
-    );
+    let q = parse_query("SELECT a, b, SUM(c) FROM t GROUP BY a, b GROUPING SETS ((a, b), (a), ())");
     assert_eq!(
         select_of(&q).grouping_sets,
         Some(vec![vec![0, 1], vec![0], vec![]])
@@ -260,12 +252,7 @@ fn merge_statement() {
             assert!(m.when_matched_update.is_some());
             assert!(m.when_matched_delete.is_none());
             assert!(m.when_not_matched_insert.is_some());
-            assert!(m
-                .when_matched_update
-                .as_ref()
-                .unwrap()
-                .condition
-                .is_some());
+            assert!(m.when_matched_update.as_ref().unwrap().condition.is_some());
         }
         other => panic!("unexpected: {other:?}"),
     }
@@ -352,10 +339,7 @@ fn misc_statements() {
         parse("ALTER MATERIALIZED VIEW mv REBUILD"),
         Statement::AlterMaterializedViewRebuild { .. }
     ));
-    assert!(matches!(
-        parse("EXPLAIN SELECT 1"),
-        Statement::Explain(_)
-    ));
+    assert!(matches!(parse("EXPLAIN SELECT 1"), Statement::Explain(_)));
     assert!(matches!(
         parse("DROP TABLE IF EXISTS t"),
         Statement::DropTable {
@@ -437,7 +421,10 @@ fn multi_insert_statement() {
 fn describe_and_show_partitions_parse() {
     assert!(matches!(
         parse("DESCRIBE t"),
-        Statement::Describe { extended: false, .. }
+        Statement::Describe {
+            extended: false,
+            ..
+        }
     ));
     assert!(matches!(
         parse("DESC EXTENDED db.t"),
@@ -451,7 +438,13 @@ fn describe_and_show_partitions_parse() {
 
 #[test]
 fn show_transactions_parses() {
-    assert!(matches!(parse("SHOW TRANSACTIONS"), Statement::ShowTransactions));
-    assert!(matches!(parse("SHOW COMPACTIONS"), Statement::ShowCompactions));
+    assert!(matches!(
+        parse("SHOW TRANSACTIONS"),
+        Statement::ShowTransactions
+    ));
+    assert!(matches!(
+        parse("SHOW COMPACTIONS"),
+        Statement::ShowCompactions
+    ));
     assert!(hive_sql::parse_sql("SHOW NONSENSE").is_err());
 }

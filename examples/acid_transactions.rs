@@ -33,16 +33,17 @@ fn main() -> hive_warehouse::Result<()> {
 
     // MERGE (upsert) from a staging table.
     session.execute("CREATE TABLE staging (id INT, owner STRING, balance DECIMAL(10,2))")?;
-    session.execute(
-        "INSERT INTO staging VALUES (0, 'owner0', 999.00), (42, 'newcomer', 1.00)",
-    )?;
+    session.execute("INSERT INTO staging VALUES (0, 'owner0', 999.00), (42, 'newcomer', 1.00)")?;
     session.execute(
         "MERGE INTO accounts a USING staging s ON a.id = s.id
          WHEN MATCHED THEN UPDATE SET balance = s.balance
          WHEN NOT MATCHED THEN INSERT VALUES (s.id, s.owner, s.balance)",
     )?;
     println!("\nafter MERGE:");
-    show(&session, "SELECT id, owner, balance FROM accounts ORDER BY id")?;
+    show(
+        &session,
+        "SELECT id, owner, balance FROM accounts ORDER BY id",
+    )?;
 
     // The compaction queue: SHOW COMPACTIONS exposes what the automatic
     // trigger did (the delta threshold was 5).
@@ -53,7 +54,10 @@ fn main() -> hive_warehouse::Result<()> {
     session.execute("ALTER TABLE accounts COMPACT 'major'")?;
     let table = server.metastore().get_table("default", "accounts")?;
     println!("\ndirectories after major compaction:");
-    for entry in server.fs().list(&hive_warehouse::DfsPath::new(&table.location)) {
+    for entry in server
+        .fs()
+        .list(&hive_warehouse::DfsPath::new(&table.location))
+    {
         println!("  {}", entry.path);
     }
     show(&session, "SELECT COUNT(*), SUM(balance) FROM accounts")?;

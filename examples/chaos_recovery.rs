@@ -63,9 +63,8 @@ fn main() {
     }
 
     // The same query under chaos (env-overridable seed/rates).
-    let plan = FaultPlan::from_env().unwrap_or_else(|| {
-        FaultPlan::chaos(0xC0FFEE).with(|p| p.daemon_kill_prob = 0.6)
-    });
+    let plan = FaultPlan::from_env()
+        .unwrap_or_else(|| FaultPlan::chaos(0xC0FFEE).with(|p| p.daemon_kill_prob = 0.6));
     println!(
         "\nchaos plan: seed={} kill={} dfs_err={} slow={} corrupt={} frag={} recovery={}",
         plan.seed,

@@ -19,7 +19,9 @@ fn main() -> hive_warehouse::Result<()> {
         Field::new("d1", DataType::String),
         Field::new("m1", DataType::Double),
     ]);
-    server.druid().create_datasource("my_druid_source", &schema)?;
+    server
+        .druid()
+        .create_datasource("my_druid_source", &schema)?;
     let base = dates::civil_to_days(2017, 1, 1) as i64;
     let rows: Vec<Row> = (0..5_000)
         .map(|i| {

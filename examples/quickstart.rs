@@ -49,9 +49,8 @@ fn main() -> hive_warehouse::Result<()> {
 
     // EXPLAIN shows the optimized plan, including the pruned partition
     // list and pushed filters.
-    let plan = session.execute(
-        "EXPLAIN SELECT COUNT(*) FROM store_sales WHERE sold_date = 20200102",
-    )?;
+    let plan =
+        session.execute("EXPLAIN SELECT COUNT(*) FROM store_sales WHERE sold_date = 20200102")?;
     println!("\nEXPLAIN:\n{}", plan.message.unwrap_or_default());
 
     // Repeat queries hit the results cache (§4.3 of the paper).

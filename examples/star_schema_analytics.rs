@@ -66,7 +66,10 @@ fn main() -> hive_warehouse::Result<()> {
             (1, 1, 1, 1, 1, 1, 123456, 2, 10.00, 20.00, 15.00, 30.00, 10.00, 2451545)",
     )?;
     let stale = session.execute(q)?;
-    println!("after new data, view used: {} (stale views never serve queries)", stale.used_mv);
+    println!(
+        "after new data, view used: {} (stale views never serve queries)",
+        stale.used_mv
+    );
     let rebuilt = session.execute("ALTER MATERIALIZED VIEW category_daily REBUILD")?;
     println!("{}", rebuilt.message.unwrap_or_default());
     let fresh = session.execute(q)?;

@@ -22,8 +22,19 @@
 # materialization forced off and then on (HIVE_DICT_ENABLED overrides
 # hive.exec.dictionary.enabled) — results must be identical either way —
 # then runs the dictionary benchmark, which refreshes BENCH_dict.json.
+#
+# HIVE_SELVEC_SWEEP=1 re-runs the test suite with selection-vector
+# execution forced off and then on (HIVE_SELVEC_ENABLED overrides
+# hive.exec.selvec.enabled) — results must be identical either way —
+# then runs the selvec benchmark, which refreshes BENCH_selvec.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== format =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
 echo "== build (release) =="
 cargo build --release --offline
@@ -56,6 +67,15 @@ if [[ -n "${HIVE_DICT_SWEEP:-}" ]]; then
     done
     echo "== dictionary sweep: benchmark (writes BENCH_dict.json) =="
     cargo bench -q --offline -p hive-bench --bench dictionary
+fi
+
+if [[ -n "${HIVE_SELVEC_SWEEP:-}" ]]; then
+    for selvec in 0 1; do
+        echo "== selvec sweep: tests at HIVE_SELVEC_ENABLED=$selvec =="
+        HIVE_SELVEC_ENABLED="$selvec" cargo test -q --offline --workspace
+    done
+    echo "== selvec sweep: benchmark (writes BENCH_selvec.json) =="
+    cargo bench -q --offline -p hive-bench --bench selvec
 fi
 
 echo "verify: OK"

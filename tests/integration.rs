@@ -11,19 +11,17 @@ fn end_to_end_warehouse_lifecycle() {
 
     // DDL + DML.
     session
-        .execute(
-            "CREATE TABLE orders (o_id INT, region STRING, total DECIMAL(10,2))",
-        )
+        .execute("CREATE TABLE orders (o_id INT, region STRING, total DECIMAL(10,2))")
         .unwrap();
     session
-        .execute(
-            "INSERT INTO orders VALUES (1, 'EU', 10.00), (2, 'NA', 20.00), (3, 'EU', 30.00)",
-        )
+        .execute("INSERT INTO orders VALUES (1, 'EU', 10.00), (2, 'NA', 20.00), (3, 'EU', 30.00)")
         .unwrap();
     session
         .execute("UPDATE orders SET total = total + 1.00 WHERE region = 'EU'")
         .unwrap();
-    session.execute("DELETE FROM orders WHERE o_id = 2").unwrap();
+    session
+        .execute("DELETE FROM orders WHERE o_id = 2")
+        .unwrap();
 
     let r = session
         .execute("SELECT region, SUM(total) FROM orders GROUP BY region ORDER BY region")
@@ -85,10 +83,7 @@ fn tpcds_workload_runs_on_both_engine_versions() {
                 assert_eq!(a, b, "{id} diverged between engine versions");
             }
             Err(e) => {
-                assert!(
-                    !q.v1_2_ok,
-                    "{id} unexpectedly failed on 1.2: {e}"
-                );
+                assert!(!q.v1_2_ok, "{id} unexpectedly failed on 1.2: {e}");
             }
         }
     }
@@ -140,9 +135,10 @@ fn crash_free_error_paths() {
     assert!(session.execute("SELECT unknown_fn(1)").is_err());
     session.execute("CREATE TABLE t (a INT NOT NULL)").unwrap();
     assert!(session.execute("INSERT INTO t VALUES (NULL)").is_err());
-    assert!(session
-        .execute("INSERT INTO t VALUES (1, 2)")
-        .is_err(), "arity mismatch");
+    assert!(
+        session.execute("INSERT INTO t VALUES (1, 2)").is_err(),
+        "arity mismatch"
+    );
     // Writes to external tables without handlers fail cleanly.
     session
         .execute("CREATE EXTERNAL TABLE plain_ext (a INT)")

@@ -1,8 +1,9 @@
-//! Dictionary-encoding differential suite: `hive.exec.dictionary.enabled`
-//! may only change representation and speed, never results. Every
-//! curated TPC-DS query must return byte-identical rows with the
-//! encoded path on and off — fault-free, under a fault plan with
-//! recovery, and across the 1/2/8 thread sweep.
+//! Selection-vector differential suite: `hive.exec.selvec.enabled`
+//! may only change how batches flow (selections + shared `Arc` columns
+//! versus eager compaction), never results. Every curated TPC-DS query
+//! must return byte-identical rows with the selection path on and off —
+//! fault-free, under a seeded fault plan with recovery, and across the
+//! 1/2/8 thread sweep.
 
 use hive_warehouse::benchdata::tpcds::{self, TpcdsScale};
 use hive_warehouse::{FaultPlan, HiveConf, HiveServer};
@@ -11,13 +12,14 @@ use hive_warehouse::{FaultPlan, HiveConf, HiveServer};
 fn neutralize_env() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
+        std::env::remove_var("HIVE_SELVEC_ENABLED");
         std::env::remove_var("HIVE_DICT_ENABLED");
         std::env::remove_var("HIVE_PARALLEL_THREADS");
     });
 }
 
-/// Big enough that string columns span several row groups, so encoded
-/// chunks flow through the cache and the operators for real.
+/// Big enough that scans span several row groups and partitions, so
+/// selections ride through the cache and every operator for real.
 fn scale() -> TpcdsScale {
     TpcdsScale {
         days: 8,
@@ -29,34 +31,34 @@ fn scale() -> TpcdsScale {
     }
 }
 
-fn load_server(dict: bool, threads: usize) -> HiveServer {
+fn load_server(selvec: bool, threads: usize) -> HiveServer {
     neutralize_env();
     let mut conf = HiveConf::v3_1();
-    conf.dictionary_enabled = dict;
+    conf.selvec_enabled = selvec;
     conf.parallel_threads = threads;
     let server = HiveServer::new(conf);
     tpcds::load(&server, scale(), 0xDA7A).unwrap();
     server
 }
 
-/// Every curated TPC-DS query: dictionary on == dictionary off.
+/// Every curated TPC-DS query: selection vectors on == off.
 #[test]
-fn dictionary_toggle_never_changes_results() {
+fn selvec_toggle_never_changes_results() {
     let queries = tpcds::queries();
     let off = load_server(false, 1);
     let on = load_server(true, 1);
     for q in &queries {
         let expected = off.session().execute(&q.sql).unwrap().display_rows();
         let got = on.session().execute(&q.sql).unwrap().display_rows();
-        assert_eq!(got, expected, "{} diverged with dictionary encoding", q.id);
+        assert_eq!(got, expected, "{} diverged with selection vectors", q.id);
     }
 }
 
 /// The toggle stays invisible across worker counts: for each thread
-/// count the dict-on rows equal the dict-off rows, and all equal the
-/// 1-thread baseline.
+/// count the selvec-on rows equal the selvec-off rows, and all equal
+/// the 1-thread baseline.
 #[test]
-fn dictionary_toggle_is_invisible_across_thread_sweep() {
+fn selvec_toggle_is_invisible_across_thread_sweep() {
     let query = &tpcds::queries()[0]; // q3: scan + join + group + order
     let baseline = load_server(false, 1)
         .session()
@@ -65,13 +67,16 @@ fn dictionary_toggle_is_invisible_across_thread_sweep() {
         .display_rows();
     assert!(!baseline.is_empty());
     for threads in [1, 2, 8] {
-        for dict in [false, true] {
-            let rows = load_server(dict, threads)
+        for selvec in [false, true] {
+            let rows = load_server(selvec, threads)
                 .session()
                 .execute(&query.sql)
                 .unwrap()
                 .display_rows();
-            assert_eq!(rows, baseline, "dict={dict} at {threads} threads diverged");
+            assert_eq!(
+                rows, baseline,
+                "selvec={selvec} at {threads} threads diverged"
+            );
         }
     }
 }
@@ -95,21 +100,21 @@ fn faulted_runs_match_under_both_settings() {
         p.dfs_slow_prob = 0.1;
         p.dfs_slow_ms = 4.0;
     });
-    let run = |dict: bool| -> (Vec<String>, f64, u64) {
-        let server = load_server(dict, 2);
+    let run = |selvec: bool| -> (Vec<String>, f64, u64) {
+        let server = load_server(selvec, 2);
         server.set_conf(|c| c.fault = plan.clone());
         let r = server.session().execute(&query.sql).unwrap();
         (r.display_rows(), r.sim_ms, r.fragment_retries)
     };
-    for dict in [false, true] {
-        let (rows, sim_ms, retries) = run(dict);
-        assert_eq!(rows, baseline, "faulted run diverged with dict={dict}");
-        let (rows2, sim_ms2, retries2) = run(dict);
+    for selvec in [false, true] {
+        let (rows, sim_ms, retries) = run(selvec);
+        assert_eq!(rows, baseline, "faulted run diverged with selvec={selvec}");
+        let (rows2, sim_ms2, retries2) = run(selvec);
         assert_eq!(rows2, baseline);
         assert_eq!(
             (sim_ms2, retries2),
             (sim_ms, retries),
-            "fault penalty must replay exactly with dict={dict}"
+            "fault penalty must replay exactly with selvec={selvec}"
         );
     }
 }

@@ -7,14 +7,9 @@ use std::time::Instant;
 /// Iterations per bench; enough to print a number, cheap enough for CI.
 const ITERS: u32 = 3;
 
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
