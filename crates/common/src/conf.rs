@@ -111,6 +111,15 @@ pub struct HiveConf {
     /// volume changes. Overridable via `HIVE_SELVEC_ENABLED`
     /// (`0`/`false`/`off` disables, anything else enables).
     pub selvec_enabled: bool,
+    /// `hive.exec.rawtable.enabled`: key the hash operators (join
+    /// build/probe, GROUP BY, DISTINCT, window partitioning, set ops)
+    /// on open-addressing flat tables with arena-resident canonical key
+    /// bytes and precomputed FNV-1a hashes. When off, the operators use
+    /// the original `HashMap` paths — the differential oracle. Results
+    /// are byte-identical either way; only per-row hashing/allocation
+    /// cost changes. Overridable via `HIVE_RAWTABLE_ENABLED`
+    /// (`0`/`false`/`off` disables, anything else enables).
+    pub rawtable_enabled: bool,
     /// Fault-injection plan (see [`crate::fault`]); `FaultPlan::none()`
     /// injects nothing.
     pub fault: crate::fault::FaultPlan,
@@ -144,6 +153,7 @@ impl HiveConf {
             parallel_threads: 0,
             dictionary_enabled: true,
             selvec_enabled: true,
+            rawtable_enabled: true,
             fault: crate::fault::FaultPlan::none(),
         }
     }
@@ -210,6 +220,16 @@ impl HiveConf {
         match std::env::var("HIVE_SELVEC_ENABLED") {
             Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
             Err(_) => self.selvec_enabled,
+        }
+    }
+
+    /// Resolve [`HiveConf::rawtable_enabled`]: the
+    /// `HIVE_RAWTABLE_ENABLED` environment variable wins (for
+    /// process-level differential sweeps), then the conf field.
+    pub fn effective_rawtable_enabled(&self) -> bool {
+        match std::env::var("HIVE_RAWTABLE_ENABLED") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
+            Err(_) => self.rawtable_enabled,
         }
     }
 }

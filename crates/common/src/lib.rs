@@ -13,6 +13,7 @@ pub mod conf;
 pub mod dates;
 pub mod error;
 pub mod fault;
+pub mod hash;
 pub mod ids;
 pub mod like;
 pub mod row;

@@ -10,10 +10,11 @@
 
 use crate::dict::{KeyPart, KeyReader};
 use crate::kernels::eval_vector;
+use crate::rawtable::{self, RawTable};
+use hive_common::hash::FNV_OFFSET;
 use hive_common::{ColumnVector, Result, Row, SelBatch, SelVec, Value, VectorBatch};
 use hive_optimizer::{AggExpr, AggFunc, ScalarExpr};
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// One in-flight aggregate state.
@@ -34,16 +35,82 @@ enum Acc {
         m2: f64,
     },
     Distinct {
-        seen: HashSet<Value>,
+        seen: DistinctSet,
         func: AggFunc,
     },
 }
 
+/// Dedup state for DISTINCT aggregates. Both representations keep the
+/// distinct values in first-seen order (`vals`), so fold-order
+/// sensitive finishers (SUM/AVG over doubles) are byte-identical
+/// across the `hive.exec.rawtable.enabled` toggle and across worker
+/// counts — a group's rows all live in one partition and arrive in
+/// ascending row order, so first-seen order is thread-invariant.
+#[derive(Debug, Clone)]
+enum DistinctSet {
+    /// `HashMap` oracle path (toggle off).
+    Map {
+        set: HashSet<Value>,
+        vals: Vec<Value>,
+    },
+    /// Flat-table path: dedup by canonical encoding bytes, no `Value`
+    /// clone for already-seen inputs.
+    Raw {
+        table: RawTable,
+        scratch: Vec<u8>,
+        vals: Vec<Value>,
+    },
+}
+
+impl DistinctSet {
+    fn new(use_rawtable: bool) -> DistinctSet {
+        if use_rawtable {
+            DistinctSet::Raw {
+                table: RawTable::new(),
+                scratch: Vec::new(),
+                vals: Vec::new(),
+            }
+        } else {
+            DistinctSet::Map {
+                set: HashSet::new(),
+                vals: Vec::new(),
+            }
+        }
+    }
+
+    fn insert(&mut self, v: &Value) {
+        match self {
+            DistinctSet::Map { set, vals } => {
+                if set.insert(v.clone()) {
+                    vals.push(v.clone());
+                }
+            }
+            DistinctSet::Raw {
+                table,
+                scratch,
+                vals,
+            } => {
+                let h = rawtable::hash_value(v, scratch);
+                let (_, inserted) = table.insert(h, scratch);
+                if inserted {
+                    vals.push(v.clone());
+                }
+            }
+        }
+    }
+
+    fn into_vals(self) -> Vec<Value> {
+        match self {
+            DistinctSet::Map { vals, .. } | DistinctSet::Raw { vals, .. } => vals,
+        }
+    }
+}
+
 impl Acc {
-    fn new(a: &AggExpr) -> Acc {
+    fn new(a: &AggExpr, use_rawtable: bool) -> Acc {
         if a.distinct {
             return Acc::Distinct {
-                seen: HashSet::new(),
+                seen: DistinctSet::new(use_rawtable),
                 func: a.func,
             };
         }
@@ -128,7 +195,7 @@ impl Acc {
             Acc::Distinct { seen, .. } => {
                 if let Some(x) = v {
                     if !x.is_null() {
-                        seen.insert(x.clone());
+                        seen.insert(x);
                     }
                 }
             }
@@ -155,42 +222,47 @@ impl Acc {
                     Value::Double((m2 / (n - 1) as f64).sqrt())
                 }
             }
-            Acc::Distinct { seen, func } => match func {
-                AggFunc::Count => Value::BigInt(seen.len() as i64),
-                AggFunc::Sum => {
-                    let mut acc: Option<Value> = None;
-                    for v in seen {
-                        acc = Some(match acc {
-                            None => v,
-                            Some(cur) => cur.add(&v)?,
-                        });
+            Acc::Distinct { seen, func } => {
+                // Fold in first-seen order (see [`DistinctSet`]) — the
+                // deterministic order both toggle arms share.
+                let vals = seen.into_vals();
+                match func {
+                    AggFunc::Count => Value::BigInt(vals.len() as i64),
+                    AggFunc::Sum => {
+                        let mut acc: Option<Value> = None;
+                        for v in vals {
+                            acc = Some(match acc {
+                                None => v,
+                                Some(cur) => cur.add(&v)?,
+                            });
+                        }
+                        acc.unwrap_or(Value::Null)
                     }
-                    acc.unwrap_or(Value::Null)
-                }
-                AggFunc::Avg => {
-                    let (mut s, mut n) = (0.0, 0);
-                    for v in &seen {
-                        if let Some(f) = v.as_f64() {
-                            s += f;
-                            n += 1;
+                    AggFunc::Avg => {
+                        let (mut s, mut n) = (0.0, 0);
+                        for v in &vals {
+                            if let Some(f) = v.as_f64() {
+                                s += f;
+                                n += 1;
+                            }
+                        }
+                        if n == 0 {
+                            Value::Null
+                        } else {
+                            Value::Double(s / n as f64)
                         }
                     }
-                    if n == 0 {
-                        Value::Null
-                    } else {
-                        Value::Double(s / n as f64)
-                    }
+                    AggFunc::Min => vals
+                        .into_iter()
+                        .min_by(|a, b| a.total_cmp_nulls_last(b))
+                        .unwrap_or(Value::Null),
+                    AggFunc::Max => vals
+                        .into_iter()
+                        .max_by(|a, b| a.total_cmp_nulls_last(b))
+                        .unwrap_or(Value::Null),
+                    AggFunc::StddevSamp => Value::Null,
                 }
-                AggFunc::Min => seen
-                    .into_iter()
-                    .min_by(|a, b| a.total_cmp_nulls_last(b))
-                    .unwrap_or(Value::Null),
-                AggFunc::Max => seen
-                    .into_iter()
-                    .max_by(|a, b| a.total_cmp_nulls_last(b))
-                    .unwrap_or(Value::Null),
-                AggFunc::StddevSamp => Value::Null,
-            },
+            }
         })
     }
 }
@@ -211,6 +283,7 @@ pub fn execute_aggregate(
         aggs,
         out_schema,
         1,
+        true,
     )
 }
 
@@ -223,6 +296,11 @@ pub fn execute_aggregate(
 ///
 /// `out_schema` is the logical node's output schema (group keys, aggs,
 /// and the grouping-id column when `grouping_sets` is present).
+///
+/// `rawtable` selects the flat-table build (`hive.exec.rawtable.enabled`);
+/// both arms are byte-identical — the `HashMap` arm stays as the
+/// differential oracle.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_aggregate_par(
     input: &SelBatch,
     group_exprs: &[ScalarExpr],
@@ -230,6 +308,7 @@ pub fn execute_aggregate_par(
     aggs: &[AggExpr],
     out_schema: &hive_common::Schema,
     workers: usize,
+    rawtable: bool,
 ) -> Result<VectorBatch> {
     let trivial = group_exprs
         .iter()
@@ -273,11 +352,16 @@ pub fn execute_aggregate_par(
         let gid: i64 = (0..group_exprs.len())
             .filter(|k| !set.contains(k))
             .fold(0i64, |acc, k| acc | (1 << k));
-        let mut groups = build_groups(&input.sel, &key_cols, &arg_cols, set, aggs, workers)?;
+        let mut groups = build_groups(
+            &input.sel, &key_cols, &arg_cols, set, aggs, workers, rawtable,
+        )?;
         // Global aggregation with no keys over empty input yields the
         // neutral row.
         if groups.is_empty() && set.is_empty() {
-            groups.push((Vec::new(), aggs.iter().map(Acc::new).collect()));
+            groups.push((
+                Vec::new(),
+                aggs.iter().map(|a| Acc::new(a, rawtable)).collect(),
+            ));
         }
         for (key, accs) in groups {
             let mut row: Vec<Value> = Vec::with_capacity(out_schema.len());
@@ -310,17 +394,26 @@ pub fn execute_aggregate_par(
     VectorBatch::from_rows(out_schema, &out_rows)
 }
 
-/// Stable hash of row `i`'s group key. `DefaultHasher::new()` uses
-/// fixed keys (unlike `RandomState`), so the partitioning — and with it
-/// the fault-free execution schedule — is deterministic across runs.
-/// (The hash only routes rows to partitions; result order comes from
-/// first-seen row indices, so dictionary codes are safe to hash here.)
-fn row_key_hash(readers: &[KeyReader<'_>], i: usize) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+/// Stable FNV-1a hashes of the group keys for selected positions
+/// `lo..hi`, computed column-wise: one pass per key column folding that
+/// column's canonical key-part encoding into every row's running state
+/// (the batch-at-a-time combine step; see [`hive_common::hash`]).
+///
+/// The same hash serves both toggle arms: it routes rows to build
+/// partitions (replacing the old per-row `DefaultHasher`), and on the
+/// flat-table arm it doubles as the table probe hash — by construction
+/// it equals `fnv1a` of the concatenated key-part encodings, i.e. of
+/// the arena key bytes. Routing is result-invisible (merge order comes
+/// from first-seen row indices), so dictionary codes are safe to hash.
+fn hash_rows(readers: &[KeyReader<'_>], sel: &SelVec, lo: usize, hi: usize) -> Vec<u64> {
+    let mut hs = vec![FNV_OFFSET; hi - lo];
+    let mut scratch: Vec<u8> = Vec::new();
     for r in readers {
-        r.part(i).hash(&mut h);
+        for (slot, h) in hs.iter_mut().enumerate() {
+            *h = r.fold_part_at(sel.index(lo + slot), *h, &mut scratch);
+        }
     }
-    h.finish()
+    hs
 }
 
 /// Build the aggregation state for one grouping set, returning groups
@@ -328,6 +421,7 @@ fn row_key_hash(readers: &[KeyReader<'_>], i: usize) -> u64 {
 /// the serial single-pass build discovers them in, for any `workers`
 /// count. Iteration runs over selected positions `0..sel.len()`; the
 /// key/arg columns span the batch domain and are read at `sel.index(p)`.
+#[allow(clippy::too_many_arguments)]
 fn build_groups(
     sel: &SelVec,
     key_cols: &[Arc<ColumnVector>],
@@ -335,6 +429,7 @@ fn build_groups(
     set: &[usize],
     aggs: &[AggExpr],
     workers: usize,
+    rawtable: bool,
 ) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
     let num_rows = sel.len();
     // Key access goes through per-column readers: dictionary-encoded
@@ -344,52 +439,70 @@ fn build_groups(
         .iter()
         .map(|&k| KeyReader::new(key_cols[k].as_ref()))
         .collect();
-    // Materialize a group's key parts into output scalars — once per
-    // group, not once per row.
-    let emit = |key: Vec<KeyPart>| -> Vec<Value> {
-        key.iter()
-            .zip(&readers)
-            .map(|(p, r)| r.value_of(p))
-            .collect()
+    // Dense group lookup for the common single-dictionary-key case:
+    // slot 0 is the NULL group, slot c+1 the group of code c — no
+    // per-row key bytes, no table probe at all (both arms).
+    let dense_len = match &readers[..] {
+        [r] => r.dict_len(),
+        _ => None,
     };
 
-    // One partition's build: fold every selected position whose stable
-    // key hash maps to this partition, in ascending position order
-    // (`filter` preserves it), tracking each group's first position for
-    // the deterministic merge.
-    #[allow(clippy::type_complexity)]
-    let build_partition = |positions: &mut dyn Iterator<Item = usize>,
-                           hashes: Option<(&[u64], usize, usize)>|
-     -> Result<Vec<(usize, Vec<KeyPart>, Vec<Acc>)>> {
+    let parallel = workers > 1 && num_rows >= 2;
+    // Hashes route rows to partitions (parallel build) and serve as the
+    // flat-table probe hash (rawtable arm, non-dense keys). The dense
+    // path indexes groups by code, so serial dense builds skip hashing
+    // entirely.
+    let need_hashes = parallel || (rawtable && dense_len.is_none() && num_rows > 0);
+    let hashes: Vec<u64> = if need_hashes {
+        let chunk = num_rows.div_ceil(workers.max(1)).max(1);
+        let nchunks = num_rows.div_ceil(chunk);
+        crate::par::parallel_map(workers.max(1), nchunks, |c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(num_rows);
+            Ok(hash_rows(&readers, sel, lo, hi))
+        })?
+        .concat()
+    } else {
+        Vec::new()
+    };
+
+    // Materialize a group's key scalars from its first-seen position —
+    // once per group, not once per row.
+    let emit_pos = |pos: usize| -> Vec<Value> {
+        let i = sel.index(pos);
+        readers.iter().map(|r| r.value_of(&r.part(i))).collect()
+    };
+
+    // One partition's build, `HashMap` arm (the differential oracle):
+    // fold every selected position whose stable key hash maps to this
+    // partition, in ascending position order (`filter` preserves it),
+    // tracking each group's first position for the deterministic merge.
+    // `hashes` is only indexed under `route` (it stays empty when no
+    // routing or flat table needs it), so position-loop indexing is
+    // the correct shape, not a zip candidate.
+    #[allow(clippy::type_complexity, clippy::needless_range_loop)]
+    let build_partition = |route: Option<(usize, usize)>| -> Result<Vec<(usize, Vec<Acc>)>> {
         let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
-        let mut groups: Vec<(usize, Vec<KeyPart>, Vec<Acc>)> = Vec::new();
-        // Dense group lookup for the common single-dictionary-key case:
-        // slot 0 is the NULL group, slot c+1 the group of code c — no
-        // per-row key Vec, no hashing at all.
-        let dense_len = match &readers[..] {
-            [r] => r.dict_len(),
-            _ => None,
-        };
+        let mut groups: Vec<(usize, Vec<Acc>)> = Vec::new();
         let mut dense: Vec<usize> = vec![usize::MAX; dense_len.map_or(0, |d| d + 1)];
-        for pos in positions {
-            if let Some((hashes, nparts, p)) = hashes {
+        for pos in 0..num_rows {
+            if let Some((nparts, p)) = route {
                 if hashes[pos] as usize % nparts != p {
                     continue;
                 }
             }
             let i = sel.index(pos);
             let gi = if dense_len.is_some() {
-                let part = readers[0].part(i);
-                let slot = match &part {
+                let slot = match readers[0].part(i) {
                     KeyPart::Null => 0,
-                    KeyPart::Code(c) => *c as usize + 1,
+                    KeyPart::Code(c) => c as usize + 1,
                     // invariant: a reader with dict_len() set only
                     // emits Null and Code parts.
                     KeyPart::Val(_) => unreachable!("value part from a dictionary reader"),
                 };
                 if dense[slot] == usize::MAX {
                     dense[slot] = groups.len();
-                    groups.push((pos, vec![part], aggs.iter().map(Acc::new).collect()));
+                    groups.push((pos, aggs.iter().map(|a| Acc::new(a, false)).collect()));
                 }
                 dense[slot]
             } else {
@@ -398,13 +511,13 @@ fn build_groups(
                     Some(&g) => g,
                     None => {
                         let g = groups.len();
-                        index.insert(key.clone(), g);
-                        groups.push((pos, key, aggs.iter().map(Acc::new).collect()));
+                        index.insert(key, g);
+                        groups.push((pos, aggs.iter().map(|a| Acc::new(a, false)).collect()));
                         g
                     }
                 }
             };
-            for (acc, arg) in groups[gi].2.iter_mut().zip(arg_cols) {
+            for (acc, arg) in groups[gi].1.iter_mut().zip(arg_cols) {
                 let v = arg.as_ref().map(|c| c.get(i));
                 acc.update(v.as_ref())?;
             }
@@ -412,37 +525,80 @@ fn build_groups(
         Ok(groups)
     };
 
-    if workers <= 1 || num_rows < 2 {
-        let groups = build_partition(&mut (0..num_rows), None)?;
-        return Ok(groups.into_iter().map(|(_, k, a)| (emit(k), a)).collect());
+    // One partition's build, flat-table arm: group index = table entry
+    // id (entry ids are dense in insertion order, and groups are pushed
+    // on insertion, so they stay aligned). Keys live as canonical bytes
+    // in the table arena — no per-group `Vec<KeyPart>` and no `Value`
+    // clones until emit.
+    #[allow(clippy::needless_range_loop)] // see `build_partition`
+    let build_partition_raw = |route: Option<(usize, usize)>| -> Result<Vec<(usize, Vec<Acc>)>> {
+        let mut table = RawTable::new();
+        let mut scratch: Vec<u8> = Vec::new();
+        let mut groups: Vec<(usize, Vec<Acc>)> = Vec::new();
+        let mut dense: Vec<usize> = vec![usize::MAX; dense_len.map_or(0, |d| d + 1)];
+        for pos in 0..num_rows {
+            if let Some((nparts, p)) = route {
+                if hashes[pos] as usize % nparts != p {
+                    continue;
+                }
+            }
+            let i = sel.index(pos);
+            let gi = if dense_len.is_some() {
+                let slot = match readers[0].part(i) {
+                    KeyPart::Null => 0,
+                    KeyPart::Code(c) => c as usize + 1,
+                    // invariant: see `build_partition`.
+                    KeyPart::Val(_) => unreachable!("value part from a dictionary reader"),
+                };
+                if dense[slot] == usize::MAX {
+                    dense[slot] = groups.len();
+                    groups.push((pos, aggs.iter().map(|a| Acc::new(a, true)).collect()));
+                }
+                dense[slot]
+            } else {
+                scratch.clear();
+                for r in &readers {
+                    r.encode_part_at(i, &mut scratch);
+                }
+                let (e, inserted) = table.insert(hashes[pos], &scratch);
+                if inserted {
+                    groups.push((pos, aggs.iter().map(|a| Acc::new(a, true)).collect()));
+                }
+                e as usize
+            };
+            for (acc, arg) in groups[gi].1.iter_mut().zip(arg_cols) {
+                let v = arg.as_ref().map(|c| c.get(i));
+                acc.update(v.as_ref())?;
+            }
+        }
+        Ok(groups)
+    };
+
+    let build = |route: Option<(usize, usize)>| {
+        if rawtable {
+            build_partition_raw(route)
+        } else {
+            build_partition(route)
+        }
+    };
+
+    if !parallel {
+        let groups = build(None)?;
+        return Ok(groups
+            .into_iter()
+            .map(|(pos, a)| (emit_pos(pos), a))
+            .collect());
     }
 
-    // Stage 1: stable key hashes, computed over contiguous position
-    // chunks in parallel (a pure per-row function — chunking cannot
-    // change it).
-    let chunk = num_rows.div_ceil(workers).max(1);
-    let nchunks = num_rows.div_ceil(chunk);
-    let hashes: Vec<u64> = crate::par::parallel_map(workers, nchunks, |c| {
-        let lo = c * chunk;
-        let hi = ((c + 1) * chunk).min(num_rows);
-        Ok((lo..hi)
-            .map(|pos| row_key_hash(&readers, sel.index(pos)))
-            .collect::<Vec<u64>>())
-    })?
-    .concat();
-
-    // Stage 2: one build per hash partition. A group's rows all share a
-    // hash, so they live in exactly one partition and fold in position
-    // order.
+    // One build per hash partition. A group's rows all share a hash, so
+    // they live in exactly one partition and fold in position order;
+    // the merge sorts by global first-seen position, restoring the
+    // serial discovery order.
     let nparts = workers;
-    let parts = crate::par::parallel_map(workers, nparts, |p| {
-        build_partition(&mut (0..num_rows), Some((&hashes, nparts, p)))
-    })?;
-
-    // Stage 3: deterministic merge — global first-seen-position order.
-    let mut all: Vec<(usize, Vec<KeyPart>, Vec<Acc>)> = parts.into_iter().flatten().collect();
-    all.sort_by_key(|(first_pos, _, _)| *first_pos);
-    Ok(all.into_iter().map(|(_, k, a)| (emit(k), a)).collect())
+    let parts = crate::par::parallel_map(workers, nparts, |p| build(Some((nparts, p))))?;
+    let mut all: Vec<(usize, Vec<Acc>)> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|(first_pos, _)| *first_pos);
+    Ok(all.into_iter().map(|(pos, a)| (emit_pos(pos), a)).collect())
 }
 
 #[cfg(test)]
@@ -642,14 +798,103 @@ mod tests {
         .collect::<Vec<_>>();
         let out_schema = agg_schema(&b, &groups, &None, &aggs);
         let sb = SelBatch::from_batch(b);
-        let base = execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1).unwrap();
+        // Oracle: serial HashMap build. Every (workers, rawtable) combo
+        // must reproduce it byte for byte.
+        let base =
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false).unwrap();
         let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
         assert_eq!(base.num_rows(), 98); // 97 int keys + NULL group
-        for workers in [2, 8] {
-            let out =
-                execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, workers).unwrap();
-            let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
-            assert_eq!(got, base_rows, "{workers} workers diverged");
+        for workers in [1, 2, 8] {
+            for rawtable in [false, true] {
+                let out = execute_aggregate_par(
+                    &sb,
+                    &groups,
+                    &None,
+                    &aggs,
+                    &out_schema,
+                    workers,
+                    rawtable,
+                )
+                .unwrap();
+                let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
+                assert_eq!(
+                    got, base_rows,
+                    "{workers} workers rawtable={rawtable} diverged"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn distinct_aggregates_match_across_toggle_and_workers() {
+        // DISTINCT SUM over doubles is fold-order sensitive: identical
+        // output across the toggle and worker counts pins the shared
+        // first-seen dedup order.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Double),
+        ]);
+        let rows: Vec<Row> = (0..4_000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 7),
+                    Value::Double((i * 31 % 113) as f64 * 0.125 - 3.0),
+                ])
+            })
+            .collect();
+        let b = VectorBatch::from_rows(&schema, &rows).unwrap();
+        let groups = vec![ScalarExpr::Column(0)];
+        let aggs: Vec<AggExpr> = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg]
+            .into_iter()
+            .map(|func| AggExpr {
+                func,
+                arg: Some(ScalarExpr::Column(1)),
+                distinct: true,
+            })
+            .collect();
+        let out_schema = agg_schema(&b, &groups, &None, &aggs);
+        let sb = SelBatch::from_batch(b);
+        let base =
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false).unwrap();
+        let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
+        for workers in [1, 4] {
+            for rawtable in [false, true] {
+                let out = execute_aggregate_par(
+                    &sb,
+                    &groups,
+                    &None,
+                    &aggs,
+                    &out_schema,
+                    workers,
+                    rawtable,
+                )
+                .unwrap();
+                let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
+                assert_eq!(
+                    got, base_rows,
+                    "{workers} workers rawtable={rawtable} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routing_hashes_are_pinned_fnv1a() {
+        // Partition routing must stay on FNV-1a over the canonical key
+        // encoding forever: a silent hash change would reshuffle rows
+        // across build partitions and change the fault-injection
+        // schedule (not results). Pinned against the vectors in
+        // hive_common::hash.
+        let ints = ColumnVector::Int(vec![42, 1], None);
+        let strs = ColumnVector::Str(vec!["ab".into(), "cd".into()], None);
+        let r_int = KeyReader::new(&ints);
+        let hs = hash_rows(&[r_int], &SelVec::all(2), 0, 2);
+        assert_eq!(hs[0], 0xb960_a184_f070_32c6); // fnv1a(enc(Int 42))
+        assert_eq!(hs[1], 0x7194_f3e5_9ae4_7dcd); // fnv1a(enc(Int 1))
+        let r_int = KeyReader::new(&ints);
+        let r_str = KeyReader::new(&strs);
+        let hs = hash_rows(&[r_int, r_str], &SelVec::all(2), 0, 2);
+        // Column-wise folding equals fnv1a over the concatenated parts.
+        assert_eq!(hs[0], 0x6161_74ad_148e_10c7); // fnv1a(enc(Int 42) ++ enc(Str "ab"))
     }
 }

@@ -6,7 +6,7 @@
 //! while every other column contributes the scalar value, exactly as
 //! the pre-dictionary code did with `Vec<Value>` keys.
 
-use hive_common::{BitSet, ColumnVector, Value};
+use hive_common::{hash, BitSet, ColumnVector, Value};
 use std::sync::Arc;
 
 /// One component of a grouping/partition key.
@@ -68,6 +68,48 @@ impl<'a> KeyReader<'a> {
     /// (codes are then dense in `0..dict_len`).
     pub fn dict_len(&self) -> Option<usize> {
         self.dict.as_ref().map(|(_, d, _)| d.len())
+    }
+
+    /// Append row `i`'s canonical key-part encoding (the flat-table key
+    /// bytes, see [`hive_common::hash`]): the dictionary code on the
+    /// code fast path, otherwise the cell's canonical value bytes.
+    #[inline]
+    pub fn encode_part_at(&self, i: usize, out: &mut Vec<u8>) {
+        match &self.dict {
+            Some((codes, _, nulls)) => {
+                if nulls.is_some_and(|n| n.get(i)) {
+                    out.push(hash::TAG_NULL);
+                } else {
+                    hash::encode_code(codes[i], out);
+                }
+            }
+            None => crate::rawtable::encode_cell(self.col, i, out),
+        }
+    }
+
+    /// Fold row `i`'s key-part encoding into an in-progress FNV-1a
+    /// state — the column-wise hash combine step. The dict-code fast
+    /// path folds five fixed bytes from a stack buffer; other columns
+    /// encode into `scratch` (cleared and reused, allocation-free after
+    /// warm-up) and fold that.
+    #[inline]
+    pub fn fold_part_at(&self, i: usize, h: u64, scratch: &mut Vec<u8>) -> u64 {
+        match &self.dict {
+            Some((codes, _, nulls)) => {
+                if nulls.is_some_and(|n| n.get(i)) {
+                    hash::fnv1a_extend(h, &[hash::TAG_NULL])
+                } else {
+                    let mut buf = [hash::TAG_CODE, 0, 0, 0, 0];
+                    buf[1..].copy_from_slice(&codes[i].to_le_bytes());
+                    hash::fnv1a_extend(h, &buf)
+                }
+            }
+            None => {
+                scratch.clear();
+                crate::rawtable::encode_cell(self.col, i, scratch);
+                hash::fnv1a_extend(h, scratch)
+            }
+        }
     }
 
     /// Materialize a part produced by this reader back to its scalar.

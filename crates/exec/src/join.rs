@@ -10,6 +10,8 @@
 //! the serial probe order.
 
 use crate::kernels::eval_vector;
+use crate::rawtable::{self, RawTable};
+use hive_common::hash::{self, FNV_OFFSET};
 use hive_common::{
     BitSet, ColumnBuilder, ColumnVector, HiveError, Result, Schema, SelBatch, SelVec, Value,
     VectorBatch,
@@ -18,7 +20,6 @@ use hive_optimizer::eval::eval_scalar;
 use hive_optimizer::plan::JoinType;
 use hive_optimizer::ScalarExpr;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Execute a join over compact batches (serial path; identical results
@@ -41,6 +42,7 @@ pub fn execute_join(
         out_schema,
         build_row_budget,
         1,
+        true,
     )
 }
 
@@ -158,26 +160,122 @@ impl<'a> JoinCodec<'a> {
             }
         }
     }
+
+    /// Append build row `i`'s canonical key-part encoding (the flat
+    /// table's arena bytes, see [`hive_common::hash`]); `false` = NULL
+    /// key value, nothing appended.
+    #[inline]
+    fn encode_build_part(&self, i: usize, out: &mut Vec<u8>) -> bool {
+        match self {
+            JoinCodec::Codes {
+                rcodes,
+                rnulls,
+                rcanon,
+                ..
+            } => {
+                if rnulls.is_some_and(|n| n.get(i)) {
+                    false
+                } else {
+                    hash::encode_code(rcanon[rcodes[i] as usize], out);
+                    true
+                }
+            }
+            JoinCodec::Vals { r, .. } => rawtable::try_encode_cell(r, i, out),
+        }
+    }
+
+    /// Append probe row `i`'s canonical key-part encoding; `false` =
+    /// NULL. A left dictionary entry absent from the right dictionary
+    /// encodes as `TAG_MISS`, which no build key contains — the lookup
+    /// fails, exactly as [`JPart::Miss`] does on the `HashMap` arm.
+    #[inline]
+    fn encode_probe_part(&self, i: usize, out: &mut Vec<u8>) -> bool {
+        match self {
+            JoinCodec::Codes {
+                lcodes,
+                lnulls,
+                probe_map,
+                ..
+            } => {
+                if lnulls.is_some_and(|n| n.get(i)) {
+                    false
+                } else {
+                    match probe_map[lcodes[i] as usize] {
+                        Some(c) => hash::encode_code(c, out),
+                        None => hash::encode_miss(out),
+                    }
+                    true
+                }
+            }
+            JoinCodec::Vals { l, .. } => rawtable::try_encode_cell(l, i, out),
+        }
+    }
+
+    /// Fold row `i`'s key-part encoding into an in-progress FNV-1a
+    /// state (the column-wise hash combine step); `None` = NULL key
+    /// value. `scratch` is cleared and reused across calls.
+    #[inline]
+    fn fold_part(&self, i: usize, build: bool, h: u64, scratch: &mut Vec<u8>) -> Option<u64> {
+        scratch.clear();
+        let ok = if build {
+            self.encode_build_part(i, scratch)
+        } else {
+            self.encode_probe_part(i, scratch)
+        };
+        if ok {
+            Some(hash::fnv1a_extend(h, scratch))
+        } else {
+            None
+        }
+    }
 }
 
-/// Stable hash of row `i`'s join key parts; `None` when any key value
-/// is NULL (NULL keys never match, and never enter the build). With no
-/// key columns (cross-style joins) every row shares the hash of the
-/// empty key. `DefaultHasher::new()` is deterministic, so the partition
-/// assignment replays identically across runs. (The hash only routes
-/// rows to partitions; output order comes from probe range order, so
-/// hashing codes instead of strings cannot change results.)
-fn row_key_hash(codecs: &[JoinCodec<'_>], i: usize, build: bool) -> Option<u64> {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+/// Stable FNV-1a hashes of rows `lo..hi`'s join keys, computed
+/// column-wise — one pass per key column folding that column's
+/// canonical encoding into every row's running state. `None` when any
+/// key value is NULL (NULL keys never match, and never enter the
+/// build). With no key columns (cross-style joins) every row shares the
+/// hash of the empty key.
+///
+/// The same hash routes rows to build partitions on both toggle arms
+/// (replacing the old per-row `DefaultHasher`) and probes the flat
+/// table on the rawtable arm — by construction it equals `fnv1a` of the
+/// concatenated key-part encodings, i.e. of the arena key bytes.
+/// (Routing is result-invisible: output order comes from probe range
+/// order, so hashing codes instead of strings cannot change results.)
+fn hash_rows(codecs: &[JoinCodec<'_>], lo: usize, hi: usize, build: bool) -> Vec<Option<u64>> {
+    let mut hs = vec![Some(FNV_OFFSET); hi - lo];
+    let mut scratch: Vec<u8> = Vec::new();
     for c in codecs {
-        let p = if build {
-            c.build_part(i)
-        } else {
-            c.probe_part(i)
-        };
-        p?.hash(&mut h);
+        for (slot, h) in hs.iter_mut().enumerate() {
+            if let Some(cur) = *h {
+                *h = c.fold_part(lo + slot, build, cur, &mut scratch);
+            }
+        }
     }
-    Some(h.finish())
+    hs
+}
+
+/// One partition of the flat-table join build. Each entry's candidate
+/// list is a singly linked chain through `next` in insertion
+/// (ascending right position) order — byte-compatible with the
+/// serial `HashMap` build's `Vec<u32>` push order.
+#[derive(Default)]
+struct RawBuild {
+    table: RawTable,
+    /// Per table entry: first/last chain link (indexes into `rows`).
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// Per inserted build row: right-side position, and the next link
+    /// in its entry's chain (`u32::MAX` terminates).
+    rows: Vec<u32>,
+    next: Vec<u32>,
+}
+
+/// The build side under either toggle arm.
+enum BuildSide {
+    Map(Vec<HashMap<Vec<JPart>, Vec<u32>>>),
+    Raw(Vec<RawBuild>),
 }
 
 /// Execute a join with hash-partitioned parallel build and ranged
@@ -193,6 +291,10 @@ fn row_key_hash(codecs: &[JoinCodec<'_>], i: usize, build: bool) -> Option<u64> 
 /// The build side is the right input; exceeding `build_row_budget`
 /// raises a retryable error so the driver can re-optimize with runtime
 /// statistics.
+///
+/// `rawtable` selects the flat-table build (`hive.exec.rawtable.enabled`);
+/// both arms are byte-identical — the `HashMap` arm stays as the
+/// differential oracle.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_join_par(
     left_in: &SelBatch,
@@ -203,6 +305,7 @@ pub fn execute_join_par(
     out_schema: &Schema,
     build_row_budget: usize,
     workers: usize,
+    rawtable: bool,
 ) -> Result<VectorBatch> {
     if right_in.num_rows() > build_row_budget {
         return Err(HiveError::Retryable(format!(
@@ -266,7 +369,10 @@ pub fn execute_join_par(
     // inserts its rows in ascending order, so every bucket's candidate
     // list is exactly what the serial single-map build produces.
     let nparts = if workers <= 1 { 1 } else { workers };
-    let rhashes: Vec<Option<u64>> = if nparts == 1 {
+    // Build-side key hashes: route rows to partitions (parallel build)
+    // and double as the flat-table probe hash (rawtable arm at any
+    // worker count). The serial HashMap build needs neither.
+    let rhashes: Vec<Option<u64>> = if nparts == 1 && !rawtable {
         Vec::new()
     } else {
         let n = right.num_rows();
@@ -274,14 +380,41 @@ pub fn execute_join_par(
         crate::par::parallel_map(workers, n.div_ceil(chunk), |c| {
             let lo = c * chunk;
             let hi = ((c + 1) * chunk).min(n);
-            Ok((lo..hi)
-                .map(|i| row_key_hash(&codecs, i, true))
-                .collect::<Vec<_>>())
+            Ok(hash_rows(&codecs, lo, hi, true))
         })?
         .concat()
     };
-    let tables: Vec<HashMap<Vec<JPart>, Vec<u32>>> =
-        crate::par::parallel_map(workers, nparts, |p| {
+    let build_side: BuildSide = if rawtable {
+        let parts = crate::par::parallel_map(workers, nparts, |p| {
+            let mut b = RawBuild::default();
+            let mut scratch: Vec<u8> = Vec::new();
+            for (i, rh) in rhashes.iter().enumerate() {
+                let h = match *rh {
+                    Some(h) if nparts == 1 || h as usize % nparts == p => h,
+                    _ => continue, // NULL key or other partition
+                };
+                scratch.clear();
+                for c in &codecs {
+                    // invariant: the hash existed, so no part is NULL.
+                    c.encode_build_part(i, &mut scratch);
+                }
+                let (e, inserted) = b.table.insert(h, &scratch);
+                let link = b.rows.len() as u32;
+                b.rows.push(i as u32);
+                b.next.push(u32::MAX);
+                if inserted {
+                    b.head.push(link);
+                    b.tail.push(link);
+                } else {
+                    b.next[b.tail[e as usize] as usize] = link;
+                    b.tail[e as usize] = link;
+                }
+            }
+            Ok(b)
+        })?;
+        BuildSide::Raw(parts)
+    } else {
+        let tables = crate::par::parallel_map(workers, nparts, |p| {
             let mut table: HashMap<Vec<JPart>, Vec<u32>> = HashMap::new();
             #[allow(clippy::needless_range_loop)] // `i` is a row id, not just an index
             'rows: for i in 0..right.num_rows() {
@@ -302,6 +435,8 @@ pub fn execute_join_par(
             }
             Ok(table)
         })?;
+        BuildSide::Map(tables)
+    };
 
     let residual_ok = |li: u32, ri: u32| -> Result<bool> {
         match residual {
@@ -317,71 +452,95 @@ pub fn execute_join_par(
     // --- probe ------------------------------------------------------------
     // Contiguous left-row ranges probed in parallel; range outputs
     // concatenate in range order, reproducing the serial probe order.
+    // Each range hashes its probe keys column-wise up front, then walks
+    // rows with reused key buffers — no per-row allocation on either
+    // arm (the `Vec<JPart>` and candidate-list clones are gone).
     let probe_range = |lo: u32, hi: u32| -> Result<ProbeOut> {
         let mut out = ProbeOut::default();
+        let phashes = hash_rows(&codecs, lo as usize, hi as usize, false);
+        let mut kept: Vec<u32> = Vec::new();
+        let mut key_parts: Vec<JPart> = Vec::with_capacity(codecs.len());
+        let mut scratch: Vec<u8> = Vec::new();
         for li in lo..hi {
-            // Probe key (NULLs never match).
-            let (probe, part): (Option<Vec<JPart>>, usize) =
-                match row_key_hash(&codecs, li as usize, false) {
-                    None => (None, 0),
-                    Some(h) => {
-                        let key = codecs
-                            .iter()
-                            .map(|c| c.probe_part(li as usize))
-                            .collect::<Option<Vec<_>>>();
-                        // invariant: the hash existed, so no part is NULL.
-                        (key, h as usize % nparts)
-                    }
-                };
-            let matches: Vec<u32> = match probe.and_then(|k| tables[part].get(&k).cloned()) {
-                Some(cands) => {
-                    let mut kept = Vec::with_capacity(cands.len());
-                    for ri in cands {
-                        if residual_ok(li, ri)? {
-                            kept.push(ri);
+            kept.clear();
+            // NULL probe keys (hash `None`) never match.
+            if let Some(h) = phashes[(li - lo) as usize] {
+                let part = h as usize % nparts;
+                match &build_side {
+                    BuildSide::Map(tables) => {
+                        key_parts.clear();
+                        for c in &codecs {
+                            match c.probe_part(li as usize) {
+                                Some(p) => key_parts.push(p),
+                                // invariant: the hash existed, so no
+                                // part is NULL.
+                                None => unreachable!("NULL key part under a non-NULL key hash"),
+                            }
+                        }
+                        if let Some(cands) = tables[part].get(key_parts.as_slice()) {
+                            for &ri in cands {
+                                if residual_ok(li, ri)? {
+                                    kept.push(ri);
+                                }
+                            }
                         }
                     }
-                    kept
+                    BuildSide::Raw(builds) => {
+                        scratch.clear();
+                        for c in &codecs {
+                            c.encode_probe_part(li as usize, &mut scratch);
+                        }
+                        let b = &builds[part];
+                        if let Some(e) = b.table.find(h, &scratch) {
+                            let mut link = b.head[e as usize];
+                            while link != u32::MAX {
+                                let ri = b.rows[link as usize];
+                                if residual_ok(li, ri)? {
+                                    kept.push(ri);
+                                }
+                                link = b.next[link as usize];
+                            }
+                        }
+                    }
                 }
-                None => Vec::new(),
-            };
+            }
             match join_type {
                 JoinType::Inner | JoinType::Cross => {
-                    for ri in matches {
+                    for &ri in &kept {
                         out.left.push(li);
                         out.right.push(Some(ri));
                     }
                 }
                 JoinType::Left => {
-                    if matches.is_empty() {
+                    if kept.is_empty() {
                         out.left.push(li);
                         out.right.push(None);
                     } else {
-                        for ri in matches {
+                        for &ri in &kept {
                             out.left.push(li);
                             out.right.push(Some(ri));
                         }
                     }
                 }
                 JoinType::Right | JoinType::Full => {
-                    for &ri in &matches {
+                    for &ri in &kept {
                         out.matched_right.push(ri);
                         out.left.push(li);
                         out.right.push(Some(ri));
                     }
-                    if join_type == JoinType::Full && matches.is_empty() {
+                    if join_type == JoinType::Full && kept.is_empty() {
                         out.left.push(li);
                         out.right.push(None);
                     }
                 }
                 JoinType::Semi => {
-                    if !matches.is_empty() {
+                    if !kept.is_empty() {
                         out.left.push(li);
                         out.right.push(None);
                     }
                 }
                 JoinType::Anti => {
-                    if matches.is_empty() {
+                    if kept.is_empty() {
                         out.left.push(li);
                         out.right.push(None);
                     }
@@ -740,25 +899,106 @@ mod tests {
             };
             let lsb = SelBatch::from_batch(l.clone());
             let rsb = SelBatch::from_batch(r.clone());
-            let base =
-                execute_join_par(&lsb, &rsb, jt, &equi, &None, &out_schema, 1_000_000, 1).unwrap();
+            // Oracle: serial HashMap build. Every (workers, rawtable)
+            // combo must reproduce it byte for byte.
+            let base = execute_join_par(
+                &lsb,
+                &rsb,
+                jt,
+                &equi,
+                &None,
+                &out_schema,
+                1_000_000,
+                1,
+                false,
+            )
+            .unwrap();
             let base_rows: Vec<String> = base.to_rows().iter().map(|row| row.to_string()).collect();
             assert!(base.num_rows() > 0, "{jt:?} produced no rows");
-            for workers in [2, 8] {
-                let out = execute_join_par(
-                    &lsb,
-                    &rsb,
-                    jt,
-                    &equi,
-                    &None,
-                    &out_schema,
-                    1_000_000,
-                    workers,
-                )
-                .unwrap();
-                let rows: Vec<String> = out.to_rows().iter().map(|row| row.to_string()).collect();
-                assert_eq!(rows, base_rows, "{jt:?} with {workers} workers diverged");
+            for workers in [1, 2, 8] {
+                for rawtable in [false, true] {
+                    let out = execute_join_par(
+                        &lsb,
+                        &rsb,
+                        jt,
+                        &equi,
+                        &None,
+                        &out_schema,
+                        1_000_000,
+                        workers,
+                        rawtable,
+                    )
+                    .unwrap();
+                    let rows: Vec<String> =
+                        out.to_rows().iter().map(|row| row.to_string()).collect();
+                    assert_eq!(
+                        rows, base_rows,
+                        "{jt:?} with {workers} workers rawtable={rawtable} diverged"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn join_routing_hashes_are_pinned_fnv1a() {
+        // Routing must stay on FNV-1a over the canonical key encoding:
+        // a silent change would reshuffle build partitions and the
+        // fault-injection schedule. Pinned against hive_common::hash.
+        let ints = ColumnVector::Int(
+            vec![42, 1],
+            Some({
+                let mut n = hive_common::BitSet::new(2);
+                n.set(1);
+                n
+            }),
+        );
+        let other = ColumnVector::Int(vec![42, 1], None);
+        let codecs = vec![JoinCodec::new(&ints, &other)];
+        let hs = hash_rows(&codecs, 0, 2, false);
+        assert_eq!(hs[0], Some(0xb960_a184_f070_32c6)); // fnv1a(enc(Int 42))
+        assert_eq!(hs[1], None); // NULL key never hashes
+        let hs = hash_rows(&codecs, 0, 2, true);
+        assert_eq!(hs[0], Some(0xb960_a184_f070_32c6));
+        assert_eq!(hs[1], Some(0x7194_f3e5_9ae4_7dcd)); // fnv1a(enc(Int 1))
+    }
+
+    #[test]
+    fn dict_join_keys_match_across_toggle() {
+        // dict×dict joins key on right-side codes; dict-only-left
+        // entries must miss on both arms. Columns are built as real
+        // dictionary vectors so the `Codes` codec engages.
+        let mk = |codes: Vec<u32>, dict: &[&str]| {
+            let schema = Schema::new(vec![Field::new("k", DataType::String)]);
+            let dict = Arc::new(dict.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+            let col = ColumnVector::dict_from_codes(codes, dict, None).unwrap();
+            let n = col.len();
+            VectorBatch::new_with_rows(schema, vec![col], n).unwrap()
+        };
+        // l: a b c a zz — "c"/"zz" absent from the right dictionary.
+        let l = mk(vec![0, 1, 2, 0, 3], &["a", "b", "c", "zz"]);
+        let r = mk(vec![0, 1, 0], &["b", "a"]);
+        let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
+        let out_schema = l.schema().join(r.schema());
+        let lsb = SelBatch::from_batch(l);
+        let rsb = SelBatch::from_batch(r);
+        let run = |rawtable: bool| -> Vec<String> {
+            let out = execute_join_par(
+                &lsb,
+                &rsb,
+                JoinType::Left,
+                &equi,
+                &None,
+                &out_schema,
+                1_000_000,
+                1,
+                rawtable,
+            )
+            .unwrap();
+            out.to_rows().iter().map(|row| row.to_string()).collect()
+        };
+        let oracle = run(false);
+        assert_eq!(run(true), oracle);
+        assert!(oracle.contains(&"zz\tNULL".to_string()), "{oracle:?}");
     }
 }

@@ -19,6 +19,7 @@ pub mod engine;
 pub mod join;
 pub mod kernels;
 pub(crate) mod par;
+pub mod rawtable;
 pub mod recovery;
 pub mod scan;
 pub mod simtime;
@@ -28,4 +29,5 @@ pub use engine::{
     execute, execute_sel, execute_simple, ExecContext, ExternalScanResult, ExternalScanner,
     FaultCharges, NodeTrace, SnapshotProvider, WideOpenSnapshots,
 };
+pub use rawtable::RawTable;
 pub use simtime::{simulate_ms, summarize, SimCostModel, SimSummary};

@@ -3,6 +3,8 @@
 
 use crate::dict::{KeyPart, KeyReader};
 use crate::kernels::eval_vector;
+use crate::rawtable::RawTable;
+use hive_common::hash;
 use hive_common::{ColumnBuilder, ColumnVector, Result, SelBatch, SelVec, Value, VectorBatch};
 use hive_optimizer::plan::window_output_type;
 use hive_optimizer::{AggFunc, ScalarExpr, WindowExpr, WindowFunc};
@@ -14,10 +16,14 @@ use std::sync::Arc;
 /// per window expression is appended. The input arrives as a
 /// `(batch, selection)` pair; output is 1:1 with the *selected* rows
 /// (window output is compact — a pipeline breaker by nature).
+/// `rawtable` selects the flat-table partition index
+/// (`hive.exec.rawtable.enabled`); both arms bucket identical rows —
+/// the `HashMap` arm stays as the differential oracle.
 pub fn execute_window(
     input: &SelBatch,
     windows: &[WindowExpr],
     out_schema: &hive_common::Schema,
+    rawtable: bool,
 ) -> Result<VectorBatch> {
     // Bare columns and literals read straight through the selection;
     // computed expressions need a compact domain, so compact once.
@@ -48,7 +54,7 @@ pub fn execute_window(
     };
     for w in windows {
         let dt = window_output_type(w, input.schema());
-        let values = eval_one_window(&input, w)?;
+        let values = eval_one_window(&input, w, rawtable)?;
         let mut b = ColumnBuilder::new(&dt)?;
         for v in &values {
             b.push(v)?;
@@ -63,7 +69,7 @@ pub fn execute_window(
 /// Evaluate one window expression. All bookkeeping (partition lists,
 /// sort order, frames, the output vec) lives in *position* space
 /// (0..selected rows); column reads map through `input.sel`.
-fn eval_one_window(input: &SelBatch, w: &WindowExpr) -> Result<Vec<Value>> {
+fn eval_one_window(input: &SelBatch, w: &WindowExpr, rawtable: bool) -> Result<Vec<Value>> {
     let n = input.num_rows();
     let at = |pos: usize| input.sel.index(pos);
     // Partition keys and order keys evaluated once.
@@ -91,19 +97,41 @@ fn eval_one_window(input: &SelBatch, w: &WindowExpr) -> Result<Vec<Value>> {
         .iter()
         .map(|c| KeyReader::new(c.as_ref()))
         .collect();
-    let mut partitions: std::collections::HashMap<Vec<KeyPart>, Vec<usize>> =
-        std::collections::HashMap::new();
-    for pos in 0..n {
-        let key: Vec<KeyPart> = part_readers.iter().map(|r| r.part(at(pos))).collect();
-        partitions.entry(key).or_default().push(pos);
-    }
+    let buckets: Vec<Vec<usize>> = if rawtable {
+        // Flat-table arm: partitions keyed by canonical key-part bytes
+        // in the table arena; bucket index = entry id (dense in
+        // first-seen order), no per-row `Vec<KeyPart>`.
+        let mut table = RawTable::new();
+        let mut scratch: Vec<u8> = Vec::new();
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        for pos in 0..n {
+            scratch.clear();
+            for r in &part_readers {
+                r.encode_part_at(at(pos), &mut scratch);
+            }
+            let (e, inserted) = table.insert(hash::fnv1a(&scratch), &scratch);
+            if inserted {
+                buckets.push(Vec::new());
+            }
+            buckets[e as usize].push(pos);
+        }
+        buckets
+    } else {
+        let mut partitions: std::collections::HashMap<Vec<KeyPart>, Vec<usize>> =
+            std::collections::HashMap::new();
+        for pos in 0..n {
+            let key: Vec<KeyPart> = part_readers.iter().map(|r| r.part(at(pos))).collect();
+            partitions.entry(key).or_default().push(pos);
+        }
+        partitions.into_values().collect()
+    };
 
     let order_readers: Vec<KeyReader<'_>> = order_cols
         .iter()
         .map(|c| KeyReader::new(c.as_ref()))
         .collect();
     let mut out = vec![Value::Null; n];
-    for (_, mut rows) in partitions {
+    for mut rows in buckets {
         // Sort within the partition by the order keys.
         rows.sort_by(|&a, &b| {
             for (kc, key) in order_cols.iter().zip(&w.order_by) {
@@ -396,7 +424,11 @@ mod tests {
             fields.push(Field::new("_w0", window_output_type(&w, b.schema())));
             Schema::new(fields)
         };
-        let out = execute_window(&SelBatch::from_batch(b), &[w], &plan_schema).unwrap();
+        // Both toggle arms must agree on every case in this module.
+        let sb = SelBatch::from_batch(b);
+        let out = execute_window(&sb, std::slice::from_ref(&w), &plan_schema, true).unwrap();
+        let oracle = execute_window(&sb, &[w], &plan_schema, false).unwrap();
+        assert_eq!(out, oracle, "toggle arms diverged");
         (0..out.num_rows()).map(|i| out.column(2).get(i)).collect()
     }
 

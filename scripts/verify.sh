@@ -27,6 +27,11 @@
 # execution forced off and then on (HIVE_SELVEC_ENABLED overrides
 # hive.exec.selvec.enabled) — results must be identical either way —
 # then runs the selvec benchmark, which refreshes BENCH_selvec.json.
+#
+# HIVE_RAWTABLE_SWEEP=1 re-runs the test suite with the flat hash
+# table forced off and then on (HIVE_RAWTABLE_ENABLED overrides
+# hive.exec.rawtable.enabled) — results must be identical either way —
+# then runs the hashtable benchmark, which refreshes BENCH_hash.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,6 +81,15 @@ if [[ -n "${HIVE_SELVEC_SWEEP:-}" ]]; then
     done
     echo "== selvec sweep: benchmark (writes BENCH_selvec.json) =="
     cargo bench -q --offline -p hive-bench --bench selvec
+fi
+
+if [[ -n "${HIVE_RAWTABLE_SWEEP:-}" ]]; then
+    for raw in 0 1; do
+        echo "== rawtable sweep: tests at HIVE_RAWTABLE_ENABLED=$raw =="
+        HIVE_RAWTABLE_ENABLED="$raw" cargo test -q --offline --workspace
+    done
+    echo "== rawtable sweep: benchmark (writes BENCH_hash.json) =="
+    cargo bench -q --offline -p hive-bench --bench hashtable
 fi
 
 echo "verify: OK"
