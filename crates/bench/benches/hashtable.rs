@@ -183,10 +183,11 @@ fn join_case(
             usize::MAX,
             1,
             rawtable,
+            None,
         )
         .unwrap();
         let jsb = SelBatch::from_batch(joined);
-        execute_aggregate_par(&jsb, &[], &None, &aggs, &out_schema, 1, rawtable).unwrap()
+        execute_aggregate_par(&jsb, &[], &None, &aggs, &out_schema, 1, rawtable, None).unwrap()
     }
 }
 
@@ -226,7 +227,8 @@ fn main() {
         let fact = &fact;
         case(&mut results, name, move |rawtable| {
             let sb = SelBatch::from_batch(fact.clone());
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, rawtable).unwrap()
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, rawtable, None)
+                .unwrap()
         });
     }
 
@@ -249,7 +251,8 @@ fn main() {
         let fact = &fact;
         case(&mut results, "distinct", move |rawtable| {
             let sb = SelBatch::from_batch(fact.clone());
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, rawtable).unwrap()
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, rawtable, None)
+                .unwrap()
         });
     }
 

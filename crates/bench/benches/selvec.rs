@@ -212,12 +212,12 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
         // gating filter→aggregate number).
         let run_on = || {
             let sb = SelBatch::new(batch.clone(), SelVec::Idx(idx.clone())).unwrap();
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true).unwrap()
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true, None).unwrap()
         };
         let run_off = || {
             let private = copy_out(&batch).take(&idx);
             let sb = SelBatch::from_batch(private);
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true).unwrap()
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true, None).unwrap()
         };
         assert_eq!(
             rows_of(&run_on()),
@@ -247,10 +247,21 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
                 usize::MAX,
                 1,
                 true,
+                None,
             )
             .unwrap();
             let jsb = SelBatch::from_batch(joined);
-            execute_aggregate_par(&jsb, &[], &None, &join_aggs, &join_agg_schema, 1, true).unwrap()
+            execute_aggregate_par(
+                &jsb,
+                &[],
+                &None,
+                &join_aggs,
+                &join_agg_schema,
+                1,
+                true,
+                None,
+            )
+            .unwrap()
         };
         let run_off = || {
             let private = copy_out(&batch).take(&idx);
@@ -266,10 +277,21 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
                 usize::MAX,
                 1,
                 true,
+                None,
             )
             .unwrap();
             let jsb = SelBatch::from_batch(joined);
-            execute_aggregate_par(&jsb, &[], &None, &join_aggs, &join_agg_schema, 1, true).unwrap()
+            execute_aggregate_par(
+                &jsb,
+                &[],
+                &None,
+                &join_aggs,
+                &join_agg_schema,
+                1,
+                true,
+                None,
+            )
+            .unwrap()
         };
         assert_eq!(
             rows_of(&run_on()),

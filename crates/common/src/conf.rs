@@ -120,6 +120,22 @@ pub struct HiveConf {
     /// cost changes. Overridable via `HIVE_RAWTABLE_ENABLED`
     /// (`0`/`false`/`off` disables, anything else enables).
     pub rawtable_enabled: bool,
+    /// `hive.exec.spill.enabled`: allow blocking operators (hash join
+    /// build, GROUP BY / DISTINCT, ORDER BY) to degrade to disk when the
+    /// per-query memory broker denies them memory. When off, an
+    /// over-budget operator raises a retryable error instead (the
+    /// pre-spill behavior, kept as the differential oracle). Results are
+    /// byte-identical either way; only spill I/O (charged to sim-time)
+    /// changes. Overridable via `HIVE_SPILL_ENABLED`
+    /// (`0`/`false`/`off` disables, anything else enables).
+    pub spill_enabled: bool,
+    /// `hive.exec.memory.per.query.bytes`: operator working-memory
+    /// budget per query in bytes, divided among concurrently-live
+    /// operators by the memory broker (`hive_exec::membroker`). The
+    /// workload manager scales it by the admitted pool's guaranteed
+    /// fraction. `0` means unlimited (nothing ever spills). Overridable
+    /// via `HIVE_MEMORY_BUDGET`.
+    pub memory_per_query_bytes: usize,
     /// Fault-injection plan (see [`crate::fault`]); `FaultPlan::none()`
     /// injects nothing.
     pub fault: crate::fault::FaultPlan,
@@ -154,6 +170,8 @@ impl HiveConf {
             dictionary_enabled: true,
             selvec_enabled: true,
             rawtable_enabled: true,
+            spill_enabled: true,
+            memory_per_query_bytes: 0,
             fault: crate::fault::FaultPlan::none(),
         }
     }
@@ -232,6 +250,27 @@ impl HiveConf {
             Err(_) => self.rawtable_enabled,
         }
     }
+
+    /// Resolve [`HiveConf::spill_enabled`]: the `HIVE_SPILL_ENABLED`
+    /// environment variable wins (for process-level differential
+    /// sweeps), then the conf field.
+    pub fn effective_spill_enabled(&self) -> bool {
+        match std::env::var("HIVE_SPILL_ENABLED") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
+            Err(_) => self.spill_enabled,
+        }
+    }
+
+    /// Resolve [`HiveConf::memory_per_query_bytes`]: the
+    /// `HIVE_MEMORY_BUDGET` environment variable wins (for the
+    /// forced-tiny-budget sweep), then the conf field. `0` means
+    /// unlimited.
+    pub fn effective_memory_per_query_bytes(&self) -> usize {
+        std::env::var("HIVE_MEMORY_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(self.memory_per_query_bytes)
+    }
 }
 
 impl Default for HiveConf {
@@ -260,6 +299,21 @@ mod tests {
         let c = HiveConf::v3_1().with(|c| c.llap_enabled = false);
         assert!(!c.llap_enabled);
         assert!(c.cbo_enabled);
+    }
+
+    #[test]
+    fn spill_knob_defaults() {
+        let c = HiveConf::v3_1();
+        assert!(c.spill_enabled);
+        assert_eq!(c.memory_per_query_bytes, 0, "default budget is unlimited");
+        if std::env::var("HIVE_MEMORY_BUDGET").is_err() {
+            let tiny = HiveConf::v3_1().with(|c| c.memory_per_query_bytes = 4096);
+            assert_eq!(tiny.effective_memory_per_query_bytes(), 4096);
+        }
+        if std::env::var("HIVE_SPILL_ENABLED").is_err() {
+            let off = HiveConf::v3_1().with(|c| c.spill_enabled = false);
+            assert!(!off.effective_spill_enabled());
+        }
     }
 
     #[test]

@@ -49,6 +49,21 @@ pub enum HiveError {
     /// A fragment exhausted its retry budget and its node failovers;
     /// the driver-level re-execution ladder is the only rung left.
     FragmentLost(String),
+    /// An operator asked the per-query memory broker for more bytes than
+    /// its grant allows and could not degrade (spill disabled or spill
+    /// itself impossible). Deliberately *not* retryable: with spill
+    /// enabled the operators degrade to disk instead of raising it, and
+    /// when spill is disabled the join build downgrades it to
+    /// [`HiveError::Retryable`] so the §4.2 re-optimization ladder still
+    /// applies.
+    MemoryExceeded {
+        /// Operator that exhausted its grant (e.g. `hash-join-build`).
+        operator: String,
+        /// Bytes the operator asked for in total.
+        requested: u64,
+        /// Bytes the broker was able to grant.
+        granted: u64,
+    },
 }
 
 impl HiveError {
@@ -70,6 +85,7 @@ impl HiveError {
             HiveError::External(_) => "EXTERNAL",
             HiveError::Transient(_) => "TRANSIENT",
             HiveError::FragmentLost(_) => "FRAGMENT_LOST",
+            HiveError::MemoryExceeded { .. } => "MEMORY_EXCEEDED",
         }
     }
 
@@ -90,7 +106,7 @@ impl HiveError {
         matches!(self, HiveError::Transient(_) | HiveError::FragmentLost(_))
     }
 
-    fn message(&self) -> &str {
+    fn message(&self) -> std::borrow::Cow<'_, str> {
         match self {
             HiveError::Parse(m)
             | HiveError::Analysis(m)
@@ -106,7 +122,16 @@ impl HiveError {
             | HiveError::Workload(m)
             | HiveError::External(m)
             | HiveError::Transient(m)
-            | HiveError::FragmentLost(m) => m,
+            | HiveError::FragmentLost(m) => m.as_str().into(),
+            HiveError::MemoryExceeded {
+                operator,
+                requested,
+                granted,
+            } => format!(
+                "{operator} requested {requested} bytes but the memory broker \
+                 granted only {granted}"
+            )
+            .into(),
         }
     }
 }
@@ -146,6 +171,23 @@ mod tests {
     }
 
     #[test]
+    fn memory_exceeded_is_typed_and_not_retryable() {
+        let e = HiveError::MemoryExceeded {
+            operator: "hash-join-build".into(),
+            requested: 4096,
+            granted: 1024,
+        };
+        assert_eq!(e.kind(), "MEMORY_EXCEEDED");
+        assert!(!e.is_retryable(), "spill handles it; reopt does not");
+        assert!(!e.is_transient());
+        assert_eq!(
+            e.to_string(),
+            "MEMORY_EXCEEDED: hash-join-build requested 4096 bytes but the \
+             memory broker granted only 1024"
+        );
+    }
+
+    #[test]
     fn kind_covers_all_variants() {
         let variants = [
             HiveError::Parse(String::new()),
@@ -163,6 +205,11 @@ mod tests {
             HiveError::External(String::new()),
             HiveError::Transient(String::new()),
             HiveError::FragmentLost(String::new()),
+            HiveError::MemoryExceeded {
+                operator: String::new(),
+                requested: 0,
+                granted: 0,
+            },
         ];
         let kinds: std::collections::HashSet<_> = variants.iter().map(|v| v.kind()).collect();
         assert_eq!(kinds.len(), variants.len(), "kinds must be distinct");

@@ -41,6 +41,10 @@ pub enum FaultSite {
     CacheCorrupt,
     /// A running fragment fails at task granularity.
     Fragment,
+    /// Transient DFS write/create error (retry may succeed). Exercised
+    /// by the spill paths, which are the only writers inside a running
+    /// query.
+    DfsWrite,
 }
 
 impl FaultSite {
@@ -51,6 +55,7 @@ impl FaultSite {
             FaultSite::DaemonKill => 0x03,
             FaultSite::CacheCorrupt => 0x04,
             FaultSite::Fragment => 0x05,
+            FaultSite::DfsWrite => 0x06,
         }
     }
 }
@@ -71,8 +76,15 @@ pub struct FaultPlan {
     /// first `path_fail_count` reads (targeted fault, independent of
     /// probability rolls).
     pub fail_path_substrings: Vec<String>,
-    /// How many reads of a matching path fail before it heals.
+    /// How many reads of a matching path fail before it heals. The
+    /// same count applies per-path to targeted *writes* (see
+    /// [`FaultInjector::dfs_write_fails`]).
     pub path_fail_count: u32,
+    /// Probability a DFS create/write fails transiently. Only the spill
+    /// paths write inside a running query, so this is the knob for
+    /// spill-write chaos (default 0, and deliberately not part of
+    /// [`FaultPlan::chaos`] so pre-spill seeds replay unchanged).
+    pub dfs_write_error_prob: f64,
     /// Probability an LLAP daemon dies when a fragment is dispatched
     /// to it.
     pub daemon_kill_prob: f64,
@@ -103,6 +115,7 @@ impl FaultPlan {
             dfs_slow_ms: 50.0,
             fail_path_substrings: Vec::new(),
             path_fail_count: 1,
+            dfs_write_error_prob: 0.0,
             daemon_kill_prob: 0.0,
             cache_corruption_prob: 0.0,
             fragment_failure_prob: 0.0,
@@ -132,6 +145,7 @@ impl FaultPlan {
     pub fn is_active(&self) -> bool {
         self.dfs_read_error_prob > 0.0
             || self.dfs_slow_prob > 0.0
+            || self.dfs_write_error_prob > 0.0
             || !self.fail_path_substrings.is_empty()
             || self.daemon_kill_prob > 0.0
             || self.cache_corruption_prob > 0.0
@@ -162,6 +176,9 @@ impl FaultPlan {
             |name: &str| -> Option<f64> { std::env::var(name).ok().and_then(|v| v.parse().ok()) };
         if let Some(p) = f64_var("HIVE_FAULT_DFS_READ_PROB") {
             plan.dfs_read_error_prob = p;
+        }
+        if let Some(p) = f64_var("HIVE_FAULT_DFS_WRITE_PROB") {
+            plan.dfs_write_error_prob = p;
         }
         if let Some(p) = f64_var("HIVE_FAULT_DFS_SLOW_PROB") {
             plan.dfs_slow_prob = p;
@@ -219,6 +236,7 @@ pub fn hash_str(s: &str) -> u64 {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultStats {
     pub dfs_read_errors: u64,
+    pub dfs_write_errors: u64,
     pub dfs_slow_reads: u64,
     pub daemon_kills: u64,
     pub cache_corruptions: u64,
@@ -238,6 +256,7 @@ pub struct FaultInjector {
     /// successive attempts draw fresh deterministic values.
     attempts: RwLock<std::collections::HashMap<(FaultSite, u64), u32>>,
     dfs_read_errors: AtomicU64,
+    dfs_write_errors: AtomicU64,
     dfs_slow_reads: AtomicU64,
     daemon_kills: AtomicU64,
     cache_corruptions: AtomicU64,
@@ -354,6 +373,42 @@ impl FaultInjector {
         false
     }
 
+    /// Should this DFS create/write fail transiently? Keyed by path
+    /// (files are immutable, so one path is written at most once per
+    /// attempt, and a retry of the same path draws a fresh value).
+    /// Targeted substring paths fail their first `path_fail_count`
+    /// writes then heal — an independent counter from the read site, so
+    /// a plan targeting a spill directory exercises both directions.
+    pub fn dfs_write_fails(&self, path: &str) -> bool {
+        let plan = self.plan.read().unwrap_or_else(|e| e.into_inner());
+        if !plan.is_active() {
+            return false;
+        }
+        let targeted = plan
+            .fail_path_substrings
+            .iter()
+            .any(|s| !s.is_empty() && path.contains(s));
+        let (prob, fail_count) = (plan.dfs_write_error_prob, plan.path_fail_count);
+        drop(plan);
+        let key = splitmix64(hash_str(path));
+        if targeted {
+            let mut attempts = self.attempts.write().unwrap_or_else(|e| e.into_inner());
+            let counter = attempts.entry((FaultSite::DfsWrite, key)).or_insert(0);
+            if *counter < fail_count {
+                *counter += 1;
+                drop(attempts);
+                self.dfs_write_errors.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            return false;
+        }
+        if self.roll(FaultSite::DfsWrite, key, prob) {
+            self.dfs_write_errors.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
     /// Should this DFS read be slow? Returns the simulated latency to
     /// charge, accumulating it for `simtime`. Keyed by `(path, offset)`
     /// for the same interleaving-independence as [`Self::dfs_read_fails`].
@@ -441,6 +496,7 @@ impl FaultInjector {
     pub fn stats(&self) -> FaultStats {
         FaultStats {
             dfs_read_errors: self.dfs_read_errors.load(Ordering::Relaxed),
+            dfs_write_errors: self.dfs_write_errors.load(Ordering::Relaxed),
             dfs_slow_reads: self.dfs_slow_reads.load(Ordering::Relaxed),
             daemon_kills: self.daemon_kills.load(Ordering::Relaxed),
             cache_corruptions: self.cache_corruptions.load(Ordering::Relaxed),
@@ -512,6 +568,39 @@ mod tests {
         assert!(inj.dfs_read_fails("/w/t/part-3.orc", 4096));
         assert!(inj.dfs_read_fails("/w/t/part-3.orc", 4096));
         assert!(!inj.dfs_read_fails("/w/t/part-3.orc", 4096), "healed");
+    }
+
+    #[test]
+    fn targeted_writes_fail_then_heal_independently_of_reads() {
+        let inj = FaultInjector::new();
+        inj.set_plan(FaultPlan::none().with(|p| {
+            p.fail_path_substrings = vec!["spill".into()];
+            p.path_fail_count = 1;
+        }));
+        // Write and read sites own separate attempt counters.
+        assert!(inj.dfs_write_fails("/tmp/spill/q0/p0.bin"));
+        assert!(!inj.dfs_write_fails("/tmp/spill/q0/p0.bin"), "healed");
+        assert!(inj.dfs_read_fails("/tmp/spill/q0/p0.bin", 0));
+        assert!(!inj.dfs_read_fails("/tmp/spill/q0/p0.bin", 0), "healed");
+        assert!(!inj.dfs_write_fails("/warehouse/t/part-0.corc"));
+        assert_eq!(inj.stats().dfs_write_errors, 1);
+    }
+
+    #[test]
+    fn probabilistic_writes_replay_from_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::new();
+            inj.set_plan(FaultPlan::none().with(|p| {
+                p.seed = seed;
+                p.dfs_write_error_prob = 0.5;
+            }));
+            (0..64)
+                .map(|i| inj.dfs_write_fails(&format!("/tmp/spill/p{}.bin", i % 5)))
+                .collect()
+        };
+        assert_eq!(run(11), run(11));
+        assert!(run(11).iter().any(|&b| b));
+        assert!(run(11).iter().any(|&b| !b));
     }
 
     #[test]

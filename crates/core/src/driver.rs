@@ -321,7 +321,7 @@ impl Session {
             .server
             .workload(|w| w.admit(&self.user, self.application.as_deref()))?;
 
-        let result = self.run_select_admitted(q, conf);
+        let result = self.run_select_admitted(q, conf, admission.guaranteed_fraction);
 
         // Trigger evaluation on the recorded (simulated) runtime, then
         // release the slot.
@@ -350,7 +350,12 @@ impl Session {
         result
     }
 
-    fn run_select_admitted(&self, q: &ast::Query, conf: &HiveConf) -> Result<QueryResult> {
+    fn run_select_admitted(
+        &self,
+        q: &ast::Query,
+        conf: &HiveConf,
+        pool_fraction: f64,
+    ) -> Result<QueryResult> {
         let (plan, used_mv) = self.plan_query(q, conf)?;
         // Results cache probe (§4.3): deterministic queries only.
         let cacheable = conf.results_cache && plan_is_deterministic(&plan);
@@ -374,9 +379,9 @@ impl Session {
                 CacheOutcome::MissClaimed => claimed = true,
             }
         }
-        let outcome = self.execute_plan_with_retry(&plan, conf);
+        let outcome = self.execute_plan_with_retry(&plan, conf, pool_fraction);
         match outcome {
-            Ok((batch, trace, reexecuted)) => {
+            Ok((batch, trace, reexecuted, peak_memory_bytes)) => {
                 if claimed {
                     let snapshot = plan
                         .referenced_tables()
@@ -399,6 +404,8 @@ impl Session {
                     bytes_cache: trace.total(|n| n.bytes_cache),
                     fragment_retries: trace.total(|n| n.fragment_retries),
                     failovers: trace.total(|n| n.failovers),
+                    bytes_spilled: trace.total(|n| n.bytes_spilled),
+                    peak_memory_bytes,
                     message: None,
                 })
             }
@@ -417,9 +424,10 @@ impl Session {
         &self,
         plan: &LogicalPlan,
         conf: &HiveConf,
-    ) -> Result<(VectorBatch, NodeTrace, bool)> {
-        match self.execute_plan(plan, conf) {
-            Ok((b, t)) => Ok((b, t, false)),
+        pool_fraction: f64,
+    ) -> Result<(VectorBatch, NodeTrace, bool, u64)> {
+        match self.execute_plan_budgeted(plan, conf, pool_fraction) {
+            Ok((b, t, peak)) => Ok((b, t, false, peak)),
             Err(e) if e.is_retryable() && conf.reoptimization => {
                 // Persist what we know for future planning, then retry
                 // under the overlay configuration.
@@ -428,8 +436,8 @@ impl Session {
                     vec![("retryable_failure".to_string(), 1)],
                 );
                 let overlay = hive_exec::engine::overlay_conf(conf);
-                let (b, t) = self.execute_plan(plan, &overlay)?;
-                Ok((b, t, true))
+                let (b, t, peak) = self.execute_plan_budgeted(plan, &overlay, pool_fraction)?;
+                Ok((b, t, true, peak))
             }
             Err(e) => Err(e),
         }
@@ -440,6 +448,18 @@ impl Session {
         plan: &LogicalPlan,
         conf: &HiveConf,
     ) -> Result<(VectorBatch, NodeTrace)> {
+        // Non-admitted paths (DML sources, MV rebuilds) run under the
+        // full per-query budget: they hold no workload-manager slot.
+        let (b, t, _) = self.execute_plan_budgeted(plan, conf, 1.0)?;
+        Ok((b, t))
+    }
+
+    fn execute_plan_budgeted(
+        &self,
+        plan: &LogicalPlan,
+        conf: &HiveConf,
+        pool_fraction: f64,
+    ) -> Result<(VectorBatch, NodeTrace, u64)> {
         let snaps = QuerySnapshots::new(self.server.metastore(), None);
         let scanner = self.server.federation_scanner();
         let mut ctx = ExecContext::new(
@@ -450,6 +470,19 @@ impl Session {
             &snaps,
             Some(&scanner),
         );
+        // Per-query memory broker: the configured budget scaled by the
+        // admission pool's guaranteed fraction (§5.2). Budget 0 keeps
+        // the legacy unbudgeted path byte-for-byte.
+        let budget =
+            hive_exec::scaled_budget(conf.effective_memory_per_query_bytes(), pool_fraction);
+        if budget > 0 {
+            let q = self.server.next_spill_seq();
+            ctx.enable_spill(hive_exec::SpillConfig {
+                dir: DfsPath::new(format!("/tmp/hive/spill/q{q}")),
+                broker: hive_exec::MemoryBroker::with_budget(budget),
+                enabled: conf.effective_spill_enabled(),
+            });
+        }
         ctx.prepare_shared_work(plan);
         let (sel_batch, trace) = exec_plan_sel(plan, &ctx)?;
         // Output boundary — the plan's final pipeline breaker: gather
@@ -463,7 +496,7 @@ impl Session {
             &hive_optimizer::fingerprint::fingerprint_hex(plan),
             trace.operator_rows(),
         );
-        Ok((batch, trace))
+        Ok((batch, trace, ctx.spill_peak_bytes()))
     }
 
     fn run_explain(&self, stmt: ast::Statement, conf: &HiveConf) -> Result<QueryResult> {
@@ -623,8 +656,8 @@ impl Session {
             ast::InsertSource::Query(q) => {
                 let (plan, _) = self.plan_query(q, &conf)?;
                 let (batch, _) = self
-                    .execute_plan_with_retry(&plan, &conf)
-                    .map(|(b, t, _)| (b, t))?;
+                    .execute_plan_with_retry(&plan, &conf, 1.0)
+                    .map(|(b, t, _, _)| (b, t))?;
                 batch.to_rows()
             }
         };

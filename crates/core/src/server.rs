@@ -32,6 +32,9 @@ pub(crate) struct ServerInner {
     pub results_cache: Arc<QueryResultsCache>,
     pub workload: RwLock<WorkloadManager>,
     pub sim_model: SimCostModel,
+    /// Monotonic counter giving each budgeted query its own spill
+    /// directory under `/tmp/hive/spill/`.
+    pub spill_seq: std::sync::atomic::AtomicU64,
 }
 
 impl HiveServer {
@@ -67,6 +70,7 @@ impl HiveServer {
                 results_cache,
                 workload: RwLock::new(WorkloadManager::new()),
                 sim_model: SimCostModel::default(),
+                spill_seq: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }
@@ -110,6 +114,13 @@ impl HiveServer {
     /// The results cache.
     pub fn results_cache(&self) -> &QueryResultsCache {
         &self.inner.results_cache
+    }
+
+    /// The next spill-directory sequence number.
+    pub(crate) fn next_spill_seq(&self) -> u64 {
+        self.inner
+            .spill_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// A snapshot of the current configuration.

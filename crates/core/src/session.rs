@@ -30,6 +30,12 @@ pub struct QueryResult {
     /// Fragments re-dispatched onto a surviving LLAP daemon after their
     /// node died mid-query (§5.1 failover).
     pub failovers: u64,
+    /// Bytes written to spill files by blocking operators that exceeded
+    /// their memory grant (see `hive_exec::membroker`).
+    pub bytes_spilled: u64,
+    /// Peak memory tracked by the per-query broker (0 when the query ran
+    /// without a budget).
+    pub peak_memory_bytes: u64,
     /// Human-readable notice (DDL acknowledgements, EXPLAIN text, …).
     pub message: Option<String>,
 }
@@ -47,6 +53,8 @@ impl QueryResult {
             bytes_cache: 0,
             fragment_retries: 0,
             failovers: 0,
+            bytes_spilled: 0,
+            peak_memory_bytes: 0,
             message: None,
         }
     }

@@ -422,10 +422,18 @@ fn reoptimization_recovers_from_join_budget() {
     let r = sess
         .execute("SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk")
         .unwrap();
-    assert!(
-        r.reexecuted,
-        "query should have been re-optimized and retried"
-    );
+    // Under HIVE_SPILL_SWEEP the env forces a memory budget, and the
+    // same overflow degrades to a grace join on the first attempt
+    // instead of failing retryably.
+    let conf = s.conf();
+    if conf.effective_spill_enabled() && conf.effective_memory_per_query_bytes() > 0 {
+        assert!(!r.reexecuted, "spill-enabled run must degrade in place");
+    } else {
+        assert!(
+            r.reexecuted,
+            "query should have been re-optimized and retried"
+        );
+    }
     assert_eq!(r.display_rows(), vec!["120"]);
 }
 

@@ -123,6 +123,14 @@ impl DistFs {
     /// (files are never overwritten in place — new data goes to new
     /// deltas/bases, per the ACID design).
     pub fn create(&self, path: &DfsPath, data: Bytes) -> Result<FileMeta> {
+        // Write faults fire *before* any state changes, so a retried
+        // create starts from a clean slate (no half-written file and no
+        // spurious already-exists error on the retry).
+        if self.fault.is_active() && self.fault.dfs_write_fails(path.as_str()) {
+            return Err(HiveError::Transient(format!(
+                "injected transient write error: {path}"
+            )));
+        }
         let mut g = self.inner.write();
         if g.files.contains_key(path) {
             return Err(HiveError::Io(format!("file already exists: {path}")));
@@ -459,6 +467,27 @@ mod tests {
         assert!(fs.read(&DfsPath::new("/t/part-0.orc")).is_ok());
         assert!(fs.read(&DfsPath::new("/t/part-1.orc")).is_ok());
         assert_eq!(fs.fault().stats().dfs_read_errors, 1);
+    }
+
+    #[test]
+    fn injected_write_error_leaves_no_partial_file() {
+        use hive_common::FaultPlan;
+        let fs = DistFs::new();
+        fs.fault().set_plan(FaultPlan::none().with(|p| {
+            p.fail_path_substrings = vec!["spill".into()];
+            p.path_fail_count = 1;
+        }));
+        let p = DfsPath::new("/tmp/spill/q0/p0.bin");
+        let err = fs.create(&p, Bytes::from_static(b"run")).unwrap_err();
+        assert_eq!(err.kind(), "TRANSIENT");
+        assert!(!fs.exists(&p), "failed create must not leave state behind");
+        // The retry succeeds against the healed path.
+        assert!(fs.create(&p, Bytes::from_static(b"run")).is_ok());
+        // The path's *read* counter is independent of the write counter:
+        // the first read of the targeted path still fails once.
+        assert!(fs.read(&p).unwrap_err().is_transient());
+        assert_eq!(fs.read(&p).unwrap().1.as_ref(), b"run");
+        assert_eq!(fs.fault().stats().dfs_write_errors, 1);
     }
 
     #[test]

@@ -26,4 +26,8 @@ pub use fs::{DistFs, FileMeta, FileStatus};
 pub use path::DfsPath;
 pub use stats::{IoStats, IoStatsSnapshot};
 
+/// Re-exported so callers building file contents (e.g. exec's spill
+/// writer) need no direct `bytes` dependency.
+pub use bytes::Bytes;
+
 pub use hive_common::FileId;

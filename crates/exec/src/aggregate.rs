@@ -11,6 +11,7 @@
 use crate::dict::{KeyPart, KeyReader};
 use crate::kernels::eval_vector;
 use crate::rawtable::{self, RawTable};
+use crate::spill::{partition_of, plan_partition, push_rec, RecIter, SpillCtx};
 use hive_common::hash::FNV_OFFSET;
 use hive_common::{ColumnVector, Result, Row, SelBatch, SelVec, Value, VectorBatch};
 use hive_optimizer::{AggExpr, AggFunc, ScalarExpr};
@@ -284,6 +285,7 @@ pub fn execute_aggregate(
         out_schema,
         1,
         true,
+        None,
     )
 }
 
@@ -309,6 +311,7 @@ pub fn execute_aggregate_par(
     out_schema: &hive_common::Schema,
     workers: usize,
     rawtable: bool,
+    spill: Option<&SpillCtx<'_>>,
 ) -> Result<VectorBatch> {
     let trivial = group_exprs
         .iter()
@@ -352,9 +355,28 @@ pub fn execute_aggregate_par(
         let gid: i64 = (0..group_exprs.len())
             .filter(|k| !set.contains(k))
             .fold(0i64, |acc, k| acc | (1 << k));
-        let mut groups = build_groups(
-            &input.sel, &key_cols, &arg_cols, set, aggs, workers, rawtable,
-        )?;
+        // Memory admission: the modeled table bytes (rows is the upper
+        // bound on groups) must win a broker grant, held through the
+        // build. A denial degrades to the partitioned spilling build;
+        // with spill disabled the build proceeds over budget instead
+        // (visible in the broker peak) — group-bys have no in-memory
+        // fallback the way joins have re-optimization.
+        let est = crate::spill::estimate_agg_bytes(input.sel.len(), set.len().max(1), aggs.len());
+        let admission = spill.map(|sp| (sp, sp.broker.try_reserve("group-by", est)));
+        let mut groups = match &admission {
+            Some((sp, None)) if sp.enabled => {
+                build_groups_spilled(&input.sel, &key_cols, &arg_cols, set, aggs, rawtable, sp)?
+            }
+            _ => {
+                let _forced = match &admission {
+                    Some((sp, None)) => Some(sp.broker.force_reserve("group-by", est)),
+                    _ => None,
+                };
+                build_groups(
+                    &input.sel, &key_cols, &arg_cols, set, aggs, workers, rawtable,
+                )?
+            }
+        };
         // Global aggregation with no keys over empty input yields the
         // neutral row.
         if groups.is_empty() && set.is_empty() {
@@ -601,6 +623,194 @@ fn build_groups(
     Ok(all.into_iter().map(|(pos, a)| (emit_pos(pos), a)).collect())
 }
 
+/// The spilling build for one grouping set: every selected position's
+/// group key is encoded into a spill record (stable hash + canonical
+/// key bytes + position — the same format the grace join uses), then
+/// recursively partitioned through disk until a partition's modeled
+/// table fits the working budget. Each leaf builds its groups exactly
+/// like the in-memory build; the final merge sorts by global first-seen
+/// position, restoring the serial discovery order.
+///
+/// Byte-identity with the in-memory path: a group's rows all share a
+/// key hash, so they land in one partition and fold in ascending
+/// position order (partitioning preserves relative record order) —
+/// the same fold order the serial loop uses, which is what keeps
+/// order-sensitive accumulators (f64 sums, Welford variance, DISTINCT
+/// first-seen order) bit-exact. The whole path is serial, so its spill
+/// I/O schedule replays deterministically at any worker count.
+fn build_groups_spilled(
+    sel: &SelVec,
+    key_cols: &[Arc<ColumnVector>],
+    arg_cols: &[Option<Arc<ColumnVector>>],
+    set: &[usize],
+    aggs: &[AggExpr],
+    rawtable: bool,
+    sp: &SpillCtx<'_>,
+) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+    let num_rows = sel.len();
+    let readers: Vec<KeyReader<'_>> = set
+        .iter()
+        .map(|&k| KeyReader::new(key_cols[k].as_ref()))
+        .collect();
+    let hashes = hash_rows(&readers, sel, 0, num_rows);
+    let mut recs: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    for (pos, h) in hashes.iter().enumerate() {
+        scratch.clear();
+        let i = sel.index(pos);
+        for r in &readers {
+            r.encode_part_at(i, &mut scratch);
+        }
+        // NULL is a group: every row has a key hash and a record.
+        push_rec(&mut recs, *h, pos as u32, &scratch);
+    }
+    let op = sp.next_op();
+    let mut groups: Vec<(usize, Vec<Acc>)> = Vec::new();
+    let mut file_seq = 0u64;
+    agg_solve(
+        sp,
+        op,
+        sel,
+        arg_cols,
+        aggs,
+        set.len().max(1),
+        rawtable,
+        0,
+        None,
+        num_rows,
+        &recs,
+        &mut groups,
+        &mut file_seq,
+    )?;
+    groups.sort_by_key(|(first_pos, _)| *first_pos);
+    let emit_pos = |pos: usize| -> Vec<Value> {
+        let i = sel.index(pos);
+        readers.iter().map(|r| r.value_of(&r.part(i))).collect()
+    };
+    Ok(groups
+        .into_iter()
+        .map(|(pos, a)| (emit_pos(pos), a))
+        .collect())
+}
+
+/// Solve one aggregation partition: fold it in memory (charging the
+/// broker) or split it `fanout` ways through spill files and recurse —
+/// the same discipline as the grace join's [`crate::spill::plan_partition`]
+/// recursion, with the no-progress and depth guards bounding skewed
+/// key distributions.
+#[allow(clippy::too_many_arguments)]
+fn agg_solve(
+    sp: &SpillCtx<'_>,
+    op: u64,
+    sel: &SelVec,
+    arg_cols: &[Option<Arc<ColumnVector>>],
+    aggs: &[AggExpr],
+    key_cols_n: usize,
+    rawtable: bool,
+    depth: u32,
+    parent_rows: Option<usize>,
+    rows: usize,
+    recs: &[u8],
+    out: &mut Vec<(usize, Vec<Acc>)>,
+    file_seq: &mut u64,
+) -> Result<()> {
+    let est = crate::spill::estimate_agg_bytes(rows, key_cols_n, aggs.len());
+    let plan = plan_partition(est, sp.broker.chunk_budget(), depth, rows, parent_rows);
+    if plan.process_in_memory {
+        // Forced when over budget: the skewed tail (one dominant key /
+        // depth cap) proceeds rather than fails; see the broker peak.
+        let _g = match sp.broker.try_reserve("group-by-partition", est) {
+            Some(g) => g,
+            None => sp.broker.force_reserve("group-by-partition", est),
+        };
+        let mut groups: Vec<(usize, Vec<Acc>)> = Vec::new();
+        if rawtable {
+            let mut table = RawTable::new();
+            for rec in RecIter::new(recs) {
+                let (h, pos, key) = rec?;
+                let (e, inserted) = table.insert(h, key);
+                if inserted {
+                    groups.push((
+                        pos as usize,
+                        aggs.iter().map(|a| Acc::new(a, true)).collect(),
+                    ));
+                }
+                let i = sel.index(pos as usize);
+                for (acc, arg) in groups[e as usize].1.iter_mut().zip(arg_cols) {
+                    let v = arg.as_ref().map(|c| c.get(i));
+                    acc.update(v.as_ref())?;
+                }
+            }
+        } else {
+            // Differential-oracle arm, keyed by the canonical encoding
+            // bytes (encoding equality ⟺ group equality).
+            let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+            for rec in RecIter::new(recs) {
+                let (_h, pos, key) = rec?;
+                let gi = match index.get(key) {
+                    Some(&g) => g,
+                    None => {
+                        let g = groups.len();
+                        index.insert(key.to_vec(), g);
+                        groups.push((
+                            pos as usize,
+                            aggs.iter().map(|a| Acc::new(a, false)).collect(),
+                        ));
+                        g
+                    }
+                };
+                let i = sel.index(pos as usize);
+                for (acc, arg) in groups[gi].1.iter_mut().zip(arg_cols) {
+                    let v = arg.as_ref().map(|c| c.get(i));
+                    acc.update(v.as_ref())?;
+                }
+            }
+        }
+        out.extend(groups);
+        return Ok(());
+    }
+
+    let fanout = plan.fanout;
+    let mut parts: Vec<(Vec<u8>, usize)> = vec![(Vec::new(), 0); fanout];
+    for rec in RecIter::new(recs) {
+        let (h, pos, key) = rec?;
+        let p = partition_of(h, depth, fanout);
+        push_rec(&mut parts[p].0, h, pos, key);
+        parts[p].1 += 1;
+    }
+    // Write every partition before reading any back (the grace
+    // discipline: one partition's records resident at a time below).
+    let mut files = Vec::with_capacity(fanout);
+    for (p, (buf, n)) in parts.drain(..).enumerate() {
+        if buf.is_empty() {
+            continue;
+        }
+        let id = *file_seq;
+        *file_seq += 1;
+        files.push((sp.write(&format!("op{op}-s{id}-p{p}.agg"), buf)?, n));
+    }
+    for (f, n) in files {
+        let buf = sp.read(&f)?;
+        drop(f);
+        agg_solve(
+            sp,
+            op,
+            sel,
+            arg_cols,
+            aggs,
+            key_cols_n,
+            rawtable,
+            depth + 1,
+            Some(rows),
+            n,
+            &buf,
+            out,
+            file_seq,
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,7 +1011,7 @@ mod tests {
         // Oracle: serial HashMap build. Every (workers, rawtable) combo
         // must reproduce it byte for byte.
         let base =
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false).unwrap();
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false, None).unwrap();
         let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
         assert_eq!(base.num_rows(), 98); // 97 int keys + NULL group
         for workers in [1, 2, 8] {
@@ -814,6 +1024,7 @@ mod tests {
                     &out_schema,
                     workers,
                     rawtable,
+                    None,
                 )
                 .unwrap();
                 let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
@@ -855,7 +1066,7 @@ mod tests {
         let out_schema = agg_schema(&b, &groups, &None, &aggs);
         let sb = SelBatch::from_batch(b);
         let base =
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false).unwrap();
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false, None).unwrap();
         let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
         for workers in [1, 4] {
             for rawtable in [false, true] {
@@ -867,6 +1078,7 @@ mod tests {
                     &out_schema,
                     workers,
                     rawtable,
+                    None,
                 )
                 .unwrap();
                 let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
@@ -875,6 +1087,81 @@ mod tests {
                     "{workers} workers rawtable={rawtable} diverged"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn spilled_aggregate_is_byte_identical() {
+        use crate::membroker::MemoryBroker;
+        use hive_dfs::{DfsPath, DistFs};
+        use std::sync::atomic::AtomicU64;
+        // Order-sensitive aggregates (f64 sum/avg/stddev + DISTINCT
+        // sum) over many groups: the partitioned spilling build must
+        // reproduce the in-memory build byte for byte.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Double),
+        ]);
+        let rows: Vec<Row> = (0..12_000)
+            .map(|i| {
+                let k = if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i * 37 % 97)
+                };
+                Row::new(vec![k, Value::Double(i as f64 * 0.25 - 100.0)])
+            })
+            .collect();
+        let b = VectorBatch::from_rows(&schema, &rows).unwrap();
+        let groups = vec![ScalarExpr::Column(0)];
+        let mut aggs: Vec<AggExpr> = [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::StddevSamp,
+        ]
+        .into_iter()
+        .map(|func| AggExpr {
+            func,
+            arg: Some(ScalarExpr::Column(1)),
+            distinct: false,
+        })
+        .collect();
+        aggs.push(AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(ScalarExpr::Column(1)),
+            distinct: true,
+        });
+        let out_schema = agg_schema(&b, &groups, &None, &aggs);
+        let sb = SelBatch::from_batch(b);
+        let base =
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false, None).unwrap();
+        let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
+        for rawtable in [false, true] {
+            let fs = DistFs::new();
+            let broker = MemoryBroker::with_budget(16 * 1024);
+            let ops = AtomicU64::new(0);
+            let sp = SpillCtx::new(&fs, DfsPath::new("/tmp/spill/q0"), &broker, true, &ops);
+            let out = execute_aggregate_par(
+                &sb,
+                &groups,
+                &None,
+                &aggs,
+                &out_schema,
+                1,
+                rawtable,
+                Some(&sp),
+            )
+            .unwrap();
+            let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();
+            assert_eq!(got, base_rows, "spilled rawtable={rawtable} diverged");
+            assert!(sp.stats.bytes_written() > 0, "group-by never spilled");
+            assert!(
+                fs.list_files_recursive(&DfsPath::new("/tmp/spill"))
+                    .is_empty(),
+                "spill files all deleted"
+            );
+            assert_eq!(broker.reserved(), 0, "all grants released");
         }
     }
 

@@ -5,10 +5,12 @@
 use crate::aggregate::execute_aggregate_par;
 use crate::join::execute_join_par;
 use crate::kernels::{eval_rowmode, eval_vector, filter_indices, filter_indices_rowmode};
+use crate::membroker::MemoryBroker;
 use crate::scan::execute_scan;
+use crate::spill::SpillCtx;
 use crate::window::execute_window;
 use hive_common::{ColumnBuilder, HiveConf, HiveError, Result, Row, SelBatch, SelVec, VectorBatch};
-use hive_dfs::DistFs;
+use hive_dfs::{DfsPath, DistFs};
 use hive_metastore::{Metastore, ValidWriteIdList};
 use hive_optimizer::fingerprint::fingerprint;
 use hive_optimizer::plan::LogicalPlan;
@@ -75,6 +77,30 @@ pub struct ExecContext<'a> {
     /// interleaving, which keeps `HIVE_FAULT_SEED` replay exact.
     charges_retries: AtomicU64,
     charges_backoff_micros: AtomicU64,
+    /// Spill environment (`hive.exec.spill.enabled` + the per-query
+    /// memory budget scaled by the admission pool fraction). `None`
+    /// when the budget is unlimited — blocking operators then take the
+    /// legacy in-memory path byte-for-byte, with zero broker traffic.
+    spill: Option<SpillConfig>,
+    /// Query-wide spill file sequence. Blocking operators execute
+    /// sequentially (children materialize before parents), so the
+    /// sequence — and with it every spill path — is deterministic and
+    /// independent of the morsel worker count.
+    spill_ops: AtomicU64,
+}
+
+/// The per-query spill environment the driver installs when
+/// `hive.exec.memory.per.query.bytes` caps the query.
+pub struct SpillConfig {
+    /// Scratch directory for this query's spill files (unique per
+    /// query so concurrent queries and replays never collide).
+    pub dir: DfsPath,
+    /// The broker dividing the query budget among live operators.
+    pub broker: MemoryBroker,
+    /// `hive.exec.spill.enabled` — when false, denied operators keep
+    /// their pre-spill degradation (join: retryable error feeding
+    /// re-optimization; aggregate/sort: proceed over budget).
+    pub enabled: bool,
 }
 
 /// Accumulated fault-recovery work for one query: how many transient
@@ -108,6 +134,37 @@ impl ExecContext<'_> {
         self.charges_retries.fetch_add(1, Ordering::Relaxed);
         self.charges_backoff_micros
             .fetch_add((backoff_ms * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Install the spill environment (driver, when the per-query
+    /// memory budget is finite).
+    pub fn enable_spill(&mut self, cfg: SpillConfig) {
+        self.spill = Some(cfg);
+    }
+
+    /// A fresh per-operator spill handle (stats start at zero; the
+    /// operator's trace folds them in when it finishes). `None` when
+    /// the query is unbudgeted.
+    pub(crate) fn spill_ctx(&self) -> Option<SpillCtx<'_>> {
+        self.spill.as_ref().map(|s| {
+            SpillCtx::new(
+                self.fs,
+                s.dir.clone(),
+                &s.broker,
+                s.enabled,
+                &self.spill_ops,
+            )
+        })
+    }
+
+    /// High-water mark of broker-tracked memory (0 when unbudgeted).
+    pub fn spill_peak_bytes(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.broker.peak_bytes())
+    }
+
+    /// Broker denials so far — each one is a spill decision.
+    pub fn spill_denials(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.broker.denials())
     }
 
     /// Snapshot of the per-query recovery charges so far.
@@ -161,6 +218,8 @@ impl<'a> ExecContext<'a> {
             shared_counts: HashMap::new(),
             charges_retries: AtomicU64::new(0),
             charges_backoff_micros: AtomicU64::new(0),
+            spill: None,
+            spill_ops: AtomicU64::new(0),
         }
     }
 
@@ -235,6 +294,10 @@ pub struct NodeTrace {
     pub rows_out: u64,
     pub bytes_disk: u64,
     pub bytes_cache: u64,
+    /// Bytes this operator wrote to spill files when the memory broker
+    /// denied its working set (the read-back and the write both also
+    /// count into `bytes_disk` — spill I/O is disk I/O to sim-time).
+    pub bytes_spilled: u64,
     /// File-system operations (opens/ranged reads) — deltas make these
     /// grow, which is what compaction fights (§3.2).
     pub io_ops: u64,
@@ -440,6 +503,7 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             let morsels = crate::par::row_morsels(lb.num_rows().max(rb.num_rows()));
             let (workers, _lease) = ctx.lease_workers(morsels);
             let rows_in = (lb.num_rows() + rb.num_rows()) as u64;
+            let sp = ctx.spill_ctx();
             let out = execute_join_par(
                 &lb,
                 &rb,
@@ -450,6 +514,7 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
                 ctx.conf.hash_join_row_budget,
                 workers,
                 ctx.conf.effective_rawtable_enabled(),
+                sp.as_ref(),
             )?;
             let mut t = NodeTrace::leaf(&format!("Join({join_type:?})"));
             t.parallel_workers = workers as u64;
@@ -458,6 +523,9 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             t.is_boundary = true;
             t.shuffle_rows = t.rows_in;
             t.children = vec![lt, rt];
+            if let Some(sp) = &sp {
+                fold_spill(&mut t, sp);
+            }
             Ok((SelBatch::from_batch(out), t))
         }
         LogicalPlan::Aggregate {
@@ -469,6 +537,7 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             let (child, ct) = execute_sel(input, ctx)?;
             let (workers, _lease) = ctx.lease_workers(crate::par::row_morsels(child.num_rows()));
             let rows_in = child.num_rows() as u64;
+            let sp = ctx.spill_ctx();
             let out = execute_aggregate_par(
                 &child,
                 group_exprs,
@@ -477,6 +546,7 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
                 &schema,
                 workers,
                 ctx.conf.effective_rawtable_enabled(),
+                sp.as_ref(),
             )?;
             let mut t = NodeTrace::leaf("Aggregate");
             t.parallel_workers = workers as u64;
@@ -485,6 +555,9 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             t.is_boundary = !group_exprs.is_empty() || grouping_sets.is_some();
             t.shuffle_rows = t.rows_in;
             t.children = vec![ct];
+            if let Some(sp) = &sp {
+                fold_spill(&mut t, sp);
+            }
             Ok((SelBatch::from_batch(out), t))
         }
         LogicalPlan::Window { input, windows } => {
@@ -525,8 +598,12 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             // per-row comparator then never touches string bytes.
             let accesses: Vec<SortAccess<'_>> =
                 key_cols.iter().map(|c| SortAccess::new(c)).collect();
-            let mut pos: Vec<u32> = (0..child.num_rows() as u32).collect();
-            pos.sort_by(|&a, &b| {
+            let n = child.num_rows();
+            // Shared comparator: the in-memory stable sort and the
+            // external-merge path must order rows identically (the
+            // comparator reads dictionary rank tables, so dict-encoded
+            // keys never decode on either path).
+            let cmp = |a: u32, b: u32| {
                 let (ra, rb) = (child.sel.index(a as usize), child.sel.index(b as usize));
                 for (acc, key) in accesses.iter().zip(keys) {
                     let ord = acc.cmp_rows(ra, rb, key.nulls_first);
@@ -536,16 +613,42 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
                     }
                 }
                 std::cmp::Ordering::Equal
-            });
+            };
+            let sp = ctx.spill_ctx();
+            let est = crate::spill::estimate_sort_bytes(n, keys.len().max(1));
+            // Grant held for the whole sort; a denial degrades to
+            // bounded runs + k-way merge (or, with spill disabled,
+            // proceeds over budget — visible in the broker peak).
+            let grant = sp.as_ref().map(|s| s.broker.try_reserve("sort", est));
+            let pos: Vec<u32> = match (&sp, &grant) {
+                (Some(sp), Some(None)) if sp.enabled => external_sort(
+                    n,
+                    crate::spill::estimate_sort_bytes(1, keys.len().max(1)),
+                    cmp,
+                    sp,
+                )?,
+                _ => {
+                    let _forced = match (&sp, &grant) {
+                        (Some(s), Some(None)) => Some(s.broker.force_reserve("sort", est)),
+                        _ => None,
+                    };
+                    let mut pos: Vec<u32> = (0..n as u32).collect();
+                    pos.sort_by(|&a, &b| cmp(a, b));
+                    pos
+                }
+            };
             // The output permutation rides out as a selection —
             // sorting moves no column data at all.
             let sel = child.sel.compose(&pos);
             let mut t = NodeTrace::leaf("Sort");
-            t.rows_in = child.num_rows() as u64;
+            t.rows_in = n as u64;
             t.rows_out = sel.len() as u64;
             t.is_boundary = true;
             t.shuffle_rows = t.rows_in;
             t.children = vec![ct];
+            if let Some(sp) = &sp {
+                fold_spill(&mut t, sp);
+            }
             Ok((SelBatch::new(child.batch, sel)?, t))
         }
         LogicalPlan::Limit { input, n } => {
@@ -596,6 +699,93 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             Ok((SelBatch::from_batch(out), t))
         }
     }
+}
+
+/// Fold one operator's spill I/O into its trace node. Spill bytes
+/// count into `bytes_disk` (the sim-time model meters them like any
+/// other disk traffic) and retry backoff into `backoff_wait_ms` —
+/// deliberately NOT into `fragment_retries`, which sim-time treats as
+/// whole-task re-execution; a retried spill write re-does one I/O, not
+/// the operator.
+fn fold_spill(t: &mut NodeTrace, sp: &SpillCtx<'_>) {
+    let (w, r) = (sp.stats.bytes_written(), sp.stats.bytes_read());
+    t.bytes_spilled += w;
+    t.bytes_disk += w + r;
+    t.io_ops += sp.stats.files() + sp.stats.reads();
+    t.backoff_wait_ms += sp.stats.backoff_ms();
+}
+
+/// External-merge sort: bounded runs + k-way merge. Positions are
+/// split into consecutive chunks sized to the broker's working budget,
+/// each chunk stable-sorted in memory and spilled as little-endian
+/// `u32` positions, then merged. On ties the merge prefers the
+/// lowest-index run; runs cover consecutive position ranges, so for
+/// equal keys the earlier run holds the earlier original positions —
+/// the merge output is exactly the in-memory stable sort's order,
+/// which is what makes the tiny-budget arm byte-identical.
+fn external_sort(
+    n: usize,
+    per_row: u64,
+    cmp: impl Fn(u32, u32) -> std::cmp::Ordering,
+    sp: &SpillCtx<'_>,
+) -> Result<Vec<u32>> {
+    let op = sp.next_op();
+    let run_len = (sp.broker.chunk_budget() / per_row.max(1))
+        .max(1024)
+        .min(n.max(1) as u64) as usize;
+    let mut files = Vec::new();
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + run_len).min(n);
+        // Run state is charged (forced: the denial already happened;
+        // runs are how the sort lives within its means).
+        let _g = sp
+            .broker
+            .force_reserve("sort-run", (hi - lo) as u64 * per_row);
+        let mut run: Vec<u32> = (lo as u32..hi as u32).collect();
+        run.sort_by(|&a, &b| cmp(a, b));
+        let mut buf = Vec::with_capacity(run.len() * 4);
+        for p in &run {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        files.push(sp.write(&format!("op{op}-run{}.sort", files.len()), buf)?);
+        lo = hi;
+    }
+    // Merge state is the position arrays alone — 4 bytes/row versus
+    // the full comparator working set the broker denied.
+    let _merge = sp.broker.force_reserve("sort-merge", n as u64 * 4);
+    let mut runs: Vec<Vec<u32>> = Vec::with_capacity(files.len());
+    for f in &files {
+        let buf = sp.read(f)?;
+        if buf.len() % 4 != 0 {
+            return Err(HiveError::Format("sort run not u32-aligned".into()));
+        }
+        runs.push(
+            buf.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect(),
+        );
+    }
+    drop(files); // runs are merged from memory; delete the spill files
+    let mut heads = vec![0usize; runs.len()];
+    let mut out = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, r) in runs.iter().enumerate() {
+            if heads[i] >= r.len() {
+                continue;
+            }
+            best = Some(match best {
+                Some(b) if cmp(r[heads[i]], runs[b][heads[b]]) == std::cmp::Ordering::Less => i,
+                Some(b) => b,
+                None => i,
+            });
+        }
+        let Some(i) = best else { break };
+        out.push(runs[i][heads[i]]);
+        heads[i] += 1;
+    }
+    Ok(out)
 }
 
 /// Per-key accessor for Sort: a dictionary-encoded string key compares

@@ -11,6 +11,7 @@
 
 use crate::kernels::eval_vector;
 use crate::rawtable::{self, RawTable};
+use crate::spill::{partition_of, plan_partition, push_rec, RecIter, SpillCtx};
 use hive_common::hash::{self, FNV_OFFSET};
 use hive_common::{
     BitSet, ColumnBuilder, ColumnVector, HiveError, Result, Schema, SelBatch, SelVec, Value,
@@ -43,6 +44,7 @@ pub fn execute_join(
         build_row_budget,
         1,
         true,
+        None,
     )
 }
 
@@ -306,14 +308,47 @@ pub fn execute_join_par(
     build_row_budget: usize,
     workers: usize,
     rawtable: bool,
+    spill: Option<&SpillCtx<'_>>,
 ) -> Result<VectorBatch> {
-    if right_in.num_rows() > build_row_budget {
-        return Err(HiveError::Retryable(format!(
-            "hash join build side has {} rows, exceeding the {} row budget",
-            right_in.num_rows(),
-            build_row_budget
-        )));
-    }
+    // Memory admission. With a broker present the build's modeled bytes
+    // must win a grant (held for the whole join); a denial — or the
+    // legacy row budget, kept as a planner-misprediction signal —
+    // degrades to the grace hash join when spill is enabled, and
+    // otherwise downgrades the typed memory error to `Retryable` so the
+    // §4.2 re-optimization ladder still applies.
+    let over_rows = right_in.num_rows() > build_row_budget;
+    let mut grace = false;
+    let _grant = match spill {
+        Some(sp) => {
+            let est = crate::spill::estimate_table_bytes(right_in.num_rows(), equi.len().max(1));
+            let g = sp.broker.try_reserve("hash-join-build", est);
+            if g.is_none() || over_rows {
+                if !sp.enabled {
+                    let err = HiveError::MemoryExceeded {
+                        operator: "hash-join-build".into(),
+                        requested: est,
+                        granted: sp.broker.available(),
+                    };
+                    return Err(HiveError::Retryable(err.to_string()));
+                }
+                grace = true;
+                None // grace partitions charge their own working sets
+            } else {
+                g
+            }
+        }
+        None => {
+            if over_rows {
+                let err = HiveError::MemoryExceeded {
+                    operator: "hash-join-build".into(),
+                    requested: right_in.num_rows() as u64,
+                    granted: build_row_budget as u64,
+                };
+                return Err(HiveError::Retryable(err.to_string()));
+            }
+            None
+        }
+    };
 
     // Computed key expressions evaluate over whole batches, so a side
     // with a stacked selection and non-trivial keys compacts up front;
@@ -362,6 +397,31 @@ pub fn execute_join_par(
         .zip(&rkeys)
         .map(|(l, r)| JoinCodec::new(l.as_ref(), r.as_ref()))
         .collect();
+
+    let residual_ok = |li: u32, ri: u32| -> Result<bool> {
+        match residual {
+            None => Ok(true),
+            Some(pred) => {
+                let mut vals = left.batch.row(left.sel.index(li as usize)).into_values();
+                vals.extend(right.batch.row(right.sel.index(ri as usize)).into_values());
+                Ok(eval_scalar(pred, &vals)? == Value::Boolean(true))
+            }
+        }
+    };
+
+    if grace {
+        let sp = spill.expect("grace join requires a spill context");
+        return grace_join(
+            &left,
+            &right,
+            join_type,
+            &codecs,
+            &residual_ok,
+            out_schema,
+            sp,
+            rawtable,
+        );
+    }
 
     // --- build ------------------------------------------------------------
     // Hash-partitioned build over the right side: a key's rows all land
@@ -438,17 +498,6 @@ pub fn execute_join_par(
         BuildSide::Map(tables)
     };
 
-    let residual_ok = |li: u32, ri: u32| -> Result<bool> {
-        match residual {
-            None => Ok(true),
-            Some(pred) => {
-                let mut vals = left.batch.row(left.sel.index(li as usize)).into_values();
-                vals.extend(right.batch.row(right.sel.index(ri as usize)).into_values());
-                Ok(eval_scalar(pred, &vals)? == Value::Boolean(true))
-            }
-        }
-    };
-
     // --- probe ------------------------------------------------------------
     // Contiguous left-row ranges probed in parallel; range outputs
     // concatenate in range order, reproducing the serial probe order.
@@ -504,48 +553,7 @@ pub fn execute_join_par(
                     }
                 }
             }
-            match join_type {
-                JoinType::Inner | JoinType::Cross => {
-                    for &ri in &kept {
-                        out.left.push(li);
-                        out.right.push(Some(ri));
-                    }
-                }
-                JoinType::Left => {
-                    if kept.is_empty() {
-                        out.left.push(li);
-                        out.right.push(None);
-                    } else {
-                        for &ri in &kept {
-                            out.left.push(li);
-                            out.right.push(Some(ri));
-                        }
-                    }
-                }
-                JoinType::Right | JoinType::Full => {
-                    for &ri in &kept {
-                        out.matched_right.push(ri);
-                        out.left.push(li);
-                        out.right.push(Some(ri));
-                    }
-                    if join_type == JoinType::Full && kept.is_empty() {
-                        out.left.push(li);
-                        out.right.push(None);
-                    }
-                }
-                JoinType::Semi => {
-                    if !kept.is_empty() {
-                        out.left.push(li);
-                        out.right.push(None);
-                    }
-                }
-                JoinType::Anti => {
-                    if kept.is_empty() {
-                        out.left.push(li);
-                        out.right.push(None);
-                    }
-                }
-            }
+            emit_probe(join_type, li, &kept, &mut out);
         }
         Ok(out)
     };
@@ -602,6 +610,326 @@ struct ProbeOut {
     left: Vec<u32>,
     right: Vec<Option<u32>>,
     matched_right: Vec<u32>,
+}
+
+/// Emit probe row `li`'s output for its residual-surviving candidate
+/// list `kept` — the single source of truth for per-join-type emission
+/// semantics, shared by the in-memory probe and the grace join's
+/// partition probes (which is what makes them byte-identical).
+fn emit_probe(join_type: JoinType, li: u32, kept: &[u32], out: &mut ProbeOut) {
+    match join_type {
+        JoinType::Inner | JoinType::Cross => {
+            for &ri in kept {
+                out.left.push(li);
+                out.right.push(Some(ri));
+            }
+        }
+        JoinType::Left => {
+            if kept.is_empty() {
+                out.left.push(li);
+                out.right.push(None);
+            } else {
+                for &ri in kept {
+                    out.left.push(li);
+                    out.right.push(Some(ri));
+                }
+            }
+        }
+        JoinType::Right | JoinType::Full => {
+            for &ri in kept {
+                out.matched_right.push(ri);
+                out.left.push(li);
+                out.right.push(Some(ri));
+            }
+            if join_type == JoinType::Full && kept.is_empty() {
+                out.left.push(li);
+                out.right.push(None);
+            }
+        }
+        JoinType::Semi => {
+            if !kept.is_empty() {
+                out.left.push(li);
+                out.right.push(None);
+            }
+        }
+        JoinType::Anti => {
+            if kept.is_empty() {
+                out.left.push(li);
+                out.right.push(None);
+            }
+        }
+    }
+}
+
+/// The grace (recursive partitioned) hash join: both sides' keys are
+/// encoded into spill records — the stored 64-bit FNV-1a hash plus the
+/// canonical key bytes, i.e. exactly the flat table's probe hash and
+/// arena contents, so partitions read back from disk rebuild their
+/// tables without re-hashing or re-encoding. Payload columns never
+/// spill: records carry *positions*, and assembly gathers from the
+/// resident input batches at the end, exactly like the in-memory path.
+///
+/// Determinism: the whole grace pipeline is serial (hashing, routing,
+/// partition order, leaf probes), so its output — and its spill I/O
+/// schedule, which seeded fault injection keys on file paths — is a
+/// pure function of the input, independent of the worker count.
+///
+/// Output order: leaf partitions emit `(left, right)` position pairs in
+/// partition-local probe order; a final stable sort by left position
+/// restores global probe order. Within one left row all matches live in
+/// one partition (same key ⇒ same hash ⇒ same route) and leaf chains
+/// insert in ascending right position, so the sorted pair list is
+/// byte-identical to the in-memory probe's emission order.
+#[allow(clippy::too_many_arguments)]
+fn grace_join(
+    left: &SelBatch,
+    right: &SelBatch,
+    join_type: JoinType,
+    codecs: &[JoinCodec<'_>],
+    residual_ok: &dyn Fn(u32, u32) -> Result<bool>,
+    out_schema: &Schema,
+    sp: &SpillCtx<'_>,
+    rawtable: bool,
+) -> Result<VectorBatch> {
+    let op = sp.next_op();
+    let rhashes = hash_rows(codecs, 0, right.num_rows(), true);
+    let phashes = hash_rows(codecs, 0, left.num_rows(), false);
+
+    let mut out = ProbeOut::default();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut build: Vec<u8> = Vec::new();
+    let mut brows = 0usize;
+    for (i, h) in rhashes.iter().enumerate() {
+        // NULL build keys never enter any build — same as in-memory.
+        if let Some(h) = *h {
+            scratch.clear();
+            for c in codecs {
+                c.encode_build_part(i, &mut scratch);
+            }
+            push_rec(&mut build, h, i as u32, &scratch);
+            brows += 1;
+        }
+    }
+    let mut probe: Vec<u8> = Vec::new();
+    for (i, h) in phashes.iter().enumerate() {
+        match *h {
+            Some(h) => {
+                scratch.clear();
+                for c in codecs {
+                    c.encode_probe_part(i, &mut scratch);
+                }
+                push_rec(&mut probe, h, i as u32, &scratch);
+            }
+            // NULL probe keys never match: emit their no-match output
+            // up front; the final stable sort interleaves it back.
+            None => emit_probe(join_type, i as u32, &[], &mut out),
+        }
+    }
+
+    let mut file_seq = 0u64;
+    grace_solve(
+        sp,
+        op,
+        join_type,
+        codecs.len().max(1),
+        rawtable,
+        residual_ok,
+        0,
+        None,
+        brows,
+        &build,
+        &probe,
+        &mut out,
+        &mut file_seq,
+    )?;
+
+    // Restore global probe order (stable: within a left row, partition
+    // emission order is ascending right position already).
+    let mut order: Vec<u32> = (0..out.left.len() as u32).collect();
+    order.sort_by_key(|&i| out.left[i as usize]);
+    let out_left: Vec<u32> = order.iter().map(|&i| out.left[i as usize]).collect();
+    let out_right: Vec<Option<u32>> = order.iter().map(|&i| out.right[i as usize]).collect();
+
+    let mut right_matched = vec![false; right.num_rows()];
+    for ri in out.matched_right {
+        right_matched[ri as usize] = true;
+    }
+    let mut extra_right: Vec<u32> = Vec::new();
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for (ri, m) in right_matched.iter().enumerate() {
+            if !m {
+                extra_right.push(ri as u32);
+            }
+        }
+    }
+    assemble(
+        left,
+        right,
+        join_type,
+        &out_left,
+        &out_right,
+        &extra_right,
+        out_schema,
+    )
+}
+
+/// Solve one grace partition: fit it in memory (charging the broker)
+/// or split it `fanout` ways through spill files and recurse. Every
+/// partition file is written before any is read back — the grace
+/// discipline that bounds resident record state to one partition.
+#[allow(clippy::too_many_arguments)]
+fn grace_solve(
+    sp: &SpillCtx<'_>,
+    op: u64,
+    join_type: JoinType,
+    key_cols: usize,
+    rawtable: bool,
+    residual_ok: &dyn Fn(u32, u32) -> Result<bool>,
+    depth: u32,
+    parent_build_rows: Option<usize>,
+    brows: usize,
+    build: &[u8],
+    probe: &[u8],
+    out: &mut ProbeOut,
+    file_seq: &mut u64,
+) -> Result<()> {
+    let est = crate::spill::estimate_table_bytes(brows, key_cols);
+    let plan = plan_partition(
+        est,
+        sp.broker.chunk_budget(),
+        depth,
+        brows,
+        parent_build_rows,
+    );
+    if plan.process_in_memory {
+        // Forced when over budget: degradation has bottomed out (skewed
+        // single-key partition / depth cap) and proceeding beats
+        // failing; the overshoot lands in the broker peak.
+        let _g = match sp.broker.try_reserve("join-partition", est) {
+            Some(g) => g,
+            None => sp.broker.force_reserve("join-partition", est),
+        };
+        let mut kept: Vec<u32> = Vec::new();
+        if rawtable {
+            let mut b = RawBuild::default();
+            for rec in RecIter::new(build) {
+                let (h, ri, key) = rec?;
+                let (e, inserted) = b.table.insert(h, key);
+                let link = b.rows.len() as u32;
+                b.rows.push(ri);
+                b.next.push(u32::MAX);
+                if inserted {
+                    b.head.push(link);
+                    b.tail.push(link);
+                } else {
+                    b.next[b.tail[e as usize] as usize] = link;
+                    b.tail[e as usize] = link;
+                }
+            }
+            for rec in RecIter::new(probe) {
+                let (h, li, key) = rec?;
+                kept.clear();
+                if let Some(e) = b.table.find(h, key) {
+                    let mut link = b.head[e as usize];
+                    while link != u32::MAX {
+                        let ri = b.rows[link as usize];
+                        if residual_ok(li, ri)? {
+                            kept.push(ri);
+                        }
+                        link = b.next[link as usize];
+                    }
+                }
+                emit_probe(join_type, li, &kept, out);
+            }
+        } else {
+            // Differential-oracle arm: keyed by the canonical encoding
+            // bytes (encoding equality ⟺ key equality, so this matches
+            // the `Vec<JPart>` map byte for byte).
+            let mut table: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+            for rec in RecIter::new(build) {
+                let (_h, ri, key) = rec?;
+                table.entry(key.to_vec()).or_default().push(ri);
+            }
+            for rec in RecIter::new(probe) {
+                let (_h, li, key) = rec?;
+                kept.clear();
+                if let Some(cands) = table.get(key) {
+                    for &ri in cands {
+                        if residual_ok(li, ri)? {
+                            kept.push(ri);
+                        }
+                    }
+                }
+                emit_probe(join_type, li, &kept, out);
+            }
+        }
+        return Ok(());
+    }
+
+    let fanout = plan.fanout;
+    let mut bparts: Vec<(Vec<u8>, usize)> = vec![(Vec::new(), 0); fanout];
+    let mut pparts: Vec<(Vec<u8>, usize)> = vec![(Vec::new(), 0); fanout];
+    for rec in RecIter::new(build) {
+        let (h, ri, key) = rec?;
+        let p = partition_of(h, depth, fanout);
+        push_rec(&mut bparts[p].0, h, ri, key);
+        bparts[p].1 += 1;
+    }
+    for rec in RecIter::new(probe) {
+        let (h, li, key) = rec?;
+        let p = partition_of(h, depth, fanout);
+        push_rec(&mut pparts[p].0, h, li, key);
+        pparts[p].1 += 1;
+    }
+    // Write all 2·fanout files, then read partitions back one at a time
+    // (RAII guards delete each pair as its recursion completes).
+    let mut files = Vec::with_capacity(fanout);
+    for (p, ((bbuf, bn), (pbuf, pn))) in bparts.drain(..).zip(pparts.drain(..)).enumerate() {
+        let id = *file_seq;
+        *file_seq += 1;
+        let bf = if bbuf.is_empty() {
+            None
+        } else {
+            Some(sp.write(&format!("op{op}-s{id}-p{p}-build.grace"), bbuf)?)
+        };
+        let pf = if pbuf.is_empty() {
+            None
+        } else {
+            Some(sp.write(&format!("op{op}-s{id}-p{p}-probe.grace"), pbuf)?)
+        };
+        files.push((bf, pf, bn, pn));
+    }
+    for (bf, pf, bn, pn) in files {
+        // No probe rows: nothing to emit or match in this partition.
+        if pn == 0 {
+            continue;
+        }
+        let bbuf = match &bf {
+            Some(f) => sp.read(f)?,
+            None => Vec::new(),
+        };
+        let pbuf = match &pf {
+            Some(f) => sp.read(f)?,
+            None => Vec::new(),
+        };
+        drop((bf, pf));
+        grace_solve(
+            sp,
+            op,
+            join_type,
+            key_cols,
+            rawtable,
+            residual_ok,
+            depth + 1,
+            Some(brows),
+            bn,
+            &bbuf,
+            &pbuf,
+            out,
+            file_seq,
+        )?;
+    }
+    Ok(())
 }
 
 /// Gather the output columns. `out_left`/`out_right`/`extra_right` hold
@@ -838,7 +1166,119 @@ mod tests {
             2,
         )
         .unwrap_err();
+        // No spill context: the typed memory error downgrades to the
+        // retryable form that feeds re-optimization, carrying the
+        // broker diagnosis in its message.
         assert!(err.is_retryable());
+        assert!(
+            err.to_string().contains("MEMORY_EXCEEDED"),
+            "expected the typed memory diagnosis, got: {err}"
+        );
+    }
+
+    #[test]
+    fn spill_disabled_with_budget_downgrades_to_retryable() {
+        use crate::membroker::MemoryBroker;
+        use hive_dfs::{DfsPath, DistFs};
+        use std::sync::atomic::AtomicU64;
+        let l = big_batch("l", 2_000, 100);
+        let r = big_batch("r", 2_000, 100);
+        let out_schema = l.schema().join(r.schema());
+        let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
+        let fs = DistFs::new();
+        let broker = MemoryBroker::with_budget(8 * 1024);
+        let ops = AtomicU64::new(0);
+        let sp = SpillCtx::new(&fs, DfsPath::new("/tmp/spill/q0"), &broker, false, &ops);
+        let err = execute_join_par(
+            &SelBatch::from_batch(l),
+            &SelBatch::from_batch(r),
+            JoinType::Inner,
+            &equi,
+            &None,
+            &out_schema,
+            usize::MAX,
+            1,
+            true,
+            Some(&sp),
+        )
+        .unwrap_err();
+        assert!(err.is_retryable());
+        assert!(err.to_string().contains("MEMORY_EXCEEDED"), "{err}");
+    }
+
+    #[test]
+    fn grace_join_is_byte_identical_and_spills() {
+        use crate::membroker::MemoryBroker;
+        use hive_dfs::{DfsPath, DistFs};
+        use std::sync::atomic::AtomicU64;
+        let l = big_batch("l", 9_000, 500);
+        let r = big_batch("r", 3_000, 500);
+        let equi = vec![(ScalarExpr::Column(0), ScalarExpr::Column(0))];
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Right,
+            JoinType::Full,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let out_schema = if jt.keeps_right() {
+                l.schema().join(r.schema())
+            } else {
+                l.schema().clone()
+            };
+            let lsb = SelBatch::from_batch(l.clone());
+            let rsb = SelBatch::from_batch(r.clone());
+            let base = execute_join_par(
+                &lsb,
+                &rsb,
+                jt,
+                &equi,
+                &None,
+                &out_schema,
+                1_000_000,
+                1,
+                false,
+                None,
+            )
+            .unwrap();
+            let base_rows: Vec<String> = base.to_rows().iter().map(|row| row.to_string()).collect();
+            for rawtable in [false, true] {
+                let fs = DistFs::new();
+                // A few KB: far below the build estimate, so the grace
+                // path must engage and recurse at least one level.
+                let broker = MemoryBroker::with_budget(16 * 1024);
+                let ops = AtomicU64::new(0);
+                let sp = SpillCtx::new(&fs, DfsPath::new("/tmp/spill/q0"), &broker, true, &ops);
+                let out = execute_join_par(
+                    &lsb,
+                    &rsb,
+                    jt,
+                    &equi,
+                    &None,
+                    &out_schema,
+                    1_000_000,
+                    1,
+                    rawtable,
+                    Some(&sp),
+                )
+                .unwrap();
+                let rows: Vec<String> = out.to_rows().iter().map(|row| row.to_string()).collect();
+                assert_eq!(rows, base_rows, "{jt:?} grace rawtable={rawtable} diverged");
+                assert!(
+                    sp.stats.bytes_written() > 0,
+                    "{jt:?} grace run never spilled"
+                );
+                assert!(sp.stats.bytes_read() > 0, "partitions were read back");
+                assert!(
+                    fs.list_files_recursive(&DfsPath::new("/tmp/spill"))
+                        .is_empty(),
+                    "spill files all deleted after the join"
+                );
+                assert!(broker.denials() > 0);
+                assert_eq!(broker.reserved(), 0, "all grants released");
+            }
+        }
     }
 
     #[test]
@@ -911,6 +1351,7 @@ mod tests {
                 1_000_000,
                 1,
                 false,
+                None,
             )
             .unwrap();
             let base_rows: Vec<String> = base.to_rows().iter().map(|row| row.to_string()).collect();
@@ -927,6 +1368,7 @@ mod tests {
                         1_000_000,
                         workers,
                         rawtable,
+                        None,
                     )
                     .unwrap();
                     let rows: Vec<String> =
@@ -993,6 +1435,7 @@ mod tests {
                 1_000_000,
                 1,
                 rawtable,
+                None,
             )
             .unwrap();
             out.to_rows().iter().map(|row| row.to_string()).collect()

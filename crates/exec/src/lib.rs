@@ -18,16 +18,20 @@ pub(crate) mod dict;
 pub mod engine;
 pub mod join;
 pub mod kernels;
+pub mod membroker;
 pub(crate) mod par;
 pub mod rawtable;
 pub mod recovery;
 pub mod scan;
 pub mod simtime;
+pub mod spill;
 pub mod window;
 
 pub use engine::{
     execute, execute_sel, execute_simple, ExecContext, ExternalScanResult, ExternalScanner,
-    FaultCharges, NodeTrace, SnapshotProvider, WideOpenSnapshots,
+    FaultCharges, NodeTrace, SnapshotProvider, SpillConfig, WideOpenSnapshots,
 };
+pub use membroker::{scaled_budget, MemGrant, MemoryBroker};
 pub use rawtable::RawTable;
 pub use simtime::{simulate_ms, summarize, SimCostModel, SimSummary};
+pub use spill::{SpillCtx, SpillFile, SpillStats};

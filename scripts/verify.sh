@@ -32,6 +32,13 @@
 # table forced off and then on (HIVE_RAWTABLE_ENABLED overrides
 # hive.exec.rawtable.enabled) — results must be identical either way —
 # then runs the hashtable benchmark, which refreshes BENCH_hash.json.
+#
+# HIVE_SPILL_SWEEP=1 re-runs the test suite under a forced tiny
+# per-query memory budget (HIVE_MEMORY_BUDGET overrides
+# hive.exec.memory.per.query.bytes), pushing every blocking operator
+# through the grace-join / spilled-aggregation / external-sort paths —
+# results must be identical to the unbudgeted runs — then runs the
+# spill benchmark, which refreshes BENCH_spill.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -90,6 +97,15 @@ if [[ -n "${HIVE_RAWTABLE_SWEEP:-}" ]]; then
     done
     echo "== rawtable sweep: benchmark (writes BENCH_hash.json) =="
     cargo bench -q --offline -p hive-bench --bench hashtable
+fi
+
+if [[ -n "${HIVE_SPILL_SWEEP:-}" ]]; then
+    for budget in 32768 1048576; do
+        echo "== spill sweep: tests at HIVE_MEMORY_BUDGET=$budget =="
+        HIVE_MEMORY_BUDGET="$budget" cargo test -q --offline --workspace
+    done
+    echo "== spill sweep: benchmark (writes BENCH_spill.json) =="
+    cargo bench -q --offline -p hive-bench --bench spill
 fi
 
 echo "verify: OK"

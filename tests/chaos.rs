@@ -173,6 +173,86 @@ proptest! {
     }
 }
 
+/// Spill-targeted chaos: a tiny memory budget forces the reference
+/// query's group-by through the spill path while a targeted fault fails
+/// every spill-file read and write twice before healing (plus
+/// probabilistic write faults on top). The recovery ladder must retry
+/// the spill I/O to byte-identical rows, and the simulated-time penalty
+/// must replay exactly from the seed.
+#[test]
+fn spill_io_faults_recover_with_identical_results() {
+    let (baseline, ..) = run_under_plan(&FaultPlan::none()).unwrap();
+
+    let run = |plan: &FaultPlan| {
+        let server = load_warehouse();
+        server.set_conf(|c| {
+            c.fault = plan.clone();
+            c.memory_per_query_bytes = 4096;
+        });
+        let r = server.session().execute(QUERY).unwrap();
+        (
+            r.display_rows(),
+            r.sim_ms,
+            r.bytes_spilled,
+            r.peak_memory_bytes,
+        )
+    };
+
+    // Fault-free budgeted run: the query must actually spill.
+    let (rows, base_ms, spilled, peak) = run(&FaultPlan::none());
+    assert_eq!(rows, baseline, "spilling must not change results");
+    assert!(spilled > 0, "tiny budget must force a spill");
+    assert!(peak > 0, "the broker must have tracked working memory");
+
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0x5B111;
+        p.fail_path_substrings = vec!["spill".into()];
+        p.path_fail_count = 2;
+        p.dfs_write_error_prob = 0.25;
+    });
+    let (rows, sim_ms, spilled, _) = run(&plan);
+    assert_eq!(rows, baseline, "spill-fault recovery changed results");
+    assert!(spilled > 0, "faults must not suppress the spill itself");
+    assert!(
+        sim_ms > base_ms,
+        "retried spill I/O must cost simulated time: {sim_ms} vs {base_ms}"
+    );
+
+    // Same seed, fresh warehouse: the penalty replays bit-for-bit.
+    let (rows2, sim_ms2, ..) = run(&plan);
+    assert_eq!(rows2, baseline);
+    assert_eq!(sim_ms2, sim_ms, "spill fault penalty must be deterministic");
+}
+
+/// The RAII spill-file guard: with recovery disabled, a never-healing
+/// targeted fault aborts the query mid-spill. The unwind must still
+/// delete every spill file — no orphans under the spill root.
+#[test]
+fn aborted_spill_leaves_no_orphan_files() {
+    let server = load_warehouse();
+    server.set_conf(|c| {
+        c.memory_per_query_bytes = 4096;
+        c.fault = FaultPlan::none().with(|p| {
+            p.seed = 0xDEAD;
+            p.fail_path_substrings = vec!["spill".into()];
+            p.path_fail_count = u32::MAX; // never heals
+            p.recovery_enabled = false;
+        });
+    });
+    let err = server.session().execute(QUERY).unwrap_err();
+    assert!(
+        err.is_transient(),
+        "expected the injected fault, got: {err}"
+    );
+    let leftovers = server
+        .fs()
+        .list_files_recursive(&hive_warehouse::DfsPath::new("/tmp/hive/spill"));
+    assert!(
+        leftovers.is_empty(),
+        "orphan spill files after abort: {leftovers:?}"
+    );
+}
+
 /// `HIVE_FAULT_SEED`-driven chaos replay for CI (scripts/verify.sh sets
 /// the variable); a no-op when the variable is unset.
 #[test]
