@@ -1,0 +1,279 @@
+//! Concurrent-serving throughput (paper §5.2, BigBench-style): drive
+//! 1 / 4 / 16 tenant streams of curated TPC-DS queries through the
+//! workload manager on the simulated timeline and measure aggregate
+//! queries/hour of sim-time per stream count.
+//!
+//! The resource plan routes the `analysts` group (even streams) to the
+//! `bi` pool and everything else to `etl`; pool parallelism is small
+//! enough that 16 streams queue for admission, and a downgrade trigger
+//! (threshold tuned to ~1.5× the median solo runtime) moves long
+//! bi queries to etl mid-flight. `rows_per_task` is lowered so traced
+//! parallel widths are a real fraction of the 80-slot cluster — the
+//! max-min fair-share model then decides how much concurrency actually
+//! pays.
+//!
+//! Before timing, every completed query is checked byte-identical to a
+//! serial single-session run on a fresh server — concurrency may only
+//! move sim-time, never rows. The 16-stream arm must clear ≥ 2× the
+//! 1-stream rate.
+//!
+//! Results land in `BENCH_throughput.json` at the repo root.
+//!
+//! Run: `cargo bench -p hive-bench --bench throughput` (or via
+//! scripts/verify.sh; `HIVE_WM_SWEEP=1` runs the determinism sweep
+//! first).
+
+use hive_benchdata::tpcds::{self, TpcdsScale};
+use hive_common::HiveConf;
+use hive_core::{run_streams, HiveServer, QueryStream, QueryVerdict, ServingOptions};
+use hive_llap::{Mapping, Pool, ResourcePlan, Trigger, TriggerAction};
+use std::collections::HashMap;
+
+const STREAM_COUNTS: [usize; 3] = [1, 4, 16];
+const QUERIES_PER_STREAM: usize = 8;
+
+/// Lowered from the 100k default so bench-scale queries trace widths
+/// of ~10–25 slots: enough that a handful of concurrent queries
+/// saturate the 80-slot cluster and fair sharing becomes the limiter.
+const ROWS_PER_TASK: usize = 2_000;
+
+fn scale() -> TpcdsScale {
+    TpcdsScale {
+        days: 8,
+        items: 150,
+        customers: 200,
+        stores: 4,
+        sales_per_day: 3000,
+        return_rate: 0.1,
+    }
+}
+
+fn load_server() -> HiveServer {
+    let mut conf = HiveConf::v3_1();
+    conf.rows_per_task = ROWS_PER_TASK;
+    // Measure executions, not cache hits: 16 streams replaying each
+    // other's SQL from the results cache would be free concurrency.
+    conf.results_cache = false;
+    let server = HiveServer::new(conf);
+    tpcds::load(&server, scale(), 0xDA7A).unwrap();
+    server
+}
+
+/// Seeded LCG so stream scripts are deterministic and identical across
+/// sweep arms (stream `i` runs the same script at 1, 4, and 16
+/// streams).
+fn make_streams(n: usize) -> Vec<QueryStream> {
+    let queries = tpcds::queries();
+    (0..n)
+        .map(|i| {
+            let mut state: u64 = 0x5EED_0000 + i as u64;
+            let statements = (0..QUERIES_PER_STREAM)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    queries[((state >> 33) as usize) % queries.len()]
+                        .sql
+                        .clone()
+                })
+                .collect();
+            QueryStream {
+                name: format!("stream-{i}"),
+                user: format!("user-{i}"),
+                application: None,
+                // Even streams are BI analysts → bi pool; odd streams
+                // fall through to the etl default.
+                groups: if i % 2 == 0 {
+                    vec!["analysts".to_string()]
+                } else {
+                    vec![]
+                },
+                statements,
+            }
+        })
+        .collect()
+}
+
+/// bi/etl pools sized so a 16-stream run queues for admission, plus
+/// the paper's downgrade rule (threshold from the measured median solo
+/// runtime) and a far-out reaper that exercises the kill plumbing.
+fn serving_plan(median_solo_ms: f64, max_solo_ms: f64) -> ResourcePlan {
+    ResourcePlan {
+        name: "serving".into(),
+        pools: vec![
+            Pool {
+                name: "bi".into(),
+                alloc_fraction: 0.8,
+                query_parallelism: 3,
+            },
+            Pool {
+                name: "etl".into(),
+                alloc_fraction: 0.2,
+                query_parallelism: 6,
+            },
+        ],
+        mappings: vec![Mapping::Group {
+            name: "analysts".into(),
+            pool: "bi".into(),
+        }],
+        triggers: vec![
+            Trigger {
+                name: "downgrade".into(),
+                pool: "bi".into(),
+                total_runtime_ms_threshold: ((median_solo_ms * 1.5) as u64).max(1),
+                action: TriggerAction::MoveToPool("etl".into()),
+            },
+            Trigger {
+                name: "reaper".into(),
+                pool: "etl".into(),
+                total_runtime_ms_threshold: ((max_solo_ms * 50.0) as u64).max(1_000),
+                action: TriggerAction::Kill,
+            },
+        ],
+        default_pool: Some("etl".into()),
+    }
+}
+
+struct ArmResult {
+    streams: usize,
+    submitted: usize,
+    completed: usize,
+    killed: usize,
+    rejected: usize,
+    moves: usize,
+    span_ms: f64,
+    queries_per_hour: f64,
+    avg_wait_ms: f64,
+    max_wait_ms: f64,
+}
+
+fn main() {
+    // Env knobs from HIVE_*_SWEEP test runs must not override what
+    // this harness configures explicitly.
+    std::env::remove_var("HIVE_PARALLEL_THREADS");
+    std::env::remove_var("HIVE_FAULT_SEED");
+    std::env::remove_var("HIVE_WM_STREAMS");
+
+    // Serial oracle: rows + solo sim-times for every curated query on
+    // a fresh server with no resource plan.
+    let oracle_server = load_server();
+    let mut oracle_rows: HashMap<String, Vec<String>> = HashMap::new();
+    let mut solo_ms: Vec<f64> = Vec::new();
+    for q in tpcds::queries() {
+        let r = oracle_server.session().execute(&q.sql).unwrap();
+        solo_ms.push(r.sim_ms);
+        oracle_rows.insert(q.sql, r.display_rows());
+    }
+    solo_ms.sort_by(|a, b| a.total_cmp(b));
+    let median_solo = solo_ms[solo_ms.len() / 2];
+    let max_solo = *solo_ms.last().unwrap();
+    eprintln!(
+        "solo runtimes: median {median_solo:.2} sim-ms, max {max_solo:.2} sim-ms \
+         → downgrade threshold {} ms",
+        ((median_solo * 1.5) as u64).max(1)
+    );
+
+    let mut arms: Vec<ArmResult> = Vec::new();
+    for &n in &STREAM_COUNTS {
+        let server = load_server();
+        server
+            .activate_resource_plan(serving_plan(median_solo, max_solo))
+            .unwrap();
+        let streams = make_streams(n);
+        let report = run_streams(&server, &streams, &ServingOptions::default());
+
+        // Concurrency must not touch rows: every completed query is
+        // byte-identical to the serial oracle.
+        for o in &report.outcomes {
+            if o.verdict == QueryVerdict::Completed {
+                let sql = &streams[o.stream].statements[o.index];
+                let rows = o.result.as_ref().unwrap().display_rows();
+                assert_eq!(
+                    &rows, &oracle_rows[sql],
+                    "{n} streams: stream {} stmt {} diverged from serial run",
+                    o.stream, o.index
+                );
+            }
+        }
+        assert_eq!(
+            server.workload(|w| w.total_running()),
+            0,
+            "{n} streams: admission slots leaked"
+        );
+
+        let submitted = n * QUERIES_PER_STREAM;
+        let avg_wait_ms = report.total_wait_ms / submitted as f64;
+        eprintln!(
+            "{n:>2} streams: {}/{} completed in {:>9.1} sim-ms → {:>8.0} q/h \
+             (avg wait {:.1} ms, max {:.1} ms, {} moves, {} kills, {} rejected)",
+            report.completed,
+            submitted,
+            report.span_ms,
+            report.queries_per_hour,
+            avg_wait_ms,
+            report.max_wait_ms,
+            report.moves,
+            report.killed,
+            report.rejected,
+        );
+        arms.push(ArmResult {
+            streams: n,
+            submitted,
+            completed: report.completed,
+            killed: report.killed,
+            rejected: report.rejected,
+            moves: report.moves,
+            span_ms: report.span_ms,
+            queries_per_hour: report.queries_per_hour,
+            avg_wait_ms,
+            max_wait_ms: report.max_wait_ms,
+        });
+    }
+
+    let base_qph = arms[0].queries_per_hour;
+    let top = arms.last().unwrap();
+    let speedup = top.queries_per_hour / base_qph;
+    eprintln!(
+        "aggregate throughput: {} streams at {:.2}× the 1-stream rate",
+        top.streams, speedup
+    );
+    assert!(
+        speedup >= 2.0,
+        "16-stream throughput must be ≥ 2× the 1-stream rate (got {speedup:.2}×)"
+    );
+
+    let mut entries = String::new();
+    for a in &arms {
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"streams\": {}, \"submitted\": {}, \"completed\": {}, \
+             \"killed\": {}, \"rejected\": {}, \"moves\": {}, \
+             \"span_sim_ms\": {:.3}, \"queries_per_hour\": {:.1}, \
+             \"avg_wait_ms\": {:.3}, \"max_wait_ms\": {:.3}}}",
+            a.streams,
+            a.submitted,
+            a.completed,
+            a.killed,
+            a.rejected,
+            a.moves,
+            a.span_ms,
+            a.queries_per_hour,
+            a.avg_wait_ms,
+            a.max_wait_ms,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"unit\": \"sim-ms\",\n  \
+         \"queries_per_stream\": {QUERIES_PER_STREAM},\n  \
+         \"rows_per_task\": {ROWS_PER_TASK},\n  \
+         \"median_solo_ms\": {median_solo:.3},\n  \
+         \"speedup_16_over_1\": {speedup:.3},\n  \
+         \"results\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, &json).unwrap();
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

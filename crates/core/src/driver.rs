@@ -12,7 +12,7 @@ use hive_common::{
 use hive_corc::SearchArgument;
 use hive_dfs::DfsPath;
 use hive_exec::{execute_sel as exec_plan_sel, ExecContext, NodeTrace, SnapshotProvider};
-use hive_llap::TriggerAction;
+use hive_llap::TriggerVerdict;
 use hive_metastore::{
     CompactionKind, CompactionState, LockKey, LockMode, Metastore, Table, TableBuilder, TableStats,
     TableType, ValidTxnList, ValidWriteIdList,
@@ -316,41 +316,36 @@ impl Session {
     }
 
     fn run_select(&self, q: &ast::Query, conf: &HiveConf) -> Result<QueryResult> {
-        // Workload-manager admission (§5.2).
-        let admission = self
+        // Workload-manager admission (§5.2). The slot is RAII: every
+        // path out of this function — success, error, trigger kill —
+        // releases exactly this query's accounting when `slot` drops.
+        let slot = self
             .server
-            .workload(|w| w.admit(&self.user, self.application.as_deref()))?;
+            .workload(|w| w.admit(&self.user, self.application.as_deref(), &self.groups))?;
 
-        let result = self.run_select_admitted(q, conf, admission.guaranteed_fraction);
+        let result = self.run_select_admitted(q, conf, slot.guaranteed_fraction());
 
-        // Trigger evaluation on the recorded (simulated) runtime, then
-        // release the slot.
-        let pool = admission.pool.clone();
-        if let Ok(r) = &result {
-            if let Some(action) = self
-                .server
-                .workload(|w| w.check_triggers(&pool, r.sim_ms as u64))
-            {
-                match action {
-                    TriggerAction::Kill => {
-                        self.server.workload(|w| w.release(&pool));
-                        return Err(HiveError::Workload(format!(
-                            "query killed by trigger in pool {pool}"
-                        )));
-                    }
-                    TriggerAction::MoveToPool(target) => {
-                        // Accounting already transferred by the manager.
-                        self.server.workload(|w| w.release(&target));
-                        return result;
-                    }
-                }
-            }
+        // Walk the trigger timeline over the recorded (simulated)
+        // runtime: moves transfer the slot at their threshold
+        // (capacity-validated), a kill ends the query *at* its
+        // threshold rather than after the fact.
+        match result {
+            Ok(r) => match slot.resolve_triggers(r.sim_ms as u64) {
+                TriggerVerdict::Completed { .. } => Ok(r),
+                TriggerVerdict::Killed { at_ms, trigger } => Err(HiveError::Workload(format!(
+                    "query killed by trigger {trigger} in pool {} after {at_ms} ms",
+                    slot.pool()
+                ))),
+            },
+            Err(e) => Err(e),
         }
-        self.server.workload(|w| w.release(&pool));
-        result
     }
 
-    fn run_select_admitted(
+    /// The post-admission SELECT path (results cache → execute with
+    /// re-optimization). `pool_fraction` scales the per-query memory
+    /// budget; the serving layer calls this directly with a slot it
+    /// manages on its own timeline.
+    pub(crate) fn run_select_admitted(
         &self,
         q: &ast::Query,
         conf: &HiveConf,
@@ -393,6 +388,9 @@ impl Session {
                         .fill(key, batch.clone(), snapshot);
                 }
                 let sim_ms = hive_exec::simulate_ms(&trace, conf, &self.server.inner.sim_model);
+                let parallel_width = trace
+                    .max_parallel_tasks(conf.rows_per_task as u64, conf.total_slots() as u64)
+                    .max(1);
                 Ok(QueryResult {
                     batch,
                     sim_ms,
@@ -406,6 +404,7 @@ impl Session {
                     failovers: trace.total(|n| n.failovers),
                     bytes_spilled: trace.total(|n| n.bytes_spilled),
                     peak_memory_bytes,
+                    parallel_width,
                     message: None,
                 })
             }

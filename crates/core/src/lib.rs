@@ -16,10 +16,14 @@ pub mod driver;
 pub mod mv;
 pub mod results_cache;
 pub mod server;
+pub mod serving;
 pub mod session;
 
 pub use results_cache::{CacheOutcome, QueryResultsCache};
 pub use server::HiveServer;
+pub use serving::{
+    run_streams, QueryOutcome, QueryStream, QueryVerdict, ServingOptions, ServingReport,
+};
 pub use session::{QueryResult, Session};
 
 /// The paper's §5.2 `daytime` resource-plan example (bi/etl pools, the

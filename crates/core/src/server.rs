@@ -30,7 +30,9 @@ pub(crate) struct ServerInner {
     pub jdbc: JdbcBackend,
     pub registry: HandlerRegistry,
     pub results_cache: Arc<QueryResultsCache>,
-    pub workload: RwLock<WorkloadManager>,
+    /// Internally synchronized and cheap to clone — admission slots
+    /// hold a clone so releases stay exact across plan swaps.
+    pub workload: WorkloadManager,
     pub sim_model: SimCostModel,
     /// Monotonic counter giving each budgeted query its own spill
     /// directory under `/tmp/hive/spill/`.
@@ -68,7 +70,7 @@ impl HiveServer {
                 jdbc,
                 registry,
                 results_cache,
-                workload: RwLock::new(WorkloadManager::new()),
+                workload: WorkloadManager::new(),
                 sim_model: SimCostModel::default(),
                 spill_seq: std::sync::atomic::AtomicU64::new(0),
             }),
@@ -84,6 +86,18 @@ impl HiveServer {
     /// mappings route on these).
     pub fn session_for(&self, user: &str, application: Option<&str>) -> Session {
         Session::new(self.clone(), "default", user, application)
+    }
+
+    /// Open a session carrying group membership — the workload
+    /// manager's `Mapping::Group` entries route on these, between user
+    /// and application mappings in precedence.
+    pub fn session_with_groups(
+        &self,
+        user: &str,
+        application: Option<&str>,
+        groups: &[String],
+    ) -> Session {
+        Session::with_groups(self.clone(), "default", user, application, groups)
     }
 
     /// The simulated file system.
@@ -142,14 +156,17 @@ impl HiveServer {
         }
     }
 
-    /// Activate a workload-management resource plan (§5.2).
-    pub fn activate_resource_plan(&self, plan: hive_llap::ResourcePlan) {
-        self.inner.workload.write().activate(plan);
+    /// Activate a workload-management resource plan (§5.2). The plan is
+    /// validated first (unknown pools in mappings, triggers, move
+    /// targets, or the default pool are rejected); queries already
+    /// admitted keep their slots.
+    pub fn activate_resource_plan(&self, plan: hive_llap::ResourcePlan) -> hive_common::Result<()> {
+        self.inner.workload.activate(plan)
     }
 
     /// Workload-manager access.
     pub fn workload<T>(&self, f: impl FnOnce(&WorkloadManager) -> T) -> T {
-        f(&self.inner.workload.read())
+        f(&self.inner.workload)
     }
 
     /// The federation scanner used during execution.

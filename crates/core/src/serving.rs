@@ -1,0 +1,912 @@
+//! Concurrent multi-tenant serving (§5.2 under traffic): N query
+//! streams driven through workload-manager admission on one simulated
+//! timeline.
+//!
+//! BigBench-style throughput runs need concurrency, but real thread
+//! concurrency would destroy the determinism every test in this repo
+//! leans on (LLAP cache state, results-cache probes, and fault-plan
+//! rolls are all order-sensitive). The serving layer is therefore a
+//! **discrete-event simulator over sim-time**: queries *execute for
+//! real* — serialized in deterministic event order, at their virtual
+//! admission instant — while everything concurrent about them is
+//! computed on the virtual timeline:
+//!
+//! * **admission queues** — a saturated pool no longer hard-rejects;
+//!   the query waits (FIFO per pool) up to
+//!   [`ServingOptions::admission_max_wait_ms`], woken when a slot
+//!   frees, rejected at its deadline;
+//! * **fair sharing** — in-flight queries divide the cluster's executor
+//!   slots max-min fairly against their traced
+//!   [`parallel width`](crate::QueryResult::parallel_width): a query
+//!   needing 30 of 80 slots runs at full speed alone, and at 80/3 slots
+//!   ≈ a third of its solo rate when three such queries overlap. Each
+//!   in-flight query also holds a real [`hive_llap::ExecutorLease`]
+//!   sized to its width for its virtual lifetime, so the morsel
+//!   executor of a query admitted *now* genuinely sees a busier fleet;
+//! * **triggers on the timeline** — kill/move triggers fire AT
+//!   `admission + threshold` as events, not post-hoc: a kill ends the
+//!   query at the threshold (its remaining work is discarded and its
+//!   slots free immediately), a move transfers pool accounting
+//!   mid-flight (capacity-validated), re-arming the target pool's
+//!   trigger chain.
+//!
+//! Because event order is a pure function of the inputs, results and
+//! the whole sim-time schedule replay exactly for a fixed
+//! `HIVE_FAULT_SEED`, regardless of how many streams run.
+
+use crate::server::HiveServer;
+use crate::session::{QueryResult, Session};
+use hive_common::{EngineVersion, HiveError};
+use hive_llap::{AdmissionSlot, AdmitOutcome, ExecutorLease, Trigger, TriggerAction};
+use hive_sql as ast;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One tenant's scripted query stream.
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    /// Display name (reports/debugging).
+    pub name: String,
+    pub user: String,
+    pub application: Option<String>,
+    pub groups: Vec<String>,
+    /// Statements submitted back-to-back: each is submitted the instant
+    /// the previous one resolves (the BigBench throughput-run shape).
+    pub statements: Vec<String>,
+}
+
+/// Serving-layer knobs.
+#[derive(Debug, Clone)]
+pub struct ServingOptions {
+    /// How long a query may wait in its pool's admission queue before
+    /// being rejected (sim-time ms).
+    pub admission_max_wait_ms: f64,
+}
+
+impl Default for ServingOptions {
+    fn default() -> Self {
+        ServingOptions {
+            admission_max_wait_ms: 60_000.0,
+        }
+    }
+}
+
+/// How one submitted statement resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryVerdict {
+    Completed,
+    /// A kill trigger fired `at_ms` after admission.
+    Killed {
+        at_ms: f64,
+        trigger: String,
+    },
+    /// The admission-queue deadline passed before a slot freed.
+    Rejected {
+        waited_ms: f64,
+    },
+    /// The statement itself failed (parse/analysis/execution error).
+    Failed {
+        error: String,
+    },
+}
+
+/// Full accounting for one submitted statement.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Index into the `streams` slice passed to [`run_streams`].
+    pub stream: usize,
+    /// Statement index within the stream.
+    pub index: usize,
+    /// Pool the query was admitted into (`None`: never admitted, or a
+    /// non-SELECT statement that bypasses admission).
+    pub pool: Option<String>,
+    /// Admitted via borrowed idle capacity from a foreign pool.
+    pub borrowed: bool,
+    pub submitted_ms: f64,
+    pub admitted_ms: Option<f64>,
+    pub finished_ms: f64,
+    /// Time spent queued for admission.
+    pub wait_ms: f64,
+    /// The query's solo simulated runtime (what `sim_ms` reports from a
+    /// serial run).
+    pub solo_sim_ms: f64,
+    /// Slot demand used by the fair-share model.
+    pub width: u64,
+    /// Pool moves fired by triggers: `(ms after admission, target)`.
+    pub moves: Vec<(f64, String)>,
+    pub verdict: QueryVerdict,
+    /// The real result (completed statements only).
+    pub result: Option<QueryResult>,
+}
+
+/// Aggregate report for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-statement outcomes, sorted by (stream, index).
+    pub outcomes: Vec<QueryOutcome>,
+    /// Timeline span: last resolution instant (sim-time ms).
+    pub span_ms: f64,
+    pub completed: usize,
+    pub killed: usize,
+    pub rejected: usize,
+    pub failed: usize,
+    /// Total trigger-driven pool moves.
+    pub moves: usize,
+    pub total_wait_ms: f64,
+    pub max_wait_ms: f64,
+    /// Completed queries per hour of sim-time.
+    pub queries_per_hour: f64,
+}
+
+impl ServingReport {
+    /// Outcomes of one stream, in submission order.
+    pub fn stream(&self, idx: usize) -> Vec<&QueryOutcome> {
+        self.outcomes.iter().filter(|o| o.stream == idx).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event loop internals
+// ---------------------------------------------------------------------
+
+/// Completion-detection slack for f64 remaining-work arithmetic.
+const EPS_MS: f64 = 1e-6;
+
+#[derive(Debug)]
+enum EventKind {
+    /// Submit the next statement of a stream.
+    Submit { stream: usize },
+    /// A queued waiter's admission deadline.
+    WaitDeadline { token: u64 },
+    /// A trigger threshold on an in-flight query.
+    Trigger { query: u64, trigger: Trigger },
+}
+
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    /// Creation order: the deterministic tie-breaker.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time).is_eq() && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct InFlight {
+    qid: u64,
+    stream: usize,
+    index: usize,
+    submitted: f64,
+    admitted: f64,
+    wait_ms: f64,
+    slot: AdmissionSlot,
+    /// Held for the query's virtual lifetime so concurrently-admitted
+    /// queries' morsel executors see a busier fleet.
+    _lease: ExecutorLease,
+    /// Slot demand (traced parallel width, ≥ 1, ≤ cluster slots).
+    demand: f64,
+    /// Solo sim-time work left, in ms-at-full-rate.
+    remaining: f64,
+    /// Current fair-share rate in (0, 1].
+    rate: f64,
+    result: QueryResult,
+    moves: Vec<(f64, String)>,
+}
+
+struct Waiter {
+    token: u64,
+    stream: usize,
+    index: usize,
+    submitted: f64,
+}
+
+/// Drive `streams` through the server's workload manager on one shared
+/// simulated timeline (see the module docs for the model). Each stream
+/// gets its own session; statements run back-to-back per stream.
+pub fn run_streams(
+    server: &HiveServer,
+    streams: &[QueryStream],
+    opts: &ServingOptions,
+) -> ServingReport {
+    let sessions: Vec<Session> = streams
+        .iter()
+        .map(|s| {
+            Session::with_groups(
+                server.clone(),
+                "default",
+                &s.user,
+                s.application.as_deref(),
+                &s.groups,
+            )
+        })
+        .collect();
+    let capacity = server.conf().total_slots().max(1) as f64;
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut next_qid: u64 = 0;
+    let mut now: f64 = 0.0;
+    let mut next_stmt: Vec<usize> = vec![0; streams.len()];
+    let mut inflight: Vec<InFlight> = Vec::new();
+    // Per-pool FIFO admission queues, in plan-pool order.
+    let pool_order: Vec<String> = server
+        .workload(|w| w.active_plan())
+        .map(|p| p.pools.iter().map(|pl| pl.name.clone()).collect())
+        .unwrap_or_default();
+    let mut waiting: Vec<(String, VecDeque<Waiter>)> = pool_order
+        .iter()
+        .map(|p| (p.clone(), VecDeque::new()))
+        .collect();
+    let mut next_token: u64 = 0;
+    let mut outcomes: Vec<QueryOutcome> = Vec::new();
+
+    macro_rules! push_event {
+        ($time:expr, $kind:expr) => {{
+            heap.push(Event {
+                time: $time,
+                seq,
+                kind: $kind,
+            });
+            seq += 1;
+        }};
+    }
+
+    for s in 0..streams.len() {
+        push_event!(0.0, EventKind::Submit { stream: s });
+    }
+
+    // Max-min fair (waterfilling) rates: allocate `capacity` slots
+    // against each in-flight query's demand; rate = alloc / demand.
+    let recompute_rates = |inflight: &mut Vec<InFlight>| {
+        let total: f64 = inflight.iter().map(|f| f.demand).sum();
+        if total <= capacity {
+            for f in inflight.iter_mut() {
+                f.rate = 1.0;
+            }
+            return;
+        }
+        // Ascending by demand (stable: admission order breaks ties).
+        let mut order: Vec<usize> = (0..inflight.len()).collect();
+        order.sort_by(|&a, &b| inflight[a].demand.total_cmp(&inflight[b].demand));
+        let mut cap_left = capacity;
+        let mut users_left = order.len();
+        for &i in &order {
+            let fair = cap_left / users_left as f64;
+            let alloc = inflight[i].demand.min(fair);
+            inflight[i].rate = alloc / inflight[i].demand;
+            cap_left -= alloc;
+            users_left -= 1;
+        }
+    };
+
+    // Advance every in-flight query's remaining work to time `t`.
+    let advance = |inflight: &mut Vec<InFlight>, now: &mut f64, t: f64| {
+        let dt = t - *now;
+        if dt > 0.0 {
+            for f in inflight.iter_mut() {
+                f.remaining -= dt * f.rate;
+            }
+        }
+        *now = t;
+    };
+
+    // One macro-free closure would borrow too much of the state at
+    // once; the loop below therefore inlines the handlers.
+    loop {
+        let next_done: Option<f64> = inflight
+            .iter()
+            .map(|f| now + f.remaining.max(0.0) / f.rate)
+            .min_by(|a, b| a.total_cmp(b));
+        let next_evt: Option<f64> = heap.peek().map(|e| e.time);
+        let (t, is_completion) = match (next_done, next_evt) {
+            (None, None) => break,
+            (Some(d), None) => (d, true),
+            (None, Some(e)) => (e, false),
+            // Completions at the same instant as events run first, so a
+            // freed slot is visible to a Submit at the same timestamp.
+            (Some(d), Some(e)) => {
+                if d <= e {
+                    (d, true)
+                } else {
+                    (e, false)
+                }
+            }
+        };
+        advance(&mut inflight, &mut now, t);
+
+        if is_completion {
+            // Resolve every query that just ran dry, in admission order.
+            let mut i = 0;
+            while i < inflight.len() {
+                if inflight[i].remaining <= EPS_MS {
+                    let f = inflight.remove(i);
+                    outcomes.push(QueryOutcome {
+                        stream: f.stream,
+                        index: f.index,
+                        pool: Some(f.slot.pool()),
+                        borrowed: f.slot.borrowed(),
+                        submitted_ms: f.submitted,
+                        admitted_ms: Some(f.admitted),
+                        finished_ms: now,
+                        wait_ms: f.wait_ms,
+                        solo_sim_ms: f.result.sim_ms,
+                        width: f.demand as u64,
+                        moves: f.moves,
+                        verdict: QueryVerdict::Completed,
+                        result: Some(f.result),
+                    });
+                    // f.slot / f._lease drop here: pool + executors free.
+                    push_event!(now, EventKind::Submit { stream: f.stream });
+                } else {
+                    i += 1;
+                }
+            }
+            recompute_rates(&mut inflight);
+            // Freed slots wake admission queues (FIFO, pool order).
+            service_queues(
+                server,
+                streams,
+                &sessions,
+                &mut waiting,
+                &mut inflight,
+                &mut outcomes,
+                &mut heap,
+                &mut seq,
+                &mut next_qid,
+                now,
+                capacity,
+            );
+            continue;
+        }
+
+        let ev = heap.pop().expect("peeked");
+        match ev.kind {
+            EventKind::Submit { stream } => {
+                let idx = next_stmt[stream];
+                if idx >= streams[stream].statements.len() {
+                    continue; // stream drained
+                }
+                next_stmt[stream] += 1;
+                let sql = &streams[stream].statements[idx];
+                match classify(&sessions[stream], sql) {
+                    Classified::Query(q) => {
+                        let sess = &sessions[stream];
+                        let admit = server.workload(|w| {
+                            w.try_admit(&sess.user, sess.application.as_deref(), &sess.groups)
+                        });
+                        match admit {
+                            Ok(AdmitOutcome::Admitted(slot)) => {
+                                start_query(
+                                    server,
+                                    &sessions[stream],
+                                    stream,
+                                    idx,
+                                    q,
+                                    slot,
+                                    now,
+                                    now,
+                                    capacity,
+                                    &mut inflight,
+                                    &mut outcomes,
+                                    &mut heap,
+                                    &mut seq,
+                                    &mut next_qid,
+                                );
+                                recompute_rates(&mut inflight);
+                                // An immediately-failed query freed its
+                                // slot again — let waiters have it.
+                                service_queues(
+                                    server,
+                                    streams,
+                                    &sessions,
+                                    &mut waiting,
+                                    &mut inflight,
+                                    &mut outcomes,
+                                    &mut heap,
+                                    &mut seq,
+                                    &mut next_qid,
+                                    now,
+                                    capacity,
+                                );
+                            }
+                            Ok(AdmitOutcome::Saturated { pool }) => {
+                                // Queue on the routed pool with a
+                                // deadline instead of hard-rejecting.
+                                let token = next_token;
+                                next_token += 1;
+                                let q_slot = waiting.iter_mut().find(|(p, _)| *p == pool);
+                                match q_slot {
+                                    Some((_, queue)) => {
+                                        queue.push_back(Waiter {
+                                            token,
+                                            stream,
+                                            index: idx,
+                                            submitted: now,
+                                        });
+                                        push_event!(
+                                            now + opts.admission_max_wait_ms,
+                                            EventKind::WaitDeadline { token }
+                                        );
+                                    }
+                                    None => {
+                                        // Unknown pool (no plan?): treat
+                                        // as an immediate rejection.
+                                        outcomes.push(rejected_outcome(stream, idx, now, 0.0));
+                                        push_event!(now, EventKind::Submit { stream });
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                outcomes.push(failed_outcome(stream, idx, now, now, &e));
+                                push_event!(now, EventKind::Submit { stream });
+                            }
+                        }
+                    }
+                    Classified::Other(stmt) => {
+                        // Non-SELECT statements (DDL/DML) bypass
+                        // admission — they hold no pool slot, exactly
+                        // like the standalone driver path.
+                        match sessions[stream].execute_statement(*stmt) {
+                            Ok(r) => {
+                                let dur = r.sim_ms.max(0.0);
+                                outcomes.push(QueryOutcome {
+                                    stream,
+                                    index: idx,
+                                    pool: None,
+                                    borrowed: false,
+                                    submitted_ms: now,
+                                    admitted_ms: Some(now),
+                                    finished_ms: now + dur,
+                                    wait_ms: 0.0,
+                                    solo_sim_ms: r.sim_ms,
+                                    width: 1,
+                                    moves: vec![],
+                                    verdict: QueryVerdict::Completed,
+                                    result: Some(r),
+                                });
+                                push_event!(now + dur, EventKind::Submit { stream });
+                            }
+                            Err(e) => {
+                                outcomes.push(failed_outcome(stream, idx, now, now, &e));
+                                push_event!(now, EventKind::Submit { stream });
+                            }
+                        }
+                    }
+                    Classified::ParseError(e) => {
+                        outcomes.push(failed_outcome(stream, idx, now, now, &e));
+                        push_event!(now, EventKind::Submit { stream });
+                    }
+                }
+            }
+            EventKind::WaitDeadline { token } => {
+                // Still queued → reject; already admitted → stale event.
+                for (_, queue) in waiting.iter_mut() {
+                    if let Some(pos) = queue.iter().position(|w| w.token == token) {
+                        let w = queue.remove(pos).expect("position just found");
+                        outcomes.push(rejected_outcome(
+                            w.stream,
+                            w.index,
+                            w.submitted,
+                            now - w.submitted,
+                        ));
+                        push_event!(now, EventKind::Submit { stream: w.stream });
+                        break;
+                    }
+                }
+            }
+            EventKind::Trigger { query, trigger } => {
+                let Some(pos) = inflight.iter().position(|f| f.qid == query) else {
+                    continue; // finished (or killed) before the threshold
+                };
+                // Stale chain: the query moved pools after this event
+                // was armed; the move re-armed the right chain.
+                if inflight[pos].slot.pool() != trigger.pool {
+                    continue;
+                }
+                match &trigger.action {
+                    TriggerAction::Kill => {
+                        let InFlight {
+                            stream,
+                            index,
+                            submitted,
+                            admitted,
+                            wait_ms,
+                            slot,
+                            _lease: lease,
+                            demand,
+                            result,
+                            moves,
+                            ..
+                        } = inflight.remove(pos);
+                        outcomes.push(QueryOutcome {
+                            stream,
+                            index,
+                            pool: Some(slot.pool()),
+                            borrowed: slot.borrowed(),
+                            submitted_ms: submitted,
+                            admitted_ms: Some(admitted),
+                            finished_ms: now,
+                            wait_ms,
+                            solo_sim_ms: result.sim_ms,
+                            width: demand as u64,
+                            moves,
+                            verdict: QueryVerdict::Killed {
+                                at_ms: now - admitted,
+                                trigger: trigger.name.clone(),
+                            },
+                            result: None,
+                        });
+                        // Free the pool slot and the executors AT the
+                        // threshold — the discarded remaining work
+                        // releases capacity for waiters right now.
+                        drop(slot);
+                        drop(lease);
+                        recompute_rates(&mut inflight);
+                        service_queues(
+                            server,
+                            streams,
+                            &sessions,
+                            &mut waiting,
+                            &mut inflight,
+                            &mut outcomes,
+                            &mut heap,
+                            &mut seq,
+                            &mut next_qid,
+                            now,
+                            capacity,
+                        );
+                        push_event!(now, EventKind::Submit { stream });
+                    }
+                    TriggerAction::MoveToPool(target) => {
+                        let admitted = inflight[pos].admitted;
+                        let qid = inflight[pos].qid;
+                        match inflight[pos].slot.move_to(target) {
+                            hive_llap::MoveOutcome::Moved => {
+                                inflight[pos].moves.push((now - admitted, target.clone()));
+                                // Arm the target pool's chain for the
+                                // part of the timeline still ahead.
+                                if let Some(nt) = server.workload(|w| {
+                                    w.next_trigger(target, trigger.total_runtime_ms_threshold + 1)
+                                }) {
+                                    let at = admitted + nt.total_runtime_ms_threshold as f64;
+                                    push_event!(
+                                        at,
+                                        EventKind::Trigger {
+                                            query: qid,
+                                            trigger: nt
+                                        }
+                                    );
+                                }
+                                // The source pool freed a slot.
+                                service_queues(
+                                    server,
+                                    streams,
+                                    &sessions,
+                                    &mut waiting,
+                                    &mut inflight,
+                                    &mut outcomes,
+                                    &mut heap,
+                                    &mut seq,
+                                    &mut next_qid,
+                                    now,
+                                    capacity,
+                                );
+                            }
+                            hive_llap::MoveOutcome::Stayed { .. } => {
+                                // Saturated/unknown target: stay, keep
+                                // walking this pool's chain.
+                                if let Some(nt) = server.workload(|w| {
+                                    w.next_trigger(
+                                        &trigger.pool,
+                                        trigger.total_runtime_ms_threshold + 1,
+                                    )
+                                }) {
+                                    let at = admitted + nt.total_runtime_ms_threshold as f64;
+                                    push_event!(
+                                        at,
+                                        EventKind::Trigger {
+                                            query: qid,
+                                            trigger: nt
+                                        }
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    outcomes.sort_by_key(|o| (o.stream, o.index));
+    let span_ms = outcomes.iter().map(|o| o.finished_ms).fold(0.0, f64::max);
+    let completed = outcomes
+        .iter()
+        .filter(|o| o.verdict == QueryVerdict::Completed)
+        .count();
+    let killed = outcomes
+        .iter()
+        .filter(|o| matches!(o.verdict, QueryVerdict::Killed { .. }))
+        .count();
+    let rejected = outcomes
+        .iter()
+        .filter(|o| matches!(o.verdict, QueryVerdict::Rejected { .. }))
+        .count();
+    let failed = outcomes
+        .iter()
+        .filter(|o| matches!(o.verdict, QueryVerdict::Failed { .. }))
+        .count();
+    let moves = outcomes.iter().map(|o| o.moves.len()).sum();
+    let total_wait_ms = outcomes.iter().map(|o| o.wait_ms).sum();
+    let max_wait_ms = outcomes.iter().map(|o| o.wait_ms).fold(0.0, f64::max);
+    let queries_per_hour = if span_ms > 0.0 {
+        completed as f64 * 3_600_000.0 / span_ms
+    } else {
+        0.0
+    };
+    ServingReport {
+        outcomes,
+        span_ms,
+        completed,
+        killed,
+        rejected,
+        failed,
+        moves,
+        total_wait_ms,
+        max_wait_ms,
+        queries_per_hour,
+    }
+}
+
+enum Classified {
+    Query(ast::Query),
+    Other(Box<ast::Statement>),
+    ParseError(HiveError),
+}
+
+fn classify(session: &Session, sql: &str) -> Classified {
+    match hive_sql::parse_sql(sql) {
+        Ok(stmt) => {
+            // Engine-version SQL surface gate, as in the driver.
+            let conf = session.server().conf();
+            if conf.version == EngineVersion::V1_2 {
+                let missing: Vec<_> = ast::required_features(&stmt)
+                    .into_iter()
+                    .filter(|f| !f.available_in_v1_2())
+                    .collect();
+                if !missing.is_empty() {
+                    return Classified::ParseError(HiveError::Unsupported(format!(
+                        "Hive 1.2 does not support {missing:?}"
+                    )));
+                }
+            }
+            match stmt {
+                ast::Statement::Query(q) => Classified::Query(q),
+                other => Classified::Other(Box::new(other)),
+            }
+        }
+        Err(e) => Classified::ParseError(e),
+    }
+}
+
+fn rejected_outcome(stream: usize, index: usize, submitted: f64, waited: f64) -> QueryOutcome {
+    QueryOutcome {
+        stream,
+        index,
+        pool: None,
+        borrowed: false,
+        submitted_ms: submitted,
+        admitted_ms: None,
+        finished_ms: submitted + waited,
+        wait_ms: waited,
+        solo_sim_ms: 0.0,
+        width: 0,
+        moves: vec![],
+        verdict: QueryVerdict::Rejected { waited_ms: waited },
+        result: None,
+    }
+}
+
+fn failed_outcome(
+    stream: usize,
+    index: usize,
+    submitted: f64,
+    now: f64,
+    e: &HiveError,
+) -> QueryOutcome {
+    QueryOutcome {
+        stream,
+        index,
+        pool: None,
+        borrowed: false,
+        submitted_ms: submitted,
+        admitted_ms: None,
+        finished_ms: now,
+        wait_ms: now - submitted,
+        solo_sim_ms: 0.0,
+        width: 0,
+        moves: vec![],
+        verdict: QueryVerdict::Failed {
+            error: e.to_string(),
+        },
+        result: None,
+    }
+}
+
+/// Execute an admitted query for real (at its virtual admission
+/// instant) and register it as in-flight; on error the outcome is
+/// `Failed` and the slot frees immediately.
+#[allow(clippy::too_many_arguments)]
+fn start_query(
+    server: &HiveServer,
+    session: &Session,
+    stream: usize,
+    index: usize,
+    q: ast::Query,
+    slot: AdmissionSlot,
+    submitted: f64,
+    now: f64,
+    capacity: f64,
+    inflight: &mut Vec<InFlight>,
+    outcomes: &mut Vec<QueryOutcome>,
+    heap: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+    next_qid: &mut u64,
+) {
+    let conf = server.conf();
+    match session.run_select_admitted(&q, &conf, slot.guaranteed_fraction()) {
+        Ok(r) => {
+            let demand = (r.parallel_width.max(1) as f64).min(capacity);
+            // Hold real executors for the virtual lifetime: queries
+            // admitted while this one is in flight lease their morsel
+            // workers from what's left of the fleet.
+            let lease = server.llap().lease_executors(demand as usize);
+            let qid = *next_qid;
+            *next_qid += 1;
+            // Arm the admitted pool's trigger chain from elapsed 0.
+            let pool = slot.pool();
+            if let Some(t) = server.workload(|w| w.next_trigger(&pool, 0)) {
+                heap.push(Event {
+                    time: now + t.total_runtime_ms_threshold as f64,
+                    seq: *seq,
+                    kind: EventKind::Trigger {
+                        query: qid,
+                        trigger: t,
+                    },
+                });
+                *seq += 1;
+            }
+            inflight.push(InFlight {
+                qid,
+                stream,
+                index,
+                submitted,
+                admitted: now,
+                wait_ms: now - submitted,
+                slot,
+                _lease: lease,
+                demand,
+                remaining: r.sim_ms.max(0.0),
+                rate: 1.0,
+                result: r,
+                moves: vec![],
+            });
+        }
+        Err(e) => {
+            outcomes.push(failed_outcome(stream, index, submitted, now, &e));
+            heap.push(Event {
+                time: now,
+                seq: *seq,
+                kind: EventKind::Submit { stream },
+            });
+            *seq += 1;
+            // `slot` drops here — the pool slot frees at `now`.
+        }
+    }
+}
+
+/// Wake admission queues after capacity freed: pools in plan order,
+/// waiters FIFO, each admitted into exactly the pool it queued for.
+#[allow(clippy::too_many_arguments)]
+fn service_queues(
+    server: &HiveServer,
+    streams: &[QueryStream],
+    sessions: &[Session],
+    waiting: &mut [(String, VecDeque<Waiter>)],
+    inflight: &mut Vec<InFlight>,
+    outcomes: &mut Vec<QueryOutcome>,
+    heap: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+    next_qid: &mut u64,
+    now: f64,
+    capacity: f64,
+) {
+    let mut admitted_any = false;
+    for (pool, queue) in waiting.iter_mut() {
+        while !queue.is_empty() {
+            let Some(slot) = server.workload(|wm| wm.admit_into(pool)) else {
+                break; // pool still full; later waiters stay FIFO
+            };
+            let w = queue.pop_front().expect("emptiness checked");
+            let sql = &streams[w.stream].statements[w.index];
+            match classify(&sessions[w.stream], sql) {
+                Classified::Query(q) => {
+                    start_query(
+                        server,
+                        &sessions[w.stream],
+                        w.stream,
+                        w.index,
+                        q,
+                        slot,
+                        w.submitted,
+                        now,
+                        capacity,
+                        inflight,
+                        outcomes,
+                        heap,
+                        seq,
+                        next_qid,
+                    );
+                    admitted_any = true;
+                }
+                // Only SELECTs ever queue; anything else is a bug in
+                // the submit path — resolve it as failed.
+                Classified::Other(_) | Classified::ParseError(_) => {
+                    drop(slot);
+                    outcomes.push(failed_outcome(
+                        w.stream,
+                        w.index,
+                        w.submitted,
+                        now,
+                        &HiveError::Workload("non-query statement in admission queue".into()),
+                    ));
+                    heap.push(Event {
+                        time: now,
+                        seq: *seq,
+                        kind: EventKind::Submit { stream: w.stream },
+                    });
+                    *seq += 1;
+                }
+            }
+        }
+    }
+    if admitted_any {
+        // New in-flight queries share the cluster from this instant.
+        let total: f64 = inflight.iter().map(|f| f.demand).sum();
+        if total <= capacity {
+            for f in inflight.iter_mut() {
+                f.rate = 1.0;
+            }
+        } else {
+            let mut order: Vec<usize> = (0..inflight.len()).collect();
+            order.sort_by(|&a, &b| inflight[a].demand.total_cmp(&inflight[b].demand));
+            let mut cap_left = capacity;
+            let mut users_left = order.len();
+            for &i in &order {
+                let fair = cap_left / users_left as f64;
+                let alloc = inflight[i].demand.min(fair);
+                inflight[i].rate = alloc / inflight[i].demand;
+                cap_left -= alloc;
+                users_left -= 1;
+            }
+        }
+    }
+}

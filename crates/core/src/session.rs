@@ -36,6 +36,11 @@ pub struct QueryResult {
     /// Peak memory tracked by the per-query broker (0 when the query ran
     /// without a budget).
     pub peak_memory_bytes: u64,
+    /// The widest stage of the plan in scheduler tasks, capped at the
+    /// cluster's executor slots — the query's slot demand while running
+    /// (1 for cache hits and metadata statements). The serving layer's
+    /// fair-share model allocates cluster capacity against this.
+    pub parallel_width: u64,
     /// Human-readable notice (DDL acknowledgements, EXPLAIN text, …).
     pub message: Option<String>,
 }
@@ -55,6 +60,7 @@ impl QueryResult {
             failovers: 0,
             bytes_spilled: 0,
             peak_memory_bytes: 0,
+            parallel_width: 1,
             message: None,
         }
     }
@@ -92,13 +98,15 @@ impl QueryResult {
     }
 }
 
-/// One client session: current database plus user identity (used by the
-/// workload manager's mappings).
+/// One client session: current database plus user identity — user,
+/// groups, and application name, which the workload manager's mappings
+/// route on (precedence: user, then group, then application).
 pub struct Session {
     pub(crate) server: HiveServer,
     pub(crate) db: RwLock<String>,
     pub(crate) user: String,
     pub(crate) application: Option<String>,
+    pub(crate) groups: Vec<String>,
 }
 
 impl Session {
@@ -108,11 +116,22 @@ impl Session {
         user: &str,
         application: Option<&str>,
     ) -> Session {
+        Session::with_groups(server, db, user, application, &[])
+    }
+
+    pub(crate) fn with_groups(
+        server: HiveServer,
+        db: &str,
+        user: &str,
+        application: Option<&str>,
+        groups: &[String],
+    ) -> Session {
         Session {
             server,
             db: RwLock::new(db.to_string()),
             user: user.to_string(),
             application: application.map(String::from),
+            groups: groups.to_vec(),
         }
     }
 

@@ -378,7 +378,8 @@ fn jdbc_federation_receives_generated_sql() {
 fn workload_manager_enforces_pools() {
     let s = server();
     setup_sales(&s);
-    s.activate_resource_plan(hive_llap::ResourcePlan::paper_example());
+    s.activate_resource_plan(hive_llap::ResourcePlan::paper_example())
+        .unwrap();
     // bi pool (visualization_app) admits 5 concurrent; sequential
     // queries release their slot, so all succeed.
     let sess = s.session_for("alice", Some("visualization_app"));
@@ -386,6 +387,122 @@ fn workload_manager_enforces_pools() {
         sess.execute("SELECT COUNT(*) FROM item").unwrap();
     }
     assert_eq!(s.workload(|w| w.running_in("bi")), 0, "slots released");
+}
+
+#[test]
+fn admission_slot_released_on_every_driver_path() {
+    let s = server();
+    setup_sales(&s);
+    s.activate_resource_plan(hive_llap::ResourcePlan::paper_example())
+        .unwrap();
+    let sess = s.session_for("alice", Some("visualization_app"));
+    let pools_empty = |s: &HiveServer| {
+        s.workload(|w| w.running_in("bi")) == 0 && s.workload(|w| w.running_in("etl")) == 0
+    };
+
+    // Error path: analysis fails after admission.
+    assert!(sess.execute("SELECT * FROM no_such_table").is_err());
+    assert!(pools_empty(&s), "error path leaked an admission slot");
+
+    // Cache-hit path: second run serves from the results cache but
+    // still admits and releases.
+    sess.execute("SELECT COUNT(*) FROM item").unwrap();
+    let r = sess.execute("SELECT COUNT(*) FROM item").unwrap();
+    assert!(r.from_cache, "second run should hit the results cache");
+    assert!(pools_empty(&s), "cache-hit path leaked an admission slot");
+
+    // Trigger-move path: the downgrade trigger fires (threshold 1 ms —
+    // every real query exceeds it) and the query completes, its slot
+    // released from the pool it was moved TO.
+    let mut plan = hive_llap::ResourcePlan::paper_example();
+    plan.triggers[0].total_runtime_ms_threshold = 1;
+    s.activate_resource_plan(plan).unwrap();
+    let r = sess
+        .execute("SELECT i_category, COUNT(*) FROM item GROUP BY i_category")
+        .unwrap();
+    assert!(r.sim_ms > 1.0, "query must outlive the 1 ms threshold");
+    assert!(
+        pools_empty(&s),
+        "trigger-move path leaked an admission slot"
+    );
+
+    // Trigger-kill path: a kill trigger at the threshold errors the
+    // query AND releases its slot.
+    let mut plan = hive_llap::ResourcePlan::paper_example();
+    plan.triggers = vec![hive_llap::Trigger {
+        name: "reaper".into(),
+        pool: "bi".into(),
+        total_runtime_ms_threshold: 1,
+        action: hive_llap::TriggerAction::Kill,
+    }];
+    s.activate_resource_plan(plan).unwrap();
+    let err = sess
+        .execute("SELECT ss_item_sk, SUM(ss_quantity) FROM store_sales GROUP BY ss_item_sk")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("killed by trigger reaper"),
+        "got: {err}"
+    );
+    assert!(
+        pools_empty(&s),
+        "trigger-kill path leaked an admission slot"
+    );
+}
+
+#[test]
+fn group_mappings_route_sessions_end_to_end() {
+    let s = server();
+    setup_sales(&s);
+    // Route the `analysts` group to bi, where a 1 ms kill trigger
+    // awaits: a group-routed query dies, an unmapped one (default pool
+    // etl) survives — proof the session's groups reached the router.
+    let mut plan = hive_llap::ResourcePlan::paper_example();
+    plan.mappings = vec![hive_llap::Mapping::Group {
+        name: "analysts".into(),
+        pool: "bi".into(),
+    }];
+    plan.triggers = vec![hive_llap::Trigger {
+        name: "reaper".into(),
+        pool: "bi".into(),
+        total_runtime_ms_threshold: 1,
+        action: hive_llap::TriggerAction::Kill,
+    }];
+    s.activate_resource_plan(plan).unwrap();
+    let analyst = s.session_with_groups("dana", None, &["analysts".to_string()]);
+    let err = analyst
+        .execute("SELECT COUNT(*) FROM store_sales")
+        .unwrap_err();
+    assert!(err.to_string().contains("pool bi"), "got: {err}");
+    let batch = s.session_for("dana", None);
+    batch.execute("SELECT COUNT(*) FROM store_sales").unwrap();
+    assert_eq!(s.workload(|w| w.running_in("bi")), 0);
+    assert_eq!(s.workload(|w| w.running_in("etl")), 0);
+}
+
+#[test]
+fn activate_validates_plan_and_preserves_live_slots() {
+    let s = server();
+    // A typo'd move target is rejected at activation, not at runtime.
+    let mut bad = hive_llap::ResourcePlan::paper_example();
+    bad.triggers[0].action = hive_llap::TriggerAction::MoveToPool("etk".into());
+    assert!(s.activate_resource_plan(bad).is_err());
+
+    // Activation with queries in flight keeps their accounting exact.
+    s.activate_resource_plan(hive_llap::ResourcePlan::paper_example())
+        .unwrap();
+    let slot = s
+        .workload(|w| w.admit("alice", Some("visualization_app"), &[]))
+        .unwrap();
+    assert_eq!(s.workload(|w| w.running_in("bi")), 1);
+    s.activate_resource_plan(hive_llap::ResourcePlan::paper_example())
+        .unwrap();
+    assert_eq!(
+        s.workload(|w| w.running_in("bi")),
+        1,
+        "activation wiped a live slot"
+    );
+    drop(slot);
+    assert_eq!(s.workload(|w| w.running_in("bi")), 0);
 }
 
 #[test]

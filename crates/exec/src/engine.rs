@@ -346,6 +346,26 @@ impl NodeTrace {
         }
     }
 
+    /// The widest stage of the traced plan in scheduler tasks: per node,
+    /// `ceil((rows_in + rows_out) / rows_per_task)` capped at `cap`
+    /// (cluster slots), maximized over the tree. Shared-reuse nodes cost
+    /// nothing — their work ran once elsewhere. This mirrors the task
+    /// fan-out `simtime` assumes, so it is the query's slot demand while
+    /// it runs concurrently with others.
+    pub fn max_parallel_tasks(&self, rows_per_task: u64, cap: u64) -> u64 {
+        let own = if self.shared_reuse {
+            0
+        } else {
+            (self.rows_in + self.rows_out)
+                .div_ceil(rows_per_task.max(1))
+                .min(cap)
+        };
+        self.children
+            .iter()
+            .map(|c| c.max_parallel_tasks(rows_per_task, cap))
+            .fold(own, u64::max)
+    }
+
     /// Flatten operator labels and output rows (runtime statistics for
     /// re-optimization feedback, §4.2).
     pub fn operator_rows(&self) -> Vec<(String, u64)> {

@@ -26,4 +26,7 @@ pub mod workload;
 
 pub use cache::{CacheStats, ChunkKey, LlapCache, MetadataCache};
 pub use daemon::{ExecutorLease, LlapDaemons};
-pub use workload::{Mapping, Pool, ResourcePlan, Trigger, TriggerAction, WorkloadManager};
+pub use workload::{
+    AdmissionSlot, AdmitOutcome, Mapping, MoveOutcome, Pool, ResourcePlan, Trigger, TriggerAction,
+    TriggerVerdict, WorkloadManager,
+};

@@ -1,9 +1,11 @@
-//! Property tests on the LLAP LRFU data cache (§5): capacity is a hard
-//! bound, loads are correct under any access pattern, and frequently
-//! re-referenced chunks survive eviction pressure.
+//! Property tests on the LLAP layer: the LRFU data cache (§5 — capacity
+//! is a hard bound, loads are correct under any access pattern, and
+//! frequently re-referenced chunks survive eviction pressure) and the
+//! workload manager (§5.2 — no interleaving of admit/release/move can
+//! push a pool past its `query_parallelism`).
 
 use hive_common::{ColumnVector, FileId};
-use hive_llap::{ChunkKey, LlapCache};
+use hive_llap::{AdmitOutcome, ChunkKey, LlapCache, Mapping, Pool, ResourcePlan, WorkloadManager};
 use proptest::prelude::*;
 
 fn key(i: u8) -> ChunkKey {
@@ -93,5 +95,130 @@ proptest! {
         cache.clear();
         prop_assert_eq!(cache.resident_bytes(), 0);
         prop_assert!(cache.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload-manager admission accounting
+// ---------------------------------------------------------------------
+
+/// One step of a multi-tenant admission history.
+#[derive(Debug, Clone)]
+enum WmOp {
+    /// Admit for user index `u` with optional group index `g`.
+    Admit { u: u8, g: Option<u8> },
+    /// Drop the i-th oldest live slot (mod len).
+    Release { i: u8 },
+    /// Try to move the i-th oldest live slot to pool index `p`
+    /// (possibly an unknown pool name — the move must then be a no-op).
+    Move { i: u8, p: u8 },
+    /// Re-activate the plan mid-flight (the historical count-wipe bug).
+    Reactivate,
+}
+
+fn wm_op() -> impl Strategy<Value = WmOp> {
+    prop_oneof![
+        4 => (any::<u8>(), proptest::option::of(any::<u8>()))
+            .prop_map(|(u, g)| WmOp::Admit { u, g }),
+        3 => any::<u8>().prop_map(|i| WmOp::Release { i }),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(i, p)| WmOp::Move { i, p }),
+        1 => Just(WmOp::Reactivate),
+    ]
+}
+
+fn tenants_plan() -> ResourcePlan {
+    ResourcePlan {
+        name: "tenants".into(),
+        pools: vec![
+            Pool {
+                name: "bi".into(),
+                alloc_fraction: 0.5,
+                query_parallelism: 3,
+            },
+            Pool {
+                name: "etl".into(),
+                alloc_fraction: 0.3,
+                query_parallelism: 5,
+            },
+            Pool {
+                name: "adhoc".into(),
+                alloc_fraction: 0.2,
+                query_parallelism: 2,
+            },
+        ],
+        mappings: vec![
+            Mapping::User {
+                name: "u0".into(),
+                pool: "bi".into(),
+            },
+            Mapping::Group {
+                name: "g0".into(),
+                pool: "adhoc".into(),
+            },
+        ],
+        triggers: vec![],
+        default_pool: Some("etl".into()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant (ISSUE 7): under ANY interleaving of admissions,
+    /// releases, moves (to valid and invalid targets), and mid-flight
+    /// plan re-activations, every pool's live count stays ≤ its
+    /// `query_parallelism`, and draining all slots returns every count
+    /// to exactly zero (no underflow, no leaked phantom admissions).
+    #[test]
+    fn any_interleaving_respects_pool_parallelism(
+        ops in proptest::collection::vec(wm_op(), 1..200),
+    ) {
+        let plan = tenants_plan();
+        let wm = WorkloadManager::new();
+        wm.activate(plan.clone()).unwrap();
+        let pool_names: Vec<&str> = vec!["bi", "etl", "adhoc", "ghost"];
+        let mut live = Vec::new();
+        for op in ops {
+            match op {
+                WmOp::Admit { u, g } => {
+                    let user = format!("u{}", u % 3);
+                    let groups: Vec<String> =
+                        g.map(|g| format!("g{}", g % 2)).into_iter().collect();
+                    match wm.try_admit(&user, None, &groups).unwrap() {
+                        AdmitOutcome::Admitted(slot) => live.push(slot),
+                        AdmitOutcome::Saturated { .. } => {}
+                    }
+                }
+                WmOp::Release { i } => {
+                    if !live.is_empty() {
+                        let idx = usize::from(i) % live.len();
+                        drop(live.remove(idx));
+                    }
+                }
+                WmOp::Move { i, p } => {
+                    if !live.is_empty() {
+                        let idx = usize::from(i) % live.len();
+                        let target = pool_names[usize::from(p) % pool_names.len()];
+                        let _ = live[idx].move_to(target);
+                    }
+                }
+                WmOp::Reactivate => wm.activate(plan.clone()).unwrap(),
+            }
+            for p in &plan.pools {
+                let n = wm.running_in(&p.name);
+                prop_assert!(
+                    n <= p.query_parallelism,
+                    "pool {} has {} running > parallelism {}",
+                    p.name, n, p.query_parallelism
+                );
+            }
+            prop_assert_eq!(wm.running_in("ghost"), 0, "phantom pool got accounting");
+            prop_assert_eq!(wm.total_running(), live.len(), "live accounting drifted");
+        }
+        drop(live);
+        for p in &plan.pools {
+            prop_assert_eq!(wm.running_in(&p.name), 0, "pool {} did not drain", &p.name);
+        }
+        prop_assert_eq!(wm.total_running(), 0);
     }
 }

@@ -39,6 +39,12 @@
 # through the grace-join / spilled-aggregation / external-sort paths —
 # results must be identical to the unbudgeted runs — then runs the
 # spill benchmark, which refreshes BENCH_spill.json.
+#
+# HIVE_WM_SWEEP=1 runs the multi-stream serving determinism suite at
+# 1/4/16 streams × 1/2/8 morsel threads under a fixed HIVE_FAULT_SEED
+# (HIVE_WM_STREAMS gates tests/serving_determinism.rs::env_wm_sweep;
+# the single-query serial path is the differential oracle), then runs
+# the throughput benchmark, which refreshes BENCH_throughput.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -106,6 +112,22 @@ if [[ -n "${HIVE_SPILL_SWEEP:-}" ]]; then
     done
     echo "== spill sweep: benchmark (writes BENCH_spill.json) =="
     cargo bench -q --offline -p hive-bench --bench spill
+fi
+
+if [[ -n "${HIVE_WM_SWEEP:-}" ]]; then
+    for streams in 1 4 16; do
+        for threads in 1 2 8; do
+            echo "== wm sweep: $streams streams at HIVE_PARALLEL_THREADS=$threads =="
+            HIVE_WM_STREAMS="$streams" \
+                HIVE_PARALLEL_THREADS="$threads" \
+                HIVE_FAULT_SEED="${HIVE_WM_SEED:-3112019}" \
+                HIVE_FAULT_DAEMON_KILL_PROB=0.3 \
+                HIVE_FAULT_DFS_SLOW_PROB=0.1 \
+                cargo test -q --offline --test serving_determinism env_wm_sweep -- --nocapture
+        done
+    done
+    echo "== wm sweep: benchmark (writes BENCH_throughput.json) =="
+    cargo bench -q --offline -p hive-bench --bench throughput
 fi
 
 echo "verify: OK"

@@ -22,7 +22,10 @@ pub use hive_common::{
     DataType, EngineVersion, FaultPlan, HiveConf, HiveError, Result, Row, Schema, Value,
 };
 pub use hive_core as core;
-pub use hive_core::{HiveServer, QueryResult, Session};
+pub use hive_core::{
+    run_streams, HiveServer, QueryOutcome, QueryResult, QueryStream, QueryVerdict, ServingOptions,
+    ServingReport, Session,
+};
 pub use hive_dfs::DfsPath;
 
 /// Workload generators used by the benchmark harnesses (TPC-DS-derived

@@ -1,0 +1,390 @@
+//! Serving determinism: `run_streams` is a pure function of its inputs.
+//!
+//! The serving layer executes concurrent streams on a simulated
+//! timeline (see `hive_core::serving`), so three properties must hold
+//! no matter how streams interleave:
+//!
+//! 1. every completed query's rows are byte-identical to a serial
+//!    single-session run on a fresh, identically-loaded server;
+//! 2. a re-run with the same inputs replays the entire schedule —
+//!    spans, waits, verdicts, per-query sim-times — bit for bit, with
+//!    or without an active fault plan;
+//! 3. the morsel-executor thread count changes nothing at all.
+//!
+//! `scripts/verify.sh --wm-sweep` drives the env-gated sweep at 1/4/16
+//! streams × 1/2/8 threads under a fixed `HIVE_FAULT_SEED`.
+
+use std::collections::HashMap;
+
+use hive_warehouse::benchdata::tpcds::{self, TpcdsScale};
+use hive_warehouse::{
+    FaultPlan, HiveConf, HiveServer, QueryStream, QueryVerdict, ServingOptions, ServingReport,
+};
+
+/// The env knob overrides the conf field; these tests manage thread
+/// counts themselves, so drop the variable once before any server is
+/// built. (The env-gated sweep test runs in its own filtered
+/// invocation and deliberately leaves the variable alone.)
+fn neutralize_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::remove_var("HIVE_PARALLEL_THREADS"));
+}
+
+/// Small enough to keep many fresh loads cheap, big enough that scans
+/// span several row groups.
+fn scale() -> TpcdsScale {
+    TpcdsScale {
+        days: 6,
+        items: 120,
+        customers: 150,
+        stores: 4,
+        sales_per_day: 1000,
+        return_rate: 0.1,
+    }
+}
+
+fn load_server(threads: usize, fault: Option<&FaultPlan>) -> HiveServer {
+    let mut conf = HiveConf::v3_1();
+    conf.parallel_threads = threads;
+    let server = HiveServer::new(conf);
+    tpcds::load(&server, scale(), 0xDA7A).unwrap();
+    if let Some(plan) = fault {
+        // Applied after load so faults hit only the serving run.
+        server.set_conf(|c| c.fault = plan.clone());
+    }
+    server
+}
+
+/// Deterministic stream scripts over the curated TPC-DS set: stream
+/// `i`'s `j`-th statement is query `(i*7 + j*3) mod |Q|`.
+fn make_streams(n: usize, per_stream: usize) -> Vec<QueryStream> {
+    let queries = tpcds::queries();
+    (0..n)
+        .map(|i| QueryStream {
+            name: format!("stream-{i}"),
+            user: format!("user-{i}"),
+            application: None,
+            groups: vec![],
+            statements: (0..per_stream)
+                .map(|j| queries[(i * 7 + j * 3) % queries.len()].sql.clone())
+                .collect(),
+        })
+        .collect()
+}
+
+/// Serial oracle: every curated query's rows from a fresh
+/// single-session server, keyed by SQL text.
+fn serial_oracle(threads: usize, fault: Option<&FaultPlan>) -> HashMap<String, Vec<String>> {
+    let server = load_server(threads, fault);
+    tpcds::queries()
+        .into_iter()
+        .map(|q| {
+            let rows = server.session().execute(&q.sql).unwrap().display_rows();
+            (q.sql, rows)
+        })
+        .collect()
+}
+
+/// Everything observable about one outcome (f64s bit-cast): stream,
+/// index, verdict, pool, wait, solo sim-time, finish instant.
+type OutcomeFp = (usize, usize, String, Option<String>, u64, u64, u64);
+
+/// Everything observable about a run — equality means *exact* replay.
+fn fingerprint(r: &ServingReport) -> Vec<OutcomeFp> {
+    let mut fp: Vec<_> = r
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.stream,
+                o.index,
+                format!("{:?}", o.verdict),
+                o.pool.clone(),
+                o.wait_ms.to_bits(),
+                o.solo_sim_ms.to_bits(),
+                o.finished_ms.to_bits(),
+            )
+        })
+        .collect();
+    fp.push((
+        usize::MAX,
+        0,
+        String::new(),
+        None,
+        0,
+        r.span_ms.to_bits(),
+        0,
+    ));
+    fp
+}
+
+fn assert_rows_match_oracle(
+    report: &ServingReport,
+    streams: &[QueryStream],
+    oracle: &HashMap<String, Vec<String>>,
+) {
+    for o in &report.outcomes {
+        assert_eq!(
+            o.verdict,
+            QueryVerdict::Completed,
+            "stream {} stmt {} did not complete: {:?}",
+            o.stream,
+            o.index,
+            o.verdict
+        );
+        let sql = &streams[o.stream].statements[o.index];
+        let rows = o.result.as_ref().expect("completed").display_rows();
+        assert_eq!(
+            &rows, &oracle[sql],
+            "stream {} stmt {} diverged from serial run",
+            o.stream, o.index
+        );
+    }
+}
+
+/// Concurrency may only reshape the timeline: at 1, 4, and 16 streams
+/// every query returns the serial rows, and a second identical run
+/// replays the whole schedule bit-for-bit.
+#[test]
+fn streams_replay_and_match_serial_oracle() {
+    neutralize_env();
+    let oracle = serial_oracle(2, None);
+    for n in [1usize, 4, 16] {
+        let streams = make_streams(n, 3);
+        let run = || {
+            let server = load_server(2, None);
+            run_on(&server, &streams)
+        };
+        let first = run();
+        assert_rows_match_oracle(&first, &streams, &oracle);
+        assert_eq!(
+            first.completed,
+            n * 3,
+            "{n} streams: all statements complete"
+        );
+        let second = run();
+        assert_eq!(
+            fingerprint(&first),
+            fingerprint(&second),
+            "{n}-stream schedule must replay exactly"
+        );
+    }
+}
+
+/// The executor thread count is invisible to the serving layer: rows,
+/// verdicts, and the entire sim-time schedule are identical at 1, 2,
+/// and 8 threads.
+#[test]
+fn thread_count_never_changes_serving_schedule() {
+    neutralize_env();
+    let streams = make_streams(4, 3);
+    let baseline = run_on(&load_server(1, None), &streams);
+    for threads in [2usize, 8] {
+        let report = run_on(&load_server(threads, None), &streams);
+        assert_eq!(
+            fingerprint(&baseline),
+            fingerprint(&report),
+            "serving schedule diverged at {threads} threads"
+        );
+    }
+}
+
+/// A seeded fault plan (recovery on) leaves rows byte-identical to the
+/// fault-free serial oracle, and replays its perturbed schedule
+/// exactly.
+#[test]
+fn faulted_serving_replays_exactly() {
+    neutralize_env();
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0xBADD_CAFE;
+        p.daemon_kill_prob = 0.4;
+        p.dfs_read_error_prob = 0.05;
+        p.dfs_slow_prob = 0.1;
+        p.dfs_slow_ms = 4.0;
+    });
+    let oracle = serial_oracle(2, None);
+    let streams = make_streams(4, 3);
+    let first = run_on(&load_server(2, Some(&plan)), &streams);
+    assert_rows_match_oracle(&first, &streams, &oracle);
+    let second = run_on(&load_server(2, Some(&plan)), &streams);
+    assert_eq!(
+        fingerprint(&first),
+        fingerprint(&second),
+        "faulted schedule must replay exactly"
+    );
+}
+
+fn run_on(server: &HiveServer, streams: &[QueryStream]) -> ServingReport {
+    hive_warehouse::run_streams(server, streams, &ServingOptions::default())
+}
+
+/// Triggers fire AT their threshold on the timeline: a move transfers
+/// the slot exactly `threshold` ms after admission; a kill ends the
+/// query there.
+#[test]
+fn triggers_fire_at_threshold_on_the_timeline() {
+    neutralize_env();
+
+    // Move: the paper's downgrade rule, threshold lowered to 1 ms so
+    // every real query outlives it.
+    let server = load_server(1, None);
+    let mut plan = hive_llap::ResourcePlan::paper_example();
+    plan.triggers[0].total_runtime_ms_threshold = 1;
+    server.activate_resource_plan(plan).unwrap();
+    let streams = vec![QueryStream {
+        name: "bi".into(),
+        user: "alice".into(),
+        application: Some("visualization_app".into()),
+        groups: vec![],
+        statements: vec![tpcds::queries()[0].sql.clone()],
+    }];
+    let report = run_on(&server, &streams);
+    let o = &report.outcomes[0];
+    assert_eq!(o.verdict, QueryVerdict::Completed);
+    assert_eq!(
+        o.moves,
+        vec![(1.0, "etl".to_string())],
+        "move fires at the threshold"
+    );
+    assert_eq!(
+        o.pool.as_deref(),
+        Some("etl"),
+        "slot finishes in the pool it moved to"
+    );
+    assert!(o.solo_sim_ms > 1.0, "query must outlive the threshold");
+
+    // Kill: same shape, Kill action — the query ends AT the threshold,
+    // not at its natural completion.
+    let server = load_server(1, None);
+    let mut plan = hive_llap::ResourcePlan::paper_example();
+    plan.triggers = vec![hive_llap::Trigger {
+        name: "reaper".into(),
+        pool: "bi".into(),
+        total_runtime_ms_threshold: 1,
+        action: hive_llap::TriggerAction::Kill,
+    }];
+    server.activate_resource_plan(plan).unwrap();
+    let report = run_on(&server, &streams);
+    let o = &report.outcomes[0];
+    assert_eq!(
+        o.verdict,
+        QueryVerdict::Killed {
+            at_ms: 1.0,
+            trigger: "reaper".into()
+        }
+    );
+    assert_eq!(
+        o.finished_ms,
+        o.admitted_ms.unwrap() + 1.0,
+        "killed AT the threshold"
+    );
+    assert_eq!(report.killed, 1);
+    // The freed slot is accounted: nothing left running anywhere.
+    assert_eq!(server.workload(|w| w.total_running()), 0);
+}
+
+/// A saturated pool queues instead of hard-rejecting: the waiter is
+/// admitted the instant a slot frees (FIFO), or rejected at its
+/// deadline when patience runs out.
+#[test]
+fn saturated_pool_queues_then_admits() {
+    neutralize_env();
+    let single = hive_llap::ResourcePlan {
+        name: "single".into(),
+        pools: vec![hive_llap::Pool {
+            name: "only".into(),
+            alloc_fraction: 1.0,
+            query_parallelism: 1,
+        }],
+        mappings: vec![],
+        triggers: vec![],
+        default_pool: Some("only".into()),
+    };
+    let streams = make_streams(2, 1);
+
+    // Patient waiter: queued at 0, admitted exactly when the first
+    // query finishes.
+    let server = load_server(1, None);
+    server.activate_resource_plan(single.clone()).unwrap();
+    let report = run_on(&server, &streams);
+    assert_eq!(report.completed, 2);
+    let (a, b) = (&report.outcomes[0], &report.outcomes[1]);
+    assert_eq!(a.wait_ms, 0.0, "first in wins the only slot");
+    assert!(b.wait_ms > 0.0, "second must queue");
+    assert_eq!(
+        b.admitted_ms.unwrap(),
+        a.finished_ms,
+        "waiter admitted the instant the slot frees"
+    );
+    assert_eq!(report.max_wait_ms, b.wait_ms);
+
+    // Impatient waiter: zero patience → rejected at its deadline.
+    let server = load_server(1, None);
+    server.activate_resource_plan(single).unwrap();
+    let report = hive_warehouse::run_streams(
+        &server,
+        &streams,
+        &ServingOptions {
+            admission_max_wait_ms: 0.0,
+        },
+    );
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.rejected, 1);
+    let rej = report
+        .outcomes
+        .iter()
+        .find(|o| matches!(o.verdict, QueryVerdict::Rejected { .. }))
+        .unwrap();
+    assert_eq!(rej.pool, None);
+}
+
+/// Env-gated sweep for `scripts/verify.sh --wm-sweep`: reads
+/// `HIVE_WM_STREAMS` (stream count; unset → no-op) plus the usual
+/// `HIVE_PARALLEL_THREADS` / `HIVE_FAULT_*` knobs, runs the streams,
+/// and differentials every completed query against a fresh serial
+/// server under the same environment.
+#[test]
+fn env_wm_sweep() {
+    let Some(n) = std::env::var("HIVE_WM_STREAMS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    else {
+        return;
+    };
+    let fault = FaultPlan::from_env();
+    // Conf-level threads stay on auto: HIVE_PARALLEL_THREADS (set by
+    // the sweep driver) steers both the streams and the oracle.
+    let load = || {
+        let server = HiveServer::new(HiveConf::v3_1());
+        tpcds::load(&server, scale(), 0xDA7A).unwrap();
+        if let Some(plan) = &fault {
+            server.set_conf(|c| c.fault = plan.clone());
+        }
+        server
+    };
+    let streams = make_streams(n, 3);
+    let report = run_on(&load(), &streams);
+    assert_eq!(report.completed, n * 3, "sweep: every statement completes");
+    let oracle_server = load();
+    for o in &report.outcomes {
+        let sql = &streams[o.stream].statements[o.index];
+        let expect = oracle_server.session().execute(sql).unwrap().display_rows();
+        let got = o.result.as_ref().expect("completed").display_rows();
+        assert_eq!(
+            &got, &expect,
+            "sweep: stream {} stmt {} diverged",
+            o.stream, o.index
+        );
+    }
+    // Replay: the same inputs reproduce the schedule bit-for-bit.
+    let again = run_on(&load(), &streams);
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(&again),
+        "sweep replay diverged"
+    );
+    eprintln!(
+        "wm-sweep: {n} streams → {} completed in {:.1} sim-ms ({:.0} q/h), max wait {:.1} ms",
+        report.completed, report.span_ms, report.queries_per_hour, report.max_wait_ms
+    );
+}
