@@ -120,6 +120,19 @@ pub struct HiveConf {
     /// cost changes. Overridable via `HIVE_RAWTABLE_ENABLED`
     /// (`0`/`false`/`off` disables, anything else enables).
     pub rawtable_enabled: bool,
+    /// `hive.exec.pir.enabled`: lower optimizer Filter/Project chains
+    /// into physical-IR pipelines — fused selection-vector loops whose
+    /// expression nodes are resolved to type-specialized kernels once
+    /// per pipeline (monomorphization) instead of matching on
+    /// `ColumnVector` variants per batch, with multi-conjunct
+    /// predicates short-circuiting through the selection vector in
+    /// cheapest-first order. When off, the per-batch interpreter
+    /// (`eval_vector` + eager stage materialization) runs — the
+    /// differential oracle. Results are byte-identical either way; only
+    /// dispatch and materialization cost changes. Overridable via
+    /// `HIVE_PIR_ENABLED` (`0`/`false`/`off` disables, anything else
+    /// enables).
+    pub pir_enabled: bool,
     /// `hive.exec.spill.enabled`: allow blocking operators (hash join
     /// build, GROUP BY / DISTINCT, ORDER BY) to degrade to disk when the
     /// per-query memory broker denies them memory. When off, an
@@ -170,6 +183,7 @@ impl HiveConf {
             dictionary_enabled: true,
             selvec_enabled: true,
             rawtable_enabled: true,
+            pir_enabled: true,
             spill_enabled: true,
             memory_per_query_bytes: 0,
             fault: crate::fault::FaultPlan::none(),
@@ -248,6 +262,16 @@ impl HiveConf {
         match std::env::var("HIVE_RAWTABLE_ENABLED") {
             Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
             Err(_) => self.rawtable_enabled,
+        }
+    }
+
+    /// Resolve [`HiveConf::pir_enabled`]: the `HIVE_PIR_ENABLED`
+    /// environment variable wins (for process-level differential
+    /// sweeps), then the conf field.
+    pub fn effective_pir_enabled(&self) -> bool {
+        match std::env::var("HIVE_PIR_ENABLED") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
+            Err(_) => self.pir_enabled,
         }
     }
 

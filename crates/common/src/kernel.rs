@@ -1,0 +1,103 @@
+//! Kernel type descriptors for the physical IR (`hive_exec::pir`).
+//!
+//! The PIR compile step resolves every expression node to a
+//! type-specialized kernel **once per pipeline** instead of matching on
+//! [`ColumnVector`](crate::vector::ColumnVector) variants per batch.
+//! A [`KernelType`] names the concrete value domain a kernel is
+//! monomorphized over — the schema-level type plus the runtime
+//! representation detail the schema cannot carry (dictionary-encoded
+//! strings execute over the `u32` code domain, not `String`s).
+
+use crate::types::DataType;
+use crate::vector::ColumnVector;
+
+/// The concrete value domain a type-specialized kernel runs over.
+///
+/// One descriptor per [`ColumnVector`] payload representation. `Str`
+/// and `DictCode` are both `DataType::String` at the schema level; the
+/// split is what lets a compiled predicate evaluate a dictionary
+/// column once per distinct entry instead of once per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelType {
+    Boolean,
+    Int,
+    BigInt,
+    Double,
+    /// Unscaled `i128` domain at the given scale.
+    Decimal(u8),
+    Str,
+    /// Dictionary codes (`u32`) over a shared string dictionary.
+    DictCode,
+    Date,
+    Timestamp,
+}
+
+impl KernelType {
+    /// The kernel domain a schema type lowers to, if it is vectorizable
+    /// at all. `String` resolves to [`KernelType::Str`]; whether a given
+    /// batch actually arrives dictionary-encoded is a per-batch
+    /// representation choice, queried via [`KernelType::of_column`].
+    pub fn of_data_type(dt: &DataType) -> Option<KernelType> {
+        Some(match dt {
+            DataType::Boolean => KernelType::Boolean,
+            DataType::Int => KernelType::Int,
+            DataType::BigInt => KernelType::BigInt,
+            DataType::Double => KernelType::Double,
+            DataType::Decimal(_, s) => KernelType::Decimal(*s),
+            DataType::String => KernelType::Str,
+            DataType::Date => KernelType::Date,
+            DataType::Timestamp => KernelType::Timestamp,
+            _ => return None,
+        })
+    }
+
+    /// The kernel domain of a concrete column representation.
+    pub fn of_column(col: &ColumnVector) -> KernelType {
+        match col {
+            ColumnVector::Boolean(..) => KernelType::Boolean,
+            ColumnVector::Int(..) => KernelType::Int,
+            ColumnVector::BigInt(..) => KernelType::BigInt,
+            ColumnVector::Double(..) => KernelType::Double,
+            ColumnVector::Decimal(_, s, _) => KernelType::Decimal(*s),
+            ColumnVector::Str(..) => KernelType::Str,
+            ColumnVector::Dict { .. } => KernelType::DictCode,
+            ColumnVector::Date(..) => KernelType::Date,
+            ColumnVector::Timestamp(..) => KernelType::Timestamp,
+        }
+    }
+
+    /// Fixed-width domains whose comparisons are branch-free integer or
+    /// float ops — the cheapest conjunct tier for short-circuit
+    /// ordering.
+    pub fn is_fixed_width(self) -> bool {
+        !matches!(self, KernelType::Str | KernelType::DictCode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn schema_and_column_domains_agree_except_dict() {
+        let col = ColumnVector::Int(vec![1, 2], None);
+        assert_eq!(KernelType::of_column(&col), KernelType::Int);
+        assert_eq!(
+            KernelType::of_data_type(&col.data_type()),
+            Some(KernelType::Int)
+        );
+
+        let dict =
+            ColumnVector::dict_from_codes(vec![0, 1], Arc::new(vec!["a".into(), "b".into()]), None)
+                .unwrap();
+        assert_eq!(KernelType::of_column(&dict), KernelType::DictCode);
+        // Schema-level the same column is just a String.
+        assert_eq!(
+            KernelType::of_data_type(&dict.data_type()),
+            Some(KernelType::Str)
+        );
+        assert!(!KernelType::of_column(&dict).is_fixed_width());
+        assert!(KernelType::Decimal(2).is_fixed_width());
+    }
+}

@@ -15,6 +15,7 @@ pub mod error;
 pub mod fault;
 pub mod hash;
 pub mod ids;
+pub mod kernel;
 pub mod like;
 pub mod row;
 pub mod schema;
@@ -28,6 +29,7 @@ pub use conf::{EngineVersion, HiveConf, RuntimeKind};
 pub use error::{HiveError, Result};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, FaultStats};
 pub use ids::{BucketId, FileId, RecordId, RowId, TxnId, WriteId};
+pub use kernel::KernelType;
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use selvec::{SelBatch, SelVec};

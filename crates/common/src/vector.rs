@@ -360,6 +360,209 @@ impl ColumnVector {
         }
     }
 
+    /// Concatenate the selected rows of a sequence of column parts in a
+    /// single gather. A `None` selection keeps the whole part. This is
+    /// the fused-scan assembly primitive: instead of concatenating full
+    /// morsel columns and filtering afterwards, only surviving rows are
+    /// copied, once.
+    ///
+    /// Uniform typed parts gather directly into the output vector;
+    /// uniform `Dict` parts merge dictionaries with the same adopt /
+    /// extend / intern-and-remap policy as [`ColumnVector::append`];
+    /// mixed representations (e.g. `Str` and `Dict` parts of one
+    /// `String` column) fall back to take-then-append, which preserves
+    /// `append`'s semantics exactly. The output null bitmap is present
+    /// iff any contributing part carries one, matching `append`.
+    pub fn concat_selected(
+        dt: &DataType,
+        parts: &[(&ColumnVector, Option<&[u32]>)],
+    ) -> Result<ColumnVector> {
+        fn part_rows(c: &ColumnVector, sel: Option<&[u32]>) -> usize {
+            sel.map_or(c.len(), |s| s.len())
+        }
+        let total: usize = parts.iter().map(|&(c, sel)| part_rows(c, sel)).sum();
+        let has_nulls = parts
+            .iter()
+            .any(|&(c, _)| per_variant!(c, _v, n => n.is_some()));
+
+        // Gather one part's values and null bits into the accumulators.
+        fn gather_part<T: Clone>(
+            vals: &mut Vec<T>,
+            nulls: &mut Option<BitSet>,
+            v: &[T],
+            n: &Option<BitSet>,
+            sel: Option<&[u32]>,
+        ) {
+            let base = vals.len();
+            match sel {
+                None => vals.extend_from_slice(v),
+                Some(idx) => vals.extend(idx.iter().map(|&i| v[i as usize].clone())),
+            }
+            if let (Some(nb), Some(b)) = (nulls.as_mut(), n.as_ref()) {
+                match sel {
+                    None => {
+                        for i in b.iter_ones() {
+                            nb.set(base + i);
+                        }
+                    }
+                    Some(idx) => {
+                        for (o, &i) in idx.iter().enumerate() {
+                            if b.get(i as usize) {
+                                nb.set(base + o);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        macro_rules! uniform_gather {
+            ($variant:ident, $t:ty) => {{
+                let mut vals: Vec<$t> = Vec::with_capacity(total);
+                let mut nulls = has_nulls.then(|| BitSet::new(total));
+                for &(c, sel) in parts {
+                    let ColumnVector::$variant(v, n) = c else {
+                        unreachable!()
+                    };
+                    gather_part(&mut vals, &mut nulls, v, n, sel);
+                }
+                return Ok(ColumnVector::$variant(vals, nulls));
+            }};
+        }
+        macro_rules! all_are {
+            ($variant:ident) => {
+                parts
+                    .iter()
+                    .all(|&(c, _)| matches!(c, ColumnVector::$variant(..)))
+            };
+        }
+        match parts.first() {
+            None => return ColumnVector::new_empty(dt),
+            Some(&(ColumnVector::Boolean(..), _)) if all_are!(Boolean) => {
+                uniform_gather!(Boolean, bool)
+            }
+            Some(&(ColumnVector::Int(..), _)) if all_are!(Int) => uniform_gather!(Int, i32),
+            Some(&(ColumnVector::BigInt(..), _)) if all_are!(BigInt) => {
+                uniform_gather!(BigInt, i64)
+            }
+            Some(&(ColumnVector::Double(..), _)) if all_are!(Double) => {
+                uniform_gather!(Double, f64)
+            }
+            Some(&(ColumnVector::Date(..), _)) if all_are!(Date) => uniform_gather!(Date, i32),
+            Some(&(ColumnVector::Timestamp(..), _)) if all_are!(Timestamp) => {
+                uniform_gather!(Timestamp, i64)
+            }
+            Some(&(ColumnVector::Str(..), _)) if all_are!(Str) => uniform_gather!(Str, String),
+            Some(&(ColumnVector::Decimal(_, s0, _), _))
+                if parts
+                    .iter()
+                    .all(|&(c, _)| matches!(c, ColumnVector::Decimal(_, s, _) if s == s0)) =>
+            {
+                let mut vals: Vec<i128> = Vec::with_capacity(total);
+                let mut nulls = has_nulls.then(|| BitSet::new(total));
+                for &(c, sel) in parts {
+                    let ColumnVector::Decimal(v, _, n) = c else {
+                        unreachable!()
+                    };
+                    gather_part(&mut vals, &mut nulls, v, n, sel);
+                }
+                return Ok(ColumnVector::Decimal(vals, *s0, nulls));
+            }
+            Some(_) if parts.iter().all(|&(c, _)| c.is_dict()) => {
+                let mut codes: Vec<u32> = Vec::with_capacity(total);
+                let mut nulls = has_nulls.then(|| BitSet::new(total));
+                let mut dict: Arc<Vec<String>> = Arc::new(Vec::new());
+                let mut first = true;
+                for &(c, sel) in parts {
+                    if part_rows(c, sel) == 0 {
+                        continue;
+                    }
+                    let ColumnVector::Dict {
+                        codes: pc,
+                        dict: pd,
+                        nulls: pn,
+                    } = c
+                    else {
+                        unreachable!()
+                    };
+                    // Mirror `append`: the first contributing part's
+                    // dictionary is adopted by handle; equal
+                    // dictionaries extend codes directly; a differing
+                    // dictionary is interned in order and its codes
+                    // remapped.
+                    let remap: Option<Vec<u32>> =
+                        if first || Arc::ptr_eq(&dict, pd) || *dict == **pd {
+                            if first {
+                                dict = pd.clone();
+                                first = false;
+                            }
+                            None
+                        } else {
+                            let mut merged: Vec<String> = (*dict).clone();
+                            let mut index: std::collections::HashMap<String, u32> = merged
+                                .iter()
+                                .enumerate()
+                                .map(|(i, s)| (s.clone(), i as u32))
+                                .collect();
+                            let rm: Vec<u32> = pd
+                                .iter()
+                                .map(|s| match index.get(s) {
+                                    Some(&code) => code,
+                                    None => {
+                                        let code = merged.len() as u32;
+                                        merged.push(s.clone());
+                                        index.insert(s.clone(), code);
+                                        code
+                                    }
+                                })
+                                .collect();
+                            dict = Arc::new(merged);
+                            Some(rm)
+                        };
+                    let base = codes.len();
+                    match (sel, remap.as_ref()) {
+                        (None, None) => codes.extend_from_slice(pc),
+                        (Some(idx), None) => codes.extend(idx.iter().map(|&i| pc[i as usize])),
+                        (None, Some(rm)) => codes.extend(pc.iter().map(|&c| rm[c as usize])),
+                        (Some(idx), Some(rm)) => {
+                            codes.extend(idx.iter().map(|&i| rm[pc[i as usize] as usize]))
+                        }
+                    }
+                    if let (Some(nb), Some(b)) = (nulls.as_mut(), pn.as_ref()) {
+                        match sel {
+                            None => {
+                                for i in b.iter_ones() {
+                                    nb.set(base + i);
+                                }
+                            }
+                            Some(idx) => {
+                                for (o, &i) in idx.iter().enumerate() {
+                                    if b.get(i as usize) {
+                                        nb.set(base + o);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if codes.is_empty() {
+                    return ColumnVector::new_empty(dt);
+                }
+                return Ok(ColumnVector::Dict { codes, dict, nulls });
+            }
+            Some(_) => {}
+        }
+        // Mixed or unhandled representations: per-part take + append,
+        // byte-compatible with the unfused concat-then-filter path.
+        let mut out = ColumnVector::new_empty(dt)?;
+        for &(c, sel) in parts {
+            match sel {
+                None => out.append(c)?,
+                Some(idx) => out.append(&c.take(idx))?,
+            }
+        }
+        Ok(out)
+    }
+
     /// Approximate heap size in bytes, used by cache/cost accounting.
     pub fn approx_bytes(&self) -> usize {
         let base = match self {
@@ -746,6 +949,37 @@ impl VectorBatch {
         Ok(out)
     }
 
+    /// Concatenate the selected rows of `(batch, keep)` parts in one
+    /// gather per column (see [`ColumnVector::concat_selected`]). A
+    /// `None` keep-list takes the whole part. This is how the fused
+    /// scan assembles morsel results: survivors of a compiled predicate
+    /// are copied exactly once, instead of concatenating full morsels
+    /// and filtering the result.
+    pub fn concat_selected(
+        schema: &Schema,
+        parts: &[(VectorBatch, Option<Vec<u32>>)],
+    ) -> Result<VectorBatch> {
+        let ncols = schema.len();
+        if parts.iter().any(|(b, _)| b.num_columns() != ncols) {
+            return Err(HiveError::Execution(
+                "batch arity mismatch in concat_selected".into(),
+            ));
+        }
+        let total: usize = parts
+            .iter()
+            .map(|(b, sel)| sel.as_ref().map_or(b.num_rows(), |s| s.len()))
+            .sum();
+        let mut columns = Vec::with_capacity(ncols);
+        for (ci, field) in schema.fields().iter().enumerate() {
+            let col_parts: Vec<(&ColumnVector, Option<&[u32]>)> = parts
+                .iter()
+                .map(|(b, sel)| (b.column(ci), sel.as_deref()))
+                .collect();
+            columns.push(ColumnVector::concat_selected(&field.data_type, &col_parts)?);
+        }
+        VectorBatch::new_with_rows(schema.clone(), columns, total)
+    }
+
     /// Approximate heap size in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.columns.iter().map(|c| c.approx_bytes()).sum()
@@ -891,6 +1125,86 @@ mod tests {
         let p = b.project(&[2, 0]);
         assert_eq!(p.schema().names(), vec!["price", "id"]);
         assert_eq!(p.row(0).get(1), &Value::Int(1));
+    }
+
+    #[test]
+    fn concat_selected_matches_concat_then_take() {
+        let b = sample_batch();
+        let parts = vec![
+            (b.clone(), Some(vec![2u32, 0])),
+            (b.clone(), None),
+            (b.clone(), Some(vec![1u32])),
+        ];
+        let got = VectorBatch::concat_selected(b.schema(), &parts).unwrap();
+        // Reference: concatenate full parts, then gather the same rows
+        // by global index.
+        let full = VectorBatch::concat(b.schema(), &[b.clone(), b.clone(), b.clone()]).unwrap();
+        let expected = full.take(&[2, 0, 3, 4, 5, 7]);
+        assert_eq!(got, expected);
+        // Null bitmap presence mirrors `append`: any part with a bitmap
+        // yields a bitmap.
+        assert!(got.column(1).is_null(3));
+        assert!(got.column(1).is_null(5));
+        assert_eq!(got.column(1).null_count(), 2);
+    }
+
+    #[test]
+    fn concat_selected_merges_differing_dictionaries() {
+        let schema = Schema::new(vec![Field::new("s", DataType::String)]);
+        let d1 = ColumnVector::dict_from_codes(
+            vec![0, 1, 0],
+            Arc::new(vec!["x".to_string(), "y".to_string()]),
+            None,
+        )
+        .unwrap();
+        let mut nulls = BitSet::new(3);
+        nulls.set(1);
+        let d2 = ColumnVector::dict_from_codes(
+            vec![1, 0, 1],
+            Arc::new(vec!["z".to_string(), "y".to_string()]),
+            Some(nulls),
+        )
+        .unwrap();
+        let b1 = VectorBatch::new(schema.clone(), vec![d1]).unwrap();
+        let b2 = VectorBatch::new(schema.clone(), vec![d2]).unwrap();
+        let parts = vec![
+            (b1.clone(), Some(vec![2u32, 1])),
+            (b2.clone(), Some(vec![0u32, 1])),
+        ];
+        let got = VectorBatch::concat_selected(&schema, &parts).unwrap();
+        let full = VectorBatch::concat(&schema, &[b1, b2]).unwrap();
+        let expected = full.take(&[2, 1, 3, 4]);
+        assert_eq!(got, expected);
+        assert!(got.column(0).is_dict());
+        assert!(got.column(0).is_null(3));
+    }
+
+    #[test]
+    fn concat_selected_mixed_str_and_dict_falls_back() {
+        let schema = Schema::new(vec![Field::new("s", DataType::String)]);
+        let plain = ColumnVector::Str(vec!["p".to_string(), "q".to_string()], None);
+        let dict = ColumnVector::dict_from_codes(
+            vec![1, 0],
+            Arc::new(vec!["x".to_string(), "y".to_string()]),
+            None,
+        )
+        .unwrap();
+        let b1 = VectorBatch::new(schema.clone(), vec![dict]).unwrap();
+        let b2 = VectorBatch::new(schema.clone(), vec![plain]).unwrap();
+        let parts = vec![(b1.clone(), None), (b2.clone(), Some(vec![1u32]))];
+        let got = VectorBatch::concat_selected(&schema, &parts).unwrap();
+        let full = VectorBatch::concat(&schema, &[b1, b2]).unwrap();
+        let expected = full.take(&[0, 1, 3]);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn concat_selected_empty_selections() {
+        let b = sample_batch();
+        let parts = vec![(b.clone(), Some(Vec::new())), (b.clone(), Some(Vec::new()))];
+        let got = VectorBatch::concat_selected(b.schema(), &parts).unwrap();
+        assert_eq!(got.num_rows(), 0);
+        assert_eq!(got.num_columns(), 3);
     }
 
     fn dict_col() -> ColumnVector {

@@ -119,6 +119,13 @@ impl ExecContext<'_> {
         self.shared_counts.contains_key(&key).then_some(key)
     }
 
+    /// Is this subtree a shared-work site (its result materializes
+    /// once and is reused by fingerprint)? PIR fusion must not peel
+    /// across such a node: it is a pipeline breaker.
+    pub(crate) fn is_shared_subtree(&self, plan: &LogicalPlan) -> bool {
+        !self.shared_counts.is_empty() && self.shared_counts.contains_key(&fingerprint(plan))
+    }
+
     /// Fetch a shared scan's raw (unfiltered) rows, if already read.
     pub(crate) fn shared_get(&self, key: u64) -> Option<VectorBatch> {
         self.shared.lock().get(&key).cloned()
@@ -326,7 +333,7 @@ pub struct NodeTrace {
 }
 
 impl NodeTrace {
-    fn leaf(label: &str) -> NodeTrace {
+    pub(crate) fn leaf(label: &str) -> NodeTrace {
         NodeTrace {
             label: label.to_string(),
             ..Default::default()
@@ -422,7 +429,7 @@ pub fn execute_sel(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch, N
 
 /// True when `col_dt` already satisfies the declared output type (the
 /// condition under which `align_column` passes a column through).
-fn type_aligned(col_dt: &hive_common::DataType, want: &hive_common::DataType) -> bool {
+pub(crate) fn type_aligned(col_dt: &hive_common::DataType, want: &hive_common::DataType) -> bool {
     col_dt == want
         || matches!(
             (col_dt, want),
@@ -440,6 +447,15 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             let mut t = NodeTrace::leaf("Values");
             t.rows_out = b.num_rows() as u64;
             Ok((SelBatch::from_batch(b), t))
+        }
+        // Physical IR: fuse the maximal Filter/Project chain into one
+        // compiled pipeline over a shared base batch (§ DESIGN.md 4).
+        // The arms below remain the interpreter — the differential
+        // oracle `hive.exec.pir.enabled=false` falls back to.
+        LogicalPlan::Filter { .. } | LogicalPlan::Project { .. }
+            if crate::pir::enabled(ctx.conf) =>
+        {
+            crate::pir::execute_chain(plan, ctx)
         }
         LogicalPlan::Filter { input, predicate } => {
             let (child, ct) = execute_sel(input, ctx)?;
@@ -496,12 +512,13 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
                     // Align the column to the declared output type.
                     cols.push(align_column(col, &schema.field(i).data_type)?);
                 } else {
-                    let vals = eval_rowmode(e, &base)?;
-                    let mut b = ColumnBuilder::new(&schema.field(i).data_type)?;
-                    for v in &vals {
-                        b.push(v)?;
-                    }
-                    cols.push(std::sync::Arc::new(b.finish()));
+                    // Row-mode results build the declared output column
+                    // directly (no whole-column `Vec<Value>` detour).
+                    cols.push(std::sync::Arc::new(eval_rowmode(
+                        e,
+                        &base,
+                        &schema.field(i).data_type,
+                    )?));
                 }
             }
             let out = VectorBatch::from_arcs(schema.clone(), cols, base.num_rows())?;
@@ -887,7 +904,7 @@ impl<'a> SortAccess<'a> {
 /// (kernels keep natural types; e.g. `Int + Int` stays Int even when
 /// the planner widened the projection type). Aligned columns pass
 /// through by handle.
-fn align_column(
+pub(crate) fn align_column(
     col: std::sync::Arc<hive_common::ColumnVector>,
     want: &hive_common::DataType,
 ) -> Result<std::sync::Arc<hive_common::ColumnVector>> {

@@ -61,6 +61,54 @@ pub fn eval_vector(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Arc<ColumnV
             let out: Vec<bool> = (0..v.len()).map(|i| v.is_null(i) != *negated).collect();
             Ok(Arc::new(ColumnVector::Boolean(out, None)))
         }
+        ScalarExpr::Like {
+            expr: inner,
+            pattern,
+            negated,
+        } => {
+            // `col [NOT] LIKE 'prefix%'` (no metacharacters in the
+            // prefix) is a `starts_with` — per row over plain string
+            // columns, once per distinct entry over dictionaries.
+            if let (ScalarExpr::Column(c), ScalarExpr::Literal(Value::String(p))) =
+                (inner.as_ref(), pattern.as_ref())
+            {
+                if let Some(prefix) = like_prefix(p) {
+                    // Null rows hold `false` (the builder default the
+                    // row fallback leaves behind), never the verdict of
+                    // a stored placeholder value.
+                    match batch.column(*c) {
+                        ColumnVector::Str(v, nl) => {
+                            let mut out: Vec<bool> = v
+                                .iter()
+                                .map(|s| s.starts_with(prefix) != *negated)
+                                .collect();
+                            if let Some(bits) = nl {
+                                for i in bits.iter_ones() {
+                                    out[i] = false;
+                                }
+                            }
+                            return Ok(Arc::new(ColumnVector::Boolean(out, nl.clone())));
+                        }
+                        ColumnVector::Dict { codes, dict, nulls } => {
+                            let per_code: Vec<bool> = dict
+                                .iter()
+                                .map(|s| s.starts_with(prefix) != *negated)
+                                .collect();
+                            let mut out: Vec<bool> =
+                                codes.iter().map(|&c| per_code[c as usize]).collect();
+                            if let Some(bits) = nulls {
+                                for i in bits.iter_ones() {
+                                    out[i] = false;
+                                }
+                            }
+                            return Ok(Arc::new(ColumnVector::Boolean(out, nulls.clone())));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            fallback(expr, batch).map(Arc::new)
+        }
         _ => fallback(expr, batch).map(Arc::new),
     }
 }
@@ -96,25 +144,44 @@ pub fn filter_indices(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Vec<u32>
 }
 
 /// Row-at-a-time interpretation of a predicate (the Hive 1.2 path).
+/// One row buffer is reused across the loop — `batch.row(i)` would
+/// allocate a fresh `Vec<Value>` per row.
 pub fn filter_indices_rowmode(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Vec<u32>> {
     let mut out = Vec::new();
+    let mut vals: Vec<Value> = Vec::with_capacity(batch.num_columns());
     for i in 0..batch.num_rows() {
-        let row = batch.row(i);
-        if eval_scalar(expr, row.values())? == Value::Boolean(true) {
+        vals.clear();
+        for c in 0..batch.num_columns() {
+            vals.push(batch.column(c).get(i));
+        }
+        if eval_scalar(expr, &vals)? == Value::Boolean(true) {
             out.push(i as u32);
         }
     }
     Ok(out)
 }
 
-/// Row-at-a-time projection (the Hive 1.2 path).
-pub fn eval_rowmode(expr: &ScalarExpr, batch: &VectorBatch) -> Result<Vec<Value>> {
-    let mut out = Vec::with_capacity(batch.num_rows());
+/// Row-at-a-time projection (the Hive 1.2 path): results stream
+/// straight into a [`ColumnBuilder`] for the declared output type —
+/// no intermediate `Vec<Value>` of the whole column, and one reused
+/// row buffer instead of a `Row` allocation per row. The output is
+/// byte-identical to `eval_vector`'s builder fallback for the same
+/// expression (same builder, same push sequence).
+pub fn eval_rowmode(
+    expr: &ScalarExpr,
+    batch: &VectorBatch,
+    want: &hive_common::DataType,
+) -> Result<ColumnVector> {
+    let mut b = ColumnBuilder::new(want)?;
+    let mut vals: Vec<Value> = Vec::with_capacity(batch.num_columns());
     for i in 0..batch.num_rows() {
-        let row = batch.row(i);
-        out.push(eval_scalar(expr, row.values())?);
+        vals.clear();
+        for c in 0..batch.num_columns() {
+            vals.push(batch.column(c).get(i));
+        }
+        b.push(&eval_scalar(expr, &vals)?)?;
     }
-    Ok(out)
+    Ok(b.finish())
 }
 
 fn broadcast(v: &Value, n: usize) -> Result<ColumnVector> {
@@ -274,15 +341,45 @@ fn try_fast_binary(
             Ok(Some(ColumnVector::Boolean(out, nulls.clone())))
         }
         (ColumnVector::Decimal(v, s, nl), Value::Decimal(u, s2)) => {
-            let scaled = hive_common::value::rescale(*u, *s2, *s);
-            cmp_prim!(v, nl, scaled)
+            // `sql_cmp` compares decimals exactly at the wider scale.
+            // Rescaling the literal *down* to the column scale rounds
+            // (half away from zero), so when the literal carries more
+            // fractional digits the rows widen instead.
+            if *s2 <= *s {
+                let scaled = hive_common::value::rescale(*u, *s2, *s);
+                cmp_prim!(v, nl, scaled)
+            } else {
+                let (lit, factor) = (*u, hive_common::value::pow10(*s2 - *s));
+                let mut out = Vec::with_capacity(n);
+                for v in v.iter() {
+                    out.push(apply_ord(op, (v * factor).partial_cmp(&lit)));
+                }
+                Ok(Some(ColumnVector::Boolean(out, nl.clone())))
+            }
         }
         (ColumnVector::Decimal(v, s, nl), Value::Int(x)) => {
             let scaled = *x as i128 * hive_common::value::pow10(*s);
             cmp_prim!(v, nl, scaled)
         }
+        (ColumnVector::Decimal(v, s, nl), Value::BigInt(x)) => {
+            let scaled = *x as i128 * hive_common::value::pow10(*s);
+            cmp_prim!(v, nl, scaled)
+        }
         _ => Ok(None),
     }
+}
+
+/// The literal prefix of a LIKE pattern of the shape `prefix%` — a
+/// prefix free of metacharacters followed by a single trailing `%`.
+/// Such patterns reduce to `starts_with`, the shape both the
+/// vectorized fast path below and the PIR `StrPrefix` kernel key on
+/// (one gating function so the two can never disagree).
+pub(crate) fn like_prefix(pattern: &str) -> Option<&str> {
+    let prefix = pattern.strip_suffix('%')?;
+    if prefix.contains(['%', '_', '\\']) {
+        return None;
+    }
+    Some(prefix)
 }
 
 /// Typed kernel for `column ⊕ literal` (either side) with ⊕ in
@@ -761,5 +858,169 @@ mod tests {
         // bool_combine's fast path applies end to end.
         let l = eval_vector(&exprs[0], &dense).unwrap();
         assert!(matches!(l.as_ref(), ColumnVector::Boolean(_, None)));
+    }
+
+    /// A scale-3 literal against a Decimal(7,2) column must compare at
+    /// the wider scale, exactly. Rounding the literal down to the
+    /// column scale turns 1.005 into 1.00 (truncate) or 1.01 (half
+    /// away) and flips the verdict for the values in between — the row
+    /// oracle catches either rounding direction on this batch.
+    #[test]
+    fn decimal_mixed_scale_compare_is_exact() {
+        let schema = Schema::new(vec![Field::new("d", DataType::Decimal(7, 2))]);
+        let b = VectorBatch::from_rows(
+            &schema,
+            &[
+                Row::new(vec![Value::Decimal(100, 2)]), // 1.00
+                Row::new(vec![Value::Decimal(101, 2)]), // 1.01
+                Row::new(vec![Value::Decimal(250, 2)]), // 2.50
+                Row::new(vec![Value::Null]),
+            ],
+        )
+        .unwrap();
+        let lit = Value::Decimal(1005, 3); // 1.005
+        for op in [
+            BinaryOp::Lt,
+            BinaryOp::LtEq,
+            BinaryOp::Gt,
+            BinaryOp::GtEq,
+            BinaryOp::Eq,
+            BinaryOp::NotEq,
+        ] {
+            let e = bin(op, ScalarExpr::Column(0), ScalarExpr::Literal(lit.clone()));
+            assert_eq!(
+                filter_indices(&e, &b).unwrap(),
+                filter_indices_rowmode(&e, &b).unwrap(),
+                "mode divergence for {e}"
+            );
+        }
+        // Pin the two verdicts a rounded literal gets wrong: truncation
+        // loses `1.00 < 1.005`, half-away rounding loses `1.01 > 1.005`.
+        let lt = bin(
+            BinaryOp::Lt,
+            ScalarExpr::Column(0),
+            ScalarExpr::Literal(lit.clone()),
+        );
+        assert_eq!(filter_indices(&lt, &b).unwrap(), vec![0]);
+        let gt = bin(
+            BinaryOp::Gt,
+            ScalarExpr::Column(0),
+            ScalarExpr::Literal(lit),
+        );
+        assert_eq!(filter_indices(&gt, &b).unwrap(), vec![1, 2]);
+        // Integer literals rescale to the column's scale losslessly.
+        for op in [BinaryOp::Eq, BinaryOp::Gt] {
+            let e = bin(
+                op,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::BigInt(1)),
+            );
+            assert_eq!(
+                filter_indices(&e, &b).unwrap(),
+                filter_indices_rowmode(&e, &b).unwrap(),
+                "mode divergence for {e}"
+            );
+        }
+    }
+
+    /// Ordering comparisons and prefix LIKE over a dictionary column
+    /// take the per-entry fast paths; their pass sets must match the
+    /// row interpreter, including null rows and negation. A non-prefix
+    /// pattern pins the gating: it must fall back, and still agree.
+    #[test]
+    fn dict_fast_paths_match_rowmode() {
+        let schema = Schema::new(vec![Field::new("s", DataType::String)]);
+        let dict = std::sync::Arc::new(vec![
+            "apple".to_string(),
+            "apricot".to_string(),
+            "banana".to_string(),
+        ]);
+        let mut nulls = BitSet::new(5);
+        nulls.set(3);
+        let col = ColumnVector::dict_from_codes(vec![0, 2, 1, 0, 2], dict, Some(nulls)).unwrap();
+        let b = VectorBatch::from_arcs(schema, vec![std::sync::Arc::new(col)], 5).unwrap();
+        let like = |pattern: &str, negated| ScalarExpr::Like {
+            expr: Box::new(ScalarExpr::Column(0)),
+            pattern: Box::new(ScalarExpr::Literal(Value::String(pattern.into()))),
+            negated,
+        };
+        let exprs = vec![
+            bin(
+                BinaryOp::Lt,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::String("b".into())),
+            ),
+            bin(
+                BinaryOp::Gt,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::String("apricot".into())),
+            ),
+            like("ap%", false),
+            like("ap%", true),
+            like("%an%", false),
+        ];
+        for e in &exprs {
+            assert_eq!(
+                filter_indices(e, &b).unwrap(),
+                filter_indices_rowmode(e, &b).unwrap(),
+                "mode divergence for {e}"
+            );
+        }
+        // Spot-check the sets themselves: codes [apple, banana,
+        // apricot, NULL, banana].
+        assert_eq!(filter_indices(&exprs[0], &b).unwrap(), vec![0, 2]);
+        assert_eq!(filter_indices(&exprs[2], &b).unwrap(), vec![0, 2]);
+        assert_eq!(filter_indices(&exprs[3], &b).unwrap(), vec![1, 4]);
+        assert_eq!(filter_indices(&exprs[4], &b).unwrap(), vec![1, 4]);
+    }
+
+    /// The prefix-LIKE vector arm over a plain string column produces
+    /// the same bytes as the row-at-a-time fallback it replaced.
+    #[test]
+    fn like_prefix_fast_arm_matches_fallback_bytes() {
+        let b = batch();
+        for negated in [false, true] {
+            let e = ScalarExpr::Like {
+                expr: Box::new(ScalarExpr::Column(1)),
+                pattern: Box::new(ScalarExpr::Literal(Value::String("x%".into()))),
+                negated,
+            };
+            let fast = eval_vector(&e, &b).unwrap();
+            let slow = fallback(&e, &b).unwrap();
+            assert_eq!(*fast.as_ref(), slow, "byte divergence for {e}");
+        }
+        // Escapes and mid-pattern wildcards are not prefixes.
+        assert_eq!(like_prefix("ab%"), Some("ab"));
+        assert_eq!(like_prefix("%"), Some(""));
+        assert_eq!(like_prefix("a_b%"), None);
+        assert_eq!(like_prefix("a\\%b%"), None);
+        assert_eq!(like_prefix("a%b"), None);
+    }
+
+    /// Row-mode projection builds the declared output column directly;
+    /// its bytes must match the vectorized builder fallback for the
+    /// same expression (the regression this pins: the old path built a
+    /// whole-column `Vec<Value>` first, and diverged on typed nulls).
+    #[test]
+    fn rowmode_projection_matches_vector_fallback_bytes() {
+        let b = batch();
+        let upper = ScalarExpr::Func {
+            func: hive_optimizer::BuiltinFunc::Upper,
+            args: vec![ScalarExpr::Column(1)],
+        };
+        let arith = bin(
+            BinaryOp::Plus,
+            bin(
+                BinaryOp::Multiply,
+                ScalarExpr::Column(0),
+                ScalarExpr::Literal(Value::Int(2)),
+            ),
+            ScalarExpr::Literal(Value::Int(1)),
+        );
+        for (e, want) in [(upper, DataType::String), (arith, DataType::Int)] {
+            let vec_out = fallback(&e, &b).unwrap();
+            let row_out = eval_rowmode(&e, &b, &want).unwrap();
+            assert_eq!(row_out, vec_out, "byte divergence for {e}");
+        }
     }
 }

@@ -1,0 +1,224 @@
+//! Operator fusion: execute a `Filter`/`Project` chain as one compiled
+//! pipeline over a single selection vector.
+//!
+//! The interpreter materializes between stages: `Filter` compacts its
+//! child before evaluating (a full gather of every column), `Project`
+//! compacts again before `eval_vector`. Fusion peels the maximal chain
+//! of `Filter`/`Project` nodes off the plan, executes the shared
+//! source once, and then runs each stage **against the same base
+//! batch**, only narrowing the selection (filters) or evaluating at
+//! selected rows (projections). No intermediate `Arc<ColumnVector>`
+//! materialization happens between fused stages; the one gather left
+//! is the projection's own output.
+//!
+//! ## What fusion must preserve
+//!
+//! - **Results**: each stage's pass-set/outputs are exactly the
+//!   interpreter's (see [`super::kernel`]'s pass-set contract; fused
+//!   projections evaluate through the same `eval_vector` kernels the
+//!   interpreter uses, over a gather of only the *referenced*
+//!   columns).
+//! - **Traces**: one `NodeTrace` per peeled stage, same labels and row
+//!   counts, so runtime re-optimization feedback and the simulated
+//!   clock see an identical tree.
+//! - **Fault schedule**: `apply_fragment_faults` rolls per executed
+//!   plan vertex, keyed by label, bottom-up. Fused stages roll in
+//!   interpreter order — every stage here except the topmost (whose
+//!   roll happens in the `execute_sel` wrapper, as for any node).
+//! - **Pipeline breakers**: fusion stops at any non-Filter/Project
+//!   node and at shared subtrees (their results materialize once via
+//!   `compact()` and are reused by fingerprint — fusing across that
+//!   boundary would re-execute the shared work).
+
+use super::kernel::SelRef;
+use super::lower::{PredPipeline, ProjPlan};
+use crate::engine::{align_column, execute_sel, type_aligned, ExecContext, NodeTrace};
+use crate::kernels::eval_vector;
+use hive_common::{
+    ColumnBuilder, ColumnVector, DataType, Result, Schema, SelBatch, SelVec, Value, VectorBatch,
+};
+use hive_optimizer::plan::LogicalPlan;
+use hive_optimizer::ScalarExpr;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+enum Stage<'a> {
+    Filter(&'a ScalarExpr),
+    Project {
+        exprs: &'a [ScalarExpr],
+        schema: Schema,
+    },
+}
+
+/// Execute a plan rooted at a `Filter` or `Project` by fusing the
+/// maximal chain below it. Called from `execute_sel_inner`, so the
+/// shared-work wrapper and the topmost fault roll sit above us.
+pub(crate) fn execute_chain(
+    plan: &LogicalPlan,
+    ctx: &ExecContext,
+) -> Result<(SelBatch, NodeTrace)> {
+    // Peel top-down.
+    let mut stages: Vec<Stage<'_>> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            LogicalPlan::Filter { input, predicate } => {
+                stages.push(Stage::Filter(predicate));
+                cur = input;
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                stages.push(Stage::Project {
+                    exprs,
+                    schema: cur.schema(),
+                });
+                cur = input;
+            }
+            _ => break,
+        }
+        // A shared subtree is a fusion boundary: its result must
+        // materialize once (and be found again by fingerprint).
+        if ctx.is_shared_subtree(cur) {
+            break;
+        }
+    }
+    let (mut sb, mut trace) = execute_sel(cur, ctx)?;
+    for (i, stage) in stages.iter().enumerate().rev() {
+        let (nsb, mut st) = match stage {
+            Stage::Filter(pred) => run_filter(pred, sb)?,
+            Stage::Project { exprs, schema } => run_project(exprs, schema, sb)?,
+        };
+        st.children = vec![trace];
+        if i > 0 {
+            // Interior stage: roll its fault schedule here, exactly
+            // where the interpreter's per-node `execute_sel` would.
+            // The topmost stage's roll happens in our caller.
+            crate::recovery::apply_fragment_faults(ctx, &mut st)?;
+        }
+        trace = st;
+        sb = nsb;
+    }
+    Ok((sb, trace))
+}
+
+fn run_filter(pred: &ScalarExpr, sb: SelBatch) -> Result<(SelBatch, NodeTrace)> {
+    let rows_in = sb.num_rows() as u64;
+    // Engine-level filters order conjuncts by cost tier and default
+    // selectivity estimates; scans (which hold table stats) compile
+    // their own pipelines in `execute_scan`.
+    let pipe = PredPipeline::compile(pred, sb.batch.schema(), None);
+    let kept = pipe.select(&sb.batch, SelRef::of(&sb.sel))?;
+    let SelBatch { batch, sel } = sb;
+    let sel = match kept {
+        // Every selected row passed: the selection is already right.
+        None => sel,
+        // Kernels return underlying row ids, so this *is* the new
+        // selection — no compose step.
+        Some(rows) => SelVec::Idx(rows),
+    };
+    let mut t = NodeTrace::leaf("Filter");
+    t.rows_in = rows_in;
+    t.rows_out = sel.len() as u64;
+    Ok((SelBatch::new(batch, sel)?, t))
+}
+
+fn run_project(
+    exprs: &[ScalarExpr],
+    out_schema: &Schema,
+    sb: SelBatch,
+) -> Result<(SelBatch, NodeTrace)> {
+    let rows_in = sb.num_rows() as u64;
+    // All-trivial projection: re-share column handles, selection passes
+    // through untouched (the interpreter's zero-copy fast path).
+    let trivial = exprs.iter().enumerate().all(|(i, e)| {
+        matches!(e, ScalarExpr::Column(c)
+            if type_aligned(&sb.batch.column(*c).data_type(), &out_schema.field(i).data_type))
+    });
+    if trivial {
+        let cols = exprs
+            .iter()
+            .map(|e| match e {
+                ScalarExpr::Column(c) => sb.batch.column_arc(*c).clone(),
+                _ => unreachable!("trivial projection is all column refs"),
+            })
+            .collect();
+        let out = VectorBatch::from_arcs(out_schema.clone(), cols, sb.batch.num_rows())?;
+        let mut t = NodeTrace::leaf("Project");
+        t.rows_in = rows_in;
+        t.rows_out = rows_in;
+        return Ok((SelBatch::new(out, sb.sel)?, t));
+    }
+    let plan = ProjPlan::compile(exprs, sb.batch.schema())?;
+    let n = sb.num_rows();
+    // The evaluation base: at an identity selection the child's columns
+    // are shared as-is; otherwise gather *only referenced* columns
+    // (the interpreter's compact() gathers every column) and pad the
+    // rest with typed all-NULL columns so positional references line
+    // up. Expressions never read the padding.
+    let base = if sb.sel.is_all() {
+        sb.batch.clone()
+    } else {
+        let idx = sb.sel.to_indices();
+        let referenced: Vec<bool> = {
+            let mut v = vec![false; sb.batch.num_columns()];
+            for &c in &plan.referenced {
+                v[c] = true;
+            }
+            v
+        };
+        let mut pads: HashMap<DataType, Arc<ColumnVector>> = HashMap::new();
+        let mut cols: Vec<Arc<ColumnVector>> = Vec::with_capacity(sb.batch.num_columns());
+        for (c, field) in sb.batch.schema().fields().iter().enumerate() {
+            if referenced[c] {
+                cols.push(Arc::new(sb.batch.column(c).take(&idx)));
+            } else {
+                let pad = match pads.get(&field.data_type) {
+                    Some(p) => p.clone(),
+                    None => {
+                        let p = Arc::new(null_column(&field.data_type, n)?);
+                        pads.insert(field.data_type.clone(), p.clone());
+                        p
+                    }
+                };
+                cols.push(pad);
+            }
+        }
+        VectorBatch::from_arcs(sb.batch.schema().clone(), cols, n)?
+    };
+    // Hoisted common subexpressions evaluate once into temp columns
+    // (they reference base columns only), then the distinct outputs
+    // evaluate over the extended batch through the same `eval_vector`
+    // kernels the interpreter uses.
+    let mut cols: Vec<Arc<ColumnVector>> = (0..base.num_columns())
+        .map(|c| base.column_arc(c).clone())
+        .collect();
+    for t in &plan.temps {
+        cols.push(eval_vector(t, &base)?);
+    }
+    let ext = VectorBatch::from_arcs(plan.eval_schema.clone(), cols, n)?;
+    let mut unique_cols = Vec::with_capacity(plan.unique.len());
+    for e in &plan.unique {
+        unique_cols.push(eval_vector(e, &ext)?);
+    }
+    let mut out_cols = Vec::with_capacity(exprs.len());
+    for (i, slot) in plan.slots.iter().enumerate() {
+        out_cols.push(align_column(
+            unique_cols[*slot].clone(),
+            &out_schema.field(i).data_type,
+        )?);
+    }
+    let out = VectorBatch::from_arcs(out_schema.clone(), out_cols, n)?;
+    let mut t = NodeTrace::leaf("Project");
+    t.rows_in = rows_in;
+    t.rows_out = out.num_rows() as u64;
+    Ok((SelBatch::from_batch(out), t))
+}
+
+/// A typed all-NULL column of length `n` (padding for unreferenced
+/// positions in a gathered projection base).
+fn null_column(dt: &DataType, n: usize) -> Result<ColumnVector> {
+    let mut b = ColumnBuilder::new(dt)?;
+    for _ in 0..n {
+        b.push(&Value::Null)?;
+    }
+    Ok(b.finish())
+}

@@ -1,0 +1,523 @@
+//! Type-specialized predicate kernels — the monomorphization layer of
+//! the physical IR.
+//!
+//! The interpreter ([`crate::kernels`]) re-discovers the column
+//! representation of every operand on every batch: `try_fast_binary`
+//! matches on [`ColumnVector`] variants, and a miss walks rows through
+//! `eval_scalar`. A [`PredKernel`] is the result of doing that match
+//! **once at lowering time**: the comparison literal is pre-coerced
+//! into the column's kernel domain ([`CmpSpec`]) and evaluation is a
+//! tight loop over the selection vector with no per-batch dispatch.
+//!
+//! Pass-set contract: for every kernel, `select(batch, sel)` returns
+//! exactly the rows of `sel` (in `sel` order) on which the source
+//! predicate evaluates to SQL TRUE — the same set
+//! [`crate::kernels::filter_indices`] would keep after compacting
+//! `sel`. NULL comparisons never pass (three-valued logic), so
+//! `AND` is an ordered short-circuit intersection and `OR` a union.
+
+use hive_common::value::pow10;
+use hive_common::{BitSet, ColumnVector, KernelType, Result, SelVec, Value, VectorBatch};
+use hive_optimizer::eval::eval_scalar;
+use hive_optimizer::ScalarExpr;
+use hive_sql::BinaryOp;
+use std::cmp::Ordering;
+
+/// Borrowed selection: the rows a kernel may look at, in order.
+#[derive(Clone, Copy)]
+pub(crate) enum SelRef<'a> {
+    All(usize),
+    Idx(&'a [u32]),
+}
+
+impl<'a> SelRef<'a> {
+    pub(crate) fn of(sel: &'a SelVec) -> SelRef<'a> {
+        match sel {
+            SelVec::All(n) => SelRef::All(*n),
+            SelVec::Idx(v) => SelRef::Idx(v),
+        }
+    }
+
+    pub(crate) fn len(self) -> usize {
+        match self {
+            SelRef::All(n) => n,
+            SelRef::Idx(v) => v.len(),
+        }
+    }
+}
+
+/// Keep the selected rows satisfying `keep`, preserving selection order.
+#[inline]
+fn filter_sel(sel: SelRef<'_>, mut keep: impl FnMut(usize) -> bool) -> Vec<u32> {
+    match sel {
+        SelRef::All(n) => (0..n as u32).filter(|&r| keep(r as usize)).collect(),
+        SelRef::Idx(v) => v.iter().copied().filter(|&r| keep(r as usize)).collect(),
+    }
+}
+
+#[inline]
+fn for_each_sel(sel: SelRef<'_>, mut f: impl FnMut(u32)) {
+    match sel {
+        SelRef::All(n) => (0..n as u32).for_each(&mut f),
+        SelRef::Idx(v) => v.iter().copied().for_each(&mut f),
+    }
+}
+
+#[inline]
+fn null_free(nulls: &Option<BitSet>) -> bool {
+    nulls.as_ref().is_none_or(|b| b.count_ones() == 0)
+}
+
+/// A comparison operator resolved to its verdict per [`Ordering`] —
+/// computed once at lowering so the row loop is a table lookup instead
+/// of an operator match (`apply_ord` per row in the interpreter).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OrdMask {
+    lt: bool,
+    eq: bool,
+    gt: bool,
+}
+
+impl OrdMask {
+    pub(crate) fn of(op: BinaryOp) -> Option<OrdMask> {
+        let (lt, eq, gt) = match op {
+            BinaryOp::Eq => (false, true, false),
+            BinaryOp::NotEq => (true, false, true),
+            BinaryOp::Lt => (true, false, false),
+            BinaryOp::LtEq => (true, true, false),
+            BinaryOp::Gt => (false, false, true),
+            BinaryOp::GtEq => (false, true, true),
+            _ => return None,
+        };
+        Some(OrdMask { lt, eq, gt })
+    }
+
+    /// The NOT of this comparison over non-NULL operands (NULLs never
+    /// pass either way, so mask complement is exactly `NOT cmp`).
+    pub(crate) fn negate(self) -> OrdMask {
+        OrdMask {
+            lt: !self.lt,
+            eq: !self.eq,
+            gt: !self.gt,
+        }
+    }
+
+    #[inline]
+    fn hit(self, o: Ordering) -> bool {
+        match o {
+            Ordering::Less => self.lt,
+            Ordering::Equal => self.eq,
+            Ordering::Greater => self.gt,
+        }
+    }
+
+    /// Incomparable (`None`, only NaN) never passes — same verdict as
+    /// the interpreter's `apply_ord`.
+    #[inline]
+    fn hit_opt(self, o: Option<Ordering>) -> bool {
+        o.is_some_and(|o| self.hit(o))
+    }
+}
+
+/// A comparison literal pre-coerced into the column's kernel domain.
+/// One variant per [`KernelType`] comparison the interpreter's fast
+/// path covers; lowering produces `None` (→ row fallback) elsewhere.
+#[derive(Debug, Clone)]
+pub(crate) enum CmpSpec {
+    Int(i32),
+    /// `Int` column against a `BigInt` literal: rows widen to `i64`.
+    IntWide(i64),
+    BigInt(i64),
+    Double(f64),
+    /// Literal rescaled **up** to the column scale — exact, never
+    /// rounds (a literal with more fractional digits than the column
+    /// uses [`CmpSpec::DecimalWide`] instead).
+    Decimal {
+        lit: i128,
+        scale: u8,
+    },
+    /// Literal scale exceeds the column scale: compare
+    /// `row * factor` against the unscaled literal, both at the
+    /// literal's scale. Exact where rounding the literal down is not.
+    DecimalWide {
+        lit: i128,
+        factor: i128,
+        scale: u8,
+    },
+    Date(i32),
+    Timestamp(i64),
+    Str(String),
+}
+
+impl CmpSpec {
+    /// The kernel domain this comparison is monomorphized over (the
+    /// schema-level domain; a `Str` spec still runs per-entry over
+    /// dictionary columns).
+    pub(crate) fn kernel_type(&self) -> KernelType {
+        match self {
+            CmpSpec::Int(_) | CmpSpec::IntWide(_) => KernelType::Int,
+            CmpSpec::BigInt(_) => KernelType::BigInt,
+            CmpSpec::Double(_) => KernelType::Double,
+            CmpSpec::Decimal { scale, .. } | CmpSpec::DecimalWide { scale, .. } => {
+                KernelType::Decimal(*scale)
+            }
+            CmpSpec::Date(_) => KernelType::Date,
+            CmpSpec::Timestamp(_) => KernelType::Timestamp,
+            CmpSpec::Str(_) => KernelType::Str,
+        }
+    }
+
+    /// Coerce a literal into the comparison domain of a column of
+    /// kernel type `kt`. Mirrors the `(column, literal)` pairs
+    /// `try_fast_binary` specializes; anything else row-falls-back.
+    pub(crate) fn coerce(kt: KernelType, lit: &Value) -> Option<CmpSpec> {
+        use hive_common::value::rescale;
+        Some(match (kt, lit) {
+            (KernelType::Int, Value::Int(x)) => CmpSpec::Int(*x),
+            (KernelType::Int, Value::BigInt(x)) => CmpSpec::IntWide(*x),
+            (KernelType::BigInt, Value::BigInt(x)) => CmpSpec::BigInt(*x),
+            (KernelType::BigInt, Value::Int(x)) => CmpSpec::BigInt(*x as i64),
+            (KernelType::Double, Value::Double(x)) => CmpSpec::Double(*x),
+            (KernelType::Double, Value::Int(x)) => CmpSpec::Double(*x as f64),
+            (KernelType::Decimal(s), Value::Decimal(u, s2)) => {
+                if *s2 <= s {
+                    CmpSpec::Decimal {
+                        lit: rescale(*u, *s2, s),
+                        scale: s,
+                    }
+                } else {
+                    CmpSpec::DecimalWide {
+                        lit: *u,
+                        factor: pow10(*s2 - s),
+                        scale: s,
+                    }
+                }
+            }
+            (KernelType::Decimal(s), Value::Int(x)) => CmpSpec::Decimal {
+                lit: *x as i128 * pow10(s),
+                scale: s,
+            },
+            (KernelType::Decimal(s), Value::BigInt(x)) => CmpSpec::Decimal {
+                lit: *x as i128 * pow10(s),
+                scale: s,
+            },
+            (KernelType::Date, Value::Date(x)) => CmpSpec::Date(*x),
+            (KernelType::Timestamp, Value::Timestamp(x)) => CmpSpec::Timestamp(*x),
+            (KernelType::Str, Value::String(x)) => CmpSpec::Str(x.clone()),
+            _ => return None,
+        })
+    }
+}
+
+/// A compiled predicate node. `select` narrows a selection to the rows
+/// where the predicate is TRUE.
+#[derive(Debug, Clone)]
+pub(crate) enum PredKernel {
+    /// `column <op> literal`, literal pre-coerced. `orig` is the source
+    /// expression, kept for the (defensive) representation-mismatch row
+    /// fallback.
+    Cmp {
+        col: usize,
+        mask: OrdMask,
+        spec: CmpSpec,
+        orig: Box<ScalarExpr>,
+    },
+    /// `column [NOT] LIKE 'prefix%'` over a string column — per-row
+    /// `starts_with`, per-dictionary-entry over dict columns.
+    StrPrefix {
+        col: usize,
+        prefix: String,
+        negated: bool,
+        orig: Box<ScalarExpr>,
+    },
+    /// `column IS [NOT] NULL` — a bitmap probe, the cheapest tier.
+    IsNull { col: usize, negated: bool },
+    /// Ordered short-circuit conjunction: each kernel narrows the
+    /// previous survivor set, so later (costlier) conjuncts only see
+    /// rows the earlier ones kept.
+    And(Vec<PredKernel>),
+    /// Disjunction as a union: the right side only evaluates rows the
+    /// left rejected, and the result is re-merged in selection order.
+    Or(Box<PredKernel>, Box<PredKernel>),
+    /// Interpreter fallback for shapes with no specialized kernel —
+    /// still selection-driven (only selected rows evaluate) and
+    /// dictionary-aware like `eval_dict_unary`.
+    Row { expr: ScalarExpr, cols: Vec<usize> },
+}
+
+impl PredKernel {
+    /// Cost tier for conjunct ordering: bitmap probes and fixed-width
+    /// comparisons, then string comparisons, then composites, then the
+    /// row-at-a-time fallback.
+    pub(crate) fn cost_tier(&self) -> u8 {
+        match self {
+            PredKernel::IsNull { .. } => 0,
+            PredKernel::Cmp { spec, .. } => {
+                if spec.kernel_type().is_fixed_width() {
+                    0
+                } else {
+                    1
+                }
+            }
+            PredKernel::StrPrefix { .. } => 1,
+            PredKernel::And(_) | PredKernel::Or(..) => 2,
+            PredKernel::Row { .. } => 3,
+        }
+    }
+
+    /// Rows of `sel` (in order) where this predicate is TRUE.
+    pub(crate) fn select(&self, batch: &VectorBatch, sel: SelRef<'_>) -> Result<Vec<u32>> {
+        match self {
+            PredKernel::Cmp {
+                col,
+                mask,
+                spec,
+                orig,
+            } => match select_cmp(batch.column(*col), *mask, spec, sel) {
+                Some(v) => Ok(v),
+                // Representation drifted from the schema the spec was
+                // compiled against: evaluate the original expression.
+                None => select_row(orig, std::slice::from_ref(col), batch, sel),
+            },
+            PredKernel::StrPrefix {
+                col,
+                prefix,
+                negated,
+                orig,
+            } => match batch.column(*col) {
+                ColumnVector::Str(v, n) => {
+                    let nf = null_free(n);
+                    Ok(filter_sel(sel, |r| {
+                        (nf || !n.as_ref().expect("nullable").get(r))
+                            && (v[r].starts_with(prefix.as_str()) != *negated)
+                    }))
+                }
+                ColumnVector::Dict { codes, dict, nulls } => {
+                    let verdicts: Vec<bool> = dict
+                        .iter()
+                        .map(|s| s.starts_with(prefix.as_str()) != *negated)
+                        .collect();
+                    let nf = null_free(nulls);
+                    Ok(filter_sel(sel, |r| {
+                        (nf || !nulls.as_ref().expect("nullable").get(r))
+                            && verdicts[codes[r] as usize]
+                    }))
+                }
+                _ => select_row(orig, std::slice::from_ref(col), batch, sel),
+            },
+            PredKernel::IsNull { col, negated } => {
+                let c = batch.column(*col);
+                Ok(match column_nulls(c) {
+                    Some(b) => filter_sel(sel, |r| b.get(r) != *negated),
+                    // No bitmap: IS NULL keeps nothing, IS NOT NULL
+                    // keeps everything.
+                    None => {
+                        if *negated {
+                            filter_sel(sel, |_| true)
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                })
+            }
+            PredKernel::And(ks) => {
+                let mut cur = ks[0].select(batch, sel)?;
+                for k in &ks[1..] {
+                    if cur.is_empty() {
+                        break;
+                    }
+                    cur = k.select(batch, SelRef::Idx(&cur))?;
+                }
+                Ok(cur)
+            }
+            PredKernel::Or(l, r) => {
+                let lp = l.select(batch, sel)?;
+                if lp.len() == sel.len() {
+                    return Ok(lp);
+                }
+                // Rows the left rejected, in selection order.
+                let mut rest = Vec::with_capacity(sel.len() - lp.len());
+                let mut i = 0;
+                for_each_sel(sel, |row| {
+                    if i < lp.len() && lp[i] == row {
+                        i += 1;
+                    } else {
+                        rest.push(row);
+                    }
+                });
+                let rp = r.select(batch, SelRef::Idx(&rest))?;
+                // Union back in selection order (both are ordered
+                // subsequences of `sel`).
+                let mut out = Vec::with_capacity(lp.len() + rp.len());
+                let (mut i, mut j) = (0, 0);
+                for_each_sel(sel, |row| {
+                    let in_l = i < lp.len() && lp[i] == row;
+                    if in_l {
+                        i += 1;
+                    }
+                    let in_r = j < rp.len() && rp[j] == row;
+                    if in_r {
+                        j += 1;
+                    }
+                    if in_l || in_r {
+                        out.push(row);
+                    }
+                });
+                Ok(out)
+            }
+            PredKernel::Row { expr, cols } => select_row(expr, cols, batch, sel),
+        }
+    }
+}
+
+/// The null bitmap of any column representation.
+fn column_nulls(col: &ColumnVector) -> Option<&BitSet> {
+    match col {
+        ColumnVector::Boolean(_, n)
+        | ColumnVector::Int(_, n)
+        | ColumnVector::BigInt(_, n)
+        | ColumnVector::Double(_, n)
+        | ColumnVector::Decimal(_, _, n)
+        | ColumnVector::Str(_, n)
+        | ColumnVector::Date(_, n)
+        | ColumnVector::Timestamp(_, n) => n.as_ref(),
+        ColumnVector::Dict { nulls, .. } => nulls.as_ref(),
+    }
+    .filter(|b| b.count_ones() > 0)
+}
+
+/// One macro expansion per fixed-width domain: a null-free loop and a
+/// nullable loop, both branching only on the pre-resolved [`OrdMask`].
+macro_rules! cmp_fixed {
+    ($vals:expr, $nulls:expr, $sel:expr, $mask:expr, $lit:expr) => {{
+        let (vals, lit, mask) = ($vals, $lit, $mask);
+        if null_free($nulls) {
+            filter_sel($sel, |r| mask.hit_opt(vals[r].partial_cmp(&lit)))
+        } else {
+            let b = $nulls.as_ref().expect("nullable");
+            filter_sel($sel, |r| {
+                !b.get(r) && mask.hit_opt(vals[r].partial_cmp(&lit))
+            })
+        }
+    }};
+}
+
+/// Monomorphized comparison loop; `None` when the runtime
+/// representation does not match the compiled spec.
+fn select_cmp(
+    col: &ColumnVector,
+    mask: OrdMask,
+    spec: &CmpSpec,
+    sel: SelRef<'_>,
+) -> Option<Vec<u32>> {
+    Some(match (spec, col) {
+        (CmpSpec::Int(x), ColumnVector::Int(v, n)) => cmp_fixed!(v, n, sel, mask, *x),
+        (CmpSpec::IntWide(x), ColumnVector::Int(v, n)) => {
+            let (x, nf) = (*x, null_free(n));
+            if nf {
+                filter_sel(sel, |r| mask.hit((v[r] as i64).cmp(&x)))
+            } else {
+                let b = n.as_ref().expect("nullable");
+                filter_sel(sel, |r| !b.get(r) && mask.hit((v[r] as i64).cmp(&x)))
+            }
+        }
+        (CmpSpec::BigInt(x), ColumnVector::BigInt(v, n)) => cmp_fixed!(v, n, sel, mask, *x),
+        (CmpSpec::Double(x), ColumnVector::Double(v, n)) => cmp_fixed!(v, n, sel, mask, *x),
+        (CmpSpec::Decimal { lit, scale }, ColumnVector::Decimal(v, s, n)) if s == scale => {
+            cmp_fixed!(v, n, sel, mask, *lit)
+        }
+        (CmpSpec::DecimalWide { lit, factor, scale }, ColumnVector::Decimal(v, s, n))
+            if s == scale =>
+        {
+            let (lit, factor, nf) = (*lit, *factor, null_free(n));
+            if nf {
+                filter_sel(sel, |r| mask.hit((v[r] * factor).cmp(&lit)))
+            } else {
+                let b = n.as_ref().expect("nullable");
+                filter_sel(sel, |r| !b.get(r) && mask.hit((v[r] * factor).cmp(&lit)))
+            }
+        }
+        (CmpSpec::Date(x), ColumnVector::Date(v, n)) => cmp_fixed!(v, n, sel, mask, *x),
+        (CmpSpec::Timestamp(x), ColumnVector::Timestamp(v, n)) => cmp_fixed!(v, n, sel, mask, *x),
+        (CmpSpec::Str(x), ColumnVector::Str(v, n)) => {
+            let nf = null_free(n);
+            if nf {
+                filter_sel(sel, |r| mask.hit(v[r].as_str().cmp(x.as_str())))
+            } else {
+                let b = n.as_ref().expect("nullable");
+                filter_sel(sel, |r| {
+                    !b.get(r) && mask.hit(v[r].as_str().cmp(x.as_str()))
+                })
+            }
+        }
+        // Dictionary column: one verdict per distinct entry, then a
+        // code-indexed lookup per row — `eval_dict_unary`'s shape with
+        // the decision made at compile time.
+        (CmpSpec::Str(x), ColumnVector::Dict { codes, dict, nulls }) => {
+            let verdicts: Vec<bool> = dict.iter().map(|s| mask.hit(s.as_str().cmp(x))).collect();
+            let nf = null_free(nulls);
+            filter_sel(sel, |r| {
+                (nf || !nulls.as_ref().expect("nullable").get(r)) && verdicts[codes[r] as usize]
+            })
+        }
+        _ => return None,
+    })
+}
+
+/// Row-at-a-time fallback, selection-driven. Single-dictionary-column
+/// expressions evaluate once per distinct entry when the selection is
+/// larger than the dictionary (the `eval_dict_unary` trade-off).
+fn select_row(
+    expr: &ScalarExpr,
+    cols: &[usize],
+    batch: &VectorBatch,
+    sel: SelRef<'_>,
+) -> Result<Vec<u32>> {
+    if let [c] = cols {
+        if let ColumnVector::Dict { codes, dict, nulls } = batch.column(*c) {
+            if sel.len() > dict.len() {
+                let mut vals = vec![Value::Null; batch.num_columns()];
+                let null_pass = eval_scalar(expr, &vals)? == Value::Boolean(true);
+                let mut verdicts = Vec::with_capacity(dict.len());
+                for s in dict.iter() {
+                    vals[*c] = Value::String(s.clone());
+                    verdicts.push(eval_scalar(expr, &vals)? == Value::Boolean(true));
+                }
+                let nf = null_free(nulls);
+                return Ok(filter_sel(sel, |r| {
+                    if !nf && nulls.as_ref().expect("nullable").get(r) {
+                        null_pass
+                    } else {
+                        verdicts[codes[r] as usize]
+                    }
+                }));
+            }
+        }
+    }
+    // One row buffer reused across the loop; only referenced columns
+    // are materialized per row.
+    let mut vals = vec![Value::Null; batch.num_columns()];
+    let mut out = Vec::new();
+    let mut eval_one = |r: u32| -> Result<()> {
+        for &c in cols {
+            vals[c] = batch.column(c).get(r as usize);
+        }
+        if eval_scalar(expr, &vals)? == Value::Boolean(true) {
+            out.push(r);
+        }
+        Ok(())
+    };
+    match sel {
+        SelRef::All(n) => {
+            for r in 0..n as u32 {
+                eval_one(r)?;
+            }
+        }
+        SelRef::Idx(v) => {
+            for &r in v {
+                eval_one(r)?;
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,479 @@
+//! Lowering: optimizer [`ScalarExpr`] trees → compiled PIR pipelines.
+//!
+//! Three compile-time passes run here, all once per query instead of
+//! once per batch:
+//!
+//! 1. **Constant folding** — literal subtrees collapse via the
+//!    optimizer's [`fold_expr`] (which reuses `eval_scalar`, so folded
+//!    results are exactly what the interpreter would compute).
+//! 2. **Common-subexpression elimination** — duplicate projection
+//!    expressions evaluate once and share the result column; repeated
+//!    non-trivial subtrees hoist into temp columns; duplicate
+//!    predicate conjuncts drop (`p AND p` ≡ `p` in three-valued
+//!    logic).
+//! 3. **Conjunct ordering** — a multi-conjunct predicate evaluates
+//!    cheapest tier first ([`PredKernel::cost_tier`]), most selective
+//!    first within a tier (reusing [`hive_optimizer::stats`] estimates,
+//!    column statistics when the caller has them), short-circuiting
+//!    through the shrinking selection vector. Ties keep source order,
+//!    so the compiled order is fully deterministic.
+//!
+//! Reordering and short-circuiting are observationally safe because
+//! every conjunct is deterministic (non-deterministic predicates
+//! compile to a single source-order row kernel) and NULL/false rows
+//! are dropped identically wherever they are detected first. The one
+//! contract change, documented in DESIGN.md §4: a row-level evaluation
+//! *error* in a later conjunct does not surface if an earlier conjunct
+//! already dropped the row — the same latitude Hive takes when it
+//! reorders conjuncts during predicate pushdown.
+
+use super::kernel::{CmpSpec, OrdMask, PredKernel, SelRef};
+use hive_common::{KernelType, Result, Schema, Value, VectorBatch};
+use hive_metastore::TableStats;
+use hive_optimizer::rules::folding::fold_expr;
+use hive_optimizer::stats::selectivity;
+use hive_optimizer::ScalarExpr;
+use hive_sql::BinaryOp;
+use std::collections::{HashMap, HashSet};
+
+/// A compiled filter: an ordered bank of predicate kernels.
+#[derive(Debug)]
+pub(crate) enum PredPipeline {
+    /// Predicate folded to TRUE — nothing to evaluate.
+    KeepAll,
+    /// Predicate folded to FALSE/NULL — no row can pass.
+    DropAll,
+    /// Short-circuit conjunct bank, cheapest/most-selective first.
+    Kernels(Vec<PredKernel>),
+}
+
+impl PredPipeline {
+    /// Compile a predicate against the input schema. `stats` (the
+    /// scanned table's statistics plus the output-column → table-column
+    /// projection) refines conjunct ordering when available.
+    pub(crate) fn compile(
+        pred: &ScalarExpr,
+        schema: &Schema,
+        stats: Option<(&TableStats, &[usize])>,
+    ) -> PredPipeline {
+        let folded = fold_expr(pred.clone());
+        match &folded {
+            ScalarExpr::Literal(Value::Boolean(true)) => return PredPipeline::KeepAll,
+            ScalarExpr::Literal(Value::Boolean(false)) | ScalarExpr::Literal(Value::Null) => {
+                return PredPipeline::DropAll
+            }
+            _ => {}
+        }
+        // Reordering or skipping evaluations of a non-deterministic
+        // predicate would change what it computes: evaluate it row by
+        // row in source order, exactly like the interpreter.
+        if !folded.is_deterministic() {
+            return PredPipeline::Kernels(vec![row_kernel(folded)]);
+        }
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut items: Vec<(usize, u8, f64, PredKernel)> = Vec::new();
+        for c in folded.split_conjunction() {
+            match c {
+                ScalarExpr::Literal(Value::Boolean(true)) => continue,
+                ScalarExpr::Literal(Value::Boolean(false)) | ScalarExpr::Literal(Value::Null) => {
+                    return PredPipeline::DropAll
+                }
+                _ => {}
+            }
+            // CSE over conjuncts: `p AND p` keeps one copy.
+            if !seen.insert(c.to_string()) {
+                continue;
+            }
+            let k = compile_pred(c, schema);
+            let idx = items.len();
+            items.push((idx, k.cost_tier(), selectivity(c, stats), k));
+        }
+        if items.is_empty() {
+            return PredPipeline::KeepAll;
+        }
+        items.sort_by(|a, b| {
+            a.1.cmp(&b.1)
+                .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.0.cmp(&b.0))
+        });
+        PredPipeline::Kernels(items.into_iter().map(|(_, _, _, k)| k).collect())
+    }
+
+    /// Narrow `sel` to the passing rows. `Ok(None)` means every
+    /// selected row passes (callers keep their selection — and their
+    /// memcpy concat path — untouched).
+    pub(crate) fn select(&self, batch: &VectorBatch, sel: SelRef<'_>) -> Result<Option<Vec<u32>>> {
+        match self {
+            PredPipeline::KeepAll => Ok(None),
+            PredPipeline::DropAll => Ok(Some(Vec::new())),
+            PredPipeline::Kernels(ks) => {
+                let mut cur = ks[0].select(batch, sel)?;
+                if cur.len() == sel.len() && ks.len() == 1 {
+                    return Ok(None);
+                }
+                for k in &ks[1..] {
+                    if cur.is_empty() {
+                        break;
+                    }
+                    cur = k.select(batch, SelRef::Idx(&cur))?;
+                }
+                if cur.len() == sel.len() {
+                    return Ok(None);
+                }
+                Ok(Some(cur))
+            }
+        }
+    }
+}
+
+fn row_kernel(expr: ScalarExpr) -> PredKernel {
+    let cols = expr.columns();
+    PredKernel::Row { expr, cols }
+}
+
+/// Compile one (deterministic) predicate subtree.
+fn compile_pred(e: &ScalarExpr, schema: &Schema) -> PredKernel {
+    if let Some(k) = compile_leaf(e, schema) {
+        return k;
+    }
+    match e {
+        ScalarExpr::Binary {
+            op: BinaryOp::And, ..
+        } => {
+            // Nested conjunction (under an OR): short-circuit in
+            // source order; reordering only happens at the top level
+            // where selectivity estimates are anchored.
+            PredKernel::And(
+                e.split_conjunction()
+                    .into_iter()
+                    .map(|c| compile_pred(c, schema))
+                    .collect(),
+            )
+        }
+        ScalarExpr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => PredKernel::Or(
+            Box::new(compile_pred(left, schema)),
+            Box::new(compile_pred(right, schema)),
+        ),
+        _ => row_kernel(e.clone()),
+    }
+}
+
+/// Leaf shapes with a specialized kernel: `col <cmp> lit` (either
+/// orientation), `NOT` of one, `col IS [NOT] NULL`, and
+/// `col [NOT] LIKE 'prefix%'`.
+fn compile_leaf(e: &ScalarExpr, schema: &Schema) -> Option<PredKernel> {
+    match e {
+        ScalarExpr::Binary { op, left, right } if op.is_comparison() => {
+            let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => (*c, v, *op),
+                (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (*c, v, flip(*op)),
+                _ => return None,
+            };
+            if matches!(lit, Value::Null) {
+                return None;
+            }
+            let mask = OrdMask::of(op)?;
+            let kt = KernelType::of_data_type(&schema.field(col).data_type)?;
+            let spec = CmpSpec::coerce(kt, lit)?;
+            Some(PredKernel::Cmp {
+                col,
+                mask,
+                spec,
+                orig: Box::new(ScalarExpr::Binary {
+                    op,
+                    left: Box::new(ScalarExpr::Column(col)),
+                    right: Box::new(ScalarExpr::Literal(lit.clone())),
+                }),
+            })
+        }
+        ScalarExpr::Not(inner) => match compile_leaf(inner, schema)? {
+            // NOT of a comparison is the complementary comparison over
+            // non-NULL rows; NULL rows pass neither (3VL).
+            PredKernel::Cmp {
+                col,
+                mask,
+                spec,
+                orig,
+            } => Some(PredKernel::Cmp {
+                col,
+                mask: mask.negate(),
+                spec,
+                orig: Box::new(ScalarExpr::Not(orig)),
+            }),
+            PredKernel::IsNull { col, negated } => Some(PredKernel::IsNull {
+                col,
+                negated: !negated,
+            }),
+            PredKernel::StrPrefix {
+                col,
+                prefix,
+                negated,
+                orig,
+            } => Some(PredKernel::StrPrefix {
+                col,
+                prefix,
+                negated: !negated,
+                orig: Box::new(ScalarExpr::Not(orig)),
+            }),
+            _ => None,
+        },
+        ScalarExpr::IsNull { expr, negated } => match expr.as_ref() {
+            ScalarExpr::Column(c) => Some(PredKernel::IsNull {
+                col: *c,
+                negated: *negated,
+            }),
+            _ => None,
+        },
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let (col, pat) = match (expr.as_ref(), pattern.as_ref()) {
+                (ScalarExpr::Column(c), ScalarExpr::Literal(Value::String(p))) => (*c, p),
+                _ => return None,
+            };
+            let prefix = crate::kernels::like_prefix(pat)?;
+            if KernelType::of_data_type(&schema.field(col).data_type)? != KernelType::Str {
+                return None;
+            }
+            Some(PredKernel::StrPrefix {
+                col,
+                prefix: prefix.to_string(),
+                negated: *negated,
+                orig: Box::new(e.clone()),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Mirror a comparison across its operands (`lit < col` ≡ `col > lit`).
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// A compiled projection: folded, deduplicated expressions over an
+/// extended input (base columns plus hoisted common subexpressions).
+#[derive(Debug)]
+pub(crate) struct ProjPlan {
+    /// Output column `i` reads `unique[slots[i]]`.
+    pub slots: Vec<usize>,
+    /// Distinct output expressions, rewritten over `eval_schema`.
+    pub unique: Vec<ScalarExpr>,
+    /// Hoisted subexpressions (over base columns only), evaluated into
+    /// temp columns appended after the base columns.
+    pub temps: Vec<ScalarExpr>,
+    /// Base schema plus one field per temp.
+    pub eval_schema: Schema,
+    /// Base columns any expression still reads.
+    pub referenced: Vec<usize>,
+}
+
+impl ProjPlan {
+    pub(crate) fn compile(exprs: &[ScalarExpr], in_schema: &Schema) -> Result<ProjPlan> {
+        // Fold, then share identical outputs.
+        let folded: Vec<ScalarExpr> = exprs.iter().map(|e| fold_expr(e.clone())).collect();
+        let mut slots = Vec::with_capacity(folded.len());
+        let mut unique: Vec<ScalarExpr> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for e in &folded {
+            let key = e.to_string();
+            let slot = *index.entry(key).or_insert_with(|| {
+                unique.push(e.clone());
+                unique.len() - 1
+            });
+            slots.push(slot);
+        }
+        // Hoist repeated non-trivial subtrees: larger candidates first,
+        // so an outer repeat absorbs its inner repeats.
+        let mut counts: HashMap<String, (usize, usize, ScalarExpr)> = HashMap::new();
+        for e in &unique {
+            count_subtrees(e, true, &mut counts);
+        }
+        let mut cands: Vec<(usize, String, ScalarExpr)> = counts
+            .into_iter()
+            .filter(|(_, (n, _, _))| *n >= 2)
+            .map(|(k, (_, size, e))| (size, k, e))
+            .collect();
+        cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let base_width = in_schema.len();
+        let mut temps: Vec<ScalarExpr> = Vec::new();
+        let mut fields = in_schema.fields().to_vec();
+        for (_, key, sub) in cands {
+            let still: usize = unique.iter().map(|e| occurrences(e, &key)).sum();
+            if still < 2 {
+                continue;
+            }
+            let temp_col = base_width + temps.len();
+            for e in &mut unique {
+                *e = replace_subtree(e, &key, temp_col);
+            }
+            fields.push(hive_common::Field::new(
+                format!("__cse{}", temps.len()),
+                sub.data_type(in_schema)?,
+            ));
+            temps.push(sub);
+        }
+        let eval_schema = Schema::new(fields);
+        let mut referenced: Vec<bool> = vec![false; base_width];
+        for e in unique.iter().chain(temps.iter()) {
+            for c in e.columns() {
+                if c < base_width {
+                    referenced[c] = true;
+                }
+            }
+        }
+        Ok(ProjPlan {
+            slots,
+            unique,
+            temps,
+            eval_schema,
+            referenced: (0..base_width).filter(|&c| referenced[c]).collect(),
+        })
+    }
+}
+
+/// Count occurrences of every hoistable subtree (deterministic,
+/// non-leaf). `root` nodes still count: a whole output expression that
+/// also appears *inside* another shares one temp.
+fn count_subtrees(
+    e: &ScalarExpr,
+    _root: bool,
+    counts: &mut HashMap<String, (usize, usize, ScalarExpr)>,
+) {
+    if !matches!(e, ScalarExpr::Column(_) | ScalarExpr::Literal(_)) && e.is_deterministic() {
+        let entry = counts
+            .entry(e.to_string())
+            .or_insert_with(|| (0, tree_size(e), e.clone()));
+        entry.0 += 1;
+    }
+    for c in children(e) {
+        count_subtrees(c, false, counts);
+    }
+}
+
+fn tree_size(e: &ScalarExpr) -> usize {
+    1 + children(e).iter().map(|c| tree_size(c)).sum::<usize>()
+}
+
+fn occurrences(e: &ScalarExpr, key: &str) -> usize {
+    let own = (e.to_string() == key) as usize;
+    own + children(e)
+        .iter()
+        .map(|c| occurrences(c, key))
+        .sum::<usize>()
+}
+
+fn children(e: &ScalarExpr) -> Vec<&ScalarExpr> {
+    match e {
+        ScalarExpr::Column(_) | ScalarExpr::Literal(_) => Vec::new(),
+        ScalarExpr::Binary { left, right, .. } => vec![left, right],
+        ScalarExpr::Not(x) | ScalarExpr::Negate(x) => vec![x],
+        ScalarExpr::IsNull { expr, .. }
+        | ScalarExpr::Cast { expr, .. }
+        | ScalarExpr::Extract { expr, .. } => {
+            vec![expr]
+        }
+        ScalarExpr::Like { expr, pattern, .. } => vec![expr, pattern],
+        ScalarExpr::InList { expr, list, .. } => {
+            let mut v = vec![expr.as_ref()];
+            v.extend(list.iter());
+            v
+        }
+        ScalarExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let mut v: Vec<&ScalarExpr> = Vec::new();
+            if let Some(o) = operand {
+                v.push(o);
+            }
+            for (w, t) in branches {
+                v.push(w);
+                v.push(t);
+            }
+            if let Some(x) = else_expr {
+                v.push(x);
+            }
+            v
+        }
+        ScalarExpr::Func { args, .. } => args.iter().collect(),
+    }
+}
+
+/// Rebuild `e` with every subtree printing as `key` replaced by a
+/// reference to the temp column.
+fn replace_subtree(e: &ScalarExpr, key: &str, col: usize) -> ScalarExpr {
+    if e.to_string() == key {
+        return ScalarExpr::Column(col);
+    }
+    let sub = |x: &ScalarExpr| Box::new(replace_subtree(x, key, col));
+    match e {
+        ScalarExpr::Column(_) | ScalarExpr::Literal(_) => e.clone(),
+        ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+            op: *op,
+            left: sub(left),
+            right: sub(right),
+        },
+        ScalarExpr::Not(x) => ScalarExpr::Not(sub(x)),
+        ScalarExpr::Negate(x) => ScalarExpr::Negate(sub(x)),
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: sub(expr),
+            negated: *negated,
+        },
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            expr: sub(expr),
+            pattern: sub(pattern),
+            negated: *negated,
+        },
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => ScalarExpr::InList {
+            expr: sub(expr),
+            list: list.iter().map(|x| replace_subtree(x, key, col)).collect(),
+            negated: *negated,
+        },
+        ScalarExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => ScalarExpr::Case {
+            operand: operand.as_ref().map(|o| sub(o)),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (replace_subtree(w, key, col), replace_subtree(t, key, col)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|x| sub(x)),
+        },
+        ScalarExpr::Cast { expr, to } => ScalarExpr::Cast {
+            expr: sub(expr),
+            to: to.clone(),
+        },
+        ScalarExpr::Extract { field, expr } => ScalarExpr::Extract {
+            field: *field,
+            expr: sub(expr),
+        },
+        ScalarExpr::Func { func, args } => ScalarExpr::Func {
+            func: *func,
+            args: args.iter().map(|x| replace_subtree(x, key, col)).collect(),
+        },
+    }
+}

@@ -283,9 +283,24 @@ pub fn execute_scan(
     // the serial loop at any worker count.
     let (workers, _lease) = ctx.lease_workers(morsels.len());
     trace.parallel_workers = workers as u64;
-    let mut batches = crate::par::parallel_map(workers, morsels.len(), |i| {
+    // Fused residual predicate (PIR): compile the pushed filters once —
+    // conjuncts ordered by the table's column statistics — and evaluate
+    // them inside each morsel worker, so multi-morsel assembly gathers
+    // only survivors instead of concatenating full morsels and
+    // filtering the result. Shared scans must publish raw rows (other
+    // plan sites apply different filters), so they keep the eager path.
+    let fused: Option<crate::pir::PredPipeline> =
+        if crate::pir::enabled(ctx.conf) && share_key.is_none() && !filters.is_empty() {
+            let tstats = ctx.ms.table_stats(&table.qualified_name);
+            ScalarExpr::conjunction(filters.to_vec()).map(|pred| {
+                crate::pir::PredPipeline::compile(&pred, &out_schema, Some((&tstats, projection)))
+            })
+        } else {
+            None
+        };
+    let mut parts = crate::par::parallel_map(workers, morsels.len(), |i| {
         let m = &morsels[i];
-        read_row_group(
+        let b = read_row_group(
             ctx,
             &m.file,
             m.rg,
@@ -295,18 +310,32 @@ pub fn execute_scan(
             id_shift,
             m.acid_idx.map(|a| (&acid_states[a].0, &acid_states[a].1)),
             &out_schema,
-        )
+        )?;
+        // `None` keep-list = every row passed: assembly stays a memcpy.
+        let keep = match &fused {
+            Some(p) => p.select(&b, crate::pir::SelRef::All(b.num_rows()))?,
+            None => None,
+        };
+        Ok((b, keep))
     })?;
+    // The scan's input cardinality is the raw morsel rows (what the
+    // eager path counts after its full concat, before filtering).
+    let raw_rows: usize = parts.iter().map(|(b, _)| b.num_rows()).sum();
     // Single-morsel scans keep the row group's `Arc` columns as-is;
-    // multi-morsel concatenation is a genuine pipeline breaker.
-    let out = if batches.len() == 1 {
-        batches.pop().expect("len checked")
+    // multi-morsel concatenation is a genuine pipeline breaker (the
+    // fused path copies each survivor exactly once).
+    let (out, presel) = if parts.len() == 1 {
+        let (b, keep) = parts.pop().expect("len checked");
+        (b, keep.map(SelVec::Idx))
+    } else if fused.is_some() {
+        // One gather per column straight from the morsel keep-lists.
+        (VectorBatch::concat_selected(&out_schema, &parts)?, None)
     } else {
         let mut out = VectorBatch::empty(&out_schema)?;
-        for b in &batches {
+        for (b, _) in &parts {
             out.append(b)?;
         }
-        out
+        (out, None)
     };
 
     let io_after = ctx.fs.stats().snapshot().since(&io_before);
@@ -328,13 +357,25 @@ pub fn execute_scan(
             .load(std::sync::atomic::Ordering::Relaxed);
         trace.bytes_cache = bytes_cache_after.saturating_sub(cache_bytes_before);
     }
-    trace.rows_in = out.num_rows() as u64;
+    trace.rows_in = raw_rows as u64;
     if let Some(key) = share_key {
         ctx.shared_put(key, out.clone());
     }
 
     // --- residual row-level filtering --------------------------------------
-    let filtered = apply_reducer_row_checks(apply_row_filters(out, filters, ctx)?, &extra_preds);
+    // The fused path already applied `filters` per morsel (the
+    // single-morsel keep-list arrives as `presel`); only the semijoin
+    // reducers' row checks remain. The eager path filters here, over
+    // the assembled batch.
+    let filtered = if fused.is_some() {
+        let sb = match presel {
+            Some(sel) => SelBatch::new(out, sel)?,
+            None => SelBatch::from_batch(out),
+        };
+        apply_reducer_row_checks(sb, &extra_preds)
+    } else {
+        apply_reducer_row_checks(apply_row_filters(out, filters, ctx)?, &extra_preds)
+    };
     trace.rows_out = filtered.num_rows() as u64;
     Ok((filtered, trace))
 }

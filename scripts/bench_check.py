@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Validate recorded benchmark speedup gates.
+
+Loads every BENCH_*.json at the repo root. A benchmark that declares a
+top-level ``"gates"`` object — a mapping of case name to the minimum
+acceptable ``speedup`` — fails this check if any gated case's recorded
+speedup sits below its floor, or if a gated case is missing from the
+results. Benchmarks without a ``gates`` object are listed but not
+gated (their JSON predates the gating convention).
+
+Run directly or via scripts/verify.sh (the `bench gates` step). Gates
+check the *recorded* numbers: re-run the matching `cargo bench` target
+first if the implementation changed.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        print("bench_check: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures = []
+    for path in paths:
+        name = os.path.basename(path)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append(f"{name}: unreadable ({e})")
+            continue
+        gates = doc.get("gates")
+        if not isinstance(gates, dict):
+            print(f"  {name}: no gates declared, skipped")
+            continue
+        speedups = {
+            r["case"]: r["speedup"]
+            for r in doc.get("results", [])
+            if isinstance(r, dict) and "case" in r and "speedup" in r
+        }
+        for case, floor in sorted(gates.items()):
+            got = speedups.get(case)
+            if got is None:
+                failures.append(f"{name}: gated case '{case}' missing from results")
+            elif got < floor:
+                failures.append(
+                    f"{name}: {case} speedup {got:.3f}x below its {floor:.2f}x floor"
+                )
+        print(f"  {name}: {len(gates)} gate(s) checked")
+    if failures:
+        for f in failures:
+            print(f"bench_check: FAIL {f}", file=sys.stderr)
+        return 1
+    print("bench_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

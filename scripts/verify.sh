@@ -40,6 +40,11 @@
 # results must be identical to the unbudgeted runs — then runs the
 # spill benchmark, which refreshes BENCH_spill.json.
 #
+# HIVE_PIR_SWEEP=1 re-runs the test suite with the compiled physical
+# IR forced off and then on (HIVE_PIR_ENABLED overrides
+# hive.exec.pir.enabled) — results must be identical either way — then
+# runs the pir benchmark, which refreshes BENCH_pir.json.
+#
 # HIVE_WM_SWEEP=1 runs the multi-stream serving determinism suite at
 # 1/4/16 streams × 1/2/8 morsel threads under a fixed HIVE_FAULT_SEED
 # (HIVE_WM_STREAMS gates tests/serving_determinism.rs::env_wm_sweep;
@@ -114,6 +119,15 @@ if [[ -n "${HIVE_SPILL_SWEEP:-}" ]]; then
     cargo bench -q --offline -p hive-bench --bench spill
 fi
 
+if [[ -n "${HIVE_PIR_SWEEP:-}" ]]; then
+    for pir in 0 1; do
+        echo "== pir sweep: tests at HIVE_PIR_ENABLED=$pir =="
+        HIVE_PIR_ENABLED="$pir" cargo test -q --offline --workspace
+    done
+    echo "== pir sweep: benchmark (writes BENCH_pir.json) =="
+    cargo bench -q --offline -p hive-bench --bench pir
+fi
+
 if [[ -n "${HIVE_WM_SWEEP:-}" ]]; then
     for streams in 1 4 16; do
         for threads in 1 2 8; do
@@ -129,5 +143,8 @@ if [[ -n "${HIVE_WM_SWEEP:-}" ]]; then
     echo "== wm sweep: benchmark (writes BENCH_throughput.json) =="
     cargo bench -q --offline -p hive-bench --bench throughput
 fi
+
+echo "== bench gates =="
+python3 scripts/bench_check.py
 
 echo "verify: OK"

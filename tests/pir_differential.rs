@@ -1,0 +1,275 @@
+//! Physical-IR differential suite: `hive.exec.pir.enabled` may only
+//! change how Filter/Project chains and scan predicates execute (fused
+//! compiled pipelines versus the per-batch interpreter), never results.
+//! Every curated TPC-DS query must return byte-identical rows with PIR
+//! on and off — fault-free, under a seeded fault plan with recovery
+//! (including an exact replay of the simulated fault penalty), and
+//! across the 1/2/8 thread sweep. Property tests then drive randomly
+//! generated predicate trees — mixed-scale decimal literals, NULL
+//! literals, CASE-produced NULLs, nested AND/OR/NOT — through both
+//! paths and require identical row sets.
+
+use hive_warehouse::benchdata::tpcds::{self, TpcdsScale};
+use hive_warehouse::{FaultPlan, HiveConf, HiveServer};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Env knobs override the conf fields; this binary manages both itself.
+fn neutralize_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        std::env::remove_var("HIVE_PIR_ENABLED");
+        std::env::remove_var("HIVE_SELVEC_ENABLED");
+        std::env::remove_var("HIVE_DICT_ENABLED");
+        std::env::remove_var("HIVE_RAWTABLE_ENABLED");
+        std::env::remove_var("HIVE_PARALLEL_THREADS");
+    });
+}
+
+/// Big enough that scans span several row groups and partitions, so
+/// fused scan predicates and engine-level chains both run for real.
+fn scale() -> TpcdsScale {
+    TpcdsScale {
+        days: 8,
+        items: 150,
+        customers: 200,
+        stores: 4,
+        sales_per_day: 1500,
+        return_rate: 0.1,
+    }
+}
+
+fn load_server(pir: bool, threads: usize) -> HiveServer {
+    neutralize_env();
+    let mut conf = HiveConf::v3_1();
+    conf.pir_enabled = pir;
+    conf.parallel_threads = threads;
+    let server = HiveServer::new(conf);
+    tpcds::load(&server, scale(), 0xDA7A).unwrap();
+    server
+}
+
+/// Every curated TPC-DS query: compiled pipelines on == off.
+#[test]
+fn pir_toggle_never_changes_results() {
+    let queries = tpcds::queries();
+    let off = load_server(false, 1);
+    let on = load_server(true, 1);
+    for q in &queries {
+        let expected = off.session().execute(&q.sql).unwrap().display_rows();
+        let got = on.session().execute(&q.sql).unwrap().display_rows();
+        assert_eq!(got, expected, "{} diverged with PIR enabled", q.id);
+    }
+}
+
+/// The toggle stays invisible across worker counts: the whole curated
+/// suite agrees between PIR on and off at 1, 2, and 8 threads, and
+/// every run equals the 1-thread interpreter baseline.
+#[test]
+fn pir_toggle_is_invisible_across_thread_sweep() {
+    let queries = tpcds::queries();
+    let baseline_server = load_server(false, 1);
+    let baseline: Vec<Vec<String>> = queries
+        .iter()
+        .map(|q| {
+            baseline_server
+                .session()
+                .execute(&q.sql)
+                .unwrap()
+                .display_rows()
+        })
+        .collect();
+    assert!(baseline.iter().any(|rows| !rows.is_empty()));
+    for threads in [2, 8] {
+        for pir in [false, true] {
+            let server = load_server(pir, threads);
+            for (q, expected) in queries.iter().zip(&baseline) {
+                let rows = server.session().execute(&q.sql).unwrap().display_rows();
+                assert_eq!(
+                    &rows, expected,
+                    "{} diverged with pir={pir} at {threads} threads",
+                    q.id
+                );
+            }
+        }
+    }
+    // 1-thread PIR run against the same baseline.
+    let on = load_server(true, 1);
+    for (q, expected) in queries.iter().zip(&baseline) {
+        let rows = on.session().execute(&q.sql).unwrap().display_rows();
+        assert_eq!(&rows, expected, "{} diverged with pir at 1 thread", q.id);
+    }
+}
+
+/// A seeded fault plan (daemon deaths, transient DFS errors, recovery
+/// enabled) yields the fault-free rows under both settings, and the
+/// simulated fault penalty replays exactly within each setting — fused
+/// stages must charge the same per-stage fault rolls as the
+/// interpreter's operator traces.
+#[test]
+fn faulted_runs_match_under_both_settings() {
+    let query = &tpcds::queries()[0];
+    let baseline = load_server(false, 1)
+        .session()
+        .execute(&query.sql)
+        .unwrap()
+        .display_rows();
+
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0xBADD_CAFE;
+        p.daemon_kill_prob = 0.8;
+        p.dfs_read_error_prob = 0.05;
+        p.dfs_slow_prob = 0.1;
+        p.dfs_slow_ms = 4.0;
+    });
+    let run = |pir: bool| -> (Vec<String>, f64, u64) {
+        let server = load_server(pir, 2);
+        server.set_conf(|c| c.fault = plan.clone());
+        let r = server.session().execute(&query.sql).unwrap();
+        (r.display_rows(), r.sim_ms, r.fragment_retries)
+    };
+    for pir in [false, true] {
+        let (rows, sim_ms, retries) = run(pir);
+        assert_eq!(rows, baseline, "faulted run diverged with pir={pir}");
+        let (rows2, sim_ms2, retries2) = run(pir);
+        assert_eq!(rows2, baseline);
+        assert_eq!(
+            (sim_ms2, retries2),
+            (sim_ms, retries),
+            "fault penalty must replay exactly with pir={pir}"
+        );
+    }
+}
+
+/// The fused fault schedule also replays identically across the two
+/// settings, not just within one: same rows in, same labels, same
+/// bottom-up roll order — so the charged penalty is toggle-invariant.
+#[test]
+fn fault_penalty_is_toggle_invariant() {
+    let query = &tpcds::queries()[0];
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0x5EED_F00D;
+        p.dfs_slow_prob = 0.2;
+        p.dfs_slow_ms = 2.5;
+        p.daemon_kill_prob = 0.5;
+    });
+    let run = |pir: bool| -> (f64, u64) {
+        let server = load_server(pir, 2);
+        server.set_conf(|c| c.fault = plan.clone());
+        let r = server.session().execute(&query.sql).unwrap();
+        (r.sim_ms, r.fragment_retries)
+    };
+    assert_eq!(run(true), run(false), "fault schedule shifted under PIR");
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random predicate trees, fused versus interpreted.
+// ---------------------------------------------------------------------
+
+/// One PIR-on and one PIR-off server, loaded once and reused across all
+/// proptest cases (loading dominates per-case cost otherwise).
+fn servers() -> &'static (HiveServer, HiveServer) {
+    static CELL: OnceLock<(HiveServer, HiveServer)> = OnceLock::new();
+    CELL.get_or_init(|| (load_server(false, 1), load_server(true, 1)))
+}
+
+/// Integer-valued store_sales columns.
+fn int_col() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("ss_quantity"),
+        Just("ss_customer_sk"),
+        Just("ss_item_sk"),
+        Just("ss_store_sk"),
+    ]
+}
+
+/// DECIMAL(7,2)-valued store_sales columns.
+fn dec_col() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("ss_list_price"),
+        Just("ss_net_profit"),
+        Just("ss_wholesale_cost"),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">="),
+        Just("="),
+        Just("<>"),
+    ]
+}
+
+/// Predicate atoms: typed comparisons (including scale-3 decimal
+/// literals against scale-2 columns and NULL literals), IS [NOT] NULL,
+/// and CASE expressions that *produce* NULLs so three-valued logic is
+/// exercised on data that carries no stored NULLs.
+fn atom() -> impl Strategy<Value = String> {
+    let int_lit = prop_oneof![
+        (0i64..300).prop_map(|n| n.to_string()),
+        Just("NULL".to_string()),
+    ];
+    let dec_lit = prop_oneof![
+        // Scale-3 literals: exact mixed-scale comparison territory.
+        (0i64..30_000).prop_map(|n| format!("{}.{:03}", n / 1000, n % 1000)),
+        (0i64..100).prop_map(|n| n.to_string()),
+        Just("NULL".to_string()),
+    ];
+    prop_oneof![
+        (int_col(), cmp_op(), int_lit).prop_map(|(c, op, l)| format!("{c} {op} {l}")),
+        (dec_col(), cmp_op(), dec_lit).prop_map(|(c, op, l)| format!("{c} {op} {l}")),
+        (int_col(), any::<bool>())
+            .prop_map(|(c, neg)| format!("{c} IS {}NULL", if neg { "NOT " } else { "" })),
+        (int_col(), 0i64..40, cmp_op(), 0i64..40).prop_map(|(c, k, op, k2)| format!(
+            "(CASE WHEN {c} > {k} THEN NULL ELSE {c} END) {op} {k2}"
+        )),
+    ]
+}
+
+/// Random predicate trees over the atoms: AND/OR/NOT to `depth`.
+fn pred(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        return atom().boxed();
+    }
+    let inner = pred(depth - 1);
+    prop_oneof![
+        atom(),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+        inner.prop_map(|a| format!("(NOT {a})")),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated predicate returns the identical row sequence with
+    /// PIR on and off — both as a pushed-down scan filter and as an
+    /// engine-level filter above a projected subquery (where the fused
+    /// chain includes the Project stage).
+    #[test]
+    fn random_predicates_agree_fused_and_interpreted(p in pred(3)) {
+        let (off, on) = servers();
+        let scan_sql = format!(
+            "SELECT ss_ticket_number, ss_item_sk, ss_quantity \
+             FROM store_sales WHERE {p}"
+        );
+        let expected = off.session().execute(&scan_sql).unwrap().display_rows();
+        let got = on.session().execute(&scan_sql).unwrap().display_rows();
+        prop_assert_eq!(&got, &expected, "scan-level divergence for {}", p);
+
+        let chain_sql = format!(
+            "SELECT t, q FROM (SELECT ss_ticket_number AS t, \
+             ss_quantity + 0 AS q, ss_quantity, ss_customer_sk, \
+             ss_item_sk, ss_store_sk, ss_list_price, ss_net_profit, \
+             ss_wholesale_cost FROM store_sales) sub WHERE {p}"
+        );
+        let expected = off.session().execute(&chain_sql).unwrap().display_rows();
+        let got = on.session().execute(&chain_sql).unwrap().display_rows();
+        prop_assert_eq!(&got, &expected, "chain-level divergence for {}", p);
+    }
+}
