@@ -184,10 +184,22 @@ fn join_case(
             1,
             rawtable,
             None,
+            None,
         )
         .unwrap();
         let jsb = SelBatch::from_batch(joined);
-        execute_aggregate_par(&jsb, &[], &None, &aggs, &out_schema, 1, rawtable, None).unwrap()
+        execute_aggregate_par(
+            &jsb,
+            &[],
+            &None,
+            &aggs,
+            &out_schema,
+            1,
+            rawtable,
+            None,
+            None,
+        )
+        .unwrap()
     }
 }
 
@@ -227,8 +239,18 @@ fn main() {
         let fact = &fact;
         case(&mut results, name, move |rawtable| {
             let sb = SelBatch::from_batch(fact.clone());
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, rawtable, None)
-                .unwrap()
+            execute_aggregate_par(
+                &sb,
+                &groups,
+                &None,
+                &aggs,
+                &out_schema,
+                1,
+                rawtable,
+                None,
+                None,
+            )
+            .unwrap()
         });
     }
 
@@ -251,8 +273,18 @@ fn main() {
         let fact = &fact;
         case(&mut results, "distinct", move |rawtable| {
             let sb = SelBatch::from_batch(fact.clone());
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, rawtable, None)
-                .unwrap()
+            execute_aggregate_par(
+                &sb,
+                &groups,
+                &None,
+                &aggs,
+                &out_schema,
+                1,
+                rawtable,
+                None,
+                None,
+            )
+            .unwrap()
         });
     }
 

@@ -118,16 +118,36 @@ fn bench_aggregate(results: &mut Vec<(&'static str, usize, f64)>) {
     let input = hive_common::SelBatch::from_batch(batch);
     let mut baseline: Option<Vec<String>> = None;
     for &t in &THREADS {
-        let out = execute_aggregate_par(&input, &groups, &None, &aggs, &out_schema, t, true, None)
-            .unwrap();
+        let out = execute_aggregate_par(
+            &input,
+            &groups,
+            &None,
+            &aggs,
+            &out_schema,
+            t,
+            true,
+            None,
+            None,
+        )
+        .unwrap();
         let got = rows_of(&out);
         match &baseline {
             None => baseline = Some(got),
             Some(b) => assert_eq!(&got, b, "aggregate diverged at {t} threads"),
         }
         let ms = time_ms(|| {
-            execute_aggregate_par(&input, &groups, &None, &aggs, &out_schema, t, true, None)
-                .unwrap();
+            execute_aggregate_par(
+                &input,
+                &groups,
+                &None,
+                &aggs,
+                &out_schema,
+                t,
+                true,
+                None,
+                None,
+            )
+            .unwrap();
         });
         eprintln!("aggregate  threads={t:<2} {ms:8.2} ms");
         results.push(("aggregate", t, ms));
@@ -168,6 +188,7 @@ fn bench_join(results: &mut Vec<(&'static str, usize, f64)>) {
             t,
             true,
             None,
+            None,
         )
         .unwrap();
         let got = rows_of(&out);
@@ -186,6 +207,7 @@ fn bench_join(results: &mut Vec<(&'static str, usize, f64)>) {
                 usize::MAX,
                 t,
                 true,
+                None,
                 None,
             )
             .unwrap();

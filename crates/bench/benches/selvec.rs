@@ -212,12 +212,14 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
         // gating filter→aggregate number).
         let run_on = || {
             let sb = SelBatch::new(batch.clone(), SelVec::Idx(idx.clone())).unwrap();
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true, None).unwrap()
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true, None, None)
+                .unwrap()
         };
         let run_off = || {
             let private = copy_out(&batch).take(&idx);
             let sb = SelBatch::from_batch(private);
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true, None).unwrap()
+            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, true, None, None)
+                .unwrap()
         };
         assert_eq!(
             rows_of(&run_on()),
@@ -248,6 +250,7 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
                 1,
                 true,
                 None,
+                None,
             )
             .unwrap();
             let jsb = SelBatch::from_batch(joined);
@@ -259,6 +262,7 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
                 &join_agg_schema,
                 1,
                 true,
+                None,
                 None,
             )
             .unwrap()
@@ -278,6 +282,7 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
                 1,
                 true,
                 None,
+                None,
             )
             .unwrap();
             let jsb = SelBatch::from_batch(joined);
@@ -289,6 +294,7 @@ fn micro_cases(results: &mut Vec<(String, f64, f64)>) {
                 &join_agg_schema,
                 1,
                 true,
+                None,
                 None,
             )
             .unwrap()

@@ -126,12 +126,19 @@ pub struct HiveConf {
     /// per pipeline (monomorphization) instead of matching on
     /// `ColumnVector` variants per batch, with multi-conjunct
     /// predicates short-circuiting through the selection vector in
-    /// cheapest-first order. When off, the per-batch interpreter
-    /// (`eval_vector` + eager stage materialization) runs — the
-    /// differential oracle. Results are byte-identical either way; only
-    /// dispatch and materialization cost changes. Overridable via
-    /// `HIVE_PIR_ENABLED` (`0`/`false`/`off` disables, anything else
-    /// enables).
+    /// cheapest-first order. Also compiles past the aggregate
+    /// boundary: aggregate accumulators fold monomorphized per
+    /// (function, column type) over the recorded group assignment, and
+    /// join residual predicates evaluate vectorized over gathered
+    /// candidate pair-batches instead of per-pair row interpretation
+    /// (non-compilable shapes, spilled aggregates and grace joins keep
+    /// the interpreter; `pir_compiled_stages`/`pir_fallback_rows` on
+    /// the query result account for which path ran). When off, the
+    /// per-batch interpreter (`eval_vector` + eager stage
+    /// materialization) runs — the differential oracle. Results are
+    /// byte-identical either way; only dispatch and materialization
+    /// cost changes. Overridable via `HIVE_PIR_ENABLED`
+    /// (`0`/`false`/`off` disables, anything else enables).
     pub pir_enabled: bool,
     /// `hive.exec.spill.enabled`: allow blocking operators (hash join
     /// build, GROUP BY / DISTINCT, ORDER BY) to degrade to disk when the

@@ -405,6 +405,8 @@ impl Session {
                     bytes_spilled: trace.total(|n| n.bytes_spilled),
                     peak_memory_bytes,
                     parallel_width,
+                    pir_compiled_stages: trace.total(|n| n.pir_compiled_stages),
+                    pir_fallback_rows: trace.total(|n| n.pir_fallback_rows),
                     message: None,
                 })
             }

@@ -41,6 +41,14 @@ pub struct QueryResult {
     /// (1 for cache hits and metadata statements). The serving layer's
     /// fair-share model allocates cluster capacity against this.
     pub parallel_width: u64,
+    /// Operator stages that executed fully compiled under the physical
+    /// IR (`hive.exec.pir.enabled`): filter/project pipelines, aggregate
+    /// accumulator banks, join residual conjunctions. Zero with PIR off.
+    pub pir_compiled_stages: u64,
+    /// Rows (or join candidate pairs) that fell back to the interpreter
+    /// while PIR was on — non-compilable expression shapes, spilled
+    /// aggregates, grace joins.
+    pub pir_fallback_rows: u64,
     /// Human-readable notice (DDL acknowledgements, EXPLAIN text, …).
     pub message: Option<String>,
 }
@@ -61,6 +69,8 @@ impl QueryResult {
             bytes_spilled: 0,
             peak_memory_bytes: 0,
             parallel_width: 1,
+            pir_compiled_stages: 0,
+            pir_fallback_rows: 0,
             message: None,
         }
     }

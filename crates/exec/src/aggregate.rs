@@ -286,6 +286,7 @@ pub fn execute_aggregate(
         1,
         true,
         None,
+        None,
     )
 }
 
@@ -302,6 +303,12 @@ pub fn execute_aggregate(
 /// `rawtable` selects the flat-table build (`hive.exec.rawtable.enabled`);
 /// both arms are byte-identical — the `HashMap` arm stays as the
 /// differential oracle.
+///
+/// `pir` is `Some` when the physical IR is enabled: the build then
+/// records each row's group assignment and folds every aggregate
+/// through a compiled accumulator kernel ([`crate::pir::agg`]) when all
+/// of them are compilable, reporting compiled/fallback accounting into
+/// the counters.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_aggregate_par(
     input: &SelBatch,
@@ -312,6 +319,7 @@ pub fn execute_aggregate_par(
     workers: usize,
     rawtable: bool,
     spill: Option<&SpillCtx<'_>>,
+    mut pir: Option<&mut crate::pir::PirCounters>,
 ) -> Result<VectorBatch> {
     let trivial = group_exprs
         .iter()
@@ -343,12 +351,24 @@ pub fn execute_aggregate_par(
         })
         .collect::<Result<Vec<_>>>()?;
 
+    // Compiled-accumulator gate: every aggregate must have a
+    // monomorphized kernel for its argument's runtime representation,
+    // or the whole build stays on the interpreted `Acc::update` loop
+    // (mixing per-agg would change nothing — the per-row dispatch is
+    // the cost being removed).
+    let compiled = pir.is_some()
+        && aggs
+            .iter()
+            .zip(&arg_cols)
+            .all(|(a, c)| crate::pir::agg::compilable(a.func, a.distinct, c.as_deref()));
+
     let sets: Vec<Vec<usize>> = match grouping_sets {
         Some(s) => s.clone(),
         None => vec![(0..group_exprs.len()).collect()],
     };
     let with_gid = grouping_sets.is_some();
 
+    let mut any_compiled = false;
     let mut out_rows: Vec<Row> = Vec::new();
     for set in &sets {
         // Grouping id: bit k set when key k is aggregated away.
@@ -363,6 +383,16 @@ pub fn execute_aggregate_par(
         // fallback the way joins have re-optimization.
         let est = crate::spill::estimate_agg_bytes(input.sel.len(), set.len().max(1), aggs.len());
         let admission = spill.map(|sp| (sp, sp.broker.try_reserve("group-by", est)));
+        let spilled = matches!(&admission, Some((sp, None)) if sp.enabled);
+        // The spilling build keeps the interpreted accumulators: its
+        // record-at-a-time recursion has no batch to fold over.
+        if let Some(pc) = pir.as_deref_mut() {
+            if compiled && !spilled {
+                any_compiled = true;
+            } else {
+                pc.fallback_rows += input.sel.len() as u64;
+            }
+        }
         let mut groups = match &admission {
             Some((sp, None)) if sp.enabled => {
                 build_groups_spilled(&input.sel, &key_cols, &arg_cols, set, aggs, rawtable, sp)?
@@ -373,7 +403,7 @@ pub fn execute_aggregate_par(
                     _ => None,
                 };
                 build_groups(
-                    &input.sel, &key_cols, &arg_cols, set, aggs, workers, rawtable,
+                    &input.sel, &key_cols, &arg_cols, set, aggs, workers, rawtable, compiled,
                 )?
             }
         };
@@ -413,7 +443,58 @@ pub fn execute_aggregate_par(
             out_rows.push(Row::new(row));
         }
     }
+    if any_compiled {
+        if let Some(pc) = pir {
+            pc.compiled_stages += 1;
+        }
+    }
     VectorBatch::from_rows(out_schema, &out_rows)
+}
+
+/// Replace each group's interpreted accumulator states with the
+/// compiled fold of the recorded `(row, group)` assignment — one
+/// type-specialized pass per aggregate over the whole partition.
+fn fold_compiled(
+    groups: &mut [(usize, Vec<Acc>)],
+    rows_idx: &[u32],
+    assign: &[u32],
+    aggs: &[AggExpr],
+    arg_cols: &[Option<Arc<ColumnVector>>],
+) -> Result<()> {
+    use crate::pir::agg::{fold, FoldOut};
+    if groups.is_empty() {
+        return Ok(());
+    }
+    for (ai, a) in aggs.iter().enumerate() {
+        match fold(
+            a.func,
+            arg_cols[ai].as_deref(),
+            rows_idx,
+            assign,
+            groups.len(),
+        )? {
+            FoldOut::Count(cs) => {
+                for (g, c) in groups.iter_mut().zip(cs) {
+                    g.1[ai] = Acc::Count(c);
+                }
+            }
+            FoldOut::Opt(vs) => {
+                for (g, v) in groups.iter_mut().zip(vs) {
+                    g.1[ai] = match a.func {
+                        AggFunc::Sum => Acc::Sum(v),
+                        AggFunc::Min => Acc::Min(v),
+                        _ => Acc::Max(v),
+                    };
+                }
+            }
+            FoldOut::Avg(ss) => {
+                for (g, (sum, count)) in groups.iter_mut().zip(ss) {
+                    g.1[ai] = Acc::Avg { sum, count };
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Stable FNV-1a hashes of the group keys for selected positions
@@ -452,6 +533,7 @@ fn build_groups(
     aggs: &[AggExpr],
     workers: usize,
     rawtable: bool,
+    compiled: bool,
 ) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
     let num_rows = sel.len();
     // Key access goes through per-column readers: dictionary-encoded
@@ -507,6 +589,7 @@ fn build_groups(
         let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
         let mut groups: Vec<(usize, Vec<Acc>)> = Vec::new();
         let mut dense: Vec<usize> = vec![usize::MAX; dense_len.map_or(0, |d| d + 1)];
+        let (mut rows_idx, mut assign): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
         for pos in 0..num_rows {
             if let Some((nparts, p)) = route {
                 if hashes[pos] as usize % nparts != p {
@@ -539,10 +622,20 @@ fn build_groups(
                     }
                 }
             };
-            for (acc, arg) in groups[gi].1.iter_mut().zip(arg_cols) {
-                let v = arg.as_ref().map(|c| c.get(i));
-                acc.update(v.as_ref())?;
+            // Compiled path: record the assignment, fold per aggregate
+            // below — no per-row `Value` materialization or dispatch.
+            if compiled {
+                rows_idx.push(i as u32);
+                assign.push(gi as u32);
+            } else {
+                for (acc, arg) in groups[gi].1.iter_mut().zip(arg_cols) {
+                    let v = arg.as_ref().map(|c| c.get(i));
+                    acc.update(v.as_ref())?;
+                }
             }
+        }
+        if compiled {
+            fold_compiled(&mut groups, &rows_idx, &assign, aggs, arg_cols)?;
         }
         Ok(groups)
     };
@@ -558,6 +651,7 @@ fn build_groups(
         let mut scratch: Vec<u8> = Vec::new();
         let mut groups: Vec<(usize, Vec<Acc>)> = Vec::new();
         let mut dense: Vec<usize> = vec![usize::MAX; dense_len.map_or(0, |d| d + 1)];
+        let (mut rows_idx, mut assign): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
         for pos in 0..num_rows {
             if let Some((nparts, p)) = route {
                 if hashes[pos] as usize % nparts != p {
@@ -588,10 +682,20 @@ fn build_groups(
                 }
                 e as usize
             };
-            for (acc, arg) in groups[gi].1.iter_mut().zip(arg_cols) {
-                let v = arg.as_ref().map(|c| c.get(i));
-                acc.update(v.as_ref())?;
+            // Compiled path: record the assignment, fold per aggregate
+            // below — no per-row `Value` materialization or dispatch.
+            if compiled {
+                rows_idx.push(i as u32);
+                assign.push(gi as u32);
+            } else {
+                for (acc, arg) in groups[gi].1.iter_mut().zip(arg_cols) {
+                    let v = arg.as_ref().map(|c| c.get(i));
+                    acc.update(v.as_ref())?;
+                }
             }
+        }
+        if compiled {
+            fold_compiled(&mut groups, &rows_idx, &assign, aggs, arg_cols)?;
         }
         Ok(groups)
     };
@@ -1010,8 +1114,18 @@ mod tests {
         let sb = SelBatch::from_batch(b);
         // Oracle: serial HashMap build. Every (workers, rawtable) combo
         // must reproduce it byte for byte.
-        let base =
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false, None).unwrap();
+        let base = execute_aggregate_par(
+            &sb,
+            &groups,
+            &None,
+            &aggs,
+            &out_schema,
+            1,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
         assert_eq!(base.num_rows(), 98); // 97 int keys + NULL group
         for workers in [1, 2, 8] {
@@ -1024,6 +1138,7 @@ mod tests {
                     &out_schema,
                     workers,
                     rawtable,
+                    None,
                     None,
                 )
                 .unwrap();
@@ -1065,8 +1180,18 @@ mod tests {
             .collect();
         let out_schema = agg_schema(&b, &groups, &None, &aggs);
         let sb = SelBatch::from_batch(b);
-        let base =
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false, None).unwrap();
+        let base = execute_aggregate_par(
+            &sb,
+            &groups,
+            &None,
+            &aggs,
+            &out_schema,
+            1,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
         for workers in [1, 4] {
             for rawtable in [false, true] {
@@ -1078,6 +1203,7 @@ mod tests {
                     &out_schema,
                     workers,
                     rawtable,
+                    None,
                     None,
                 )
                 .unwrap();
@@ -1134,8 +1260,18 @@ mod tests {
         });
         let out_schema = agg_schema(&b, &groups, &None, &aggs);
         let sb = SelBatch::from_batch(b);
-        let base =
-            execute_aggregate_par(&sb, &groups, &None, &aggs, &out_schema, 1, false, None).unwrap();
+        let base = execute_aggregate_par(
+            &sb,
+            &groups,
+            &None,
+            &aggs,
+            &out_schema,
+            1,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         let base_rows: Vec<String> = base.to_rows().iter().map(|r| r.to_string()).collect();
         for rawtable in [false, true] {
             let fs = DistFs::new();
@@ -1151,6 +1287,7 @@ mod tests {
                 1,
                 rawtable,
                 Some(&sp),
+                None,
             )
             .unwrap();
             let got: Vec<String> = out.to_rows().iter().map(|r| r.to_string()).collect();

@@ -329,6 +329,14 @@ pub struct NodeTrace {
     /// Host worker threads this operator fanned morsels across (0 for
     /// operators with no parallel section, 1 for the serial fallback).
     pub parallel_workers: u64,
+    /// Stages of this operator that executed fully compiled under the
+    /// physical IR (filter/project pipelines, aggregate accumulator
+    /// banks, join residual conjunctions). Zero when PIR is off.
+    pub pir_compiled_stages: u64,
+    /// Rows (candidate pairs, for join residuals) this operator ran
+    /// through the interpreter while PIR was on — non-compilable
+    /// expression shapes, spilled aggregates, grace joins.
+    pub pir_fallback_rows: u64,
     pub children: Vec<NodeTrace>,
 }
 
@@ -541,6 +549,8 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             let (workers, _lease) = ctx.lease_workers(morsels);
             let rows_in = (lb.num_rows() + rb.num_rows()) as u64;
             let sp = ctx.spill_ctx();
+            let mut pc = crate::pir::PirCounters::default();
+            let pir = crate::pir::enabled(ctx.conf).then_some(&mut pc);
             let out = execute_join_par(
                 &lb,
                 &rb,
@@ -552,6 +562,7 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
                 workers,
                 ctx.conf.effective_rawtable_enabled(),
                 sp.as_ref(),
+                pir,
             )?;
             let mut t = NodeTrace::leaf(&format!("Join({join_type:?})"));
             t.parallel_workers = workers as u64;
@@ -559,6 +570,8 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             t.rows_out = out.num_rows() as u64;
             t.is_boundary = true;
             t.shuffle_rows = t.rows_in;
+            t.pir_compiled_stages = pc.compiled_stages;
+            t.pir_fallback_rows = pc.fallback_rows;
             t.children = vec![lt, rt];
             if let Some(sp) = &sp {
                 fold_spill(&mut t, sp);
@@ -575,6 +588,8 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             let (workers, _lease) = ctx.lease_workers(crate::par::row_morsels(child.num_rows()));
             let rows_in = child.num_rows() as u64;
             let sp = ctx.spill_ctx();
+            let mut pc = crate::pir::PirCounters::default();
+            let pir = crate::pir::enabled(ctx.conf).then_some(&mut pc);
             let out = execute_aggregate_par(
                 &child,
                 group_exprs,
@@ -584,6 +599,7 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
                 workers,
                 ctx.conf.effective_rawtable_enabled(),
                 sp.as_ref(),
+                pir,
             )?;
             let mut t = NodeTrace::leaf("Aggregate");
             t.parallel_workers = workers as u64;
@@ -591,6 +607,8 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
             t.rows_out = out.num_rows() as u64;
             t.is_boundary = !group_exprs.is_empty() || grouping_sets.is_some();
             t.shuffle_rows = t.rows_in;
+            t.pir_compiled_stages = pc.compiled_stages;
+            t.pir_fallback_rows = pc.fallback_rows;
             t.children = vec![ct];
             if let Some(sp) = &sp {
                 fold_spill(&mut t, sp);

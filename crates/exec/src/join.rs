@@ -10,6 +10,7 @@
 //! the serial probe order.
 
 use crate::kernels::eval_vector;
+use crate::pir::{PredPipeline, SelRef};
 use crate::rawtable::{self, RawTable};
 use crate::spill::{partition_of, plan_partition, push_rec, RecIter, SpillCtx};
 use hive_common::hash::{self, FNV_OFFSET};
@@ -21,6 +22,7 @@ use hive_optimizer::eval::eval_scalar;
 use hive_optimizer::plan::JoinType;
 use hive_optimizer::ScalarExpr;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Execute a join over compact batches (serial path; identical results
@@ -44,6 +46,7 @@ pub fn execute_join(
         build_row_budget,
         1,
         true,
+        None,
         None,
     )
 }
@@ -297,6 +300,11 @@ enum BuildSide {
 /// `rawtable` selects the flat-table build (`hive.exec.rawtable.enabled`);
 /// both arms are byte-identical — the `HashMap` arm stays as the
 /// differential oracle.
+///
+/// `pir` is `Some` when the physical IR is enabled: residual predicates
+/// then lower to compiled kernels and evaluate vectorized over gathered
+/// candidate pair-batches ([`ResidualPlan`]), with the row closure kept
+/// as the fallback for non-compilable expressions and the grace path.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_join_par(
     left_in: &SelBatch,
@@ -309,6 +317,7 @@ pub fn execute_join_par(
     workers: usize,
     rawtable: bool,
     spill: Option<&SpillCtx<'_>>,
+    pir: Option<&mut crate::pir::PirCounters>,
 ) -> Result<VectorBatch> {
     // Memory admission. With a broker present the build's modeled bytes
     // must win a grant (held for the whole join); a denial — or the
@@ -398,10 +407,15 @@ pub fn execute_join_par(
         .map(|(l, r)| JoinCodec::new(l.as_ref(), r.as_ref()))
         .collect();
 
+    // Candidate pairs that went through the row interpreter (counted
+    // only when a residual exists — the closure is also the no-residual
+    // "always true" answer, which is not a fallback).
+    let resid_pairs = AtomicU64::new(0);
     let residual_ok = |li: u32, ri: u32| -> Result<bool> {
         match residual {
             None => Ok(true),
             Some(pred) => {
+                resid_pairs.fetch_add(1, Ordering::Relaxed);
                 let mut vals = left.batch.row(left.sel.index(li as usize)).into_values();
                 vals.extend(right.batch.row(right.sel.index(ri as usize)).into_values());
                 Ok(eval_scalar(pred, &vals)? == Value::Boolean(true))
@@ -411,7 +425,7 @@ pub fn execute_join_par(
 
     if grace {
         let sp = spill.expect("grace join requires a spill context");
-        return grace_join(
+        let result = grace_join(
             &left,
             &right,
             join_type,
@@ -420,8 +434,25 @@ pub fn execute_join_par(
             out_schema,
             sp,
             rawtable,
-        );
+        )?;
+        // Grace joins always interpret their residual (partitions probe
+        // row-at-a-time off spill records) — pure fallback, no compiled
+        // stage.
+        if let Some(pc) = pir {
+            pc.fallback_rows += resid_pairs.load(Ordering::Relaxed);
+        }
+        return Ok(result);
     }
+
+    // Compiled residual: lower the predicate against the concatenated
+    // (left ++ right) schema once; probe ranges then gather candidate
+    // (probe, build) pairs into pair-batches and run the compiled
+    // conjunction vectorized. `None` (non-compilable shape, or PIR off)
+    // keeps the row closure above.
+    let resid_plan = match (residual, pir.is_some()) {
+        (Some(pred), true) => ResidualPlan::compile(pred, &left, &right),
+        _ => None,
+    };
 
     // --- build ------------------------------------------------------------
     // Hash-partitioned build over the right side: a key's rows all land
@@ -508,10 +539,16 @@ pub fn execute_join_par(
         let mut out = ProbeOut::default();
         let phashes = hash_rows(&codecs, lo as usize, hi as usize, false);
         let mut kept: Vec<u32> = Vec::new();
+        let mut cands: Vec<u32> = Vec::new();
         let mut key_parts: Vec<JPart> = Vec::with_capacity(codecs.len());
         let mut scratch: Vec<u8> = Vec::new();
+        // Compiled-residual buffers: candidate pairs accumulate across
+        // probe rows (`pr` = build positions, `spans` = per-probe-row
+        // slices of it) and flush through the kernels in batches.
+        let mut pr: Vec<u32> = Vec::new();
+        let mut spans: Vec<(u32, u32, u32)> = Vec::new();
         for li in lo..hi {
-            kept.clear();
+            cands.clear();
             // NULL probe keys (hash `None`) never match.
             if let Some(h) = phashes[(li - lo) as usize] {
                 let part = h as usize % nparts;
@@ -526,12 +563,8 @@ pub fn execute_join_par(
                                 None => unreachable!("NULL key part under a non-NULL key hash"),
                             }
                         }
-                        if let Some(cands) = tables[part].get(key_parts.as_slice()) {
-                            for &ri in cands {
-                                if residual_ok(li, ri)? {
-                                    kept.push(ri);
-                                }
-                            }
+                        if let Some(cs) = tables[part].get(key_parts.as_slice()) {
+                            cands.extend_from_slice(cs);
                         }
                     }
                     BuildSide::Raw(builds) => {
@@ -543,17 +576,44 @@ pub fn execute_join_par(
                         if let Some(e) = b.table.find(h, &scratch) {
                             let mut link = b.head[e as usize];
                             while link != u32::MAX {
-                                let ri = b.rows[link as usize];
-                                if residual_ok(li, ri)? {
-                                    kept.push(ri);
-                                }
+                                cands.push(b.rows[link as usize]);
                                 link = b.next[link as usize];
                             }
                         }
                     }
                 }
             }
-            emit_probe(join_type, li, &kept, &mut out);
+            match &resid_plan {
+                Some(plan) => {
+                    let start = pr.len() as u32;
+                    pr.extend_from_slice(&cands);
+                    spans.push((li, start, pr.len() as u32));
+                    if pr.len() >= RESID_FLUSH {
+                        flush_pairs(
+                            plan, &left, &right, join_type, &pr, &spans, &mut kept, &mut out,
+                        )?;
+                        pr.clear();
+                        spans.clear();
+                    }
+                }
+                None => {
+                    kept.clear();
+                    for &ri in &cands {
+                        if residual_ok(li, ri)? {
+                            kept.push(ri);
+                        }
+                    }
+                    emit_probe(join_type, li, &kept, &mut out);
+                }
+            }
+        }
+        if !spans.is_empty() {
+            let plan = resid_plan
+                .as_ref()
+                .expect("spans imply a compiled residual");
+            flush_pairs(
+                plan, &left, &right, join_type, &pr, &spans, &mut kept, &mut out,
+            )?;
         }
         Ok(out)
     };
@@ -593,7 +653,7 @@ pub fn execute_join_par(
         }
     }
 
-    assemble(
+    let result = assemble(
         &left,
         &right,
         join_type,
@@ -601,7 +661,16 @@ pub fn execute_join_par(
         &out_right,
         &extra_right,
         out_schema,
-    )
+    )?;
+    if let Some(pc) = pir {
+        if residual.is_some() {
+            if resid_plan.is_some() {
+                pc.compiled_stages += 1;
+            }
+            pc.fallback_rows += resid_pairs.load(Ordering::Relaxed);
+        }
+    }
+    Ok(result)
 }
 
 /// One probe range's output rows and the build rows it matched.
@@ -659,6 +728,126 @@ fn emit_probe(join_type: JoinType, li: u32, kept: &[u32], out: &mut ProbeOut) {
             }
         }
     }
+}
+
+/// Flush the compiled-residual pair buffer once it holds this many
+/// candidate pairs (plus whatever the current probe row contributed).
+/// Sized so gathered pair-batches stay cache-resident without giving up
+/// the vectorization win on high-fanout keys.
+const RESID_FLUSH: usize = 4096;
+
+/// A join residual lowered to the compiled kernel pipeline, evaluated
+/// over gathered candidate pair-batches instead of per-pair row
+/// interpretation.
+///
+/// The plan compiles against the concatenated `left ++ right` schema —
+/// the same row layout `residual_ok` feeds `eval_scalar` — and is used
+/// only when every conjunct lowered to a kernel
+/// ([`PredPipeline::fully_compiled`]); a partial lowering would run
+/// non-compiled conjuncts through `select_row` per pair, which is the
+/// interpreter with extra gather cost.
+///
+/// Byte-identity: kernels share `sql_cmp`/`Value` semantics with the
+/// interpreter (the pass-set contract in [`crate::pir::kernel`]), and
+/// flush boundaries cannot change results because every kernel is
+/// elementwise per pair. Error-order latitude: the pipeline evaluates
+/// conjunct-by-conjunct over the whole pair batch where the interpreter
+/// walks pair-by-pair, so *which* error surfaces from a failing batch
+/// may differ — both paths still fail the query (see DESIGN.md §4).
+struct ResidualPlan {
+    pipe: PredPipeline,
+    /// `left.schema().join(right.schema())`.
+    schema: Schema,
+    /// Which pair-batch columns the predicate actually reads; the rest
+    /// are padded with typed all-NULL columns instead of gathered.
+    referenced: Vec<bool>,
+}
+
+impl ResidualPlan {
+    fn compile(pred: &ScalarExpr, left: &SelBatch, right: &SelBatch) -> Option<ResidualPlan> {
+        let schema = left.batch.schema().join(right.batch.schema());
+        let pipe = PredPipeline::compile(pred, &schema, None);
+        if !pipe.fully_compiled() {
+            return None;
+        }
+        let mut referenced = vec![false; schema.fields().len()];
+        for c in pred.columns() {
+            referenced[c] = true;
+        }
+        Some(ResidualPlan {
+            pipe,
+            schema,
+            referenced,
+        })
+    }
+}
+
+/// Evaluate the compiled residual over the buffered candidate pairs and
+/// emit each probe row's surviving matches.
+///
+/// `pr` holds build-side positions; `spans` slices it per probe row as
+/// `(li, start, end)`. The pair-batch gathers referenced columns by
+/// *underlying row id* (positions mapped through each side's selection,
+/// exactly like `residual_ok`), pads the rest with typed NULL columns,
+/// and runs the pipeline once over all pairs. Kernels return pass-set
+/// indices in ascending order, so a single forward walk splits them
+/// back into per-probe-row `kept` lists for [`emit_probe`].
+#[allow(clippy::too_many_arguments)]
+fn flush_pairs(
+    plan: &ResidualPlan,
+    left: &SelBatch,
+    right: &SelBatch,
+    join_type: JoinType,
+    pr: &[u32],
+    spans: &[(u32, u32, u32)],
+    kept: &mut Vec<u32>,
+    out: &mut ProbeOut,
+) -> Result<()> {
+    let npairs = pr.len();
+    let lw = left.batch.num_columns();
+    let mut lidx: Vec<u32> = Vec::with_capacity(npairs);
+    for &(li, s, e) in spans {
+        let row = left.sel.index(li as usize) as u32;
+        lidx.extend(std::iter::repeat_n(row, (e - s) as usize));
+    }
+    let ridx: Vec<u32> = pr
+        .iter()
+        .map(|&ri| right.sel.index(ri as usize) as u32)
+        .collect();
+    let mut cols: Vec<Arc<ColumnVector>> = Vec::with_capacity(plan.schema.fields().len());
+    for (ci, f) in plan.schema.fields().iter().enumerate() {
+        let col = if !plan.referenced[ci] {
+            crate::pir::fuse::null_column(&f.data_type, npairs)?
+        } else if ci < lw {
+            left.batch.column(ci).take(&lidx)
+        } else {
+            right.batch.column(ci - lw).take(&ridx)
+        };
+        cols.push(Arc::new(col));
+    }
+    let batch = VectorBatch::from_arcs(plan.schema.clone(), cols, npairs)?;
+    let pass = plan.pipe.select(&batch, SelRef::All(npairs))?;
+    match pass {
+        // Every pair passed: each span keeps its full candidate list.
+        None => {
+            for &(li, s, e) in spans {
+                emit_probe(join_type, li, &pr[s as usize..e as usize], out);
+            }
+        }
+        Some(p) => {
+            let mut pi = 0usize;
+            for &(li, s, e) in spans {
+                kept.clear();
+                while pi < p.len() && p[pi] < e {
+                    debug_assert!(p[pi] >= s);
+                    kept.push(pr[p[pi] as usize]);
+                    pi += 1;
+                }
+                emit_probe(join_type, li, kept, out);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The grace (recursive partitioned) hash join: both sides' keys are
@@ -1200,6 +1389,7 @@ mod tests {
             1,
             true,
             Some(&sp),
+            None,
         )
         .unwrap_err();
         assert!(err.is_retryable());
@@ -1240,6 +1430,7 @@ mod tests {
                 1,
                 false,
                 None,
+                None,
             )
             .unwrap();
             let base_rows: Vec<String> = base.to_rows().iter().map(|row| row.to_string()).collect();
@@ -1261,6 +1452,7 @@ mod tests {
                     1,
                     rawtable,
                     Some(&sp),
+                    None,
                 )
                 .unwrap();
                 let rows: Vec<String> = out.to_rows().iter().map(|row| row.to_string()).collect();
@@ -1352,6 +1544,7 @@ mod tests {
                 1,
                 false,
                 None,
+                None,
             )
             .unwrap();
             let base_rows: Vec<String> = base.to_rows().iter().map(|row| row.to_string()).collect();
@@ -1368,6 +1561,7 @@ mod tests {
                         1_000_000,
                         workers,
                         rawtable,
+                        None,
                         None,
                     )
                     .unwrap();
@@ -1435,6 +1629,7 @@ mod tests {
                 1_000_000,
                 1,
                 rawtable,
+                None,
                 None,
             )
             .unwrap();

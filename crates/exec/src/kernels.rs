@@ -365,6 +365,26 @@ fn try_fast_binary(
             let scaled = *x as i128 * hive_common::value::pow10(*s);
             cmp_prim!(v, nl, scaled)
         }
+        // Reversed orientation: integer column against a decimal
+        // literal. `sql_cmp` scales the *integer* up to the literal's
+        // scale and compares exactly — never round the literal down to
+        // the integer (`1 < 1.5` and `2 > 1.5` must both hold).
+        (ColumnVector::Int(v, nl), Value::Decimal(u, s2)) => {
+            let (lit, factor) = (*u, hive_common::value::pow10(*s2));
+            let mut out = Vec::with_capacity(n);
+            for v in v.iter() {
+                out.push(apply_ord(op, (*v as i128 * factor).partial_cmp(&lit)));
+            }
+            Ok(Some(ColumnVector::Boolean(out, nl.clone())))
+        }
+        (ColumnVector::BigInt(v, nl), Value::Decimal(u, s2)) => {
+            let (lit, factor) = (*u, hive_common::value::pow10(*s2));
+            let mut out = Vec::with_capacity(n);
+            for v in v.iter() {
+                out.push(apply_ord(op, (*v as i128 * factor).partial_cmp(&lit)));
+            }
+            Ok(Some(ColumnVector::Boolean(out, nl.clone())))
+        }
         _ => Ok(None),
     }
 }
@@ -921,6 +941,75 @@ mod tests {
                 "mode divergence for {e}"
             );
         }
+    }
+
+    /// The reversed orientation — integer *column* against a decimal
+    /// *literal* — must scale the integer up to the literal's scale
+    /// (as `sql_cmp` does), never round the literal toward the column.
+    /// Rounding 1.5 down (to 1) wrongly passes `1 < 1.5`'s complement,
+    /// rounding up (to 2) wrongly fails `2 > 1.5`; the pinned pass
+    /// sets catch both directions, the row oracle pins all six ops.
+    #[test]
+    fn integer_column_vs_decimal_literal_is_exact() {
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("b", DataType::BigInt),
+        ]);
+        let b = VectorBatch::from_rows(
+            &schema,
+            &[
+                Row::new(vec![Value::Int(1), Value::BigInt(1)]),
+                Row::new(vec![Value::Int(2), Value::BigInt(2)]),
+                Row::new(vec![Value::Null, Value::Null]),
+            ],
+        )
+        .unwrap();
+        let lit = Value::Decimal(15, 1); // 1.5
+        for c in [0usize, 1] {
+            for op in [
+                BinaryOp::Lt,
+                BinaryOp::LtEq,
+                BinaryOp::Gt,
+                BinaryOp::GtEq,
+                BinaryOp::Eq,
+                BinaryOp::NotEq,
+            ] {
+                let e = bin(op, ScalarExpr::Column(c), ScalarExpr::Literal(lit.clone()));
+                assert_eq!(
+                    filter_indices(&e, &b).unwrap(),
+                    filter_indices_rowmode(&e, &b).unwrap(),
+                    "mode divergence for {e}"
+                );
+            }
+            // Pin the verdicts each rounding direction gets wrong:
+            // round-down loses `2 > 1.5`'s partner `1 < 1.5` staying
+            // strict (1 < 1 fails), round-up loses `2 > 1.5` (2 > 2
+            // fails).
+            let lt = bin(
+                BinaryOp::Lt,
+                ScalarExpr::Column(c),
+                ScalarExpr::Literal(lit.clone()),
+            );
+            assert_eq!(filter_indices(&lt, &b).unwrap(), vec![0], "col {c}");
+            let gt = bin(
+                BinaryOp::Gt,
+                ScalarExpr::Column(c),
+                ScalarExpr::Literal(lit.clone()),
+            );
+            assert_eq!(filter_indices(&gt, &b).unwrap(), vec![1], "col {c}");
+        }
+        // Flipped operand order exercises the same arms through `flip`.
+        let flipped = bin(
+            BinaryOp::GtEq,
+            ScalarExpr::Literal(lit),
+            ScalarExpr::Column(1),
+        );
+        assert_eq!(
+            filter_indices(&flipped, &b).unwrap(),
+            filter_indices_rowmode(&flipped, &b).unwrap(),
+            "flipped divergence"
+        );
+        assert_eq!(filter_indices(&flipped, &b).unwrap(), vec![0]);
     }
 
     /// Ordering comparisons and prefix LIKE over a dictionary column

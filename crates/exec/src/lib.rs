@@ -20,7 +20,7 @@ pub mod join;
 pub mod kernels;
 pub mod membroker;
 pub(crate) mod par;
-pub(crate) mod pir;
+pub mod pir;
 pub mod rawtable;
 pub mod recovery;
 pub mod scan;

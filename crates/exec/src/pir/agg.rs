@@ -1,0 +1,315 @@
+//! Compiled accumulator kernels — aggregate fusion past the group-by
+//! boundary.
+//!
+//! The interpreted build ([`crate::aggregate`]) calls `Acc::update` per
+//! row: a `ColumnVector::get` materializing a [`Value`], then an enum
+//! dispatch per accumulator. With the physical IR enabled, the build
+//! instead records each selected row's `(row, group)` assignment while
+//! discovering groups, and every aggregate folds its input column in
+//! one type-specialized pass here ([`fold`]) — no per-row `Value`
+//! allocation, no accumulator dispatch, a null-free loop when the
+//! column carries no bitmap.
+//!
+//! Byte-identity contract with the interpreted accumulators:
+//!
+//! - **SUM(Int/BigInt)** reproduces `Value::add`'s wrap-through-cast
+//!   chain (i128 math truncated back per step ≡ `wrapping_add` at the
+//!   column width).
+//! - **SUM(Double)** *assigns* the first non-null value instead of
+//!   folding from `0.0` — the interpreter clones the first value, and
+//!   `0.0 + (-0.0)` is `+0.0`, which would flip the displayed sign of
+//!   an all-negative-zero group.
+//! - **SUM(Decimal)** checked-adds at the column scale and surfaces the
+//!   interpreter's exact overflow error.
+//! - **MIN/MAX** keep the *first* strictly-better row (`sql_cmp ==
+//!   Less/Greater`), so NaN poisoning (a NaN leader never loses) and
+//!   tie behavior match exactly; the winning value materializes once
+//!   per group at the end.
+//! - **AVG** accumulates `(f64 sum, count)` in ascending row order —
+//!   the interpreter's fold order, which f64 addition is sensitive to.
+//!
+//! Error-under-fusion contract (DESIGN.md §4): a fold error (decimal
+//! SUM overflow) surfaces after the group-discovery pass rather than
+//! interleaved with it, and folds run aggregate-by-aggregate rather
+//! than row-by-row — when *several* aggregates would fail, which error
+//! surfaces first may differ from the interpreter. Any failing query
+//! fails under both paths; only the reported error can differ.
+
+use super::kernel::column_nulls;
+use hive_common::{ColumnVector, HiveError, Result, Value};
+use hive_optimizer::AggFunc;
+use std::cmp::Ordering;
+
+/// Folded per-group states; the caller converts them back into the
+/// interpreter's accumulator domain before `finish`.
+pub(crate) enum FoldOut {
+    /// COUNT(*) / COUNT(expr) per group.
+    Count(Vec<i64>),
+    /// SUM/MIN/MAX per group (`None` = no non-null input).
+    Opt(Vec<Option<Value>>),
+    /// AVG per group as `(sum, count)`.
+    Avg(Vec<(f64, i64)>),
+}
+
+/// Can `func` over `arg`'s runtime representation fold through a
+/// compiled kernel with byte-identical results? DISTINCT and Welford
+/// stddev keep their stateful accumulators (row fallback); SUM/AVG
+/// compile for the numeric column types, MIN/MAX for every type whose
+/// `sql_cmp` is a direct same-variant comparison. COUNT only needs the
+/// null bitmap, so it compiles over anything.
+pub(crate) fn compilable(func: AggFunc, distinct: bool, arg: Option<&ColumnVector>) -> bool {
+    if distinct {
+        return false;
+    }
+    match func {
+        AggFunc::Count => true,
+        AggFunc::StddevSamp => false,
+        AggFunc::Sum | AggFunc::Avg => matches!(
+            arg,
+            Some(
+                ColumnVector::Int(..)
+                    | ColumnVector::BigInt(..)
+                    | ColumnVector::Double(..)
+                    | ColumnVector::Decimal(..)
+            )
+        ),
+        AggFunc::Min | AggFunc::Max => matches!(
+            arg,
+            Some(
+                ColumnVector::Boolean(..)
+                    | ColumnVector::Int(..)
+                    | ColumnVector::BigInt(..)
+                    | ColumnVector::Double(..)
+                    | ColumnVector::Decimal(..)
+                    | ColumnVector::Str(..)
+                    | ColumnVector::Dict { .. }
+                    | ColumnVector::Date(..)
+                    | ColumnVector::Timestamp(..)
+            )
+        ),
+    }
+}
+
+/// Fold one aggregate over the recorded assignment: `rows[j]` is the
+/// batch row, `assign[j]` its group, both in ascending selected-position
+/// order (each group's rows fold in the serial order). Only call for
+/// [`compilable`] combinations.
+pub(crate) fn fold(
+    func: AggFunc,
+    arg: Option<&ColumnVector>,
+    rows: &[u32],
+    assign: &[u32],
+    ngroups: usize,
+) -> Result<FoldOut> {
+    let col =
+        arg.ok_or_else(|| HiveError::Execution("compiled aggregate missing its argument".into()));
+    match func {
+        AggFunc::Count => Ok(FoldOut::Count(fold_count(arg, rows, assign, ngroups))),
+        AggFunc::Sum => fold_sum(col?, rows, assign, ngroups),
+        AggFunc::Avg => fold_avg(col?, rows, assign, ngroups),
+        AggFunc::Min => fold_minmax(col?, rows, assign, ngroups, Ordering::Less),
+        AggFunc::Max => fold_minmax(col?, rows, assign, ngroups, Ordering::Greater),
+        AggFunc::StddevSamp => Err(HiveError::Execution(
+            "stddev has no compiled accumulator".into(),
+        )),
+    }
+}
+
+fn fold_count(
+    arg: Option<&ColumnVector>,
+    rows: &[u32],
+    assign: &[u32],
+    ngroups: usize,
+) -> Vec<i64> {
+    let mut counts = vec![0i64; ngroups];
+    match arg.and_then(column_nulls) {
+        // COUNT(*) or a null-free argument: every assigned row counts.
+        None => {
+            for &g in assign {
+                counts[g as usize] += 1;
+            }
+        }
+        Some(nb) => {
+            for (j, &g) in assign.iter().enumerate() {
+                if !nb.get(rows[j] as usize) {
+                    counts[g as usize] += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Null-aware fold skeleton shared by the kernels below: visits each
+/// non-null `(row, group)` pair in order, with a bitmap-free loop when
+/// the column has no nulls.
+macro_rules! fold_loop {
+    ($nulls:expr, $rows:expr, $assign:expr, $i:ident, $g:ident, $step:expr) => {
+        match $nulls {
+            None => {
+                for (j, &$g) in $assign.iter().enumerate() {
+                    let $i = $rows[j] as usize;
+                    $step
+                }
+            }
+            Some(nb) => {
+                for (j, &$g) in $assign.iter().enumerate() {
+                    let $i = $rows[j] as usize;
+                    if nb.get($i) {
+                        continue;
+                    }
+                    $step
+                }
+            }
+        }
+    };
+}
+
+fn fold_sum(col: &ColumnVector, rows: &[u32], assign: &[u32], ngroups: usize) -> Result<FoldOut> {
+    let nulls = column_nulls(col);
+    Ok(FoldOut::Opt(match col {
+        ColumnVector::Int(v, _) => {
+            // `Value::add` on Int does exact i128 math then truncates
+            // back to i32 per step — a wrapping add at i32 width.
+            let mut accs: Vec<Option<i32>> = vec![None; ngroups];
+            fold_loop!(nulls, rows, assign, i, g, {
+                let a = &mut accs[g as usize];
+                *a = Some(match *a {
+                    None => v[i],
+                    Some(c) => c.wrapping_add(v[i]),
+                });
+            });
+            accs.into_iter().map(|a| a.map(Value::Int)).collect()
+        }
+        ColumnVector::BigInt(v, _) => {
+            let mut accs: Vec<Option<i64>> = vec![None; ngroups];
+            fold_loop!(nulls, rows, assign, i, g, {
+                let a = &mut accs[g as usize];
+                *a = Some(match *a {
+                    None => v[i],
+                    Some(c) => c.wrapping_add(v[i]),
+                });
+            });
+            accs.into_iter().map(|a| a.map(Value::BigInt)).collect()
+        }
+        ColumnVector::Double(v, _) => {
+            // Assign-first (see module docs): the first value seeds the
+            // accumulator exactly as the interpreter's clone does.
+            let mut accs: Vec<Option<f64>> = vec![None; ngroups];
+            fold_loop!(nulls, rows, assign, i, g, {
+                let a = &mut accs[g as usize];
+                *a = Some(match *a {
+                    None => v[i],
+                    Some(c) => c + v[i],
+                });
+            });
+            accs.into_iter().map(|a| a.map(Value::Double)).collect()
+        }
+        ColumnVector::Decimal(v, s, _) => {
+            let s = *s;
+            let mut accs: Vec<Option<i128>> = vec![None; ngroups];
+            fold_loop!(nulls, rows, assign, i, g, {
+                let a = &mut accs[g as usize];
+                *a = Some(match *a {
+                    None => v[i],
+                    Some(c) => c
+                        .checked_add(v[i])
+                        .ok_or_else(|| HiveError::Execution("decimal overflow in +".into()))?,
+                });
+            });
+            accs.into_iter()
+                .map(|a| a.map(|u| Value::Decimal(u, s)))
+                .collect()
+        }
+        other => {
+            return Err(HiveError::Execution(format!(
+                "no compiled SUM kernel for {:?}",
+                other.data_type()
+            )))
+        }
+    }))
+}
+
+fn fold_avg(col: &ColumnVector, rows: &[u32], assign: &[u32], ngroups: usize) -> Result<FoldOut> {
+    let nulls = column_nulls(col);
+    let mut accs: Vec<(f64, i64)> = vec![(0.0, 0); ngroups];
+    macro_rules! avg_loop {
+        ($v:expr, $conv:expr) => {
+            fold_loop!(nulls, rows, assign, i, g, {
+                let a = &mut accs[g as usize];
+                a.0 += $conv($v[i]);
+                a.1 += 1;
+            })
+        };
+    }
+    match col {
+        ColumnVector::Int(v, _) => avg_loop!(v, |x: i32| x as f64),
+        ColumnVector::BigInt(v, _) => avg_loop!(v, |x: i64| x as f64),
+        ColumnVector::Double(v, _) => avg_loop!(v, |x: f64| x),
+        ColumnVector::Decimal(v, s, _) => {
+            // `Value::as_f64` divides by 10^scale per value; reproduce
+            // the identical division (not a reciprocal multiply).
+            let div = 10f64.powi(*s as i32);
+            avg_loop!(v, |x: i128| x as f64 / div)
+        }
+        other => {
+            return Err(HiveError::Execution(format!(
+                "no compiled AVG kernel for {:?}",
+                other.data_type()
+            )))
+        }
+    }
+    Ok(FoldOut::Avg(accs))
+}
+
+fn fold_minmax(
+    col: &ColumnVector,
+    rows: &[u32],
+    assign: &[u32],
+    ngroups: usize,
+    want: Ordering,
+) -> Result<FoldOut> {
+    let nulls = column_nulls(col);
+    // Track the winning row per group; the value materializes once at
+    // the end. `u32::MAX` = no non-null input seen.
+    let mut best: Vec<u32> = vec![u32::MAX; ngroups];
+    macro_rules! mm_loop {
+        ($cmp:expr) => {
+            fold_loop!(nulls, rows, assign, i, g, {
+                let b = &mut best[g as usize];
+                // Replace only on a strict win (`sql_cmp == want`): an
+                // incomparable pair (NaN) never replaces, and a NaN
+                // leader never loses — the interpreter's exact rule.
+                if *b == u32::MAX || $cmp(i, *b as usize) == Some(want) {
+                    *b = i as u32;
+                }
+            })
+        };
+    }
+    match col {
+        ColumnVector::Boolean(v, _) => mm_loop!(|i: usize, b: usize| Some(v[i].cmp(&v[b]))),
+        ColumnVector::Int(v, _) => mm_loop!(|i: usize, b: usize| Some(v[i].cmp(&v[b]))),
+        ColumnVector::BigInt(v, _) => mm_loop!(|i: usize, b: usize| Some(v[i].cmp(&v[b]))),
+        ColumnVector::Double(v, _) => mm_loop!(|i: usize, b: usize| v[i].partial_cmp(&v[b])),
+        ColumnVector::Decimal(v, _, _) => mm_loop!(|i: usize, b: usize| Some(v[i].cmp(&v[b]))),
+        ColumnVector::Str(v, _) => mm_loop!(|i: usize, b: usize| Some(v[i].cmp(&v[b]))),
+        ColumnVector::Dict { codes, dict, .. } => {
+            mm_loop!(|i: usize, b: usize| Some(
+                dict[codes[i] as usize].cmp(&dict[codes[b] as usize])
+            ))
+        }
+        ColumnVector::Date(v, _) => mm_loop!(|i: usize, b: usize| Some(v[i].cmp(&v[b]))),
+        ColumnVector::Timestamp(v, _) => mm_loop!(|i: usize, b: usize| Some(v[i].cmp(&v[b]))),
+    }
+    Ok(FoldOut::Opt(
+        best.into_iter()
+            .map(|b| {
+                if b == u32::MAX {
+                    None
+                } else {
+                    Some(col.get(b as usize))
+                }
+            })
+            .collect(),
+    ))
+}

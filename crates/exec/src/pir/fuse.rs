@@ -106,6 +106,7 @@ fn run_filter(pred: &ScalarExpr, sb: SelBatch) -> Result<(SelBatch, NodeTrace)> 
     // selectivity estimates; scans (which hold table stats) compile
     // their own pipelines in `execute_scan`.
     let pipe = PredPipeline::compile(pred, sb.batch.schema(), None);
+    let fully = pipe.fully_compiled();
     let kept = pipe.select(&sb.batch, SelRef::of(&sb.sel))?;
     let SelBatch { batch, sel } = sb;
     let sel = match kept {
@@ -118,6 +119,10 @@ fn run_filter(pred: &ScalarExpr, sb: SelBatch) -> Result<(SelBatch, NodeTrace)> 
     let mut t = NodeTrace::leaf("Filter");
     t.rows_in = rows_in;
     t.rows_out = sel.len() as u64;
+    t.pir_compiled_stages = fully as u64;
+    if !fully {
+        t.pir_fallback_rows = rows_in;
+    }
     Ok((SelBatch::new(batch, sel)?, t))
 }
 
@@ -145,6 +150,7 @@ fn run_project(
         let mut t = NodeTrace::leaf("Project");
         t.rows_in = rows_in;
         t.rows_out = rows_in;
+        t.pir_compiled_stages = 1;
         return Ok((SelBatch::new(out, sb.sel)?, t));
     }
     let plan = ProjPlan::compile(exprs, sb.batch.schema())?;
@@ -210,12 +216,14 @@ fn run_project(
     let mut t = NodeTrace::leaf("Project");
     t.rows_in = rows_in;
     t.rows_out = out.num_rows() as u64;
+    t.pir_compiled_stages = 1;
     Ok((SelBatch::from_batch(out), t))
 }
 
 /// A typed all-NULL column of length `n` (padding for unreferenced
-/// positions in a gathered projection base).
-fn null_column(dt: &DataType, n: usize) -> Result<ColumnVector> {
+/// positions in a gathered projection base, and for unreferenced
+/// columns of a join-residual pair batch).
+pub(crate) fn null_column(dt: &DataType, n: usize) -> Result<ColumnVector> {
     let mut b = ColumnBuilder::new(dt)?;
     for _ in 0..n {
         b.push(&Value::Null)?;

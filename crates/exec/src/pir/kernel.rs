@@ -222,6 +222,16 @@ pub(crate) enum PredKernel {
         spec: CmpSpec,
         orig: Box<ScalarExpr>,
     },
+    /// `left_col <op> right_col` — both operands are columns (the
+    /// compiled join-residual shape; also `WHERE a < b` filters). The
+    /// variant pair resolves per batch, mirroring `sql_cmp`'s
+    /// same-domain arms; unsupported pairs row-fall-back.
+    CmpCols {
+        lcol: usize,
+        rcol: usize,
+        mask: OrdMask,
+        orig: Box<ScalarExpr>,
+    },
     /// `column [NOT] LIKE 'prefix%'` over a string column — per-row
     /// `starts_with`, per-dictionary-entry over dict columns.
     StrPrefix {
@@ -259,9 +269,27 @@ impl PredKernel {
                     1
                 }
             }
+            // Column-column comparisons can land on a string pair, so
+            // they order with the string tier.
+            PredKernel::CmpCols { .. } => 1,
             PredKernel::StrPrefix { .. } => 1,
             PredKernel::And(_) | PredKernel::Or(..) => 2,
             PredKernel::Row { .. } => 3,
+        }
+    }
+
+    /// Does any node in this kernel tree fall back to row-at-a-time
+    /// `eval_scalar`? Gates the compiled-residual path: pair batches
+    /// materialize only referenced columns, which is exactly what the
+    /// monomorphized kernels (and their per-comparison fallbacks) read,
+    /// but a whole-expression `Row` kernel forfeits the point of the
+    /// vectorized pass.
+    pub(crate) fn has_row(&self) -> bool {
+        match self {
+            PredKernel::Row { .. } => true,
+            PredKernel::And(ks) => ks.iter().any(PredKernel::has_row),
+            PredKernel::Or(l, r) => l.has_row() || r.has_row(),
+            _ => false,
         }
     }
 
@@ -278,6 +306,15 @@ impl PredKernel {
                 // Representation drifted from the schema the spec was
                 // compiled against: evaluate the original expression.
                 None => select_row(orig, std::slice::from_ref(col), batch, sel),
+            },
+            PredKernel::CmpCols {
+                lcol,
+                rcol,
+                mask,
+                orig,
+            } => match select_cmp_cols(batch.column(*lcol), batch.column(*rcol), *mask, sel) {
+                Some(v) => Ok(v),
+                None => select_row(orig, &[*lcol, *rcol], batch, sel),
             },
             PredKernel::StrPrefix {
                 col,
@@ -371,7 +408,7 @@ impl PredKernel {
 }
 
 /// The null bitmap of any column representation.
-fn column_nulls(col: &ColumnVector) -> Option<&BitSet> {
+pub(crate) fn column_nulls(col: &ColumnVector) -> Option<&BitSet> {
     match col {
         ColumnVector::Boolean(_, n)
         | ColumnVector::Int(_, n)
@@ -460,6 +497,114 @@ fn select_cmp(
                 (nf || !nulls.as_ref().expect("nullable").get(r)) && verdicts[codes[r] as usize]
             })
         }
+        _ => return None,
+    })
+}
+
+/// Shared loop for column-column comparisons: a row passes when both
+/// sides are non-NULL and the per-row ordering hits the mask (NULL or
+/// incomparable never passes — `sql_cmp` three-valued semantics).
+fn cmp_cols_loop(
+    sel: SelRef<'_>,
+    mask: OrdMask,
+    ln: Option<&BitSet>,
+    rn: Option<&BitSet>,
+    cmp: impl Fn(usize) -> Option<Ordering>,
+) -> Vec<u32> {
+    match (ln, rn) {
+        (None, None) => filter_sel(sel, |r| mask.hit_opt(cmp(r))),
+        _ => filter_sel(sel, |r| {
+            !ln.is_some_and(|b| b.get(r)) && !rn.is_some_and(|b| b.get(r)) && mask.hit_opt(cmp(r))
+        }),
+    }
+}
+
+/// Monomorphized column-column comparison. Each arm mirrors the
+/// corresponding `sql_cmp` pair exactly (same widening, same rescale
+/// direction); `None` for pairs `sql_cmp` resolves through the f64
+/// default or not at all — those evaluate via the row fallback.
+fn select_cmp_cols(
+    l: &ColumnVector,
+    r: &ColumnVector,
+    mask: OrdMask,
+    sel: SelRef<'_>,
+) -> Option<Vec<u32>> {
+    let (ln, rn) = (column_nulls(l), column_nulls(r));
+    use ColumnVector as C;
+    Some(match (l, r) {
+        (C::Int(a, _), C::Int(b, _)) => cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&b[i]))),
+        (C::BigInt(a, _), C::BigInt(b, _)) => {
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&b[i])))
+        }
+        (C::Int(a, _), C::BigInt(b, _)) => {
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some((a[i] as i64).cmp(&b[i])))
+        }
+        (C::BigInt(a, _), C::Int(b, _)) => {
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&(b[i] as i64))))
+        }
+        (C::Double(a, _), C::Double(b, _)) => {
+            cmp_cols_loop(sel, mask, ln, rn, |i| a[i].partial_cmp(&b[i]))
+        }
+        // Mixed scales rescale both sides up to the max scale — the
+        // exact `sql_cmp` path (rescale up is a lossless multiply).
+        (C::Decimal(a, s1, _), C::Decimal(b, s2, _)) => {
+            let (fa, fb) = (pow10(s2.saturating_sub(*s1)), pow10(s1.saturating_sub(*s2)));
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some((a[i] * fa).cmp(&(b[i] * fb))))
+        }
+        (C::Decimal(a, s, _), C::Int(b, _)) => {
+            let f = pow10(*s);
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&(b[i] as i128 * f))))
+        }
+        (C::Int(a, _), C::Decimal(b, s, _)) => {
+            let f = pow10(*s);
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some((a[i] as i128 * f).cmp(&b[i])))
+        }
+        (C::Decimal(a, s, _), C::BigInt(b, _)) => {
+            let f = pow10(*s);
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&(b[i] as i128 * f))))
+        }
+        (C::BigInt(a, _), C::Decimal(b, s, _)) => {
+            let f = pow10(*s);
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some((a[i] as i128 * f).cmp(&b[i])))
+        }
+        (C::Date(a, _), C::Date(b, _)) => {
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&b[i])))
+        }
+        (C::Timestamp(a, _), C::Timestamp(b, _)) => {
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&b[i])))
+        }
+        (C::Date(a, _), C::Timestamp(b, _)) => cmp_cols_loop(sel, mask, ln, rn, |i| {
+            Some((a[i] as i64 * 86_400_000_000).cmp(&b[i]))
+        }),
+        (C::Timestamp(a, _), C::Date(b, _)) => cmp_cols_loop(sel, mask, ln, rn, |i| {
+            Some(a[i].cmp(&(b[i] as i64 * 86_400_000_000)))
+        }),
+        (C::Boolean(a, _), C::Boolean(b, _)) => {
+            cmp_cols_loop(sel, mask, ln, rn, |i| Some(a[i].cmp(&b[i])))
+        }
+        (C::Str(a, _), C::Str(b, _)) => cmp_cols_loop(sel, mask, ln, rn, |i| {
+            Some(a[i].as_str().cmp(b[i].as_str()))
+        }),
+        (C::Str(a, _), C::Dict { codes, dict, .. }) => cmp_cols_loop(sel, mask, ln, rn, |i| {
+            Some(a[i].as_str().cmp(dict[codes[i] as usize].as_str()))
+        }),
+        (C::Dict { codes, dict, .. }, C::Str(b, _)) => cmp_cols_loop(sel, mask, ln, rn, |i| {
+            Some(dict[codes[i] as usize].as_str().cmp(b[i].as_str()))
+        }),
+        (
+            C::Dict {
+                codes: ca,
+                dict: da,
+                ..
+            },
+            C::Dict {
+                codes: cb,
+                dict: db,
+                ..
+            },
+        ) => cmp_cols_loop(sel, mask, ln, rn, |i| {
+            Some(da[ca[i] as usize].as_str().cmp(db[cb[i] as usize].as_str()))
+        }),
         _ => return None,
     })
 }

@@ -99,6 +99,16 @@ impl PredPipeline {
         PredPipeline::Kernels(items.into_iter().map(|(_, _, _, k)| k).collect())
     }
 
+    /// True when no kernel in the pipeline is a row-at-a-time
+    /// fallback — the gate for the compiled join-residual path, which
+    /// builds pair batches carrying only referenced columns.
+    pub(crate) fn fully_compiled(&self) -> bool {
+        match self {
+            PredPipeline::KeepAll | PredPipeline::DropAll => true,
+            PredPipeline::Kernels(ks) => !ks.iter().any(PredKernel::has_row),
+        }
+    }
+
     /// Narrow `sel` to the passing rows. `Ok(None)` means every
     /// selected row passes (callers keep their selection — and their
     /// memcpy concat path — untouched).
@@ -171,6 +181,17 @@ fn compile_leaf(e: &ScalarExpr, schema: &Schema) -> Option<PredKernel> {
             let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
                 (ScalarExpr::Column(c), ScalarExpr::Literal(v)) => (*c, v, *op),
                 (ScalarExpr::Literal(v), ScalarExpr::Column(c)) => (*c, v, flip(*op)),
+                // Column-column comparison: the join-residual shape
+                // (also plain `WHERE a < b`). The operand domain pair
+                // resolves per batch inside the kernel.
+                (ScalarExpr::Column(a), ScalarExpr::Column(b)) => {
+                    return Some(PredKernel::CmpCols {
+                        lcol: *a,
+                        rcol: *b,
+                        mask: OrdMask::of(*op)?,
+                        orig: Box::new(e.clone()),
+                    })
+                }
                 _ => return None,
             };
             if matches!(lit, Value::Null) {
@@ -202,6 +223,17 @@ fn compile_leaf(e: &ScalarExpr, schema: &Schema) -> Option<PredKernel> {
                 col,
                 mask: mask.negate(),
                 spec,
+                orig: Box::new(ScalarExpr::Not(orig)),
+            }),
+            PredKernel::CmpCols {
+                lcol,
+                rcol,
+                mask,
+                orig,
+            } => Some(PredKernel::CmpCols {
+                lcol,
+                rcol,
+                mask: mask.negate(),
                 orig: Box::new(ScalarExpr::Not(orig)),
             }),
             PredKernel::IsNull { col, negated } => Some(PredKernel::IsNull {

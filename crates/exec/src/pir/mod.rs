@@ -19,6 +19,7 @@
 //! pre-PIR path, and `tests/pir_differential.rs` pins the two to
 //! identical results, traces, and fault schedules.
 
+pub(crate) mod agg;
 pub(crate) mod fuse;
 pub(crate) mod kernel;
 pub(crate) mod lower;
@@ -26,6 +27,21 @@ pub(crate) mod lower;
 pub(crate) use fuse::execute_chain;
 pub(crate) use kernel::SelRef;
 pub(crate) use lower::PredPipeline;
+
+/// Per-operator accounting of where the compiled paths actually ran —
+/// surfaced on `NodeTrace`/`QueryResult` so differential sweeps can
+/// assert the toggle exercised compiled code instead of silently
+/// falling back to the interpreter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PirCounters {
+    /// Stages (filter/project pipelines, aggregate accumulator banks,
+    /// join residual conjunctions) that executed fully compiled.
+    pub compiled_stages: u64,
+    /// Rows (or candidate pairs, for residuals) that went through the
+    /// interpreter instead — non-compilable expression shapes, spilled
+    /// aggregates, grace joins.
+    pub fallback_rows: u64,
+}
 
 /// PIR applies only to the vectorized engine — row-mode execution
 /// (`hive.vectorized.execution.enabled=false`) keeps its interpreter.

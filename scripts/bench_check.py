@@ -26,6 +26,7 @@ def main() -> int:
         print("bench_check: no BENCH_*.json files found", file=sys.stderr)
         return 1
     failures = []
+    tables = {}  # file -> [(case, observed, floor, verdict)]
     for path in paths:
         name = os.path.basename(path)
         try:
@@ -43,16 +44,39 @@ def main() -> int:
             for r in doc.get("results", [])
             if isinstance(r, dict) and "case" in r and "speedup" in r
         }
+        rows = []
         for case, floor in sorted(gates.items()):
             got = speedups.get(case)
             if got is None:
                 failures.append(f"{name}: gated case '{case}' missing from results")
+                rows.append((case, None, floor, "MISSING"))
             elif got < floor:
                 failures.append(
                     f"{name}: {case} speedup {got:.3f}x below its {floor:.2f}x floor"
                 )
+                rows.append((case, got, floor, "FAIL"))
+            else:
+                rows.append((case, got, floor, "ok"))
+        tables[name] = rows
         print(f"  {name}: {len(gates)} gate(s) checked")
     if failures:
+        # Per-case observed-vs-gate table: every gated case of every
+        # file, not just the failing ones, so a regression shows its
+        # margin context without re-running the bench.
+        width = max(
+            (len(case) for rows in tables.values() for case, *_ in rows),
+            default=4,
+        )
+        print(f"\n{'case':<{width}}  {'observed':>9}  {'gate':>6}  verdict", file=sys.stderr)
+        for name, rows in sorted(tables.items()):
+            print(f"-- {name}", file=sys.stderr)
+            for case, got, floor, verdict in rows:
+                observed = "---" if got is None else f"{got:.3f}x"
+                print(
+                    f"{case:<{width}}  {observed:>9}  {floor:>5.2f}x  {verdict}",
+                    file=sys.stderr,
+                )
+        print("", file=sys.stderr)
         for f in failures:
             print(f"bench_check: FAIL {f}", file=sys.stderr)
         return 1

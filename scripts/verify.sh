@@ -50,8 +50,21 @@
 # (HIVE_WM_STREAMS gates tests/serving_determinism.rs::env_wm_sweep;
 # the single-query serial path is the differential oracle), then runs
 # the throughput benchmark, which refreshes BENCH_throughput.json.
+#
+# HIVE_SWEEP_ALL=1 turns on every per-PR sweep above in one knob (the
+# individual flags keep working, and an explicitly-set flag wins).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ -n "${HIVE_SWEEP_ALL:-}" ]]; then
+    : "${HIVE_PAR_SWEEP:=1}"
+    : "${HIVE_DICT_SWEEP:=1}"
+    : "${HIVE_SELVEC_SWEEP:=1}"
+    : "${HIVE_RAWTABLE_SWEEP:=1}"
+    : "${HIVE_SPILL_SWEEP:=1}"
+    : "${HIVE_PIR_SWEEP:=1}"
+    : "${HIVE_WM_SWEEP:=1}"
+fi
 
 echo "== format =="
 cargo fmt --check
@@ -126,6 +139,8 @@ if [[ -n "${HIVE_PIR_SWEEP:-}" ]]; then
     done
     echo "== pir sweep: benchmark (writes BENCH_pir.json) =="
     cargo bench -q --offline -p hive-bench --bench pir
+    echo "== pir sweep: aggregate/residual benchmark (writes BENCH_pir_agg.json) =="
+    cargo bench -q --offline -p hive-bench --bench pir_agg
 fi
 
 if [[ -n "${HIVE_WM_SWEEP:-}" ]]; then

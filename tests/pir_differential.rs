@@ -1,13 +1,17 @@
 //! Physical-IR differential suite: `hive.exec.pir.enabled` may only
-//! change how Filter/Project chains and scan predicates execute (fused
-//! compiled pipelines versus the per-batch interpreter), never results.
+//! change how Filter/Project chains, scan predicates, aggregate
+//! accumulators, and join residuals execute (fused compiled pipelines
+//! versus the per-batch interpreter), never results.
 //! Every curated TPC-DS query must return byte-identical rows with PIR
 //! on and off — fault-free, under a seeded fault plan with recovery
 //! (including an exact replay of the simulated fault penalty), and
 //! across the 1/2/8 thread sweep. Property tests then drive randomly
 //! generated predicate trees — mixed-scale decimal literals, NULL
 //! literals, CASE-produced NULLs, nested AND/OR/NOT — through both
-//! paths and require identical row sets.
+//! paths and require identical row sets, both as plain filters and as
+//! aggregate inputs / join residual predicates; the
+//! `pir_compiled_stages`/`pir_fallback_rows` counters then prove the
+//! compiled paths actually ran rather than silently falling back.
 
 use hive_warehouse::benchdata::tpcds::{self, TpcdsScale};
 use hive_warehouse::{FaultPlan, HiveConf, HiveServer};
@@ -244,6 +248,40 @@ fn pred(depth: u32) -> BoxedStrategy<String> {
     .boxed()
 }
 
+/// Cross-side residual atoms for `store_sales ⋈ item`: decimal×decimal
+/// column comparisons (the vectorized `CmpCols` territory), mixed-scale
+/// and NULL decimal literals, dict-encoded item strings (literal and
+/// dict×dict), and int×int cross-side comparisons.
+fn resid_atom() -> impl Strategy<Value = String> {
+    let dec_lit = prop_oneof![
+        // Scale-3 literals against DECIMAL(7,2) columns.
+        (0i64..10_000).prop_map(|n| format!("{}.{:03}", n / 1000, n % 1000)),
+        Just("NULL".to_string()),
+    ];
+    prop_oneof![
+        (dec_col(), cmp_op()).prop_map(|(c, op)| format!("{c} {op} i_current_price")),
+        (cmp_op(), dec_lit).prop_map(|(op, l)| format!("i_current_price {op} {l}")),
+        (int_col(), cmp_op()).prop_map(|(c, op)| format!("{c} {op} i_manufact_id")),
+        cmp_op().prop_map(|op| format!("i_category {op} 'Home'")),
+        cmp_op().prop_map(|op| format!("i_brand {op} i_class")),
+    ]
+}
+
+/// Random residual trees over the cross-side atoms (AND/OR/NOT).
+fn resid_pred(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        return resid_atom().boxed();
+    }
+    let inner = resid_pred(depth - 1);
+    prop_oneof![
+        resid_atom(),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+        inner.prop_map(|a| format!("(NOT {a})")),
+    ]
+    .boxed()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -271,5 +309,159 @@ proptest! {
         let expected = off.session().execute(&chain_sql).unwrap().display_rows();
         let got = on.session().execute(&chain_sql).unwrap().display_rows();
         prop_assert_eq!(&got, &expected, "chain-level divergence for {}", p);
+    }
+
+    /// Any generated predicate feeding an aggregate returns identical
+    /// groups with PIR on and off. The aggregate list covers every
+    /// compiled accumulator — COUNT(*), COUNT(col), SUM/AVG over int
+    /// and decimal, MIN/MAX — plus STDDEV_SAMP and COUNT(DISTINCT),
+    /// which must take the interpreted fallback and still agree.
+    #[test]
+    fn random_aggregates_agree_fused_and_interpreted(p in pred(2)) {
+        let (off, on) = servers();
+        let sql = format!(
+            "SELECT ss_store_sk, COUNT(*) AS c0, COUNT(ss_customer_sk) AS c1, \
+             SUM(ss_quantity) AS s0, SUM(ss_list_price) AS s1, \
+             MIN(ss_net_profit) AS m0, MAX(ss_wholesale_cost) AS m1, \
+             AVG(ss_list_price) AS a0, AVG(ss_quantity) AS a1 \
+             FROM store_sales WHERE {p} \
+             GROUP BY ss_store_sk ORDER BY ss_store_sk"
+        );
+        let expected = off.session().execute(&sql).unwrap().display_rows();
+        let got = on.session().execute(&sql).unwrap().display_rows();
+        prop_assert_eq!(&got, &expected, "aggregate divergence for {}", p);
+
+        let fb_sql = format!(
+            "SELECT ss_store_sk, STDDEV_SAMP(ss_quantity) AS sd, \
+             COUNT(DISTINCT ss_customer_sk) AS cd \
+             FROM store_sales WHERE {p} \
+             GROUP BY ss_store_sk ORDER BY ss_store_sk"
+        );
+        let expected = off.session().execute(&fb_sql).unwrap().display_rows();
+        let got = on.session().execute(&fb_sql).unwrap().display_rows();
+        prop_assert_eq!(&got, &expected, "fallback-aggregate divergence for {}", p);
+    }
+
+    /// Any generated residual tree over `store_sales ⋈ item` joins to
+    /// the identical row sequence with PIR on and off — the compiled
+    /// pair-batch conjunction versus the per-pair row interpreter.
+    #[test]
+    fn random_join_residuals_agree_fused_and_interpreted(p in resid_pred(2)) {
+        let (off, on) = servers();
+        let sql = format!(
+            "SELECT ss_ticket_number, ss_item_sk, i_current_price \
+             FROM store_sales JOIN item ON ss_item_sk = i_item_sk AND ({p})"
+        );
+        let expected = off.session().execute(&sql).unwrap().display_rows();
+        let got = on.session().execute(&sql).unwrap().display_rows();
+        prop_assert_eq!(&got, &expected, "residual divergence for {}", p);
+    }
+}
+
+/// The counters prove the compiled paths executed: a compilable
+/// aggregate and a compilable residual report compiled stages (and the
+/// residual reports zero interpreted pairs), the PIR-off server reports
+/// zero everywhere, and a non-compilable residual shape reports its
+/// fallback pairs instead of pretending it compiled.
+#[test]
+fn counters_prove_compiled_paths_ran() {
+    let (off, on) = servers();
+
+    let agg_sql = "SELECT ss_store_sk, COUNT(*) AS c, SUM(ss_quantity) AS s, \
+                   AVG(ss_list_price) AS a FROM store_sales \
+                   WHERE ss_quantity < 50 GROUP BY ss_store_sk ORDER BY ss_store_sk";
+    let r = on.session().execute(agg_sql).unwrap();
+    assert!(
+        r.pir_compiled_stages > 0,
+        "compiled aggregate did not run (stages={})",
+        r.pir_compiled_stages
+    );
+    let r_off = off.session().execute(agg_sql).unwrap();
+    assert_eq!(
+        r_off.pir_compiled_stages, 0,
+        "PIR off must report no compiled stages"
+    );
+    assert_eq!(
+        r_off.pir_fallback_rows, 0,
+        "PIR off must report no fallback rows"
+    );
+
+    let join_sql = "SELECT ss_ticket_number, i_current_price FROM store_sales \
+                    JOIN item ON ss_item_sk = i_item_sk \
+                    AND ss_list_price > i_current_price";
+    let r = on.session().execute(join_sql).unwrap();
+    assert!(
+        r.pir_compiled_stages > 0,
+        "compiled residual did not run (stages={})",
+        r.pir_compiled_stages
+    );
+    assert_eq!(
+        r.pir_fallback_rows, 0,
+        "a fully compiled residual must interpret no candidate pairs"
+    );
+
+    // Arithmetic inside the residual is not a kernel shape: the row
+    // closure runs, and every candidate pair is accounted as fallback.
+    let fb_sql = "SELECT ss_ticket_number FROM store_sales \
+                  JOIN item ON ss_item_sk = i_item_sk \
+                  AND ss_list_price + ss_wholesale_cost > i_current_price";
+    let r = on.session().execute(fb_sql).unwrap();
+    assert!(
+        r.pir_fallback_rows > 0,
+        "non-compilable residual must count interpreted pairs"
+    );
+}
+
+/// Aggregate and join-residual queries stay byte-identical across the
+/// toggle at 1/2/8 threads under a seeded fault plan, and the charged
+/// fault penalty is toggle-invariant at every thread count — compiled
+/// accumulators and pair-batches must not shift the per-stage fault
+/// rolls.
+#[test]
+fn agg_and_residual_fault_sweep_is_toggle_invariant() {
+    let agg_sql = "SELECT ss_store_sk, COUNT(*) AS c, SUM(ss_list_price) AS s, \
+                   MIN(ss_net_profit) AS lo, MAX(ss_wholesale_cost) AS hi, \
+                   AVG(ss_quantity) AS a FROM store_sales \
+                   WHERE ss_quantity < 80 GROUP BY ss_store_sk ORDER BY ss_store_sk";
+    let join_sql = "SELECT ss_ticket_number, ss_item_sk, i_current_price \
+                    FROM store_sales JOIN item ON ss_item_sk = i_item_sk \
+                    AND (ss_list_price > i_current_price OR i_category = 'Home')";
+    let plan = FaultPlan::none().with(|p| {
+        p.seed = 0x000A_660F_F00D;
+        p.daemon_kill_prob = 0.6;
+        p.dfs_read_error_prob = 0.05;
+        p.dfs_slow_prob = 0.15;
+        p.dfs_slow_ms = 3.0;
+    });
+    let baseline_server = load_server(false, 1);
+    for sql in [agg_sql, join_sql] {
+        let baseline = baseline_server
+            .session()
+            .execute(sql)
+            .unwrap()
+            .display_rows();
+        for threads in [1usize, 2, 8] {
+            let run = |pir: bool| -> (Vec<String>, f64, u64) {
+                let server = load_server(pir, threads);
+                server.set_conf(|c| c.fault = plan.clone());
+                let r = server.session().execute(sql).unwrap();
+                (r.display_rows(), r.sim_ms, r.fragment_retries)
+            };
+            let (rows_off, ms_off, retries_off) = run(false);
+            let (rows_on, ms_on, retries_on) = run(true);
+            assert_eq!(
+                rows_off, baseline,
+                "faulted pir=off diverged at {threads} threads"
+            );
+            assert_eq!(
+                rows_on, baseline,
+                "faulted pir=on diverged at {threads} threads"
+            );
+            assert_eq!(
+                (ms_on, retries_on),
+                (ms_off, retries_off),
+                "fault penalty shifted under PIR at {threads} threads"
+            );
+        }
     }
 }
