@@ -213,6 +213,7 @@ fn bench_frontend(c: &mut Criterion) {
                     metastore: &ms,
                     conf: &conf,
                     usable_views: vec![],
+                    feedback: Default::default(),
                 };
                 Optimizer::optimize(plan, &ctx).unwrap()
             },

@@ -140,6 +140,19 @@ pub struct HiveConf {
     /// cost changes. Overridable via `HIVE_PIR_ENABLED`
     /// (`0`/`false`/`off` disables, anything else enables).
     pub pir_enabled: bool,
+    /// `hive.optimizer.histograms.enabled`: drive optimizer
+    /// cardinality estimates from the seeded equi-depth histograms in
+    /// HMS column statistics — equality via bucket-local NDV, ranges
+    /// via bucket interpolation, join output via histogram overlap —
+    /// and allow observed-cardinality feedback (runtime stats keyed by
+    /// plan fingerprint) to trigger the §4.2 mid-query re-plan ladder
+    /// on >10× misestimates. When off, the System-R constant
+    /// selectivities and bare `max(ndv)` containment path runs — the
+    /// differential oracle. Results are byte-identical either way;
+    /// only plan choice (and with it sim-time) changes. Overridable
+    /// via `HIVE_HISTOGRAMS_ENABLED` (`0`/`false`/`off` disables,
+    /// anything else enables).
+    pub histograms_enabled: bool,
     /// `hive.exec.spill.enabled`: allow blocking operators (hash join
     /// build, GROUP BY / DISTINCT, ORDER BY) to degrade to disk when the
     /// per-query memory broker denies them memory. When off, an
@@ -191,6 +204,7 @@ impl HiveConf {
             selvec_enabled: true,
             rawtable_enabled: true,
             pir_enabled: true,
+            histograms_enabled: true,
             spill_enabled: true,
             memory_per_query_bytes: 0,
             fault: crate::fault::FaultPlan::none(),
@@ -279,6 +293,16 @@ impl HiveConf {
         match std::env::var("HIVE_PIR_ENABLED") {
             Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
             Err(_) => self.pir_enabled,
+        }
+    }
+
+    /// Resolve [`HiveConf::histograms_enabled`]: the
+    /// `HIVE_HISTOGRAMS_ENABLED` environment variable wins (for
+    /// process-level differential sweeps), then the conf field.
+    pub fn effective_histograms_enabled(&self) -> bool {
+        match std::env::var("HIVE_HISTOGRAMS_ENABLED") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | ""),
+            Err(_) => self.histograms_enabled,
         }
     }
 

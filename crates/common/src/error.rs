@@ -64,6 +64,22 @@ pub enum HiveError {
         /// Bytes the broker was able to grant.
         granted: u64,
     },
+    /// An operator observed >10× more rows than the optimizer
+    /// estimated (§4.2's "significantly different statistics"). Raised
+    /// at most once per query by the executor's cardinality guard;
+    /// the driver re-optimizes with the observed count substituted for
+    /// the estimate and re-executes — results are identical, only the
+    /// plan changes.
+    CardinalityMisestimate {
+        /// Operator whose estimate was off (e.g. `join`).
+        operator: String,
+        /// Sorted base tables feeding the operator — the feedback key.
+        tables: String,
+        /// Rows the operator actually produced.
+        observed: u64,
+        /// Rows the optimizer predicted.
+        estimated: u64,
+    },
 }
 
 impl HiveError {
@@ -86,17 +102,22 @@ impl HiveError {
             HiveError::Transient(_) => "TRANSIENT",
             HiveError::FragmentLost(_) => "FRAGMENT_LOST",
             HiveError::MemoryExceeded { .. } => "MEMORY_EXCEEDED",
+            HiveError::CardinalityMisestimate { .. } => "CARDINALITY_MISESTIMATE",
         }
     }
 
     /// Whether the driver should attempt re-optimization + re-execution.
-    /// Covers planner mispredictions ([`HiveError::Retryable`]) and
-    /// infrastructure faults that escaped fragment-level recovery
-    /// ([`HiveError::Transient`], [`HiveError::FragmentLost`]).
+    /// Covers planner mispredictions ([`HiveError::Retryable`],
+    /// [`HiveError::CardinalityMisestimate`]) and infrastructure faults
+    /// that escaped fragment-level recovery ([`HiveError::Transient`],
+    /// [`HiveError::FragmentLost`]).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            HiveError::Retryable(_) | HiveError::Transient(_) | HiveError::FragmentLost(_)
+            HiveError::Retryable(_)
+                | HiveError::Transient(_)
+                | HiveError::FragmentLost(_)
+                | HiveError::CardinalityMisestimate { .. }
         )
     }
 
@@ -130,6 +151,15 @@ impl HiveError {
             } => format!(
                 "{operator} requested {requested} bytes but the memory broker \
                  granted only {granted}"
+            )
+            .into(),
+            HiveError::CardinalityMisestimate {
+                operator,
+                tables,
+                observed,
+                estimated,
+            } => format!(
+                "{operator} over {tables} produced {observed} rows vs {estimated} estimated"
             )
             .into(),
         }
@@ -188,6 +218,24 @@ mod tests {
     }
 
     #[test]
+    fn cardinality_misestimate_is_typed_and_retryable() {
+        let e = HiveError::CardinalityMisestimate {
+            operator: "join".into(),
+            tables: "db.fact,db.dim".into(),
+            observed: 500_000,
+            estimated: 1_000,
+        };
+        assert_eq!(e.kind(), "CARDINALITY_MISESTIMATE");
+        assert!(e.is_retryable(), "must enter the §4.2 re-plan ladder");
+        assert!(!e.is_transient(), "same plan would misestimate again");
+        assert_eq!(
+            e.to_string(),
+            "CARDINALITY_MISESTIMATE: join over db.fact,db.dim produced \
+             500000 rows vs 1000 estimated"
+        );
+    }
+
+    #[test]
     fn kind_covers_all_variants() {
         let variants = [
             HiveError::Parse(String::new()),
@@ -209,6 +257,12 @@ mod tests {
                 operator: String::new(),
                 requested: 0,
                 granted: 0,
+            },
+            HiveError::CardinalityMisestimate {
+                operator: String::new(),
+                tables: String::new(),
+                observed: 0,
+                estimated: 0,
             },
         ];
         let kinds: std::collections::HashSet<_> = variants.iter().map(|v| v.kind()).collect();

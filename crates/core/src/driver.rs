@@ -56,6 +56,20 @@ impl SnapshotProvider for QuerySnapshots<'_> {
     }
 }
 
+/// A planned query plus the feedback context it was planned under —
+/// what the §4.2 misestimate ladder needs to persist an observation and
+/// re-plan the same query with it substituted.
+pub(crate) struct Planned {
+    pub plan: LogicalPlan,
+    pub used_mv: bool,
+    /// Fingerprint of the *analyzed* (pre-optimization) plan: the
+    /// runtime-stats key for feedback, stable across plan choices.
+    pub analyzed_fp: String,
+    /// Feedback the optimizer saw (persisted + in-flight), so the
+    /// cardinality guard's estimates match the planner's.
+    pub feedback: HashMap<String, u64>,
+}
+
 impl Session {
     pub(crate) fn execute_statement(&self, stmt: ast::Statement) -> Result<QueryResult> {
         // Engine-version SQL surface gate (the Figure 7 "could not be
@@ -277,6 +291,21 @@ impl Session {
         q: &ast::Query,
         conf: &HiveConf,
     ) -> Result<(LogicalPlan, bool)> {
+        let p = self.plan_query_fb(q, conf, &HashMap::new())?;
+        Ok((p.plan, p.used_mv))
+    }
+
+    /// Like [`Session::plan_query`], but carrying the cardinality-
+    /// feedback context: persisted `tables:`-keyed observations for this
+    /// query (keyed by the *analyzed* plan fingerprint, which is stable
+    /// across optimizer decisions) merged with `extra` — the in-flight
+    /// observation a misestimate re-plan substitutes (§4.2).
+    pub(crate) fn plan_query_fb(
+        &self,
+        q: &ast::Query,
+        conf: &HiveConf,
+        extra: &HashMap<String, u64>,
+    ) -> Result<Planned> {
         let cat = MetastoreCatalog::new(self.server.metastore().clone(), self.current_db());
         let analyzer = Analyzer::new(&cat);
         let analyzed = analyzer.analyze_query(q)?;
@@ -286,10 +315,21 @@ impl Session {
             vec![]
         };
         let before_fp = fingerprint(&analyzed);
+        let analyzed_fp = hive_optimizer::fingerprint::fingerprint_hex(&analyzed);
+        let mut feedback: HashMap<String, u64> = self
+            .server
+            .metastore()
+            .runtime_stats(&analyzed_fp)
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|(k, v)| Some((k.strip_prefix("tables:")?.to_string(), v)))
+            .collect();
+        feedback.extend(extra.iter().map(|(k, v)| (k.clone(), *v)));
         let ctx = OptimizerContext {
             metastore: self.server.metastore(),
             conf,
             usable_views,
+            feedback: feedback.clone(),
         };
         let mut plan = Optimizer::optimize(analyzed, &ctx)?;
         let used_mv = plan
@@ -312,7 +352,12 @@ impl Session {
         if has_external {
             plan = hive_federation::pushdown::push_to_external(&plan);
         }
-        Ok((plan, used_mv))
+        Ok(Planned {
+            plan,
+            used_mv,
+            analyzed_fp,
+            feedback,
+        })
     }
 
     fn run_select(&self, q: &ast::Query, conf: &HiveConf) -> Result<QueryResult> {
@@ -351,10 +396,11 @@ impl Session {
         conf: &HiveConf,
         pool_fraction: f64,
     ) -> Result<QueryResult> {
-        let (plan, used_mv) = self.plan_query(q, conf)?;
+        let planned = self.plan_query_fb(q, conf, &HashMap::new())?;
+        let (plan, used_mv) = (&planned.plan, planned.used_mv);
         // Results cache probe (§4.3): deterministic queries only.
-        let cacheable = conf.results_cache && plan_is_deterministic(&plan);
-        let key = fingerprint(&plan);
+        let cacheable = conf.results_cache && plan_is_deterministic(plan);
+        let key = fingerprint(plan);
         let mut claimed = false;
         if cacheable {
             match self
@@ -374,7 +420,7 @@ impl Session {
                 CacheOutcome::MissClaimed => claimed = true,
             }
         }
-        let outcome = self.execute_plan_with_retry(&plan, conf, pool_fraction);
+        let outcome = self.execute_plan_with_retry(q, &planned, conf, pool_fraction);
         match outcome {
             Ok((batch, trace, reexecuted, peak_memory_bytes)) => {
                 if claimed {
@@ -419,25 +465,57 @@ impl Session {
         }
     }
 
-    /// Execute with §4.2 re-optimization: on a retryable failure, persist
-    /// runtime statistics and re-execute under the overlay configuration.
+    /// Execute with the §4.2 re-optimization ladder. Two rungs, each
+    /// used at most once per query:
+    ///
+    /// 1. **Cardinality misestimate** — the armed guard observed a join
+    ///    producing >10× its estimate. Persist the observation under
+    ///    the analyzed-plan fingerprint (so future plannings of this
+    ///    query start from it), re-optimize with it substituted for the
+    ///    estimate, and re-execute the new plan with the guard
+    ///    disarmed. Results are identical; only the plan changes.
+    /// 2. **Other retryable failures** — persist a marker and retry the
+    ///    same plan under the overlay configuration.
     fn execute_plan_with_retry(
         &self,
-        plan: &LogicalPlan,
+        q: &ast::Query,
+        planned: &Planned,
         conf: &HiveConf,
         pool_fraction: f64,
     ) -> Result<(VectorBatch, NodeTrace, bool, u64)> {
-        match self.execute_plan_budgeted(plan, conf, pool_fraction) {
+        match self.execute_plan_budgeted(&planned.plan, conf, pool_fraction, Some(planned)) {
             Ok((b, t, peak)) => Ok((b, t, false, peak)),
+            Err(HiveError::CardinalityMisestimate {
+                tables, observed, ..
+            }) if conf.reoptimization => {
+                let key = format!("tables:{tables}");
+                let mut entries = self
+                    .server
+                    .metastore()
+                    .runtime_stats(&planned.analyzed_fp)
+                    .unwrap_or_default();
+                entries.retain(|(k, _)| k != &key);
+                entries.push((key, observed));
+                self.server
+                    .metastore()
+                    .save_runtime_stats(&planned.analyzed_fp, entries);
+                let mut extra = planned.feedback.clone();
+                extra.insert(tables, observed);
+                let replanned = self.plan_query_fb(q, conf, &extra)?;
+                let (b, t, peak) =
+                    self.execute_plan_budgeted(&replanned.plan, conf, pool_fraction, None)?;
+                Ok((b, t, true, peak))
+            }
             Err(e) if e.is_retryable() && conf.reoptimization => {
                 // Persist what we know for future planning, then retry
                 // under the overlay configuration.
                 self.server.metastore().save_runtime_stats(
-                    &hive_optimizer::fingerprint::fingerprint_hex(plan),
+                    &hive_optimizer::fingerprint::fingerprint_hex(&planned.plan),
                     vec![("retryable_failure".to_string(), 1)],
                 );
                 let overlay = hive_exec::engine::overlay_conf(conf);
-                let (b, t, peak) = self.execute_plan_budgeted(plan, &overlay, pool_fraction)?;
+                let (b, t, peak) =
+                    self.execute_plan_budgeted(&planned.plan, &overlay, pool_fraction, None)?;
                 Ok((b, t, true, peak))
             }
             Err(e) => Err(e),
@@ -451,15 +529,19 @@ impl Session {
     ) -> Result<(VectorBatch, NodeTrace)> {
         // Non-admitted paths (DML sources, MV rebuilds) run under the
         // full per-query budget: they hold no workload-manager slot.
-        let (b, t, _) = self.execute_plan_budgeted(plan, conf, 1.0)?;
+        let (b, t, _) = self.execute_plan_budgeted(plan, conf, 1.0, None)?;
         Ok((b, t))
     }
 
+    /// `guard`: when `Some`, arm the executor's cardinality guard with
+    /// per-join estimates computed under the same feedback the planner
+    /// saw — the first execution attempt of a retry-capable path.
     fn execute_plan_budgeted(
         &self,
         plan: &LogicalPlan,
         conf: &HiveConf,
         pool_fraction: f64,
+        guard: Option<&Planned>,
     ) -> Result<(VectorBatch, NodeTrace, u64)> {
         let snaps = QuerySnapshots::new(self.server.metastore(), None);
         let scanner = self.server.federation_scanner();
@@ -484,6 +566,26 @@ impl Session {
                 enabled: conf.effective_spill_enabled(),
             });
         }
+        if let Some(planned) = guard {
+            if conf.reoptimization && conf.effective_histograms_enabled() {
+                let gated = hive_optimizer::stats::GatedStats {
+                    inner: self.server.metastore(),
+                    use_histograms: true,
+                    feedback: planned.feedback.clone(),
+                };
+                let mut estimates: HashMap<u64, (u64, String)> = HashMap::new();
+                plan.visit(&mut |p| {
+                    if matches!(p, LogicalPlan::Join { .. }) {
+                        let est = hive_optimizer::stats::estimate_rows(p, &gated).max(0.0) as u64;
+                        let key = hive_optimizer::stats::join_feedback_key(p);
+                        estimates.insert(fingerprint(p), (est, key));
+                    }
+                });
+                if !estimates.is_empty() {
+                    ctx.arm_card_guard(hive_exec::CardGuard::new(estimates));
+                }
+            }
+        }
         ctx.prepare_shared_work(plan);
         let (sel_batch, trace) = exec_plan_sel(plan, &ctx)?;
         // Output boundary — the plan's final pipeline breaker: gather
@@ -492,11 +594,21 @@ impl Session {
         // operators. Everything downstream (final results, the results
         // cache, INSERT..SELECT sources) sees plain, compact columns.
         let batch = sel_batch.compact().decode();
-        // Persist runtime operator statistics (§4.2/§9).
-        self.server.metastore().save_runtime_stats(
-            &hive_optimizer::fingerprint::fingerprint_hex(plan),
-            trace.operator_rows(),
-        );
+        // Persist runtime operator statistics (§4.2/§9), carrying any
+        // `tables:` feedback entries forward — the store overwrites per
+        // fingerprint, and for plans the optimizer left unchanged the
+        // analyzed and optimized fingerprints coincide.
+        let fp_hex = hive_optimizer::fingerprint::fingerprint_hex(plan);
+        let mut entries: Vec<(String, u64)> = self
+            .server
+            .metastore()
+            .runtime_stats(&fp_hex)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("tables:"))
+            .collect();
+        entries.extend(trace.operator_rows());
+        self.server.metastore().save_runtime_stats(&fp_hex, entries);
         Ok((batch, trace, ctx.spill_peak_bytes()))
     }
 
@@ -655,9 +767,9 @@ impl Session {
                 out
             }
             ast::InsertSource::Query(q) => {
-                let (plan, _) = self.plan_query(q, &conf)?;
+                let planned = self.plan_query_fb(q, &conf, &HashMap::new())?;
                 let (batch, _) = self
-                    .execute_plan_with_retry(&plan, &conf, 1.0)
+                    .execute_plan_with_retry(q, &planned, &conf, 1.0)
                     .map(|(b, t, _, _)| (b, t))?;
                 batch.to_rows()
             }

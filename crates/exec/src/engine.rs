@@ -18,7 +18,7 @@ use hive_optimizer::ScalarExpr;
 use hive_sql::SetOperator;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Per-table snapshot provider (the driver owns transaction state).
 pub trait SnapshotProvider: Sync {
@@ -87,6 +87,58 @@ pub struct ExecContext<'a> {
     /// sequence — and with it every spill path — is deterministic and
     /// independent of the morsel worker count.
     spill_ops: AtomicU64,
+    /// §4.2 cardinality guard: optimizer estimates for every Join
+    /// subtree, armed by the driver on the first (guarded) execution
+    /// attempt. `None` on retries and non-guarded paths.
+    card_guard: Option<CardGuard>,
+}
+
+/// The driver's armed cardinality estimates: join-subtree fingerprint →
+/// (estimated output rows, the sorted base-table feedback key). Joins
+/// materialize bottom-up and sequentially, so the first operator whose
+/// observed output exceeds 10× its estimate raises
+/// [`HiveError::CardinalityMisestimate`] — at most once per query
+/// (`tripped` latches), and only for outputs large enough that a
+/// re-plan can pay for itself.
+pub struct CardGuard {
+    /// fingerprint(join subtree) → (estimated rows, feedback table key).
+    pub estimates: HashMap<u64, (u64, String)>,
+    tripped: AtomicBool,
+}
+
+/// Observed must exceed 10× the estimate (§4.2 "significantly
+/// different statistics")...
+const CARD_GUARD_FACTOR: u64 = 10;
+/// ...and be at least this large: re-planning a query whose worst join
+/// produced a few thousand rows costs more than it saves.
+const CARD_GUARD_MIN_ROWS: u64 = 10_000;
+
+impl CardGuard {
+    /// Build a guard over the driver's per-join estimates.
+    pub fn new(estimates: HashMap<u64, (u64, String)>) -> Self {
+        CardGuard {
+            estimates,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Check one join's observed output; returns the typed misestimate
+    /// error if this guard fires (first trip only).
+    fn check(&self, plan_fp: u64, observed: u64) -> Option<HiveError> {
+        let (est, tables) = self.estimates.get(&plan_fp)?;
+        if observed < CARD_GUARD_MIN_ROWS || observed <= est.saturating_mul(CARD_GUARD_FACTOR) {
+            return None;
+        }
+        if self.tripped.swap(true, Ordering::Relaxed) {
+            return None; // one re-plan per query (bounded ladder)
+        }
+        Some(HiveError::CardinalityMisestimate {
+            operator: "join".to_string(),
+            tables: tables.clone(),
+            observed,
+            estimated: *est,
+        })
+    }
 }
 
 /// The per-query spill environment the driver installs when
@@ -147,6 +199,12 @@ impl ExecContext<'_> {
     /// memory budget is finite).
     pub fn enable_spill(&mut self, cfg: SpillConfig) {
         self.spill = Some(cfg);
+    }
+
+    /// Arm the §4.2 cardinality guard with the driver's per-join
+    /// estimates. Retries run with the guard disarmed.
+    pub fn arm_card_guard(&mut self, guard: CardGuard) {
+        self.card_guard = Some(guard);
     }
 
     /// A fresh per-operator spill handle (stats start at zero; the
@@ -227,6 +285,7 @@ impl<'a> ExecContext<'a> {
             charges_backoff_micros: AtomicU64::new(0),
             spill: None,
             spill_ops: AtomicU64::new(0),
+            card_guard: None,
         }
     }
 
@@ -238,6 +297,30 @@ impl<'a> ExecContext<'a> {
         }
         let mut counts: HashMap<u64, usize> = HashMap::new();
         count_subtrees(plan, &mut counts);
+        if self.conf.effective_histograms_enabled() {
+            // The histogram path plans semijoin reducers through
+            // intermediate joins, so a reducer's source subplan always
+            // re-evaluates a dimension subtree the join's build side
+            // reads again. Count those sources too: the duplicate
+            // evaluation then shares instead of paying a second scan
+            // plus vertex dispatch. Only exact subtree fingerprints are
+            // counted — not filter-stripped scan base keys, which would
+            // force the dimension scan onto the sarg-forfeiting raw
+            // read even though the exact-match share already serves the
+            // reducer from the filtered result. (Off-path plans are
+            // left uncounted so the constant-selectivity oracle's
+            // simulated cost is unchanged.)
+            plan.visit(&mut |p| {
+                if let LogicalPlan::Scan {
+                    semijoin_filters, ..
+                } = p
+                {
+                    for spec in semijoin_filters {
+                        count_exact_subtrees(&spec.source, &mut counts);
+                    }
+                }
+            });
+        }
         counts.retain(|_, c| *c > 1);
         self.shared_counts = counts;
     }
@@ -262,6 +345,21 @@ fn count_subtrees(plan: &LogicalPlan, counts: &mut HashMap<u64, usize>) {
     }
     for c in plan.children() {
         count_subtrees(c, counts);
+    }
+}
+
+/// Like [`count_subtrees`] but without the filter-stripped scan base
+/// keys: used for semijoin reducer sources, where an exact-fingerprint
+/// match against the join's build side is the sharing that pays and a
+/// base-key match would only forfeit the scan's sarg skipping.
+fn count_exact_subtrees(plan: &LogicalPlan, counts: &mut HashMap<u64, usize>) {
+    if !plan.children().is_empty()
+        || matches!(plan, LogicalPlan::Scan { filters, .. } if !filters.is_empty())
+    {
+        *counts.entry(fingerprint(plan)).or_insert(0) += 1;
+    }
+    for c in plan.children() {
+        count_exact_subtrees(c, counts);
     }
 }
 
@@ -564,6 +662,11 @@ fn execute_sel_inner(plan: &LogicalPlan, ctx: &ExecContext) -> Result<(SelBatch,
                 sp.as_ref(),
                 pir,
             )?;
+            if let Some(g) = &ctx.card_guard {
+                if let Some(e) = g.check(fingerprint(plan), out.num_rows() as u64) {
+                    return Err(e);
+                }
+            }
             let mut t = NodeTrace::leaf(&format!("Join({join_type:?})"));
             t.parallel_workers = workers as u64;
             t.rows_in = rows_in;

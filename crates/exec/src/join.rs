@@ -766,7 +766,7 @@ struct ResidualPlan {
 impl ResidualPlan {
     fn compile(pred: &ScalarExpr, left: &SelBatch, right: &SelBatch) -> Option<ResidualPlan> {
         let schema = left.batch.schema().join(right.batch.schema());
-        let pipe = PredPipeline::compile(pred, &schema, None);
+        let pipe = PredPipeline::compile(pred, &schema, None, false);
         if !pipe.fully_compiled() {
             return None;
         }
@@ -1181,7 +1181,48 @@ pub fn build_runtime_filter(
     values: &VectorBatch,
     key_col: usize,
 ) -> Option<(Value, Value, hive_corc::BloomFilter)> {
+    build_runtime_filter_sized(values, key_col, None)
+}
+
+/// [`build_runtime_filter`] with an optimizer NDV hint. With a hint the
+/// Bloom bit array is sized for that many distinct keys up front and
+/// the build streams every non-NULL value straight in — no distinct-set
+/// materialization. Bloom inserts are idempotent, so membership matches
+/// the deduplicated build exactly; only the false-positive rate (never
+/// a join result — the reducer is a pre-filter) depends on the hint's
+/// accuracy. Without a hint, the original dedup-then-size build runs,
+/// preserving the constant-stats oracle byte-for-byte.
+pub fn build_runtime_filter_sized(
+    values: &VectorBatch,
+    key_col: usize,
+    ndv_hint: Option<usize>,
+) -> Option<(Value, Value, hive_corc::BloomFilter)> {
     let col = values.column(key_col);
+    if let Some(hint) = ndv_hint {
+        let mut bloom = hive_corc::BloomFilter::new(hint.max(16), 0.01);
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for i in 0..col.len() {
+            let v = col.get(i);
+            if v.is_null() {
+                continue;
+            }
+            bloom.insert(&v);
+            if min
+                .as_ref()
+                .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+            {
+                min = Some(v.clone());
+            }
+            if max
+                .as_ref()
+                .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+            {
+                max = Some(v);
+            }
+        }
+        return Some((min?, max?, bloom));
+    }
 
     // Pass 1: collect distinct non-NULL values.
     let distinct: Vec<Value> = if let Some((codes, dict, nulls)) = col.dict_parts() {

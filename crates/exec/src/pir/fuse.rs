@@ -105,7 +105,7 @@ fn run_filter(pred: &ScalarExpr, sb: SelBatch) -> Result<(SelBatch, NodeTrace)> 
     // Engine-level filters order conjuncts by cost tier and default
     // selectivity estimates; scans (which hold table stats) compile
     // their own pipelines in `execute_scan`.
-    let pipe = PredPipeline::compile(pred, sb.batch.schema(), None);
+    let pipe = PredPipeline::compile(pred, sb.batch.schema(), None, false);
     let fully = pipe.fully_compiled();
     let kept = pipe.select(&sb.batch, SelRef::of(&sb.sel))?;
     let SelBatch { batch, sel } = sb;

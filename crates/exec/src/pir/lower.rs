@@ -31,7 +31,7 @@ use super::kernel::{CmpSpec, OrdMask, PredKernel, SelRef};
 use hive_common::{KernelType, Result, Schema, Value, VectorBatch};
 use hive_metastore::TableStats;
 use hive_optimizer::rules::folding::fold_expr;
-use hive_optimizer::stats::selectivity;
+use hive_optimizer::stats::selectivity_with;
 use hive_optimizer::ScalarExpr;
 use hive_sql::BinaryOp;
 use std::collections::{HashMap, HashSet};
@@ -50,11 +50,14 @@ pub(crate) enum PredPipeline {
 impl PredPipeline {
     /// Compile a predicate against the input schema. `stats` (the
     /// scanned table's statistics plus the output-column → table-column
-    /// projection) refines conjunct ordering when available.
+    /// projection) refines conjunct ordering when available;
+    /// `use_hist` further drives the ordering estimates from column
+    /// histograms (`hive.optimizer.histograms.enabled`).
     pub(crate) fn compile(
         pred: &ScalarExpr,
         schema: &Schema,
         stats: Option<(&TableStats, &[usize])>,
+        use_hist: bool,
     ) -> PredPipeline {
         let folded = fold_expr(pred.clone());
         match &folded {
@@ -86,7 +89,7 @@ impl PredPipeline {
             }
             let k = compile_pred(c, schema);
             let idx = items.len();
-            items.push((idx, k.cost_tier(), selectivity(c, stats), k));
+            items.push((idx, k.cost_tier(), selectivity_with(c, stats, use_hist), k));
         }
         if items.is_empty() {
             return PredPipeline::KeepAll;

@@ -3,7 +3,6 @@
 //! dispatch.
 
 use crate::engine::{ExecContext, NodeTrace};
-use crate::join::build_runtime_filter;
 use crate::kernels::{filter_indices, filter_indices_rowmode};
 use hive_acid::{resolve_snapshot, writer::record_id_at, DeleteSet, ACID_COLS};
 use hive_common::{
@@ -293,7 +292,12 @@ pub fn execute_scan(
         if crate::pir::enabled(ctx.conf) && share_key.is_none() && !filters.is_empty() {
             let tstats = ctx.ms.table_stats(&table.qualified_name);
             ScalarExpr::conjunction(filters.to_vec()).map(|pred| {
-                crate::pir::PredPipeline::compile(&pred, &out_schema, Some((&tstats, projection)))
+                crate::pir::PredPipeline::compile(
+                    &pred,
+                    &out_schema,
+                    Some((&tstats, projection)),
+                    ctx.conf.effective_histograms_enabled(),
+                )
             })
         } else {
             None
@@ -394,14 +398,41 @@ fn run_reducer(
     if batch.num_rows() == 0 {
         return Ok(None);
     }
-    let Some((min, max, bloom)) = build_runtime_filter(&batch, spec.source_key) else {
+    // Bloom sizing: with histograms on, size the bit array from the
+    // optimizer's NDV estimate for the build key and stream values in
+    // without materializing the distinct set. The hint only moves the
+    // false-positive rate — the reducer is a pre-filter, so results
+    // are identical either way.
+    let ndv_hint = if ctx.conf.effective_histograms_enabled() {
+        hive_optimizer::stats::estimate_key_ndv(
+            &spec.source,
+            spec.source_key,
+            &hive_optimizer::stats::GatedStats {
+                inner: ctx.ms,
+                use_histograms: true,
+                feedback: Default::default(),
+            },
+        )
+        .map(|n| n as usize)
+    } else {
+        None
+    };
+    let Some((min, max, bloom)) =
+        crate::join::build_runtime_filter_sized(&batch, spec.source_key, ndv_hint)
+    else {
         return Ok(None);
     };
-    let col = batch.column(spec.source_key);
-    let values: Vec<Value> = (0..col.len())
-        .map(|i| col.get(i))
-        .filter(|v| !v.is_null())
-        .collect();
+    // The exact value list feeds dynamic partition pruning only; the
+    // Bloom path never reads it.
+    let values: Vec<Value> = if spec.is_partition_col {
+        let col = batch.column(spec.source_key);
+        (0..col.len())
+            .map(|i| col.get(i))
+            .filter(|v| !v.is_null())
+            .collect()
+    } else {
+        Vec::new()
+    };
     Ok(Some((min, max, bloom, values)))
 }
 

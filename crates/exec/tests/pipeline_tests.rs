@@ -121,6 +121,7 @@ impl Fixture {
             metastore: &self.ms,
             conf,
             usable_views: vec![],
+            feedback: Default::default(),
         };
         let plan = Optimizer::optimize(plan, &ctx).unwrap();
         let snaps = LiveSnapshots(&self.ms);

@@ -6,9 +6,9 @@
 //! representation with the HLL++ bias-corrected estimator and
 //! linear-counting fallback for small cardinalities.
 
+use hive_common::hash::{encode_str, encode_value, fnv1a};
 use hive_common::Value;
 use serde::{Deserialize, Serialize};
-use std::hash::Hasher;
 
 /// Register-index precision: 2^P registers.
 const P: u32 = 12;
@@ -34,11 +34,10 @@ impl HyperLogLog {
         }
     }
 
-    fn hash(v: &Value) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        v.hash_value(&mut h);
-        // Finalize with a 64-bit mix for better low-bit dispersion.
-        let mut x = h.finish();
+    /// Finalizing mix for better low-bit dispersion (FNV-1a alone is
+    /// weak in the high bits that pick the register index).
+    #[inline]
+    fn mix(mut x: u64) -> u64 {
         x ^= x >> 33;
         x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
         x ^= x >> 33;
@@ -47,12 +46,44 @@ impl HyperLogLog {
         x
     }
 
+    /// Hash a value via its canonical `hive_common::hash` encoding and
+    /// pinned FNV-1a. Unlike `DefaultHasher` (stable only within one
+    /// compiler release), this is fixed forever: register layouts —
+    /// and with them serialized sketches and seeded-replay schedules —
+    /// survive toolchain bumps.
+    fn hash(v: &Value) -> u64 {
+        let mut buf = Vec::with_capacity(16);
+        encode_value(v, &mut buf);
+        Self::mix(fnv1a(&buf))
+    }
+
+    /// Fold a pre-computed canonical encoding (`hive_common::hash`
+    /// `encode_*` output) into the sketch. The vectorized statistics
+    /// path uses this to reuse one encode buffer across a column.
+    #[inline]
+    pub fn add_bytes(&mut self, enc: &[u8]) {
+        self.insert_hash(Self::mix(fnv1a(enc)));
+    }
+
+    /// Observe a string without constructing a `Value` (register-
+    /// identical to `add(&Value::String(..))`).
+    #[inline]
+    pub fn add_str(&mut self, s: &str) {
+        let mut buf = Vec::with_capacity(s.len() + 5);
+        encode_str(s.as_bytes(), &mut buf);
+        self.add_bytes(&buf);
+    }
+
     /// Observe a value. NULLs are ignored (NDV counts non-null values).
     pub fn add(&mut self, v: &Value) {
         if v.is_null() {
             return;
         }
-        let h = Self::hash(v);
+        self.insert_hash(Self::hash(v));
+    }
+
+    #[inline]
+    fn insert_hash(&mut self, h: u64) {
         let idx = (h >> (64 - P)) as usize;
         let rest = h << P;
         // Number of leading zeros in the remaining bits, plus one.
@@ -170,6 +201,58 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.estimate(), u.estimate(), "merge must be lossless");
         assert_within(a.estimate(), 30_000, 0.05);
+    }
+
+    #[test]
+    fn register_layout_is_pinned() {
+        // The hash is mix(fnv1a(encode_value(v))) with every stage
+        // pinned (hive_common::hash pins fnv1a(enc(Int(1))) ==
+        // 0x7194_f3e5_9ae4_7dcd). These register placements must never
+        // change: serialized sketches and replay schedules depend on
+        // them surviving toolchain bumps — the exact property
+        // DefaultHasher could not give.
+        let mut h = HyperLogLog::new();
+        h.add(&Value::Int(1));
+        // mix(0x7194_f3e5_9ae4_7dcd) == 0xfead_53f7_dfca_be65
+        // => idx = top 12 bits = 4074, rank = 1.
+        assert_eq!(h.registers[4074], 1);
+        assert_eq!(h.registers.iter().filter(|&&r| r != 0).count(), 1);
+
+        let mut s = HyperLogLog::new();
+        s.add(&Value::String("ab".into()));
+        // mix(fnv1a(enc("ab"))) == 0x7e99_2bf0_7236_231f => idx 2025.
+        assert_eq!(s.registers[2025], 1);
+
+        // Numeric normalization carries over from the canonical
+        // encoding: INT / BIGINT / integral DOUBLE share registers.
+        let mut a = HyperLogLog::new();
+        a.add(&Value::Int(42));
+        let mut b = HyperLogLog::new();
+        b.add(&Value::BigInt(42));
+        let mut c = HyperLogLog::new();
+        c.add(&Value::Double(42.0));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn estimates_are_pinned() {
+        // End-to-end estimate regression on the pinned hash: any
+        // change to encoding, FNV parameters, or the finalizer shows
+        // up here as an exact-value diff.
+        assert_eq!(estimate_of(1000), 1000);
+        assert_eq!(estimate_of(100_000), 101_234);
+    }
+
+    #[test]
+    fn add_str_matches_add_value() {
+        let mut a = HyperLogLog::new();
+        let mut b = HyperLogLog::new();
+        for i in 0..1000 {
+            a.add_str(&format!("k{i}"));
+            b.add(&Value::String(format!("k{i}")));
+        }
+        assert_eq!(a, b, "add_str must be register-identical to add");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod catalog;
 pub mod compaction;
+pub mod histogram;
 pub mod hll;
 pub mod locks;
 pub mod metastore;
@@ -34,6 +35,7 @@ pub use catalog::{
     TableType,
 };
 pub use compaction::{CompactionKind, CompactionRequest, CompactionState};
+pub use histogram::{join_selectivity, Bucket, ColumnHistogram};
 pub use hll::HyperLogLog;
 pub use locks::{LockKey, LockManager, LockMode};
 pub use metastore::Metastore;

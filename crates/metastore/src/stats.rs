@@ -2,8 +2,9 @@
 //! optimizer (paper §4.1). Statistics are additive: inserts and
 //! per-partition stats merge onto existing values without rescanning.
 
+use crate::histogram::ColumnHistogram;
 use crate::hll::HyperLogLog;
-use hive_common::{ColumnVector, Value, VectorBatch};
+use hive_common::{hash, BitSet, ColumnVector, Value, VectorBatch};
 use serde::{Deserialize, Serialize};
 
 /// Statistics for one column.
@@ -17,6 +18,9 @@ pub struct ColumnStatsMeta {
     pub null_count: u64,
     /// NDV sketch (merged losslessly across partitions/inserts).
     pub ndv: HyperLogLog,
+    /// Seeded equi-depth histogram over the column's numeric values
+    /// (merged across partitions/inserts like the NDV sketch).
+    pub histogram: ColumnHistogram,
 }
 
 impl ColumnStatsMeta {
@@ -31,7 +35,14 @@ impl ColumnStatsMeta {
             self.null_count += 1;
             return;
         }
+        self.histogram.update(v);
         self.ndv.add(v);
+        self.fold_min_max(v);
+    }
+
+    /// Widen min/max to cover `v` (the per-value comparator shared by
+    /// `update`, `merge` and the vectorized column paths).
+    fn fold_min_max(&mut self, v: &Value) {
         match &self.min {
             None => self.min = Some(v.clone()),
             Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => self.min = Some(v.clone()),
@@ -47,9 +58,157 @@ impl ColumnStatsMeta {
     }
 
     /// Fold a whole column vector in.
+    ///
+    /// Byte-parity contract: the resulting stats are identical to
+    /// calling [`ColumnStatsMeta::update`] on `col.get(i)` for every
+    /// row in order — but without constructing (or cloning) a `Value`
+    /// per row. Strings fold through [`HyperLogLog::add_str`] with
+    /// `&str` min/max tracking; dictionary columns fold each *present*
+    /// dictionary entry once (duplicate rows cannot move the sketch's
+    /// registers, min/max, or the histogram — strings are invisible to
+    /// it — so per-entry folding is state-identical to per-row);
+    /// numeric columns reuse one canonical-encoding buffer across the
+    /// column and feed the histogram from the primitive lane.
     pub fn update_column(&mut self, col: &ColumnVector) {
-        for i in 0..col.len() {
-            self.update(&col.get(i));
+        match col {
+            ColumnVector::Dict { codes, dict, nulls } => {
+                let mut present = vec![false; dict.len()];
+                match nulls {
+                    Some(n) => {
+                        for (i, &c) in codes.iter().enumerate() {
+                            if n.get(i) {
+                                self.null_count += 1;
+                            } else {
+                                present[c as usize] = true;
+                            }
+                        }
+                    }
+                    None => {
+                        for &c in codes {
+                            present[c as usize] = true;
+                        }
+                    }
+                }
+                let mut lo: Option<&String> = None;
+                let mut hi: Option<&String> = None;
+                for (c, s) in dict.iter().enumerate() {
+                    if !present[c] {
+                        continue;
+                    }
+                    self.ndv.add_str(s);
+                    if lo.is_none_or(|m| s < m) {
+                        lo = Some(s);
+                    }
+                    if hi.is_none_or(|m| s > m) {
+                        hi = Some(s);
+                    }
+                }
+                if let Some(s) = lo {
+                    self.fold_min_max(&Value::String(s.clone()));
+                }
+                if let Some(s) = hi {
+                    self.fold_min_max(&Value::String(s.clone()));
+                }
+            }
+            ColumnVector::Str(vals, nulls) => {
+                let mut buf = Vec::with_capacity(32);
+                let mut lo: Option<&String> = None;
+                let mut hi: Option<&String> = None;
+                for (i, s) in vals.iter().enumerate() {
+                    if nulls.as_ref().is_some_and(|n| n.get(i)) {
+                        self.null_count += 1;
+                        continue;
+                    }
+                    buf.clear();
+                    hash::encode_str(s.as_bytes(), &mut buf);
+                    self.ndv.add_bytes(&buf);
+                    if lo.is_none_or(|m| s < m) {
+                        lo = Some(s);
+                    }
+                    if hi.is_none_or(|m| s > m) {
+                        hi = Some(s);
+                    }
+                }
+                if let Some(s) = lo {
+                    self.fold_min_max(&Value::String(s.clone()));
+                }
+                if let Some(s) = hi {
+                    self.fold_min_max(&Value::String(s.clone()));
+                }
+            }
+            ColumnVector::Boolean(vals, nulls) => self.update_numeric(
+                vals,
+                nulls.as_ref(),
+                Value::Boolean,
+                |b, buf| {
+                    buf.push(hash::TAG_BOOL);
+                    buf.push(b as u8);
+                },
+                |b| b as u8 as f64,
+            ),
+            ColumnVector::Int(vals, nulls) => self.update_numeric(
+                vals,
+                nulls.as_ref(),
+                Value::Int,
+                |v, buf| hash::encode_i64(v as i64, buf),
+                |v| v as f64,
+            ),
+            ColumnVector::BigInt(vals, nulls) => {
+                self.update_numeric(vals, nulls.as_ref(), Value::BigInt, hash::encode_i64, |v| {
+                    v as f64
+                })
+            }
+            ColumnVector::Double(vals, nulls) => {
+                self.update_numeric(vals, nulls.as_ref(), Value::Double, hash::encode_f64, |v| v)
+            }
+            ColumnVector::Decimal(vals, scale, nulls) => {
+                let s = *scale;
+                self.update_numeric(
+                    vals,
+                    nulls.as_ref(),
+                    |u| Value::Decimal(u, s),
+                    |u, buf| hash::encode_decimal(u, s, buf),
+                    |u| u as f64 / 10f64.powi(s as i32),
+                )
+            }
+            ColumnVector::Date(vals, nulls) => {
+                self.update_numeric(vals, nulls.as_ref(), Value::Date, hash::encode_date, |v| {
+                    v as f64
+                })
+            }
+            ColumnVector::Timestamp(vals, nulls) => self.update_numeric(
+                vals,
+                nulls.as_ref(),
+                Value::Timestamp,
+                hash::encode_timestamp,
+                |v| v as f64,
+            ),
+        }
+    }
+
+    /// Shared numeric-lane fold: bitmap null check, histogram from the
+    /// primitive, NDV via a reused canonical-encoding buffer, min/max
+    /// through the same `sql_cmp` fold as the per-value path (stack
+    /// `Value`s — no heap traffic for numeric variants).
+    fn update_numeric<T: Copy>(
+        &mut self,
+        vals: &[T],
+        nulls: Option<&BitSet>,
+        to_value: impl Fn(T) -> Value,
+        encode: impl Fn(T, &mut Vec<u8>),
+        to_f64: impl Fn(T) -> f64,
+    ) {
+        let mut buf = Vec::with_capacity(16);
+        for (i, &x) in vals.iter().enumerate() {
+            if nulls.is_some_and(|n| n.get(i)) {
+                self.null_count += 1;
+                continue;
+            }
+            self.histogram.update_f64(to_f64(x));
+            buf.clear();
+            encode(x, &mut buf);
+            self.ndv.add_bytes(&buf);
+            self.fold_min_max(&to_value(x));
         }
     }
 
@@ -57,21 +216,9 @@ impl ColumnStatsMeta {
     pub fn merge(&mut self, other: &ColumnStatsMeta) {
         self.null_count += other.null_count;
         self.ndv.merge(&other.ndv);
+        self.histogram.merge(&other.histogram);
         for v in [&other.min, &other.max].into_iter().flatten() {
-            match &self.min {
-                None => self.min = Some(v.clone()),
-                Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) => {
-                    self.min = Some(v.clone())
-                }
-                _ => {}
-            }
-            match &self.max {
-                None => self.max = Some(v.clone()),
-                Some(m) if v.sql_cmp(m) == Some(std::cmp::Ordering::Greater) => {
-                    self.max = Some(v.clone())
-                }
-                _ => {}
-            }
+            self.fold_min_max(v);
         }
     }
 }
@@ -151,6 +298,81 @@ mod tests {
         assert_eq!(st.columns[0].ndv_estimate(), 3);
         assert_eq!(st.columns[1].null_count, 1);
         assert_eq!(st.columns[1].ndv_estimate(), 2);
+    }
+
+    /// Per-value oracle for the parity test below: the exact loop
+    /// `update_column` replaced.
+    fn update_column_per_value(cs: &mut ColumnStatsMeta, col: &ColumnVector) {
+        for i in 0..col.len() {
+            cs.update(&col.get(i));
+        }
+    }
+
+    #[test]
+    fn vectorized_update_column_matches_per_value_path() {
+        use hive_common::BitSet;
+        use std::sync::Arc;
+
+        let mut nulls = BitSet::new(6);
+        nulls.set(2);
+        nulls.set(5);
+        let dict = Arc::new(vec![
+            "beta".to_string(),
+            "alpha".to_string(),
+            "gamma".to_string(),
+            "alpha".to_string(), // duplicate entry collapses in NDV
+        ]);
+        let cols = vec![
+            ColumnVector::Int(vec![3, 1, 0, 7, 1, 0], Some(nulls.clone())),
+            ColumnVector::BigInt(vec![9, -2, 0, 9, 5, 0], Some(nulls.clone())),
+            ColumnVector::Double(vec![1.5, 2.0, 0.0, -3.25, 2.0, 0.0], Some(nulls.clone())),
+            ColumnVector::Decimal(vec![125, -50, 0, 125, 300, 0], 2, Some(nulls.clone())),
+            ColumnVector::Boolean(
+                vec![true, false, false, true, true, false],
+                Some(nulls.clone()),
+            ),
+            ColumnVector::Date(vec![10, 0, 0, -4, 10, 0], Some(nulls.clone())),
+            ColumnVector::Timestamp(vec![86_400, 0, 0, 7, 86_400, 0], Some(nulls.clone())),
+            ColumnVector::Str(
+                vec![
+                    "m".into(),
+                    "a".into(),
+                    String::new(),
+                    "z".into(),
+                    "a".into(),
+                    String::new(),
+                ],
+                Some(nulls.clone()),
+            ),
+            ColumnVector::Dict {
+                codes: vec![0, 1, 0, 2, 3, 0],
+                dict,
+                nulls: Some(nulls),
+            },
+            // No null bitmap at all.
+            ColumnVector::Int(vec![5, 5, 5], None),
+        ];
+        for col in &cols {
+            let mut vectorized = ColumnStatsMeta::default();
+            vectorized.update_column(col);
+            let mut oracle = ColumnStatsMeta::default();
+            update_column_per_value(&mut oracle, col);
+            assert_eq!(
+                vectorized,
+                oracle,
+                "vectorized path diverged on {:?}",
+                col.data_type()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_rides_along_with_stats() {
+        let mut st = TableStats::new(2);
+        st.update_batch(&batch(&[(3, "a"), (1, "b"), (7, ""), (1, "a")]));
+        // Numeric column feeds the histogram; string column does not.
+        assert_eq!(st.columns[0].histogram.total_rows(), 4);
+        assert!(st.columns[1].histogram.is_empty());
     }
 
     #[test]

@@ -4,8 +4,10 @@
 use crate::mv_rewrite;
 use crate::plan::LogicalPlan;
 use crate::rules::{folding, join_reorder, partition_prune, pruning, pushdown, semijoin};
+use crate::stats::GatedStats;
 use hive_common::{HiveConf, Result};
 use hive_metastore::Metastore;
+use std::collections::HashMap;
 
 /// Everything the optimizer needs from its environment.
 pub struct OptimizerContext<'a> {
@@ -17,6 +19,12 @@ pub struct OptimizerContext<'a> {
     /// snapshot* (fresh, or within their staleness window). The driver
     /// computes this (it owns snapshot state).
     pub usable_views: Vec<mv_rewrite::UsableView>,
+    /// Observed join cardinalities keyed by
+    /// [`crate::stats::join_feedback_key`] — runtime feedback from the
+    /// persisted runtime-stats store or a mid-query misestimate trip
+    /// (§4.2). Substituted for the estimate of any join over the same
+    /// table set.
+    pub feedback: HashMap<String, u64>,
 }
 
 /// The optimizer.
@@ -40,9 +48,18 @@ impl Optimizer {
             }
         }
 
+        // Cost-based stages see the metastore through a gate: the gate
+        // decides whether histogram/feedback-driven estimation is live,
+        // so the rules themselves never read configuration.
+        let gated = GatedStats {
+            inner: ctx.metastore,
+            use_histograms: ctx.conf.effective_histograms_enabled(),
+            feedback: ctx.feedback.clone(),
+        };
+
         // Stage 3 — cost-based join reordering.
         if ctx.conf.cbo_enabled {
-            plan = join_reorder::reorder_joins(&plan, ctx.metastore)?;
+            plan = join_reorder::reorder_joins(&plan, &gated)?;
             plan = Self::exhaustive(plan)?;
         }
 
@@ -56,7 +73,7 @@ impl Optimizer {
 
         // Stage 6 — dynamic semijoin reduction planning.
         if ctx.conf.semijoin_reduction {
-            plan = semijoin::plan_semijoin_reduction(&plan, ctx.metastore);
+            plan = semijoin::plan_semijoin_reduction(&plan, &gated);
         }
 
         debug_assert!(plan.check().is_ok(), "optimized plan fails type check");

@@ -18,10 +18,13 @@ use std::sync::Arc;
 
 /// Reorder all maximal inner-join trees in the plan.
 pub fn reorder_joins(plan: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPlan> {
+    if stats.histograms_enabled() {
+        return reorder_top_down(plan, stats);
+    }
     let mut err = None;
     let out = transform_up(plan, &mut |node| {
         if is_reorderable_join(&node) {
-            match reorder_one(&node, stats) {
+            match reorder_one(&node, stats, false) {
                 Ok(p) => p,
                 Err(e) => {
                     err = Some(e);
@@ -36,6 +39,73 @@ pub fn reorder_joins(plan: &LogicalPlan, stats: &dyn StatsSource) -> Result<Logi
         Some(e) => Err(e),
         None => Ok(out),
     }
+}
+
+/// Histogram-path traversal: joins are visited top-down so `flatten`
+/// sees the whole maximal inner-join tree at once. (The bottom-up pass
+/// rewrites inner joins first and caps each at a column-restoring
+/// Project, which the outer flatten then treats as one opaque relation
+/// — reordering degenerates to pairwise build-side choice and a
+/// histogram can never move a selective dimension ahead of a bulky
+/// one.) Relations discovered by `flatten` are recursed into, so join
+/// trees under aggregates, set ops, or non-inner joins still reorder.
+fn reorder_top_down(plan: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPlan> {
+    if is_reorderable_join(plan) {
+        // Greedy left-deep rebuild versus the authored shape, costed
+        // under the same estimator. Greedy's search space is left-deep
+        // chains only; an authored bushy shape (e.g. cross-joining two
+        // tiny dimensions before one multi-key probe of the fact) can
+        // be strictly cheaper, and on a tie the authored tree wins —
+        // it needs no column-restoring projection.
+        let greedy = reorder_one(plan, stats, true)?;
+        let authored = reorder_below_joins(plan, stats)?;
+        return Ok(
+            if join_tree_cost(&greedy, stats) < join_tree_cost(&authored, stats) {
+                greedy
+            } else {
+                authored
+            },
+        );
+    }
+    let children = plan.children();
+    if children.is_empty() {
+        return Ok(plan.clone());
+    }
+    let mut new_children = Vec::with_capacity(children.len());
+    for c in children {
+        new_children.push(Arc::new(reorder_top_down(c, stats)?));
+    }
+    Ok(super::with_children(plan, new_children))
+}
+
+/// Keep this maximal inner-join tree's authored shape, recursing only
+/// into the relations below it (which may themselves contain join trees
+/// — subqueries, derived tables — that still get their own
+/// authored-versus-greedy choice).
+fn reorder_below_joins(plan: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPlan> {
+    if is_reorderable_join(plan) {
+        let children = plan.children();
+        let mut new_children = Vec::with_capacity(children.len());
+        for c in children {
+            new_children.push(Arc::new(reorder_below_joins(c, stats)?));
+        }
+        Ok(super::with_children(plan, new_children))
+    } else {
+        reorder_top_down(plan, stats)
+    }
+}
+
+/// Cost of a join tree as the sum of estimated output rows over every
+/// inner/cross join node: every intermediate a plan materializes is
+/// work its downstream operators pay for again.
+fn join_tree_cost(plan: &LogicalPlan, stats: &dyn StatsSource) -> f64 {
+    let mut cost = 0.0;
+    plan.visit(&mut |p| {
+        if is_reorderable_join(p) {
+            cost += estimate_rows(p, stats);
+        }
+    });
+    cost
 }
 
 fn is_reorderable_join(node: &LogicalPlan) -> bool {
@@ -67,12 +137,12 @@ struct Edge {
     used: bool,
 }
 
-fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPlan> {
+fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource, deep: bool) -> Result<LogicalPlan> {
     // Flatten.
     let mut rels: Vec<Rel> = Vec::new();
     let mut edges: Vec<Edge> = Vec::new();
     let mut residuals: Vec<ScalarExpr> = Vec::new(); // global coords
-    flatten(node, &mut rels, &mut edges, &mut residuals, stats)?;
+    flatten(node, &mut rels, &mut edges, &mut residuals, stats, deep)?;
     if rels.len() < 2 {
         return Ok(node.clone());
     }
@@ -100,6 +170,14 @@ fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPla
     let mut current_rows = rels[start].rows;
     layout.extend((0..rels[start].width).map(|c| (start, c)));
 
+    // On the histogram path a candidate must beat the incumbent by a
+    // real margin: reservoir sampling and bucket interpolation put
+    // noise on estimates that are logically equal (e.g. two unfiltered
+    // FK dimensions), and deviating from the authored order on noise
+    // buys nothing while the column-restoring projection it forces
+    // costs real rows. Genuine wins (a filtered dimension versus an
+    // unfiltered one) differ by integer factors, far past 10%.
+    let margin = if stats.histograms_enabled() { 0.9 } else { 1.0 };
     while joined.iter().any(|j| !j) {
         // Candidate = unjoined relation; prefer connected ones, pick the
         // one minimizing estimated output rows.
@@ -114,14 +192,33 @@ fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPla
                         || (joined[e.right_rel] && e.left_rel == r))
             });
             let est = if connected {
-                current_rows * rels[r].rows / current_rows.max(rels[r].rows).max(1.0)
+                if stats.histograms_enabled() {
+                    // Cost the candidate through the full estimator
+                    // (histogram overlap on the join keys, runtime
+                    // feedback when present) by building the join it
+                    // would produce.
+                    candidate_join_estimate(
+                        &current,
+                        current_rows,
+                        &rels[r],
+                        r,
+                        &edges,
+                        &joined,
+                        &layout,
+                        stats,
+                    )
+                } else {
+                    // Constant-selectivity oracle: size-containment on
+                    // the raw row counts.
+                    current_rows * rels[r].rows / current_rows.max(rels[r].rows).max(1.0)
+                }
             } else {
                 current_rows * rels[r].rows
             };
             let better = match &best {
                 None => true,
                 Some((_, b_est, b_conn)) => {
-                    (connected && !b_conn) || (connected == *b_conn && est < *b_est)
+                    (connected && !b_conn) || (connected == *b_conn && est < *b_est * margin)
                 }
             };
             if better {
@@ -216,6 +313,53 @@ fn reorder_one(node: &LogicalPlan, stats: &dyn StatsSource) -> Result<LogicalPla
     })
 }
 
+/// Estimated output rows of joining `rel` onto the accumulated
+/// `current` tree, costed through [`estimate_rows`] on the candidate
+/// join node so histogram overlap and runtime feedback participate.
+/// Falls back to size-containment when the candidate's join keys
+/// cannot be expressed over the accumulated layout.
+#[allow(clippy::too_many_arguments)]
+fn candidate_join_estimate(
+    current: &Arc<LogicalPlan>,
+    current_rows: f64,
+    rel: &Rel,
+    r: usize,
+    edges: &[Edge],
+    joined: &[bool],
+    layout: &[(usize, usize)],
+    stats: &dyn StatsSource,
+) -> f64 {
+    let fallback = current_rows * rel.rows / current_rows.max(rel.rows).max(1.0);
+    let mut equi: Vec<(ScalarExpr, ScalarExpr)> = Vec::new();
+    for e in edges.iter().filter(|e| !e.used) {
+        let (cur_rel, cur_expr, next_expr) = if joined[e.left_rel] && e.right_rel == r {
+            (e.left_rel, &e.left_expr, &e.right_expr)
+        } else if joined[e.right_rel] && e.left_rel == r {
+            (e.right_rel, &e.right_expr, &e.left_expr)
+        } else {
+            continue;
+        };
+        let Ok(left) = cur_expr
+            .clone()
+            .remap_columns(&|c| layout.iter().position(|&(rr, lc)| rr == cur_rel && lc == c))
+        else {
+            return fallback;
+        };
+        equi.push((left, next_expr.clone()));
+    }
+    if equi.is_empty() {
+        return fallback;
+    }
+    let candidate = LogicalPlan::Join {
+        left: current.clone(),
+        right: rel.plan.clone(),
+        join_type: JoinType::Inner,
+        equi,
+        residual: None,
+    };
+    estimate_rows(&candidate, stats).max(1.0)
+}
+
 /// Flatten nested inner/cross joins into relations + edges.
 fn flatten(
     node: &LogicalPlan,
@@ -223,6 +367,7 @@ fn flatten(
     edges: &mut Vec<Edge>,
     residuals: &mut Vec<ScalarExpr>,
     stats: &dyn StatsSource,
+    deep: bool,
 ) -> Result<()> {
     match node {
         LogicalPlan::Join {
@@ -233,14 +378,14 @@ fn flatten(
             residual,
         } => {
             let left_start_rel = rels.len();
-            flatten(left, rels, edges, residuals, stats)?;
+            flatten(left, rels, edges, residuals, stats, deep)?;
             let right_start_rel = rels.len();
             let left_width: usize = rels[left_start_rel..right_start_rel]
                 .iter()
                 .map(|r| r.width)
                 .sum();
             let left_offset = rels.get(left_start_rel).map(|r| r.offset).unwrap_or(0);
-            flatten(right, rels, edges, residuals, stats)?;
+            flatten(right, rels, edges, residuals, stats, deep)?;
             // Register equi edges: left expr over left subtree's local
             // coords, right over right subtree's.
             for (l, r) in equi {
@@ -269,13 +414,18 @@ fn flatten(
             Ok(())
         }
         other => {
+            let plan = if deep {
+                reorder_top_down(other, stats)?
+            } else {
+                other.clone()
+            };
             let offset = rels.iter().map(|r| r.width).sum();
             let width = other.schema().len();
             rels.push(Rel {
-                plan: Arc::new(other.clone()),
+                rows: estimate_rows(&plan, stats),
+                plan: Arc::new(plan),
                 offset,
                 width,
-                rows: estimate_rows(other, stats),
             });
             Ok(())
         }

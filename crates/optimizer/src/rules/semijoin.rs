@@ -50,6 +50,10 @@ fn attach_reducers(node: LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan {
     }
     let left_rows = estimate_rows(&left, stats);
     let right_rows = estimate_rows(&right, stats);
+    // Reducers only reach through intermediate joins on the histogram
+    // path: the constant-selectivity plan shape (and thus simulated
+    // cost) stays byte-identical to the pre-histogram oracle.
+    let through_joins = stats.histograms_enabled();
 
     let mut new_left = left.clone();
     let mut new_right = right.clone();
@@ -59,14 +63,14 @@ fn attach_reducers(node: LogicalPlan, stats: &dyn StatsSource) -> LogicalPlan {
     for (li, ri) in &equi {
         if right_rows * MIN_RATIO < left_rows && right_rows < MAX_SOURCE_ROWS && is_filtered(&right)
         {
-            if let Some(reduced) = try_attach(&new_left, li, &right, ri) {
+            if let Some(reduced) = try_attach(&new_left, li, &right, ri, through_joins) {
                 new_left = reduced;
             }
         } else if left_rows * MIN_RATIO < right_rows
             && left_rows < MAX_SOURCE_ROWS
             && is_filtered(&left)
         {
-            if let Some(reduced) = try_attach(&new_right, ri, &left, li) {
+            if let Some(reduced) = try_attach(&new_right, ri, &left, li, through_joins) {
                 new_right = reduced;
             }
         }
@@ -99,6 +103,7 @@ fn try_attach(
     probe_key: &ScalarExpr,
     build: &Arc<LogicalPlan>,
     build_key: &ScalarExpr,
+    through_joins: bool,
 ) -> Option<Arc<LogicalPlan>> {
     let ScalarExpr::Column(col) = probe_key else {
         return None;
@@ -120,13 +125,14 @@ fn try_attach(
         target_col,
         is_partition_col,
     };
-    attach_to_scan(probe, *col, &spec_builder).map(Arc::new)
+    attach_to_scan(probe, *col, &spec_builder, through_joins).map(Arc::new)
 }
 
 fn attach_to_scan(
     plan: &LogicalPlan,
     col: usize,
     make_spec: &dyn Fn(usize, bool) -> SemiJoinFilterSpec,
+    through_joins: bool,
 ) -> Option<LogicalPlan> {
     match plan {
         LogicalPlan::Scan {
@@ -149,7 +155,7 @@ fn attach_to_scan(
             })
         }
         LogicalPlan::Filter { input, predicate } => {
-            let inner = attach_to_scan(input, col, make_spec)?;
+            let inner = attach_to_scan(input, col, make_spec, through_joins)?;
             Some(LogicalPlan::Filter {
                 input: Arc::new(inner),
                 predicate: predicate.clone(),
@@ -162,7 +168,7 @@ fn attach_to_scan(
         } => {
             // Trace through a pass-through projection.
             if let Some(ScalarExpr::Column(inner_col)) = exprs.get(col) {
-                let inner = attach_to_scan(input, *inner_col, make_spec)?;
+                let inner = attach_to_scan(input, *inner_col, make_spec, through_joins)?;
                 Some(LogicalPlan::Project {
                     input: Arc::new(inner),
                     exprs: exprs.clone(),
@@ -171,6 +177,38 @@ fn attach_to_scan(
             } else {
                 None
             }
+        }
+        // Trace through an intermediate inner/cross join to whichever
+        // side owns the column: the reducer only drops rows whose key
+        // cannot satisfy the *outer* join's equality, so filtering the
+        // base scan early is safe regardless of this join. This is what
+        // keeps dynamic partition pruning alive when the cost-based
+        // order joins the partition-keyed dimension last.
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type: join_type @ (JoinType::Inner | JoinType::Cross),
+            equi,
+            residual,
+        } => {
+            if !through_joins {
+                return None;
+            }
+            let left_width = left.schema().len();
+            let (new_left, new_right) = if col < left_width {
+                let inner = attach_to_scan(left, col, make_spec, through_joins)?;
+                (Arc::new(inner), right.clone())
+            } else {
+                let inner = attach_to_scan(right, col - left_width, make_spec, through_joins)?;
+                (left.clone(), Arc::new(inner))
+            };
+            Some(LogicalPlan::Join {
+                left: new_left,
+                right: new_right,
+                join_type: *join_type,
+                equi: equi.clone(),
+                residual: residual.clone(),
+            })
         }
         _ => None,
     }

@@ -1,22 +1,81 @@
 //! Cardinality estimation over logical plans, driven by the HMS
-//! statistics (§4.1): row counts, min/max, and HyperLogLog-backed NDV.
+//! statistics (§4.1): row counts, min/max, HyperLogLog-backed NDV, and
+//! seeded equi-depth histograms, plus observed-cardinality feedback
+//! from the runtime-stats store (§4.2).
 
 use crate::expr::ScalarExpr;
 use crate::plan::{JoinType, LogicalPlan};
 use hive_common::Value;
-use hive_metastore::{ColumnStatsMeta, TableStats};
+use hive_metastore::{ColumnHistogram, ColumnStatsMeta, TableStats};
 use hive_sql::BinaryOp;
 
 /// Source of table statistics.
 pub trait StatsSource {
     /// Stats for a qualified table name (empty default when unknown).
     fn stats_for(&self, qualified_name: &str) -> TableStats;
+
+    /// Whether histogram-driven estimation is active
+    /// (`hive.optimizer.histograms.enabled`). When false the System-R
+    /// constant-selectivity + max-NDV containment path runs — the
+    /// differential oracle.
+    fn histograms_enabled(&self) -> bool {
+        false
+    }
+
+    /// Observed output cardinality for a join over this table set (the
+    /// [`join_feedback_key`]), from runtime feedback. Takes precedence
+    /// over any estimate.
+    fn feedback_rows(&self, _tables: &str) -> Option<u64> {
+        None
+    }
 }
 
 impl StatsSource for hive_metastore::Metastore {
     fn stats_for(&self, qualified_name: &str) -> TableStats {
         self.table_stats(qualified_name)
     }
+}
+
+/// The [`StatsSource`] the optimizer stages drive: raw HMS statistics
+/// plus the histogram gate and per-query runtime feedback. All gating
+/// flows through this wrapper, so `estimate_rows` / `selectivity`
+/// never consult configuration themselves.
+pub struct GatedStats<'a> {
+    /// Underlying statistics (normally the metastore).
+    pub inner: &'a dyn StatsSource,
+    /// Resolved `hive.optimizer.histograms.enabled`.
+    pub use_histograms: bool,
+    /// Observed join cardinalities keyed by [`join_feedback_key`].
+    pub feedback: std::collections::HashMap<String, u64>,
+}
+
+impl StatsSource for GatedStats<'_> {
+    fn stats_for(&self, qualified_name: &str) -> TableStats {
+        self.inner.stats_for(qualified_name)
+    }
+
+    fn histograms_enabled(&self) -> bool {
+        self.use_histograms
+    }
+
+    fn feedback_rows(&self, tables: &str) -> Option<u64> {
+        if self.use_histograms {
+            self.feedback.get(tables).copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Feedback key for a join node: the sorted, deduplicated set of base
+/// tables feeding it. Stable across join reorderings of the same table
+/// set, which is exactly what lets an observed cardinality recorded
+/// under one plan correct the estimate for every candidate order.
+pub fn join_feedback_key(plan: &LogicalPlan) -> String {
+    let mut tables = plan.referenced_tables();
+    tables.sort();
+    tables.dedup();
+    tables.join(",")
 }
 
 /// Fixed selectivity guesses (System R heritage) used when column stats
@@ -42,8 +101,9 @@ pub fn estimate_rows(plan: &LogicalPlan, src: &dyn StatsSource) -> f64 {
                 let total = table_partition_count(src, &table.qualified_name).max(1);
                 rows *= (parts.len() as f64 / total as f64).min(1.0);
             }
+            let use_hist = src.histograms_enabled();
             for f in filters {
-                rows *= selectivity(f, Some((&stats, projection)));
+                rows *= selectivity_with(f, Some((&stats, projection)), use_hist);
             }
             rows.max(1.0)
         }
@@ -61,6 +121,12 @@ pub fn estimate_rows(plan: &LogicalPlan, src: &dyn StatsSource) -> f64 {
             equi,
             residual,
         } => {
+            // Runtime feedback wins over any estimate: an observed
+            // cardinality for this table set (from a prior execution or
+            // the current query's misestimate trip) IS the answer.
+            if let Some(obs) = src.feedback_rows(&join_feedback_key(plan)) {
+                return (obs as f64).max(1.0);
+            }
             let l = estimate_rows(left, src);
             let r = estimate_rows(right, src);
             let mut rows = match join_type {
@@ -71,24 +137,53 @@ pub fn estimate_rows(plan: &LogicalPlan, src: &dyn StatsSource) -> f64 {
                     if equi.is_empty() {
                         l * r
                     } else {
-                        // |L|*|R| / max(ndv of the join keys). Key NDVs
-                        // come from column statistics when the key is a
-                        // plain scan column; otherwise the smaller
-                        // relation's cardinality is the proxy (its key is
-                        // the PK in the FK-PK pattern).
-                        let mut denom: f64 = 0.0;
+                        // Per key: histogram overlap when both sides
+                        // trace to histogrammed scan columns (and the
+                        // gate is on), otherwise |L|*|R| / max(key NDV)
+                        // containment; otherwise the smaller relation's
+                        // cardinality is the proxy (its key is the PK
+                        // in the FK-PK pattern). Multiple keys AND
+                        // together: keep the most selective.
+                        let use_hist = src.histograms_enabled();
+                        let mut sel: Option<f64> = None;
                         for (le, re) in equi {
-                            if let Some(n) = key_ndv(left, le, src) {
-                                denom = denom.max(n);
+                            let mut key_sel: Option<f64> = None;
+                            if use_hist {
+                                if let (Some(lh), Some(rh)) =
+                                    (key_histogram(left, le, src), key_histogram(right, re, src))
+                                {
+                                    key_sel = hive_metastore::join_selectivity(&lh, &rh);
+                                }
                             }
-                            if let Some(n) = key_ndv(right, re, src) {
-                                denom = denom.max(n);
+                            if key_sel.is_none() {
+                                let mut denom: f64 = 0.0;
+                                if let Some(n) = key_ndv(left, le, src) {
+                                    denom = denom.max(n);
+                                }
+                                if let Some(n) = key_ndv(right, re, src) {
+                                    denom = denom.max(n);
+                                }
+                                if denom >= 1.0 {
+                                    key_sel = Some(1.0 / denom);
+                                }
+                            }
+                            if let Some(s) = key_sel {
+                                sel = Some(match sel {
+                                    // Histogram path: AND-ed keys are
+                                    // independent predicates — multiply.
+                                    // (A multi-key probe of a cross
+                                    // product of dimensions must not
+                                    // estimate like its loosest key.)
+                                    Some(cur) if src.histograms_enabled() => cur * s,
+                                    Some(cur) => cur.min(s),
+                                    None => s,
+                                });
                             }
                         }
-                        if denom < 1.0 {
-                            denom = l.min(r).max(1.0);
+                        match sel {
+                            Some(s) => l * r * s,
+                            None => l * r / l.min(r).max(1.0),
                         }
-                        l * r / denom
                     }
                 }
             };
@@ -137,31 +232,80 @@ pub fn estimate_rows(plan: &LogicalPlan, src: &dyn StatsSource) -> f64 {
     }
 }
 
+/// Estimated distinct count of output column `col` of `plan` — the
+/// executor's runtime-filter (Bloom) sizing hint. Traces the column to
+/// a scanned base column and caps the sketch NDV by the plan's own
+/// estimated output rows (a filtered build side can't produce more
+/// distinct keys than rows). `None` when no statistics reach the
+/// column.
+pub fn estimate_key_ndv(plan: &LogicalPlan, col: usize, src: &dyn StatsSource) -> Option<u64> {
+    let cs = key_column_stats_col(plan, col, src)?;
+    let ndv = cs.ndv_estimate();
+    if ndv == 0 {
+        return None;
+    }
+    Some((ndv as f64).min(estimate_rows(plan, src)).max(1.0) as u64)
+}
+
 /// NDV of a join-key expression when it is a plain column tracing
-/// through Filters/pass-through Projects down to a Scan with stats.
+/// through Filters/pass-through Projects/Joins down to a Scan with
+/// stats.
 fn key_ndv(plan: &LogicalPlan, key: &ScalarExpr, src: &dyn StatsSource) -> Option<f64> {
+    let cs = key_column_stats(plan, key, src)?;
+    let ndv = cs.ndv_estimate();
+    (ndv > 0).then_some(ndv as f64)
+}
+
+/// Histogram of a join-key expression (same tracing as [`key_ndv`]),
+/// when one was collected.
+fn key_histogram(
+    plan: &LogicalPlan,
+    key: &ScalarExpr,
+    src: &dyn StatsSource,
+) -> Option<ColumnHistogram> {
+    let cs = key_column_stats(plan, key, src)?;
+    (!cs.histogram.is_empty()).then(|| cs.histogram.clone())
+}
+
+fn key_column_stats(
+    plan: &LogicalPlan,
+    key: &ScalarExpr,
+    src: &dyn StatsSource,
+) -> Option<ColumnStatsMeta> {
     let col = match key {
         ScalarExpr::Column(c) => *c,
         _ => return None,
     };
-    key_ndv_col(plan, col, src)
+    key_column_stats_col(plan, col, src)
 }
 
-fn key_ndv_col(plan: &LogicalPlan, col: usize, src: &dyn StatsSource) -> Option<f64> {
+fn key_column_stats_col(
+    plan: &LogicalPlan,
+    col: usize,
+    src: &dyn StatsSource,
+) -> Option<ColumnStatsMeta> {
     match plan {
         LogicalPlan::Scan {
             table, projection, ..
         } => {
             let stats = src.stats_for(&table.qualified_name);
             let sc = *projection.get(col)?;
-            let ndv = stats.columns.get(sc)?.ndv_estimate();
-            (ndv > 0).then_some(ndv as f64)
+            stats.columns.get(sc).cloned()
         }
-        LogicalPlan::Filter { input, .. } => key_ndv_col(input, col, src),
+        LogicalPlan::Filter { input, .. } => key_column_stats_col(input, col, src),
         LogicalPlan::Project { input, exprs, .. } => match exprs.get(col)? {
-            ScalarExpr::Column(c) => key_ndv_col(input, *c, src),
+            ScalarExpr::Column(c) => key_column_stats_col(input, *c, src),
             _ => None,
         },
+        LogicalPlan::Join { left, right, .. } => {
+            // Join output is left columns then right columns.
+            let lw = left.schema().len();
+            if col < lw {
+                key_column_stats_col(left, col, src)
+            } else {
+                key_column_stats_col(right, col - lw, src)
+            }
+        }
         _ => None,
     }
 }
@@ -175,26 +319,43 @@ fn table_partition_count(_src: &dyn StatsSource, _name: &str) -> usize {
 }
 
 /// Estimate the selectivity of a predicate; when `scan` is provided the
-/// per-column statistics refine the guess.
+/// per-column statistics refine the guess. Constant-selectivity path
+/// (no histograms) — see [`selectivity_with`].
 pub fn selectivity(pred: &ScalarExpr, scan: Option<(&TableStats, &[usize])>) -> f64 {
+    selectivity_with(pred, scan, false)
+}
+
+/// Estimate the selectivity of a predicate. With `use_hist` set,
+/// equality predicates answer from the column histogram's bucket-local
+/// NDV (end-biased for sampled heavy hitters) and range predicates
+/// from bucket interpolation; otherwise — and whenever no histogram
+/// was collected — min/max interpolation and the System-R constants
+/// apply.
+pub fn selectivity_with(
+    pred: &ScalarExpr,
+    scan: Option<(&TableStats, &[usize])>,
+    use_hist: bool,
+) -> f64 {
     match pred {
         ScalarExpr::Literal(Value::Boolean(true)) => 1.0,
         ScalarExpr::Literal(Value::Boolean(false)) => 0.0,
         ScalarExpr::Binary { op, left, right } => match op {
-            BinaryOp::And => selectivity(left, scan) * selectivity(right, scan),
+            BinaryOp::And => {
+                selectivity_with(left, scan, use_hist) * selectivity_with(right, scan, use_hist)
+            }
             BinaryOp::Or => {
-                let a = selectivity(left, scan);
-                let b = selectivity(right, scan);
+                let a = selectivity_with(left, scan, use_hist);
+                let b = selectivity_with(right, scan, use_hist);
                 (a + b - a * b).min(1.0)
             }
-            BinaryOp::Eq => eq_selectivity(left, right, scan),
-            BinaryOp::NotEq => 1.0 - eq_selectivity(left, right, scan),
+            BinaryOp::Eq => eq_selectivity(left, right, scan, use_hist),
+            BinaryOp::NotEq => 1.0 - eq_selectivity(left, right, scan, use_hist),
             BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
-                range_selectivity(op, left, right, scan)
+                range_selectivity(op, left, right, scan, use_hist)
             }
             _ => SEL_RANGE_DEFAULT,
         },
-        ScalarExpr::Not(e) => (1.0 - selectivity(e, scan)).max(0.0),
+        ScalarExpr::Not(e) => (1.0 - selectivity_with(e, scan, use_hist)).max(0.0),
         ScalarExpr::IsNull { expr, negated } => {
             let frac = column_of(expr)
                 .and_then(|c| column_stats(scan, c))
@@ -224,11 +385,37 @@ pub fn selectivity(pred: &ScalarExpr, scan: Option<(&TableStats, &[usize])>) -> 
             list,
             negated,
         } => {
-            let per = column_of(expr)
-                .and_then(|c| column_stats(scan, c))
-                .map(|(cs, _)| 1.0 / cs.ndv_estimate().max(1) as f64)
-                .unwrap_or(SEL_EQ_DEFAULT);
-            let s = (per * list.len() as f64).min(1.0);
+            let cs = column_of(expr).and_then(|c| column_stats(scan, c));
+            // Histogram path: sum the per-literal equality fractions
+            // (end-biased, so a heavy hitter in the list dominates).
+            let hist_sum = if use_hist {
+                cs.as_ref().and_then(|(cs, rows)| {
+                    if cs.histogram.is_empty() {
+                        return None;
+                    }
+                    let mut sum = 0.0;
+                    for lit in list {
+                        let v = match lit {
+                            ScalarExpr::Literal(v) if !v.is_null() => v,
+                            _ => return None,
+                        };
+                        let x = v.as_f64().or_else(|| v.as_i64().map(|x| x as f64))?;
+                        sum += cs.histogram.eq_fraction(x)?;
+                    }
+                    Some(sum * nonnull_fraction(cs, *rows))
+                })
+            } else {
+                None
+            };
+            let s = match hist_sum {
+                Some(s) => s.clamp(0.0, 1.0),
+                None => {
+                    let per = cs
+                        .map(|(cs, _)| 1.0 / cs.ndv_estimate().max(1) as f64)
+                        .unwrap_or(SEL_EQ_DEFAULT);
+                    (per * list.len() as f64).min(1.0)
+                }
+            };
             if *negated {
                 1.0 - s
             } else {
@@ -257,15 +444,40 @@ fn column_stats<'a>(
     Some((cs, stats.row_count))
 }
 
+/// Fraction of a column's rows that are non-null (histogram fractions
+/// are relative to the sampled non-null values, predicate selectivity
+/// to all rows).
+fn nonnull_fraction(cs: &ColumnStatsMeta, rows: u64) -> f64 {
+    if rows == 0 {
+        return 1.0;
+    }
+    (1.0 - cs.null_count as f64 / rows as f64).clamp(0.0, 1.0)
+}
+
 fn eq_selectivity(
     left: &ScalarExpr,
     right: &ScalarExpr,
     scan: Option<(&TableStats, &[usize])>,
+    use_hist: bool,
 ) -> f64 {
     for (col_side, other) in [(left, right), (right, left)] {
         if let Some(c) = column_of(col_side) {
-            if matches!(other, ScalarExpr::Literal(_)) {
-                if let Some((cs, _)) = column_stats(scan, c) {
+            if let ScalarExpr::Literal(v) = other {
+                if let Some((cs, rows)) = column_stats(scan, c) {
+                    // Histogram path: sample frequency for heavy
+                    // hitters, bucket depth / bucket NDV otherwise.
+                    if use_hist && !v.is_null() {
+                        if let Some(x) = v.as_f64().or_else(|| v.as_i64().map(|x| x as f64)) {
+                            if let Some(frac) = cs.histogram.eq_fraction(x) {
+                                return (frac * nonnull_fraction(cs, rows)).clamp(0.0, 1.0);
+                            }
+                        }
+                        // No histogram reaches the column (strings, or
+                        // all-NULL): equality still only matches
+                        // non-null rows.
+                        return (nonnull_fraction(cs, rows) / cs.ndv_estimate().max(1) as f64)
+                            .clamp(0.0, 1.0);
+                    }
                     return 1.0 / cs.ndv_estimate().max(1) as f64;
                 }
             }
@@ -279,6 +491,7 @@ fn range_selectivity(
     left: &ScalarExpr,
     right: &ScalarExpr,
     scan: Option<(&TableStats, &[usize])>,
+    use_hist: bool,
 ) -> f64 {
     // col op literal with numeric min/max: interpolate.
     let (col, lit, op_dir) = match (column_of(left), right) {
@@ -297,9 +510,32 @@ fn range_selectivity(
             _ => return SEL_RANGE_DEFAULT,
         },
     };
-    let Some((cs, _)) = column_stats(scan, col) else {
+    let Some((cs, rows)) = column_stats(scan, col) else {
         return SEL_RANGE_DEFAULT;
     };
+    let lit_f64 = lit.as_f64().or_else(|| lit.as_i64().map(|v| v as f64));
+    // Histogram path: bucket interpolation, with the equality share of
+    // the bound value split out for strict comparisons.
+    if use_hist && !cs.histogram.is_empty() {
+        if let Some(x) = lit_f64 {
+            let frac = match op_dir {
+                BinaryOp::Lt => cs
+                    .histogram
+                    .range_fraction(None, Some(x))
+                    .map(|f| (f - cs.histogram.eq_fraction(x).unwrap_or(0.0)).max(0.0)),
+                BinaryOp::LtEq => cs.histogram.range_fraction(None, Some(x)),
+                BinaryOp::Gt => cs
+                    .histogram
+                    .range_fraction(Some(x), None)
+                    .map(|f| (f - cs.histogram.eq_fraction(x).unwrap_or(0.0)).max(0.0)),
+                BinaryOp::GtEq => cs.histogram.range_fraction(Some(x), None),
+                _ => None,
+            };
+            if let Some(f) = frac {
+                return (f * nonnull_fraction(cs, rows)).clamp(0.0, 1.0);
+            }
+        }
+    }
     let (Some(min), Some(max)) = (
         cs.min
             .as_ref()
@@ -310,7 +546,7 @@ fn range_selectivity(
     ) else {
         return SEL_RANGE_DEFAULT;
     };
-    let Some(x) = lit.as_f64().or_else(|| lit.as_i64().map(|v| v as f64)) else {
+    let Some(x) = lit_f64 else {
         return SEL_RANGE_DEFAULT;
     };
     if max <= min {

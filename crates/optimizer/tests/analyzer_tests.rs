@@ -86,6 +86,7 @@ fn optimize(ms: &Metastore, sql: &str) -> LogicalPlan {
         metastore: ms,
         conf: &conf,
         usable_views: vec![],
+        feedback: Default::default(),
     };
     let out = Optimizer::optimize(plan, &ctx).unwrap();
     out.check().unwrap();

@@ -45,6 +45,13 @@
 # hive.exec.pir.enabled) — results must be identical either way — then
 # runs the pir benchmark, which refreshes BENCH_pir.json.
 #
+# HIVE_STATS_SWEEP=1 re-runs the test suite with histogram-driven
+# cardinality estimation forced off and then on (HIVE_HISTOGRAMS_ENABLED
+# overrides hive.optimizer.histograms.enabled) — results must be
+# identical either way; the off setting is the constant-selectivity
+# differential oracle — then runs the optstats benchmark, which
+# refreshes BENCH_optstats.json.
+#
 # HIVE_WM_SWEEP=1 runs the multi-stream serving determinism suite at
 # 1/4/16 streams × 1/2/8 morsel threads under a fixed HIVE_FAULT_SEED
 # (HIVE_WM_STREAMS gates tests/serving_determinism.rs::env_wm_sweep;
@@ -63,6 +70,7 @@ if [[ -n "${HIVE_SWEEP_ALL:-}" ]]; then
     : "${HIVE_RAWTABLE_SWEEP:=1}"
     : "${HIVE_SPILL_SWEEP:=1}"
     : "${HIVE_PIR_SWEEP:=1}"
+    : "${HIVE_STATS_SWEEP:=1}"
     : "${HIVE_WM_SWEEP:=1}"
 fi
 
@@ -141,6 +149,15 @@ if [[ -n "${HIVE_PIR_SWEEP:-}" ]]; then
     cargo bench -q --offline -p hive-bench --bench pir
     echo "== pir sweep: aggregate/residual benchmark (writes BENCH_pir_agg.json) =="
     cargo bench -q --offline -p hive-bench --bench pir_agg
+fi
+
+if [[ -n "${HIVE_STATS_SWEEP:-}" ]]; then
+    for hist in 0 1; do
+        echo "== stats sweep: tests at HIVE_HISTOGRAMS_ENABLED=$hist =="
+        HIVE_HISTOGRAMS_ENABLED="$hist" cargo test -q --offline --workspace
+    done
+    echo "== stats sweep: benchmark (writes BENCH_optstats.json) =="
+    cargo bench -q --offline -p hive-bench --bench optstats
 fi
 
 if [[ -n "${HIVE_WM_SWEEP:-}" ]]; then
